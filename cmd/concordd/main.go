@@ -1,0 +1,76 @@
+// Command concordd runs a stand-alone CONCORD server site over TCP: the
+// design data repository, server-TM and 2PC participant behind the
+// workstation/server protocol of Sect. 5.1. Workstations connect with the
+// txn.ClientTM over the rpc.TCP transport.
+//
+// Usage:
+//
+//	concordd -addr :7070 -data /var/lib/concord
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"concord/internal/coop"
+	"concord/internal/feature"
+	"concord/internal/lock"
+	"concord/internal/repo"
+	"concord/internal/rpc"
+	"concord/internal/txn"
+	"concord/internal/vlsi"
+	"concord/internal/wal"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	data := flag.String("data", "concord-data", "durable data directory")
+	flag.Parse()
+
+	if err := run(*addr, *data); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, data string) error {
+	cat := vlsi.NewCatalog()
+	r, err := repo.Open(cat, repo.Options{Dir: data, Sync: true})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	locks := lock.NewManager()
+	scopes := lock.NewScopeTable()
+	stm := txn.NewServerTM(r, locks, scopes)
+	if _, err := coop.NewCM(r, scopes, feature.NewRegistry()); err != nil {
+		return err
+	}
+	plog, err := wal.Open(filepath.Join(data, "participant.wal"), wal.Options{SyncOnAppend: true})
+	if err != nil {
+		return err
+	}
+	defer plog.Close()
+	participant, err := rpc.NewParticipant(stm, plog)
+	if err != nil {
+		return err
+	}
+	trans := rpc.NewTCP()
+	defer trans.Close()
+	if err := trans.Serve(addr, rpc.Dedup(stm.Handler(participant))); err != nil {
+		return err
+	}
+	fmt.Printf("concordd: serving on %s, data in %s (%d DOVs recovered)\n",
+		trans.Addr(), data, r.DOVCount())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("concordd: shutting down")
+	return nil
+}

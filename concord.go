@@ -1,0 +1,120 @@
+// Package concord is the public facade of this CONCORD reproduction —
+// Ritter, Mitschang, Härder, Gesmann, Schöning: "Capturing Design Dynamics:
+// The CONCORD Approach", ICDE 1994.
+//
+// CONCORD (Controlling CoopeRation in Design Environments) organizes
+// cooperative design processes on three levels:
+//
+//   - the Administration/Cooperation level: design activities (DAs) with
+//     goals expressed as feature specifications, grown into hierarchies by
+//     delegation and coupled by negotiation and usage relationships, all
+//     mediated by a central cooperation manager;
+//   - the Design Control level: per-DA work flow over design operations,
+//     specified by scripts, domain constraints and ECA rules, executed
+//     recoverably by a design manager;
+//   - the Tool Execution level: design operations as long-lived ACID
+//     transactions with checkout/checkin, savepoints, suspend/resume and
+//     automatic recovery points, driven by a split client/server
+//     transaction manager over transactional RPC and two-phase commit.
+//
+// The typical entry point is NewSystem followed by AddWorkstation:
+//
+//	sys, err := concord.NewSystem(concord.Options{RegisterTypes: vlsi.RegisterCatalog})
+//	ws, err := sys.AddWorkstation("ws1")
+//	err = sys.CM().InitDesign(concord.DAConfig{ID: "chip-da", DOT: "chip", ...})
+//
+// See examples/ for complete programs and DESIGN.md for the system map.
+package concord
+
+import (
+	"concord/internal/coop"
+	"concord/internal/core"
+	"concord/internal/feature"
+	"concord/internal/script"
+	"concord/internal/txn"
+	"concord/internal/version"
+)
+
+// VersionID identifies a design object version repository-wide.
+type VersionID = version.ID
+
+// DOV is a design object version.
+type DOV = version.DOV
+
+// Version lifecycle statuses (for DOP.Checkin).
+const (
+	// StatusWorking marks a preliminary version private to its DA.
+	StatusWorking = version.StatusWorking
+	// StatusPropagated marks a pre-released version.
+	StatusPropagated = version.StatusPropagated
+	// StatusFinal marks a version fulfilling the whole specification.
+	StatusFinal = version.StatusFinal
+)
+
+// System is a complete CONCORD deployment (server site + workstations).
+type System = core.System
+
+// Options configures a System.
+type Options = core.Options
+
+// Workstation is one designer's machine (client-TM + design managers).
+type Workstation = core.Workstation
+
+// DA is the public view of a design activity.
+type DA = coop.DA
+
+// DAConfig is the description vector of a DA to be created.
+type DAConfig = coop.Config
+
+// DAState is a state of the Fig. 7 lifecycle.
+type DAState = coop.State
+
+// DOP is a design operation: a long-lived ACID transaction.
+type DOP = txn.DOP
+
+// Spec is a design specification (the SPEC of the description vector).
+type Spec = feature.Spec
+
+// Feature is one named property of a specification.
+type Feature = feature.Feature
+
+// Script nodes for DC-level work-flow templates.
+type (
+	// ScriptNode is any work-flow fragment.
+	ScriptNode = script.Node
+	// ScriptOp invokes one operation.
+	ScriptOp = script.Op
+	// ScriptSeq runs steps in order.
+	ScriptSeq = script.Seq
+	// ScriptAlt branches between alternatives.
+	ScriptAlt = script.Alt
+	// ScriptLoop iterates its body.
+	ScriptLoop = script.Loop
+	// ScriptOpen is a partially undetermined region.
+	ScriptOpen = script.Open
+	// ScriptPar runs branches concurrently.
+	ScriptPar = script.Par
+	// DMConfig assembles a design manager.
+	DMConfig = script.Config
+	// Rule is an (event, condition, action) triple.
+	Rule = script.Rule
+	// Event is an asynchronous cooperation event.
+	Event = script.Event
+)
+
+// NewSystem boots a CONCORD system (see core.NewSystem).
+func NewSystem(opts Options) (*System, error) { return core.NewSystem(opts) }
+
+// NewSpec builds a design specification from features.
+func NewSpec(features ...Feature) (*Spec, error) { return feature.NewSpec(features...) }
+
+// MustSpec is NewSpec panicking on error, for statically known specs.
+func MustSpec(features ...Feature) *Spec { return feature.MustSpec(features...) }
+
+// RangeFeature constrains a numeric attribute to [min, max].
+func RangeFeature(name, attr string, min, max float64) Feature {
+	return feature.Range(name, attr, min, max)
+}
+
+// PredicateFeature requires a registered test tool to accept the object.
+func PredicateFeature(name, tool string) Feature { return feature.Predicate(name, tool) }

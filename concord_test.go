@@ -1,0 +1,92 @@
+package concord
+
+import (
+	"testing"
+
+	"concord/internal/catalog"
+	"concord/internal/version"
+	"concord/internal/vlsi"
+)
+
+// TestFacadeQuickstart exercises the public API end to end: the same flow as
+// examples/quickstart, asserted.
+func TestFacadeQuickstart(t *testing.T) {
+	sys, err := NewSystem(Options{RegisterTypes: vlsi.RegisterCatalog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	spec := MustSpec(RangeFeature("area-limit", "area", 0, 100))
+	if err := sys.CM().InitDesign(DAConfig{
+		ID: "da1", DOT: vlsi.DOTFloorplan, Spec: spec, Designer: "alice",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CM().Start("da1"); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := sys.AddWorkstation("ws1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dop, err := ws.Begin("", "da1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := catalog.NewObject(vlsi.DOTFloorplan).
+		Set("cell", catalog.Str("demo")).
+		Set("area", catalog.Float(85))
+	if err := dop.SetWorkspace(obj); err != nil {
+		t.Fatal(err)
+	}
+	id, err := dop.Checkin(version.StatusWorking, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dop.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	q, err := sys.CM().Evaluate("da1", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Final() {
+		t.Fatalf("quality = %+v, want final", q)
+	}
+	da, err := sys.CM().Get("da1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da.Designer != "alice" || da.Spec.Len() != 1 {
+		t.Fatalf("DA view = %+v", da)
+	}
+}
+
+// TestFacadeSpecHelpers checks the re-exported specification constructors.
+func TestFacadeSpecHelpers(t *testing.T) {
+	if _, err := NewSpec(RangeFeature("a", "x", 0, 1), PredicateFeature("p", "tool")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSpec(RangeFeature("dup", "x", 0, 1), RangeFeature("dup", "y", 0, 1)); err == nil {
+		t.Fatal("duplicate feature accepted")
+	}
+	s := MustSpec(RangeFeature("only", "x", 0, 2))
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+// TestFacadeScriptAliases ensures the script node aliases compose.
+func TestFacadeScriptAliases(t *testing.T) {
+	var n ScriptNode = ScriptSeq{Steps: []ScriptNode{
+		ScriptOp{Name: "a", IsDOP: true},
+		ScriptAlt{Name: "m", Branches: []ScriptNode{ScriptOp{Name: "b"}}},
+		ScriptLoop{Name: "l", Body: ScriptOp{Name: "c"}, Max: 2},
+		ScriptPar{Branches: []ScriptNode{ScriptOpen{Name: "o"}}},
+	}}
+	ops := n.Ops()
+	if len(ops) != 3 {
+		t.Fatalf("Ops = %v", ops)
+	}
+}

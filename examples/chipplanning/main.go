@@ -1,0 +1,175 @@
+// Chip planning: the full Fig. 3 + Fig. 5 scenario.
+//
+// DA1 plans cell O with subcells A..D using the real chip-planner toolbox
+// (bipartitioning, Stockmeyer sizing, dimensioning, global routing),
+// delegates the subcells to DA2..DA5, exchanges a preliminary floorplan
+// along a usage relationship, negotiates area between DA2 and DA3 after an
+// impossible-spec message, and finally terminates the hierarchy with
+// scope-lock inheritance of the final versions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"concord"
+	"concord/internal/catalog"
+	"concord/internal/version"
+	"concord/internal/vlsi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := concord.NewSystem(concord.Options{RegisterTypes: vlsi.RegisterCatalog})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	cm := sys.CM()
+	ws, err := sys.AddWorkstation("ws1")
+	if err != nil {
+		return err
+	}
+
+	// --- DA1 plans the cell under design O (Fig. 5 left). -------------
+	if err := cm.InitDesign(concord.DAConfig{
+		ID: "DA1", DOT: vlsi.DOTChip,
+		Spec:     concord.MustSpec(concord.RangeFeature("area-limit", "area", 0, 250)),
+		Designer: "alice",
+	}); err != nil {
+		return err
+	}
+	if err := cm.Start("DA1"); err != nil {
+		return err
+	}
+	nl := &vlsi.Netlist{Name: "O", Instances: []vlsi.Instance{
+		{Name: "A", Kind: "cell", Area: 60}, {Name: "B", Kind: "cell", Area: 40},
+		{Name: "C", Kind: "cell", Area: 30}, {Name: "D", Kind: "cell", Area: 20},
+	}, Nets: []vlsi.Net{
+		{Name: "n1", Pins: []string{"A", "B"}}, {Name: "n2", Pins: []string{"B", "C"}},
+		{Name: "n3", Pins: []string{"C", "D"}}, {Name: "n4", Pins: []string{"A", "D"}},
+	}}
+	fp, err := vlsi.PlanChip(nl, vlsi.Interface{Cell: "O", Pins: 12}, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DA1: floorplan of O: %.1fx%.1f, %d cut nets, wire %.1f\n",
+		fp.Outline.W, fp.Outline.H, fp.CutNets, fp.WireLength)
+	dop, err := ws.Begin("", "DA1")
+	if err != nil {
+		return err
+	}
+	if err := dop.SetWorkspace(vlsi.FloorplanToObject(fp)); err != nil {
+		return err
+	}
+	fpID, err := dop.Checkin(version.StatusWorking, true)
+	if err != nil {
+		return err
+	}
+	if err := dop.Commit(); err != nil {
+		return err
+	}
+
+	// --- Delegation: one sub-DA per subcell (Fig. 5 right). -----------
+	budget := map[string]float64{}
+	for _, p := range fp.Placements {
+		budget[p.Name] = p.Rect.Area()
+	}
+	for i, cellName := range []string{"A", "B", "C", "D"} {
+		da := fmt.Sprintf("DA%d", i+2)
+		if err := cm.CreateSubDA("DA1", concord.DAConfig{
+			ID: da, DOT: vlsi.DOTCell,
+			Spec:     concord.MustSpec(concord.RangeFeature("area-limit", "area", 0, budget[cellName])),
+			Designer: da, DOV0: fpID,
+		}); err != nil {
+			return err
+		}
+		if err := cm.Start(da); err != nil {
+			return err
+		}
+		fmt.Printf("%s: delegated cell %s with area budget %.1f (sees DOV0 %s)\n",
+			da, cellName, budget[cellName], fpID)
+	}
+
+	// --- DA2 cannot fit cell A: impossible spec → area negotiation. ---
+	needA := budget["A"] * 1.2
+	if err := cm.SubDAImpossibleSpec("DA2", "cell A needs more area"); err != nil {
+		return err
+	}
+	fmt.Printf("DA2: Sub_DA_Impossible_Spec (needs %.1f > %.1f)\n", needA, budget["A"])
+	delta := needA - budget["A"]
+	if err := cm.ModifySubDASpec("DA1", "DA2",
+		concord.MustSpec(concord.RangeFeature("area-limit", "area", 0, budget["A"]+delta))); err != nil {
+		return err
+	}
+	if err := cm.ModifySubDASpec("DA1", "DA3",
+		concord.MustSpec(concord.RangeFeature("area-limit", "area", 0, budget["B"]-delta))); err != nil {
+		return err
+	}
+	fmt.Printf("DA1: shifted %.1f area from B (DA3) to A (DA2)\n", delta)
+
+	// --- Each sub-DA derives its cell and pre-releases it. ------------
+	for i, cellName := range []string{"A", "B", "C", "D"} {
+		da := fmt.Sprintf("DA%d", i+2)
+		view, err := cm.Get(da)
+		if err != nil {
+			return err
+		}
+		limit, _ := view.Spec.Feature("area-limit")
+		cellDOP, err := ws.Begin("", da)
+		if err != nil {
+			return err
+		}
+		obj := catalog.NewObject(vlsi.DOTCell).
+			Set("name", catalog.Str(cellName)).
+			Set("area", catalog.Float(limit.Max*0.9))
+		if err := cellDOP.SetWorkspace(obj); err != nil {
+			return err
+		}
+		id, err := cellDOP.Checkin(version.StatusWorking, true)
+		if err != nil {
+			return err
+		}
+		if err := cellDOP.Commit(); err != nil {
+			return err
+		}
+		q, err := cm.Evaluate(da, id)
+		if err != nil {
+			return err
+		}
+		if _, err := cm.Propagate(da, id); err != nil {
+			return err
+		}
+		fmt.Printf("%s: derived %s (final=%t), propagated\n", da, id, q.Final())
+	}
+
+	// --- Usage: DA5 requires DA4's result to align cell D with C. -----
+	got, ok, err := cm.Require("DA5", "DA4", []string{"area-limit"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DA5: Require from DA4 → granted=%t, DOV=%s\n", ok, got)
+
+	// --- Termination with scope-lock inheritance. ----------------------
+	for i := range []string{"A", "B", "C", "D"} {
+		da := fmt.Sprintf("DA%d", i+2)
+		if err := cm.SubDAReadyToCommit(da); err != nil {
+			return err
+		}
+		if err := cm.TerminateSubDA("DA1", da); err != nil {
+			return err
+		}
+	}
+	da1, err := cm.Get("DA1")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DA1: inherited %d final DOVs from terminated sub-DAs\n", len(da1.InheritedFinals))
+	fmt.Printf("protocol log: %d cooperation operations\n", cm.ProtocolLogLen())
+	return nil
+}

@@ -1,0 +1,89 @@
+// Quickstart: one design activity, one design operation, one final version.
+//
+// The smallest complete CONCORD interaction: initialize a design process,
+// start its top-level design activity, run a DOP (checkout-free root
+// derivation, savepoint, checkin), evaluate the result against the DA's
+// specification, and observe it become final.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"concord"
+	"concord/internal/catalog"
+	"concord/internal/version"
+	"concord/internal/vlsi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Boot a system with the VLSI design object types.
+	sys, err := concord.NewSystem(concord.Options{RegisterTypes: vlsi.RegisterCatalog})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	// AC level: a design activity whose goal is a floorplan within an
+	// area budget of 100 units.
+	spec := concord.MustSpec(concord.RangeFeature("area-limit", "area", 0, 100))
+	if err := sys.CM().InitDesign(concord.DAConfig{
+		ID: "da:quick", DOT: vlsi.DOTFloorplan, Spec: spec, Designer: "alice",
+	}); err != nil {
+		return err
+	}
+	if err := sys.CM().Start("da:quick"); err != nil {
+		return err
+	}
+
+	// TE level: a design operation on a workstation.
+	ws, err := sys.AddWorkstation("ws1")
+	if err != nil {
+		return err
+	}
+	dop, err := ws.Begin("", "da:quick")
+	if err != nil {
+		return err
+	}
+	// The "design tool": build a floorplan object in the DOP workspace.
+	obj := catalog.NewObject(vlsi.DOTFloorplan).
+		Set("cell", catalog.Str("demo")).
+		Set("area", catalog.Float(140))
+	if err := dop.SetWorkspace(obj); err != nil {
+		return err
+	}
+	if err := dop.Save("first-try"); err != nil {
+		return err
+	}
+	// The designer improves the plan; the savepoint would allow rollback.
+	obj.Set("area", catalog.Float(85))
+
+	dovID, err := dop.Checkin(version.StatusWorking, true)
+	if err != nil {
+		return err
+	}
+	if err := dop.Commit(); err != nil {
+		return err
+	}
+	fmt.Printf("checked in %s\n", dovID)
+
+	// AC level again: Evaluate determines the quality state.
+	q, err := sys.CM().Evaluate("da:quick", dovID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("quality: fulfilled=%v missing=%v final=%t\n", q.Fulfilled, q.Missing, q.Final())
+
+	v, err := sys.Repo().Get(dovID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stored version status: %s\n", v.Status)
+	return nil
+}

@@ -1,0 +1,138 @@
+// Recovery: the joint failure handling of Fig. 8, demonstrated live.
+//
+// A long-lived DOP makes progress with automatic recovery points; the
+// workstation crashes and restarts, recovering the DOP context. Then the
+// server crashes mid-design-process and recovers its repository, DA
+// hierarchy and scope locks from the redo log, after which work continues
+// seamlessly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"concord"
+	"concord/internal/catalog"
+	"concord/internal/version"
+	"concord/internal/vlsi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "concord-recovery-example")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	sys, err := concord.NewSystem(concord.Options{Dir: dir, RegisterTypes: vlsi.RegisterCatalog})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	cm := sys.CM()
+	if err := cm.InitDesign(concord.DAConfig{
+		ID: "da:rec", DOT: vlsi.DOTFloorplan,
+		Spec:     concord.MustSpec(concord.RangeFeature("area-limit", "area", 0, 100)),
+		Designer: "alice",
+	}); err != nil {
+		return err
+	}
+	if err := cm.Start("da:rec"); err != nil {
+		return err
+	}
+	ws, err := sys.AddWorkstation("ws1")
+	if err != nil {
+		return err
+	}
+
+	// --- Workstation crash mid-DOP. ------------------------------------
+	dop, err := ws.Begin("long-running-dop", "da:rec")
+	if err != nil {
+		return err
+	}
+	obj := catalog.NewObject(vlsi.DOTFloorplan).
+		Set("cell", catalog.Str("O")).
+		Set("area", catalog.Float(95))
+	if err := dop.SetWorkspace(obj); err != nil {
+		return err
+	}
+	if err := dop.Save("after-sizing"); err != nil { // recovery point
+		return err
+	}
+	fmt.Println("ws1: DOP in progress, savepoint 'after-sizing' taken")
+	if err := sys.CrashWorkstation("ws1"); err != nil {
+		return err
+	}
+	fmt.Println("ws1: CRASHED (volatile DOP context lost)")
+
+	ws, err = sys.AddWorkstation("ws1")
+	if err != nil {
+		return err
+	}
+	rec := ws.RecoveredDOPs()
+	fmt.Printf("ws1: restarted, recovered %d DOP context(s)\n", len(rec))
+	rdop := rec[0]
+	fmt.Printf("ws1: DOP %s workspace area = %.0f (state at last recovery point)\n",
+		rdop.ID(), catalog.NumAttr(rdop.Workspace(), "area"))
+	dovID, err := rdop.Checkin(version.StatusWorking, true)
+	if err != nil {
+		return err
+	}
+	if err := rdop.Commit(); err != nil {
+		return err
+	}
+	q, err := cm.Evaluate("da:rec", dovID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ws1: recovered DOP checked in %s (final=%t)\n", dovID, q.Final())
+
+	// --- Server crash mid-process. -------------------------------------
+	before := sys.Repo().DOVCount()
+	if err := sys.CrashServer(); err != nil {
+		return err
+	}
+	fmt.Println("server: CRASHED (lock tables, scope table, staged checkins lost)")
+	if err := sys.RestartServer(); err != nil {
+		return err
+	}
+	fmt.Printf("server: restarted; repository recovered %d DOV(s) from the redo log\n", sys.Repo().DOVCount())
+	if sys.Repo().DOVCount() != before {
+		return fmt.Errorf("lost committed versions")
+	}
+	da, err := sys.CM().Get("da:rec")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server: CM recovered DA %s in state %s\n", da.ID, da.State)
+
+	// Work continues against the recovered server.
+	dop2, err := ws.Begin("", "da:rec")
+	if err != nil {
+		return err
+	}
+	input, err := dop2.Checkout(dovID, true)
+	if err != nil {
+		return err
+	}
+	input.Set("area", catalog.Float(80))
+	if err := dop2.SetWorkspace(input); err != nil {
+		return err
+	}
+	next, err := dop2.Checkin(version.StatusWorking, false)
+	if err != nil {
+		return err
+	}
+	if err := dop2.Commit(); err != nil {
+		return err
+	}
+	fmt.Printf("ws1: post-recovery derivation %s committed — design continues\n", next)
+	return nil
+}

@@ -1,0 +1,165 @@
+// Software design: the paper's second field-experiment domain (Sect. 6
+// mentions validation "in the design areas of VLSI and software
+// engineering").
+//
+// A software system is decomposed into modules; two module DAs negotiate an
+// interface budget (max exported functions), reach agreement via
+// Propose/Agree, refine their own specs accordingly, and the DC level runs a
+// design-review script with an ECA rule that auto-propagates when a
+// colleague requires the interface contract.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"concord"
+	"concord/internal/catalog"
+	"concord/internal/version"
+)
+
+// registerTypes builds the software-engineering design object types:
+// a system composed of modules, each with interface/size attributes.
+func registerTypes(cat *catalog.Catalog) error {
+	if err := cat.Register(&catalog.DOT{
+		Name: "module",
+		Attrs: []catalog.AttrDef{
+			{Name: "name", Kind: catalog.KindString, Required: true},
+			{Name: "exported", Kind: catalog.KindInt, Bounded: true, Min: 0, Max: 10000},
+			{Name: "loc", Kind: catalog.KindFloat},
+			{Name: "reviewed", Kind: catalog.KindBool},
+		},
+	}); err != nil {
+		return err
+	}
+	return cat.Register(&catalog.DOT{
+		Name:       "system",
+		Attrs:      []catalog.AttrDef{{Name: "name", Kind: catalog.KindString, Required: true}},
+		Components: []catalog.ComponentDef{{Name: "modules", DOT: "module"}},
+	})
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := concord.NewSystem(concord.Options{RegisterTypes: registerTypes})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	cm := sys.CM()
+	ws, err := sys.AddWorkstation("dev-machine")
+	if err != nil {
+		return err
+	}
+
+	// Top-level DA: the whole system.
+	if err := cm.InitDesign(concord.DAConfig{
+		ID: "sys-da", DOT: "system", Designer: "architect",
+	}); err != nil {
+		return err
+	}
+	if err := cm.Start("sys-da"); err != nil {
+		return err
+	}
+	// Two module DAs: parser and evaluator, sharing an interface budget.
+	mkSpec := func(maxExported float64) *concord.Spec {
+		return concord.MustSpec(
+			concord.RangeFeature("iface-budget", "exported", 0, maxExported),
+			concord.RangeFeature("reviewed", "loc", 0, 5000),
+		)
+	}
+	for _, m := range []string{"parser-da", "eval-da"} {
+		if err := cm.CreateSubDA("sys-da", concord.DAConfig{
+			ID: m, DOT: "module", Spec: mkSpec(20), Designer: m,
+		}); err != nil {
+			return err
+		}
+		if err := cm.Start(m); err != nil {
+			return err
+		}
+	}
+
+	// Negotiation: the parser wants a bigger interface; the evaluator
+	// agrees, and both refine their own specifications.
+	if err := cm.Propose("parser-da", "eval-da", map[string]string{"iface-shift": "+5"}); err != nil {
+		return err
+	}
+	fmt.Println("parser-da: proposed +5 exported functions (both DAs now negotiating)")
+	if err := cm.Agree("eval-da", "parser-da"); err != nil {
+		return err
+	}
+	fmt.Println("eval-da: agreed; both DAs active again")
+	// Agreed outcome: parser 25, evaluator 15 — each a refinement w.r.t.
+	// the super-DA's intent is managed by the designers themselves.
+	if err := cm.RefineOwnSpec("eval-da", concord.MustSpec(
+		concord.RangeFeature("iface-budget", "exported", 0, 15),
+		concord.RangeFeature("reviewed", "loc", 0, 5000),
+	)); err != nil {
+		return err
+	}
+	if err := cm.ModifySubDASpec("sys-da", "parser-da", mkSpec(25)); err != nil {
+		return err
+	}
+	fmt.Println("specs settled: parser ≤ 25 exported, evaluator ≤ 15")
+
+	// Design iterations on the parser module: draft → evaluate → final.
+	var lastDOV version.ID
+	design := func(exported int64, loc float64) (version.ID, error) {
+		dop, err := ws.Begin("", "parser-da")
+		if err != nil {
+			return "", err
+		}
+		obj := catalog.NewObject("module").
+			Set("name", catalog.Str("parser")).
+			Set("exported", catalog.Int(exported)).
+			Set("loc", catalog.Float(loc))
+		if err := dop.SetWorkspace(obj); err != nil {
+			return "", err
+		}
+		root := lastDOV == ""
+		if !root {
+			if _, err := dop.Checkout(lastDOV, false); err != nil {
+				return "", err
+			}
+		}
+		id, err := dop.Checkin(version.StatusWorking, root)
+		if err != nil {
+			return "", err
+		}
+		return id, dop.Commit()
+	}
+	draft, err := design(30, 1200) // violates the 25 budget
+	if err != nil {
+		return err
+	}
+	q, err := cm.Evaluate("parser-da", draft)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("draft %s: final=%t (missing %v)\n", draft, q.Final(), q.Missing)
+	lastDOV = draft
+	final, err := design(22, 1300) // within budget
+	if err != nil {
+		return err
+	}
+	q, err = cm.Evaluate("parser-da", final)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final %s: final=%t\n", final, q.Final())
+	if _, err := cm.Propagate("parser-da", final); err != nil {
+		return err
+	}
+	// The evaluator consumes the parser's interface contract.
+	got, ok, err := cm.Require("eval-da", "parser-da", []string{"iface-budget"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("eval-da: Require parser interface → granted=%t (%s)\n", ok, got)
+	return nil
+}

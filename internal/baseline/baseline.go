@@ -1,0 +1,144 @@
+// Package baseline implements the comparison engines CONCORD is argued
+// against in Sect. 1.2 of the paper:
+//
+//   - flat ACID execution: every derivation step is a serializable
+//     transaction on the whole shared design (strict exclusive locking, no
+//     version-based sharing) — "the isolation property builds protective
+//     walls among concurrent transactions";
+//   - a ConTracts-style engine: the TE and DC levels exist (long
+//     transactions, scripted work flow) but the AC level is missing, so a
+//     designer can consume a colleague's results only after the colleague's
+//     *whole activity* has finished (no pre-release of preliminary
+//     versions).
+//
+// Both engines execute the same sim.Workload on the same repository
+// substrate as the cooperative run, differing only in the sharing rule, so
+// E9 isolates the contribution of the AC level.
+package baseline
+
+import (
+	"fmt"
+
+	"concord/internal/catalog"
+	"concord/internal/repo"
+	"concord/internal/sim"
+	"concord/internal/version"
+	"concord/internal/vlsi"
+)
+
+// stepObject mirrors the cooperative workload payload.
+func stepObject(designer string, j int) *catalog.Object {
+	return catalog.NewObject(vlsi.DOTFloorplan).
+		Set("cell", catalog.Str(designer)).
+		Set("area", catalog.Float(100)).
+		Set("step", catalog.Int(int64(j)))
+}
+
+// checkin stores one derived version directly in the repository (both
+// baselines run server-local, without the distributed TM — the comparison
+// targets the sharing rule, not the RPC overhead).
+func checkin(r *repo.Repository, da string, j int, parent version.ID) (version.ID, error) {
+	id := version.ID(fmt.Sprintf("%s/v%03d", da, j))
+	v := &version.DOV{
+		ID: id, DOT: vlsi.DOTFloorplan, DA: da,
+		Object: stepObject(da, j), Status: version.StatusWorking,
+	}
+	if parent != "" {
+		v.Parents = []version.ID{parent}
+	}
+	if err := r.Checkin(v, parent == ""); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// RunConTractsStyle executes the workload with long transactions and
+// scripted work flow but no cooperation level: designer i's dependent steps
+// wait for designer i-1's *complete activity* (its last version), not the
+// same-numbered preliminary version.
+func RunConTractsStyle(r *repo.Repository, w sim.Workload) (sim.Metrics, error) {
+	var m sim.Metrics
+	dur := w.Durations()
+	finishTotal := make([]float64, w.Designers)
+	for i := 0; i < w.Designers; i++ {
+		da := fmt.Sprintf("ct-designer-%02d", i)
+		if err := r.CreateGraph(da); err != nil {
+			return m, err
+		}
+		var clock float64
+		var last version.ID
+		for j := 1; j <= w.Steps; j++ {
+			start := clock
+			if i > 0 && w.DepEvery > 0 && j%w.DepEvery == 0 {
+				// Without pre-release the dependency resolves only
+				// when the whole neighbouring activity committed.
+				if finishTotal[i-1] > start {
+					m.Blocked += finishTotal[i-1] - start
+					start = finishTotal[i-1]
+				}
+			}
+			id, err := checkin(r, da, j, last)
+			if err != nil {
+				return m, err
+			}
+			last = id
+			m.Versions++
+			clock = start + dur[i][j-1]
+		}
+		finishTotal[i] = clock
+		if clock > m.Makespan {
+			m.Makespan = clock
+		}
+	}
+	return m, nil
+}
+
+// RunFlatACID executes the workload under flat ACID transactions with
+// serializability on the shared design: every derivation step locks the
+// whole design exclusively for its duration, so all steps of all designers
+// serialize. Blocked time is the wait for the global lock.
+func RunFlatACID(r *repo.Repository, w sim.Workload) (sim.Metrics, error) {
+	var m sim.Metrics
+	dur := w.Durations()
+	if err := r.CreateGraph("flat-design"); err != nil {
+		return m, err
+	}
+	var global float64 // release time of the global design lock
+	clock := make([]float64, w.Designers)
+	last := make([]version.ID, w.Designers)
+	counter := 0
+	// Round-robin arrival order, matching the cooperative loop.
+	for j := 1; j <= w.Steps; j++ {
+		for i := 0; i < w.Designers; i++ {
+			arrive := clock[i]
+			start := arrive
+			if global > start {
+				m.Blocked += global - start
+				start = global
+			}
+			counter++
+			id := version.ID(fmt.Sprintf("flat/v%04d", counter))
+			v := &version.DOV{
+				ID: id, DOT: vlsi.DOTFloorplan, DA: "flat-design",
+				Object: stepObject(fmt.Sprintf("d%02d", i), j), Status: version.StatusWorking,
+			}
+			if last[i] != "" {
+				v.Parents = []version.ID{last[i]}
+			}
+			if err := r.Checkin(v, last[i] == ""); err != nil {
+				return m, err
+			}
+			last[i] = id
+			m.Versions++
+			end := start + dur[i][j-1]
+			global = end
+			clock[i] = end
+		}
+	}
+	for _, c := range clock {
+		if c > m.Makespan {
+			m.Makespan = c
+		}
+	}
+	return m, nil
+}

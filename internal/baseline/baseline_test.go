@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"testing"
+
+	"concord/internal/core"
+	"concord/internal/repo"
+	"concord/internal/sim"
+)
+
+func testRepo(t *testing.T) *repo.Repository {
+	t.Helper()
+	sys, err := core.NewSystem(core.Options{RegisterTypes: sim.RegisterStepTypes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	return sys.Repo()
+}
+
+func wl(n, k, dep int) sim.Workload {
+	return sim.Workload{Designers: n, Steps: k, DepEvery: dep, BaseDuration: 10, Jitter: 2, Seed: 42}
+}
+
+func TestFlatACIDSerializesEverything(t *testing.T) {
+	r := testRepo(t)
+	w := wl(4, 3, 0)
+	m, err := RunFlatACID(r, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Versions != 12 {
+		t.Fatalf("versions = %d", m.Versions)
+	}
+	// Makespan must be (approximately) the serial sum: 12 steps × ~10.
+	if m.Makespan < 100 {
+		t.Fatalf("makespan = %g, flat ACID should serialize (~120)", m.Makespan)
+	}
+	if m.Blocked <= 0 {
+		t.Fatal("no blocking measured under global lock")
+	}
+}
+
+func TestConTractsBlocksUntilActivityEnd(t *testing.T) {
+	r := testRepo(t)
+	// Strong dependencies: every step depends on the neighbour.
+	w := wl(3, 4, 1)
+	m, err := RunConTractsStyle(r, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Versions != 12 {
+		t.Fatalf("versions = %d", m.Versions)
+	}
+	// Designer i waits for designer i-1's entire activity: makespan is
+	// close to the full serial time.
+	if m.Makespan < 100 {
+		t.Fatalf("makespan = %g, ConTracts-style should nearly serialize", m.Makespan)
+	}
+}
+
+func TestOrderingConcordBeatsBaselines(t *testing.T) {
+	// The E9 claim in miniature: cooperative < ConTracts-style <= flat.
+	w := wl(4, 4, 2)
+	sys, err := core.NewSystem(core.Options{RegisterTypes: sim.RegisterStepTypes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	coopM, err := sim.RunCooperative(sys, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := testRepo(t)
+	ctM, err := RunConTractsStyle(r2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3 := testRepo(t)
+	flatM, err := RunFlatACID(r3, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(coopM.Makespan < ctM.Makespan) {
+		t.Fatalf("cooperative %g !< ConTracts %g", coopM.Makespan, ctM.Makespan)
+	}
+	if !(ctM.Makespan <= flatM.Makespan+1e-9) {
+		t.Fatalf("ConTracts %g !<= flat %g", ctM.Makespan, flatM.Makespan)
+	}
+	// All engines derive the same number of versions.
+	if coopM.Versions != ctM.Versions || ctM.Versions != flatM.Versions {
+		t.Fatalf("version counts differ: %d/%d/%d", coopM.Versions, ctM.Versions, flatM.Versions)
+	}
+}
+
+func TestNoDependenciesConTractsParallel(t *testing.T) {
+	r := testRepo(t)
+	w := wl(4, 3, 0) // no cross-designer dependencies
+	m, err := RunConTractsStyle(r, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent designers run fully parallel: makespan ≈ one designer's
+	// serial time (~30).
+	if m.Makespan > 40 {
+		t.Fatalf("makespan = %g, independent activities should parallelize", m.Makespan)
+	}
+	if m.Blocked != 0 {
+		t.Fatalf("blocked = %g, want 0", m.Blocked)
+	}
+}

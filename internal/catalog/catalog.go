@@ -1,0 +1,422 @@
+// Package catalog defines design object types (DOTs) — the typed, complex
+// schemas of the CONCORD design-data repository — and the object values that
+// instantiate them.
+//
+// A DOT has named attributes (integer, float, string, bool) with optional
+// declarative constraints, and named components referring to other DOTs with
+// cardinality bounds. Components induce the part-of hierarchy that governs
+// design-task delegation at the AC level: the DOT of a sub-DA must be a part
+// of the super-DA's DOT (CONCORD Sect. 4.1).
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Kind enumerates attribute value kinds.
+type Kind uint8
+
+// Attribute kinds.
+const (
+	KindInt Kind = iota + 1
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed attribute value.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{Kind: KindInt, I: v} }
+
+// Float returns a float Value.
+func Float(v float64) Value { return Value{Kind: KindFloat, F: v} }
+
+// Str returns a string Value.
+func Str(v string) Value { return Value{Kind: KindString, S: v} }
+
+// Bool returns a boolean Value.
+func Bool(v bool) Value { return Value{Kind: KindBool, B: v} }
+
+// Num returns the numeric value of an int or float Value and whether the
+// value is numeric at all.
+func (v Value) Num() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I), true
+	case KindFloat:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports whether two values have identical kind and content.
+func (v Value) Equal(o Value) bool { return v == o }
+
+// String formats the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.I)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.F)
+	case KindString:
+		return v.S
+	case KindBool:
+		return fmt.Sprintf("%t", v.B)
+	default:
+		return "<invalid>"
+	}
+}
+
+// AttrDef declares one attribute of a DOT.
+type AttrDef struct {
+	// Name is the attribute name, unique within the DOT.
+	Name string
+	// Kind is the required value kind.
+	Kind Kind
+	// Required rejects objects that omit the attribute.
+	Required bool
+	// Min and Max bound numeric attributes (inclusive); both zero means
+	// unbounded. They are ignored for strings and bools.
+	Min, Max float64
+	// Bounded indicates Min/Max are enforced.
+	Bounded bool
+}
+
+// ComponentDef declares a named component slot of a DOT: the composition
+// ("part-of") dimension of complex design objects.
+type ComponentDef struct {
+	// Name is the component slot name, unique within the DOT.
+	Name string
+	// DOT is the design object type of the parts in this slot.
+	DOT string
+	// MinCard and MaxCard bound the number of parts; MaxCard == 0 means
+	// unbounded above.
+	MinCard, MaxCard int
+}
+
+// DOT is a design object type: the schema of the design states (DOVs)
+// produced within a design activity.
+type DOT struct {
+	// Name identifies the type in the catalog.
+	Name string
+	// Attrs are the attribute declarations.
+	Attrs []AttrDef
+	// Components are the composition slots.
+	Components []ComponentDef
+}
+
+// Attr returns the declaration of the named attribute, if present.
+func (d *DOT) Attr(name string) (AttrDef, bool) {
+	for _, a := range d.Attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return AttrDef{}, false
+}
+
+// Component returns the declaration of the named component slot, if present.
+func (d *DOT) Component(name string) (ComponentDef, bool) {
+	for _, c := range d.Components {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ComponentDef{}, false
+}
+
+// Object is an instance of a DOT: the payload of a design object version.
+type Object struct {
+	// Type is the DOT name.
+	Type string
+	// Attrs maps attribute names to values.
+	Attrs map[string]Value
+	// Parts maps component slot names to the contained part objects.
+	Parts map[string][]*Object
+}
+
+// NewObject returns an empty object of the given type.
+func NewObject(dot string) *Object {
+	return &Object{Type: dot, Attrs: make(map[string]Value), Parts: make(map[string][]*Object)}
+}
+
+// Set assigns an attribute value and returns the object for chaining.
+func (o *Object) Set(name string, v Value) *Object {
+	o.Attrs[name] = v
+	return o
+}
+
+// Get returns an attribute value.
+func (o *Object) Get(name string) (Value, bool) {
+	v, ok := o.Attrs[name]
+	return v, ok
+}
+
+// AddPart appends a part object to a component slot.
+func (o *Object) AddPart(slot string, part *Object) *Object {
+	o.Parts[slot] = append(o.Parts[slot], part)
+	return o
+}
+
+// Clone returns a deep copy of the object.
+func (o *Object) Clone() *Object {
+	if o == nil {
+		return nil
+	}
+	c := NewObject(o.Type)
+	for k, v := range o.Attrs {
+		c.Attrs[k] = v
+	}
+	for slot, parts := range o.Parts {
+		cp := make([]*Object, len(parts))
+		for i, p := range parts {
+			cp[i] = p.Clone()
+		}
+		c.Parts[slot] = cp
+	}
+	return c
+}
+
+// Walk visits the object and all transitive parts in depth-first pre-order.
+func (o *Object) Walk(fn func(*Object)) {
+	if o == nil {
+		return
+	}
+	fn(o)
+	slots := make([]string, 0, len(o.Parts))
+	for s := range o.Parts {
+		slots = append(slots, s)
+	}
+	sort.Strings(slots)
+	for _, s := range slots {
+		for _, p := range o.Parts[s] {
+			p.Walk(fn)
+		}
+	}
+}
+
+// Catalog is a registry of DOTs. It is safe for concurrent use.
+type Catalog struct {
+	mu   sync.RWMutex
+	dots map[string]*DOT
+}
+
+// New returns an empty catalog.
+func New() *Catalog { return &Catalog{dots: make(map[string]*DOT)} }
+
+// Errors reported by catalog operations.
+var (
+	ErrUnknownDOT = errors.New("catalog: unknown design object type")
+	ErrDuplicate  = errors.New("catalog: duplicate design object type")
+)
+
+// Register adds a DOT after validating its internal consistency. Component
+// DOT references may be registered later (mutual recursion is allowed); they
+// are resolved at validation time.
+func (c *Catalog) Register(d *DOT) error {
+	if d.Name == "" {
+		return errors.New("catalog: DOT needs a name")
+	}
+	seen := make(map[string]bool)
+	for _, a := range d.Attrs {
+		if a.Name == "" {
+			return fmt.Errorf("catalog: DOT %s: attribute without name", d.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("catalog: DOT %s: duplicate attribute %s", d.Name, a.Name)
+		}
+		seen[a.Name] = true
+		if a.Kind < KindInt || a.Kind > KindBool {
+			return fmt.Errorf("catalog: DOT %s: attribute %s has invalid kind", d.Name, a.Name)
+		}
+		if a.Bounded && a.Min > a.Max {
+			return fmt.Errorf("catalog: DOT %s: attribute %s has Min > Max", d.Name, a.Name)
+		}
+	}
+	seenC := make(map[string]bool)
+	for _, comp := range d.Components {
+		if comp.Name == "" || comp.DOT == "" {
+			return fmt.Errorf("catalog: DOT %s: component needs name and DOT", d.Name)
+		}
+		if seenC[comp.Name] {
+			return fmt.Errorf("catalog: DOT %s: duplicate component %s", d.Name, comp.Name)
+		}
+		seenC[comp.Name] = true
+		if comp.MinCard < 0 || (comp.MaxCard != 0 && comp.MaxCard < comp.MinCard) {
+			return fmt.Errorf("catalog: DOT %s: component %s has invalid cardinality", d.Name, comp.Name)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.dots[d.Name]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicate, d.Name)
+	}
+	c.dots[d.Name] = d
+	return nil
+}
+
+// Lookup returns the named DOT.
+func (c *Catalog) Lookup(name string) (*DOT, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.dots[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDOT, name)
+	}
+	return d, nil
+}
+
+// Names returns all registered DOT names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.dots))
+	for n := range c.dots {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsPartOf reports whether DOT sub is a part of DOT super: sub == super, or
+// sub occurs (transitively) as a component type of super. This is the
+// legality check for design-task delegation (Sect. 4.1: "the DOT of the
+// sub-DA has to be a 'part' of the super-DA's DOT").
+func (c *Catalog) IsPartOf(sub, super string) (bool, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, ok := c.dots[sub]; !ok {
+		return false, fmt.Errorf("%w: %s", ErrUnknownDOT, sub)
+	}
+	if _, ok := c.dots[super]; !ok {
+		return false, fmt.Errorf("%w: %s", ErrUnknownDOT, super)
+	}
+	visited := make(map[string]bool)
+	var reach func(from string) bool
+	reach = func(from string) bool {
+		if from == sub {
+			return true
+		}
+		if visited[from] {
+			return false
+		}
+		visited[from] = true
+		d := c.dots[from]
+		if d == nil {
+			return false
+		}
+		for _, comp := range d.Components {
+			if reach(comp.DOT) {
+				return true
+			}
+		}
+		return false
+	}
+	return reach(super), nil
+}
+
+// Validate checks an object (recursively) against its DOT: attribute kinds,
+// required attributes, numeric bounds, component types and cardinalities.
+// This is the schema-consistency check performed by the server-TM at checkin.
+func (c *Catalog) Validate(o *Object) error {
+	if o == nil {
+		return errors.New("catalog: nil object")
+	}
+	d, err := c.Lookup(o.Type)
+	if err != nil {
+		return err
+	}
+	for name, v := range o.Attrs {
+		a, ok := d.Attr(name)
+		if !ok {
+			return fmt.Errorf("catalog: %s: undeclared attribute %q", o.Type, name)
+		}
+		if v.Kind != a.Kind {
+			return fmt.Errorf("catalog: %s.%s: kind %s, want %s", o.Type, name, v.Kind, a.Kind)
+		}
+		if a.Bounded {
+			n, _ := v.Num()
+			if n < a.Min || n > a.Max {
+				return fmt.Errorf("catalog: %s.%s: value %g outside [%g, %g]", o.Type, name, n, a.Min, a.Max)
+			}
+		}
+	}
+	for _, a := range d.Attrs {
+		if a.Required {
+			if _, ok := o.Attrs[a.Name]; !ok {
+				return fmt.Errorf("catalog: %s: missing required attribute %q", o.Type, a.Name)
+			}
+		}
+	}
+	for slot, parts := range o.Parts {
+		comp, ok := d.Component(slot)
+		if !ok {
+			return fmt.Errorf("catalog: %s: undeclared component slot %q", o.Type, slot)
+		}
+		for _, p := range parts {
+			if p.Type != comp.DOT {
+				return fmt.Errorf("catalog: %s.%s: part of type %s, want %s", o.Type, slot, p.Type, comp.DOT)
+			}
+			if err := c.Validate(p); err != nil {
+				return err
+			}
+		}
+	}
+	for _, comp := range d.Components {
+		n := len(o.Parts[comp.Name])
+		if n < comp.MinCard {
+			return fmt.Errorf("catalog: %s.%s: %d parts, need at least %d", o.Type, comp.Name, n, comp.MinCard)
+		}
+		if comp.MaxCard != 0 && n > comp.MaxCard {
+			return fmt.Errorf("catalog: %s.%s: %d parts, at most %d allowed", o.Type, comp.Name, n, comp.MaxCard)
+		}
+	}
+	return nil
+}
+
+// NumAttr fetches a numeric attribute from an object, returning NaN when the
+// attribute is absent or non-numeric. Convenience for feature evaluation.
+func NumAttr(o *Object, name string) float64 {
+	if o == nil {
+		return math.NaN()
+	}
+	v, ok := o.Attrs[name]
+	if !ok {
+		return math.NaN()
+	}
+	n, ok := v.Num()
+	if !ok {
+		return math.NaN()
+	}
+	return n
+}

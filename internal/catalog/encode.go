@@ -1,0 +1,31 @@
+package catalog
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// EncodeObject serializes an object for durable storage or transmission.
+func EncodeObject(o *Object) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(o); err != nil {
+		return nil, fmt.Errorf("catalog: encode object: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeObject deserializes an object produced by EncodeObject.
+func DecodeObject(data []byte) (*Object, error) {
+	var o Object
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&o); err != nil {
+		return nil, fmt.Errorf("catalog: decode object: %w", err)
+	}
+	if o.Attrs == nil {
+		o.Attrs = make(map[string]Value)
+	}
+	if o.Parts == nil {
+		o.Parts = make(map[string][]*Object)
+	}
+	return &o, nil
+}

@@ -1,0 +1,693 @@
+package coop
+
+import (
+	"fmt"
+
+	"concord/internal/feature"
+	"concord/internal/version"
+)
+
+// Propagate pre-releases a DOV of the DA's derivation graph (operation 9):
+// the version becomes visible to DAs connected by usage relationships whose
+// required feature sets the version's quality state covers, and to pending
+// Require requests, which are then satisfied. The granted peers are
+// returned.
+func (cm *CM) Propagate(da string, dov version.ID) ([]string, error) {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	st, err := cm.get(da)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := Legal(st.da.State, OpPropagate); !ok {
+		return nil, fmt.Errorf("%w: Propagate by %s in state %s", ErrIllegalOp, da, st.da.State)
+	}
+	g, err := cm.repo.Graph(da)
+	if err != nil {
+		return nil, err
+	}
+	if !g.Contains(dov) {
+		return nil, fmt.Errorf("%w: %s is not in the derivation graph of %s", ErrOutOfScope, dov, da)
+	}
+	v, err := cm.repo.Get(dov)
+	if err != nil {
+		return nil, err
+	}
+	if v.Status != version.StatusFinal {
+		if err := cm.repo.SetStatus(dov, version.StatusPropagated); err != nil {
+			return nil, err
+		}
+	}
+	quality := feature.QualityState{Fulfilled: v.Fulfilled}
+	var granted []string
+	// Satisfy pending Require requests whose feature sets are covered.
+	var remaining []pendingRequire
+	for _, p := range st.pending {
+		if quality.Covers(p.Features) {
+			cm.grantUse(st, p.Requirer, dov, p.Features)
+			granted = append(granted, p.Requirer)
+		} else {
+			remaining = append(remaining, p)
+		}
+	}
+	st.pending = remaining
+	// Existing usage relationships: peers whose required features are
+	// covered see the version too.
+	for peer := range st.da.SupportsTo {
+		ps, err := cm.get(peer)
+		if err != nil {
+			continue
+		}
+		req := ps.da.UsesFrom[da]
+		if quality.Covers(req) && !cm.hasGrant(st, peer, dov) {
+			cm.grantUse(st, peer, dov, req)
+			granted = append(granted, peer)
+		}
+	}
+	cm.logOp(OpPropagate, da, string(dov))
+	if err := cm.persist(st); err != nil {
+		return granted, err
+	}
+	return granted, nil
+}
+
+func (cm *CM) hasGrant(st *daState, peer string, dov version.ID) bool {
+	for _, g := range st.grants {
+		if g.Peer == peer && g.DOV == dov {
+			return true
+		}
+	}
+	return false
+}
+
+// grantUse records and applies a usage grant. Callers hold cm.mu.
+func (cm *CM) grantUse(st *daState, peer string, dov version.ID, features []string) {
+	cm.scopes.GrantUse(peer, string(dov))
+	st.grants = append(st.grants, grant{Peer: peer, DOV: dov, Features: features})
+	cm.notify(peer, EventPropagated, map[string]string{"dov": string(dov), "from": st.da.ID})
+}
+
+// Require asks a supporting DA for a DOV with the given features satisfied
+// (operation 10), establishing a usage relationship. If a propagated or
+// final DOV already qualifies it is granted immediately (returned with
+// ok=true); otherwise the request is registered and the supporter notified —
+// its ECA rules typically answer with a Propagate (Sect. 4.2).
+func (cm *CM) Require(requirer, supporter string, features []string) (version.ID, bool, error) {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	req, err := cm.get(requirer)
+	if err != nil {
+		return "", false, err
+	}
+	sup, err := cm.get(supporter)
+	if err != nil {
+		return "", false, err
+	}
+	if requirer == supporter {
+		return "", false, fmt.Errorf("%w: self-usage of %s", ErrNoUsage, requirer)
+	}
+	if _, ok := Legal(req.da.State, OpRequire); !ok {
+		return "", false, fmt.Errorf("%w: Require by %s in state %s", ErrIllegalOp, requirer, req.da.State)
+	}
+	// Precondition: the requirer knows the supporter's design
+	// specification — every required feature must be part of it.
+	for _, f := range features {
+		if _, ok := sup.da.Spec.Feature(f); !ok {
+			return "", false, fmt.Errorf("%w: feature %q not in specification of %s", ErrNoUsage, f, supporter)
+		}
+	}
+	req.da.UsesFrom[supporter] = append([]string(nil), features...)
+	sup.da.SupportsTo[requirer] = true
+
+	// Search the supporter's propagated/final versions for one covering
+	// the required features.
+	var found version.ID
+	if g, err := cm.repo.Graph(supporter); err == nil {
+		for _, id := range g.IDs() {
+			v, err := g.Get(id)
+			if err != nil {
+				continue
+			}
+			if v.Status != version.StatusPropagated && v.Status != version.StatusFinal {
+				continue
+			}
+			q := feature.QualityState{Fulfilled: v.Fulfilled}
+			if q.Covers(features) {
+				found = id
+				break
+			}
+		}
+	}
+	cm.logOp(OpRequire, requirer, "from="+supporter)
+	if found != "" {
+		cm.grantUse(sup, requirer, found, features)
+		if err := cm.persist(sup); err != nil {
+			return "", false, err
+		}
+		if err := cm.persist(req); err != nil {
+			return "", false, err
+		}
+		return found, true, nil
+	}
+	sup.pending = append(sup.pending, pendingRequire{Requirer: requirer, Features: features})
+	cm.notify(supporter, EventRequire, map[string]string{"requirer": requirer})
+	if err := cm.persist(sup); err != nil {
+		return "", false, err
+	}
+	if err := cm.persist(req); err != nil {
+		return "", false, err
+	}
+	return "", false, nil
+}
+
+// CreateNegotiationRel explicitly establishes a negotiation relationship
+// between two sub-DAs of the issuing super-DA (operation 11). Negotiation is
+// allowed "between only the sub-DAs of the same super-DA" (Sect. 4.1).
+func (cm *CM) CreateNegotiationRel(super, a, b string) error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	sa, err := cm.get(a)
+	if err != nil {
+		return err
+	}
+	sb, err := cm.get(b)
+	if err != nil {
+		return err
+	}
+	if sa.da.Parent != super || sb.da.Parent != super || a == b {
+		return fmt.Errorf("%w: %s and %s under %s", ErrNotSiblings, a, b, super)
+	}
+	if _, err := cm.get(super); err != nil {
+		return err
+	}
+	cm.addNegotiation(sa, sb)
+	cm.logOp(OpCreateNegotiation, super, a+"/"+b)
+	if err := cm.persist(sa); err != nil {
+		return err
+	}
+	return cm.persist(sb)
+}
+
+func (cm *CM) addNegotiation(sa, sb *daState) {
+	if !contains(sa.da.Negotiations, sb.da.ID) {
+		sa.da.Negotiations = append(sa.da.Negotiations, sb.da.ID)
+	}
+	if !contains(sb.da.Negotiations, sa.da.ID) {
+		sb.da.Negotiations = append(sb.da.Negotiations, sa.da.ID)
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Propose opens (or continues) a negotiation between sibling sub-DAs
+// (operation 12): a dynamic Propose establishes the relationship implicitly.
+// Both DAs enter the negotiating state; their internal processing is
+// suspended until agreement or conflict escalation.
+func (cm *CM) Propose(from, to string, proposal map[string]string) error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	sf, err := cm.get(from)
+	if err != nil {
+		return err
+	}
+	st, err := cm.get(to)
+	if err != nil {
+		return err
+	}
+	if sf.da.Parent == "" || sf.da.Parent != st.da.Parent || from == to {
+		return fmt.Errorf("%w: %s and %s", ErrNotSiblings, from, to)
+	}
+	if err := cm.step(sf, OpPropose); err != nil {
+		return err
+	}
+	if err := cm.step(st, OpPropose); err != nil {
+		// Roll the proposer's transition back for atomicity.
+		sf.da.State = StateActive
+		return err
+	}
+	cm.addNegotiation(sf, st)
+	data := map[string]string{"from": from}
+	for k, v := range proposal {
+		data[k] = v
+	}
+	cm.notify(to, EventPropose, data)
+	cm.logOp(OpPropose, from, "to="+to)
+	if err := cm.persist(sf); err != nil {
+		return err
+	}
+	return cm.persist(st)
+}
+
+// Agree accepts the current proposal (operation 13): both negotiating DAs
+// return to active and resume internal processing.
+func (cm *CM) Agree(da, peer string) error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	sd, err := cm.get(da)
+	if err != nil {
+		return err
+	}
+	sp, err := cm.get(peer)
+	if err != nil {
+		return err
+	}
+	if !contains(sd.da.Negotiations, peer) {
+		return fmt.Errorf("%w: %s with %s", ErrNoNegotiation, da, peer)
+	}
+	if err := cm.step(sd, OpAgree); err != nil {
+		return err
+	}
+	if err := cm.step(sp, OpAgree); err != nil {
+		sd.da.State = StateNegotiating
+		return err
+	}
+	cm.notify(peer, EventAgree, map[string]string{"from": da})
+	cm.logOp(OpAgree, da, "with="+peer)
+	if err := cm.persist(sd); err != nil {
+		return err
+	}
+	return cm.persist(sp)
+}
+
+// Disagree rejects the current proposal (operation 14): both DAs remain
+// negotiating; the peer is notified and may counter-propose or escalate.
+func (cm *CM) Disagree(da, peer string) error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	sd, err := cm.get(da)
+	if err != nil {
+		return err
+	}
+	if _, err := cm.get(peer); err != nil {
+		return err
+	}
+	if !contains(sd.da.Negotiations, peer) {
+		return fmt.Errorf("%w: %s with %s", ErrNoNegotiation, da, peer)
+	}
+	if err := cm.step(sd, OpDisagree); err != nil {
+		return err
+	}
+	cm.notify(peer, EventDisagree, map[string]string{"from": da})
+	cm.logOp(OpDisagree, da, "with="+peer)
+	return cm.persist(sd)
+}
+
+// SpecConflict escalates a failed negotiation to the common super-DA
+// (operation 15): both sub-DAs leave the negotiating state and the super-DA
+// is asked to resolve the conflict (typically by Modify_Sub_DA_Spec).
+func (cm *CM) SpecConflict(a, b string) error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	sa, err := cm.get(a)
+	if err != nil {
+		return err
+	}
+	sb, err := cm.get(b)
+	if err != nil {
+		return err
+	}
+	if !contains(sa.da.Negotiations, b) {
+		return fmt.Errorf("%w: %s with %s", ErrNoNegotiation, a, b)
+	}
+	if err := cm.step(sa, OpSubDASpecConflict); err != nil {
+		return err
+	}
+	if err := cm.step(sb, OpSubDASpecConflict); err != nil {
+		sa.da.State = StateNegotiating
+		return err
+	}
+	cm.notify(sa.da.Parent, EventSpecConflict, map[string]string{"a": a, "b": b})
+	cm.logOp(OpSubDASpecConflict, a, "with="+b)
+	if err := cm.persist(sa); err != nil {
+		return err
+	}
+	return cm.persist(sb)
+}
+
+// SubDAReadyToCommit signals that the sub-DA reached one or more final DOVs
+// (operation 5). The sub-DA must not terminate without the super-DA's
+// agreement; it waits in ready-for-termination.
+func (cm *CM) SubDAReadyToCommit(sub string) error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	st, err := cm.get(sub)
+	if err != nil {
+		return err
+	}
+	if st.da.Parent == "" {
+		return fmt.Errorf("%w: %s has no super-DA", ErrNotParent, sub)
+	}
+	g, err := cm.repo.Graph(sub)
+	if err != nil {
+		return err
+	}
+	if len(g.FinalDOVs()) == 0 {
+		return fmt.Errorf("%w: %s", ErrNoFinalDOV, sub)
+	}
+	if err := cm.step(st, OpSubDAReadyToCommit); err != nil {
+		return err
+	}
+	cm.notify(st.da.Parent, EventReadyToCommit, map[string]string{"sub": sub})
+	cm.logOp(OpSubDAReadyToCommit, sub, "")
+	return cm.persist(st)
+}
+
+// SubDAImpossibleSpec signals that the sub-DA cannot fulfil its
+// specification (operation 8) and asks the super-DA for a reaction
+// (termination or specification change).
+func (cm *CM) SubDAImpossibleSpec(sub, reason string) error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	st, err := cm.get(sub)
+	if err != nil {
+		return err
+	}
+	if st.da.Parent == "" {
+		return fmt.Errorf("%w: %s has no super-DA", ErrNotParent, sub)
+	}
+	if err := cm.step(st, OpSubDAImpossible); err != nil {
+		return err
+	}
+	cm.notify(st.da.Parent, EventImpossible, map[string]string{"sub": sub, "reason": reason})
+	cm.logOp(OpSubDAImpossible, sub, reason)
+	return cm.persist(st)
+}
+
+// ModifySubDASpec lets the super-DA reformulate a sub-DA's design goal
+// (operation 4). The sub-DA returns to active (keeping its derivation graph
+// as a basis for the new goal) and is notified; previously propagated DOVs
+// whose granted feature sets are no longer part of the new specification are
+// withdrawn from their requirers (Sect. 5.4).
+func (cm *CM) ModifySubDASpec(super, sub string, spec *feature.Spec) error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	st, err := cm.get(sub)
+	if err != nil {
+		return err
+	}
+	if st.da.Parent != super {
+		return fmt.Errorf("%w: %s is not the super-DA of %s", ErrNotParent, super, sub)
+	}
+	if err := cm.step(st, OpModifySubDASpec); err != nil {
+		return err
+	}
+	st.da.Spec = spec
+	cm.withdrawStaleGrants(st, spec)
+	cm.notify(sub, EventSpecModified, map[string]string{"super": super})
+	cm.logOp(OpModifySubDASpec, sub, "by="+super)
+	return cm.persist(st)
+}
+
+// RefineOwnSpec lets a DA refine its own specification: only addition of new
+// features or further restriction of existing ones is allowed (Sect. 4.1).
+func (cm *CM) RefineOwnSpec(da string, spec *feature.Spec) error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	st, err := cm.get(da)
+	if err != nil {
+		return err
+	}
+	if st.da.State != StateActive && st.da.State != StateNegotiating {
+		return fmt.Errorf("%w: refine in state %s", ErrIllegalOp, st.da.State)
+	}
+	if !spec.IsRefinementOf(st.da.Spec) {
+		return fmt.Errorf("%w: %s", ErrNotRefinement, da)
+	}
+	st.da.Spec = spec
+	return cm.persist(st)
+}
+
+// withdrawStaleGrants revokes grants whose required features vanished from
+// the new specification and notifies the affected requirers. Callers hold
+// cm.mu.
+func (cm *CM) withdrawStaleGrants(st *daState, spec *feature.Spec) {
+	var kept []grant
+	for _, g := range st.grants {
+		stale := false
+		for _, f := range g.Features {
+			if _, ok := spec.Feature(f); !ok {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			cm.scopes.RevokeUse(g.Peer, string(g.DOV))
+			cm.repo.SetStatus(g.DOV, version.StatusInvalid) //nolint:errcheck // status cache
+			cm.notify(g.Peer, EventWithdraw, map[string]string{"dov": string(g.DOV), "from": st.da.ID})
+		} else {
+			kept = append(kept, g)
+		}
+	}
+	st.grants = kept
+}
+
+// InvalidateDOV handles the invalidation of pre-released design information
+// (Sect. 5.4): a propagated DOV turns out not to be an ancestor of a final
+// DOV. For every grant on it the CM propagates a replacement fulfilling the
+// required (and possibly more) features; requirers without a qualifying
+// replacement receive a withdrawal.
+func (cm *CM) InvalidateDOV(da string, dov version.ID) error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	st, err := cm.get(da)
+	if err != nil {
+		return err
+	}
+	if err := cm.repo.SetStatus(dov, version.StatusInvalid); err != nil {
+		return err
+	}
+	g, err := cm.repo.Graph(da)
+	if err != nil {
+		return err
+	}
+	var kept []grant
+	for _, gr := range st.grants {
+		if gr.DOV != dov {
+			kept = append(kept, gr)
+			continue
+		}
+		cm.scopes.RevokeUse(gr.Peer, string(dov))
+		// Search a replacement among propagated/final versions.
+		var repl version.ID
+		for _, id := range g.IDs() {
+			if id == dov {
+				continue
+			}
+			v, err := g.Get(id)
+			if err != nil {
+				continue
+			}
+			if v.Status != version.StatusPropagated && v.Status != version.StatusFinal {
+				continue
+			}
+			q := feature.QualityState{Fulfilled: v.Fulfilled}
+			if q.Covers(gr.Features) {
+				repl = id
+				break
+			}
+		}
+		if repl != "" {
+			cm.scopes.GrantUse(gr.Peer, string(repl))
+			kept = append(kept, grant{Peer: gr.Peer, DOV: repl, Features: gr.Features})
+			cm.notify(gr.Peer, EventReplaced, map[string]string{"old": string(dov), "dov": string(repl), "from": da})
+		} else {
+			cm.notify(gr.Peer, EventWithdraw, map[string]string{"dov": string(dov), "from": da})
+		}
+	}
+	st.grants = kept
+	return cm.persist(st)
+}
+
+// TerminateSubDA commits or cancels a sub-DA (operation 6). All of the
+// sub-DA's own sub-DAs must already be terminated. Scope locks on its final
+// DOVs are inherited by the super-DA (the final DOVs devolve to the
+// super-DA's scope, Sect. 4.1/5.4); grants on non-final propagated versions
+// are withdrawn.
+func (cm *CM) TerminateSubDA(super, sub string) error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	st, err := cm.get(sub)
+	if err != nil {
+		return err
+	}
+	if st.da.Parent != super {
+		return fmt.Errorf("%w: %s is not the super-DA of %s", ErrNotParent, super, sub)
+	}
+	sup, err := cm.get(super)
+	if err != nil {
+		return err
+	}
+	for _, c := range st.da.Children {
+		cs, err := cm.get(c)
+		if err != nil {
+			return err
+		}
+		if cs.da.State != StateTerminated {
+			return fmt.Errorf("%w: %s has live sub-DA %s", ErrChildrenLive, sub, c)
+		}
+	}
+	if err := cm.step(st, OpTerminateSubDA); err != nil {
+		return err
+	}
+	// Withdraw grants on non-final versions (the DA is cancelled or its
+	// preliminary releases lose their basis).
+	var finals []version.ID
+	if g, err := cm.repo.Graph(sub); err == nil {
+		for _, v := range g.FinalDOVs() {
+			finals = append(finals, v.ID)
+		}
+	}
+	finalSet := make(map[version.ID]bool, len(finals))
+	for _, f := range finals {
+		finalSet[f] = true
+	}
+	var keptGrants []grant
+	for _, gr := range st.grants {
+		if finalSet[gr.DOV] {
+			keptGrants = append(keptGrants, gr)
+			continue
+		}
+		cm.scopes.RevokeUse(gr.Peer, string(gr.DOV))
+		cm.notify(gr.Peer, EventWithdraw, map[string]string{"dov": string(gr.DOV), "from": sub})
+	}
+	st.grants = keptGrants
+	// Inherit scope locks on final DOVs (nested-transaction style).
+	ownedFinals := make([]string, 0, len(finals))
+	for _, f := range finals {
+		if owner, ok := cm.scopes.Owner(string(f)); ok && owner == sub {
+			ownedFinals = append(ownedFinals, string(f))
+		}
+	}
+	if len(ownedFinals) > 0 {
+		if err := cm.scopes.Inherit(sub, super, ownedFinals); err != nil {
+			return err
+		}
+		sup.da.InheritedFinals = append(sup.da.InheritedFinals, finals...)
+	}
+	// Drop the sub-DA's remaining scope (working versions stay archived in
+	// the repository but leave every scope).
+	cm.scopes.ReleaseDA(sub)
+	// Re-grant what the inheritance should keep visible: nothing — the
+	// super-DA owns the finals now, which ReleaseDA did not touch (owner
+	// already transferred).
+	cm.notify(sub, EventTerminated, map[string]string{"super": super})
+	cm.logOp(OpTerminateSubDA, sub, "by="+super)
+	if err := cm.persist(st); err != nil {
+		return err
+	}
+	return cm.persist(sup)
+}
+
+// TerminateTopLevel ends the whole design process: the top-level DA
+// terminates once all sub-DAs have, and all scope locks of the hierarchy are
+// released (Sect. 5.4).
+func (cm *CM) TerminateTopLevel(da string) error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	st, err := cm.get(da)
+	if err != nil {
+		return err
+	}
+	if st.da.Parent != "" {
+		return fmt.Errorf("%w: %s is not top-level", ErrNotParent, da)
+	}
+	for _, c := range st.da.Children {
+		cs, err := cm.get(c)
+		if err != nil {
+			return err
+		}
+		if cs.da.State != StateTerminated {
+			return fmt.Errorf("%w: %s has live sub-DA %s", ErrChildrenLive, da, c)
+		}
+	}
+	if err := cm.step(st, OpTerminateSubDA); err != nil {
+		return err
+	}
+	cm.scopes.ReleaseDA(da)
+	cm.logOp(OpTerminateSubDA, da, "top-level")
+	return cm.persist(st)
+}
+
+// Get returns a copy of a DA's public view.
+func (cm *CM) Get(id string) (DA, error) {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	st, err := cm.get(id)
+	if err != nil {
+		return DA{}, err
+	}
+	da := *st.da
+	da.Children = append([]string(nil), st.da.Children...)
+	da.Negotiations = append([]string(nil), st.da.Negotiations...)
+	da.InheritedFinals = append([]version.ID(nil), st.da.InheritedFinals...)
+	da.UsesFrom = make(map[string][]string, len(st.da.UsesFrom))
+	for k, v := range st.da.UsesFrom {
+		da.UsesFrom[k] = append([]string(nil), v...)
+	}
+	da.SupportsTo = make(map[string]bool, len(st.da.SupportsTo))
+	for k, v := range st.da.SupportsTo {
+		da.SupportsTo[k] = v
+	}
+	return da, nil
+}
+
+// Hierarchy returns the DA IDs of the subtree rooted at root in breadth-
+// first order.
+func (cm *CM) Hierarchy(root string) ([]string, error) {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	if _, err := cm.get(root); err != nil {
+		return nil, err
+	}
+	var out []string
+	queue := []string{root}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		out = append(out, id)
+		if st, ok := cm.das[id]; ok {
+			queue = append(queue, st.da.Children...)
+		}
+	}
+	return out, nil
+}
+
+// PendingRequires reports the unsatisfied Require requests registered
+// against a supporting DA.
+func (cm *CM) PendingRequires(supporter string) ([]string, error) {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	st, err := cm.get(supporter)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(st.pending))
+	for _, p := range st.pending {
+		out = append(out, p.Requirer)
+	}
+	return out, nil
+}
+
+// PendingRequireFeatures returns the required feature sets of the
+// unsatisfied Require requests against a supporting DA (one slice per
+// pending request, in registration order).
+func (cm *CM) PendingRequireFeatures(supporter string) ([][]string, error) {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	st, err := cm.get(supporter)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, 0, len(st.pending))
+	for _, p := range st.pending {
+		out = append(out, append([]string(nil), p.Features...))
+	}
+	return out, nil
+}

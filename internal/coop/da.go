@@ -1,0 +1,224 @@
+// Package coop implements CONCORD's Administration/Cooperation (AC) level:
+// design activities (DAs), the DA hierarchy grown by delegation, the
+// explicitly modeled cooperation relationships (delegation, negotiation,
+// usage), and the central cooperation manager (CM) enforcing their
+// integrity constraints and the DA state-transition graph of Fig. 7
+// (Sects. 4.1, 5.4).
+package coop
+
+import (
+	"fmt"
+
+	"concord/internal/feature"
+	"concord/internal/version"
+)
+
+// State is a DA lifecycle state (Fig. 7).
+type State uint8
+
+// DA states.
+const (
+	// StateGenerated: the DA got initiated via a description vector but
+	// has not begun its work.
+	StateGenerated State = iota + 1
+	// StateActive: the DA performs its design work.
+	StateActive
+	// StateNegotiating: the DA negotiates; internal processing suspended.
+	StateNegotiating
+	// StateReadyForTermination: a final DOV was reached (or the
+	// specification proved impossible); the DA awaits its super-DA.
+	StateReadyForTermination
+	// StateTerminated: the DA vanished from the hierarchy.
+	StateTerminated
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateGenerated:
+		return "generated"
+	case StateActive:
+		return "active"
+	case StateNegotiating:
+		return "negotiating"
+	case StateReadyForTermination:
+		return "ready-for-termination"
+	case StateTerminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// OpCode numbers the 15 cooperation operations exactly as Fig. 7 does.
+type OpCode uint8
+
+// Cooperation operations (Fig. 7).
+const (
+	OpInitDesign         OpCode = 1
+	OpCreateSubDA        OpCode = 2
+	OpStart              OpCode = 3
+	OpModifySubDASpec    OpCode = 4
+	OpSubDAReadyToCommit OpCode = 5
+	OpTerminateSubDA     OpCode = 6
+	OpEvaluate           OpCode = 7
+	OpSubDAImpossible    OpCode = 8
+	OpPropagate          OpCode = 9
+	OpRequire            OpCode = 10
+	OpCreateNegotiation  OpCode = 11
+	OpPropose            OpCode = 12
+	OpAgree              OpCode = 13
+	OpDisagree           OpCode = 14
+	OpSubDASpecConflict  OpCode = 15
+)
+
+// opNames maps codes to the names used in Fig. 7.
+var opNames = map[OpCode]string{
+	OpInitDesign:         "Init_Design",
+	OpCreateSubDA:        "Create_Sub_DA",
+	OpStart:              "Start",
+	OpModifySubDASpec:    "Modify_Sub_DA_Spec",
+	OpSubDAReadyToCommit: "Sub_DA_Ready_To_Commit",
+	OpTerminateSubDA:     "Terminate_Sub_DA",
+	OpEvaluate:           "Evaluate",
+	OpSubDAImpossible:    "Sub_DA_Impossible_Spec",
+	OpPropagate:          "Propagate",
+	OpRequire:            "Require",
+	OpCreateNegotiation:  "Create_Negotiation_Rel",
+	OpPropose:            "Propose",
+	OpAgree:              "Agree",
+	OpDisagree:           "Disagree",
+	OpSubDASpecConflict:  "Sub_DA_Spec_Conflict",
+}
+
+// String returns the operation name of Fig. 7.
+func (o OpCode) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// AllOps lists the operation codes in figure order.
+func AllOps() []OpCode {
+	out := make([]OpCode, 0, 15)
+	for i := OpCode(1); i <= 15; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// AllStates lists the DA states in lifecycle order.
+func AllStates() []State {
+	return []State{StateGenerated, StateActive, StateNegotiating, StateReadyForTermination, StateTerminated}
+}
+
+// transitions encodes the simplified state/transition graph of Fig. 7: for a
+// DA in a given state, which operations (applied to *that* DA as subject)
+// are legal, and which state they lead to. Operations marked with an
+// asterisk in the figure are performed by a cooperating DA but still affect
+// the subject's state (e.g. a received Propose moves the receiver to
+// negotiating).
+var transitions = map[State]map[OpCode]State{
+	StateGenerated: {
+		OpStart:           StateActive,
+		OpModifySubDASpec: StateGenerated, // re-specify before start
+		OpTerminateSubDA:  StateTerminated,
+	},
+	StateActive: {
+		OpCreateSubDA:        StateActive, // issuer stays active
+		OpModifySubDASpec:    StateActive, // restart from the beginning
+		OpSubDAReadyToCommit: StateReadyForTermination,
+		OpTerminateSubDA:     StateTerminated,
+		OpEvaluate:           StateActive,
+		OpSubDAImpossible:    StateReadyForTermination,
+		OpPropagate:          StateActive,
+		OpRequire:            StateActive, // received requirement
+		OpCreateNegotiation:  StateActive,
+		OpPropose:            StateNegotiating, // sent or received
+	},
+	StateNegotiating: {
+		OpPropose:           StateNegotiating, // counter-proposals
+		OpAgree:             StateActive,
+		OpDisagree:          StateNegotiating,
+		OpSubDASpecConflict: StateActive, // escalated to the super-DA
+		OpModifySubDASpec:   StateActive,
+		OpTerminateSubDA:    StateTerminated,
+	},
+	StateReadyForTermination: {
+		OpModifySubDASpec: StateActive, // keep results, pursue new goal
+		OpTerminateSubDA:  StateTerminated,
+	},
+	StateTerminated: {},
+}
+
+// Legal reports whether op is legal for a DA in state s, and the successor
+// state if it is.
+func Legal(s State, op OpCode) (State, bool) {
+	next, ok := transitions[s][op]
+	return next, ok
+}
+
+// Relationship is a cooperation relationship type (Sect. 4.1).
+type Relationship uint8
+
+// Relationship types.
+const (
+	// RelDelegation links a super-DA to a created sub-DA.
+	RelDelegation Relationship = iota + 1
+	// RelNegotiation links sub-DAs of the same super-DA negotiating their
+	// specifications.
+	RelNegotiation
+	// RelUsage links a requiring DA to a supporting DA for controlled
+	// exchange of pre-released DOVs.
+	RelUsage
+)
+
+// String returns the relationship name.
+func (r Relationship) String() string {
+	switch r {
+	case RelDelegation:
+		return "delegation"
+	case RelNegotiation:
+		return "negotiation"
+	case RelUsage:
+		return "usage"
+	default:
+		return fmt.Sprintf("relationship(%d)", uint8(r))
+	}
+}
+
+// DA is a design activity: "the operational unit realizing a design task"
+// characterized by the description vector <DOT(DOV0), SPEC, designer, DC>
+// (Sect. 4.1).
+type DA struct {
+	// ID identifies the DA hierarchy-wide.
+	ID string
+	// DOT is the design object type of the DA's design states.
+	DOT string
+	// DOV0 optionally initializes the DA's scope with a first version that
+	// will be an ancestor of all DOVs created within the DA.
+	DOV0 version.ID
+	// Spec is the design specification: the goal as a feature set.
+	Spec *feature.Spec
+	// Designer is responsible for the actions performed within the DA.
+	Designer string
+	// DC names the design strategy (the script at the DC level) to apply.
+	DC string
+
+	// State is the Fig. 7 lifecycle state.
+	State State
+	// Parent is the super-DA ("" for the top-level DA).
+	Parent string
+	// Children are the delegated sub-DAs in creation order.
+	Children []string
+	// Negotiations are the peer DAs connected by negotiation relationships.
+	Negotiations []string
+	// UsesFrom records usage relationships where this DA requires: peer →
+	// required feature names.
+	UsesFrom map[string][]string
+	// SupportsTo records usage relationships where this DA supports.
+	SupportsTo map[string]bool
+	// InheritedFinals are final DOVs devolved from terminated sub-DAs.
+	InheritedFinals []version.ID
+}

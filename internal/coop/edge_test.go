@@ -1,0 +1,223 @@
+package coop
+
+import (
+	"errors"
+	"testing"
+
+	"concord/internal/catalog"
+	"concord/internal/feature"
+	"concord/internal/version"
+)
+
+func TestProposeToGeneratedPeerRejectedAtomically(t *testing.T) {
+	h := newHarness(t, "")
+	h.initChipDA(t, "super", nil)
+	h.subDA(t, "super", "a", nil, "")
+	// b is created but never started: Propose must fail and leave a
+	// unchanged (atomic two-party transition).
+	if err := h.cm.CreateSubDA("super", Config{ID: "b", DOT: "cell"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.cm.Propose("a", "b", nil); !errors.Is(err, ErrIllegalOp) {
+		t.Fatalf("propose to generated peer = %v", err)
+	}
+	da, _ := h.cm.Get("a")
+	if da.State != StateActive {
+		t.Fatalf("proposer state leaked to %s", da.State)
+	}
+}
+
+func TestPropagateFinalKeepsFinalStatus(t *testing.T) {
+	h := newHarness(t, "")
+	h.initChipDA(t, "da1", specArea(100))
+	v := h.addDOV(t, "da1", "v1", 50)
+	if _, err := h.cm.Evaluate("da1", v); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.cm.Propagate("da1", v); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := h.repo.Get(v)
+	if got.Status != version.StatusFinal {
+		t.Fatalf("status after propagate = %s, want final preserved", got.Status)
+	}
+}
+
+func TestInitDesignUnknownDOV0(t *testing.T) {
+	h := newHarness(t, "")
+	err := h.cm.InitDesign(Config{ID: "da1", DOT: "chip", DOV0: "ghost"})
+	if !errors.Is(err, version.ErrUnknownDOV) {
+		t.Fatalf("unknown DOV0 = %v", err)
+	}
+}
+
+func TestGetReturnsIndependentCopy(t *testing.T) {
+	h := newHarness(t, "")
+	h.initChipDA(t, "super", nil)
+	h.subDA(t, "super", "sub", nil, "")
+	da, err := h.cm.Get("super")
+	if err != nil {
+		t.Fatal(err)
+	}
+	da.Children[0] = "mutated"
+	da.UsesFrom["x"] = []string{"y"}
+	again, _ := h.cm.Get("super")
+	if again.Children[0] != "sub" {
+		t.Fatal("Get leaked internal children slice")
+	}
+	if len(again.UsesFrom) != 0 {
+		t.Fatal("Get leaked internal usage map")
+	}
+}
+
+func TestEvaluateEmptySpecNeverFinalizes(t *testing.T) {
+	// A DA without a specification has no goal: Evaluate must not mark
+	// versions final (the paper requires fulfilment of the whole feature
+	// set, which is only meaningful for a non-empty one).
+	h := newHarness(t, "")
+	h.initChipDA(t, "da1", nil)
+	v := h.addDOV(t, "da1", "v1", 50)
+	q, err := h.cm.Evaluate("da1", v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Final() {
+		t.Fatal("empty spec quality should be trivially final")
+	}
+	got, _ := h.repo.Get(v)
+	if got.Status == version.StatusFinal {
+		t.Fatal("version marked final without a specification")
+	}
+}
+
+func TestAutoPropagateFindsUnevaluatedVersion(t *testing.T) {
+	h := newHarness(t, "")
+	h.initChipDA(t, "super", nil)
+	h.subDA(t, "super", "sup", specArea(100), "")
+	h.subDA(t, "super", "req", nil, "")
+	// Unevaluated qualifying version in the graph.
+	v := h.addDOV(t, "sup", "v1", 40)
+	dov, ok, err := h.cm.AutoPropagate("sup", []string{"area-limit"})
+	if err != nil || !ok || dov != v {
+		t.Fatalf("AutoPropagate = (%s, %t, %v)", dov, ok, err)
+	}
+	// It evaluated on the fly: the version is now final (spec fulfilled).
+	got, _ := h.repo.Get(v)
+	if got.Status != version.StatusFinal {
+		t.Fatalf("status = %s", got.Status)
+	}
+	// No qualifying version → ok=false, no error.
+	if _, ok, err := h.cm.AutoPropagate("req", []string{"ghost"}); err != nil || ok {
+		t.Fatalf("AutoPropagate without match = (%t, %v)", ok, err)
+	}
+}
+
+func TestAffectedByWithdrawalCrossGraph(t *testing.T) {
+	h := newHarness(t, "")
+	h.initChipDA(t, "super", nil)
+	h.subDA(t, "super", "producer", specArea(100), "")
+	h.subDA(t, "super", "consumer", specArea(100), "")
+	shared := h.addDOV(t, "producer", "shared", 50)
+	// The consumer derives locally from the producer's version (foreign
+	// parent) and then derives again from its own result.
+	d1 := &version.DOV{
+		ID: "c1", DOT: "cell", DA: "consumer",
+		Parents: []version.ID{shared},
+		Object:  mkCellObj("c1", 45), Status: version.StatusWorking,
+	}
+	if err := h.repo.Checkin(d1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.scopes.Own("consumer", "c1"); err != nil {
+		t.Fatal(err)
+	}
+	d2 := &version.DOV{
+		ID: "c2", DOT: "cell", DA: "consumer",
+		Parents: []version.ID{"c1"},
+		Object:  mkCellObj("c2", 42), Status: version.StatusWorking,
+	}
+	if err := h.repo.Checkin(d2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.scopes.Own("consumer", "c2"); err != nil {
+		t.Fatal(err)
+	}
+	// An unrelated local root.
+	d3 := &version.DOV{
+		ID: "c3", DOT: "cell", DA: "consumer",
+		Object: mkCellObj("c3", 10), Status: version.StatusWorking,
+	}
+	if err := h.repo.Checkin(d3, true); err != nil {
+		t.Fatal(err)
+	}
+	affected, err := h.cm.AffectedByWithdrawal("consumer", shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 2 || affected[0] != "c1" || affected[1] != "c2" {
+		t.Fatalf("affected = %v, want [c1 c2]", affected)
+	}
+	// Withdrawal of something never used affects nothing.
+	other := h.addDOV(t, "producer", "other", 60)
+	affected, err = h.cm.AffectedByWithdrawal("consumer", other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 0 {
+		t.Fatalf("affected = %v, want none", affected)
+	}
+}
+
+// mkCellObj builds a cell payload for direct repository checkins.
+func mkCellObj(name string, area float64) *catalog.Object {
+	return catalog.NewObject("cell").
+		Set("name", catalog.Str(name)).
+		Set("area", catalog.Float(area))
+}
+
+func TestPendingRequireFeaturesRoundTrip(t *testing.T) {
+	h := newHarness(t, "")
+	h.initChipDA(t, "super", nil)
+	h.subDA(t, "super", "sup", specArea(100), "")
+	h.subDA(t, "super", "req", nil, "")
+	if _, ok, err := h.cm.Require("req", "sup", []string{"area-limit"}); err != nil || ok {
+		t.Fatalf("require = %t, %v", ok, err)
+	}
+	feats, err := h.cm.PendingRequireFeatures("sup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 1 || len(feats[0]) != 1 || feats[0][0] != "area-limit" {
+		t.Fatalf("pending features = %v", feats)
+	}
+}
+
+func TestRefineDuringNegotiationAllowed(t *testing.T) {
+	h := newHarness(t, "")
+	h.initChipDA(t, "super", nil)
+	h.subDA(t, "super", "a", specArea(100), "")
+	h.subDA(t, "super", "b", specArea(100), "")
+	if err := h.cm.Propose("a", "b", nil); err != nil {
+		t.Fatal(err)
+	}
+	// The negotiated outcome: a refines its own spec while negotiating.
+	if err := h.cm.RefineOwnSpec("a", specArea(80)); err != nil {
+		t.Fatalf("refine while negotiating = %v", err)
+	}
+	// But not while ready-for-termination.
+	if err := h.cm.Agree("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	v := h.addDOV(t, "a", "fa", 50)
+	if _, err := h.cm.Evaluate("a", v); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.cm.SubDAReadyToCommit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.cm.RefineOwnSpec("a", specArea(70)); !errors.Is(err, ErrIllegalOp) {
+		t.Fatalf("refine in rft = %v", err)
+	}
+}
+
+var _ = feature.KindRange // doc-reference

@@ -1,0 +1,157 @@
+package coop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"concord/internal/catalog"
+	"concord/internal/lock"
+	"concord/internal/repo"
+)
+
+// TestQuickStateMachineSafety drives random operation sequences against the
+// transition matrix and checks the safety invariants of Fig. 7:
+//   - a terminated DA never changes state again,
+//   - every reached state is one of the five defined states,
+//   - negotiating is only entered via Propose,
+//   - ready-for-termination is only entered via Ready_To_Commit or
+//     Impossible_Spec.
+func TestQuickStateMachineSafety(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		state := StateGenerated
+		ops := AllOps()
+		for i := 0; i < int(n); i++ {
+			op := ops[rng.Intn(len(ops))]
+			next, ok := Legal(state, op)
+			if !ok {
+				continue // illegal: state unchanged
+			}
+			switch next {
+			case StateGenerated, StateActive, StateNegotiating, StateReadyForTermination, StateTerminated:
+			default:
+				return false
+			}
+			if state == StateTerminated {
+				return false // nothing may leave terminated
+			}
+			if next == StateNegotiating && state != StateNegotiating && op != OpPropose {
+				return false
+			}
+			if next == StateReadyForTermination && op != OpSubDAReadyToCommit && op != OpSubDAImpossible {
+				return false
+			}
+			state = next
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLiveCMRandomOps replays random cooperation operations against a
+// live CM pair of sibling DAs and verifies the CM never reaches an undefined
+// state and never accepts an operation the matrix forbids.
+func TestQuickLiveCMRandomOps(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		h := newQuickHarness()
+		if h == nil {
+			return false
+		}
+		defer h.repo.Close()
+		rng := rand.New(rand.NewSource(seed))
+		das := []string{"a", "b"}
+		for i := 0; i < int(n%60); i++ {
+			da := das[rng.Intn(2)]
+			peer := das[1-rng.Intn(2)]
+			if peer == da {
+				peer = das[0]
+				if da == peer {
+					peer = das[1]
+				}
+			}
+			before, err := h.cm.Get(da)
+			if err != nil {
+				return false
+			}
+			var op OpCode
+			switch rng.Intn(5) {
+			case 0:
+				op = OpPropose
+				err = h.cm.Propose(da, peer, nil)
+			case 1:
+				op = OpAgree
+				err = h.cm.Agree(da, peer)
+			case 2:
+				op = OpDisagree
+				err = h.cm.Disagree(da, peer)
+			case 3:
+				op = OpSubDASpecConflict
+				err = h.cm.SpecConflict(da, peer)
+			case 4:
+				op = OpSubDAImpossible
+				err = h.cm.SubDAImpossibleSpec(da, "test")
+			}
+			after, gerr := h.cm.Get(da)
+			if gerr != nil {
+				return false
+			}
+			_, legal := Legal(before.State, op)
+			// Two-party ops also require the peer to accept; the CM may
+			// legally refuse even when the subject's transition exists.
+			if err == nil && !legal {
+				return false // CM accepted an illegal transition
+			}
+			if err != nil && after.State != before.State && op != OpPropose && op != OpAgree && op != OpSubDASpecConflict {
+				return false // failed single-party op must not change state
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type quickHarness struct {
+	repo *repo.Repository
+	cm   *CM
+}
+
+func newQuickHarness() *quickHarness {
+	cat := catalog.New()
+	if err := cat.Register(&catalog.DOT{Name: "cell"}); err != nil {
+		return nil
+	}
+	if err := cat.Register(&catalog.DOT{
+		Name:       "chip",
+		Components: []catalog.ComponentDef{{Name: "cells", DOT: "cell"}},
+	}); err != nil {
+		return nil
+	}
+	r, err := repo.Open(cat, repo.Options{})
+	if err != nil {
+		return nil
+	}
+	cm, err := NewCM(r, lock.NewScopeTable(), nil)
+	if err != nil {
+		return nil
+	}
+	if err := cm.InitDesign(Config{ID: "root", DOT: "chip"}); err != nil {
+		return nil
+	}
+	if err := cm.Start("root"); err != nil {
+		return nil
+	}
+	for _, id := range []string{"a", "b"} {
+		if err := cm.CreateSubDA("root", Config{ID: id, DOT: "cell"}); err != nil {
+			return nil
+		}
+		if err := cm.Start(id); err != nil {
+			return nil
+		}
+	}
+	return &quickHarness{repo: r, cm: cm}
+}

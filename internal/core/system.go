@@ -1,0 +1,351 @@
+// Package core wires the complete CONCORD system: the server site
+// (design-data repository, server-TM, cooperation manager) and workstation
+// sites (client-TM, design managers), connected by transactional RPC
+// (Sect. 5.1 system architecture). It also implements the joint failure
+// model of Fig. 8: workstation and server crashes can be injected, and each
+// manager recovers its level from its own persistent state — the TM from
+// recovery points, the DM from persistent scripts and journals, the CM from
+// the persisted DA hierarchy and cooperation protocol.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"concord/internal/catalog"
+	"concord/internal/coop"
+	"concord/internal/feature"
+	"concord/internal/lock"
+	"concord/internal/repo"
+	"concord/internal/rpc"
+	"concord/internal/script"
+	"concord/internal/txn"
+	"concord/internal/wal"
+)
+
+// ServerAddr is the transport address of the server site.
+const ServerAddr = "concord-server"
+
+// Options configures a System.
+type Options struct {
+	// Dir is the root data directory; server state goes to Dir/server and
+	// each workstation to Dir/<workstation>. Empty runs fully volatile
+	// (no crash recovery).
+	Dir string
+	// RegisterTypes populates the catalog (DOTs) before the repository
+	// opens. Required.
+	RegisterTypes func(*catalog.Catalog) error
+	// Fault injects message faults into the workstation/server transport.
+	Fault rpc.FaultPlan
+}
+
+// System is a complete single-process CONCORD deployment: one server site
+// and any number of workstation sites over an in-process LAN.
+type System struct {
+	opts  Options
+	cat   *catalog.Catalog
+	trans *rpc.InProc
+
+	mu     sync.Mutex
+	server *serverSite
+	ws     map[string]*Workstation
+	// epochs counts workstation incarnations so that a restarted
+	// workstation's RPC request IDs never collide with those of its
+	// previous life (the server deduplicates by request ID).
+	epochs map[string]int
+}
+
+// serverSite bundles the server-side components.
+type serverSite struct {
+	repo        *repo.Repository
+	locks       *lock.Manager
+	scopes      *lock.ScopeTable
+	reg         *feature.Registry
+	stm         *txn.ServerTM
+	cm          *coop.CM
+	participant *rpc.Participant
+	plog        *wal.Log
+}
+
+// NewSystem boots a system: catalog registration, server recovery (if Dir
+// holds prior state) and transport setup.
+func NewSystem(opts Options) (*System, error) {
+	if opts.RegisterTypes == nil {
+		return nil, errors.New("core: Options.RegisterTypes is required")
+	}
+	cat := catalog.New()
+	if err := opts.RegisterTypes(cat); err != nil {
+		return nil, err
+	}
+	s := &System{
+		opts:   opts,
+		cat:    cat,
+		trans:  rpc.NewInProc(opts.Fault),
+		ws:     make(map[string]*Workstation),
+		epochs: make(map[string]int),
+	}
+	if err := s.startServer(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *System) serverDir() string {
+	if s.opts.Dir == "" {
+		return ""
+	}
+	return filepath.Join(s.opts.Dir, "server")
+}
+
+// startServer builds (or recovers) the server site and serves its handler.
+func (s *System) startServer() error {
+	dir := s.serverDir()
+	r, err := repo.Open(s.cat, repo.Options{Dir: dir, Sync: dir != ""})
+	if err != nil {
+		return err
+	}
+	locks := lock.NewManager()
+	scopes := lock.NewScopeTable()
+	reg := feature.NewRegistry()
+	stm := txn.NewServerTM(r, locks, scopes)
+	cm, err := coop.NewCM(r, scopes, reg)
+	if err != nil {
+		r.Close()
+		return err
+	}
+	var plog *wal.Log
+	if dir != "" {
+		plog, err = wal.Open(filepath.Join(dir, "participant.wal"), wal.Options{SyncOnAppend: true})
+		if err != nil {
+			r.Close()
+			return err
+		}
+	}
+	participant, err := rpc.NewParticipant(stm, plog)
+	if err != nil {
+		r.Close()
+		return err
+	}
+	site := &serverSite{repo: r, locks: locks, scopes: scopes, reg: reg, stm: stm, cm: cm, participant: participant, plog: plog}
+	if err := s.trans.Serve(ServerAddr, rpc.Dedup(stm.Handler(participant))); err != nil {
+		r.Close()
+		return err
+	}
+	s.mu.Lock()
+	s.server = site
+	s.mu.Unlock()
+	return nil
+}
+
+// Catalog returns the shared DOT catalog.
+func (s *System) Catalog() *catalog.Catalog { return s.cat }
+
+// CM returns the cooperation manager (centralized at the server site).
+func (s *System) CM() *coop.CM {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.server.cm
+}
+
+// Repo returns the server repository.
+func (s *System) Repo() *repo.Repository {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.server.repo
+}
+
+// Scopes returns the server scope table.
+func (s *System) Scopes() *lock.ScopeTable {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.server.scopes
+}
+
+// Registry returns the feature-tool registry used by Evaluate.
+func (s *System) Registry() *feature.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.server.reg
+}
+
+// Transport exposes the in-process LAN (fault injection, partitions).
+func (s *System) Transport() *rpc.InProc { return s.trans }
+
+// Close shuts the system down cleanly.
+func (s *System) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range s.ws {
+		w.tm.Close()
+	}
+	var err error
+	if s.server != nil {
+		err = s.server.repo.Close()
+		if s.server.plog != nil {
+			s.server.plog.Close()
+		}
+	}
+	s.trans.Close()
+	return err
+}
+
+// Workstation is one designer's machine: a client-TM for DOP processing and
+// design managers (one per DA worked on here).
+type Workstation struct {
+	id        string
+	sys       *System
+	tm        *txn.ClientTM
+	recovered []*txn.DOP
+
+	mu  sync.Mutex
+	dms map[string]*script.DesignManager
+}
+
+// AddWorkstation boots a workstation site. If the directory holds state from
+// a crashed incarnation, DOP contexts are recovered at their most recent
+// recovery points (retrievable via RecoveredDOPs).
+func (s *System) AddWorkstation(id string) (*Workstation, error) {
+	s.mu.Lock()
+	if _, dup := s.ws[id]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: workstation %s already attached", id)
+	}
+	s.epochs[id]++
+	epoch := s.epochs[id]
+	s.mu.Unlock()
+	client := rpc.NewClient(s.trans, fmt.Sprintf("%s@%d", id, epoch))
+	client.Backoff = 0
+	var dir string
+	if s.opts.Dir != "" {
+		dir = filepath.Join(s.opts.Dir, id)
+	}
+	tm, recovered, err := txn.NewClientTM(id, client, ServerAddr, dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &Workstation{id: id, sys: s, tm: tm, recovered: recovered, dms: make(map[string]*script.DesignManager)}
+	for _, d := range recovered {
+		if err := tm.Reattach(d); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	s.ws[id] = w
+	s.mu.Unlock()
+	return w, nil
+}
+
+// ID returns the workstation identifier.
+func (w *Workstation) ID() string { return w.id }
+
+// TM returns the workstation's client-TM.
+func (w *Workstation) TM() *txn.ClientTM { return w.tm }
+
+// RecoveredDOPs returns DOP contexts recovered at boot (empty on a fresh
+// workstation).
+func (w *Workstation) RecoveredDOPs() []*txn.DOP { return w.recovered }
+
+// Begin starts a DOP for a DA on this workstation.
+func (w *Workstation) Begin(dopID, da string) (*txn.DOP, error) {
+	return w.tm.Begin(dopID, da)
+}
+
+// NewDesignManager builds (or recovers) the design manager of a DA on this
+// workstation and subscribes it to the DA's cooperation events. The
+// persistent script and journal live in the server repository, mirroring the
+// paper's placement of all level-specific context data there.
+func (w *Workstation) NewDesignManager(cfg script.Config) (*script.DesignManager, error) {
+	cfg.Store = w.sys.Repo()
+	dm, err := script.NewDesignManager(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	w.dms[cfg.DA] = dm
+	w.mu.Unlock()
+	w.sys.CM().Subscribe(cfg.DA, dm.PostEvent)
+	return dm, nil
+}
+
+// DesignManager returns the DM of a DA, if present on this workstation.
+func (w *Workstation) DesignManager(da string) (*script.DesignManager, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	dm, ok := w.dms[da]
+	return dm, ok
+}
+
+// CrashWorkstation simulates a workstation crash (Fig. 8): all volatile
+// state of the client-TM and the DMs is lost; the persistent DOP contexts,
+// scripts and journals survive for the next incarnation (AddWorkstation with
+// the same id).
+func (s *System) CrashWorkstation(id string) error {
+	s.mu.Lock()
+	w, ok := s.ws[id]
+	if ok {
+		delete(s.ws, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown workstation %s", id)
+	}
+	for da := range w.dms {
+		s.CM().Subscribe(da, nil)
+	}
+	w.tm.Crash()
+	return nil
+}
+
+// CrashServer simulates a server crash: the repository closes, the transport
+// partitions the server address, and all volatile server state (lock tables,
+// scope table, staged checkins in memory) vanishes.
+func (s *System) CrashServer() error {
+	s.mu.Lock()
+	site := s.server
+	s.server = nil
+	s.mu.Unlock()
+	if site == nil {
+		return errors.New("core: server already down")
+	}
+	s.trans.Partition(ServerAddr)
+	if site.plog != nil {
+		site.plog.Close()
+	}
+	return site.repo.Close()
+}
+
+// RestartServer recovers the server site from its durable state: the
+// repository replays its redo log, the CM rebuilds the DA hierarchy and
+// scope table, the server-TM reloads prepared checkins, and in-doubt
+// checkin transactions are resolved against the workstation coordinators
+// (presumed abort for unknown outcomes).
+func (s *System) RestartServer() error {
+	s.mu.Lock()
+	if s.server != nil {
+		s.mu.Unlock()
+		return errors.New("core: server still running")
+	}
+	s.mu.Unlock()
+	if err := s.startServer(); err != nil {
+		return err
+	}
+	s.trans.Heal(ServerAddr)
+	// Resolve in-doubt checkins against all known coordinators.
+	s.mu.Lock()
+	site := s.server
+	wss := make([]*Workstation, 0, len(s.ws))
+	for _, w := range s.ws {
+		wss = append(wss, w)
+	}
+	s.mu.Unlock()
+	return site.participant.Resolve(func(txid string) rpc.Outcome {
+		for _, w := range wss {
+			if w.tm.Coordinator().Outcome(txid) == rpc.OutcomeCommitted {
+				return rpc.OutcomeCommitted
+			}
+		}
+		return rpc.OutcomeAborted
+	})
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"concord/internal/coop"
+	"concord/internal/core"
+	"concord/internal/feature"
+	"concord/internal/script"
+	"concord/internal/version"
+	"concord/internal/vlsi"
+)
+
+// newSystem boots a volatile system with the VLSI catalog.
+func newSystem() (*core.System, error) {
+	return core.NewSystem(core.Options{RegisterTypes: vlsi.RegisterCatalog})
+}
+
+// planDOP runs one real DOP that derives a floorplan version for the DA.
+func planDOP(ws *core.Workstation, da string, fp *vlsi.Floorplan, parent version.ID) (version.ID, error) {
+	dop, err := ws.Begin("", da)
+	if err != nil {
+		return "", err
+	}
+	root := parent == ""
+	if !root {
+		if _, err := dop.Checkout(parent, false); err != nil {
+			return "", err
+		}
+	}
+	if err := dop.SetWorkspace(vlsi.FloorplanToObject(fp)); err != nil {
+		return "", err
+	}
+	id, err := dop.Checkin(version.StatusWorking, root)
+	if err != nil {
+		return "", err
+	}
+	return id, dop.Commit()
+}
+
+// E1LevelStack reproduces Fig. 1: one chip-planning design activity runs
+// through all three abstraction levels, and the report counts the
+// operations observed at each level plus the repository traffic beneath.
+func E1LevelStack() (Report, error) {
+	r := Report{ID: "E1", Title: "Fig. 1 — abstraction levels of the CONCORD model"}
+	sys, err := newSystem()
+	if err != nil {
+		return r, err
+	}
+	defer sys.Close()
+	cm := sys.CM()
+	spec := feature.MustSpec(feature.Range("area-limit", "area", 0, 5000))
+	if err := cm.InitDesign(coop.Config{ID: "chip-da", DOT: vlsi.DOTChip, Spec: spec, Designer: "alice", DC: "chip-planning"}); err != nil {
+		return r, err
+	}
+	if err := cm.Start("chip-da"); err != nil {
+		return r, err
+	}
+	ws, err := sys.AddWorkstation("ws1")
+	if err != nil {
+		return r, err
+	}
+	// DC level: the chip-planning script of Fig. 3.
+	cell := vlsi.GenerateHierarchy(3, "chip", 4, 1)
+	shapes := vlsi.ShapesForChildren(cell, 5)
+	var last version.ID
+	teOps := 0
+	runner := func(ctx *script.Ctx, op script.Op, params map[string]string) (string, error) {
+		switch op.Name {
+		case "bipartition", "sizing", "dimensioning", "global-routing":
+			fp, err := vlsi.PlanChip(cell.Netlist, vlsi.Interface{Cell: cell.Name}, shapes)
+			if err != nil {
+				return "", err
+			}
+			id, err := planDOP(ws, "chip-da", fp, last)
+			if err != nil {
+				return "", err
+			}
+			last = id
+			teOps += 4 // begin, checkout/stage, 2PC, end
+			return string(id), nil
+		case "evaluate":
+			if _, err := cm.Evaluate("chip-da", last); err != nil {
+				return "", err
+			}
+			return "", nil
+		}
+		return "", fmt.Errorf("unknown op %s", op.Name)
+	}
+	s := script.Seq{Steps: []script.Node{
+		script.Op{Name: "bipartition", IsDOP: true},
+		script.Op{Name: "sizing", IsDOP: true},
+		script.Op{Name: "dimensioning", IsDOP: true},
+		script.Op{Name: "global-routing", IsDOP: true},
+		script.Op{Name: "evaluate"},
+	}}
+	dm, err := ws.NewDesignManager(script.Config{DA: "chip-da", Script: s, Runner: runner})
+	if err != nil {
+		return r, err
+	}
+	if err := dm.Run(); err != nil {
+		return r, err
+	}
+	acOps := 0
+	for _, c := range cm.OpCounts() {
+		acOps += c
+	}
+	dcRun, _ := dm.Engine().Stats()
+	r.Header = []string{"level", "component", "operations"}
+	r.Rows = [][]string{
+		{"AC", "cooperation manager", d(acOps)},
+		{"DC", "design manager (script ops)", d(dcRun)},
+		{"TE", "transaction manager (DOP interactions)", d(teOps)},
+		{"repository", "stored DOVs", d(sys.Repo().DOVCount())},
+	}
+	r.Notes = append(r.Notes, "level-spanning control: one DA → scripted DOPs → ACID checkins")
+	return r, nil
+}
+
+// E2DesignPlane reproduces Fig. 2: a full traversal of the design plane —
+// behaviour → structure → floor plan → mask layout across the cell
+// hierarchy, one row per tool application.
+func E2DesignPlane() (Report, error) {
+	r := Report{ID: "E2", Title: "Fig. 2 — design plane traversal (domains × hierarchy)"}
+	r.Header = []string{"tool", "from", "to", "level", "artifact"}
+
+	behavior := vlsi.Behavior{Name: "chip", Assigns: []vlsi.Assign{
+		{Target: "sum", Expr: "a + b"},
+		{Target: "prod", Expr: "a * b"},
+		{Target: "out", Expr: "sum2 & prod2"},
+	}}
+	// Tool 1: structure synthesis (behaviour → structure).
+	nl, err := vlsi.Synthesize(behavior)
+	if err != nil {
+		return r, err
+	}
+	r.Rows = append(r.Rows, []string{"1 " + vlsi.ToolStructureSynthesis.String(),
+		vlsi.DomainBehavior.String(), vlsi.DomainStructure.String(), "chip",
+		fmt.Sprintf("netlist: %d instances, %d nets", len(nl.Instances), len(nl.Nets))})
+	// Tool 2: repartitioning (structure → structure).
+	a, b := vlsi.Repartition(nl)
+	r.Rows = append(r.Rows, []string{"2 " + vlsi.ToolRepartitioning.String(),
+		vlsi.DomainStructure.String(), vlsi.DomainStructure.String(), "module",
+		fmt.Sprintf("groups: %d / %d instances", len(a), len(b))})
+	// Tool 3: shape function generation (structure → floor plan).
+	shapes := make(map[string]vlsi.ShapeFunction, len(nl.Instances))
+	alt := 0
+	for _, in := range nl.Instances {
+		sf := vlsi.GenerateShapes(in.Area, 5)
+		shapes[in.Name] = sf
+		alt += len(sf.Shapes)
+	}
+	r.Rows = append(r.Rows, []string{"3 " + vlsi.ToolShapeFunction.String(),
+		vlsi.DomainStructure.String(), vlsi.DomainFloorPlan.String(), "block",
+		fmt.Sprintf("%d shape alternatives", alt)})
+	// Tool 4: pad frame editing.
+	pf := vlsi.EditPadFrame("chip", vlsi.Shape{W: 40, H: 40}, 16, 1.5)
+	r.Rows = append(r.Rows, []string{"4 " + vlsi.ToolPadFrameEditor.String(),
+		vlsi.DomainFloorPlan.String(), vlsi.DomainFloorPlan.String(), "chip",
+		fmt.Sprintf("%d pads placed", len(pf.Pads))})
+	// Tool 5: chip planning.
+	fp, err := vlsi.PlanChip(nl, vlsi.Interface{Cell: "chip", Pins: 16}, shapes)
+	if err != nil {
+		return r, err
+	}
+	r.Rows = append(r.Rows, []string{"5 " + vlsi.ToolChipPlanner.String(),
+		vlsi.DomainFloorPlan.String(), vlsi.DomainFloorPlan.String(), "chip",
+		fmt.Sprintf("floorplan %.1fx%.1f, wire %.1f", fp.Outline.W, fp.Outline.H, fp.WireLength)})
+	// Tool 6: cell synthesis (floor plan → mask layout, stdcell level).
+	cells := make(map[string]*vlsi.MaskLayout)
+	rects := 0
+	for _, p := range fp.Placements {
+		ml := vlsi.SynthesizeCell(p.Name, vlsi.Shape{W: p.Rect.W, H: p.Rect.H})
+		cells[p.Name] = ml
+		rects += len(ml.Rects)
+	}
+	r.Rows = append(r.Rows, []string{"6 " + vlsi.ToolCellSynthesis.String(),
+		vlsi.DomainFloorPlan.String(), vlsi.DomainMaskLayout.String(), "stdcell",
+		fmt.Sprintf("%d cell layouts, %d rects", len(cells), rects)})
+	// Tool 7: chip assembly.
+	ml := vlsi.AssembleChip(fp, pf, cells)
+	r.Rows = append(r.Rows, []string{"7 " + vlsi.ToolChipAssembly.String(),
+		vlsi.DomainMaskLayout.String(), vlsi.DomainMaskLayout.String(), "chip",
+		fmt.Sprintf("mask: %d rects, %d layers, area %.1f", len(ml.Rects), ml.Layers, ml.Area())})
+	r.Notes = append(r.Notes, "left-to-right traversal of the design plane, all 7 tools exercised")
+	return r, nil
+}
+
+// E3ChipPlanning reproduces Fig. 3: the chip-planning work flow
+// (bipartitioning → sizing → dimensioning → global routing) with designer
+// re-iterations, reporting floorplan quality per iteration.
+func E3ChipPlanning() (Report, error) {
+	r := Report{ID: "E3", Title: "Fig. 3 — chip planning work flow"}
+	r.Header = []string{"iteration", "cut nets", "outline", "area", "wire length"}
+
+	cell := vlsi.GenerateHierarchy(11, "O", 6, 1)
+	shapes := vlsi.ShapesForChildren(cell, 3)
+	iterations := 0
+	var lastFP *vlsi.Floorplan
+	runner := func(ctx *script.Ctx, op script.Op, params map[string]string) (string, error) {
+		if op.Name != "chip-plan" {
+			return "", errors.New("unknown op")
+		}
+		iterations++
+		// Each re-iteration refines the shape alternatives (the designer
+		// achieving "optimal space exploitation", Sect. 3).
+		shapes = vlsi.ShapesForChildren(cell, 2+iterations*2)
+		fp, err := vlsi.PlanChip(cell.Netlist, vlsi.Interface{Cell: "O"}, shapes)
+		if err != nil {
+			return "", err
+		}
+		lastFP = fp
+		r.Rows = append(r.Rows, []string{
+			d(iterations), d(fp.CutNets),
+			fmt.Sprintf("%.1fx%.1f", fp.Outline.W, fp.Outline.H),
+			f(fp.Area()), f(fp.WireLength),
+		})
+		return "fp", nil
+	}
+	s := script.Loop{Name: "replan", Body: script.Op{Name: "chip-plan", IsDOP: true}, Max: 3}
+	// Designer policy: always re-iterate (the Max bound stops at 3).
+	eng := script.NewEngine("fig3", nil, alwaysIterate{}, runner, nil, nil)
+	if err := eng.Run(s); err != nil {
+		return r, err
+	}
+	if lastFP == nil {
+		return r, errors.New("no floorplan produced")
+	}
+	r.Notes = append(r.Notes,
+		"inputs per Fig. 3: module/net list, shape functions, floorplan interface",
+		"outputs: floorplan contents + subcell interfaces; area shrinks with refined shape functions")
+	return r, nil
+}
+
+// alwaysIterate is a designer policy that repeats every loop (bounded by the
+// loop's Max) and otherwise behaves like the automatic designer.
+type alwaysIterate struct{ script.AutoDesigner }
+
+// ContinueLoop implements script.Designer.
+func (alwaysIterate) ContinueLoop(_, _ string, _ int) (bool, error) { return true, nil }
+
+// E4DAHierarchy reproduces Fig. 4: Init_Design and iterated Create_Sub_DA
+// spanning a DA hierarchy with part-of-consistent DOTs, including
+// overlapping sub-DA responsibilities.
+func E4DAHierarchy() (Report, error) {
+	r := Report{ID: "E4", Title: "Fig. 4 — design activities and DA hierarchies"}
+	r.Header = []string{"DA", "DOT", "parent", "state", "spec features"}
+	sys, err := newSystem()
+	if err != nil {
+		return r, err
+	}
+	defer sys.Close()
+	cm := sys.CM()
+	if err := cm.InitDesign(coop.Config{ID: "DA1", DOT: vlsi.DOTChip, Spec: feature.MustSpec(feature.Range("area", "area", 0, 4000)), Designer: "alice"}); err != nil {
+		return r, err
+	}
+	if err := cm.Start("DA1"); err != nil {
+		return r, err
+	}
+	// DA2 and DA3 get overlapping cell responsibilities (identical DOTs,
+	// Fig. 4b).
+	for _, id := range []string{"DA2", "DA3"} {
+		if err := cm.CreateSubDA("DA1", coop.Config{ID: id, DOT: vlsi.DOTCell, Spec: feature.MustSpec(feature.Range("area", "area", 0, 2000)), Designer: "bob"}); err != nil {
+			return r, err
+		}
+	}
+	if err := cm.Start("DA2"); err != nil {
+		return r, err
+	}
+	if err := cm.CreateSubDA("DA2", coop.Config{ID: "DA4", DOT: vlsi.DOTStdCell, Designer: "carol"}); err != nil {
+		return r, err
+	}
+	hier, err := cm.Hierarchy("DA1")
+	if err != nil {
+		return r, err
+	}
+	for _, id := range hier {
+		da, err := cm.Get(id)
+		if err != nil {
+			return r, err
+		}
+		parent := da.Parent
+		if parent == "" {
+			parent = "(top)"
+		}
+		r.Rows = append(r.Rows, []string{da.ID, da.DOT, parent, da.State.String(), d(da.Spec.Len())})
+	}
+	r.Notes = append(r.Notes, "sub-DA DOTs verified as parts of the super-DA DOT (delegation legality)")
+	return r, nil
+}

@@ -1,0 +1,416 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"concord/internal/catalog"
+	"concord/internal/coop"
+	"concord/internal/core"
+	"concord/internal/feature"
+	"concord/internal/script"
+	"concord/internal/version"
+	"concord/internal/vlsi"
+)
+
+// E5Delegation reproduces Fig. 5: DA1 plans cell O with subcells A..D,
+// delegates the subcell planning to DA2..DA5, DA2 discovers its area is
+// insufficient (Sub_DA_Impossible_Spec), DA1 shifts area from DA3 to DA2
+// (Modify_Sub_DA_Spec), both replan and terminate successfully.
+func E5Delegation() (Report, error) {
+	r := Report{ID: "E5", Title: "Fig. 5 — delegation scenario within chip planning"}
+	r.Header = []string{"phase", "DA", "event", "detail"}
+	sys, err := newSystem()
+	if err != nil {
+		return r, err
+	}
+	defer sys.Close()
+	cm := sys.CM()
+	ws, err := sys.AddWorkstation("ws1")
+	if err != nil {
+		return r, err
+	}
+	row := func(phase, da, event, detail string) {
+		r.Rows = append(r.Rows, []string{phase, da, event, detail})
+	}
+	// DA1: plan the CUD O with subcells A..D.
+	if err := cm.InitDesign(coop.Config{ID: "DA1", DOT: vlsi.DOTChip,
+		Spec: feature.MustSpec(feature.Range("area-limit", "area", 0, 200)), Designer: "alice"}); err != nil {
+		return r, err
+	}
+	if err := cm.Start("DA1"); err != nil {
+		return r, err
+	}
+	nl := &vlsi.Netlist{Name: "O", Instances: []vlsi.Instance{
+		{Name: "A", Kind: "cell", Area: 60}, {Name: "B", Kind: "cell", Area: 40},
+		{Name: "C", Kind: "cell", Area: 30}, {Name: "D", Kind: "cell", Area: 20},
+	}, Nets: []vlsi.Net{
+		{Name: "n1", Pins: []string{"A", "B"}}, {Name: "n2", Pins: []string{"B", "C"}},
+		{Name: "n3", Pins: []string{"C", "D"}}, {Name: "n4", Pins: []string{"A", "D"}},
+	}}
+	fp, err := vlsi.PlanChip(nl, vlsi.Interface{Cell: "O"}, nil)
+	if err != nil {
+		return r, err
+	}
+	fpID, err := planDOP(ws, "DA1", fp, "")
+	if err != nil {
+		return r, err
+	}
+	row("plan", "DA1", "chip planner applied to O", fmt.Sprintf("floorplan %s: area %.1f", fpID, fp.Area()))
+	// Delegate the subcells: the floorplan contents define each sub-DA's
+	// area feature.
+	subArea := map[string]float64{}
+	for _, p := range fp.Placements {
+		subArea[p.Name] = p.Rect.Area()
+	}
+	subs := []struct{ da, cell string }{{"DA2", "A"}, {"DA3", "B"}, {"DA4", "C"}, {"DA5", "D"}}
+	for _, s := range subs {
+		spec := feature.MustSpec(feature.Range("area-limit", "area", 0, subArea[s.cell]))
+		if err := cm.CreateSubDA("DA1", coop.Config{ID: s.da, DOT: vlsi.DOTCell, Spec: spec, Designer: s.da}); err != nil {
+			return r, err
+		}
+		if err := cm.Start(s.da); err != nil {
+			return r, err
+		}
+		row("delegate", s.da, "Create_Sub_DA + Start", fmt.Sprintf("cell %s, area budget %.1f", s.cell, subArea[s.cell]))
+	}
+	// DA2 plans cell A and finds the area insufficient.
+	needA := subArea["A"] * 1.15
+	if err := cm.SubDAImpossibleSpec("DA2", fmt.Sprintf("cell A needs %.1f", needA)); err != nil {
+		return r, err
+	}
+	row("conflict", "DA2", "Sub_DA_Impossible_Spec", fmt.Sprintf("needs %.1f > budget %.1f", needA, subArea["A"]))
+	// DA1 reacts: give DA2 more and DA3 less area (Fig. 5 resolution).
+	delta := needA - subArea["A"]
+	if err := cm.ModifySubDASpec("DA1", "DA2",
+		feature.MustSpec(feature.Range("area-limit", "area", 0, subArea["A"]+delta))); err != nil {
+		return r, err
+	}
+	if err := cm.ModifySubDASpec("DA1", "DA3",
+		feature.MustSpec(feature.Range("area-limit", "area", 0, subArea["B"]-delta))); err != nil {
+		return r, err
+	}
+	row("resolve", "DA1", "Modify_Sub_DA_Spec ×2", fmt.Sprintf("shift %.1f area from B to A", delta))
+	// DA2..DA5 produce final versions within their (possibly new) budgets.
+	for _, s := range subs {
+		da, err := cm.Get(s.da)
+		if err != nil {
+			return r, err
+		}
+		limit, _ := da.Spec.Feature("area-limit")
+		obj := catalog.NewObject(vlsi.DOTCell).
+			Set("name", catalog.Str(s.cell)).
+			Set("area", catalog.Float(limit.Max*0.95))
+		dop, err := ws.Begin("", s.da)
+		if err != nil {
+			return r, err
+		}
+		if err := dop.SetWorkspace(obj); err != nil {
+			return r, err
+		}
+		id, err := dop.Checkin(version.StatusWorking, true)
+		if err != nil {
+			return r, err
+		}
+		if err := dop.Commit(); err != nil {
+			return r, err
+		}
+		q, err := cm.Evaluate(s.da, id)
+		if err != nil {
+			return r, err
+		}
+		if !q.Final() {
+			return r, fmt.Errorf("sub-DA %s result not final", s.da)
+		}
+		if err := cm.SubDAReadyToCommit(s.da); err != nil {
+			return r, err
+		}
+		if err := cm.TerminateSubDA("DA1", s.da); err != nil {
+			return r, err
+		}
+		row("commit", s.da, "Ready_To_Commit + Terminate_Sub_DA", fmt.Sprintf("final %s, area %.1f", id, limit.Max*0.95))
+	}
+	da1, err := cm.Get("DA1")
+	if err != nil {
+		return r, err
+	}
+	row("inherit", "DA1", "scope-lock inheritance", fmt.Sprintf("%d final DOVs devolved", len(da1.InheritedFinals)))
+	r.Notes = append(r.Notes, "replanning after the impossible-spec message uses modified area features, as in Sect. 4.1")
+	return r, nil
+}
+
+// E6Scripts reproduces Fig. 6: (a) a partially undetermined script with an
+// open region, and (b) a three-way alternative branch after shape-function
+// generation, both driven by a scripted designer.
+func E6Scripts() (Report, error) {
+	r := Report{ID: "E6", Title: "Fig. 6 — sample scripts (open regions, alternative paths)"}
+	r.Header = []string{"script", "decision", "executed operations"}
+
+	run := func(name string, s script.Node, des script.Designer) (int, []string, error) {
+		var ops []string
+		runner := func(_ *script.Ctx, op script.Op, _ map[string]string) (string, error) {
+			ops = append(ops, op.Name)
+			return op.Name, nil
+		}
+		eng := script.NewEngine(name, nil, des, runner, nil, nil)
+		if err := eng.Run(s); err != nil {
+			return 0, nil, err
+		}
+		n, _ := eng.Stats()
+		return n, ops, nil
+	}
+	// Fig. 6a: structure synthesis ... open ... chip assembly.
+	scriptA := script.Seq{Steps: []script.Node{
+		script.Op{Name: "structure-synthesis", IsDOP: true},
+		script.Open{Name: "intermediate"},
+		script.Op{Name: "chip-assembly", IsDOP: true},
+	}}
+	desA := &fixedDesigner{open: []script.Op{
+		{Name: "repartitioning", IsDOP: true},
+		{Name: "chip-planning", IsDOP: true},
+	}}
+	nA, opsA, err := run("fig6a", scriptA, desA)
+	if err != nil {
+		return r, err
+	}
+	r.Rows = append(r.Rows, []string{"6a partially undetermined", "designer inserted 2 ops in open region", fmt.Sprintf("%v (%d ops)", opsA, nA)})
+	// Fig. 6b: alternative paths after shape function generation.
+	scriptB := script.Seq{Steps: []script.Node{
+		script.Op{Name: "shape-function-generation", IsDOP: true},
+		script.Alt{Name: "method", Labels: []string{"top-down", "bottom-up", "mixed"}, Branches: []script.Node{
+			script.Op{Name: "plan-top-down", IsDOP: true},
+			script.Op{Name: "plan-bottom-up", IsDOP: true},
+			script.Op{Name: "plan-mixed", IsDOP: true},
+		}},
+	}}
+	for choice := 0; choice < 3; choice++ {
+		nB, opsB, err := run("fig6b", scriptB, &fixedDesigner{alt: choice})
+		if err != nil {
+			return r, err
+		}
+		r.Rows = append(r.Rows, []string{"6b alternative paths", fmt.Sprintf("branch %d chosen", choice), fmt.Sprintf("%v (%d ops)", opsB, nB)})
+	}
+	r.Notes = append(r.Notes, "scripts allow several concrete execution sequences; the journal records each decision")
+	return r, nil
+}
+
+// fixedDesigner returns canned decisions.
+type fixedDesigner struct {
+	alt  int
+	open []script.Op
+	pos  int
+}
+
+func (d *fixedDesigner) ChooseAlternative(_, _ string, _ []string) (int, error) { return d.alt, nil }
+func (d *fixedDesigner) ContinueLoop(_, _ string, _ int) (bool, error)          { return false, nil }
+func (d *fixedDesigner) NextOpenStep(_, _ string, _ int) (script.Op, bool, error) {
+	if d.pos >= len(d.open) {
+		return script.Op{}, true, nil
+	}
+	op := d.open[d.pos]
+	d.pos++
+	return op, false, nil
+}
+
+// E7StateGraph reproduces Fig. 7: the full 5-state × 15-operation legality
+// matrix of the DA state/transition graph, cross-checked against a live CM.
+func E7StateGraph() (Report, error) {
+	r := Report{ID: "E7", Title: "Fig. 7 — simplified state/transition graph for a DA"}
+	r.Header = []string{"op"}
+	states := coop.AllStates()
+	for _, s := range states {
+		r.Header = append(r.Header, s.String())
+	}
+	abbrev := map[coop.State]string{
+		coop.StateGenerated:           "gen",
+		coop.StateActive:              "act",
+		coop.StateNegotiating:         "neg",
+		coop.StateReadyForTermination: "rft",
+		coop.StateTerminated:          "term",
+	}
+	legalCount := 0
+	for _, op := range coop.AllOps() {
+		row := []string{fmt.Sprintf("%2d %s", int(op), op)}
+		for _, s := range states {
+			if next, ok := coop.Legal(s, op); ok {
+				row = append(row, "→"+abbrev[next])
+				legalCount++
+			} else {
+				row = append(row, "·")
+			}
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	// Live spot check: an actual CM rejects an illegal transition and
+	// accepts a legal one.
+	sys, err := newSystem()
+	if err != nil {
+		return r, err
+	}
+	defer sys.Close()
+	cm := sys.CM()
+	if err := cm.InitDesign(coop.Config{ID: "probe", DOT: vlsi.DOTChip}); err != nil {
+		return r, err
+	}
+	if _, err := cm.Evaluate("probe", "x"); err == nil {
+		return r, fmt.Errorf("live CM accepted Evaluate in state generated")
+	}
+	if err := cm.Start("probe"); err != nil {
+		return r, err
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("%d legal (state, op) pairs; ops marked * in the figure arrive from cooperating DAs", legalCount),
+		"live CM cross-check: illegal transition rejected, legal transition accepted")
+	return r, nil
+}
+
+// E8FailureMatrix reproduces Fig. 8: the joint failure handling of the
+// activity managers. Each row injects one crash and reports what the
+// responsible manager recovered.
+func E8FailureMatrix() (Report, error) {
+	r := Report{ID: "E8", Title: "Fig. 8 — responsibilities and interplay of activity managers (failure matrix)"}
+	r.Header = []string{"crash", "during", "recovering manager", "recovered state", "lost work"}
+	dir, err := os.MkdirTemp("", "concord-e8")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(dir)
+
+	sys, err := core.NewSystem(core.Options{Dir: dir, RegisterTypes: vlsi.RegisterCatalog})
+	if err != nil {
+		return r, err
+	}
+	defer sys.Close()
+	cm := sys.CM()
+	spec := feature.MustSpec(feature.Range("area-limit", "area", 0, 100))
+	if err := cm.InitDesign(coop.Config{ID: "da1", DOT: vlsi.DOTFloorplan, Spec: spec, Designer: "alice"}); err != nil {
+		return r, err
+	}
+	if err := cm.Start("da1"); err != nil {
+		return r, err
+	}
+	ws, err := sys.AddWorkstation("ws1")
+	if err != nil {
+		return r, err
+	}
+
+	// Scenario 1: workstation crash mid-DOP (TM recovery points).
+	dop, err := ws.Begin("e8-dop", "da1")
+	if err != nil {
+		return r, err
+	}
+	obj := catalog.NewObject(vlsi.DOTFloorplan).Set("cell", catalog.Str("O")).Set("area", catalog.Float(90))
+	if err := dop.SetWorkspace(obj); err != nil {
+		return r, err
+	}
+	if err := dop.Save("rp"); err != nil { // recovery point after 1 work unit
+		return r, err
+	}
+	if err := sys.CrashWorkstation("ws1"); err != nil {
+		return r, err
+	}
+	ws, err = sys.AddWorkstation("ws1")
+	if err != nil {
+		return r, err
+	}
+	rec := ws.RecoveredDOPs()
+	if len(rec) != 1 || catalog.NumAttr(rec[0].Workspace(), "area") != 90 {
+		return r, fmt.Errorf("E8 scenario 1: DOP context not recovered")
+	}
+	if _, err := rec[0].Checkin(version.StatusWorking, true); err != nil {
+		return r, err
+	}
+	if err := rec[0].Commit(); err != nil {
+		return r, err
+	}
+	r.Rows = append(r.Rows, []string{"workstation", "mid-DOP", "client-TM", "DOP context at last recovery point", "work since last recovery point"})
+
+	// Scenario 2: workstation crash mid-script (DM journal).
+	ops := 0
+	runner := func(_ *script.Ctx, op script.Op, _ map[string]string) (string, error) {
+		ops++
+		return op.Name, nil
+	}
+	s2 := script.Seq{Steps: []script.Node{
+		script.Op{Name: "op-a", IsDOP: true},
+		script.Op{Name: "op-b", IsDOP: true},
+		script.Op{Name: "op-c", IsDOP: true},
+	}}
+	dm, err := ws.NewDesignManager(script.Config{DA: "da1", Script: s2, Runner: runner})
+	if err != nil {
+		return r, err
+	}
+	// Run fully, then "crash" the workstation and rebuild the DM: the
+	// journal must satisfy all ops without re-execution.
+	if err := dm.Run(); err != nil {
+		return r, err
+	}
+	opsBefore := ops
+	if err := sys.CrashWorkstation("ws1"); err != nil {
+		return r, err
+	}
+	ws, err = sys.AddWorkstation("ws1")
+	if err != nil {
+		return r, err
+	}
+	dm2, err := ws.NewDesignManager(script.Config{DA: "da1", Runner: runner})
+	if err != nil {
+		return r, err
+	}
+	if err := dm2.Run(); err != nil {
+		return r, err
+	}
+	if ops != opsBefore {
+		return r, fmt.Errorf("E8 scenario 2: %d ops re-executed after DM recovery", ops-opsBefore)
+	}
+	_, replayed := dm2.Engine().Stats()
+	r.Rows = append(r.Rows, []string{"workstation", "mid-script", "design manager",
+		fmt.Sprintf("script position (%d ops replayed from journal)", replayed), "none (forward recovery)"})
+
+	// Scenario 3: server crash mid-cooperation (CM persistent hierarchy).
+	if err := cm.CreateSubDA("da1", coop.Config{ID: "sub1", DOT: vlsi.DOTFloorplan, Spec: spec, Designer: "bob"}); err != nil {
+		return r, err
+	}
+	if err := sys.CrashServer(); err != nil {
+		return r, err
+	}
+	if err := sys.RestartServer(); err != nil {
+		return r, err
+	}
+	sub, err := sys.CM().Get("sub1")
+	if err != nil {
+		return r, fmt.Errorf("E8 scenario 3: DA lost in server crash: %w", err)
+	}
+	if sub.Parent != "da1" {
+		return r, fmt.Errorf("E8 scenario 3: hierarchy corrupted")
+	}
+	r.Rows = append(r.Rows, []string{"server", "mid-cooperation", "cooperation manager",
+		"DA hierarchy, relationships, scopes (from repository)", "none (forced log writes)"})
+
+	// Scenario 4: server crash mid-checkin 2PC (prepared but unresolved).
+	dop4, err := ws.Begin("e8-2pc", "da1")
+	if err != nil {
+		return r, err
+	}
+	obj4 := catalog.NewObject(vlsi.DOTFloorplan).Set("cell", catalog.Str("O")).Set("area", catalog.Float(50))
+	if err := dop4.SetWorkspace(obj4); err != nil {
+		return r, err
+	}
+	if _, err := dop4.Checkin(version.StatusWorking, true); err != nil {
+		return r, err
+	}
+	before := sys.Repo().DOVCount()
+	if err := sys.CrashServer(); err != nil {
+		return r, err
+	}
+	if err := sys.RestartServer(); err != nil {
+		return r, err
+	}
+	if got := sys.Repo().DOVCount(); got != before {
+		return r, fmt.Errorf("E8 scenario 4: committed DOVs lost (%d → %d)", before, got)
+	}
+	r.Rows = append(r.Rows, []string{"server", "mid-checkin (2PC)", "server-TM + coordinator",
+		"committed DOVs durable; in-doubt resolved presumed-abort", "uncommitted checkin only"})
+	r.Notes = append(r.Notes, "matches Fig. 8: TM recovers DOPs, DM recovers scripts, CM recovers the DA hierarchy")
+	return r, nil
+}

@@ -1,0 +1,358 @@
+// Package feature implements CONCORD design specifications (SPEC).
+//
+// A design activity's goal is a set of named features the design object
+// versions (DOVs) under construction should possess (Sect. 4.1, after
+// [Kä91]). A feature constrains the value of an elementary data item to a
+// range, requires equality with a constant, or demands that the object pass
+// a test-tool predicate. The quality state of a DOV is the subset of
+// fulfilled features, determined by the Evaluate operation; a DOV is final
+// when the whole feature set holds.
+//
+// Sub-DAs may only refine their specification — add features or restrict
+// existing ones — which IsRefinementOf checks.
+package feature
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"concord/internal/catalog"
+)
+
+// Kind enumerates the feature kinds.
+type Kind uint8
+
+// Feature kinds.
+const (
+	// KindRange constrains a numeric attribute of the object (or of any
+	// part when Deep) to lie within [Min, Max].
+	KindRange Kind = iota + 1
+	// KindEquals requires an attribute to equal a constant value.
+	KindEquals
+	// KindPredicate requires a registered test tool to accept the object.
+	KindPredicate
+)
+
+// Feature is one named property of a design specification.
+type Feature struct {
+	// Name identifies the feature within a SPEC.
+	Name string
+	// Kind selects the semantics of the remaining fields.
+	Kind Kind
+	// Attr is the attribute constrained by range/equals features.
+	Attr string
+	// Min and Max bound a range feature (inclusive).
+	Min, Max float64
+	// Want is the required constant of an equals feature.
+	Want catalog.Value
+	// Tool names the registered predicate of a test-tool feature.
+	Tool string
+	// Deep evaluates the constraint over the object and all parts: every
+	// part carrying the attribute must satisfy it.
+	Deep bool
+}
+
+// Range constructs a range feature on attr.
+func Range(name, attr string, min, max float64) Feature {
+	return Feature{Name: name, Kind: KindRange, Attr: attr, Min: min, Max: max}
+}
+
+// Equals constructs an equality feature on attr.
+func Equals(name, attr string, want catalog.Value) Feature {
+	return Feature{Name: name, Kind: KindEquals, Attr: attr, Want: want}
+}
+
+// Predicate constructs a test-tool feature referring to a tool registered in
+// a Registry.
+func Predicate(name, tool string) Feature {
+	return Feature{Name: name, Kind: KindPredicate, Tool: tool}
+}
+
+// String renders the feature for diagnostics.
+func (f Feature) String() string {
+	switch f.Kind {
+	case KindRange:
+		return fmt.Sprintf("%s: %s in [%g, %g]", f.Name, f.Attr, f.Min, f.Max)
+	case KindEquals:
+		return fmt.Sprintf("%s: %s == %s", f.Name, f.Attr, f.Want)
+	case KindPredicate:
+		return fmt.Sprintf("%s: passes %s", f.Name, f.Tool)
+	default:
+		return f.Name
+	}
+}
+
+// TestTool is a predicate applied by a test-tool feature. Implementations
+// stand in for the paper's "particular test tool" the DOV must pass.
+type TestTool func(*catalog.Object) bool
+
+// Registry resolves test-tool names for predicate features. The zero value
+// is usable; a nil Registry resolves nothing.
+type Registry struct {
+	tools map[string]TestTool
+}
+
+// NewRegistry returns an empty tool registry.
+func NewRegistry() *Registry { return &Registry{tools: make(map[string]TestTool)} }
+
+// RegisterTool binds a predicate name. Re-registering replaces the tool.
+func (r *Registry) RegisterTool(name string, t TestTool) {
+	if r.tools == nil {
+		r.tools = make(map[string]TestTool)
+	}
+	r.tools[name] = t
+}
+
+// lookup returns the named tool, if any.
+func (r *Registry) lookup(name string) (TestTool, bool) {
+	if r == nil || r.tools == nil {
+		return nil, false
+	}
+	t, ok := r.tools[name]
+	return t, ok
+}
+
+// Spec is a design specification: the goal of a design activity expressed as
+// a set of features, keyed by name.
+type Spec struct {
+	features map[string]Feature
+}
+
+// NewSpec builds a specification from features. Duplicate names are an error.
+func NewSpec(features ...Feature) (*Spec, error) {
+	s := &Spec{features: make(map[string]Feature, len(features))}
+	for _, f := range features {
+		if f.Name == "" {
+			return nil, errors.New("feature: feature without name")
+		}
+		if _, dup := s.features[f.Name]; dup {
+			return nil, fmt.Errorf("feature: duplicate feature %q", f.Name)
+		}
+		if f.Kind == KindRange && f.Min > f.Max {
+			return nil, fmt.Errorf("feature: %s: Min > Max", f.Name)
+		}
+		s.features[f.Name] = f
+	}
+	return s, nil
+}
+
+// MustSpec is NewSpec that panics on error; for statically known specs.
+func MustSpec(features ...Feature) *Spec {
+	s, err := NewSpec(features...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Empty reports whether the spec has no features.
+func (s *Spec) Empty() bool { return s == nil || len(s.features) == 0 }
+
+// Len returns the number of features.
+func (s *Spec) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.features)
+}
+
+// Feature returns the named feature.
+func (s *Spec) Feature(name string) (Feature, bool) {
+	if s == nil {
+		return Feature{}, false
+	}
+	f, ok := s.features[name]
+	return f, ok
+}
+
+// Names returns the feature names, sorted.
+func (s *Spec) Names() []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.features))
+	for n := range s.features {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Features returns the features sorted by name.
+func (s *Spec) Features() []Feature {
+	names := s.Names()
+	out := make([]Feature, len(names))
+	for i, n := range names {
+		out[i] = s.features[n]
+	}
+	return out
+}
+
+// WithFeature returns a copy of the spec with f added or replaced.
+func (s *Spec) WithFeature(f Feature) *Spec {
+	n := &Spec{features: make(map[string]Feature, s.Len()+1)}
+	if s != nil {
+		for k, v := range s.features {
+			n.features[k] = v
+		}
+	}
+	n.features[f.Name] = f
+	return n
+}
+
+// String renders the spec for diagnostics.
+func (s *Spec) String() string {
+	fs := s.Features()
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return "{" + strings.Join(parts, "; ") + "}"
+}
+
+// QualityState is the result of Evaluate: the subset of a specification a
+// DOV fulfills (Sect. 4.1).
+type QualityState struct {
+	// Fulfilled holds the names of satisfied features, sorted.
+	Fulfilled []string
+	// Missing holds the names of unsatisfied features, sorted.
+	Missing []string
+}
+
+// Final reports whether the whole feature set is fulfilled, i.e. the DOV is
+// a final one with respect to its DA's specification.
+func (q QualityState) Final() bool { return len(q.Missing) == 0 }
+
+// Fraction returns the fulfilled fraction in [0, 1]; an empty spec counts as
+// final (1).
+func (q QualityState) Fraction() float64 {
+	total := len(q.Fulfilled) + len(q.Missing)
+	if total == 0 {
+		return 1
+	}
+	return float64(len(q.Fulfilled)) / float64(total)
+}
+
+// Covers reports whether the quality state fulfills every feature in names —
+// the visibility test for usage-relationship requests ("a DOV with a certain
+// set of features satisfied", Sect. 4.1).
+func (q QualityState) Covers(names []string) bool {
+	set := make(map[string]bool, len(q.Fulfilled))
+	for _, f := range q.Fulfilled {
+		set[f] = true
+	}
+	for _, n := range names {
+		if !set[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// evalOne checks a single feature against an object.
+func evalOne(f Feature, o *catalog.Object, reg *Registry) bool {
+	check := func(obj *catalog.Object) (applies, holds bool) {
+		switch f.Kind {
+		case KindRange:
+			v, ok := obj.Attrs[f.Attr]
+			if !ok {
+				return false, false
+			}
+			n, numeric := v.Num()
+			if !numeric {
+				return true, false
+			}
+			return true, n >= f.Min && n <= f.Max && !math.IsNaN(n)
+		case KindEquals:
+			v, ok := obj.Attrs[f.Attr]
+			if !ok {
+				return false, false
+			}
+			return true, v.Equal(f.Want)
+		default:
+			return false, false
+		}
+	}
+	switch f.Kind {
+	case KindPredicate:
+		tool, ok := reg.lookup(f.Tool)
+		if !ok {
+			return false // unknown tool: conservatively unfulfilled
+		}
+		return tool(o)
+	case KindRange, KindEquals:
+		if !f.Deep {
+			applies, holds := check(o)
+			return applies && holds
+		}
+		applied, all := false, true
+		o.Walk(func(obj *catalog.Object) {
+			a, h := check(obj)
+			if a {
+				applied = true
+				if !h {
+					all = false
+				}
+			}
+		})
+		return applied && all
+	default:
+		return false
+	}
+}
+
+// Evaluate determines the quality state of an object with respect to the
+// spec, resolving predicate features through reg (which may be nil).
+func (s *Spec) Evaluate(o *catalog.Object, reg *Registry) QualityState {
+	var q QualityState
+	if s == nil {
+		return q
+	}
+	for _, name := range s.Names() {
+		if o != nil && evalOne(s.features[name], o, reg) {
+			q.Fulfilled = append(q.Fulfilled, name)
+		} else {
+			q.Missing = append(q.Missing, name)
+		}
+	}
+	return q
+}
+
+// IsRefinementOf reports whether s is a legal refinement of base: every base
+// feature is present in s and at least as restrictive (range features may
+// only narrow, equals and predicate features must be identical). New
+// features may be added freely (Sect. 4.1: a sub-DA "is only allowed to
+// refine its own specification by addition of new features or by further
+// restricting existing features").
+func (s *Spec) IsRefinementOf(base *Spec) bool {
+	if base == nil {
+		return true
+	}
+	for name, bf := range base.features {
+		sf, ok := s.Feature(name)
+		if !ok {
+			return false
+		}
+		if sf.Kind != bf.Kind || sf.Attr != bf.Attr || sf.Deep != bf.Deep {
+			return false
+		}
+		switch bf.Kind {
+		case KindRange:
+			if sf.Min < bf.Min || sf.Max > bf.Max {
+				return false
+			}
+		case KindEquals:
+			if !sf.Want.Equal(bf.Want) {
+				return false
+			}
+		case KindPredicate:
+			if sf.Tool != bf.Tool {
+				return false
+			}
+		}
+	}
+	return true
+}

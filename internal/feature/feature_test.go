@@ -1,0 +1,255 @@
+package feature
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"concord/internal/catalog"
+)
+
+func floorplanObj(area, aspect float64) *catalog.Object {
+	return catalog.NewObject("floorplan").
+		Set("area", catalog.Float(area)).
+		Set("aspect", catalog.Float(aspect)).
+		Set("routed", catalog.Bool(true))
+}
+
+func TestNewSpecValidation(t *testing.T) {
+	if _, err := NewSpec(Feature{Kind: KindRange, Attr: "a"}); err == nil {
+		t.Error("unnamed feature accepted")
+	}
+	if _, err := NewSpec(Range("a", "x", 0, 1), Range("a", "y", 0, 1)); err == nil {
+		t.Error("duplicate feature accepted")
+	}
+	if _, err := NewSpec(Range("bad", "x", 5, 1)); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestEvaluateRangeAndEquals(t *testing.T) {
+	spec := MustSpec(
+		Range("area-limit", "area", 0, 100),
+		Range("aspect", "aspect", 0.5, 2),
+		Equals("routed", "routed", catalog.Bool(true)),
+	)
+	q := spec.Evaluate(floorplanObj(80, 1.0), nil)
+	if !q.Final() {
+		t.Fatalf("expected final, missing %v", q.Missing)
+	}
+	q = spec.Evaluate(floorplanObj(120, 1.0), nil)
+	if q.Final() {
+		t.Fatal("area 120 should fail area-limit")
+	}
+	if len(q.Missing) != 1 || q.Missing[0] != "area-limit" {
+		t.Fatalf("missing = %v", q.Missing)
+	}
+	if q.Fraction() != 2.0/3.0 {
+		t.Fatalf("fraction = %g", q.Fraction())
+	}
+}
+
+func TestEvaluateMissingAttributeUnfulfilled(t *testing.T) {
+	spec := MustSpec(Range("w", "width", 0, 10))
+	o := catalog.NewObject("floorplan") // no width attribute
+	if q := spec.Evaluate(o, nil); q.Final() {
+		t.Fatal("feature on absent attribute must not be fulfilled")
+	}
+}
+
+func TestEvaluateNilObject(t *testing.T) {
+	spec := MustSpec(Range("w", "width", 0, 10))
+	q := spec.Evaluate(nil, nil)
+	if q.Final() || len(q.Missing) != 1 {
+		t.Fatalf("nil object quality = %+v", q)
+	}
+}
+
+func TestEvaluateNonNumericRangeAttr(t *testing.T) {
+	spec := MustSpec(Range("w", "width", 0, 10))
+	o := catalog.NewObject("x").Set("width", catalog.Str("wide"))
+	if q := spec.Evaluate(o, nil); q.Final() {
+		t.Fatal("range over string attribute must not hold")
+	}
+}
+
+func TestPredicateFeature(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterTool("drc", func(o *catalog.Object) bool {
+		return catalog.NumAttr(o, "violations") == 0
+	})
+	spec := MustSpec(Predicate("drc-clean", "drc"))
+	pass := catalog.NewObject("layout").Set("violations", catalog.Int(0))
+	fail := catalog.NewObject("layout").Set("violations", catalog.Int(3))
+	if !spec.Evaluate(pass, reg).Final() {
+		t.Error("clean layout should pass drc feature")
+	}
+	if spec.Evaluate(fail, reg).Final() {
+		t.Error("dirty layout should fail drc feature")
+	}
+	// Unknown tool and nil registry are conservatively unfulfilled.
+	if spec.Evaluate(pass, nil).Final() {
+		t.Error("nil registry should not fulfil predicate")
+	}
+	other := MustSpec(Predicate("x", "ghost"))
+	if other.Evaluate(pass, reg).Final() {
+		t.Error("unknown tool should not fulfil predicate")
+	}
+}
+
+func TestDeepFeature(t *testing.T) {
+	spec := MustSpec(Feature{Name: "all-areas", Kind: KindRange, Attr: "area", Min: 0, Max: 10, Deep: true})
+	root := catalog.NewObject("block")
+	root.AddPart("cells", catalog.NewObject("stdcell").Set("area", catalog.Float(5)))
+	root.AddPart("cells", catalog.NewObject("stdcell").Set("area", catalog.Float(8)))
+	if !spec.Evaluate(root, nil).Final() {
+		t.Error("all parts within bound should hold")
+	}
+	root.AddPart("cells", catalog.NewObject("stdcell").Set("area", catalog.Float(11)))
+	if spec.Evaluate(root, nil).Final() {
+		t.Error("one part out of bound should fail")
+	}
+	// Deep feature where no object carries the attribute: unfulfilled.
+	empty := catalog.NewObject("block")
+	if spec.Evaluate(empty, nil).Final() {
+		t.Error("deep feature with no applicable attribute should not hold")
+	}
+}
+
+func TestCovers(t *testing.T) {
+	spec := MustSpec(Range("a", "x", 0, 10), Range("b", "y", 0, 10))
+	o := catalog.NewObject("t").Set("x", catalog.Int(5)).Set("y", catalog.Int(50))
+	q := spec.Evaluate(o, nil)
+	if !q.Covers([]string{"a"}) {
+		t.Error("should cover fulfilled feature a")
+	}
+	if q.Covers([]string{"a", "b"}) {
+		t.Error("should not cover unfulfilled feature b")
+	}
+	if !q.Covers(nil) {
+		t.Error("empty requirement always covered")
+	}
+}
+
+func TestIsRefinementOf(t *testing.T) {
+	base := MustSpec(Range("area", "area", 0, 100), Equals("tech", "tech", catalog.Str("cmos")))
+	cases := []struct {
+		name string
+		sub  *Spec
+		want bool
+	}{
+		{"identical", MustSpec(Range("area", "area", 0, 100), Equals("tech", "tech", catalog.Str("cmos"))), true},
+		{"narrowed", MustSpec(Range("area", "area", 10, 90), Equals("tech", "tech", catalog.Str("cmos"))), true},
+		{"added feature", MustSpec(Range("area", "area", 0, 100), Equals("tech", "tech", catalog.Str("cmos")), Range("h", "height", 0, 5)), true},
+		{"widened", MustSpec(Range("area", "area", 0, 200), Equals("tech", "tech", catalog.Str("cmos"))), false},
+		{"dropped", MustSpec(Range("area", "area", 0, 100)), false},
+		{"changed equals", MustSpec(Range("area", "area", 0, 100), Equals("tech", "tech", catalog.Str("nmos"))), false},
+		{"changed attr", MustSpec(Range("area", "width", 0, 100), Equals("tech", "tech", catalog.Str("cmos"))), false},
+	}
+	for _, tc := range cases {
+		if got := tc.sub.IsRefinementOf(base); got != tc.want {
+			t.Errorf("%s: IsRefinementOf = %t, want %t", tc.name, got, tc.want)
+		}
+	}
+	if !base.IsRefinementOf(nil) {
+		t.Error("anything refines the nil spec")
+	}
+}
+
+func TestWithFeatureDoesNotMutate(t *testing.T) {
+	base := MustSpec(Range("a", "x", 0, 10))
+	ext := base.WithFeature(Range("b", "y", 0, 5))
+	if base.Len() != 1 || ext.Len() != 2 {
+		t.Fatalf("lens = %d, %d", base.Len(), ext.Len())
+	}
+	if _, ok := ext.Feature("a"); !ok {
+		t.Error("extension lost base feature")
+	}
+}
+
+func TestSpecStringAndNames(t *testing.T) {
+	s := MustSpec(Range("b-range", "y", 0, 5), Range("a-range", "x", 0, 1))
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a-range" || names[1] != "b-range" {
+		t.Fatalf("Names = %v", names)
+	}
+	if str := s.String(); !strings.Contains(str, "a-range") || !strings.Contains(str, "b-range") {
+		t.Fatalf("String = %q", str)
+	}
+}
+
+func TestEmptySpecIsAlwaysFinal(t *testing.T) {
+	s := MustSpec()
+	q := s.Evaluate(catalog.NewObject("t"), nil)
+	if !q.Final() || q.Fraction() != 1 {
+		t.Fatalf("empty spec quality = %+v", q)
+	}
+	var nilSpec *Spec
+	if !nilSpec.Empty() || nilSpec.Len() != 0 {
+		t.Error("nil spec should be empty")
+	}
+}
+
+// Property: narrowing a fulfilled range feature around the actual value
+// keeps the refinement relation and the evaluation result consistent.
+func TestQuickRangeNarrowing(t *testing.T) {
+	prop := func(v int16, lo, hi uint8) bool {
+		val := float64(v)
+		min := val - float64(lo) - 1
+		max := val + float64(hi) + 1
+		base := MustSpec(Range("r", "x", min, max))
+		narrowed := MustSpec(Range("r", "x", min+0.5, max-0.5))
+		if !narrowed.IsRefinementOf(base) {
+			return false
+		}
+		if base.IsRefinementOf(narrowed) && (lo > 0 || hi > 0) {
+			return false // widening must not count as refinement
+		}
+		o := catalog.NewObject("t").Set("x", catalog.Float(val))
+		return base.Evaluate(o, nil).Final()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Evaluate partitions the feature set: fulfilled + missing equals
+// the spec's feature names exactly.
+func TestQuickEvaluatePartition(t *testing.T) {
+	prop := func(vals []int8) bool {
+		feats := make([]Feature, 0, len(vals))
+		o := catalog.NewObject("t")
+		for i, v := range vals {
+			name := "f" + string(rune('a'+i%26)) + string(rune('0'+i/26%10))
+			feats = append(feats, Range(name, name, -10, 10))
+			o.Set(name, catalog.Int(int64(v)))
+		}
+		s, err := NewSpec(feats...)
+		if err != nil {
+			return true // duplicate synthetic names: skip
+		}
+		q := s.Evaluate(o, nil)
+		got := make(map[string]bool)
+		for _, n := range q.Fulfilled {
+			got[n] = true
+		}
+		for _, n := range q.Missing {
+			if got[n] {
+				return false // overlap
+			}
+			got[n] = true
+		}
+		if len(got) != s.Len() {
+			return false
+		}
+		for _, n := range s.Names() {
+			if !got[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

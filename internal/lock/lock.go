@@ -1,0 +1,359 @@
+// Package lock implements the concurrency-control mechanisms of the CONCORD
+// transaction and cooperation managers (Sects. 5.2, 5.4):
+//
+//   - short read/write locks (S/X) protecting checkin/checkout and the
+//     proliferation of a DA's derivation graph,
+//   - long derivation locks (D) preventing multiple checkout of a DOV for
+//     application-specific reasons,
+//   - waits-for-graph deadlock detection (the requester closing a cycle is
+//     rejected with ErrDeadlock),
+//   - a scope-lock table with nested-transaction-style inheritance that
+//     controls the dissemination of preliminary design information among
+//     DAs (see scope.go).
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes.
+const (
+	// S is a short shared (read) lock.
+	S Mode = iota + 1
+	// X is a short exclusive (write) lock.
+	X
+	// D is a long derivation lock: it prevents concurrent derivation
+	// (checkout for update) of a DOV but still admits readers.
+	D
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case S:
+		return "S"
+	case X:
+		return "X"
+	case D:
+		return "D"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// compatible reports whether a lock in mode held can coexist with a request
+// in mode req by a different owner.
+func compatible(held, req Mode) bool {
+	switch held {
+	case S:
+		return req == S || req == D
+	case D:
+		return req == S
+	case X:
+		return false
+	default:
+		return false
+	}
+}
+
+// Errors reported by the manager.
+var (
+	// ErrDeadlock rejects a request that would close a waits-for cycle.
+	ErrDeadlock = errors.New("lock: deadlock detected")
+	// ErrTimeout rejects a request that waited longer than its bound.
+	ErrTimeout = errors.New("lock: wait timed out")
+	// ErrNotHeld reports a release of a lock the owner does not hold.
+	ErrNotHeld = errors.New("lock: not held")
+)
+
+type waiter struct {
+	owner string
+	mode  Mode
+	ready bool
+	dead  bool // deadlock victim or timed out; must dequeue
+}
+
+type entry struct {
+	granted map[string]Mode // owner → strongest held mode
+	queue   []*waiter
+}
+
+// Manager is a lock table over string-named resources. All methods are safe
+// for concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	table   map[string]*entry
+	waitFor map[string]map[string]bool // waiter owner → blocking owners
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	m := &Manager{
+		table:   make(map[string]*entry),
+		waitFor: make(map[string]map[string]bool),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// stronger reports whether a covers b (holding a satisfies a request for b).
+func stronger(a, b Mode) bool {
+	if a == b {
+		return true
+	}
+	switch a {
+	case X:
+		return true // X covers S and D
+	case D:
+		return b == S // D covers read access
+	default:
+		return false
+	}
+}
+
+// grantable reports whether owner may be granted mode on e right now,
+// ignoring the queue (the caller handles queue fairness).
+func grantable(e *entry, owner string, mode Mode) bool {
+	for o, held := range e.granted {
+		if o == owner {
+			continue
+		}
+		if !compatible(held, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire obtains mode on resource for owner, blocking up to timeout.
+// Reentrant: if owner already holds an equal or stronger mode the call
+// returns immediately; an upgrade (e.g. S→X) is granted as soon as it is
+// compatible with the other holders. A timeout of 0 means "do not wait":
+// the request fails immediately with ErrTimeout if it cannot be granted.
+func (m *Manager) Acquire(owner, resource string, mode Mode, timeout time.Duration) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	e := m.table[resource]
+	if e == nil {
+		e = &entry{granted: make(map[string]Mode)}
+		m.table[resource] = e
+	}
+	if held, ok := e.granted[owner]; ok && stronger(held, mode) {
+		return nil
+	}
+	// Fast path: immediately grantable and no earlier waiter needs priority.
+	if grantable(e, owner, mode) && len(e.queue) == 0 {
+		m.grant(e, owner, mode)
+		return nil
+	}
+	if timeout == 0 {
+		return fmt.Errorf("%w: %s on %s for %s", ErrTimeout, mode, resource, owner)
+	}
+	// Deadlock check before enqueueing.
+	if m.wouldDeadlock(owner, e) {
+		return fmt.Errorf("%w: %s requesting %s on %s", ErrDeadlock, owner, mode, resource)
+	}
+	w := &waiter{owner: owner, mode: mode}
+	e.queue = append(e.queue, w)
+	m.setWaitEdges(owner, e)
+
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, m.cond.Broadcast)
+	defer timer.Stop()
+
+	for !w.ready {
+		if w.dead {
+			m.dequeue(e, w)
+			m.clearWaitEdges(owner)
+			m.promote(resource, e)
+			return fmt.Errorf("%w: %s requesting %s on %s", ErrDeadlock, owner, mode, resource)
+		}
+		if time.Now().After(deadline) {
+			m.dequeue(e, w)
+			m.clearWaitEdges(owner)
+			m.promote(resource, e)
+			return fmt.Errorf("%w: %s on %s for %s", ErrTimeout, mode, resource, owner)
+		}
+		// Re-check deadlock: the graph may have changed while waiting.
+		if m.wouldDeadlock(owner, e) {
+			m.dequeue(e, w)
+			m.clearWaitEdges(owner)
+			m.promote(resource, e)
+			return fmt.Errorf("%w: %s requesting %s on %s", ErrDeadlock, owner, mode, resource)
+		}
+		m.cond.Wait()
+	}
+	m.clearWaitEdges(owner)
+	return nil
+}
+
+// grant records the lock, keeping the strongest mode per owner.
+func (m *Manager) grant(e *entry, owner string, mode Mode) {
+	if held, ok := e.granted[owner]; !ok || !stronger(held, mode) {
+		e.granted[owner] = mode
+	}
+}
+
+func (m *Manager) dequeue(e *entry, w *waiter) {
+	for i, q := range e.queue {
+		if q == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// promote grants queued requests that are now compatible, in FIFO order,
+// stopping at the first ungrantable one (no overtaking, avoids starvation).
+func (m *Manager) promote(resource string, e *entry) {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		if !grantable(e, w.owner, w.mode) {
+			break
+		}
+		m.grant(e, w.owner, w.mode)
+		w.ready = true
+		delete(m.waitFor, w.owner)
+		e.queue = e.queue[1:]
+	}
+	if len(e.granted) == 0 && len(e.queue) == 0 {
+		delete(m.table, resource)
+	}
+	m.cond.Broadcast()
+}
+
+// Release drops owner's lock on resource and wakes compatible waiters.
+func (m *Manager) Release(owner, resource string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.table[resource]
+	if e == nil {
+		return fmt.Errorf("%w: %s on %s", ErrNotHeld, owner, resource)
+	}
+	if _, ok := e.granted[owner]; !ok {
+		return fmt.Errorf("%w: %s on %s", ErrNotHeld, owner, resource)
+	}
+	delete(e.granted, owner)
+	m.refreshWaitEdges(e)
+	m.promote(resource, e)
+	return nil
+}
+
+// ReleaseAll drops every lock held by owner (transaction end).
+func (m *Manager) ReleaseAll(owner string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for res, e := range m.table {
+		if _, ok := e.granted[owner]; ok {
+			delete(e.granted, owner)
+			m.refreshWaitEdges(e)
+			m.promote(res, e)
+		}
+	}
+	delete(m.waitFor, owner)
+}
+
+// Holds reports the mode owner currently holds on resource (0 if none).
+func (m *Manager) Holds(owner, resource string) Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e := m.table[resource]; e != nil {
+		return e.granted[owner]
+	}
+	return 0
+}
+
+// Holders returns the owners holding locks on resource, sorted.
+func (m *Manager) Holders(resource string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.table[resource]
+	if e == nil {
+		return nil
+	}
+	out := make([]string, 0, len(e.granted))
+	for o := range e.granted {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// setWaitEdges records owner as waiting for the current holders of e plus
+// the queued waiters ahead of owner's position (later waiters cannot block
+// owner, so counting them would manufacture phantom cycles).
+func (m *Manager) setWaitEdges(owner string, e *entry) {
+	edges := make(map[string]bool)
+	for o := range e.granted {
+		if o != owner {
+			edges[o] = true
+		}
+	}
+	for _, q := range e.queue {
+		if q.owner == owner {
+			break
+		}
+		edges[q.owner] = true
+	}
+	m.waitFor[owner] = edges
+}
+
+func (m *Manager) clearWaitEdges(owner string) {
+	delete(m.waitFor, owner)
+}
+
+// refreshWaitEdges recomputes edges for waiters of e after a holder change.
+func (m *Manager) refreshWaitEdges(e *entry) {
+	for _, q := range e.queue {
+		m.setWaitEdges(q.owner, e)
+	}
+}
+
+// wouldDeadlock reports whether owner waiting on e closes a waits-for cycle.
+func (m *Manager) wouldDeadlock(owner string, e *entry) bool {
+	// Hypothetical edges of owner.
+	targets := make(map[string]bool)
+	for o := range e.granted {
+		if o != owner {
+			targets[o] = true
+		}
+	}
+	for _, q := range e.queue {
+		if q.owner != owner {
+			targets[q.owner] = true
+		}
+	}
+	// DFS from each target through waitFor; a path back to owner is a cycle.
+	seen := make(map[string]bool)
+	var reach func(string) bool
+	reach = func(from string) bool {
+		if from == owner {
+			return true
+		}
+		if seen[from] {
+			return false
+		}
+		seen[from] = true
+		for next := range m.waitFor[from] {
+			if reach(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for t := range targets {
+		if reach(t) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,191 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Scope-lock errors.
+var (
+	// ErrScopeDenied rejects access to a DOV outside the requesting DA's
+	// scope.
+	ErrScopeDenied = errors.New("lock: DOV not in DA scope")
+	// ErrScopeOwned rejects a second ownership claim on a DOV.
+	ErrScopeOwned = errors.New("lock: DOV already scope-owned")
+)
+
+// ScopeTable controls the dissemination of preliminary design information
+// among design activities (Sect. 5.4). A DA may only see DOVs in its scope:
+// the DOVs of its own derivation graph (owner locks), the final DOVs of its
+// terminated sub-DAs (inherited owner locks, nested-transaction style), and
+// DOVs made visible along usage relationships (reader locks granted when the
+// supporting DA has propagated the version).
+//
+// The table provides the locking *mechanics*; the cooperation manager
+// enforces the relationship-dependent grant policy before calling GrantUse.
+type ScopeTable struct {
+	mu      sync.RWMutex
+	owner   map[string]string          // dov → owning DA
+	readers map[string]map[string]bool // dov → reading DAs
+}
+
+// NewScopeTable returns an empty scope table.
+func NewScopeTable() *ScopeTable {
+	return &ScopeTable{
+		owner:   make(map[string]string),
+		readers: make(map[string]map[string]bool),
+	}
+}
+
+// Own records da as the scope owner of dov: the version was created in (or
+// inherited by) da's derivation graph. A DOV has at most one owner at a time.
+func (t *ScopeTable) Own(da, dov string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.owner[dov]; ok && cur != da {
+		return fmt.Errorf("%w: %s owned by %s, requested by %s", ErrScopeOwned, dov, cur, da)
+	}
+	t.owner[dov] = da
+	return nil
+}
+
+// Owner returns the scope owner of dov.
+func (t *ScopeTable) Owner(dov string) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	da, ok := t.owner[dov]
+	return da, ok
+}
+
+// GrantUse adds a reader lock for da on dov: the version became visible
+// along a usage relationship. The cooperation manager must have verified the
+// relationship and the propagated quality state beforehand.
+func (t *ScopeTable) GrantUse(da, dov string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rs := t.readers[dov]
+	if rs == nil {
+		rs = make(map[string]bool)
+		t.readers[dov] = rs
+	}
+	rs[da] = true
+}
+
+// RevokeUse removes da's reader lock on dov (withdrawal of a pre-released
+// version).
+func (t *ScopeTable) RevokeUse(da, dov string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rs := t.readers[dov]; rs != nil {
+		delete(rs, da)
+		if len(rs) == 0 {
+			delete(t.readers, dov)
+		}
+	}
+}
+
+// InScope reports whether da may see dov: it owns it or holds a reader lock.
+func (t *ScopeTable) InScope(da, dov string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.owner[dov] == da {
+		return true
+	}
+	return t.readers[dov][da]
+}
+
+// CheckAccess returns ErrScopeDenied when dov is outside da's scope.
+func (t *ScopeTable) CheckAccess(da, dov string) error {
+	if !t.InScope(da, dov) {
+		return fmt.Errorf("%w: DA %s, DOV %s", ErrScopeDenied, da, dov)
+	}
+	return nil
+}
+
+// Readers returns the DAs holding reader locks on dov, sorted.
+func (t *ScopeTable) Readers(dov string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.readers[dov]))
+	for da := range t.readers[dov] {
+		out = append(out, da)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Inherit transfers ownership of the listed DOVs from a terminating sub-DA
+// to its super-DA (Sect. 5.4: "a super-DA inherits the scope-locks on the
+// final DOVs of its terminated sub-DAs and then retains these locks").
+// Only DOVs currently owned by sub are transferred; reader locks held by
+// other DAs survive the inheritance.
+func (t *ScopeTable) Inherit(sub, super string, dovs []string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, d := range dovs {
+		if t.owner[d] != sub {
+			return fmt.Errorf("%w: %s not owned by %s", ErrNotHeld, d, sub)
+		}
+	}
+	for _, d := range dovs {
+		t.owner[d] = super
+	}
+	return nil
+}
+
+// ReleaseDA drops every ownership and reader lock held by da (termination of
+// the top-level DA releases all locks; abort of a sub-DA drops its scope).
+func (t *ScopeTable) ReleaseDA(da string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for d, o := range t.owner {
+		if o == da {
+			delete(t.owner, d)
+		}
+	}
+	for d, rs := range t.readers {
+		delete(rs, da)
+		if len(rs) == 0 {
+			delete(t.readers, d)
+		}
+	}
+}
+
+// OwnedBy returns the DOVs owned by da, sorted.
+func (t *ScopeTable) OwnedBy(da string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []string
+	for d, o := range t.owner {
+		if o == da {
+			out = append(out, d)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VisibleTo returns every DOV in da's scope (owned + readable), sorted.
+func (t *ScopeTable) VisibleTo(da string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	set := make(map[string]bool)
+	for d, o := range t.owner {
+		if o == da {
+			set[d] = true
+		}
+	}
+	for d, rs := range t.readers {
+		if rs[da] {
+			set[d] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,195 @@
+package lock
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestScopeOwnAndAccess(t *testing.T) {
+	st := NewScopeTable()
+	if err := st.Own("da1", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if !st.InScope("da1", "v1") {
+		t.Error("owner not in scope")
+	}
+	if st.InScope("da2", "v1") {
+		t.Error("stranger in scope")
+	}
+	if err := st.CheckAccess("da2", "v1"); !errors.Is(err, ErrScopeDenied) {
+		t.Errorf("CheckAccess = %v, want ErrScopeDenied", err)
+	}
+	if err := st.CheckAccess("da1", "v1"); err != nil {
+		t.Errorf("owner CheckAccess = %v", err)
+	}
+}
+
+func TestScopeSecondOwnerRejected(t *testing.T) {
+	st := NewScopeTable()
+	if err := st.Own("da1", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Own("da2", "v1"); !errors.Is(err, ErrScopeOwned) {
+		t.Fatalf("second owner = %v, want ErrScopeOwned", err)
+	}
+	// Re-owning by the same DA is idempotent.
+	if err := st.Own("da1", "v1"); err != nil {
+		t.Fatalf("idempotent own = %v", err)
+	}
+}
+
+func TestScopeUsageGrantRevoke(t *testing.T) {
+	st := NewScopeTable()
+	if err := st.Own("supporter", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	st.GrantUse("requirer", "v1")
+	if !st.InScope("requirer", "v1") {
+		t.Error("usage grant not visible")
+	}
+	readers := st.Readers("v1")
+	if len(readers) != 1 || readers[0] != "requirer" {
+		t.Fatalf("Readers = %v", readers)
+	}
+	st.RevokeUse("requirer", "v1")
+	if st.InScope("requirer", "v1") {
+		t.Error("revoked reader still in scope")
+	}
+	// Owner unaffected by revocation of readers.
+	if !st.InScope("supporter", "v1") {
+		t.Error("owner lost scope")
+	}
+}
+
+func TestScopeInheritance(t *testing.T) {
+	st := NewScopeTable()
+	for _, v := range []string{"f1", "f2"} {
+		if err := st.Own("sub", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.GrantUse("peer", "f1")
+	if err := st.Inherit("sub", "super", []string{"f1", "f2"}); err != nil {
+		t.Fatal(err)
+	}
+	if o, _ := st.Owner("f1"); o != "super" {
+		t.Fatalf("owner after inherit = %s", o)
+	}
+	if !st.InScope("super", "f2") {
+		t.Error("super missing inherited scope")
+	}
+	if st.InScope("sub", "f2") {
+		t.Error("sub retained scope after inheritance")
+	}
+	// Reader locks survive inheritance.
+	if !st.InScope("peer", "f1") {
+		t.Error("peer lost usage visibility on inheritance")
+	}
+}
+
+func TestScopeInheritNotOwned(t *testing.T) {
+	st := NewScopeTable()
+	if err := st.Own("other", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Inherit("sub", "super", []string{"v1"}); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("Inherit = %v, want ErrNotHeld", err)
+	}
+	// Failed inherit must not move anything.
+	if o, _ := st.Owner("v1"); o != "other" {
+		t.Fatalf("owner changed to %s on failed inherit", o)
+	}
+}
+
+func TestScopeReleaseDA(t *testing.T) {
+	st := NewScopeTable()
+	if err := st.Own("da1", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	st.GrantUse("da1", "v2")
+	if err := st.Own("da2", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	st.ReleaseDA("da1")
+	if st.InScope("da1", "v1") || st.InScope("da1", "v2") {
+		t.Error("released DA retains scope")
+	}
+	if _, ok := st.Owner("v1"); ok {
+		t.Error("v1 still owned after ReleaseDA")
+	}
+	if !st.InScope("da2", "v2") {
+		t.Error("unrelated DA lost scope")
+	}
+}
+
+func TestScopeEnumerations(t *testing.T) {
+	st := NewScopeTable()
+	for _, v := range []string{"b", "a"} {
+		if err := st.Own("da1", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.GrantUse("da1", "c")
+	owned := st.OwnedBy("da1")
+	if len(owned) != 2 || owned[0] != "a" || owned[1] != "b" {
+		t.Fatalf("OwnedBy = %v", owned)
+	}
+	vis := st.VisibleTo("da1")
+	if len(vis) != 3 || vis[0] != "a" || vis[2] != "c" {
+		t.Fatalf("VisibleTo = %v", vis)
+	}
+}
+
+// Property: after any sequence of Own/GrantUse/RevokeUse, a DA sees exactly
+// the union of what it owns and what it is granted.
+func TestQuickScopeVisibility(t *testing.T) {
+	type op struct {
+		Kind uint8
+		DA   uint8
+		DOV  uint8
+	}
+	prop := func(ops []op) bool {
+		st := NewScopeTable()
+		type key struct{ da, dov string }
+		owns := make(map[key]bool)
+		reads := make(map[key]bool)
+		owner := make(map[string]string)
+		for _, o := range ops {
+			da := "da" + string(rune('a'+o.DA%4))
+			dov := "v" + string(rune('0'+o.DOV%6))
+			switch o.Kind % 3 {
+			case 0:
+				err := st.Own(da, dov)
+				if cur, ok := owner[dov]; ok && cur != da {
+					if err == nil {
+						return false
+					}
+				} else if err != nil {
+					return false
+				} else {
+					owner[dov] = da
+					owns[key{da, dov}] = true
+				}
+			case 1:
+				st.GrantUse(da, dov)
+				reads[key{da, dov}] = true
+			case 2:
+				st.RevokeUse(da, dov)
+				delete(reads, key{da, dov})
+			}
+		}
+		for _, da := range []string{"daa", "dab", "dac", "dad"} {
+			for _, dov := range []string{"v0", "v1", "v2", "v3", "v4", "v5"} {
+				want := owns[key{da, dov}] || reads[key{da, dov}]
+				if st.InScope(da, dov) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package lock
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestUpgradeDeadlockDetected: two shared holders both requesting an upgrade
+// to exclusive is the classic conversion deadlock; one must be rejected.
+func TestUpgradeDeadlockDetected(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire("t1", "r", S, tmo); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("t2", "r", S, tmo); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- m.Acquire("t1", "r", X, 5*time.Second) }()
+	time.Sleep(30 * time.Millisecond)
+	err2 := m.Acquire("t2", "r", X, 5*time.Second)
+	var err1 error
+	select {
+	case err1 = <-errc:
+	case <-time.After(time.Second):
+		// t1 still waiting: t2 must have failed; release t2's S so t1
+		// can proceed.
+		if err2 == nil {
+			t.Fatal("both upgrades granted")
+		}
+		if err := m.Release("t2", "r"); err != nil {
+			t.Fatal(err)
+		}
+		err1 = <-errc
+	}
+	// Exactly one succeeded (after the victim released), the other was a
+	// deadlock victim or timed out.
+	if err1 == nil && err2 == nil {
+		t.Fatal("both upgrades granted despite conversion deadlock")
+	}
+	if err1 != nil && err2 != nil {
+		t.Fatalf("both upgrades failed: %v / %v", err1, err2)
+	}
+	failed := err1
+	if failed == nil {
+		failed = err2
+	}
+	if !errors.Is(failed, ErrDeadlock) && !errors.Is(failed, ErrTimeout) {
+		t.Fatalf("loser error = %v", failed)
+	}
+}
+
+// TestDerivationLockQueuedBehindX: a D request waits for an X holder and is
+// granted after release.
+func TestDerivationLockQueuedBehindX(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire("writer", "dov", X, tmo); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire("deriver", "dov", D, 3*time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	if err := m.Release("writer", "dov"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("D after X release: %v", err)
+	}
+	// Readers may join the deriver.
+	if err := m.Acquire("reader", "dov", S, tmo); err != nil {
+		t.Fatalf("S under D: %v", err)
+	}
+}

@@ -1,0 +1,430 @@
+// Package repo implements the CONCORD design-data repository: the
+// "advanced DBMS (object and version management)" at the bottom of Fig. 1.
+//
+// The repository stores design object versions (DOVs) organized into
+// per-design-activity derivation graphs, validates every checked-in version
+// against its design object type (schema consistency, Sect. 5.2), and makes
+// all state durable through a write-ahead redo log so that a server crash
+// loses no committed version. It also offers a small durable key/value
+// metadata store used by the cooperation manager (DA hierarchy state,
+// cooperation protocol log) and the design managers (persistent scripts and
+// script logs), mirroring the paper's decision to keep all level-specific
+// context data in the server DBMS.
+package repo
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"concord/internal/catalog"
+	"concord/internal/version"
+	"concord/internal/wal"
+)
+
+// WAL record types used by the repository.
+const (
+	recDOVInsert wal.RecordType = iota + 1
+	recDOVStatus
+	recMetaPut
+	recMetaDel
+	recGraphNew
+)
+
+// Errors reported by the repository.
+var (
+	ErrUnknownGraph = errors.New("repo: unknown derivation graph")
+	ErrUnknownMeta  = errors.New("repo: unknown metadata key")
+	ErrValidation   = errors.New("repo: schema validation failed")
+)
+
+// Options configures a Repository.
+type Options struct {
+	// Dir is the durable storage directory; empty means volatile
+	// (in-memory only, no crash recovery).
+	Dir string
+	// Sync forces the log to stable storage on every append.
+	Sync bool
+}
+
+// Repository is the design data repository. All methods are safe for
+// concurrent use.
+type Repository struct {
+	cat *catalog.Catalog
+
+	mu     sync.RWMutex
+	graphs map[string]*version.Graph
+	dovs   map[version.ID]*version.DOV // global index
+	meta   map[string][]byte
+	seq    uint64
+	log    *wal.Log
+}
+
+// Open creates or recovers a repository. When opts.Dir names a directory
+// containing a previous repository log, the full state is rebuilt by replay.
+func Open(cat *catalog.Catalog, opts Options) (*Repository, error) {
+	if cat == nil {
+		return nil, errors.New("repo: nil catalog")
+	}
+	r := &Repository{
+		cat:    cat,
+		graphs: make(map[string]*version.Graph),
+		dovs:   make(map[version.ID]*version.DOV),
+		meta:   make(map[string][]byte),
+	}
+	if opts.Dir != "" {
+		l, err := wal.Open(filepath.Join(opts.Dir, "repo.wal"), wal.Options{SyncOnAppend: opts.Sync})
+		if err != nil {
+			return nil, err
+		}
+		r.log = l
+		if err := r.recover(); err != nil {
+			l.Close()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Close releases the underlying log.
+func (r *Repository) Close() error {
+	if r.log != nil {
+		return r.log.Close()
+	}
+	return nil
+}
+
+// Catalog returns the repository's DOT catalog.
+func (r *Repository) Catalog() *catalog.Catalog { return r.cat }
+
+type dovRecord struct {
+	ID        version.ID
+	DOT       string
+	DA        string
+	Parents   []version.ID
+	Object    []byte
+	Status    version.Status
+	Fulfilled []string
+	Seq       uint64
+	Root      bool // adopted root (foreign parents allowed)
+}
+
+func (r *Repository) recover() error {
+	return r.log.Replay(func(rec wal.Record) error {
+		switch rec.Type {
+		case recGraphNew:
+			da := string(rec.Payload)
+			if _, ok := r.graphs[da]; !ok {
+				r.graphs[da] = version.NewGraph(da)
+			}
+		case recDOVInsert:
+			var dr dovRecord
+			if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(&dr); err != nil {
+				return fmt.Errorf("repo: recover DOV: %w", err)
+			}
+			obj, err := catalog.DecodeObject(dr.Object)
+			if err != nil {
+				return err
+			}
+			v := &version.DOV{
+				ID: dr.ID, DOT: dr.DOT, DA: dr.DA, Parents: dr.Parents,
+				Object: obj, Status: dr.Status, Fulfilled: dr.Fulfilled, Seq: dr.Seq,
+			}
+			g, ok := r.graphs[dr.DA]
+			if !ok {
+				g = version.NewGraph(dr.DA)
+				r.graphs[dr.DA] = g
+			}
+			if dr.Root {
+				if err := g.AdoptRoot(v); err != nil {
+					return err
+				}
+			} else if err := g.InsertDerived(v); err != nil {
+				return err
+			}
+			r.dovs[v.ID] = v
+			if dr.Seq > r.seq {
+				r.seq = dr.Seq
+			}
+		case recDOVStatus:
+			parts := strings.SplitN(string(rec.Payload), "\x00", 2)
+			if len(parts) != 2 {
+				return errors.New("repo: recover status: bad payload")
+			}
+			id := version.ID(parts[0])
+			if v, ok := r.dovs[id]; ok {
+				v.Status = version.Status(parts[1][0])
+			}
+		case recMetaPut:
+			parts := bytes.SplitN(rec.Payload, []byte{0}, 2)
+			if len(parts) != 2 {
+				return errors.New("repo: recover meta: bad payload")
+			}
+			r.meta[string(parts[0])] = append([]byte(nil), parts[1]...)
+		case recMetaDel:
+			delete(r.meta, string(rec.Payload))
+		}
+		return nil
+	})
+}
+
+func (r *Repository) append(t wal.RecordType, owner string, payload []byte) error {
+	if r.log == nil {
+		return nil
+	}
+	_, err := r.log.Append(t, owner, payload)
+	return err
+}
+
+// NextID allocates a fresh repository-wide DOV identifier.
+func (r *Repository) NextID() version.ID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	return version.ID(fmt.Sprintf("dov-%06d", r.seq))
+}
+
+// CreateGraph creates (idempotently) the derivation graph of a DA.
+func (r *Repository) CreateGraph(da string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[da]; ok {
+		return nil
+	}
+	if err := r.append(recGraphNew, da, []byte(da)); err != nil {
+		return err
+	}
+	r.graphs[da] = version.NewGraph(da)
+	return nil
+}
+
+// Graph returns the derivation graph of a DA.
+func (r *Repository) Graph(da string) (*version.Graph, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g, ok := r.graphs[da]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownGraph, da)
+	}
+	return g, nil
+}
+
+// Checkin validates and durably stores a new DOV, extending its DA's
+// derivation graph. This is the server-side half of the DOP checkin
+// operation: "the consistency of the newly created DOV has to be checked
+// and further, its DA's derivation graph is extended" (Sect. 5.2).
+// When root is true the version is adopted as a graph root and may carry
+// parents from foreign graphs (initial DOV0 or inherited finals).
+func (r *Repository) Checkin(v *version.DOV, root bool) error {
+	if v == nil {
+		return errors.New("repo: nil DOV")
+	}
+	if v.Object == nil {
+		return fmt.Errorf("%w: DOV %s has no payload", ErrValidation, v.ID)
+	}
+	if v.Object.Type != v.DOT {
+		return fmt.Errorf("%w: DOV %s payload type %s, declared DOT %s", ErrValidation, v.ID, v.Object.Type, v.DOT)
+	}
+	if err := r.cat.Validate(v.Object); err != nil {
+		return fmt.Errorf("%w: %v", ErrValidation, err)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.graphs[v.DA]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownGraph, v.DA)
+	}
+	if _, dup := r.dovs[v.ID]; dup {
+		return fmt.Errorf("%w: %s", version.ErrDuplicateDOV, v.ID)
+	}
+	if !root {
+		// Parents may live in other DAs' graphs (usage inputs) but must
+		// exist somewhere in the repository.
+		for _, p := range v.Parents {
+			if _, ok := r.dovs[p]; !ok {
+				return fmt.Errorf("%w: parent %s of %s", version.ErrUnknownDOV, p, v.ID)
+			}
+		}
+	}
+	r.seq++
+	v.Seq = r.seq
+
+	objBytes, err := catalog.EncodeObject(v.Object)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(dovRecord{
+		ID: v.ID, DOT: v.DOT, DA: v.DA, Parents: v.Parents,
+		Object: objBytes, Status: v.Status, Fulfilled: v.Fulfilled, Seq: v.Seq, Root: root,
+	}); err != nil {
+		return fmt.Errorf("repo: encode DOV: %w", err)
+	}
+	// Log-before-apply: a crash after the append replays to the same state.
+	if err := r.append(recDOVInsert, v.DA, buf.Bytes()); err != nil {
+		return err
+	}
+	if root {
+		if err := g.AdoptRoot(v); err != nil {
+			return err
+		}
+	} else if err := g.InsertDerived(v); err != nil {
+		return err
+	}
+	r.dovs[v.ID] = v
+	return nil
+}
+
+// Get returns a deep copy of the version with the given ID; callers may
+// mutate the copy freely (checkout semantics).
+func (r *Repository) Get(id version.ID) (*version.DOV, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.dovs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", version.ErrUnknownDOV, id)
+	}
+	return v.Clone(), nil
+}
+
+// Exists reports whether a version is stored.
+func (r *Repository) Exists(id version.ID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.dovs[id]
+	return ok
+}
+
+// SetStatus durably updates a version's lifecycle status.
+func (r *Repository) SetStatus(id version.ID, s version.Status) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.dovs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", version.ErrUnknownDOV, id)
+	}
+	payload := append([]byte(id), 0, byte(s))
+	if err := r.append(recDOVStatus, v.DA, payload); err != nil {
+		return err
+	}
+	v.Status = s
+	return nil
+}
+
+// SetFulfilled records the feature names a version satisfied at its last
+// evaluation (volatile cache; recomputable, so not logged).
+func (r *Repository) SetFulfilled(id version.ID, names []string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.dovs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", version.ErrUnknownDOV, id)
+	}
+	v.Fulfilled = append([]string(nil), names...)
+	return nil
+}
+
+// DOVCount returns the number of stored versions.
+func (r *Repository) DOVCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.dovs)
+}
+
+// GraphNames returns the names of all derivation graphs, sorted.
+func (r *Repository) GraphNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.graphs))
+	for n := range r.graphs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PutMeta durably stores a metadata value (manager context data).
+func (r *Repository) PutMeta(key string, value []byte) error {
+	if strings.ContainsRune(key, 0) {
+		return errors.New("repo: metadata key must not contain NUL")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	payload := make([]byte, 0, len(key)+1+len(value))
+	payload = append(payload, key...)
+	payload = append(payload, 0)
+	payload = append(payload, value...)
+	if err := r.append(recMetaPut, "", payload); err != nil {
+		return err
+	}
+	r.meta[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// GetMeta fetches a metadata value.
+func (r *Repository) GetMeta(key string) ([]byte, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.meta[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownMeta, key)
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// DeleteMeta durably removes a metadata value (idempotent).
+func (r *Repository) DeleteMeta(key string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.meta[key]; !ok {
+		return nil
+	}
+	if err := r.append(recMetaDel, "", []byte(key)); err != nil {
+		return err
+	}
+	delete(r.meta, key)
+	return nil
+}
+
+// ListMeta returns all metadata keys with the given prefix, sorted.
+func (r *Repository) ListMeta(prefix string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for k := range r.meta {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckConsistency verifies repository invariants: every graph is acyclic
+// and every indexed DOV is present in its graph. Used by tests and the
+// recovery path of the server.
+func (r *Repository) CheckConsistency() error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for da, g := range r.graphs {
+		if !g.Acyclic() {
+			return fmt.Errorf("repo: graph %s has a derivation cycle", da)
+		}
+	}
+	for id, v := range r.dovs {
+		g, ok := r.graphs[v.DA]
+		if !ok {
+			return fmt.Errorf("repo: DOV %s references missing graph %s", id, v.DA)
+		}
+		if !g.Contains(id) {
+			return fmt.Errorf("repo: DOV %s missing from graph %s", id, v.DA)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+package repo
+
+import "os"
+
+// tempDir and cleanDir wrap os temp-dir handling for property tests that run
+// outside testing.T cleanup scopes.
+func tempDir() (string, error) { return os.MkdirTemp("", "concord-repo") }
+
+func cleanDir(dir string) { os.RemoveAll(dir) }

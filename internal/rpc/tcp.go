@@ -1,0 +1,141 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// tcpRequest is the wire format of one TCP call.
+type tcpRequest struct {
+	Method  string
+	Payload []byte
+}
+
+// tcpResponse is the wire format of one TCP reply.
+type tcpResponse struct {
+	Payload []byte
+	Err     string
+}
+
+// TCP is a Transport over real sockets: each registered address is a
+// listening endpoint; each Call opens one connection, exchanges one
+// gob-encoded request/response pair, and closes. Suitable for the LAN
+// workstation/server deployment of cmd/concordd.
+type TCP struct {
+	mu        sync.Mutex
+	listeners map[string]net.Listener
+	closed    bool
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// CallTimeout bounds a whole request/response exchange (default 10s).
+	CallTimeout time.Duration
+}
+
+// NewTCP returns a TCP transport.
+func NewTCP() *TCP {
+	return &TCP{
+		listeners:   make(map[string]net.Listener),
+		DialTimeout: 2 * time.Second,
+		CallTimeout: 10 * time.Second,
+	}
+}
+
+// Serve starts listening on addr (host:port; :0 picks a free port — use
+// Addr to discover it) and dispatches connections to h.
+func (t *TCP) Serve(addr string, h Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ln.Close()
+		return errors.New("rpc: transport closed")
+	}
+	t.listeners[ln.Addr().String()] = ln
+	t.mu.Unlock()
+	go t.acceptLoop(ln, h)
+	return nil
+}
+
+// Addr returns the bound address of the most recently started listener that
+// matches the given port-zero address pattern; with a single listener it
+// returns that listener's address.
+func (t *TCP) Addr() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for a := range t.listeners {
+		return a
+	}
+	return ""
+}
+
+func (t *TCP) acceptLoop(ln net.Listener, h Handler) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go t.serveConn(conn, h)
+	}
+}
+
+func (t *TCP) serveConn(conn net.Conn, h Handler) {
+	defer conn.Close()
+	if t.CallTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(t.CallTimeout)) //nolint:errcheck
+	}
+	var req tcpRequest
+	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+		return
+	}
+	resp := tcpResponse{}
+	payload, err := h(req.Method, req.Payload)
+	if err != nil {
+		resp.Err = err.Error()
+	} else {
+		resp.Payload = payload
+	}
+	gob.NewEncoder(conn).Encode(&resp) //nolint:errcheck // peer may be gone
+}
+
+// Call performs one request attempt against addr.
+func (t *TCP) Call(addr, method string, payload []byte) ([]byte, error) {
+	d := net.Dialer{Timeout: t.DialTimeout}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	defer conn.Close()
+	if t.CallTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(t.CallTimeout)) //nolint:errcheck
+	}
+	if err := gob.NewEncoder(conn).Encode(&tcpRequest{Method: method, Payload: payload}); err != nil {
+		return nil, fmt.Errorf("%w: send: %v", ErrDropped, err)
+	}
+	var resp tcpResponse
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("%w: recv: %v", ErrDropped, err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err)
+	}
+	return resp.Payload, nil
+}
+
+// Close stops all listeners.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	for _, ln := range t.listeners {
+		ln.Close()
+	}
+	t.listeners = make(map[string]net.Listener)
+	return nil
+}

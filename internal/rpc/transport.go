@@ -1,0 +1,271 @@
+// Package rpc provides the communication substrate of CONCORD's
+// workstation/server architecture (Sect. 5.1): message transports, a
+// reliable ("transactional RPC") client achieving exactly-once effects over
+// unreliable delivery, and a presumed-abort two-phase commit engine with
+// persistent coordinator and participant logs (Sects. 5.2, 5.5, 6 and
+// [GR93, SBCM93]).
+//
+// Two transports are provided: an in-process transport with deterministic
+// fault injection (drop, duplicate, delay) for simulation and tests, and a
+// TCP transport (stdlib net + gob) for real LAN deployment via cmd/concordd.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Handler serves a single method invocation.
+type Handler func(method string, payload []byte) ([]byte, error)
+
+// Transport delivers single request/response attempts. Delivery may fail;
+// the Client layers retries and deduplication on top.
+type Transport interface {
+	// Call performs one unreliable request attempt against addr.
+	Call(addr, method string, payload []byte) ([]byte, error)
+	// Serve registers the handler for addr. It replaces any previous
+	// handler for that address.
+	Serve(addr string, h Handler) error
+	// Close releases transport resources.
+	Close() error
+}
+
+// Transport-level errors.
+var (
+	ErrUnreachable = errors.New("rpc: address unreachable")
+	ErrDropped     = errors.New("rpc: message dropped")
+	// ErrRemote wraps an application-level error returned by a handler.
+	ErrRemote = errors.New("rpc: remote error")
+)
+
+// FaultPlan configures deterministic fault injection on the in-process
+// transport. Probabilities are in [0, 1].
+type FaultPlan struct {
+	// DropRequest is the probability a request vanishes before delivery.
+	DropRequest float64
+	// DropResponse is the probability the response vanishes after the
+	// handler has executed (the dangerous case for exactly-once).
+	DropResponse float64
+	// Duplicate is the probability a delivered request is executed twice.
+	Duplicate float64
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+}
+
+// InProc is an in-process transport with fault injection. The zero value is
+// not usable; create one with NewInProc.
+type InProc struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	plan     FaultPlan
+	rng      *rand.Rand
+	rngMu    sync.Mutex
+	closed   bool
+	// Partitioned addresses are unreachable until healed.
+	partitioned map[string]bool
+}
+
+// NewInProc returns an in-process transport with the given fault plan.
+func NewInProc(plan FaultPlan) *InProc {
+	return &InProc{
+		handlers:    make(map[string]Handler),
+		plan:        plan,
+		rng:         rand.New(rand.NewSource(plan.Seed)),
+		partitioned: make(map[string]bool),
+	}
+}
+
+// Serve registers a handler for addr.
+func (t *InProc) Serve(addr string, h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return errors.New("rpc: transport closed")
+	}
+	t.handlers[addr] = h
+	return nil
+}
+
+// Partition makes addr unreachable (simulated crash or network partition).
+func (t *InProc) Partition(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.partitioned[addr] = true
+}
+
+// Heal reconnects addr.
+func (t *InProc) Heal(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.partitioned, addr)
+}
+
+func (t *InProc) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	t.rngMu.Lock()
+	defer t.rngMu.Unlock()
+	return t.rng.Float64() < p
+}
+
+// Call delivers one request attempt, subject to the fault plan.
+func (t *InProc) Call(addr, method string, payload []byte) ([]byte, error) {
+	t.mu.RLock()
+	h, ok := t.handlers[addr]
+	part := t.partitioned[addr]
+	closed := t.closed
+	t.mu.RUnlock()
+	if closed {
+		return nil, errors.New("rpc: transport closed")
+	}
+	if !ok || part {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, addr)
+	}
+	if t.chance(t.plan.DropRequest) {
+		return nil, fmt.Errorf("%w: request to %s/%s", ErrDropped, addr, method)
+	}
+	if t.chance(t.plan.Duplicate) {
+		// Execute twice; the first response is discarded. Exactly-once
+		// handlers must tolerate this.
+		h(method, payload) //nolint:errcheck // duplicated delivery
+	}
+	resp, err := h(method, payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	if t.chance(t.plan.DropResponse) {
+		return nil, fmt.Errorf("%w: response from %s/%s", ErrDropped, addr, method)
+	}
+	return resp, nil
+}
+
+// Close shuts the transport down.
+func (t *InProc) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	t.handlers = make(map[string]Handler)
+	return nil
+}
+
+// Client is a reliable caller: it retries failed attempts with the same
+// request ID so that a deduplicating server executes the request exactly
+// once even when responses are lost ("transactional RPC", Sect. 5.3).
+type Client struct {
+	t Transport
+	// Retries bounds the attempts per call (default 8).
+	Retries int
+	// Backoff is the pause between attempts (default 1ms; 0 in tests with
+	// in-proc transports is fine).
+	Backoff time.Duration
+
+	mu       sync.Mutex
+	seq      uint64
+	id       string
+	attempts uint64
+}
+
+// Attempts reports the total transport attempts made (including retries);
+// the difference to the logical call count is the loss-recovery overhead.
+func (c *Client) Attempts() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.attempts
+}
+
+// NewClient wraps a transport in a reliable caller. id must be unique among
+// clients sharing a server (it prefixes request IDs).
+func NewClient(t Transport, id string) *Client {
+	return &Client{t: t, Retries: 8, Backoff: time.Millisecond, id: id}
+}
+
+// nextRequestID returns a client-unique request identifier.
+func (c *Client) nextRequestID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return fmt.Sprintf("%s#%d", c.id, c.seq)
+}
+
+// Call invokes method at addr reliably. Application-level errors (ErrRemote)
+// are returned immediately; transport losses are retried.
+func (c *Client) Call(addr, method string, payload []byte) ([]byte, error) {
+	env := encodeEnvelope(c.nextRequestID(), payload)
+	var lastErr error
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 8
+	}
+	for i := 0; i < retries; i++ {
+		c.mu.Lock()
+		c.attempts++
+		c.mu.Unlock()
+		resp, err := c.t.Call(addr, method, env)
+		if err == nil {
+			return resp, nil
+		}
+		if errors.Is(err, ErrRemote) {
+			return nil, err
+		}
+		lastErr = err
+		if c.Backoff > 0 {
+			time.Sleep(c.Backoff)
+		}
+	}
+	return nil, fmt.Errorf("rpc: call %s/%s failed after %d attempts: %w", addr, method, retries, lastErr)
+}
+
+// encodeEnvelope frames a request ID and payload.
+func encodeEnvelope(reqID string, payload []byte) []byte {
+	env := make([]byte, 0, 2+len(reqID)+len(payload))
+	env = append(env, byte(len(reqID)>>8), byte(len(reqID)))
+	env = append(env, reqID...)
+	env = append(env, payload...)
+	return env
+}
+
+// decodeEnvelope splits a framed request.
+func decodeEnvelope(env []byte) (reqID string, payload []byte, err error) {
+	if len(env) < 2 {
+		return "", nil, errors.New("rpc: short envelope")
+	}
+	n := int(env[0])<<8 | int(env[1])
+	if len(env) < 2+n {
+		return "", nil, errors.New("rpc: truncated envelope")
+	}
+	return string(env[2 : 2+n]), env[2+n:], nil
+}
+
+// Dedup wraps a handler with at-most-once execution per request ID: repeated
+// deliveries return the memoized first response. Combined with Client
+// retries this yields exactly-once effects.
+func Dedup(h Handler) Handler {
+	type cached struct {
+		resp []byte
+		err  error
+	}
+	var mu sync.Mutex
+	seen := make(map[string]cached)
+	return func(method string, env []byte) ([]byte, error) {
+		reqID, payload, err := decodeEnvelope(env)
+		if err != nil {
+			return nil, err
+		}
+		key := method + "\x00" + reqID
+		mu.Lock()
+		if c, ok := seen[key]; ok {
+			mu.Unlock()
+			return c.resp, c.err
+		}
+		mu.Unlock()
+		resp, herr := h(method, payload)
+		mu.Lock()
+		seen[key] = cached{resp: resp, err: herr}
+		mu.Unlock()
+		return resp, herr
+	}
+}

@@ -1,0 +1,350 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"concord/internal/wal"
+)
+
+// Two-phase commit: CONCORD requires client-TM and server-TM to "accomplish
+// a two-phase-commit protocol for all their critical interactions"
+// (Sect. 5.2), and suggests the X/OPEN protocol with presumed-abort style
+// optimizations for LAN communication (Sect. 6, [SBCM93]).
+//
+// The engine here is presumed-abort: the coordinator force-logs only commit
+// decisions; absence of a decision record means abort. Participants
+// force-log their prepare vote and resolve in-doubt transactions by asking
+// the coordinator after a crash.
+
+// Vote is a participant's answer to prepare.
+type Vote uint8
+
+// Votes.
+const (
+	// VoteCommit signals readiness to commit.
+	VoteCommit Vote = iota + 1
+	// VoteAbort refuses the transaction.
+	VoteAbort
+)
+
+// Resource is a local resource manager joining 2PC transactions.
+type Resource interface {
+	// Prepare must persist everything needed to commit later and return
+	// VoteCommit, or release and return VoteAbort.
+	Prepare(txid string) (Vote, error)
+	// Commit finalizes a prepared transaction. It must be idempotent.
+	Commit(txid string) error
+	// Abort rolls a transaction back. It must be idempotent and tolerate
+	// unknown txids (presumed abort).
+	Abort(txid string) error
+}
+
+// Outcome is the decided fate of a distributed transaction.
+type Outcome uint8
+
+// Outcomes.
+const (
+	// OutcomeCommitted means all participants prepared and the decision
+	// was logged.
+	OutcomeCommitted Outcome = iota + 1
+	// OutcomeAborted means some participant refused or was unreachable.
+	OutcomeAborted
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	if o == OutcomeCommitted {
+		return "committed"
+	}
+	return "aborted"
+}
+
+// Coordinator log record types.
+const (
+	recDecisionCommit wal.RecordType = 0x21
+	recDecisionEnd    wal.RecordType = 0x22
+)
+
+// Coordinator drives presumed-abort 2PC over a Client. The decision log may
+// be nil for volatile (test) coordinators.
+type Coordinator struct {
+	client *Client
+	log    *wal.Log
+
+	mu        sync.Mutex
+	decisions map[string]Outcome
+	// Stats counts protocol messages for the E10 experiment.
+	stats Stats
+}
+
+// Stats counts 2PC protocol messages.
+type Stats struct {
+	Prepares, Commits, Aborts, Retries int
+}
+
+// NewCoordinator returns a coordinator using client for participant calls
+// and log (optional) for durable commit decisions.
+func NewCoordinator(client *Client, log *wal.Log) (*Coordinator, error) {
+	c := &Coordinator{client: client, log: log, decisions: make(map[string]Outcome)}
+	if log != nil {
+		err := log.Replay(func(r wal.Record) error {
+			switch r.Type {
+			case recDecisionCommit:
+				c.decisions[string(r.Payload)] = OutcomeCommitted
+			case recDecisionEnd:
+				delete(c.decisions, string(r.Payload))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Stats returns a copy of the protocol message counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Outcome reports the logged fate of txid. Unknown transactions are aborted
+// by presumption.
+func (c *Coordinator) Outcome(txid string) Outcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if o, ok := c.decisions[txid]; ok {
+		return o
+	}
+	return OutcomeAborted
+}
+
+// Methods used on participant endpoints.
+const (
+	MethodPrepare = "2pc/prepare"
+	MethodCommit  = "2pc/commit"
+	MethodAbort   = "2pc/abort"
+)
+
+// Commit runs the protocol for txid across the participant addresses.
+// On any prepare failure the transaction aborts. The returned outcome is
+// durable before participants learn it.
+func (c *Coordinator) Commit(txid string, participants []string) (Outcome, error) {
+	// Phase 1: prepare.
+	allPrepared := true
+	for _, p := range participants {
+		c.mu.Lock()
+		c.stats.Prepares++
+		c.mu.Unlock()
+		resp, err := c.client.Call(p, MethodPrepare, []byte(txid))
+		if err != nil || string(resp) != "commit" {
+			allPrepared = false
+			break
+		}
+	}
+	if !allPrepared {
+		// Presumed abort: no forced log write needed.
+		c.abortAll(txid, participants)
+		return OutcomeAborted, nil
+	}
+	// Decision: force-log commit.
+	if c.log != nil {
+		if _, err := c.log.Append(recDecisionCommit, "coordinator", []byte(txid)); err != nil {
+			// Cannot make the decision durable: abort is the safe fate.
+			c.abortAll(txid, participants)
+			return OutcomeAborted, fmt.Errorf("rpc: 2pc decision log: %w", err)
+		}
+	}
+	c.mu.Lock()
+	c.decisions[txid] = OutcomeCommitted
+	c.mu.Unlock()
+	// Phase 2: commit.
+	var firstErr error
+	for _, p := range participants {
+		c.mu.Lock()
+		c.stats.Commits++
+		c.mu.Unlock()
+		if _, err := c.client.Call(p, MethodCommit, []byte(txid)); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rpc: 2pc commit at %s: %w", p, err)
+		}
+	}
+	if firstErr == nil && c.log != nil {
+		// All acks in: the decision record may be forgotten.
+		c.log.Append(recDecisionEnd, "coordinator", []byte(txid)) //nolint:errcheck // cleanup only
+	}
+	// The transaction is committed even if some participant is temporarily
+	// unreachable; it will learn the outcome on recovery (Resolve).
+	return OutcomeCommitted, firstErr
+}
+
+func (c *Coordinator) abortAll(txid string, participants []string) {
+	for _, p := range participants {
+		c.mu.Lock()
+		c.stats.Aborts++
+		c.mu.Unlock()
+		c.client.Call(p, MethodAbort, []byte(txid)) //nolint:errcheck // best effort; presumed abort
+	}
+}
+
+// Participant adapts a Resource to the 2PC wire protocol with a persistent
+// vote log. Register its Handler on the transport address the coordinator
+// calls.
+type Participant struct {
+	res Resource
+	log *wal.Log
+
+	mu       sync.Mutex
+	prepared map[string]bool
+	done     map[string]bool
+}
+
+// Participant log record types.
+const (
+	recVotePrepared wal.RecordType = 0x31
+	recTxDone       wal.RecordType = 0x32
+)
+
+// NewParticipant wraps res. log (optional) makes prepare votes durable so
+// in-doubt transactions survive a participant crash.
+func NewParticipant(res Resource, log *wal.Log) (*Participant, error) {
+	p := &Participant{res: res, log: log, prepared: make(map[string]bool), done: make(map[string]bool)}
+	if log != nil {
+		err := log.Replay(func(r wal.Record) error {
+			switch r.Type {
+			case recVotePrepared:
+				p.prepared[string(r.Payload)] = true
+			case recTxDone:
+				delete(p.prepared, string(r.Payload))
+				p.done[string(r.Payload)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// InDoubt lists transactions prepared but not yet resolved, sorted order not
+// guaranteed.
+func (p *Participant) InDoubt() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.prepared))
+	for tx := range p.prepared {
+		out = append(out, tx)
+	}
+	return out
+}
+
+// Handler returns the transport handler speaking the 2PC protocol.
+func (p *Participant) Handler() Handler {
+	return func(method string, payload []byte) ([]byte, error) {
+		txid := string(payload)
+		switch method {
+		case MethodPrepare:
+			return p.prepare(txid)
+		case MethodCommit:
+			return p.commit(txid)
+		case MethodAbort:
+			return p.abort(txid)
+		default:
+			return nil, fmt.Errorf("rpc: participant: unknown method %q", method)
+		}
+	}
+}
+
+func (p *Participant) prepare(txid string) ([]byte, error) {
+	p.mu.Lock()
+	if p.done[txid] {
+		p.mu.Unlock()
+		return nil, errors.New("rpc: participant: transaction already resolved")
+	}
+	if p.prepared[txid] {
+		p.mu.Unlock()
+		return []byte("commit"), nil // idempotent re-prepare
+	}
+	p.mu.Unlock()
+
+	vote, err := p.res.Prepare(txid)
+	if err != nil || vote != VoteCommit {
+		return []byte("abort"), nil
+	}
+	if p.log != nil {
+		if _, err := p.log.Append(recVotePrepared, txid, []byte(txid)); err != nil {
+			// Vote not durable: refuse to promise.
+			p.res.Abort(txid) //nolint:errcheck // best effort
+			return []byte("abort"), nil
+		}
+	}
+	p.mu.Lock()
+	p.prepared[txid] = true
+	p.mu.Unlock()
+	return []byte("commit"), nil
+}
+
+func (p *Participant) commit(txid string) ([]byte, error) {
+	if err := p.res.Commit(txid); err != nil {
+		return nil, err
+	}
+	p.finish(txid)
+	return []byte("ok"), nil
+}
+
+func (p *Participant) abort(txid string) ([]byte, error) {
+	if err := p.res.Abort(txid); err != nil {
+		return nil, err
+	}
+	p.finish(txid)
+	return []byte("ok"), nil
+}
+
+func (p *Participant) finish(txid string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.log != nil && p.prepared[txid] {
+		p.log.Append(recTxDone, txid, []byte(txid)) //nolint:errcheck // cleanup only
+	}
+	delete(p.prepared, txid)
+	p.done[txid] = true
+}
+
+// Resolve settles every in-doubt transaction after a participant restart by
+// asking the coordinator for the durable outcome (presumed abort: unknown
+// means aborted).
+func (p *Participant) Resolve(outcome func(txid string) Outcome) error {
+	var firstErr error
+	for _, txid := range p.InDoubt() {
+		var err error
+		if outcome(txid) == OutcomeCommitted {
+			_, err = p.commit(txid)
+		} else {
+			_, err = p.abort(txid)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// SplitList splits a comma-separated participant list (CLI convenience).
+func SplitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Package script implements CONCORD's Design Control (DC) level: the
+// organization of design-tool applications within one design activity
+// (Sect. 4.2) and the design manager (DM) enforcing it (Sect. 5.3).
+//
+// Three mechanisms combine to specify a DA's work flow:
+//
+//   - scripts: templates of valid DOP execution sequences, with sequences,
+//     parallel branches, alternative paths, iterations and "open" regions
+//     that leave degrees of freedom to the designer (Fig. 6),
+//   - constraints: domain-wide precedence/succession dependencies between
+//     DOP types that every script and execution must observe,
+//   - ECA rules: (event, condition, action) triples reacting to
+//     asynchronously occurring cooperation events.
+//
+// The engine journals every operation start/finish and every designer
+// decision to a persistent store, giving the recoverable script executions
+// of Sect. 5.3: after a workstation crash the DM replays the journal to the
+// exact position reached and continues forward (minimum loss of work).
+package script
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+)
+
+// Node is a work-flow script fragment. The concrete node types are Op, Seq,
+// Par, Alt, Loop and Open.
+type Node interface {
+	node()
+	// Ops reports every operation name that can occur in the fragment.
+	Ops() []string
+}
+
+// Op invokes a single operation: a design operation (tool execution, IsDOP
+// true) or a specific DA operation such as Evaluate or Propagate (IsDOP
+// false).
+type Op struct {
+	// Name identifies the operation; the runner binds it to behaviour.
+	Name string
+	// IsDOP marks design operations (subject to domain constraints).
+	IsDOP bool
+	// Params carry static arguments. The special value "$last" is
+	// replaced with the previous operation's result at execution time —
+	// the identification of a DOV flowing between DOPs (Sect. 4.2).
+	Params map[string]string
+}
+
+func (Op) node() {}
+
+// Ops implements Node.
+func (o Op) Ops() []string { return []string{o.Name} }
+
+// Seq executes steps in order.
+type Seq struct {
+	Steps []Node
+}
+
+func (Seq) node() {}
+
+// Ops implements Node.
+func (s Seq) Ops() []string {
+	var out []string
+	for _, st := range s.Steps {
+		out = append(out, st.Ops()...)
+	}
+	return out
+}
+
+// Par executes branches concurrently and joins them (branches for parallel
+// actions, Sect. 4.2).
+type Par struct {
+	Branches []Node
+}
+
+func (Par) node() {}
+
+// Ops implements Node.
+func (p Par) Ops() []string {
+	var out []string
+	for _, b := range p.Branches {
+		out = append(out, b.Ops()...)
+	}
+	return out
+}
+
+// Alt lets the designer choose one of several alternative paths (Fig. 6b).
+type Alt struct {
+	// Name labels the decision for the designer and the journal.
+	Name string
+	// Labels describe the branches (parallel to Branches).
+	Labels []string
+	// Branches are the alternative continuations.
+	Branches []Node
+}
+
+func (Alt) node() {}
+
+// Ops implements Node.
+func (a Alt) Ops() []string {
+	var out []string
+	for _, b := range a.Branches {
+		out = append(out, b.Ops()...)
+	}
+	return out
+}
+
+// Loop repeats its body while the designer (or the Max bound) decides to
+// iterate — the designer-driven re-iterations of chip planning (Sect. 3).
+type Loop struct {
+	// Name labels the iteration decision.
+	Name string
+	// Body is executed at least once.
+	Body Node
+	// Max bounds the iterations (0 = unbounded, designer decides).
+	Max int
+}
+
+func (Loop) node() {}
+
+// Ops implements Node.
+func (l Loop) Ops() []string { return l.Body.Ops() }
+
+// Open is a partially undetermined script region ("open", Fig. 6a): the
+// designer performs any sequence of intermediate operations before declaring
+// the region done.
+type Open struct {
+	// Name labels the region for the designer and the journal.
+	Name string
+}
+
+func (Open) node() {}
+
+// Ops implements Node.
+func (Open) Ops() []string { return nil }
+
+func init() {
+	gob.Register(Op{})
+	gob.Register(Seq{})
+	gob.Register(Par{})
+	gob.Register(Alt{})
+	gob.Register(Loop{})
+	gob.Register(Open{})
+}
+
+// EncodeScript serializes a script for persistent storage (the persistent
+// script the DM relies on for recovery, Sect. 5.3).
+func EncodeScript(n Node) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&n); err != nil {
+		return nil, fmt.Errorf("script: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeScript deserializes a script produced by EncodeScript.
+func DecodeScript(data []byte) (Node, error) {
+	var n Node
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&n); err != nil {
+		return nil, fmt.Errorf("script: decode: %w", err)
+	}
+	if n == nil {
+		return nil, errors.New("script: decoded nil script")
+	}
+	return n, nil
+}

@@ -1,0 +1,170 @@
+package script
+
+import (
+	"fmt"
+)
+
+// Precedence requires that a DOP of type After must not be applied before a
+// DOP of type Before has successfully completed (Sect. 4.2: "chip assembly
+// must not be applied before structure synthesis").
+type Precedence struct {
+	Before, After string
+}
+
+// Succession requires that once a DOP of type First completes, the next DOP
+// executed must be of type Then (Sect. 4.2: "pad frame editor followed by
+// chip planner").
+type Succession struct {
+	First, Then string
+}
+
+// ConstraintSet holds the dependencies of a design application domain. The
+// constraints hold for all DAs of the domain: scripts must not contradict
+// them and the engine enforces them at run time.
+type ConstraintSet struct {
+	// Precedences are before/after requirements.
+	Precedences []Precedence
+	// Successions are must-follow requirements.
+	Successions []Succession
+}
+
+// checkRuntime verifies that running op next is legal given the set of
+// completed DOP names and the previously executed DOP.
+func (c *ConstraintSet) checkRuntime(op string, isDOP bool, completed map[string]int, lastDOP string) error {
+	if c == nil || !isDOP {
+		return nil
+	}
+	for _, p := range c.Precedences {
+		if p.After == op && completed[p.Before] == 0 {
+			return fmt.Errorf("script: constraint violated: %q requires completed %q", op, p.Before)
+		}
+	}
+	for _, s := range c.Successions {
+		if s.First == lastDOP && op != s.Then {
+			return fmt.Errorf("script: constraint violated: %q must follow %q, got %q", s.Then, s.First, op)
+		}
+	}
+	return nil
+}
+
+// Validate statically checks a script against the constraint set. The check
+// is conservative: it explores every alternative branch and treats loops as
+// a single iteration; Open regions admit arbitrary operations and are
+// accepted (run-time enforcement still applies). An error identifies the
+// first contradiction found.
+func (c *ConstraintSet) Validate(n Node) error {
+	if c == nil || n == nil {
+		return nil
+	}
+	// states: sets of (completed set, lastDOP) after executing the prefix.
+	type state struct {
+		done map[string]bool
+		last string
+		open bool // an Open region occurred: later precedences unprovable
+	}
+	clone := func(s state) state {
+		d := make(map[string]bool, len(s.done))
+		for k := range s.done {
+			d[k] = true
+		}
+		return state{done: d, last: s.last, open: s.open}
+	}
+	var walk func(n Node, in []state) ([]state, error)
+	applyOp := func(op Op, in []state) ([]state, error) {
+		out := make([]state, 0, len(in))
+		for _, s := range in {
+			if op.IsDOP {
+				for _, p := range c.Precedences {
+					if p.After == op.Name && !s.done[p.Before] && !s.open {
+						return nil, fmt.Errorf("script: static check: %q can run before %q", op.Name, p.Before)
+					}
+				}
+				for _, su := range c.Successions {
+					if su.First == s.last && op.Name != su.Then {
+						return nil, fmt.Errorf("script: static check: %q follows %q, want %q", op.Name, su.First, su.Then)
+					}
+				}
+			}
+			ns := clone(s)
+			if op.IsDOP {
+				ns.done[op.Name] = true
+				ns.last = op.Name
+			}
+			out = append(out, ns)
+		}
+		return out, nil
+	}
+	walk = func(n Node, in []state) ([]state, error) {
+		switch t := n.(type) {
+		case Op:
+			return applyOp(t, in)
+		case Seq:
+			cur := in
+			var err error
+			for _, st := range t.Steps {
+				cur, err = walk(st, cur)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return cur, nil
+		case Alt:
+			var out []state
+			for _, b := range t.Branches {
+				res, err := walk(b, in)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, res...)
+			}
+			return out, nil
+		case Loop:
+			// One iteration suffices for precedence collection; a second
+			// pass catches succession violations across iterations.
+			once, err := walk(t.Body, in)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := walk(t.Body, once); err != nil {
+				return nil, err
+			}
+			return once, nil
+		case Par:
+			// Conservative: validate each branch independently from the
+			// joint entry states; afterwards all branch effects merge.
+			merged := make([]state, 0, len(in))
+			for _, s := range in {
+				merged = append(merged, clone(s))
+			}
+			for _, b := range t.Branches {
+				res, err := walk(b, in)
+				if err != nil {
+					return nil, err
+				}
+				for i := range merged {
+					for _, r := range res {
+						for k := range r.done {
+							merged[i].done[k] = true
+						}
+					}
+					merged[i].last = "" // interleaving unknown
+				}
+			}
+			return merged, nil
+		case Open:
+			out := make([]state, 0, len(in))
+			for _, s := range in {
+				ns := clone(s)
+				ns.open = true
+				ns.last = "" // designer may have run anything
+				out = append(out, ns)
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("script: unknown node type %T", n)
+		}
+	}
+	start := []state{{done: make(map[string]bool)}}
+	_, err := walk(n, start)
+	return err
+}

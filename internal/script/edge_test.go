@@ -1,0 +1,150 @@
+package script
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParBranchesJournalIndependently(t *testing.T) {
+	store := newMemStore()
+	var mu sync.Mutex
+	count := map[string]int{}
+	runner := func(_ *Ctx, op Op, _ map[string]string) (string, error) {
+		mu.Lock()
+		count[op.Name]++
+		mu.Unlock()
+		return op.Name, nil
+	}
+	s := Par{Branches: []Node{
+		Seq{Steps: []Node{dopOp("a1"), dopOp("a2")}},
+		Seq{Steps: []Node{dopOp("b1"), dopOp("b2")}},
+		dopOp("c"),
+	}}
+	dm, err := NewDesignManager(Config{DA: "par-da", Script: s, Store: store, Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-run: everything replays from the journal, nothing re-executes.
+	if err := dm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for op, n := range count {
+		if n != 1 {
+			t.Errorf("op %s executed %d times (journal collision across branches?)", op, n)
+		}
+	}
+	if dm.JournaledOps() != 5 {
+		t.Fatalf("journaled ops = %d, want 5", dm.JournaledOps())
+	}
+}
+
+func TestOpenRegionEnforcesConstraints(t *testing.T) {
+	// A designer trying to run "assembly" inside an open region before
+	// "synth" happened must be stopped by runtime constraint checking.
+	cs := &ConstraintSet{Precedences: []Precedence{{Before: "synth", After: "assembly"}}}
+	d := &scriptedDesigner{open: []Op{dopOp("assembly")}}
+	e := NewEngine("da", nil, d, (&recordingRunner{}).run, nil, cs)
+	err := e.Run(Seq{Steps: []Node{Open{Name: "free"}}})
+	if err == nil || !strings.Contains(err.Error(), "constraint violated") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoopJournalReplaysIterationCount(t *testing.T) {
+	store := newMemStore()
+	r1 := &recordingRunner{}
+	d1 := &scriptedDesigner{loops: []bool{true, true, false}}
+	s := Loop{Name: "iter", Body: dopOp("work")}
+	dm1, err := NewDesignManager(Config{DA: "loop-da", Script: s, Store: store, Designer: d1, Runner: r1.run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dm1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.names()) != 3 {
+		t.Fatalf("iterations = %d", len(r1.names()))
+	}
+	// Recovery: a fresh DM with no designer decisions left must replay
+	// exactly 3 iterations from the journal and run nothing.
+	r2 := &recordingRunner{}
+	dm2, err := NewDesignManager(Config{DA: "loop-da", Store: store, Designer: &scriptedDesigner{}, Runner: r2.run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dm2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.names()) != 0 {
+		t.Fatalf("recovered run re-executed %v", r2.names())
+	}
+	run, replayed := dm2.Engine().Stats()
+	if run != 0 || replayed != 3 {
+		t.Fatalf("stats = (%d, %d), want (0, 3)", run, replayed)
+	}
+}
+
+func TestNestedAltInsideLoop(t *testing.T) {
+	r := &recordingRunner{}
+	d := &scriptedDesigner{
+		alts:  []int{0, 1, 0},
+		loops: []bool{true, true, false},
+	}
+	s := Loop{Name: "l", Body: Alt{Name: "m", Branches: []Node{dopOp("left"), dopOp("right")}}}
+	e := NewEngine("da", nil, d, r.run, nil, nil)
+	if err := e.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	got := r.names()
+	want := []string{"left", "right", "left"}
+	if len(got) != len(want) {
+		t.Fatalf("ops = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEventsDuringLongScriptProcessedBetweenOps(t *testing.T) {
+	var seen []string
+	rules := []Rule{{
+		Name:  "tracker",
+		Event: "Ping",
+		Action: func(c *Ctx, ev Event) error {
+			seen = append(seen, ev.Data["n"])
+			return nil
+		},
+	}}
+	var e *Engine
+	runner := func(_ *Ctx, op Op, _ map[string]string) (string, error) {
+		// An event arrives while an op is executing; the rule must fire
+		// before the next op.
+		if op.Name == "first" {
+			e.PostEvent(Event{Name: "Ping", Data: map[string]string{"n": "1"}})
+		}
+		if op.Name == "second" && len(seen) == 0 {
+			t.Error("event not processed before second op")
+		}
+		return "", nil
+	}
+	e = NewEngine("da", nil, nil, runner, rules, nil)
+	if err := e.Run(Seq{Steps: []Node{dopOp("first"), dopOp("second")}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 {
+		t.Fatalf("rule fired %d times", len(seen))
+	}
+}
+
+func TestRunWithoutRunner(t *testing.T) {
+	e := NewEngine("da", nil, nil, nil, nil, nil)
+	if err := e.Run(dopOp("x")); err != ErrNoRunner {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,547 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// memStore is a volatile MetaStore for tests.
+type memStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMemStore() *memStore { return &memStore{m: make(map[string][]byte)} }
+
+func (s *memStore) PutMeta(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), value...)
+	return nil
+}
+
+func (s *memStore) GetMeta(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	if !ok {
+		return nil, errors.New("not found")
+	}
+	return v, nil
+}
+
+func (s *memStore) ListMeta(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k := range s.m {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func (s *memStore) DeleteMeta(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+	return nil
+}
+
+// recordingRunner logs executed operations.
+type recordingRunner struct {
+	mu   sync.Mutex
+	ops  []string
+	fail map[string]error
+}
+
+func (r *recordingRunner) run(_ *Ctx, op Op, params map[string]string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.fail[op.Name]; err != nil {
+		return "", err
+	}
+	rec := op.Name
+	if in := params["input"]; in != "" {
+		rec += "(" + in + ")"
+	}
+	r.ops = append(r.ops, rec)
+	return "out:" + op.Name, nil
+}
+
+func (r *recordingRunner) names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.ops...)
+}
+
+// scriptedDesigner replays canned decisions.
+type scriptedDesigner struct {
+	mu       sync.Mutex
+	alts     []int
+	loops    []bool
+	open     []Op
+	altCalls int
+}
+
+func (d *scriptedDesigner) ChooseAlternative(_, _ string, _ []string) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.altCalls++
+	if len(d.alts) == 0 {
+		return 0, nil
+	}
+	c := d.alts[0]
+	d.alts = d.alts[1:]
+	return c, nil
+}
+
+func (d *scriptedDesigner) ContinueLoop(_, _ string, _ int) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.loops) == 0 {
+		return false, nil
+	}
+	c := d.loops[0]
+	d.loops = d.loops[1:]
+	return c, nil
+}
+
+func (d *scriptedDesigner) NextOpenStep(_, _ string, _ int) (Op, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.open) == 0 {
+		return Op{}, true, nil
+	}
+	op := d.open[0]
+	d.open = d.open[1:]
+	return op, false, nil
+}
+
+func dopOp(name string) Op { return Op{Name: name, IsDOP: true} }
+
+func TestSeqExecutesInOrderWithDataFlow(t *testing.T) {
+	r := &recordingRunner{}
+	s := Seq{Steps: []Node{
+		dopOp("synth"),
+		Op{Name: "plan", IsDOP: true, Params: map[string]string{"input": "$last"}},
+	}}
+	e := NewEngine("da1", nil, nil, r.run, nil, nil)
+	if err := e.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	got := r.names()
+	if len(got) != 2 || got[0] != "synth" || got[1] != "plan(out:synth)" {
+		t.Fatalf("ops = %v", got)
+	}
+}
+
+func TestAltFollowsDesignerChoice(t *testing.T) {
+	r := &recordingRunner{}
+	d := &scriptedDesigner{alts: []int{2}}
+	s := Alt{Name: "method", Labels: []string{"a", "b", "c"}, Branches: []Node{
+		dopOp("opA"), dopOp("opB"), dopOp("opC"),
+	}}
+	e := NewEngine("da1", nil, d, r.run, nil, nil)
+	if err := e.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.names(); len(got) != 1 || got[0] != "opC" {
+		t.Fatalf("ops = %v", got)
+	}
+}
+
+func TestAltOutOfRangeChoice(t *testing.T) {
+	d := &scriptedDesigner{alts: []int{9}}
+	e := NewEngine("da1", nil, d, (&recordingRunner{}).run, nil, nil)
+	err := e.Run(Alt{Name: "x", Branches: []Node{dopOp("a")}})
+	if err == nil || !strings.Contains(err.Error(), "choice 9") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoopIterations(t *testing.T) {
+	r := &recordingRunner{}
+	d := &scriptedDesigner{loops: []bool{true, true, false}}
+	s := Loop{Name: "refine", Body: dopOp("sizing")}
+	e := NewEngine("da1", nil, d, r.run, nil, nil)
+	if err := e.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.names(); len(got) != 3 {
+		t.Fatalf("iterations = %d, want 3", len(got))
+	}
+}
+
+func TestLoopMaxBound(t *testing.T) {
+	r := &recordingRunner{}
+	d := &scriptedDesigner{loops: []bool{true, true, true, true, true}}
+	s := Loop{Name: "refine", Body: dopOp("sizing"), Max: 2}
+	e := NewEngine("da1", nil, d, r.run, nil, nil)
+	if err := e.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.names(); len(got) != 2 {
+		t.Fatalf("iterations = %d, want 2 (Max)", len(got))
+	}
+}
+
+func TestOpenRegionDesignerSteps(t *testing.T) {
+	r := &recordingRunner{}
+	d := &scriptedDesigner{open: []Op{dopOp("extra1"), dopOp("extra2")}}
+	s := Seq{Steps: []Node{dopOp("synth"), Open{Name: "free"}, dopOp("assembly")}}
+	e := NewEngine("da1", nil, d, r.run, nil, nil)
+	if err := e.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	got := r.names()
+	want := []string{"synth", "extra1", "extra2", "assembly"}
+	if len(got) != len(want) {
+		t.Fatalf("ops = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParRunsAllBranches(t *testing.T) {
+	r := &recordingRunner{}
+	s := Par{Branches: []Node{dopOp("b0"), dopOp("b1"), dopOp("b2")}}
+	e := NewEngine("da1", nil, nil, r.run, nil, nil)
+	if err := e.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	got := r.names()
+	if len(got) != 3 {
+		t.Fatalf("ops = %v", got)
+	}
+	seen := make(map[string]bool)
+	for _, o := range got {
+		seen[o] = true
+	}
+	if !seen["b0"] || !seen["b1"] || !seen["b2"] {
+		t.Fatalf("branches missing: %v", got)
+	}
+}
+
+func TestRuntimePrecedenceConstraint(t *testing.T) {
+	cs := &ConstraintSet{Precedences: []Precedence{{Before: "synth", After: "assembly"}}}
+	r := &recordingRunner{}
+	e := NewEngine("da1", nil, nil, r.run, nil, cs)
+	err := e.Run(Seq{Steps: []Node{dopOp("assembly")}})
+	if err == nil || !strings.Contains(err.Error(), "constraint violated") {
+		t.Fatalf("err = %v", err)
+	}
+	// With synth first it passes.
+	e2 := NewEngine("da1", nil, nil, r.run, nil, cs)
+	if err := e2.Run(Seq{Steps: []Node{dopOp("synth"), dopOp("assembly")}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuntimeSuccessionConstraint(t *testing.T) {
+	cs := &ConstraintSet{Successions: []Succession{{First: "padframe", Then: "chipplan"}}}
+	r := &recordingRunner{}
+	e := NewEngine("da1", nil, nil, r.run, nil, cs)
+	err := e.Run(Seq{Steps: []Node{dopOp("padframe"), dopOp("sizing")}})
+	if err == nil || !strings.Contains(err.Error(), "must follow") {
+		t.Fatalf("err = %v", err)
+	}
+	e2 := NewEngine("da1", nil, nil, r.run, nil, cs)
+	if err := e2.Run(Seq{Steps: []Node{dopOp("padframe"), dopOp("chipplan")}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticValidation(t *testing.T) {
+	cs := &ConstraintSet{Precedences: []Precedence{{Before: "synth", After: "assembly"}}}
+	// Violating script: assembly can run before synth in branch 1.
+	bad := Alt{Name: "x", Branches: []Node{
+		Seq{Steps: []Node{dopOp("synth"), dopOp("assembly")}},
+		Seq{Steps: []Node{dopOp("assembly")}},
+	}}
+	if err := cs.Validate(bad); err == nil {
+		t.Fatal("static check accepted violating script")
+	}
+	good := Seq{Steps: []Node{dopOp("synth"), Alt{Name: "y", Branches: []Node{
+		dopOp("assembly"), dopOp("sizing"),
+	}}}}
+	if err := cs.Validate(good); err != nil {
+		t.Fatalf("good script rejected: %v", err)
+	}
+	// Open regions are accepted (runtime enforcement still applies).
+	open := Seq{Steps: []Node{Open{Name: "o"}, dopOp("assembly")}}
+	if err := cs.Validate(open); err != nil {
+		t.Fatalf("open script rejected: %v", err)
+	}
+}
+
+func TestECARuleFiresOnEvent(t *testing.T) {
+	r := &recordingRunner{}
+	var fired []string
+	rules := []Rule{
+		{
+			Name:  "on-require",
+			Event: "Require",
+			Condition: func(c *Ctx, ev Event) bool {
+				return ev.Data["dov"] != ""
+			},
+			Action: func(c *Ctx, ev Event) error {
+				fired = append(fired, "propagate:"+ev.Data["dov"])
+				c.SetVar("propagated", ev.Data["dov"])
+				return nil
+			},
+		},
+	}
+	e := NewEngine("da1", nil, nil, r.run, rules, nil)
+	e.PostEvent(Event{Name: "Require", Data: map[string]string{"dov": "v7"}})
+	e.PostEvent(Event{Name: "Require", Data: map[string]string{}}) // condition false
+	e.PostEvent(Event{Name: "Unrelated"})
+	if err := e.Run(Seq{Steps: []Node{dopOp("a")}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != "propagate:v7" {
+		t.Fatalf("fired = %v", fired)
+	}
+	ctx := &Ctx{DA: "da1", e: e}
+	if ctx.Var("propagated") != "v7" {
+		t.Fatal("rule did not set variable")
+	}
+}
+
+func TestRuleActionCanStopScript(t *testing.T) {
+	r := &recordingRunner{}
+	rules := []Rule{{
+		Name:  "stop-on-withdraw",
+		Event: "Withdraw",
+		Action: func(c *Ctx, ev Event) error {
+			c.Stop()
+			return nil
+		},
+	}}
+	e := NewEngine("da1", nil, nil, r.run, rules, nil)
+	e.PostEvent(Event{Name: "Withdraw"})
+	err := e.Run(Seq{Steps: []Node{dopOp("a"), dopOp("b")}})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if len(r.names()) != 0 {
+		t.Fatalf("ops ran after stop: %v", r.names())
+	}
+}
+
+func TestRuleActionErrorAborts(t *testing.T) {
+	rules := []Rule{{
+		Name:   "bad",
+		Event:  "E",
+		Action: func(*Ctx, Event) error { return errors.New("rule exploded") },
+	}}
+	e := NewEngine("da1", nil, nil, (&recordingRunner{}).run, rules, nil)
+	e.PostEvent(Event{Name: "E"})
+	err := e.Run(dopOp("a"))
+	if err == nil || !strings.Contains(err.Error(), "rule exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDesignManagerRecovery(t *testing.T) {
+	store := newMemStore()
+	s := Seq{Steps: []Node{
+		dopOp("synth"),
+		Alt{Name: "method", Labels: []string{"fast", "slow"}, Branches: []Node{dopOp("fastplan"), dopOp("slowplan")}},
+		dopOp("route"),
+		dopOp("assembly"),
+	}}
+	// First incarnation fails at route (simulating a crash mid-script).
+	r1 := &recordingRunner{fail: map[string]error{"route": errors.New("workstation crash")}}
+	d1 := &scriptedDesigner{alts: []int{1}}
+	dm1, err := NewDesignManager(Config{DA: "da1", Script: s, Store: store, Designer: d1, Runner: r1.run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dm1.Run(); err == nil {
+		t.Fatal("expected crash error")
+	}
+	if got := r1.names(); len(got) != 2 || got[1] != "slowplan" {
+		t.Fatalf("first run ops = %v", got)
+	}
+	if dm1.JournaledOps() != 2 {
+		t.Fatalf("journaled ops = %d, want 2", dm1.JournaledOps())
+	}
+
+	// Second incarnation: no script passed (loaded from store), designer
+	// has no decisions left (the alt choice must come from the journal).
+	r2 := &recordingRunner{}
+	d2 := &scriptedDesigner{}
+	dm2, err := NewDesignManager(Config{DA: "da1", Store: store, Designer: d2, Runner: r2.run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dm2.Run(); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	got := r2.names()
+	if len(got) != 2 || got[0] != "route" || got[1] != "assembly" {
+		t.Fatalf("resumed ops = %v (completed ops must not re-run)", got)
+	}
+	if d2.altCalls != 0 {
+		t.Fatalf("designer re-asked %d times; decisions must replay from journal", d2.altCalls)
+	}
+	run, replayed := dm2.Engine().Stats()
+	if run != 2 || replayed != 2 {
+		t.Fatalf("stats = (%d run, %d replayed), want (2, 2)", run, replayed)
+	}
+}
+
+func TestDesignManagerResetJournal(t *testing.T) {
+	store := newMemStore()
+	r := &recordingRunner{}
+	dm, err := NewDesignManager(Config{
+		DA: "da1", Script: Seq{Steps: []Node{dopOp("a"), dopOp("b")}},
+		Store: store, Runner: r.run,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.ResetJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if dm.JournaledOps() != 0 {
+		t.Fatalf("journal not empty after reset: %d", dm.JournaledOps())
+	}
+	// Restart from the beginning (specification change, Sect. 5.3).
+	if err := dm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.names(); len(got) != 4 {
+		t.Fatalf("ops = %v, want a,b,a,b", got)
+	}
+}
+
+func TestDesignManagerStopAndResume(t *testing.T) {
+	store := newMemStore()
+	r := &recordingRunner{}
+	blocker := make(chan struct{})
+	started := make(chan struct{})
+	runner := func(ctx *Ctx, op Op, params map[string]string) (string, error) {
+		if op.Name == "slow" {
+			close(started)
+			<-blocker
+		}
+		return r.run(ctx, op, params)
+	}
+	dm, err := NewDesignManager(Config{
+		DA: "da1", Script: Seq{Steps: []Node{dopOp("slow"), dopOp("after")}},
+		Store: store, Runner: runner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- dm.Run() }()
+	<-started // the slow op is executing: Stop lands before "after"
+	dm.Stop()
+	close(blocker)
+	err = <-done
+	// Stop lands either between slow and after (ErrStopped) — "after" must
+	// not have run.
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	for _, op := range r.names() {
+		if op == "after" {
+			t.Fatal("op after stop executed")
+		}
+	}
+	// Resume completes the remainder.
+	if err := dm.Run(); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	got := r.names()
+	if got[len(got)-1] != "after" {
+		t.Fatalf("ops = %v", got)
+	}
+}
+
+func TestNewDesignManagerRejectsViolatingScript(t *testing.T) {
+	cs := &ConstraintSet{Precedences: []Precedence{{Before: "synth", After: "assembly"}}}
+	_, err := NewDesignManager(Config{
+		DA: "da1", Script: dopOp("assembly"), Runner: (&recordingRunner{}).run, Constraints: cs,
+	})
+	if err == nil {
+		t.Fatal("violating script accepted")
+	}
+}
+
+func TestNewDesignManagerConfigErrors(t *testing.T) {
+	if _, err := NewDesignManager(Config{Script: dopOp("a"), Runner: (&recordingRunner{}).run}); err == nil {
+		t.Fatal("missing DA accepted")
+	}
+	if _, err := NewDesignManager(Config{DA: "x", Script: dopOp("a")}); !errors.Is(err, ErrNoRunner) {
+		t.Fatalf("missing runner = %v", err)
+	}
+	if _, err := NewDesignManager(Config{DA: "x", Runner: (&recordingRunner{}).run}); err == nil {
+		t.Fatal("missing script accepted")
+	}
+}
+
+func TestScriptEncodeDecodeRoundTrip(t *testing.T) {
+	s := Seq{Steps: []Node{
+		dopOp("synth"),
+		Alt{Name: "m", Labels: []string{"x"}, Branches: []Node{Loop{Name: "l", Body: dopOp("sizing"), Max: 3}}},
+		Par{Branches: []Node{dopOp("p1"), Open{Name: "o"}}},
+	}}
+	data, err := EncodeScript(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeScript(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := got.Ops()
+	if len(ops) != 3 || ops[0] != "synth" || ops[1] != "sizing" || ops[2] != "p1" {
+		t.Fatalf("Ops after round trip = %v", ops)
+	}
+}
+
+func TestOpsEnumeration(t *testing.T) {
+	s := Seq{Steps: []Node{dopOp("a"), Par{Branches: []Node{dopOp("b"), Alt{Branches: []Node{dopOp("c")}}}}}}
+	ops := s.Ops()
+	want := map[string]bool{"a": true, "b": true, "c": true}
+	if len(ops) != 3 {
+		t.Fatalf("Ops = %v", ops)
+	}
+	for _, o := range ops {
+		if !want[o] {
+			t.Fatalf("unexpected op %q", o)
+		}
+	}
+}
+
+func TestVarAccessConcurrent(t *testing.T) {
+	e := NewEngine("da1", nil, nil, func(ctx *Ctx, op Op, _ map[string]string) (string, error) {
+		ctx.SetVar("k:"+op.Name, op.Name)
+		return ctx.Var("k:" + op.Name), nil
+	}, nil, nil)
+	branches := make([]Node, 8)
+	for i := range branches {
+		branches[i] = dopOp(fmt.Sprintf("op%d", i))
+	}
+	if err := e.Run(Par{Branches: branches}); err != nil {
+		t.Fatal(err)
+	}
+	run, _ := e.Stats()
+	if run != 8 {
+		t.Fatalf("run = %d", run)
+	}
+}

@@ -1,0 +1,235 @@
+// Package sim provides the simulation harness for the CONCORD experiments:
+// deterministic multi-designer workloads over the real system stack, a
+// logical clock for tool-time accounting, seeded designer decision policies,
+// and the metrics the E-series experiments report (makespan, blocked time,
+// messages, lost work).
+//
+// Designer "tool time" is virtual: real DOP/cooperation operations execute
+// against the live stack while durations accumulate on per-designer logical
+// clocks, so experiments are reproducible and fast yet exercise the same
+// code paths as an interactive deployment.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"concord/internal/catalog"
+	"concord/internal/coop"
+	"concord/internal/core"
+	"concord/internal/feature"
+	"concord/internal/script"
+	"concord/internal/version"
+	"concord/internal/vlsi"
+)
+
+// Workload describes a concurrent-engineering scenario: N designers each
+// derive K successive versions of their own subtask; every DepEvery-th step
+// additionally needs the same-numbered version of the left neighbour
+// (information sharing across DAs).
+type Workload struct {
+	// Designers is the number of concurrent designers (sub-DAs).
+	Designers int
+	// Steps is the number of versions each designer derives.
+	Steps int
+	// DepEvery makes step j of designer i>0 depend on step j of designer
+	// i-1 whenever j%DepEvery == 0 (0 disables dependencies).
+	DepEvery int
+	// BaseDuration is the tool time per derivation step.
+	BaseDuration float64
+	// Jitter adds ±Jitter/2 seeded noise to each duration.
+	Jitter float64
+	// Seed makes durations reproducible.
+	Seed int64
+}
+
+// Durations materializes the per-designer, per-step tool times.
+func (w Workload) Durations() [][]float64 {
+	rng := rand.New(rand.NewSource(w.Seed))
+	out := make([][]float64, w.Designers)
+	for i := range out {
+		out[i] = make([]float64, w.Steps)
+		for j := range out[i] {
+			out[i][j] = w.BaseDuration + (rng.Float64()-0.5)*w.Jitter
+		}
+	}
+	return out
+}
+
+// Metrics aggregates an experiment run.
+type Metrics struct {
+	// Makespan is the logical completion time of the slowest designer.
+	Makespan float64
+	// Blocked sums the logical time designers spent waiting for inputs or
+	// locks.
+	Blocked float64
+	// Versions counts derived DOVs.
+	Versions int
+	// Messages counts cooperation-protocol operations.
+	Messages int
+	// LostWork sums logical work units redone after failures.
+	LostWork float64
+}
+
+// StepSpec builds the per-step specification of a designer's sub-DA: feature
+// "step-j" holds when the version's step attribute reached j, so a version
+// at step s fulfils exactly the first s features and the K-th version is
+// final.
+func StepSpec(steps int) *feature.Spec {
+	feats := make([]feature.Feature, 0, steps)
+	for j := 1; j <= steps; j++ {
+		feats = append(feats, feature.Range(fmt.Sprintf("step-%03d", j), "step", float64(j), 1e12))
+	}
+	return feature.MustSpec(feats...)
+}
+
+// stepFeature names the feature of step j.
+func stepFeature(j int) string { return fmt.Sprintf("step-%03d", j) }
+
+// stepObject builds the version payload of step j.
+func stepObject(designer string, j int) *catalog.Object {
+	return catalog.NewObject(vlsi.DOTFloorplan).
+		Set("cell", catalog.Str(designer)).
+		Set("area", catalog.Float(100)).
+		Set("step", catalog.Int(int64(j)))
+}
+
+// RegisterStepTypes registers the catalog needed by the workloads (the VLSI
+// types; the step attribute rides on the floorplan DOT).
+func RegisterStepTypes(cat *catalog.Catalog) error {
+	if err := vlsi.RegisterCatalog(cat); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RunCooperative executes the workload on the full CONCORD stack: one root
+// DA, one sub-DA per designer, real DOPs for every derivation, Evaluate +
+// Propagate after each step and Require at every dependency point. The
+// preliminary-result exchange of the AC level lets a dependent designer
+// continue as soon as the neighbour's *version* exists — not when the
+// neighbour's whole activity ends.
+func RunCooperative(sys *core.System, w Workload) (Metrics, error) {
+	var m Metrics
+	cm := sys.CM()
+	if err := cm.InitDesign(coop.Config{ID: "root", DOT: vlsi.DOTChip, Designer: "chief"}); err != nil {
+		return m, err
+	}
+	if err := cm.Start("root"); err != nil {
+		return m, err
+	}
+	ws, err := sys.AddWorkstation("sim-ws")
+	if err != nil {
+		return m, err
+	}
+	das := make([]string, w.Designers)
+	for i := range das {
+		das[i] = fmt.Sprintf("designer-%02d", i)
+		if err := cm.CreateSubDA("root", coop.Config{
+			ID: das[i], DOT: vlsi.DOTFloorplan, Spec: StepSpec(w.Steps), Designer: das[i],
+		}); err != nil {
+			return m, err
+		}
+		if err := cm.Start(das[i]); err != nil {
+			return m, err
+		}
+	}
+	dur := w.Durations()
+	clock := make([]float64, w.Designers)
+	ready := make([][]float64, w.Designers)
+	last := make([]version.ID, w.Designers)
+	for i := range ready {
+		ready[i] = make([]float64, w.Steps+1)
+	}
+	for j := 1; j <= w.Steps; j++ {
+		for i := 0; i < w.Designers; i++ {
+			start := clock[i]
+			// Dependency: wait for the neighbour's same-step version.
+			if i > 0 && w.DepEvery > 0 && j%w.DepEvery == 0 {
+				if _, ok, err := cm.Require(das[i], das[i-1], []string{stepFeature(j)}); err != nil {
+					return m, err
+				} else if !ok {
+					return m, fmt.Errorf("sim: dependency %s step %d not propagated", das[i-1], j)
+				}
+				if ready[i-1][j] > start {
+					m.Blocked += ready[i-1][j] - start
+					start = ready[i-1][j]
+				}
+			}
+			// Real DOP deriving the step-j version.
+			dop, err := ws.Begin("", das[i])
+			if err != nil {
+				return m, err
+			}
+			root := last[i] == ""
+			if !root {
+				if _, err := dop.Checkout(last[i], false); err != nil {
+					return m, err
+				}
+			}
+			if err := dop.SetWorkspace(stepObject(das[i], j)); err != nil {
+				return m, err
+			}
+			id, err := dop.Checkin(version.StatusWorking, root)
+			if err != nil {
+				return m, err
+			}
+			if err := dop.Commit(); err != nil {
+				return m, err
+			}
+			if _, err := cm.Evaluate(das[i], id); err != nil {
+				return m, err
+			}
+			if _, err := cm.Propagate(das[i], id); err != nil {
+				return m, err
+			}
+			last[i] = id
+			m.Versions++
+			clock[i] = start + dur[i][j-1]
+			ready[i][j] = clock[i]
+		}
+	}
+	for i := 0; i < w.Designers; i++ {
+		if clock[i] > m.Makespan {
+			m.Makespan = clock[i]
+		}
+	}
+	m.Messages = cm.ProtocolLogLen()
+	return m, nil
+}
+
+// Policy is a seeded random script.Designer for simulation runs.
+type Policy struct {
+	rng *rand.Rand
+	// RepeatProb is the chance of another loop iteration.
+	RepeatProb float64
+	// OpenOps are candidate operations for open regions (at most one is
+	// inserted per region).
+	OpenOps []script.Op
+}
+
+// NewPolicy builds a seeded policy.
+func NewPolicy(seed int64, repeatProb float64, openOps ...script.Op) *Policy {
+	return &Policy{rng: rand.New(rand.NewSource(seed)), RepeatProb: repeatProb, OpenOps: openOps}
+}
+
+// ChooseAlternative implements script.Designer.
+func (p *Policy) ChooseAlternative(_, _ string, labels []string) (int, error) {
+	if len(labels) == 0 {
+		return 0, nil
+	}
+	return p.rng.Intn(len(labels)), nil
+}
+
+// ContinueLoop implements script.Designer.
+func (p *Policy) ContinueLoop(_, _ string, _ int) (bool, error) {
+	return p.rng.Float64() < p.RepeatProb, nil
+}
+
+// NextOpenStep implements script.Designer.
+func (p *Policy) NextOpenStep(_, _ string, step int) (script.Op, bool, error) {
+	if step >= 1 || len(p.OpenOps) == 0 {
+		return script.Op{}, true, nil
+	}
+	return p.OpenOps[p.rng.Intn(len(p.OpenOps))], false, nil
+}

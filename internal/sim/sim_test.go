@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+
+	"concord/internal/core"
+	"concord/internal/script"
+)
+
+func wl(n, k, dep int) Workload {
+	return Workload{
+		Designers: n, Steps: k, DepEvery: dep,
+		BaseDuration: 10, Jitter: 2, Seed: 42,
+	}
+}
+
+func TestDurationsDeterministic(t *testing.T) {
+	w := wl(4, 6, 2)
+	a, b := w.Durations(), w.Durations()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("durations not deterministic")
+			}
+			if a[i][j] < 9 || a[i][j] > 11 {
+				t.Fatalf("duration %g outside jitter band", a[i][j])
+			}
+		}
+	}
+}
+
+func TestStepSpecSemantics(t *testing.T) {
+	spec := StepSpec(3)
+	if spec.Len() != 3 {
+		t.Fatalf("spec len = %d", spec.Len())
+	}
+	// A step-2 object fulfils features 1 and 2 but not 3.
+	obj := stepObject("d", 2)
+	q := spec.Evaluate(obj, nil)
+	if len(q.Fulfilled) != 2 || len(q.Missing) != 1 {
+		t.Fatalf("quality = %+v", q)
+	}
+	if !spec.Evaluate(stepObject("d", 3), nil).Final() {
+		t.Fatal("step-3 object should be final")
+	}
+}
+
+func TestRunCooperativeExecutesRealStack(t *testing.T) {
+	sys, err := core.NewSystem(core.Options{RegisterTypes: RegisterStepTypes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	w := wl(3, 4, 2)
+	m, err := RunCooperative(sys, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Versions != 12 {
+		t.Fatalf("versions = %d, want 12", m.Versions)
+	}
+	if m.Makespan <= 0 || m.Messages == 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// Every designer's graph exists with K versions and the final one.
+	for _, da := range []string{"designer-00", "designer-01", "designer-02"} {
+		g, err := sys.Repo().Graph(da)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Len() != 4 {
+			t.Fatalf("%s graph len = %d", da, g.Len())
+		}
+		if len(g.FinalDOVs()) != 1 {
+			t.Fatalf("%s finals = %d", da, len(g.FinalDOVs()))
+		}
+	}
+	// With parallel designers the makespan must be far below the serial
+	// sum (3 designers × 4 steps × ~10 = ~120 serial).
+	if m.Makespan > 80 {
+		t.Fatalf("makespan = %g, cooperation not parallel", m.Makespan)
+	}
+}
+
+func TestPolicyDeterminism(t *testing.T) {
+	p1 := NewPolicy(7, 0.5, script.Op{Name: "x"})
+	p2 := NewPolicy(7, 0.5, script.Op{Name: "x"})
+	for i := 0; i < 20; i++ {
+		a, _ := p1.ChooseAlternative("da", "d", []string{"a", "b", "c"})
+		b, _ := p2.ChooseAlternative("da", "d", []string{"a", "b", "c"})
+		if a != b {
+			t.Fatal("policy not deterministic")
+		}
+	}
+	op, done, err := p1.NextOpenStep("da", "r", 0)
+	if err != nil || done || op.Name != "x" {
+		t.Fatalf("open step = %v, %t", op, done)
+	}
+	if _, done, _ := p1.NextOpenStep("da", "r", 1); !done {
+		t.Fatal("open region should close after one op")
+	}
+}

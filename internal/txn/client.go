@@ -1,0 +1,679 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"concord/internal/catalog"
+	"concord/internal/rpc"
+	"concord/internal/version"
+	"concord/internal/wal"
+)
+
+// Client-side WAL record types (the "workstation disk").
+const (
+	recCtxSnapshot wal.RecordType = 0x41
+	recDOPEnd      wal.RecordType = 0x42
+)
+
+// DOP phases.
+type Phase uint8
+
+// Phases of a DOP at the client-TM.
+const (
+	// PhaseActive is the normal processing phase.
+	PhaseActive Phase = iota + 1
+	// PhaseSuspended marks a DOP parked by Suspend; only Resume is legal.
+	PhaseSuspended
+	// PhaseCommitted marks a successfully ended DOP.
+	PhaseCommitted
+	// PhaseAborted marks a rolled-back DOP.
+	PhaseAborted
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseActive:
+		return "active"
+	case PhaseSuspended:
+		return "suspended"
+	case PhaseCommitted:
+		return "committed"
+	case PhaseAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("phase(%d)", uint8(p))
+	}
+}
+
+// Errors reported by the client-TM.
+var (
+	ErrDOPNotActive    = errors.New("txn: DOP not active")
+	ErrNoSavepoint     = errors.New("txn: unknown savepoint")
+	ErrNothingToCommit = errors.New("txn: DOP derived no result")
+	ErrCheckinFailed   = errors.New("txn: checkin aborted by server")
+)
+
+// ctxSnapshot is the durable DOP context: "the current state of the design
+// data and information about the state of the application program
+// implementing the DOP" (Sect. 5.2, fn. 1).
+type ctxSnapshot struct {
+	DOP        string
+	DA         string
+	Phase      Phase
+	Inputs     []version.ID
+	InputData  map[version.ID][]byte
+	Workspace  []byte // encoded working object; nil if none
+	Savepoints []namedSnapshot
+	Checkins   int
+	// Tag distinguishes automatic recovery points from user savepoints in
+	// diagnostics.
+	Tag string
+}
+
+type namedSnapshot struct {
+	Name      string
+	Workspace []byte
+}
+
+// DOP is a design operation: a long-lived ACID transaction processing design
+// object versions in checkout → process → checkin steps (Sect. 4.3).
+type DOP struct {
+	tm *ClientTM
+
+	mu        sync.Mutex
+	id        string
+	da        string
+	phase     Phase
+	inputs    []version.ID
+	inputData map[version.ID]*catalog.Object
+	workspace *catalog.Object
+	saves     []namedSnapshot
+	checkins  int
+	// lastResult is the ID of the most recent successfully checked-in DOV.
+	lastResult version.ID
+}
+
+// ID returns the DOP identifier.
+func (d *DOP) ID() string { return d.id }
+
+// DA returns the owning design activity identifier.
+func (d *DOP) DA() string { return d.da }
+
+// Phase returns the current lifecycle phase.
+func (d *DOP) Phase() Phase {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.phase
+}
+
+// Inputs returns the checked-out version IDs in checkout order.
+func (d *DOP) Inputs() []version.ID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]version.ID(nil), d.inputs...)
+}
+
+// LastResult returns the ID of the most recently checked-in DOV ("a handle
+// to the DOP's design data", Sect. 5.3).
+func (d *DOP) LastResult() version.ID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastResult
+}
+
+// ClientTM is the workstation half of the transaction manager. It manages
+// the internal structure of DOPs and persists their contexts so that a
+// workstation crash rolls back only to the most recent recovery point, not
+// to the beginning of the long-lived DOP (Sect. 5.2).
+type ClientTM struct {
+	id         string
+	client     *rpc.Client
+	serverAddr string
+	coord      *rpc.Coordinator
+	log        *wal.Log
+
+	mu   sync.Mutex
+	dops map[string]*DOP
+	seq  uint64
+}
+
+// NewClientTM opens a client-TM writing its recovery data under dir (the
+// workstation disk; empty disables persistence). Returns the TM and any DOP
+// contexts recovered from a previous incarnation, restored at their most
+// recent recovery points.
+func NewClientTM(id string, client *rpc.Client, serverAddr, dir string) (*ClientTM, []*DOP, error) {
+	tm := &ClientTM{
+		id:         id,
+		client:     client,
+		serverAddr: serverAddr,
+		dops:       make(map[string]*DOP),
+	}
+	var coordLog *wal.Log
+	if dir != "" {
+		l, err := wal.Open(filepath.Join(dir, "client-tm.wal"), wal.Options{SyncOnAppend: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		tm.log = l
+		cl, err := wal.Open(filepath.Join(dir, "client-coord.wal"), wal.Options{SyncOnAppend: true})
+		if err != nil {
+			l.Close()
+			return nil, nil, err
+		}
+		coordLog = cl
+	}
+	coord, err := rpc.NewCoordinator(client, coordLog)
+	if err != nil {
+		return nil, nil, err
+	}
+	tm.coord = coord
+	recovered, err := tm.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	return tm, recovered, nil
+}
+
+// Close releases the client log.
+func (tm *ClientTM) Close() error {
+	if tm.log != nil {
+		return tm.log.Close()
+	}
+	return nil
+}
+
+// Coordinator exposes the 2PC coordinator (for in-doubt resolution by a
+// restarting server participant).
+func (tm *ClientTM) Coordinator() *rpc.Coordinator { return tm.coord }
+
+// recover rebuilds DOP contexts from the client log.
+func (tm *ClientTM) recover() ([]*DOP, error) {
+	if tm.log == nil {
+		return nil, nil
+	}
+	latest := make(map[string]*ctxSnapshot)
+	ended := make(map[string]bool)
+	err := tm.log.Replay(func(r wal.Record) error {
+		switch r.Type {
+		case recCtxSnapshot:
+			var snap ctxSnapshot
+			if err := decode(r.Payload, &snap); err != nil {
+				return err
+			}
+			latest[snap.DOP] = &snap
+		case recDOPEnd:
+			ended[r.Owner] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(latest))
+	for n := range latest {
+		if !ended[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var out []*DOP
+	for _, n := range names {
+		snap := latest[n]
+		d, err := tm.restore(snap)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func (tm *ClientTM) restore(snap *ctxSnapshot) (*DOP, error) {
+	d := &DOP{
+		tm:       tm,
+		id:       snap.DOP,
+		da:       snap.DA,
+		phase:    snap.Phase,
+		inputs:   snap.Inputs,
+		saves:    snap.Savepoints,
+		checkins: snap.Checkins,
+	}
+	d.inputData = make(map[version.ID]*catalog.Object, len(snap.InputData))
+	for id, data := range snap.InputData {
+		obj, err := catalog.DecodeObject(data)
+		if err != nil {
+			return nil, err
+		}
+		d.inputData[id] = obj
+	}
+	if snap.Workspace != nil {
+		obj, err := catalog.DecodeObject(snap.Workspace)
+		if err != nil {
+			return nil, err
+		}
+		d.workspace = obj
+	}
+	tm.mu.Lock()
+	tm.dops[d.id] = d
+	tm.mu.Unlock()
+	return d, nil
+}
+
+// Begin starts a new DOP for a design activity (Begin-of-DOP). The
+// identifier must be unique per workstation; pass "" to auto-generate.
+func (tm *ClientTM) Begin(dopID, da string) (*DOP, error) {
+	tm.mu.Lock()
+	if dopID == "" {
+		tm.seq++
+		dopID = fmt.Sprintf("%s/dop-%04d", tm.id, tm.seq)
+	}
+	if _, dup := tm.dops[dopID]; dup {
+		tm.mu.Unlock()
+		return nil, fmt.Errorf("txn: DOP %s already exists on this workstation", dopID)
+	}
+	tm.mu.Unlock()
+
+	payload, err := encode(beginMsg{DOP: dopID, DA: da})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tm.client.Call(tm.serverAddr, MethodBegin, payload); err != nil {
+		return nil, err
+	}
+	d := &DOP{
+		tm:        tm,
+		id:        dopID,
+		da:        da,
+		phase:     PhaseActive,
+		inputData: make(map[version.ID]*catalog.Object),
+	}
+	tm.mu.Lock()
+	tm.dops[dopID] = d
+	tm.mu.Unlock()
+	return d, nil
+}
+
+// Reattach re-registers a recovered DOP with the server-TM (idempotent at
+// the server) so processing can continue after a workstation restart.
+func (tm *ClientTM) Reattach(d *DOP) error {
+	payload, err := encode(beginMsg{DOP: d.id, DA: d.da})
+	if err != nil {
+		return err
+	}
+	_, err = tm.client.Call(tm.serverAddr, MethodBegin, payload)
+	return err
+}
+
+// Crash drops all volatile client-TM state without notifying the server,
+// simulating a workstation crash (Sect. 5.2 failure model). The client log
+// stays on disk for the next incarnation.
+func (tm *ClientTM) Crash() {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	tm.dops = make(map[string]*DOP)
+	if tm.log != nil {
+		tm.log.Close()
+	}
+}
+
+// snapshotLocked captures the DOP context for the recovery log.
+// d.mu must be held.
+func (d *DOP) snapshotLocked(tag string) (*ctxSnapshot, error) {
+	snap := &ctxSnapshot{
+		DOP:        d.id,
+		DA:         d.da,
+		Phase:      d.phase,
+		Inputs:     append([]version.ID(nil), d.inputs...),
+		InputData:  make(map[version.ID][]byte, len(d.inputData)),
+		Savepoints: append([]namedSnapshot(nil), d.saves...),
+		Checkins:   d.checkins,
+		Tag:        tag,
+	}
+	for id, obj := range d.inputData {
+		data, err := catalog.EncodeObject(obj)
+		if err != nil {
+			return nil, err
+		}
+		snap.InputData[id] = data
+	}
+	if d.workspace != nil {
+		data, err := catalog.EncodeObject(d.workspace)
+		if err != nil {
+			return nil, err
+		}
+		snap.Workspace = data
+	}
+	return snap, nil
+}
+
+// recoveryPointLocked persists the context ("recovery points are chosen
+// automatically by the system after appropriate events", Sect. 5.2).
+func (d *DOP) recoveryPointLocked(tag string) error {
+	if d.tm.log == nil {
+		return nil
+	}
+	snap, err := d.snapshotLocked(tag)
+	if err != nil {
+		return err
+	}
+	data, err := encode(snap)
+	if err != nil {
+		return err
+	}
+	_, err = d.tm.log.Append(recCtxSnapshot, d.id, data)
+	return err
+}
+
+// Checkout loads a DOV from the repository into the DOP context and returns
+// a mutable copy. With derive set, a long derivation lock prevents
+// concurrent derivation of the same version. A recovery point is taken
+// automatically after the checkout "to avoid duplicate requests of a DOV
+// from the server in the case of a failure" (Sect. 5.2).
+func (d *DOP) Checkout(dov version.ID, derive bool) (*catalog.Object, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.phase != PhaseActive {
+		return nil, fmt.Errorf("%w: %s is %s", ErrDOPNotActive, d.id, d.phase)
+	}
+	payload, err := encode(checkoutMsg{DOP: d.id, DA: d.da, DOV: dov, Derive: derive})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := d.tm.client.Call(d.tm.serverAddr, MethodCheckout, payload)
+	if err != nil {
+		return nil, err
+	}
+	var w dovWire
+	if err := decode(resp, &w); err != nil {
+		return nil, err
+	}
+	v, err := wireToDOV(w)
+	if err != nil {
+		return nil, err
+	}
+	d.inputs = append(d.inputs, dov)
+	d.inputData[dov] = v.Object
+	if err := d.recoveryPointLocked("post-checkout"); err != nil {
+		return nil, err
+	}
+	return v.Object.Clone(), nil
+}
+
+// Input returns a copy of a previously checked-out object (reference
+// locality: tools re-read inputs from the DOP context, not the server).
+func (d *DOP) Input(dov version.ID) (*catalog.Object, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	obj, ok := d.inputData[dov]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s not checked out by %s", version.ErrUnknownDOV, dov, d.id)
+	}
+	return obj.Clone(), nil
+}
+
+// SetWorkspace installs the design tool's current working object.
+func (d *DOP) SetWorkspace(obj *catalog.Object) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.phase != PhaseActive {
+		return fmt.Errorf("%w: %s is %s", ErrDOPNotActive, d.id, d.phase)
+	}
+	d.workspace = obj
+	return nil
+}
+
+// Workspace returns the current working object (nil if none). The returned
+// object is the live workspace: tools mutate it in place.
+func (d *DOP) Workspace() *catalog.Object {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.workspace
+}
+
+// Save marks an intermediate state the designer may wish to return to
+// (Sect. 4.3). The savepoint is persisted with the context.
+func (d *DOP) Save(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.phase != PhaseActive {
+		return fmt.Errorf("%w: %s is %s", ErrDOPNotActive, d.id, d.phase)
+	}
+	if name == "" {
+		return errors.New("txn: savepoint needs a name")
+	}
+	var ws []byte
+	if d.workspace != nil {
+		data, err := catalog.EncodeObject(d.workspace)
+		if err != nil {
+			return err
+		}
+		ws = data
+	}
+	// Replace an existing savepoint of the same name.
+	replaced := false
+	for i := range d.saves {
+		if d.saves[i].Name == name {
+			d.saves[i].Workspace = ws
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		d.saves = append(d.saves, namedSnapshot{Name: name, Workspace: ws})
+	}
+	return d.recoveryPointLocked("savepoint:" + name)
+}
+
+// Restore performs a user-initiated partial rollback to the named savepoint,
+// wiping out everything changed since (Sect. 4.3).
+func (d *DOP) Restore(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.phase != PhaseActive {
+		return fmt.Errorf("%w: %s is %s", ErrDOPNotActive, d.id, d.phase)
+	}
+	for _, sp := range d.saves {
+		if sp.Name != name {
+			continue
+		}
+		if sp.Workspace == nil {
+			d.workspace = nil
+			return nil
+		}
+		obj, err := catalog.DecodeObject(sp.Workspace)
+		if err != nil {
+			return err
+		}
+		d.workspace = obj
+		return nil
+	}
+	return fmt.Errorf("%w: %q in %s", ErrNoSavepoint, name, d.id)
+}
+
+// Savepoints returns the savepoint names in creation order.
+func (d *DOP) Savepoints() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.saves))
+	for i, sp := range d.saves {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+// Suspend parks the DOP so it can survive days-long interruptions; the
+// context is persisted so the state after Resume equals the state at
+// Suspend (Sect. 4.3).
+func (d *DOP) Suspend() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.phase != PhaseActive {
+		return fmt.Errorf("%w: %s is %s", ErrDOPNotActive, d.id, d.phase)
+	}
+	d.phase = PhaseSuspended
+	return d.recoveryPointLocked("suspend")
+}
+
+// Resume reactivates a suspended DOP.
+func (d *DOP) Resume() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.phase != PhaseSuspended {
+		return fmt.Errorf("txn: Resume: %s is %s, want suspended", d.id, d.phase)
+	}
+	d.phase = PhaseActive
+	return d.recoveryPointLocked("resume")
+}
+
+// Checkin propagates the workspace back to the repository as a new DOV
+// derived from the checked-out inputs, committed atomically between
+// client-TM and server-TM by two-phase commit (Sect. 5.2). root adopts the
+// version as a derivation-graph root (initial DOV0 without local parents).
+// On success the new version's ID is returned and recorded as LastResult.
+func (d *DOP) Checkin(status version.Status, root bool) (version.ID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.phase != PhaseActive {
+		return "", fmt.Errorf("%w: %s is %s", ErrDOPNotActive, d.id, d.phase)
+	}
+	if d.workspace == nil {
+		return "", fmt.Errorf("%w: %s", ErrNothingToCommit, d.id)
+	}
+	d.checkins++
+	newID := version.ID(fmt.Sprintf("%s/v%d", d.id, d.checkins))
+	txid := fmt.Sprintf("%s/ci%d", d.id, d.checkins)
+
+	objData, err := catalog.EncodeObject(d.workspace)
+	if err != nil {
+		return "", err
+	}
+	var parents []version.ID
+	if !root {
+		parents = append([]version.ID(nil), d.inputs...)
+	}
+	msg := stageMsg{
+		DOP:  d.id,
+		TxID: txid,
+		DOV: dovWire{
+			ID: newID, DOT: d.workspace.Type, DA: d.da,
+			Parents: parents, Object: objData, Status: status,
+		},
+		Root: root,
+	}
+	payload, err := encode(msg)
+	if err != nil {
+		return "", err
+	}
+	if _, err := d.tm.client.Call(d.tm.serverAddr, MethodStage, payload); err != nil {
+		d.checkins--
+		return "", err
+	}
+	outcome, err := d.tm.coord.Commit(txid, []string{d.tm.serverAddr})
+	if err != nil {
+		return "", err
+	}
+	if outcome != rpc.OutcomeCommitted {
+		// "Checkin failure": the server refused (e.g. integrity
+		// constraints); the DM or designer decides how to react
+		// (Sect. 5.2).
+		return "", fmt.Errorf("%w: transaction %s", ErrCheckinFailed, txid)
+	}
+	d.lastResult = newID
+	if err := d.recoveryPointLocked("post-checkin"); err != nil {
+		return newID, err
+	}
+	return newID, nil
+}
+
+// Commit ends the DOP successfully (End-of-DOP): the server releases all
+// locks, and the client removes its savepoints and recovery points.
+func (d *DOP) Commit() error {
+	return d.end(PhaseCommitted)
+}
+
+// Abort ends the DOP unsuccessfully, discarding the volatile context. DOVs
+// already checked in by earlier Checkin calls remain (they are committed
+// transactions of their own 2PC rounds).
+func (d *DOP) Abort() error {
+	return d.end(PhaseAborted)
+}
+
+func (d *DOP) end(final Phase) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.phase == PhaseCommitted || d.phase == PhaseAborted {
+		return fmt.Errorf("%w: %s is %s", ErrDOPNotActive, d.id, d.phase)
+	}
+	if _, err := d.tm.client.Call(d.tm.serverAddr, MethodAbortDOP, []byte(d.id)); err != nil {
+		return err
+	}
+	d.phase = final
+	d.saves = nil
+	d.inputData = make(map[version.ID]*catalog.Object)
+	d.workspace = nil
+	if d.tm.log != nil {
+		if _, err := d.tm.log.Append(recDOPEnd, d.id, []byte(final.String())); err != nil {
+			return err
+		}
+	}
+	d.tm.mu.Lock()
+	delete(d.tm.dops, d.id)
+	d.tm.mu.Unlock()
+	return nil
+}
+
+// HandOver transfers the DOP's in-memory design state to a succeeding DOP
+// of the same DA without a round trip through the repository — "in quite a
+// number of cases the in-memory data structure can be handed over from one
+// DOP to the succeeding DOP" (Sect. 5.1, fn. 1). The receiving DOP obtains
+// the workspace, the checked-out inputs and the derivation parents; the
+// handing-over DOP keeps its context untouched.
+func (d *DOP) HandOver(next *DOP) error {
+	if next == nil {
+		return errors.New("txn: HandOver needs a successor DOP")
+	}
+	if d == next {
+		return errors.New("txn: cannot hand over to self")
+	}
+	// Lock ordering by ID avoids deadlock between concurrent handovers.
+	first, second := d, next
+	if first.id > second.id {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	if d.da != next.da {
+		return fmt.Errorf("txn: HandOver across DAs (%s → %s)", d.da, next.da)
+	}
+	if d.phase != PhaseActive || next.phase != PhaseActive {
+		return fmt.Errorf("%w: handover between %s and %s", ErrDOPNotActive, d.phase, next.phase)
+	}
+	if d.workspace != nil {
+		next.workspace = d.workspace.Clone()
+	}
+	for id, obj := range d.inputData {
+		if _, exists := next.inputData[id]; !exists {
+			next.inputData[id] = obj.Clone()
+			next.inputs = append(next.inputs, id)
+		}
+	}
+	return next.recoveryPointLocked("handover")
+}
+
+// ReleaseDerivationLock gives up the derivation lock on an input version
+// before DOP end.
+func (d *DOP) ReleaseDerivationLock(dov version.ID) error {
+	payload, err := encode(releaseMsg{DOP: d.id, DOV: dov})
+	if err != nil {
+		return err
+	}
+	_, err = d.tm.client.Call(d.tm.serverAddr, MethodRelease, payload)
+	return err
+}

@@ -1,0 +1,86 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"concord/internal/catalog"
+	"concord/internal/version"
+)
+
+func TestHandOverTransfersContext(t *testing.T) {
+	s := newStack(t, "")
+	v0 := s.seedDOV(t, "v0", 100)
+	first, err := s.tm.Begin("", "da1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := first.Checkout(v0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Set("area", catalog.Float(77))
+	first.SetWorkspace(in) //nolint:errcheck
+
+	second, err := s.tm.Begin("", "da1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.HandOver(second); err != nil {
+		t.Fatal(err)
+	}
+	// The successor carries the design state and derivation inputs.
+	if got := catalog.NumAttr(second.Workspace(), "area"); got != 77 {
+		t.Fatalf("handed-over area = %g", got)
+	}
+	inputs := second.Inputs()
+	if len(inputs) != 1 || inputs[0] != v0 {
+		t.Fatalf("handed-over inputs = %v", inputs)
+	}
+	// Deep copy: mutating the predecessor must not affect the successor.
+	first.Workspace().Set("area", catalog.Float(1))
+	if got := catalog.NumAttr(second.Workspace(), "area"); got != 77 {
+		t.Fatal("handover aliased the workspace")
+	}
+	// The successor can check in with the correct derivation edge.
+	id, err := second.Checkin(version.StatusWorking, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := s.repo.Graph("da1")
+	ok, err := g.IsAncestor(v0, id)
+	if err != nil || !ok {
+		t.Fatalf("derivation edge after handover: %t, %v", ok, err)
+	}
+	if err := first.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandOverRejections(t *testing.T) {
+	s := newStack(t, "")
+	if err := s.repo.CreateGraph("da2"); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.tm.Begin("", "da1")
+	b, _ := s.tm.Begin("", "da2")
+	if err := a.HandOver(b); err == nil {
+		t.Fatal("cross-DA handover accepted")
+	}
+	if err := a.HandOver(nil); err == nil {
+		t.Fatal("nil successor accepted")
+	}
+	if err := a.HandOver(a); err == nil {
+		t.Fatal("self handover accepted")
+	}
+	c, _ := s.tm.Begin("", "da1")
+	if err := c.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.HandOver(c); !errors.Is(err, ErrDOPNotActive) {
+		t.Fatalf("handover to ended DOP = %v", err)
+	}
+}

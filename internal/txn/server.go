@@ -1,0 +1,372 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"concord/internal/catalog"
+	"concord/internal/lock"
+	"concord/internal/repo"
+	"concord/internal/rpc"
+	"concord/internal/version"
+)
+
+// Errors reported by the server-TM.
+var (
+	ErrUnknownDOP = errors.New("txn: unknown DOP")
+	ErrNotStaged  = errors.New("txn: no staged DOV for transaction")
+)
+
+// ServerTM is the server half of the transaction manager: it guards the
+// design data repository, controls concurrent access to DOVs, and installs
+// derived versions atomically (Sect. 5.2).
+type ServerTM struct {
+	repo   *repo.Repository
+	locks  *lock.Manager
+	scopes *lock.ScopeTable
+	// LockTimeout bounds lock waits (default 5s).
+	LockTimeout time.Duration
+
+	mu     sync.Mutex
+	dops   map[string]*serverDOP
+	staged map[string]*stagedCheckin
+}
+
+type serverDOP struct {
+	da string
+	// derivationLocks tracks D locks held on behalf of the DOP.
+	derivationLocks map[version.ID]bool
+}
+
+type stagedCheckin struct {
+	dop      string
+	dov      *version.DOV
+	root     bool
+	prepared bool
+}
+
+// NewServerTM builds a server-TM over the repository, lock manager and scope
+// table (the latter shared with the cooperation manager). Checkin
+// transactions that were prepared (vote logged, staged DOV persisted) before
+// a server crash are recovered so the coordinator can resolve them.
+func NewServerTM(r *repo.Repository, lm *lock.Manager, st *lock.ScopeTable) *ServerTM {
+	s := &ServerTM{
+		repo:        r,
+		locks:       lm,
+		scopes:      st,
+		LockTimeout: 5 * time.Second,
+		dops:        make(map[string]*serverDOP),
+		staged:      make(map[string]*stagedCheckin),
+	}
+	for _, key := range r.ListMeta(stagedMetaPrefix) {
+		data, err := r.GetMeta(key)
+		if err != nil {
+			continue
+		}
+		var m stageMsg
+		if err := decode(data, &m); err != nil {
+			continue
+		}
+		v, err := wireToDOV(m.DOV)
+		if err != nil {
+			continue
+		}
+		s.staged[m.TxID] = &stagedCheckin{dop: m.DOP, dov: v, root: m.Root, prepared: true}
+	}
+	return s
+}
+
+// stagedMetaPrefix keys persisted prepared-but-unresolved checkins.
+const stagedMetaPrefix = "tm/staged/"
+
+// Repo exposes the underlying repository (for server-side managers).
+func (s *ServerTM) Repo() *repo.Repository { return s.repo }
+
+// Scopes exposes the scope table (shared with the cooperation manager).
+func (s *ServerTM) Scopes() *lock.ScopeTable { return s.scopes }
+
+// Begin registers a DOP for a DA (Begin-of-DOP, Sect. 5.2).
+func (s *ServerTM) Begin(dop, da string) error {
+	if dop == "" || da == "" {
+		return errors.New("txn: Begin needs DOP and DA identifiers")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, dup := s.dops[dop]; dup {
+		if cur.da == da {
+			return nil // idempotent re-attach after workstation recovery
+		}
+		return fmt.Errorf("txn: DOP %s already registered for DA %s", dop, cur.da)
+	}
+	s.dops[dop] = &serverDOP{da: da, derivationLocks: make(map[version.ID]bool)}
+	return nil
+}
+
+// Checkout reads a DOV for the DOP. The version must lie in the DOP's DA
+// scope; with derive set a long derivation lock is acquired so no other DOP
+// can check the version out for derivation concurrently (Sect. 5.2). A
+// short S lock protects the read itself.
+func (s *ServerTM) Checkout(dop string, dov version.ID, derive bool) (*version.DOV, error) {
+	s.mu.Lock()
+	st, ok := s.dops[dop]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDOP, dop)
+	}
+	if err := s.scopes.CheckAccess(st.da, string(dov)); err != nil {
+		return nil, err
+	}
+	res := "dov/" + string(dov)
+	if derive {
+		if err := s.locks.Acquire(dop, res, lock.D, s.LockTimeout); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		st.derivationLocks[dov] = true
+		s.mu.Unlock()
+	} else {
+		if err := s.locks.Acquire(dop, res, lock.S, s.LockTimeout); err != nil {
+			return nil, err
+		}
+		defer s.locks.Release(dop, res) //nolint:errcheck // short lock
+	}
+	v, err := s.repo.Get(dov)
+	if err != nil {
+		if derive {
+			s.releaseDerivation(dop, dov)
+		}
+		return nil, err
+	}
+	return v, nil
+}
+
+func (s *ServerTM) releaseDerivation(dop string, dov version.ID) {
+	s.locks.Release(dop, "dov/"+string(dov)) //nolint:errcheck // may already be gone
+	s.mu.Lock()
+	if st, ok := s.dops[dop]; ok {
+		delete(st.derivationLocks, dov)
+	}
+	s.mu.Unlock()
+}
+
+// ReleaseDerivationLock drops a derivation lock before DOP end (used when a
+// designer abandons an input version).
+func (s *ServerTM) ReleaseDerivationLock(dop string, dov version.ID) error {
+	s.mu.Lock()
+	st, ok := s.dops[dop]
+	if ok {
+		ok = st.derivationLocks[dov]
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: derivation lock on %s by %s", lock.ErrNotHeld, dov, dop)
+	}
+	s.releaseDerivation(dop, dov)
+	return nil
+}
+
+// Stage receives a derived DOV ahead of the checkin two-phase commit. The
+// version is validated at prepare time.
+func (s *ServerTM) Stage(dop, txid string, v *version.DOV, root bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.dops[dop]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDOP, dop)
+	}
+	if v.DA == "" {
+		v.DA = st.da
+	}
+	s.staged[txid] = &stagedCheckin{dop: dop, dov: v, root: root}
+	return nil
+}
+
+// Prepare implements rpc.Resource: validate the staged DOV (schema
+// consistency plus parent-scope membership) and promise to commit.
+func (s *ServerTM) Prepare(txid string) (rpc.Vote, error) {
+	s.mu.Lock()
+	sc, ok := s.staged[txid]
+	s.mu.Unlock()
+	if !ok {
+		return rpc.VoteAbort, fmt.Errorf("%w: %s", ErrNotStaged, txid)
+	}
+	v := sc.dov
+	if v.Object == nil || v.Object.Type != v.DOT {
+		return rpc.VoteAbort, nil
+	}
+	if err := s.repo.Catalog().Validate(v.Object); err != nil {
+		return rpc.VoteAbort, nil //nolint:nilerr // vote conveys the refusal
+	}
+	if !sc.root {
+		for _, p := range v.Parents {
+			if !s.scopes.InScope(v.DA, string(p)) {
+				return rpc.VoteAbort, nil
+			}
+		}
+	}
+	// Persist the staged version before promising: a prepared checkin must
+	// survive a server crash so the coordinator's decision can be applied
+	// at recovery.
+	objData, err := catalog.EncodeObject(v.Object)
+	if err != nil {
+		return rpc.VoteAbort, nil //nolint:nilerr // vote conveys the refusal
+	}
+	stageData, err := encode(stageMsg{
+		DOP: sc.dop, TxID: txid, Root: sc.root,
+		DOV: dovWire{ID: v.ID, DOT: v.DOT, DA: v.DA, Parents: v.Parents, Object: objData, Status: v.Status, Fulfilled: v.Fulfilled},
+	})
+	if err != nil {
+		return rpc.VoteAbort, nil //nolint:nilerr // vote conveys the refusal
+	}
+	if err := s.repo.PutMeta(stagedMetaPrefix+txid, stageData); err != nil {
+		return rpc.VoteAbort, nil //nolint:nilerr // durability failed: refuse
+	}
+	s.mu.Lock()
+	sc.prepared = true
+	s.mu.Unlock()
+	return rpc.VoteCommit, nil
+}
+
+// Commit implements rpc.Resource: install the staged DOV durably. A short X
+// lock on the DA's derivation graph serializes concurrent checkins of DOPs
+// of the same DA ("the TM has to protect the proliferation of the DA's
+// derivation graph ... employing a locking protocol based on short locks",
+// Sect. 5.2).
+func (s *ServerTM) Commit(txid string) error {
+	s.mu.Lock()
+	sc, ok := s.staged[txid]
+	s.mu.Unlock()
+	if !ok {
+		return nil // idempotent: already committed and cleaned up
+	}
+	v := sc.dov
+	graphRes := "graph/" + v.DA
+	if err := s.locks.Acquire(sc.dop, graphRes, lock.X, s.LockTimeout); err != nil {
+		return err
+	}
+	defer s.locks.Release(sc.dop, graphRes) //nolint:errcheck // short lock
+
+	if err := s.repo.Checkin(v, sc.root); err != nil {
+		return err
+	}
+	if err := s.scopes.Own(v.DA, string(v.ID)); err != nil {
+		return err
+	}
+	s.repo.DeleteMeta(stagedMetaPrefix + txid) //nolint:errcheck // cleanup
+	s.mu.Lock()
+	delete(s.staged, txid)
+	s.mu.Unlock()
+	return nil
+}
+
+// Abort implements rpc.Resource: discard the staged DOV (presumed abort:
+// unknown transactions are fine).
+func (s *ServerTM) Abort(txid string) error {
+	s.repo.DeleteMeta(stagedMetaPrefix + txid) //nolint:errcheck // cleanup
+	s.mu.Lock()
+	delete(s.staged, txid)
+	s.mu.Unlock()
+	return nil
+}
+
+// EndDOP finishes a DOP at the server: releases its derivation locks and
+// forgets its registration. Used by both commit and abort paths ("the
+// server-TM is firstly asked to release the derivation locks held",
+// Sect. 5.2).
+func (s *ServerTM) EndDOP(dop string) {
+	s.mu.Lock()
+	st, ok := s.dops[dop]
+	if ok {
+		delete(s.dops, dop)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	for dov := range st.derivationLocks {
+		s.locks.Release(dop, "dov/"+string(dov)) //nolint:errcheck // cleanup
+	}
+	s.locks.ReleaseAll(dop)
+}
+
+// ActiveDOPs returns the registered DOP count (diagnostics).
+func (s *ServerTM) ActiveDOPs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dops)
+}
+
+// Handler returns the transport handler exposing the server-TM protocol:
+// Begin-of-DOP, checkout, staging, derivation-lock release, DOP end and the
+// 2PC participant methods.
+func (s *ServerTM) Handler(participant *rpc.Participant) rpc.Handler {
+	return func(method string, payload []byte) ([]byte, error) {
+		switch method {
+		case MethodBegin:
+			var m beginMsg
+			if err := decode(payload, &m); err != nil {
+				return nil, err
+			}
+			return nil, s.Begin(m.DOP, m.DA)
+		case MethodCheckout:
+			var m checkoutMsg
+			if err := decode(payload, &m); err != nil {
+				return nil, err
+			}
+			v, err := s.Checkout(m.DOP, m.DOV, m.Derive)
+			if err != nil {
+				return nil, err
+			}
+			return encodeDOV(v)
+		case MethodStage:
+			var m stageMsg
+			if err := decode(payload, &m); err != nil {
+				return nil, err
+			}
+			v, err := wireToDOV(m.DOV)
+			if err != nil {
+				return nil, err
+			}
+			return nil, s.Stage(m.DOP, m.TxID, v, m.Root)
+		case MethodRelease:
+			var m releaseMsg
+			if err := decode(payload, &m); err != nil {
+				return nil, err
+			}
+			return nil, s.ReleaseDerivationLock(m.DOP, m.DOV)
+		case MethodAbortDOP:
+			s.EndDOP(string(payload))
+			return nil, nil
+		case rpc.MethodPrepare, rpc.MethodCommit, rpc.MethodAbort:
+			return participant.Handler()(method, payload)
+		default:
+			return nil, fmt.Errorf("txn: server-TM: unknown method %q", method)
+		}
+	}
+}
+
+// encodeDOV converts a version to its wire form.
+func encodeDOV(v *version.DOV) ([]byte, error) {
+	obj, err := catalog.EncodeObject(v.Object)
+	if err != nil {
+		return nil, err
+	}
+	return encode(dovWire{
+		ID: v.ID, DOT: v.DOT, DA: v.DA, Parents: v.Parents,
+		Object: obj, Status: v.Status, Fulfilled: v.Fulfilled,
+	})
+}
+
+// wireToDOV converts the wire form back to a version.
+func wireToDOV(w dovWire) (*version.DOV, error) {
+	obj, err := catalog.DecodeObject(w.Object)
+	if err != nil {
+		return nil, err
+	}
+	return &version.DOV{
+		ID: w.ID, DOT: w.DOT, DA: w.DA, Parents: w.Parents,
+		Object: obj, Status: w.Status, Fulfilled: w.Fulfilled,
+	}, nil
+}

@@ -1,0 +1,112 @@
+package txn
+
+import (
+	"testing"
+	"time"
+
+	"concord/internal/catalog"
+	"concord/internal/lock"
+	"concord/internal/repo"
+	"concord/internal/rpc"
+	"concord/internal/version"
+)
+
+// TestDOPOverRealTCP runs the full client-TM/server-TM protocol over actual
+// TCP sockets — the LAN workstation/server deployment of Sect. 5.1 used by
+// cmd/concordd.
+func TestDOPOverRealTCP(t *testing.T) {
+	cat := catalog.New()
+	if err := cat.Register(&catalog.DOT{
+		Name: "floorplan",
+		Attrs: []catalog.AttrDef{
+			{Name: "cell", Kind: catalog.KindString, Required: true},
+			{Name: "area", Kind: catalog.KindFloat},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := repo.Open(cat, repo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.CreateGraph("da1"); err != nil {
+		t.Fatal(err)
+	}
+	scopes := lock.NewScopeTable()
+	server := NewServerTM(r, lock.NewManager(), scopes)
+	server.LockTimeout = 500 * time.Millisecond
+	participant, err := rpc.NewParticipant(server, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewTCP()
+	defer srv.Close()
+	if err := srv.Serve("127.0.0.1:0", rpc.Dedup(server.Handler(participant))); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	cliTrans := rpc.NewTCP()
+	defer cliTrans.Close()
+	client := rpc.NewClient(cliTrans, "tcp-ws")
+	tm, recovered, err := NewClientTM("tcp-ws", client, addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tm.Close()
+	if len(recovered) != 0 {
+		t.Fatal("fresh TM recovered DOPs")
+	}
+
+	// Full DOP round trip across the wire.
+	dop, err := tm.Begin("tcp-dop", "da1")
+	if err != nil {
+		t.Fatalf("Begin over TCP: %v", err)
+	}
+	obj := catalog.NewObject("floorplan").Set("cell", catalog.Str("O")).Set("area", catalog.Float(42))
+	if err := dop.SetWorkspace(obj); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := dop.Checkin(version.StatusWorking, true)
+	if err != nil {
+		t.Fatalf("Checkin over TCP: %v", err)
+	}
+	if err := dop.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Derive once more, with a checkout over the wire.
+	dop2, err := tm.Begin("tcp-dop-2", "da1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := dop2.Checkout(v1, true)
+	if err != nil {
+		t.Fatalf("Checkout over TCP: %v", err)
+	}
+	if catalog.NumAttr(in, "area") != 42 {
+		t.Fatalf("checked-out area = %g", catalog.NumAttr(in, "area"))
+	}
+	in.Set("area", catalog.Float(40))
+	if err := dop2.SetWorkspace(in); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := dop2.Checkin(version.StatusWorking, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dop2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := r.Graph("da1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := g.IsAncestor(v1, v2)
+	if err != nil || !ok {
+		t.Fatalf("derivation over TCP lost: %t, %v", ok, err)
+	}
+	if owner, _ := scopes.Owner(string(v2)); owner != "da1" {
+		t.Fatalf("scope owner = %s", owner)
+	}
+}

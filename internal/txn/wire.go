@@ -1,0 +1,91 @@
+// Package txn implements CONCORD's Tool Execution (TE) level: design
+// operations (DOPs) as long-lived ACID transactions managed by a split
+// transaction manager (Sects. 4.3, 5.2).
+//
+// The server-TM resides with the design data repository: it handles
+// checkout/checkin, short locks protecting the derivation graphs, long
+// derivation locks, and the durable installation of new DOVs. The client-TM
+// resides on the workstation: it manages the internal structure of DOPs —
+// savepoints (Save/Restore), Suspend/Resume, and automatic recovery points
+// that bound the work lost in a workstation crash. All critical
+// client-TM/server-TM interactions (Begin-of-DOP, checkout, checkin,
+// End-of-DOP) run over transactional RPC, with checkin committed by a
+// two-phase commit between the two TM halves.
+package txn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"concord/internal/version"
+)
+
+// RPC method names served by the server-TM.
+const (
+	MethodBegin    = "tm/begin"
+	MethodCheckout = "tm/checkout"
+	MethodStage    = "tm/stage"
+	MethodAbortDOP = "tm/abort-dop"
+	MethodRelease  = "tm/release-lock"
+)
+
+// beginMsg registers a DOP with the server-TM.
+type beginMsg struct {
+	DOP string
+	DA  string
+}
+
+// checkoutMsg requests a DOV for processing.
+type checkoutMsg struct {
+	DOP string
+	DA  string
+	DOV version.ID
+	// Derive acquires a long derivation lock preventing concurrent
+	// checkout-for-derivation of the same version.
+	Derive bool
+}
+
+// stageMsg transfers a derived DOV to the server ahead of the checkin 2PC.
+type stageMsg struct {
+	DOP  string
+	TxID string
+	// DOV carries the gob-encoded version record.
+	DOV dovWire
+	// Root adopts the version as a graph root (initial DOV0).
+	Root bool
+}
+
+// dovWire is the wire representation of a version.
+type dovWire struct {
+	ID        version.ID
+	DOT       string
+	DA        string
+	Parents   []version.ID
+	Object    []byte
+	Status    version.Status
+	Fulfilled []string
+}
+
+// releaseMsg drops a derivation lock early (e.g. on DOP abort path).
+type releaseMsg struct {
+	DOP string
+	DOV version.ID
+}
+
+// encode gob-encodes a wire message.
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("txn: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decode gob-decodes a wire message.
+func decode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("txn: decode: %w", err)
+	}
+	return nil
+}

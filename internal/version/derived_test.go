@@ -1,0 +1,57 @@
+package version
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInsertDerivedForeignParents(t *testing.T) {
+	g := NewGraph("da2")
+	// A version derived from a foreign DOV (usage input from another DA's
+	// graph) plus a local parent.
+	local := dov("local", "da2")
+	if err := g.Insert(local); err != nil {
+		t.Fatal(err)
+	}
+	v := dov("mix", "da2", "foreign-dov", "local")
+	if err := g.InsertDerived(v); err != nil {
+		t.Fatal(err)
+	}
+	// The local edge exists; the foreign edge is recorded on the DOV only.
+	kids := g.Children("local")
+	if len(kids) != 1 || kids[0] != "mix" {
+		t.Fatalf("children of local = %v", kids)
+	}
+	if len(g.Children("foreign-dov")) != 0 {
+		t.Fatal("foreign parent got a local edge")
+	}
+	got, err := g.Get("mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Parents) != 2 {
+		t.Fatalf("parents = %v", got.Parents)
+	}
+	if !g.Acyclic() {
+		t.Fatal("graph not acyclic")
+	}
+}
+
+func TestInsertDerivedRejections(t *testing.T) {
+	g := NewGraph("da1")
+	if err := g.InsertDerived(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if err := g.InsertDerived(dov("x", "other")); !errors.Is(err, ErrWrongDA) {
+		t.Errorf("wrong DA = %v", err)
+	}
+	if err := g.InsertDerived(dov("self", "da1", "self")); !errors.Is(err, ErrCycle) {
+		t.Errorf("self-derivation = %v", err)
+	}
+	if err := g.InsertDerived(dov("a", "da1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InsertDerived(dov("a", "da1")); !errors.Is(err, ErrDuplicateDOV) {
+		t.Errorf("duplicate = %v", err)
+	}
+}

@@ -1,0 +1,413 @@
+// Package version implements CONCORD's design object versions (DOVs) and
+// the per-design-activity derivation graphs that organize them.
+//
+// Every DOV created within a design activity (DA) belongs to that DA's
+// derivation graph — a DAG whose edges record which versions a design
+// operation (DOP) read in order to derive a new one (Sect. 2, 4.1). Version
+// statuses track the cooperation lifecycle: working versions are private,
+// propagated versions are pre-released along usage relationships, final
+// versions fulfil the whole design specification, and invalid versions have
+// been disqualified after a specification change.
+package version
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"concord/internal/catalog"
+)
+
+// ID uniquely identifies a design object version repository-wide.
+type ID string
+
+// Status is the cooperation lifecycle state of a DOV.
+type Status uint8
+
+// DOV statuses.
+const (
+	// StatusWorking marks a preliminary version private to its DA.
+	StatusWorking Status = iota + 1
+	// StatusPropagated marks a version pre-released along usage
+	// relationships via the Propagate operation.
+	StatusPropagated
+	// StatusFinal marks a version fulfilling the DA's whole specification.
+	StatusFinal
+	// StatusInvalid marks a version disqualified by a later specification
+	// change or withdrawal.
+	StatusInvalid
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusWorking:
+		return "working"
+	case StatusPropagated:
+		return "propagated"
+	case StatusFinal:
+		return "final"
+	case StatusInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// DOV is a design object version: one design state in a DA's derivation
+// graph.
+type DOV struct {
+	// ID is the repository-wide identifier.
+	ID ID
+	// DOT names the design object type of the payload.
+	DOT string
+	// DA identifies the design activity whose derivation graph owns the
+	// version.
+	DA string
+	// Parents are the versions checked out to derive this one.
+	Parents []ID
+	// Object is the design data payload.
+	Object *catalog.Object
+	// Status is the cooperation lifecycle state.
+	Status Status
+	// Fulfilled caches the names of specification features the version
+	// satisfied at its last Evaluate.
+	Fulfilled []string
+	// Seq is the creation sequence number within the repository (for
+	// deterministic ordering).
+	Seq uint64
+}
+
+// Clone returns a deep copy (payload included) of the version.
+func (v *DOV) Clone() *DOV {
+	if v == nil {
+		return nil
+	}
+	c := *v
+	c.Parents = append([]ID(nil), v.Parents...)
+	c.Fulfilled = append([]string(nil), v.Fulfilled...)
+	c.Object = v.Object.Clone()
+	return &c
+}
+
+// Errors reported by graph operations.
+var (
+	ErrUnknownDOV   = errors.New("version: unknown DOV")
+	ErrDuplicateDOV = errors.New("version: duplicate DOV")
+	ErrCycle        = errors.New("version: derivation would create a cycle")
+	ErrWrongDA      = errors.New("version: DOV belongs to a different DA")
+)
+
+// Graph is the derivation graph of one design activity. All methods are safe
+// for concurrent use.
+type Graph struct {
+	mu   sync.RWMutex
+	da   string
+	dovs map[ID]*DOV
+	// children indexes derivation edges parent → children.
+	children map[ID][]ID
+	order    []ID // insertion order
+}
+
+// NewGraph returns an empty derivation graph owned by the named DA.
+func NewGraph(da string) *Graph {
+	return &Graph{
+		da:       da,
+		dovs:     make(map[ID]*DOV),
+		children: make(map[ID][]ID),
+	}
+}
+
+// DA returns the owning design activity identifier.
+func (g *Graph) DA() string { return g.da }
+
+// Insert adds a version to the graph, wiring derivation edges from its
+// parents. Parents must already exist in this graph; the version must carry
+// the graph's DA. Inserting never creates a cycle because the new node has
+// no children yet, but Insert defensively rejects self-derivation.
+func (g *Graph) Insert(v *DOV) error {
+	if v == nil {
+		return errors.New("version: nil DOV")
+	}
+	if v.DA != g.da {
+		return fmt.Errorf("%w: %s owned by %q, graph of %q", ErrWrongDA, v.ID, v.DA, g.da)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.dovs[v.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateDOV, v.ID)
+	}
+	for _, p := range v.Parents {
+		if p == v.ID {
+			return fmt.Errorf("%w: %s derives from itself", ErrCycle, v.ID)
+		}
+		if _, ok := g.dovs[p]; !ok {
+			return fmt.Errorf("%w: parent %s of %s", ErrUnknownDOV, p, v.ID)
+		}
+	}
+	g.dovs[v.ID] = v
+	g.order = append(g.order, v.ID)
+	for _, p := range v.Parents {
+		g.children[p] = append(g.children[p], v.ID)
+	}
+	return nil
+}
+
+// InsertDerived adds a version wiring derivation edges to those parents
+// present in this graph; parents absent from the graph are treated as
+// foreign (cross-DA inputs made visible along usage relationships) and
+// remain recorded on the DOV only. The caller must have verified that
+// foreign parents exist elsewhere in the repository.
+func (g *Graph) InsertDerived(v *DOV) error {
+	if v == nil {
+		return errors.New("version: nil DOV")
+	}
+	if v.DA != g.da {
+		return fmt.Errorf("%w: %s owned by %q, graph of %q", ErrWrongDA, v.ID, v.DA, g.da)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.dovs[v.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateDOV, v.ID)
+	}
+	for _, p := range v.Parents {
+		if p == v.ID {
+			return fmt.Errorf("%w: %s derives from itself", ErrCycle, v.ID)
+		}
+	}
+	g.dovs[v.ID] = v
+	g.order = append(g.order, v.ID)
+	for _, p := range v.Parents {
+		if _, local := g.dovs[p]; local {
+			g.children[p] = append(g.children[p], v.ID)
+		}
+	}
+	return nil
+}
+
+// AdoptRoot adds a version that has no parents inside this graph even if it
+// lists parents from another DA's graph (the initial DOV0 of a sub-DA, or a
+// final DOV inherited on sub-DA termination). Foreign parents are recorded
+// on the DOV but not required to exist here.
+func (g *Graph) AdoptRoot(v *DOV) error {
+	if v == nil {
+		return errors.New("version: nil DOV")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.dovs[v.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateDOV, v.ID)
+	}
+	g.dovs[v.ID] = v
+	g.order = append(g.order, v.ID)
+	return nil
+}
+
+// Get returns the version with the given ID.
+func (g *Graph) Get(id ID) (*DOV, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	v, ok := g.dovs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDOV, id)
+	}
+	return v, nil
+}
+
+// Contains reports whether the graph holds the version.
+func (g *Graph) Contains(id ID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.dovs[id]
+	return ok
+}
+
+// Len returns the number of versions in the graph.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.dovs)
+}
+
+// IDs returns all version IDs in insertion order.
+func (g *Graph) IDs() []ID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]ID(nil), g.order...)
+}
+
+// Children returns the direct derivates of a version.
+func (g *Graph) Children(id ID) []ID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]ID(nil), g.children[id]...)
+}
+
+// Roots returns versions without parents in this graph, sorted by insertion.
+func (g *Graph) Roots() []ID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []ID
+	for _, id := range g.order {
+		v := g.dovs[id]
+		in := false
+		for _, p := range v.Parents {
+			if _, ok := g.dovs[p]; ok {
+				in = true
+				break
+			}
+		}
+		if !in {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Leaves returns versions without children, sorted by insertion.
+func (g *Graph) Leaves() []ID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []ID
+	for _, id := range g.order {
+		if len(g.children[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Ancestors returns the transitive parents of a version within this graph
+// (excluding the version itself), sorted by ID for determinism.
+func (g *Graph) Ancestors(id ID) ([]ID, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	start, ok := g.dovs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDOV, id)
+	}
+	seen := make(map[ID]bool)
+	var visit func(v *DOV)
+	visit = func(v *DOV) {
+		for _, p := range v.Parents {
+			pv, ok := g.dovs[p]
+			if !ok || seen[p] {
+				continue
+			}
+			seen[p] = true
+			visit(pv)
+		}
+	}
+	visit(start)
+	out := make([]ID, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Descendants returns the transitive derivates of a version (excluding the
+// version itself), sorted by ID.
+func (g *Graph) Descendants(id ID) ([]ID, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if _, ok := g.dovs[id]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDOV, id)
+	}
+	seen := make(map[ID]bool)
+	var visit func(ID)
+	visit = func(x ID) {
+		for _, c := range g.children[x] {
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			visit(c)
+		}
+	}
+	visit(id)
+	out := make([]ID, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// IsAncestor reports whether a is a (transitive) ancestor of b.
+func (g *Graph) IsAncestor(a, b ID) (bool, error) {
+	anc, err := g.Ancestors(b)
+	if err != nil {
+		return false, err
+	}
+	for _, x := range anc {
+		if x == a {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Acyclic verifies the graph invariant: derivation edges form a DAG. It is
+// used by property tests and the repository's consistency checker.
+func (g *Graph) Acyclic() bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[ID]int, len(g.dovs))
+	var dfs func(ID) bool
+	dfs = func(id ID) bool {
+		color[id] = gray
+		for _, c := range g.children[id] {
+			switch color[c] {
+			case gray:
+				return false
+			case white:
+				if !dfs(c) {
+					return false
+				}
+			}
+		}
+		color[id] = black
+		return true
+	}
+	for id := range g.dovs {
+		if color[id] == white {
+			if !dfs(id) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FinalDOVs returns the versions currently marked final, in insertion order.
+func (g *Graph) FinalDOVs() []*DOV {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []*DOV
+	for _, id := range g.order {
+		if g.dovs[id].Status == StatusFinal {
+			out = append(out, g.dovs[id])
+		}
+	}
+	return out
+}
+
+// SetStatus updates the lifecycle status of a version.
+func (g *Graph) SetStatus(id ID, s Status) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.dovs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDOV, id)
+	}
+	v.Status = s
+	return nil
+}

@@ -1,0 +1,290 @@
+package version
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"concord/internal/catalog"
+)
+
+func dov(id string, da string, parents ...ID) *DOV {
+	return &DOV{
+		ID:      ID(id),
+		DOT:     "chip",
+		DA:      da,
+		Parents: parents,
+		Object:  catalog.NewObject("chip"),
+		Status:  StatusWorking,
+	}
+}
+
+func TestInsertAndGet(t *testing.T) {
+	g := NewGraph("da1")
+	v0 := dov("v0", "da1")
+	if err := g.Insert(v0); err != nil {
+		t.Fatal(err)
+	}
+	v1 := dov("v1", "da1", "v0")
+	if err := g.Insert(v1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Get("v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Parents[0] != "v0" {
+		t.Fatalf("parents = %v", got.Parents)
+	}
+	if !g.Contains("v0") || g.Contains("ghost") {
+		t.Error("Contains wrong")
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestInsertRejections(t *testing.T) {
+	g := NewGraph("da1")
+	if err := g.Insert(nil); err == nil {
+		t.Error("nil DOV accepted")
+	}
+	if err := g.Insert(dov("x", "other-da")); !errors.Is(err, ErrWrongDA) {
+		t.Errorf("wrong DA = %v", err)
+	}
+	if err := g.Insert(dov("v0", "da1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Insert(dov("v0", "da1")); !errors.Is(err, ErrDuplicateDOV) {
+		t.Errorf("duplicate = %v", err)
+	}
+	if err := g.Insert(dov("v1", "da1", "ghost")); !errors.Is(err, ErrUnknownDOV) {
+		t.Errorf("unknown parent = %v", err)
+	}
+	if err := g.Insert(dov("v2", "da1", "v2")); !errors.Is(err, ErrCycle) {
+		t.Errorf("self-derivation = %v", err)
+	}
+}
+
+func TestAdoptRootWithForeignParents(t *testing.T) {
+	g := NewGraph("da2")
+	// DOV0 handed down from the super-DA: parents point into a foreign graph.
+	v := dov("inherited", "da1", "foreign-parent")
+	if err := g.AdoptRoot(v); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Contains("inherited") {
+		t.Error("adopted root missing")
+	}
+	roots := g.Roots()
+	if len(roots) != 1 || roots[0] != "inherited" {
+		t.Fatalf("Roots = %v", roots)
+	}
+	if err := g.AdoptRoot(v); !errors.Is(err, ErrDuplicateDOV) {
+		t.Errorf("duplicate adopt = %v", err)
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g := NewGraph("da1")
+	//     v0
+	//    /  \
+	//   v1   v2
+	//    \  /
+	//     v3
+	for _, v := range []*DOV{
+		dov("v0", "da1"),
+		dov("v1", "da1", "v0"),
+		dov("v2", "da1", "v0"),
+		dov("v3", "da1", "v1", "v2"),
+	} {
+		if err := g.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	anc, err := g.Ancestors("v3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anc) != 3 {
+		t.Fatalf("Ancestors(v3) = %v", anc)
+	}
+	desc, err := g.Descendants("v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(desc) != 3 {
+		t.Fatalf("Descendants(v0) = %v", desc)
+	}
+	ok, err := g.IsAncestor("v0", "v3")
+	if err != nil || !ok {
+		t.Fatalf("IsAncestor(v0, v3) = %t, %v", ok, err)
+	}
+	ok, err = g.IsAncestor("v3", "v0")
+	if err != nil || ok {
+		t.Fatalf("IsAncestor(v3, v0) = %t, %v", ok, err)
+	}
+	if _, err := g.Ancestors("ghost"); !errors.Is(err, ErrUnknownDOV) {
+		t.Errorf("Ancestors(ghost) = %v", err)
+	}
+	if _, err := g.Descendants("ghost"); !errors.Is(err, ErrUnknownDOV) {
+		t.Errorf("Descendants(ghost) = %v", err)
+	}
+}
+
+func TestRootsAndLeaves(t *testing.T) {
+	g := NewGraph("da1")
+	for _, v := range []*DOV{
+		dov("a", "da1"),
+		dov("b", "da1", "a"),
+		dov("c", "da1", "a"),
+	} {
+		if err := g.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roots := g.Roots()
+	if len(roots) != 1 || roots[0] != "a" {
+		t.Fatalf("Roots = %v", roots)
+	}
+	leaves := g.Leaves()
+	if len(leaves) != 2 {
+		t.Fatalf("Leaves = %v", leaves)
+	}
+}
+
+func TestStatusLifecycle(t *testing.T) {
+	g := NewGraph("da1")
+	if err := g.Insert(dov("v0", "da1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetStatus("v0", StatusFinal); err != nil {
+		t.Fatal(err)
+	}
+	finals := g.FinalDOVs()
+	if len(finals) != 1 || finals[0].ID != "v0" {
+		t.Fatalf("FinalDOVs = %v", finals)
+	}
+	if err := g.SetStatus("ghost", StatusFinal); !errors.Is(err, ErrUnknownDOV) {
+		t.Errorf("SetStatus(ghost) = %v", err)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusWorking:    "working",
+		StatusPropagated: "propagated",
+		StatusFinal:      "final",
+		StatusInvalid:    "invalid",
+		Status(99):       "status(99)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := dov("v0", "da1")
+	v.Object.Set("area", catalog.Float(10))
+	v.Fulfilled = []string{"f1"}
+	c := v.Clone()
+	c.Object.Set("area", catalog.Float(99))
+	c.Fulfilled[0] = "changed"
+	c.Parents = append(c.Parents, "x")
+	if catalog.NumAttr(v.Object, "area") != 10 {
+		t.Error("clone shares payload")
+	}
+	if v.Fulfilled[0] != "f1" {
+		t.Error("clone shares fulfilled slice")
+	}
+	if len(v.Parents) != 0 {
+		t.Error("clone shares parents slice")
+	}
+	var nilDOV *DOV
+	if nilDOV.Clone() != nil {
+		t.Error("nil clone should be nil")
+	}
+}
+
+func TestIDsInsertionOrder(t *testing.T) {
+	g := NewGraph("da1")
+	want := []ID{"a", "b", "c"}
+	for i, id := range want {
+		v := dov(string(id), "da1")
+		if i > 0 {
+			v.Parents = []ID{want[i-1]}
+		}
+		if err := g.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := g.IDs()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: graphs built by always deriving from existing versions are
+// acyclic, and every non-root's ancestors include a root.
+func TestQuickDerivationInvariants(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%40) + 2
+		g := NewGraph("da")
+		if err := g.Insert(dov("v0", "da")); err != nil {
+			return false
+		}
+		ids := []ID{"v0"}
+		for i := 1; i < count; i++ {
+			id := ID(fmt.Sprintf("v%d", i))
+			// Pick 1-2 random existing parents.
+			p1 := ids[rng.Intn(len(ids))]
+			parents := []ID{p1}
+			if rng.Intn(2) == 0 {
+				p2 := ids[rng.Intn(len(ids))]
+				if p2 != p1 {
+					parents = append(parents, p2)
+				}
+			}
+			if err := g.Insert(dov(string(id), "da", parents...)); err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		if !g.Acyclic() {
+			return false
+		}
+		// Every version except v0 must have v0 as ancestor (single root).
+		for _, id := range ids[1:] {
+			ok, err := g.IsAncestor("v0", id)
+			if err != nil || !ok {
+				return false
+			}
+		}
+		// Ancestor/descendant are converse relations.
+		a, b := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+		isAnc, err := g.IsAncestor(a, b)
+		if err != nil {
+			return false
+		}
+		desc, err := g.Descendants(a)
+		if err != nil {
+			return false
+		}
+		inDesc := false
+		for _, d := range desc {
+			if d == b {
+				inDesc = true
+			}
+		}
+		return isAnc == inDesc
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+package vlsi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rect is a placed rectangle.
+type Rect struct {
+	// X, Y is the lower-left corner.
+	X, Y float64
+	// W, H are width and height.
+	W, H float64
+}
+
+// Area returns W*H.
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() (float64, float64) { return r.X + r.W/2, r.Y + r.H/2 }
+
+// Interface is the floorplan interface description of a cell under design:
+// the non-functional requirements handed to the chip planner (shape/area
+// limits and pin positions, Sect. 3).
+type Interface struct {
+	// Cell names the cell under design (CUD).
+	Cell string
+	// MaxW, MaxH bound the CUD's bounding box (0 = unconstrained).
+	MaxW, MaxH float64
+	// Pins is the number of pins on the CUD's frame.
+	Pins int
+}
+
+// Placement is one placed subcell of a floorplan.
+type Placement struct {
+	// Name is the subcell name.
+	Name string
+	// Rect is the assigned region.
+	Rect Rect
+}
+
+// Floorplan is the output of the chip planner: placed subcells, the chosen
+// outline and the global-routing estimate (the floorplan contents of
+// Fig. 3).
+type Floorplan struct {
+	// Cell names the planned cell.
+	Cell string
+	// Outline is the chosen bounding shape.
+	Outline Shape
+	// Placements are the subcell regions.
+	Placements []Placement
+	// WireLength is the estimated total routed net length.
+	WireLength float64
+	// CutNets counts nets crossing the top-level partition.
+	CutNets int
+}
+
+// Area returns the outline area.
+func (f *Floorplan) Area() float64 { return f.Outline.Area() }
+
+// slicingNode is a node of the slicing tree built by recursive
+// bipartitioning.
+type slicingNode struct {
+	leaf     string // instance name for leaves
+	cut      Cut
+	from, to *slicingNode
+	sf       ShapeFunction
+	// chosen shape after top-down sizing
+	chosen Shape
+}
+
+// Bipartition splits the instances of a netlist into two balanced groups
+// minimizing the number of cut nets: a deterministic greedy min-cut
+// heuristic (area-balanced seeding followed by gain-driven swaps, in the
+// spirit of Kernighan-Lin).
+func Bipartition(nl *Netlist) (left, right []string, cut int) {
+	if len(nl.Instances) == 0 {
+		return nil, nil, 0
+	}
+	left, right = Repartition(nl) // balanced seed
+	inLeft := make(map[string]bool, len(left))
+	for _, n := range left {
+		inLeft[n] = true
+	}
+	area := make(map[string]float64, len(nl.Instances))
+	for _, in := range nl.Instances {
+		area[in.Name] = in.Area
+	}
+	cutCount := func() int {
+		c := 0
+		for _, net := range nl.Nets {
+			hasL, hasR := false, false
+			for _, p := range net.Pins {
+				if inLeft[p] {
+					hasL = true
+				} else {
+					hasR = true
+				}
+			}
+			if hasL && hasR {
+				c++
+			}
+		}
+		return c
+	}
+	totalArea := nl.TotalArea()
+	balanced := func() bool {
+		var la float64
+		for n, l := range inLeft {
+			if l {
+				la += area[n]
+			}
+		}
+		return la >= totalArea*0.25 && la <= totalArea*0.75
+	}
+	// Greedy single-move improvement passes.
+	names := make([]string, 0, len(nl.Instances))
+	for _, in := range nl.Instances {
+		names = append(names, in.Name)
+	}
+	sort.Strings(names)
+	best := cutCount()
+	for pass := 0; pass < 4; pass++ {
+		improved := false
+		for _, n := range names {
+			inLeft[n] = !inLeft[n]
+			if c := cutCount(); c < best && balanced() {
+				best = c
+				improved = true
+			} else {
+				inLeft[n] = !inLeft[n]
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	left, right = nil, nil
+	for _, n := range names {
+		if inLeft[n] {
+			left = append(left, n)
+		} else {
+			right = append(right, n)
+		}
+	}
+	return left, right, best
+}
+
+// buildSlicingTree recursively bipartitions the netlist into a slicing tree,
+// alternating cut directions.
+func buildSlicingTree(nl *Netlist, names []string, cut Cut, shapes map[string]ShapeFunction) *slicingNode {
+	if len(names) == 1 {
+		return &slicingNode{leaf: names[0], sf: shapes[names[0]]}
+	}
+	sub := subNetlist(nl, names)
+	l, r, _ := Bipartition(sub)
+	if len(l) == 0 || len(r) == 0 {
+		// Degenerate partition: split lexicographically.
+		sort.Strings(names)
+		mid := len(names) / 2
+		l, r = names[:mid], names[mid:]
+	}
+	next := CutVertical
+	if cut == CutVertical {
+		next = CutHorizontal
+	}
+	from := buildSlicingTree(nl, l, next, shapes)
+	to := buildSlicingTree(nl, r, next, shapes)
+	return &slicingNode{
+		cut:  cut,
+		from: from,
+		to:   to,
+		sf:   Combine(from.sf, to.sf, cut),
+	}
+}
+
+// subNetlist projects a netlist onto a subset of instances.
+func subNetlist(nl *Netlist, names []string) *Netlist {
+	keep := make(map[string]bool, len(names))
+	for _, n := range names {
+		keep[n] = true
+	}
+	out := &Netlist{Name: nl.Name}
+	for _, in := range nl.Instances {
+		if keep[in.Name] {
+			out.Instances = append(out.Instances, in)
+		}
+	}
+	for _, net := range nl.Nets {
+		var pins []string
+		for _, p := range net.Pins {
+			if keep[p] {
+				pins = append(pins, p)
+			}
+		}
+		if len(pins) >= 2 {
+			out.Nets = append(out.Nets, Net{Name: net.Name, Pins: pins})
+		}
+	}
+	return out
+}
+
+// size performs the top-down shape assignment after Stockmeyer combination:
+// given the chosen shape of a node, pick child shapes realizing it.
+func (n *slicingNode) size(target Shape) {
+	n.chosen = target
+	if n.leaf != "" {
+		return
+	}
+	bestErr := math.Inf(1)
+	var bf, bt Shape
+	for _, sa := range n.from.sf.Shapes {
+		for _, sb := range n.to.sf.Shapes {
+			var s Shape
+			if n.cut == CutVertical {
+				s = Shape{W: sa.W + sb.W, H: math.Max(sa.H, sb.H)}
+			} else {
+				s = Shape{W: math.Max(sa.W, sb.W), H: sa.H + sb.H}
+			}
+			e := math.Abs(s.W-target.W) + math.Abs(s.H-target.H)
+			if e < bestErr {
+				bestErr = e
+				bf, bt = sa, sb
+			}
+		}
+	}
+	n.from.size(bf)
+	n.to.size(bt)
+}
+
+// place assigns concrete rectangles top-down (dimensioning).
+func (n *slicingNode) place(x, y float64, out *[]Placement) {
+	if n.leaf != "" {
+		*out = append(*out, Placement{Name: n.leaf, Rect: Rect{X: x, Y: y, W: n.chosen.W, H: n.chosen.H}})
+		return
+	}
+	n.from.place(x, y, out)
+	if n.cut == CutVertical {
+		n.to.place(x+n.from.chosen.W, y, out)
+	} else {
+		n.to.place(x, y+n.from.chosen.H, out)
+	}
+}
+
+// PlanChip runs the chip-planner toolbox (tool 5, Fig. 3) on a cell under
+// design: bipartitioning builds a slicing tree over the netlist, sizing
+// combines the subcell shape functions (Stockmeyer) and picks the best
+// outline within the interface bounds, dimensioning assigns concrete
+// rectangles, and global routing estimates the wiring. shapes supplies the
+// shape function of each subcell; missing entries are generated from the
+// instance's area estimate.
+func PlanChip(nl *Netlist, iface Interface, shapes map[string]ShapeFunction) (*Floorplan, error) {
+	if nl == nil || len(nl.Instances) == 0 {
+		return nil, errors.New("vlsi: empty netlist")
+	}
+	full := make(map[string]ShapeFunction, len(nl.Instances))
+	for _, in := range nl.Instances {
+		if sf, ok := shapes[in.Name]; ok && !sf.Empty() {
+			full[in.Name] = sf
+		} else {
+			area := in.Area
+			if area <= 0 {
+				area = 1
+			}
+			full[in.Name] = GenerateShapes(area, 5)
+		}
+	}
+	names := make([]string, 0, len(nl.Instances))
+	for _, in := range nl.Instances {
+		names = append(names, in.Name)
+	}
+	sort.Strings(names)
+	root := buildSlicingTree(nl, names, CutVertical, full)
+	outline, err := root.sf.Best(iface.MaxW, iface.MaxH)
+	if err != nil {
+		return nil, fmt.Errorf("vlsi: %s: %w", iface.Cell, err)
+	}
+	root.size(outline)
+	var placements []Placement
+	root.place(0, 0, &placements)
+	sort.Slice(placements, func(i, j int) bool { return placements[i].Name < placements[j].Name })
+
+	fp := &Floorplan{Cell: iface.Cell, Outline: outline, Placements: placements}
+	_, _, cut := Bipartition(nl)
+	fp.CutNets = cut
+	fp.WireLength = RouteEstimate(nl, fp)
+	return fp, nil
+}

@@ -1,0 +1,246 @@
+package vlsi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"concord/internal/catalog"
+)
+
+// DOT names registered by RegisterCatalog.
+const (
+	DOTChip      = "chip"
+	DOTCell      = "cell"
+	DOTStdCell   = "stdcell"
+	DOTFloorplan = "floorplan"
+	DOTNetlist   = "netlist"
+	DOTLayout    = "masklayout"
+)
+
+// NewCatalog returns a fresh catalog pre-loaded with the VLSI design object
+// types.
+func NewCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	if err := RegisterCatalog(cat); err != nil {
+		panic(err) // registration of static schemas cannot fail
+	}
+	return cat
+}
+
+// RegisterCatalog registers the VLSI design object types: the four-level
+// cell hierarchy of Fig. 2 (chip ⊃ cell ⊃ stdcell) plus the domain artefact
+// types (netlist, floorplan, mask layout) nested under them so delegation
+// legality (part-of) follows the design plane.
+func RegisterCatalog(cat *catalog.Catalog) error {
+	dots := []*catalog.DOT{
+		{
+			Name: DOTStdCell,
+			Attrs: []catalog.AttrDef{
+				{Name: "name", Kind: catalog.KindString, Required: true},
+				{Name: "area", Kind: catalog.KindFloat, Bounded: true, Min: 0, Max: 1e12},
+			},
+		},
+		{
+			Name: DOTNetlist,
+			Attrs: []catalog.AttrDef{
+				{Name: "cell", Kind: catalog.KindString, Required: true},
+				{Name: "instances", Kind: catalog.KindInt},
+				{Name: "nets", Kind: catalog.KindInt},
+				{Name: "area", Kind: catalog.KindFloat},
+				{Name: "data", Kind: catalog.KindString},
+			},
+		},
+		{
+			Name: DOTFloorplan,
+			Attrs: []catalog.AttrDef{
+				{Name: "cell", Kind: catalog.KindString, Required: true},
+				{Name: "area", Kind: catalog.KindFloat, Bounded: true, Min: 0, Max: 1e12},
+				{Name: "width", Kind: catalog.KindFloat},
+				{Name: "height", Kind: catalog.KindFloat},
+				{Name: "aspect", Kind: catalog.KindFloat},
+				{Name: "wirelength", Kind: catalog.KindFloat},
+				{Name: "cutnets", Kind: catalog.KindInt},
+				{Name: "placements", Kind: catalog.KindInt},
+				{Name: "step", Kind: catalog.KindInt},
+			},
+		},
+		{
+			Name: DOTLayout,
+			Attrs: []catalog.AttrDef{
+				{Name: "cell", Kind: catalog.KindString, Required: true},
+				{Name: "area", Kind: catalog.KindFloat},
+				{Name: "rects", Kind: catalog.KindInt},
+				{Name: "layers", Kind: catalog.KindInt},
+			},
+		},
+		{
+			Name: DOTCell,
+			Attrs: []catalog.AttrDef{
+				{Name: "name", Kind: catalog.KindString, Required: true},
+				{Name: "area", Kind: catalog.KindFloat},
+			},
+			Components: []catalog.ComponentDef{
+				{Name: "subcells", DOT: DOTStdCell},
+				{Name: "netlists", DOT: DOTNetlist},
+				{Name: "floorplans", DOT: DOTFloorplan},
+				{Name: "layouts", DOT: DOTLayout},
+			},
+		},
+		{
+			Name: DOTChip,
+			Attrs: []catalog.AttrDef{
+				{Name: "name", Kind: catalog.KindString, Required: true},
+				{Name: "area", Kind: catalog.KindFloat},
+			},
+			Components: []catalog.ComponentDef{
+				{Name: "cells", DOT: DOTCell},
+				{Name: "netlists", DOT: DOTNetlist},
+				{Name: "floorplans", DOT: DOTFloorplan},
+				{Name: "layouts", DOT: DOTLayout},
+			},
+		},
+	}
+	for _, d := range dots {
+		if err := cat.Register(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FloorplanToObject converts a floorplan into a repository object of type
+// "floorplan".
+func FloorplanToObject(fp *Floorplan) *catalog.Object {
+	return catalog.NewObject(DOTFloorplan).
+		Set("cell", catalog.Str(fp.Cell)).
+		Set("area", catalog.Float(fp.Area())).
+		Set("width", catalog.Float(fp.Outline.W)).
+		Set("height", catalog.Float(fp.Outline.H)).
+		Set("aspect", catalog.Float(fp.Outline.Aspect())).
+		Set("wirelength", catalog.Float(fp.WireLength)).
+		Set("cutnets", catalog.Int(int64(fp.CutNets))).
+		Set("placements", catalog.Int(int64(len(fp.Placements))))
+}
+
+// NetlistToObject converts a netlist into a repository object of type
+// "netlist". The structural data is carried as an opaque rendering; the
+// numeric summary attributes drive features.
+func NetlistToObject(nl *Netlist) *catalog.Object {
+	return catalog.NewObject(DOTNetlist).
+		Set("cell", catalog.Str(nl.Name)).
+		Set("instances", catalog.Int(int64(len(nl.Instances)))).
+		Set("nets", catalog.Int(int64(len(nl.Nets)))).
+		Set("area", catalog.Float(nl.TotalArea())).
+		Set("data", catalog.Str(renderNetlist(nl)))
+}
+
+func renderNetlist(nl *Netlist) string {
+	s := nl.Name + ";"
+	for _, in := range nl.Instances {
+		s += fmt.Sprintf("%s:%s:%.1f,", in.Name, in.Kind, in.Area)
+	}
+	s += ";"
+	for _, n := range nl.Nets {
+		s += n.Name + ":"
+		for i, p := range n.Pins {
+			if i > 0 {
+				s += "|"
+			}
+			s += p
+		}
+		s += ","
+	}
+	return s
+}
+
+// LayoutToObject converts a mask layout into a repository object.
+func LayoutToObject(ml *MaskLayout) *catalog.Object {
+	return catalog.NewObject(DOTLayout).
+		Set("cell", catalog.Str(ml.Cell)).
+		Set("area", catalog.Float(ml.Area())).
+		Set("rects", catalog.Int(int64(len(ml.Rects)))).
+		Set("layers", catalog.Int(int64(ml.Layers)))
+}
+
+// Cell is a node of the design object hierarchy (Fig. 2 right-hand side).
+type Cell struct {
+	// Name names the cell.
+	Name string
+	// Level is the hierarchy level.
+	Level Level
+	// AreaEstimate is the initial area budget.
+	AreaEstimate float64
+	// Children are the subcells.
+	Children []*Cell
+	// Netlist is the structural description of this cell over its
+	// children (nil before structure synthesis).
+	Netlist *Netlist
+}
+
+// Walk visits the cell and its subcells depth-first.
+func (c *Cell) Walk(fn func(*Cell)) {
+	if c == nil {
+		return
+	}
+	fn(c)
+	for _, ch := range c.Children {
+		ch.Walk(fn)
+	}
+}
+
+// Count returns the number of cells in the subtree.
+func (c *Cell) Count() int {
+	n := 0
+	c.Walk(func(*Cell) { n++ })
+	return n
+}
+
+// GenerateHierarchy builds a deterministic random cell hierarchy of the
+// given fanout and depth (depth 3 yields the chip→module→block→stdcell
+// hierarchy of Fig. 2) with a netlist at every non-leaf cell connecting its
+// children. The rand seed makes workloads reproducible.
+func GenerateHierarchy(seed int64, name string, fanout, depth int) *Cell {
+	rng := rand.New(rand.NewSource(seed))
+	var build func(name string, level Level, d int) *Cell
+	build = func(name string, level Level, d int) *Cell {
+		c := &Cell{Name: name, Level: level}
+		if d == 0 {
+			c.AreaEstimate = 2 + rng.Float64()*14
+			return c
+		}
+		nl := &Netlist{Name: name}
+		for i := 0; i < fanout; i++ {
+			child := build(fmt.Sprintf("%s.%c", name, 'A'+i), level+1, d-1)
+			c.Children = append(c.Children, child)
+			c.AreaEstimate += child.AreaEstimate
+			nl.Instances = append(nl.Instances, Instance{Name: child.Name, Kind: "cell", Area: child.AreaEstimate})
+		}
+		// Random nets between children: fanout+2 two-pin nets plus one
+		// global net.
+		for i := 0; i < fanout+2; i++ {
+			a := c.Children[rng.Intn(len(c.Children))].Name
+			b := c.Children[rng.Intn(len(c.Children))].Name
+			if a != b {
+				nl.Nets = append(nl.Nets, Net{Name: fmt.Sprintf("%s.n%d", name, i), Pins: []string{a, b}})
+			}
+		}
+		var all []string
+		for _, ch := range c.Children {
+			all = append(all, ch.Name)
+		}
+		nl.Nets = append(nl.Nets, Net{Name: name + ".clk", Pins: all})
+		c.Netlist = nl
+		return c
+	}
+	return build(name, LevelChip, depth)
+}
+
+// ShapesForChildren generates the shape functions of a cell's children
+// (tool 3 applied per subcell).
+func ShapesForChildren(c *Cell, alternatives int) map[string]ShapeFunction {
+	out := make(map[string]ShapeFunction, len(c.Children))
+	for _, ch := range c.Children {
+		out[ch.Name] = GenerateShapes(ch.AreaEstimate, alternatives)
+	}
+	return out
+}

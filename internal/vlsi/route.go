@@ -1,0 +1,220 @@
+package vlsi
+
+import (
+	"math"
+	"sort"
+)
+
+// RouteEstimate performs global routing (part of the chip-planner toolbox):
+// every net is routed on a uniform grid over the floorplan outline between
+// the centers of its pins' placements using BFS shortest paths with a
+// congestion penalty; the total routed length is returned.
+func RouteEstimate(nl *Netlist, fp *Floorplan) float64 {
+	if fp.Outline.W <= 0 || fp.Outline.H <= 0 {
+		return 0
+	}
+	const gridN = 16
+	cellW := fp.Outline.W / gridN
+	cellH := fp.Outline.H / gridN
+	pos := make(map[string][2]int, len(fp.Placements))
+	for _, p := range fp.Placements {
+		cx, cy := p.Rect.Center()
+		gx := clampInt(int(cx/cellW), 0, gridN-1)
+		gy := clampInt(int(cy/cellH), 0, gridN-1)
+		pos[p.Name] = [2]int{gx, gy}
+	}
+	use := make([]int, gridN*gridN)
+	var total float64
+	// Deterministic net order.
+	nets := append([]Net(nil), nl.Nets...)
+	sort.Slice(nets, func(i, j int) bool { return nets[i].Name < nets[j].Name })
+	for _, net := range nets {
+		var pins [][2]int
+		for _, p := range net.Pins {
+			if g, ok := pos[p]; ok {
+				pins = append(pins, g)
+			}
+		}
+		if len(pins) < 2 {
+			continue
+		}
+		// Route a chain pin[0] → pin[1] → ... (Steiner approximation).
+		for i := 1; i < len(pins); i++ {
+			length := routeBFS(pins[i-1], pins[i], use, gridN)
+			total += length * math.Hypot(cellW, cellH) / math.Sqrt2
+		}
+	}
+	return total
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// routeBFS finds a congestion-aware shortest path and marks its usage,
+// returning the path length in grid steps (weighted by congestion).
+func routeBFS(from, to [2]int, use []int, n int) float64 {
+	if from == to {
+		return 0
+	}
+	type node struct{ x, y int }
+	dist := make([]float64, n*n)
+	prev := make([]int, n*n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	idx := func(x, y int) int { return y*n + x }
+	start := idx(from[0], from[1])
+	dist[start] = 0
+	// Dijkstra with a simple frontier scan (grids are small).
+	visited := make([]bool, n*n)
+	for {
+		best := -1
+		bd := math.Inf(1)
+		for i, d := range dist {
+			if !visited[i] && d < bd {
+				bd = d
+				best = i
+			}
+		}
+		if best < 0 {
+			return 0 // unreachable (cannot happen on a full grid)
+		}
+		if best == idx(to[0], to[1]) {
+			break
+		}
+		visited[best] = true
+		bx, by := best%n, best/n
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := bx+d[0], by+d[1]
+			if nx < 0 || ny < 0 || nx >= n || ny >= n {
+				continue
+			}
+			ni := idx(nx, ny)
+			w := 1 + 0.25*float64(use[ni]) // congestion penalty
+			if dist[best]+w < dist[ni] {
+				dist[ni] = dist[best] + w
+				prev[ni] = best
+			}
+		}
+	}
+	// Walk back, marking usage.
+	length := 0.0
+	cur := idx(to[0], to[1])
+	for cur != start && cur >= 0 {
+		use[cur]++
+		length++
+		cur = prev[cur]
+	}
+	return length
+}
+
+// PadFrame is the result of the pad frame editor (tool 4): pad positions on
+// the chip boundary.
+type PadFrame struct {
+	// Cell names the framed chip.
+	Cell string
+	// Pads are the placed pads in clockwise order starting at the lower
+	// left corner.
+	Pads []Rect
+}
+
+// EditPadFrame distributes n pads of the given size evenly around the
+// outline boundary (tool 4).
+func EditPadFrame(cell string, outline Shape, n int, padSize float64) *PadFrame {
+	pf := &PadFrame{Cell: cell}
+	if n <= 0 || outline.W <= 0 || outline.H <= 0 {
+		return pf
+	}
+	perimeter := 2 * (outline.W + outline.H)
+	step := perimeter / float64(n)
+	for i := 0; i < n; i++ {
+		d := step * float64(i)
+		var x, y float64
+		switch {
+		case d < outline.W: // bottom edge
+			x, y = d, 0
+		case d < outline.W+outline.H: // right edge
+			x, y = outline.W-padSize, d-outline.W
+		case d < 2*outline.W+outline.H: // top edge
+			x, y = 2*outline.W+outline.H-d-padSize, outline.H-padSize
+		default: // left edge
+			x, y = 0, perimeter-d-padSize
+		}
+		pf.Pads = append(pf.Pads, Rect{X: x, Y: y, W: padSize, H: padSize})
+	}
+	return pf
+}
+
+// MaskLayout is the physical realization of a cell (domain mask layout).
+type MaskLayout struct {
+	// Cell names the realized cell.
+	Cell string
+	// Outline is the die outline.
+	Outline Shape
+	// Rects are the geometry rectangles (subcell outlines, pads, wiring
+	// tracks).
+	Rects []Rect
+	// Layers counts distinct mask layers used.
+	Layers int
+}
+
+// Area returns the die area.
+func (m *MaskLayout) Area() float64 { return m.Outline.Area() }
+
+// SynthesizeCell performs cell synthesis (tool 6): a standard cell's mask
+// layout generated from its chosen shape — one diffusion rectangle per unit
+// of area on a two-layer grid.
+func SynthesizeCell(name string, shape Shape) *MaskLayout {
+	ml := &MaskLayout{Cell: name, Outline: shape, Layers: 2}
+	cols := int(math.Max(1, math.Round(shape.W)))
+	rows := int(math.Max(1, math.Round(shape.H)))
+	// Cap geometry generation for huge cells.
+	if cols*rows > 4096 {
+		scale := math.Sqrt(4096 / float64(cols*rows))
+		cols = int(float64(cols) * scale)
+		rows = int(float64(rows) * scale)
+	}
+	cw := shape.W / float64(cols)
+	rh := shape.H / float64(rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			ml.Rects = append(ml.Rects, Rect{X: float64(c) * cw, Y: float64(r) * rh, W: cw * 0.8, H: rh * 0.8})
+		}
+	}
+	return ml
+}
+
+// AssembleChip performs chip assembly (tool 7): it merges the floorplan, the
+// pad frame and the subcell layouts into the final chip mask layout.
+func AssembleChip(fp *Floorplan, pf *PadFrame, cells map[string]*MaskLayout) *MaskLayout {
+	ml := &MaskLayout{Cell: fp.Cell, Outline: fp.Outline, Layers: 3}
+	for _, p := range fp.Placements {
+		ml.Rects = append(ml.Rects, p.Rect)
+		if sub, ok := cells[p.Name]; ok {
+			// Translate subcell geometry into place.
+			sx := p.Rect.W / math.Max(sub.Outline.W, 1e-9)
+			sy := p.Rect.H / math.Max(sub.Outline.H, 1e-9)
+			for _, r := range sub.Rects {
+				ml.Rects = append(ml.Rects, Rect{
+					X: p.Rect.X + r.X*sx, Y: p.Rect.Y + r.Y*sy,
+					W: r.W * sx, H: r.H * sy,
+				})
+			}
+			if sub.Layers+1 > ml.Layers {
+				ml.Layers = sub.Layers + 1
+			}
+		}
+	}
+	if pf != nil {
+		ml.Rects = append(ml.Rects, pf.Pads...)
+	}
+	return ml
+}

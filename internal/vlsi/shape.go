@@ -1,0 +1,179 @@
+package vlsi
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Shape is one realizable bounding box of a cell.
+type Shape struct {
+	// W and H are width and height.
+	W, H float64
+}
+
+// Area returns W*H.
+func (s Shape) Area() float64 { return s.W * s.H }
+
+// Aspect returns H/W (0 for degenerate shapes).
+func (s Shape) Aspect() float64 {
+	if s.W == 0 {
+		return 0
+	}
+	return s.H / s.W
+}
+
+// ShapeFunction is the set of realizable shapes of a cell: a staircase of
+// (width, height) alternatives, sorted by increasing width with strictly
+// decreasing height (dominated points pruned). Shape functions are the
+// "estimated information about subcells" that chip planning consumes
+// (Sect. 3, tool 3 of Fig. 2).
+type ShapeFunction struct {
+	// Shapes is the normalized staircase.
+	Shapes []Shape
+}
+
+// NewShapeFunction normalizes a set of candidate shapes into a staircase.
+func NewShapeFunction(shapes ...Shape) ShapeFunction {
+	sf := ShapeFunction{Shapes: append([]Shape(nil), shapes...)}
+	sf.normalize()
+	return sf
+}
+
+// GenerateShapes builds the shape function of a leaf cell from its area
+// (tool 3): candidate aspect ratios between 1:4 and 4:1 in n steps.
+func GenerateShapes(area float64, n int) ShapeFunction {
+	if n < 1 {
+		n = 1
+	}
+	if area <= 0 {
+		return ShapeFunction{}
+	}
+	shapes := make([]Shape, 0, n)
+	for i := 0; i < n; i++ {
+		// aspect from 4 down to 1/4, geometrically spaced
+		t := float64(i) / float64(max(n-1, 1))
+		aspect := 4 * math.Pow(1.0/16.0, t) // 4 → 0.25
+		w := math.Sqrt(area / aspect)
+		shapes = append(shapes, Shape{W: w, H: area / w})
+	}
+	return NewShapeFunction(shapes...)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// normalize sorts by width and prunes dominated shapes (same or larger
+// width with same or larger height).
+func (sf *ShapeFunction) normalize() {
+	sort.Slice(sf.Shapes, func(i, j int) bool {
+		if sf.Shapes[i].W != sf.Shapes[j].W {
+			return sf.Shapes[i].W < sf.Shapes[j].W
+		}
+		return sf.Shapes[i].H < sf.Shapes[j].H
+	})
+	// With widths ascending, a shape is on the staircase iff its height is
+	// strictly below every height seen so far (otherwise some narrower or
+	// equal-width shape with smaller-or-equal height dominates it).
+	out := sf.Shapes[:0]
+	minH := math.Inf(1)
+	for _, s := range sf.Shapes {
+		if s.W <= 0 || s.H <= 0 {
+			continue
+		}
+		if s.H < minH {
+			out = append(out, s)
+			minH = s.H
+		}
+	}
+	sf.Shapes = out
+}
+
+// Empty reports whether the function offers no shape.
+func (sf ShapeFunction) Empty() bool { return len(sf.Shapes) == 0 }
+
+// MinArea returns the smallest-area shape.
+func (sf ShapeFunction) MinArea() (Shape, error) {
+	if sf.Empty() {
+		return Shape{}, errors.New("vlsi: empty shape function")
+	}
+	best := sf.Shapes[0]
+	for _, s := range sf.Shapes[1:] {
+		if s.Area() < best.Area() {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// Best returns the shape minimizing area subject to an optional bounding box
+// (0 means unconstrained).
+func (sf ShapeFunction) Best(maxW, maxH float64) (Shape, error) {
+	var best Shape
+	found := false
+	for _, s := range sf.Shapes {
+		if maxW > 0 && s.W > maxW {
+			continue
+		}
+		if maxH > 0 && s.H > maxH {
+			continue
+		}
+		if !found || s.Area() < best.Area() {
+			best = s
+			found = true
+		}
+	}
+	if !found {
+		return Shape{}, errors.New("vlsi: no shape fits the bounding box")
+	}
+	return best, nil
+}
+
+// Cut is a slicing direction.
+type Cut uint8
+
+// Slicing directions.
+const (
+	// CutVertical places children side by side (widths add).
+	CutVertical Cut = iota + 1
+	// CutHorizontal stacks children (heights add).
+	CutHorizontal
+)
+
+// String returns the cut name.
+func (c Cut) String() string {
+	if c == CutVertical {
+		return "vertical"
+	}
+	return "horizontal"
+}
+
+// Combine merges two shape functions under a slicing cut using Stockmeyer's
+// algorithm: each pair of compatible shapes yields a combined candidate;
+// dominated candidates are pruned. For a vertical cut widths add and heights
+// max; for a horizontal cut heights add and widths max.
+func Combine(a, b ShapeFunction, cut Cut) ShapeFunction {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	var shapes []Shape
+	for _, sa := range a.Shapes {
+		for _, sb := range b.Shapes {
+			var s Shape
+			if cut == CutVertical {
+				s = Shape{W: sa.W + sb.W, H: math.Max(sa.H, sb.H)}
+			} else {
+				s = Shape{W: math.Max(sa.W, sb.W), H: sa.H + sb.H}
+			}
+			shapes = append(shapes, s)
+		}
+	}
+	return NewShapeFunction(shapes...)
+}

@@ -1,0 +1,102 @@
+package vlsi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestStockmeyerNoWorseThanNaive: the combined shape function's best area is
+// never worse than naively stacking the min-area shapes (Stockmeyer's
+// combination explores all compatible pairs, which includes the naive one).
+func TestStockmeyerNoWorseThanNaive(t *testing.T) {
+	prop := func(a1, a2 uint8) bool {
+		areaA := float64(a1%50) + 4
+		areaB := float64(a2%50) + 4
+		sfA := GenerateShapes(areaA, 6)
+		sfB := GenerateShapes(areaB, 6)
+		minA, err := sfA.MinArea()
+		if err != nil {
+			return false
+		}
+		minB, err := sfB.MinArea()
+		if err != nil {
+			return false
+		}
+		for _, cut := range []Cut{CutVertical, CutHorizontal} {
+			var naive Shape
+			if cut == CutVertical {
+				naive = Shape{W: minA.W + minB.W, H: math.Max(minA.H, minB.H)}
+			} else {
+				naive = Shape{W: math.Max(minA.W, minB.W), H: minA.H + minB.H}
+			}
+			combined := Combine(sfA, sfB, cut)
+			best, err := combined.MinArea()
+			if err != nil {
+				return false
+			}
+			if best.Area() > naive.Area()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCombinedShapesContainChildren: every combined shape is large enough to
+// hold one shape of each child under the cut direction.
+func TestCombinedShapesContainChildren(t *testing.T) {
+	sfA := GenerateShapes(20, 4)
+	sfB := GenerateShapes(30, 4)
+	for _, cut := range []Cut{CutVertical, CutHorizontal} {
+		c := Combine(sfA, sfB, cut)
+		for _, s := range c.Shapes {
+			// There must exist child shapes (sa, sb) fitting inside s.
+			fits := false
+			for _, sa := range sfA.Shapes {
+				for _, sb := range sfB.Shapes {
+					if cut == CutVertical &&
+						sa.W+sb.W <= s.W+1e-9 && math.Max(sa.H, sb.H) <= s.H+1e-9 {
+						fits = true
+					}
+					if cut == CutHorizontal &&
+						math.Max(sa.W, sb.W) <= s.W+1e-9 && sa.H+sb.H <= s.H+1e-9 {
+						fits = true
+					}
+				}
+			}
+			if !fits {
+				t.Fatalf("combined shape %v cannot hold any child pair (%s cut)", s, cut)
+			}
+		}
+	}
+}
+
+// TestSizingRealizesChosenOutline: after top-down sizing, the placed
+// children exactly tile the chosen outline dimension along the cut.
+func TestSizingRealizesChosenOutline(t *testing.T) {
+	nl := &Netlist{Name: "x", Instances: []Instance{
+		{Name: "a", Kind: "cell", Area: 12},
+		{Name: "b", Kind: "cell", Area: 20},
+		{Name: "c", Kind: "cell", Area: 8},
+	}, Nets: []Net{{Name: "n", Pins: []string{"a", "b", "c"}}}}
+	fp, err := PlanChip(nl, Interface{Cell: "x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var placedArea float64
+	for _, p := range fp.Placements {
+		placedArea += p.Rect.Area()
+	}
+	// Slicing floorplans may leave slack, but placements never exceed the
+	// outline and must cover the cells' total area.
+	if placedArea > fp.Area()+1e-6 {
+		t.Fatalf("placed %g > outline %g", placedArea, fp.Area())
+	}
+	if placedArea < 40-1e-6 {
+		t.Fatalf("placed %g < total cell area 40", placedArea)
+	}
+}

@@ -1,0 +1,303 @@
+// Package vlsi implements the design substrate of CONCORD's sample design
+// process: the PLAYOUT-style VLSI methodology of Sect. 3 [Zi86]. It provides
+// the design plane (four domains × a four-level cell hierarchy, Fig. 2), the
+// data types flowing between design tools (behaviours, netlists, shape
+// functions, floorplans, mask layouts), and executable stand-ins for the
+// seven tools of Fig. 2 — including the chip-planner toolbox of Fig. 3
+// (bipartitioning, sizing, dimensioning, global routing).
+//
+// The algorithms are real: structure synthesis walks a behaviour expression
+// tree, floorplan sizing runs Stockmeyer's shape-function combination on a
+// slicing tree, bipartitioning is a seeded min-cut heuristic, and global
+// routing uses BFS shortest paths on a grid graph. They produce measurable
+// quality (area, aspect ratio, wire length) so that SPEC features at the AC
+// level are meaningful.
+package vlsi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Domain is one of the four design domains of the design plane (Fig. 2).
+type Domain uint8
+
+// Design domains.
+const (
+	DomainBehavior Domain = iota + 1
+	DomainStructure
+	DomainFloorPlan
+	DomainMaskLayout
+)
+
+// String returns the domain name.
+func (d Domain) String() string {
+	switch d {
+	case DomainBehavior:
+		return "behavior"
+	case DomainStructure:
+		return "structure"
+	case DomainFloorPlan:
+		return "floor plan"
+	case DomainMaskLayout:
+		return "mask layout"
+	default:
+		return fmt.Sprintf("domain(%d)", uint8(d))
+	}
+}
+
+// Level is a level of the design object hierarchy (Fig. 2).
+type Level uint8
+
+// Hierarchy levels.
+const (
+	LevelChip Level = iota + 1
+	LevelModule
+	LevelBlock
+	LevelStdCell
+)
+
+// String returns the level name.
+func (l Level) String() string {
+	switch l {
+	case LevelChip:
+		return "chip"
+	case LevelModule:
+		return "module"
+	case LevelBlock:
+		return "block"
+	case LevelStdCell:
+		return "stdcell"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// Tool numbers the design tools exactly as Fig. 2 does.
+type Tool uint8
+
+// The seven design tools of Fig. 2.
+const (
+	ToolStructureSynthesis Tool = 1
+	ToolRepartitioning     Tool = 2
+	ToolShapeFunction      Tool = 3
+	ToolPadFrameEditor     Tool = 4
+	ToolChipPlanner        Tool = 5
+	ToolCellSynthesis      Tool = 6
+	ToolChipAssembly       Tool = 7
+)
+
+// String returns the tool name.
+func (t Tool) String() string {
+	switch t {
+	case ToolStructureSynthesis:
+		return "structure synthesis"
+	case ToolRepartitioning:
+		return "repartitioning"
+	case ToolShapeFunction:
+		return "shape function generator"
+	case ToolPadFrameEditor:
+		return "pad frame editor"
+	case ToolChipPlanner:
+		return "chip planner toolbox"
+	case ToolCellSynthesis:
+		return "cell synthesis"
+	case ToolChipAssembly:
+		return "chip assembly"
+	default:
+		return fmt.Sprintf("tool(%d)", uint8(t))
+	}
+}
+
+// Behavior is the functional specification of a circuit: a module of
+// assignments over input signals ("MODULE add BEGIN c <= a + b END").
+type Behavior struct {
+	// Name names the module under design.
+	Name string
+	// Assigns are the behavioural assignments in order.
+	Assigns []Assign
+}
+
+// Assign is one behavioural assignment: Target <= Expr.
+type Assign struct {
+	// Target is the output signal.
+	Target string
+	// Expr is an infix expression over signals with operators + - * & |.
+	Expr string
+}
+
+// Netlist is the structural description: component instances connected by
+// nets (the module and net list of Fig. 3).
+type Netlist struct {
+	// Name names the described cell.
+	Name string
+	// Instances are the components.
+	Instances []Instance
+	// Nets connect instance pins.
+	Nets []Net
+}
+
+// Instance is one component of a netlist.
+type Instance struct {
+	// Name is unique within the netlist.
+	Name string
+	// Kind is the component type (adder, mult, and, or, reg, ...).
+	Kind string
+	// Area is the estimated cell area.
+	Area float64
+}
+
+// Net is an electrical connection between instances.
+type Net struct {
+	// Name identifies the net (typically the signal name).
+	Name string
+	// Pins are the connected instance names.
+	Pins []string
+}
+
+// operator area estimates per component kind.
+var kindArea = map[string]float64{
+	"add": 16, "sub": 16, "mul": 64, "and": 4, "or": 4, "buf": 2, "reg": 8, "in": 1, "out": 1,
+}
+
+var opKind = map[byte]string{'+': "add", '-': "sub", '*': "mul", '&': "and", '|': "or"}
+
+// Synthesize performs structure synthesis (tool 1): it translates a
+// behaviour into a netlist by building one component per operator
+// application and one net per signal. The synthesis is deterministic.
+func Synthesize(b Behavior) (*Netlist, error) {
+	if b.Name == "" {
+		return nil, errors.New("vlsi: behaviour needs a name")
+	}
+	nl := &Netlist{Name: b.Name}
+	netPins := make(map[string][]string) // signal → pins
+	seen := make(map[string]bool)
+	addInstance := func(name, kind string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		nl.Instances = append(nl.Instances, Instance{Name: name, Kind: kind, Area: kindArea[kind]})
+	}
+	gate := 0
+	for _, as := range b.Assigns {
+		if as.Target == "" {
+			return nil, errors.New("vlsi: assignment without target")
+		}
+		// Parse "x op y op z" left-associatively.
+		toks := tokenize(as.Expr)
+		if len(toks) == 0 {
+			return nil, fmt.Errorf("vlsi: empty expression for %s", as.Target)
+		}
+		if len(toks)%2 == 0 {
+			return nil, fmt.Errorf("vlsi: malformed expression %q", as.Expr)
+		}
+		cur := toks[0]
+		addInstance("in:"+cur, "in")
+		netPins[cur] = append(netPins[cur], "in:"+cur)
+		for i := 1; i < len(toks); i += 2 {
+			op := toks[i]
+			rhs := toks[i+1]
+			kind, ok := opKind[op[0]]
+			if !ok || len(op) != 1 {
+				return nil, fmt.Errorf("vlsi: unknown operator %q", op)
+			}
+			addInstance("in:"+rhs, "in")
+			gate++
+			g := fmt.Sprintf("%s%d", kind, gate)
+			addInstance(g, kind)
+			netPins[cur] = append(netPins[cur], g)
+			netPins[rhs] = append(netPins[rhs], "in:"+rhs, g)
+			// Intermediate signal feeds the next stage.
+			cur = fmt.Sprintf("%s.t%d", as.Target, gate)
+			netPins[cur] = append(netPins[cur], g)
+		}
+		addInstance("out:"+as.Target, "out")
+		netPins[cur] = append(netPins[cur], "out:"+as.Target)
+	}
+	signals := make([]string, 0, len(netPins))
+	for s := range netPins {
+		signals = append(signals, s)
+	}
+	sort.Strings(signals)
+	for _, s := range signals {
+		pins := dedup(netPins[s])
+		if len(pins) >= 2 {
+			nl.Nets = append(nl.Nets, Net{Name: s, Pins: pins})
+		}
+	}
+	return nl, nil
+}
+
+func tokenize(expr string) []string {
+	var toks []string
+	cur := strings.Builder{}
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(expr); i++ {
+		c := expr[i]
+		switch {
+		case c == ' ' || c == '\t':
+			flush()
+		case opKind[c] != "":
+			flush()
+			toks = append(toks, string(c))
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return toks
+}
+
+func dedup(xs []string) []string {
+	sort.Strings(xs)
+	out := xs[:0]
+	var prev string
+	for i, x := range xs {
+		if i == 0 || x != prev {
+			out = append(out, x)
+		}
+		prev = x
+	}
+	return out
+}
+
+// TotalArea sums the component area estimates.
+func (nl *Netlist) TotalArea() float64 {
+	var sum float64
+	for _, inst := range nl.Instances {
+		sum += inst.Area
+	}
+	return sum
+}
+
+// Repartition (tool 2) rebalances instances between two named groups so the
+// area difference is minimized, returning the two groups (deterministic
+// greedy longest-processing-time assignment).
+func Repartition(nl *Netlist) (groupA, groupB []string) {
+	insts := append([]Instance(nil), nl.Instances...)
+	sort.Slice(insts, func(i, j int) bool {
+		if insts[i].Area != insts[j].Area {
+			return insts[i].Area > insts[j].Area
+		}
+		return insts[i].Name < insts[j].Name
+	})
+	var areaA, areaB float64
+	for _, in := range insts {
+		if areaA <= areaB {
+			groupA = append(groupA, in.Name)
+			areaA += in.Area
+		} else {
+			groupB = append(groupB, in.Name)
+			areaB += in.Area
+		}
+	}
+	return groupA, groupB
+}

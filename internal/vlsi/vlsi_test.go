@@ -1,0 +1,453 @@
+package vlsi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"concord/internal/catalog"
+)
+
+func TestSynthesizeSimpleAdder(t *testing.T) {
+	// MODULE add BEGIN c <= a + b END (Fig. 2 behaviour example).
+	nl, err := Synthesize(Behavior{Name: "add", Assigns: []Assign{{Target: "c", Expr: "a + b"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[string]int)
+	for _, in := range nl.Instances {
+		kinds[in.Kind]++
+	}
+	if kinds["add"] != 1 || kinds["in"] != 2 || kinds["out"] != 1 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if len(nl.Nets) < 3 {
+		t.Fatalf("nets = %d, want >= 3", len(nl.Nets))
+	}
+	if nl.TotalArea() <= 0 {
+		t.Fatal("zero total area")
+	}
+}
+
+func TestSynthesizeChainedExpression(t *testing.T) {
+	nl, err := Synthesize(Behavior{Name: "mac", Assigns: []Assign{
+		{Target: "y", Expr: "a * b + c"},
+		{Target: "z", Expr: "y2 & m"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[string]int)
+	for _, in := range nl.Instances {
+		kinds[in.Kind]++
+	}
+	if kinds["mul"] != 1 || kinds["add"] != 1 || kinds["and"] != 1 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	if _, err := Synthesize(Behavior{}); err == nil {
+		t.Error("unnamed behaviour accepted")
+	}
+	if _, err := Synthesize(Behavior{Name: "x", Assigns: []Assign{{Target: "", Expr: "a"}}}); err == nil {
+		t.Error("empty target accepted")
+	}
+	if _, err := Synthesize(Behavior{Name: "x", Assigns: []Assign{{Target: "y", Expr: ""}}}); err == nil {
+		t.Error("empty expression accepted")
+	}
+	if _, err := Synthesize(Behavior{Name: "x", Assigns: []Assign{{Target: "y", Expr: "a +"}}}); err == nil {
+		t.Error("dangling operator accepted")
+	}
+}
+
+func TestShapeFunctionNormalization(t *testing.T) {
+	sf := NewShapeFunction(
+		Shape{W: 2, H: 8},
+		Shape{W: 4, H: 4},
+		Shape{W: 4, H: 6}, // dominated by 4x4
+		Shape{W: 8, H: 2},
+		Shape{W: 10, H: 3}, // dominated by 8x2
+		Shape{W: 0, H: 5},  // degenerate
+	)
+	if len(sf.Shapes) != 3 {
+		t.Fatalf("staircase = %v", sf.Shapes)
+	}
+	for i := 1; i < len(sf.Shapes); i++ {
+		if sf.Shapes[i].W <= sf.Shapes[i-1].W || sf.Shapes[i].H >= sf.Shapes[i-1].H {
+			t.Fatalf("not a staircase: %v", sf.Shapes)
+		}
+	}
+}
+
+func TestGenerateShapesPreservesArea(t *testing.T) {
+	sf := GenerateShapes(64, 7)
+	if sf.Empty() {
+		t.Fatal("empty shape function")
+	}
+	for _, s := range sf.Shapes {
+		if math.Abs(s.Area()-64) > 1e-9 {
+			t.Fatalf("shape %v area %g, want 64", s, s.Area())
+		}
+	}
+	if GenerateShapes(-1, 5).Empty() != true {
+		t.Fatal("negative area should give empty function")
+	}
+}
+
+func TestCombineStockmeyer(t *testing.T) {
+	a := NewShapeFunction(Shape{W: 2, H: 4}, Shape{W: 4, H: 2})
+	b := NewShapeFunction(Shape{W: 2, H: 2})
+	v := Combine(a, b, CutVertical)
+	// Vertical: widths add, heights max → candidates (4, 4), (6, 2).
+	if len(v.Shapes) != 2 {
+		t.Fatalf("vertical combine = %v", v.Shapes)
+	}
+	if v.Shapes[0].W != 4 || v.Shapes[0].H != 4 || v.Shapes[1].W != 6 || v.Shapes[1].H != 2 {
+		t.Fatalf("vertical combine = %v", v.Shapes)
+	}
+	h := Combine(a, b, CutHorizontal)
+	// Horizontal: heights add, widths max → (2, 6), (4, 4).
+	if len(h.Shapes) != 2 || h.Shapes[0].W != 2 || h.Shapes[0].H != 6 {
+		t.Fatalf("horizontal combine = %v", h.Shapes)
+	}
+	// Combining with an empty function is the identity.
+	if got := Combine(a, ShapeFunction{}, CutVertical); len(got.Shapes) != len(a.Shapes) {
+		t.Fatal("combine with empty lost shapes")
+	}
+}
+
+func TestBestShapeRespectsBounds(t *testing.T) {
+	sf := NewShapeFunction(Shape{W: 2, H: 8}, Shape{W: 4, H: 4}, Shape{W: 8, H: 2})
+	s, err := sf.Best(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.W != 4 || s.H != 4 {
+		t.Fatalf("Best(5,5) = %v", s)
+	}
+	if _, err := sf.Best(1, 1); err == nil {
+		t.Fatal("impossible bound accepted")
+	}
+	s, err = sf.Best(0, 0) // unconstrained → min area
+	if err != nil || s.Area() != 16 {
+		t.Fatalf("Best(0,0) = %v, %v", s, err)
+	}
+}
+
+func TestBipartitionBalancedAndDeterministic(t *testing.T) {
+	nl := &Netlist{Name: "m"}
+	for i := 0; i < 8; i++ {
+		nl.Instances = append(nl.Instances, Instance{Name: string(rune('a' + i)), Kind: "cell", Area: 10})
+	}
+	// Two clusters {a..d}, {e..h} densely connected internally, one
+	// cross net: min cut should separate the clusters.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			nl.Nets = append(nl.Nets,
+				Net{Name: "l", Pins: []string{string(rune('a' + i)), string(rune('a' + j))}},
+				Net{Name: "r", Pins: []string{string(rune('e' + i)), string(rune('e' + j))}})
+		}
+	}
+	nl.Nets = append(nl.Nets, Net{Name: "x", Pins: []string{"a", "e"}})
+	l1, r1, cut1 := Bipartition(nl)
+	l2, r2, cut2 := Bipartition(nl)
+	if cut1 != cut2 || len(l1) != len(l2) || len(r1) != len(r2) {
+		t.Fatal("bipartition not deterministic")
+	}
+	if cut1 > 1 {
+		t.Fatalf("cut = %d, want <= 1 (clusters separable)", cut1)
+	}
+	if len(l1) != 4 || len(r1) != 4 {
+		t.Fatalf("partition sizes = %d/%d", len(l1), len(r1))
+	}
+}
+
+func TestPlanChipProducesLegalFloorplan(t *testing.T) {
+	// Cell O with subcells A..D (the Fig. 5 scenario).
+	nl := &Netlist{
+		Name: "O",
+		Instances: []Instance{
+			{Name: "A", Kind: "cell", Area: 40},
+			{Name: "B", Kind: "cell", Area: 30},
+			{Name: "C", Kind: "cell", Area: 20},
+			{Name: "D", Kind: "cell", Area: 10},
+		},
+		Nets: []Net{
+			{Name: "n1", Pins: []string{"A", "B"}},
+			{Name: "n2", Pins: []string{"B", "C"}},
+			{Name: "n3", Pins: []string{"C", "D"}},
+			{Name: "n4", Pins: []string{"A", "D"}},
+		},
+	}
+	fp, err := PlanChip(nl, Interface{Cell: "O", MaxW: 30, MaxH: 30}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Placements) != 4 {
+		t.Fatalf("placements = %d", len(fp.Placements))
+	}
+	if fp.Outline.W > 30 || fp.Outline.H > 30 {
+		t.Fatalf("outline %v exceeds interface bounds", fp.Outline)
+	}
+	// Total placed area must be at least the sum of the smallest shape
+	// areas (no cell vanishes).
+	if fp.Area() < 100 {
+		t.Fatalf("outline area %g < total cell area 100", fp.Area())
+	}
+	// Placements stay within the outline (small epsilon for float noise).
+	for _, p := range fp.Placements {
+		if p.Rect.X < -1e-9 || p.Rect.Y < -1e-9 ||
+			p.Rect.X+p.Rect.W > fp.Outline.W+1e-6 || p.Rect.Y+p.Rect.H > fp.Outline.H+1e-6 {
+			t.Fatalf("placement %v outside outline %v", p, fp.Outline)
+		}
+	}
+	// No pairwise overlaps.
+	for i := range fp.Placements {
+		for j := i + 1; j < len(fp.Placements); j++ {
+			a, b := fp.Placements[i].Rect, fp.Placements[j].Rect
+			if a.X < b.X+b.W-1e-6 && b.X < a.X+a.W-1e-6 &&
+				a.Y < b.Y+b.H-1e-6 && b.Y < a.Y+a.H-1e-6 {
+				t.Fatalf("placements overlap: %v vs %v", fp.Placements[i], fp.Placements[j])
+			}
+		}
+	}
+	if fp.WireLength <= 0 {
+		t.Fatal("no wiring estimated")
+	}
+}
+
+func TestPlanChipImpossibleBounds(t *testing.T) {
+	nl := &Netlist{Name: "O", Instances: []Instance{{Name: "A", Kind: "cell", Area: 100}}}
+	if _, err := PlanChip(nl, Interface{Cell: "O", MaxW: 2, MaxH: 2}, nil); err == nil {
+		t.Fatal("impossible interface accepted")
+	}
+	if _, err := PlanChip(&Netlist{}, Interface{}, nil); err == nil {
+		t.Fatal("empty netlist accepted")
+	}
+}
+
+func TestRepartitionBalances(t *testing.T) {
+	nl := &Netlist{Name: "m", Instances: []Instance{
+		{Name: "big", Area: 50}, {Name: "m1", Area: 20}, {Name: "m2", Area: 20}, {Name: "m3", Area: 10},
+	}}
+	a, b := Repartition(nl)
+	var areaA, areaB float64
+	areas := map[string]float64{"big": 50, "m1": 20, "m2": 20, "m3": 10}
+	for _, n := range a {
+		areaA += areas[n]
+	}
+	for _, n := range b {
+		areaB += areas[n]
+	}
+	if math.Abs(areaA-areaB) > 10 {
+		t.Fatalf("imbalance: %g vs %g", areaA, areaB)
+	}
+}
+
+func TestPadFrame(t *testing.T) {
+	pf := EditPadFrame("chip", Shape{W: 100, H: 50}, 12, 2)
+	if len(pf.Pads) != 12 {
+		t.Fatalf("pads = %d", len(pf.Pads))
+	}
+	for _, p := range pf.Pads {
+		if p.X < -1e-9 || p.Y < -1e-9 || p.X+p.W > 100+1e-9 || p.Y+p.H > 50+1e-9 {
+			t.Fatalf("pad %v outside die", p)
+		}
+	}
+	if got := EditPadFrame("c", Shape{}, 4, 1); len(got.Pads) != 0 {
+		t.Fatal("degenerate outline produced pads")
+	}
+}
+
+func TestCellSynthesisAndAssembly(t *testing.T) {
+	fp, err := PlanChip(&Netlist{
+		Name: "O",
+		Instances: []Instance{
+			{Name: "A", Kind: "cell", Area: 16},
+			{Name: "B", Kind: "cell", Area: 16},
+		},
+		Nets: []Net{{Name: "n", Pins: []string{"A", "B"}}},
+	}, Interface{Cell: "O"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := make(map[string]*MaskLayout)
+	for _, p := range fp.Placements {
+		cells[p.Name] = SynthesizeCell(p.Name, Shape{W: p.Rect.W, H: p.Rect.H})
+	}
+	pf := EditPadFrame("O", fp.Outline, 8, 1)
+	ml := AssembleChip(fp, pf, cells)
+	if ml.Cell != "O" || ml.Area() != fp.Area() {
+		t.Fatalf("layout = %+v", ml)
+	}
+	wantRects := len(fp.Placements) + len(pf.Pads)
+	for _, c := range cells {
+		wantRects += len(c.Rects)
+	}
+	if len(ml.Rects) != wantRects {
+		t.Fatalf("rects = %d, want %d", len(ml.Rects), wantRects)
+	}
+	if ml.Layers < 3 {
+		t.Fatalf("layers = %d", ml.Layers)
+	}
+}
+
+func TestGenerateHierarchy(t *testing.T) {
+	chip := GenerateHierarchy(7, "chip", 3, 3)
+	// 1 + 3 + 9 + 27 cells.
+	if chip.Count() != 40 {
+		t.Fatalf("count = %d, want 40", chip.Count())
+	}
+	levels := make(map[Level]int)
+	chip.Walk(func(c *Cell) { levels[c.Level]++ })
+	if levels[LevelChip] != 1 || levels[LevelModule] != 3 || levels[LevelBlock] != 9 || levels[LevelStdCell] != 27 {
+		t.Fatalf("levels = %v", levels)
+	}
+	chip.Walk(func(c *Cell) {
+		if len(c.Children) > 0 && c.Netlist == nil {
+			t.Fatalf("cell %s without netlist", c.Name)
+		}
+		if c.AreaEstimate <= 0 {
+			t.Fatalf("cell %s without area", c.Name)
+		}
+	})
+	// Determinism.
+	again := GenerateHierarchy(7, "chip", 3, 3)
+	if again.AreaEstimate != chip.AreaEstimate {
+		t.Fatal("hierarchy generation not deterministic")
+	}
+	shapes := ShapesForChildren(chip, 5)
+	if len(shapes) != 3 {
+		t.Fatalf("shapes = %d", len(shapes))
+	}
+}
+
+func TestObjectConversions(t *testing.T) {
+	cat := catalog.New()
+	if err := RegisterCatalog(cat); err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Synthesize(Behavior{Name: "add", Assigns: []Assign{{Target: "c", Expr: "a + b"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Validate(NetlistToObject(nl)); err != nil {
+		t.Fatalf("netlist object: %v", err)
+	}
+	fp, err := PlanChip(&Netlist{
+		Name:      "O",
+		Instances: []Instance{{Name: "A", Kind: "cell", Area: 9}, {Name: "B", Kind: "cell", Area: 9}},
+		Nets:      []Net{{Name: "n", Pins: []string{"A", "B"}}},
+	}, Interface{Cell: "O"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := FloorplanToObject(fp)
+	if err := cat.Validate(obj); err != nil {
+		t.Fatalf("floorplan object: %v", err)
+	}
+	if catalog.NumAttr(obj, "area") != fp.Area() {
+		t.Fatal("area attribute mismatch")
+	}
+	ml := AssembleChip(fp, nil, nil)
+	if err := cat.Validate(LayoutToObject(ml)); err != nil {
+		t.Fatalf("layout object: %v", err)
+	}
+	// Part-of relations along the design plane.
+	for _, sub := range []string{DOTCell, DOTStdCell, DOTFloorplan, DOTNetlist, DOTLayout} {
+		ok, err := cat.IsPartOf(sub, DOTChip)
+		if err != nil || !ok {
+			t.Fatalf("IsPartOf(%s, chip) = %t, %v", sub, ok, err)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if DomainBehavior.String() != "behavior" || DomainMaskLayout.String() != "mask layout" {
+		t.Error("domain names wrong")
+	}
+	if LevelChip.String() != "chip" || LevelStdCell.String() != "stdcell" {
+		t.Error("level names wrong")
+	}
+	if ToolChipPlanner.String() != "chip planner toolbox" || Tool(99).String() != "tool(99)" {
+		t.Error("tool names wrong")
+	}
+	if CutVertical.String() != "vertical" || CutHorizontal.String() != "horizontal" {
+		t.Error("cut names wrong")
+	}
+}
+
+// Property: PlanChip outlines always contain all placements without
+// overlap, for random netlists.
+func TestQuickFloorplanLegality(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		count := int(n%6) + 2
+		nl := &Netlist{Name: "q"}
+		areas := []float64{4, 9, 16, 25, 36}
+		for i := 0; i < count; i++ {
+			nl.Instances = append(nl.Instances, Instance{
+				Name: string(rune('a' + i)), Kind: "cell",
+				Area: areas[(uint64(seed)+uint64(i)*7)%uint64(len(areas))],
+			})
+		}
+		for i := 1; i < count; i++ {
+			nl.Nets = append(nl.Nets, Net{
+				Name: string(rune('m' + i)),
+				Pins: []string{string(rune('a' + i - 1)), string(rune('a' + i))},
+			})
+		}
+		fp, err := PlanChip(nl, Interface{Cell: "q"}, nil)
+		if err != nil {
+			return false
+		}
+		if len(fp.Placements) != count {
+			return false
+		}
+		for i := range fp.Placements {
+			r := fp.Placements[i].Rect
+			if r.X < -1e-9 || r.Y < -1e-9 || r.X+r.W > fp.Outline.W+1e-6 || r.Y+r.H > fp.Outline.H+1e-6 {
+				return false
+			}
+			for j := i + 1; j < len(fp.Placements); j++ {
+				b := fp.Placements[j].Rect
+				if r.X < b.X+b.W-1e-6 && b.X < r.X+r.W-1e-6 &&
+					r.Y < b.Y+b.H-1e-6 && b.Y < r.Y+r.H-1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shape-function combination preserves the staircase invariant.
+func TestQuickCombineStaircase(t *testing.T) {
+	prop := func(areasA, areasB []uint8) bool {
+		mk := func(areas []uint8) ShapeFunction {
+			var shapes []Shape
+			for _, a := range areas {
+				area := float64(a%60) + 1
+				shapes = append(shapes, Shape{W: math.Sqrt(area), H: math.Sqrt(area)},
+					Shape{W: math.Sqrt(area) * 2, H: math.Sqrt(area) / 2})
+			}
+			return NewShapeFunction(shapes...)
+		}
+		a, b := mk(areasA), mk(areasB)
+		for _, cut := range []Cut{CutVertical, CutHorizontal} {
+			c := Combine(a, b, cut)
+			for i := 1; i < len(c.Shapes); i++ {
+				if c.Shapes[i].W <= c.Shapes[i-1].W || c.Shapes[i].H >= c.Shapes[i-1].H {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

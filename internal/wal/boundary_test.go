@@ -1,0 +1,67 @@
+package wal
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLargePayloadRoundTrip(t *testing.T) {
+	l := openTemp(t)
+	payload := bytes.Repeat([]byte{0xAB}, 1<<20) // 1 MiB
+	if _, err := l.Append(1, "big", payload); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if err := l.Replay(func(r Record) error { got = r.Payload; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	l := openTemp(t)
+	if _, err := l.Append(1, "x", make([]byte, maxRecordSize)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	// The log stays usable after the rejection.
+	if _, err := l.Append(1, "x", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxOwnerLength(t *testing.T) {
+	l := openTemp(t)
+	owner := strings.Repeat("o", 0xFFFF)
+	if _, err := l.Append(1, owner, []byte("p")); err != nil {
+		t.Fatalf("max-length owner rejected: %v", err)
+	}
+	if _, err := l.Append(1, owner+"x", []byte("p")); err == nil {
+		t.Fatal("over-length owner accepted")
+	}
+	var got string
+	if err := l.Replay(func(r Record) error { got = r.Owner; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got != owner {
+		t.Fatalf("owner length after replay = %d", len(got))
+	}
+}
+
+func TestEmptyLogReplay(t *testing.T) {
+	l, err := Open(filepath.Join(t.TempDir(), "empty.wal"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	n := 0
+	if err := l.Replay(func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || l.Size() != 0 {
+		t.Fatalf("empty log: n=%d size=%d", n, l.Size())
+	}
+}

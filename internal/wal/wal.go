@@ -1,0 +1,254 @@
+// Package wal implements the append-only redo log used by the CONCORD
+// repository, the transaction managers, the design manager and the
+// cooperation manager for durability and crash recovery.
+//
+// The log is a sequence of length-prefixed, CRC32-checked records. Each
+// record carries a record type (assigned by the client layer), an owner tag
+// (e.g. a DOP or DA identifier) and an opaque payload. Replay tolerates a
+// torn tail: a record whose length prefix or checksum is invalid terminates
+// replay without error, mirroring the behaviour of a crashed writer.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// RecordType distinguishes the kinds of log records. The values are assigned
+// by the layers above (repository, TMs, DM, CM); the WAL treats them opaquely.
+type RecordType uint16
+
+// LSN is a log sequence number: the byte offset of a record in the log.
+type LSN uint64
+
+// Record is a single durable log entry.
+type Record struct {
+	// LSN is the byte offset at which the record starts. Assigned on append.
+	LSN LSN
+	// Type tags the record for the replaying layer.
+	Type RecordType
+	// Owner identifies the logical writer (a DOP, DA, or manager name).
+	Owner string
+	// Payload is the opaque record body.
+	Payload []byte
+}
+
+// Log is an append-only, checksummed redo log backed by a single file.
+// All methods are safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	size   int64
+	closed bool
+	// syncOnAppend forces an fsync after every append (forced log writes).
+	syncOnAppend bool
+}
+
+const (
+	// header: u32 totalLen | u32 crc | u16 type | u16 ownerLen
+	recHeaderSize = 4 + 4 + 2 + 2
+	maxRecordSize = 64 << 20 // 64 MiB sanity cap
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Options configures a Log.
+type Options struct {
+	// SyncOnAppend forces the file to stable storage after each append.
+	// Benchmarks may disable it; correctness tests enable it.
+	SyncOnAppend bool
+}
+
+// Open opens (creating if necessary) the log file at path. An existing log is
+// scanned so that new appends continue after the last valid record; a torn
+// tail is truncated.
+func Open(path string, opts Options) (*Log, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	l := &Log{f: f, path: path, syncOnAppend: opts.SyncOnAppend}
+	valid, err := l.scanValidPrefix()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	l.size = valid
+	return l, nil
+}
+
+// scanValidPrefix returns the byte length of the longest valid record prefix.
+func (l *Log) scanValidPrefix() (int64, error) {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("wal: seek: %w", err)
+	}
+	var off int64
+	hdr := make([]byte, recHeaderSize)
+	for {
+		if _, err := io.ReadFull(l.f, hdr); err != nil {
+			return off, nil // clean EOF or torn header: stop
+		}
+		total := binary.LittleEndian.Uint32(hdr[0:4])
+		if total < recHeaderSize || total > maxRecordSize {
+			return off, nil
+		}
+		body := make([]byte, total-recHeaderSize)
+		if _, err := io.ReadFull(l.f, body); err != nil {
+			return off, nil // torn body
+		}
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if crc32.ChecksumIEEE(body) != crc {
+			return off, nil // corrupt
+		}
+		off += int64(total)
+	}
+}
+
+// Append durably adds a record and returns its LSN.
+func (l *Log) Append(t RecordType, owner string, payload []byte) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if len(owner) > 0xFFFF {
+		return 0, fmt.Errorf("wal: owner too long (%d bytes)", len(owner))
+	}
+	body := make([]byte, 0, len(owner)+len(payload))
+	body = append(body, owner...)
+	body = append(body, payload...)
+	total := uint32(recHeaderSize + len(body))
+	if total > maxRecordSize {
+		return 0, fmt.Errorf("wal: record too large (%d bytes)", total)
+	}
+	buf := make([]byte, recHeaderSize, total)
+	binary.LittleEndian.PutUint32(buf[0:4], total)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint16(buf[8:10], uint16(t))
+	binary.LittleEndian.PutUint16(buf[10:12], uint16(len(owner)))
+	buf = append(buf, body...)
+	lsn := LSN(l.size)
+	if _, err := l.f.Write(buf); err != nil {
+		return 0, fmt.Errorf("wal: write: %w", err)
+	}
+	l.size += int64(total)
+	if l.syncOnAppend {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return lsn, nil
+}
+
+// Sync forces buffered records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.f.Sync()
+}
+
+// Size reports the current log size in bytes (== the LSN of the next record).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close releases the underlying file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}
+
+// Replay reads every valid record from the beginning of the log, invoking fn
+// in log order. A torn or corrupt tail terminates replay silently. Replay
+// holds the log lock: it must not be interleaved with appends by fn.
+func (l *Log) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	defer l.f.Seek(l.size, io.SeekStart) //nolint:errcheck // restore append position
+	var off int64
+	hdr := make([]byte, recHeaderSize)
+	for off < l.size {
+		if _, err := io.ReadFull(l.f, hdr); err != nil {
+			return nil
+		}
+		total := binary.LittleEndian.Uint32(hdr[0:4])
+		if total < recHeaderSize || total > maxRecordSize {
+			return nil
+		}
+		body := make([]byte, total-recHeaderSize)
+		if _, err := io.ReadFull(l.f, body); err != nil {
+			return nil
+		}
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return nil
+		}
+		ownerLen := int(binary.LittleEndian.Uint16(hdr[10:12]))
+		if ownerLen > len(body) {
+			return nil
+		}
+		rec := Record{
+			LSN:     LSN(off),
+			Type:    RecordType(binary.LittleEndian.Uint16(hdr[8:10])),
+			Owner:   string(body[:ownerLen]),
+			Payload: body[ownerLen:],
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		off += int64(total)
+	}
+	return nil
+}
+
+// Truncate discards the whole log content (used after a checkpoint has made
+// the logged state redundant).
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	l.size = 0
+	return l.f.Sync()
+}
