@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: build test test-race vet fmt-check bench experiments check all
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent core (WAL group commit, sharded
+# locks, CM dispatch, repository, TM, 2PC).
+test-race:
+	$(GO) test -race ./internal/wal ./internal/lock ./internal/coop \
+		./internal/core ./internal/txn ./internal/rpc ./internal/repo
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -bench . -benchtime 1s -run XXX .
+
+# Regenerate every experiment table (E1-E12); EXPERIMENTS.md records the
+# paper-vs-measured outcomes.
+experiments:
+	$(GO) run ./cmd/concordbench
+
+check: fmt-check vet test

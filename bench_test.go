@@ -7,17 +7,22 @@ package concord
 
 import (
 	"fmt"
+	"path/filepath"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"concord/internal/baseline"
 	"concord/internal/catalog"
 	"concord/internal/coop"
 	"concord/internal/core"
 	"concord/internal/experiments"
+	"concord/internal/lock"
 	"concord/internal/rpc"
 	"concord/internal/sim"
 	"concord/internal/version"
 	"concord/internal/vlsi"
+	"concord/internal/wal"
 )
 
 func benchReport(b *testing.B, run func() (experiments.Report, error)) {
@@ -91,6 +96,99 @@ func BenchmarkE9Sweep(b *testing.B) {
 				makespan = m.Makespan
 			}
 			b.ReportMetric(makespan, "makespan")
+		})
+	}
+}
+
+// --- Concurrency benchmarks (DESIGN.md §5, E12). ---------------------------
+//
+// These pairs quantify the server-core concurrency work: group-commit WAL vs
+// one fsync per append, sharded vs single-shard lock table, and the
+// end-to-end multi-workstation scenario.
+
+// BenchmarkWALAppendConcurrent drives parallel appenders through a forced
+// (synced) log, comparing group commit against the serialized baseline.
+// The group-commit variant amortizes each fsync over every concurrent
+// appender; the serial variant pays one fsync per record.
+func BenchmarkWALAppendConcurrent(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		noGroup bool
+	}{{"group-commit", false}, {"serialized", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			l, err := wal.Open(filepath.Join(b.TempDir(), "bench.wal"),
+				wal.Options{SyncOnAppend: true, NoGroupCommit: mode.noGroup})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			payload := make([]byte, 256)
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := l.Append(1, "bench", payload); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			appends, batches, _ := l.Stats()
+			if batches > 0 {
+				b.ReportMetric(float64(appends)/float64(batches), "appends/fsync")
+			}
+		})
+	}
+}
+
+// BenchmarkLockManagerConcurrent compares the sharded lock table against a
+// single-shard (seed-design) table under parallel acquire/release traffic on
+// disjoint resources — the multi-workstation pattern where designers work on
+// different DOVs.
+func BenchmarkLockManagerConcurrent(b *testing.B) {
+	for _, shards := range []int{1, lock.DefaultShards} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			m := lock.NewManagerWithShards(shards)
+			var id atomic.Int64
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				owner := fmt.Sprintf("dop-%d", id.Add(1))
+				i := 0
+				for pb.Next() {
+					res := fmt.Sprintf("dov/%s/%d", owner, i%32)
+					if err := m.Acquire(owner, res, lock.X, time.Second); err != nil {
+						b.Error(err)
+						return
+					}
+					if err := m.Release(owner, res); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkE12MultiWorkstation runs the E12 load scenario at 8 workstations
+// for both server cores, reporting aggregate checkin throughput.
+func BenchmarkE12MultiWorkstation(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		serialized bool
+	}{{"serialized", true}, {"concurrent", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var ops float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunMultiWorkstation(mode.serialized, 8, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ops = res.OpsPerSec()
+			}
+			b.ReportMetric(ops, "checkins/s")
 		})
 	}
 }

@@ -1,12 +1,12 @@
-// Command concordbench regenerates every figure of the paper (E1-E8) and the
-// synthetic quantifications (E9-E11), printing one table per experiment.
-// See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// Command concordbench regenerates every figure of the paper (E1-E8), the
+// synthetic quantifications (E9-E11) and the multi-workstation load scenario
+// (E12), printing one table per experiment. See DESIGN.md §5 for the
+// experiment index and EXPERIMENTS.md for the paper-vs-measured record.
 //
 // Usage:
 //
 //	concordbench            # run all experiments
-//	concordbench E5 E9      # run selected experiments
+//	concordbench E5 E12     # run selected experiments
 package main
 
 import (
@@ -23,9 +23,9 @@ func main() {
 		"E5": experiments.E5Delegation, "E6": experiments.E6Scripts,
 		"E7": experiments.E7StateGraph, "E8": experiments.E8FailureMatrix,
 		"E9": experiments.E9Cooperation, "E10": experiments.E10CommitProtocols,
-		"E11": experiments.E11RecoveryPoints,
+		"E11": experiments.E11RecoveryPoints, "E12": experiments.E12MultiWorkstation,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 
 	selected := os.Args[1:]
 	if len(selected) == 0 {

@@ -1,0 +1,109 @@
+package binenc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	w.Byte(0xC1)
+	w.Bool(true)
+	w.Bool(false)
+	w.U64(0)
+	w.U64(1<<63 + 17)
+	w.I64(-12345)
+	w.F64(math.Pi)
+	w.Str("")
+	w.Str("design object version")
+	w.Blob(nil)
+	w.Blob([]byte{1, 2, 3})
+	w.Strs(nil)
+	w.Strs([]string{"a", "", "ccc"})
+
+	r := NewReader(w.Bytes())
+	if got := r.Byte(); got != 0xC1 {
+		t.Fatalf("Byte = %x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round trip")
+	}
+	if got := r.U64(); got != 0 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := r.U64(); got != 1<<63+17 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -12345 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Fatalf("F64 = %g", got)
+	}
+	if got := r.Str(); got != "" {
+		t.Fatalf("Str = %q", got)
+	}
+	if got := r.Str(); got != "design object version" {
+		t.Fatalf("Str = %q", got)
+	}
+	if got := r.Blob(); len(got) != 0 {
+		t.Fatalf("Blob = %v", got)
+	}
+	if got := r.Blob(); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("Blob = %v", got)
+	}
+	if got := r.Strs(); got != nil {
+		t.Fatalf("Strs = %v", got)
+	}
+	got := r.Strs()
+	if len(got) != 3 || got[0] != "a" || got[1] != "" || got[2] != "ccc" {
+		t.Fatalf("Strs = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestTruncatedBufferFails(t *testing.T) {
+	w := NewWriter(0)
+	w.Str("hello")
+	w.F64(1.5)
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.Str()
+		r.F64()
+		if r.Err() == nil {
+			t.Fatalf("cut at %d: no error", cut)
+		}
+		// Errors are sticky: subsequent reads return zero values, no panic.
+		if r.U64() != 0 || r.Str() != "" || r.Blob() != nil || r.Strs() != nil {
+			t.Fatalf("cut at %d: non-zero reads after error", cut)
+		}
+	}
+}
+
+func TestCorruptLengthPrefix(t *testing.T) {
+	w := NewWriter(0)
+	w.U64(1 << 40) // claims a huge string
+	r := NewReader(w.Bytes())
+	if got := r.Str(); got != "" {
+		t.Fatalf("Str = %q", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("oversized length accepted")
+	}
+	// A huge element count must fail fast, not allocate.
+	w2 := NewWriter(0)
+	w2.U64(math.MaxUint64)
+	r2 := NewReader(w2.Bytes())
+	if got := r2.Strs(); got != nil {
+		t.Fatalf("Strs = %v", got)
+	}
+	if r2.Err() == nil {
+		t.Fatal("oversized count accepted")
+	}
+}

@@ -1,31 +1,133 @@
 package catalog
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
+	"sort"
+
+	"concord/internal/binenc"
 )
+
+// objFmtV1 tags the hand-rolled binary object format (see binenc). The
+// previous gob format always started with a small type-definition length,
+// so the tag also guards against decoding stale gob buffers.
+const objFmtV1 = 0xC1
 
 // EncodeObject serializes an object for durable storage or transmission.
 func EncodeObject(o *Object) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(o); err != nil {
-		return nil, fmt.Errorf("catalog: encode object: %w", err)
+	if o == nil {
+		return nil, fmt.Errorf("catalog: encode nil object")
 	}
-	return buf.Bytes(), nil
+	w := binenc.NewWriter(64)
+	w.Byte(objFmtV1)
+	encodeObjectInto(w, o)
+	return w.Bytes(), nil
+}
+
+// encodeObjectInto writes one object (recursively). Map keys are sorted so
+// the encoding is deterministic — log records and staged checkins of the
+// same object are byte-identical.
+func encodeObjectInto(w *binenc.Writer, o *Object) {
+	w.Str(o.Type)
+	attrs := make([]string, 0, len(o.Attrs))
+	for k := range o.Attrs {
+		attrs = append(attrs, k)
+	}
+	sort.Strings(attrs)
+	w.U64(uint64(len(attrs)))
+	for _, k := range attrs {
+		v := o.Attrs[k]
+		w.Str(k)
+		w.Byte(byte(v.Kind))
+		switch v.Kind {
+		case KindInt:
+			w.I64(v.I)
+		case KindFloat:
+			w.F64(v.F)
+		case KindString:
+			w.Str(v.S)
+		case KindBool:
+			w.Bool(v.B)
+		}
+	}
+	slots := make([]string, 0, len(o.Parts))
+	for k := range o.Parts {
+		slots = append(slots, k)
+	}
+	sort.Strings(slots)
+	w.U64(uint64(len(slots)))
+	for _, k := range slots {
+		parts := o.Parts[k]
+		w.Str(k)
+		w.U64(uint64(len(parts)))
+		for _, p := range parts {
+			encodeObjectInto(w, p)
+		}
+	}
 }
 
 // DecodeObject deserializes an object produced by EncodeObject.
 func DecodeObject(data []byte) (*Object, error) {
-	var o Object
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&o); err != nil {
+	r := binenc.NewReader(data)
+	if r.Byte() != objFmtV1 {
+		return nil, fmt.Errorf("catalog: decode object: unknown format")
+	}
+	o := decodeObjectFrom(r, 0)
+	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("catalog: decode object: %w", err)
 	}
-	if o.Attrs == nil {
-		o.Attrs = make(map[string]Value)
+	if o == nil {
+		return nil, fmt.Errorf("catalog: decode object: empty")
 	}
-	if o.Parts == nil {
-		o.Parts = make(map[string][]*Object)
+	return o, nil
+}
+
+// maxObjectDepth bounds recursion on corrupt input.
+const maxObjectDepth = 64
+
+func decodeObjectFrom(r *binenc.Reader, depth int) *Object {
+	if depth > maxObjectDepth {
+		return nil
 	}
-	return &o, nil
+	o := &Object{
+		Type:  r.Str(),
+		Attrs: make(map[string]Value),
+		Parts: make(map[string][]*Object),
+	}
+	nAttrs := r.U64()
+	for i := uint64(0); i < nAttrs && r.Err() == nil; i++ {
+		k := r.Str()
+		v := Value{Kind: Kind(r.Byte())}
+		switch v.Kind {
+		case KindInt:
+			v.I = r.I64()
+		case KindFloat:
+			v.F = r.F64()
+		case KindString:
+			v.S = r.Str()
+		case KindBool:
+			v.B = r.Bool()
+		}
+		o.Attrs[k] = v
+	}
+	nSlots := r.U64()
+	for i := uint64(0); i < nSlots && r.Err() == nil; i++ {
+		k := r.Str()
+		nParts := r.U64()
+		if nParts > uint64(r.Remaining()) {
+			return nil
+		}
+		parts := make([]*Object, 0, nParts)
+		for j := uint64(0); j < nParts && r.Err() == nil; j++ {
+			p := decodeObjectFrom(r, depth+1)
+			if p == nil {
+				return nil
+			}
+			parts = append(parts, p)
+		}
+		o.Parts[k] = parts
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return o
 }

@@ -15,8 +15,8 @@ import (
 // edges included). An empty result means the designer need not invalidate
 // anything.
 func (cm *CM) AffectedByWithdrawal(da string, withdrawn version.ID) ([]version.ID, error) {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	if _, err := cm.get(da); err != nil {
 		return nil, err
 	}
@@ -67,22 +67,26 @@ func (cm *CM) AffectedByWithdrawal(da string, withdrawn version.ID) ([]version.I
 // canonical ECA reaction "WHEN Require IF (required DOV available) THEN
 // Propagate" (Sect. 4.2). ok is false when no version qualifies.
 func (cm *CM) AutoPropagate(da string, features []string) (version.ID, bool, error) {
-	cm.mu.Lock()
+	cm.mu.RLock()
 	st, err := cm.get(da)
 	if err != nil {
-		cm.mu.Unlock()
+		cm.mu.RUnlock()
 		return "", false, err
 	}
+	st.mu.Lock()
 	if _, legal := Legal(st.da.State, OpPropagate); !legal {
-		cm.mu.Unlock()
-		return "", false, fmt.Errorf("%w: AutoPropagate by %s in state %s", ErrIllegalOp, da, st.da.State)
-	}
-	g, err := cm.repo.Graph(da)
-	if err != nil {
-		cm.mu.Unlock()
-		return "", false, err
+		state := st.da.State
+		st.mu.Unlock()
+		cm.mu.RUnlock()
+		return "", false, fmt.Errorf("%w: AutoPropagate by %s in state %s", ErrIllegalOp, da, state)
 	}
 	spec := st.da.Spec
+	st.mu.Unlock()
+	g, err := cm.repo.Graph(da)
+	if err != nil {
+		cm.mu.RUnlock()
+		return "", false, err
+	}
 	var match version.ID
 	for _, id := range g.IDs() {
 		v, err := cm.repo.Get(id)
@@ -103,7 +107,7 @@ func (cm *CM) AutoPropagate(da string, features []string) (version.ID, bool, err
 			break
 		}
 	}
-	cm.mu.Unlock()
+	cm.mu.RUnlock()
 	if match == "" {
 		return "", false, nil
 	}

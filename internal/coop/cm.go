@@ -79,26 +79,56 @@ type daRecord struct {
 	Pending         []pendingRequire
 }
 
+// queuedEvent is one notification awaiting dispatch to a DA's sink.
+type queuedEvent struct {
+	da   string
+	name string
+	data map[string]string
+}
+
 // CM is the cooperation manager: the centralized mediator between
 // cooperating DAs (Sect. 5.4). It enforces that cooperation takes place only
 // along established relationships, checks every cooperative activity against
 // the relationship's integrity constraints, drives the Fig. 7 state machine,
 // and persists the DA hierarchy in the server repository so a server crash
 // loses nothing.
+//
+// Concurrency: the CM uses two lock levels so that DOPs of distinct DAs
+// proceed in parallel. cm.mu (an RWMutex) guards the DA map; operations on
+// existing DAs hold it in read mode for their whole duration and serialize
+// per DA through each daState's own mutex, taken in sorted-ID order when an
+// operation spans several DAs. Structural operations (InitDesign,
+// CreateSubDA, TerminateSubDA, TerminateTopLevel) take cm.mu in write mode,
+// which excludes every other operation. Event notifications never run under
+// any of these locks: notify only enqueues, and a single dispatcher
+// goroutine delivers events to sinks in enqueue order (see dispatch).
 type CM struct {
 	repo   *repo.Repository
 	scopes *lock.ScopeTable
 	reg    *feature.Registry
 
-	mu      sync.Mutex
-	das     map[string]*daState
-	sinks   map[string]func(script.Event)
+	mu  sync.RWMutex
+	das map[string]*daState
+
+	sinkMu sync.RWMutex
+	sinks  map[string]func(script.Event)
+
+	logMu   sync.Mutex
 	logSeq  uint64
 	opCount map[OpCode]int
+
+	evMu     sync.Mutex
+	evCond   *sync.Cond
+	evQueue  []queuedEvent
+	evClosed bool
+	evDone   chan struct{}
 }
 
-// daState couples the public DA view with volatile bookkeeping.
+// daState couples the public DA view with volatile bookkeeping. mu guards
+// da, grants and pending; the ID field of da is immutable and may be read
+// without it.
 type daState struct {
+	mu      sync.Mutex
 	da      *DA
 	grants  []grant
 	pending []pendingRequire
@@ -117,15 +147,56 @@ func NewCM(r *repo.Repository, scopes *lock.ScopeTable, reg *feature.Registry) (
 		das:     make(map[string]*daState),
 		sinks:   make(map[string]func(script.Event)),
 		opCount: make(map[OpCode]int),
+		evDone:  make(chan struct{}),
 	}
+	cm.evCond = sync.NewCond(&cm.evMu)
 	if err := cm.recover(); err != nil {
 		return nil, err
 	}
+	go cm.dispatch()
 	return cm, nil
 }
 
 // Registry returns the feature-tool registry used by Evaluate.
 func (cm *CM) Registry() *feature.Registry { return cm.reg }
+
+// Close stops the event dispatcher after draining queued notifications.
+// Subsequent notifications are dropped. Safe to call more than once.
+func (cm *CM) Close() {
+	cm.evMu.Lock()
+	if !cm.evClosed {
+		cm.evClosed = true
+		cm.evCond.Broadcast()
+	}
+	cm.evMu.Unlock()
+	<-cm.evDone
+}
+
+// dispatch delivers queued events to sinks, one at a time in enqueue order.
+// It holds no CM state lock while a sink runs, so sinks may re-enter the CM
+// freely (ECA rules typically do).
+func (cm *CM) dispatch() {
+	for {
+		cm.evMu.Lock()
+		for len(cm.evQueue) == 0 && !cm.evClosed {
+			cm.evCond.Wait()
+		}
+		if len(cm.evQueue) == 0 {
+			cm.evMu.Unlock()
+			close(cm.evDone)
+			return
+		}
+		q := cm.evQueue[0]
+		cm.evQueue = cm.evQueue[1:]
+		cm.evMu.Unlock()
+		cm.sinkMu.RLock()
+		sink := cm.sinks[q.da]
+		cm.sinkMu.RUnlock()
+		if sink != nil {
+			sink(script.Event{Name: q.name, Data: q.data})
+		}
+	}
+}
 
 func (cm *CM) recover() error {
 	keys := cm.repo.ListMeta("cm/da/")
@@ -195,7 +266,8 @@ func (cm *CM) recover() error {
 	return nil
 }
 
-// persist writes a DA's durable record. Callers hold cm.mu.
+// persist writes a DA's durable record. Callers hold st.mu (or cm.mu in
+// write mode).
 func (cm *CM) persist(st *daState) error {
 	da := st.da
 	rec := daRecord{
@@ -215,11 +287,14 @@ func (cm *CM) persist(st *daState) error {
 
 // logOp appends one entry to the persistent cooperation protocol log
 // ("logging the cooperation protocols in the entire DA hierarchy",
-// Sect. 5.1). Callers hold cm.mu.
+// Sect. 5.1).
 func (cm *CM) logOp(op OpCode, subject, detail string) {
+	cm.logMu.Lock()
 	cm.logSeq++
+	seq := cm.logSeq
 	cm.opCount[op]++
-	key := fmt.Sprintf("cm/log/%012d", cm.logSeq)
+	cm.logMu.Unlock()
+	key := fmt.Sprintf("cm/log/%012d", seq)
 	entry := fmt.Sprintf("%s\x00%s\x00%s", op, subject, detail)
 	cm.repo.PutMeta(key, []byte(entry)) //nolint:errcheck // audit log, best effort
 }
@@ -227,8 +302,8 @@ func (cm *CM) logOp(op OpCode, subject, detail string) {
 // OpCounts returns how often each cooperation operation executed (E1/E7
 // diagnostics).
 func (cm *CM) OpCounts() map[OpCode]int {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.logMu.Lock()
+	defer cm.logMu.Unlock()
 	out := make(map[OpCode]int, len(cm.opCount))
 	for k, v := range cm.opCount {
 		out[k] = v
@@ -242,8 +317,8 @@ func (cm *CM) ProtocolLogLen() int { return len(cm.repo.ListMeta("cm/log/")) }
 // Subscribe registers the event sink of a DA (its design manager). Only one
 // sink per DA; nil unsubscribes.
 func (cm *CM) Subscribe(da string, sink func(script.Event)) {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.sinkMu.Lock()
+	defer cm.sinkMu.Unlock()
 	if sink == nil {
 		delete(cm.sinks, da)
 		return
@@ -251,17 +326,19 @@ func (cm *CM) Subscribe(da string, sink func(script.Event)) {
 	cm.sinks[da] = sink
 }
 
-// notify delivers an event to a DA's sink. Callers hold cm.mu; delivery is
-// asynchronous to avoid deadlocks with re-entrant CM calls.
+// notify enqueues an event for a DA's sink. Delivery is asynchronous and
+// ordered: the dispatcher goroutine invokes sinks outside all CM state
+// locks, in the order notify was called.
 func (cm *CM) notify(da, event string, data map[string]string) {
-	sink, ok := cm.sinks[da]
-	if !ok {
-		return
+	cm.evMu.Lock()
+	if !cm.evClosed {
+		cm.evQueue = append(cm.evQueue, queuedEvent{da: da, name: event, data: data})
+		cm.evCond.Signal()
 	}
-	ev := script.Event{Name: event, Data: data}
-	go sink(ev)
+	cm.evMu.Unlock()
 }
 
+// get looks a DA up. Callers hold cm.mu (read or write mode).
 func (cm *CM) get(id string) (*daState, error) {
 	st, ok := cm.das[id]
 	if !ok {
@@ -270,8 +347,32 @@ func (cm *CM) get(id string) (*daState, error) {
 	return st, nil
 }
 
+// lockOrdered locks the given states in DA-ID order (nil entries and
+// duplicates tolerated) and returns the matching unlock function. Taking
+// multiple DA locks only through this helper keeps multi-DA operations
+// deadlock-free.
+func lockOrdered(states ...*daState) func() {
+	uniq := make([]*daState, 0, len(states))
+	seen := make(map[*daState]bool, len(states))
+	for _, s := range states {
+		if s != nil && !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].da.ID < uniq[j].da.ID })
+	for _, s := range uniq {
+		s.mu.Lock()
+	}
+	return func() {
+		for i := len(uniq) - 1; i >= 0; i-- {
+			uniq[i].mu.Unlock()
+		}
+	}
+}
+
 // step applies op to the subject DA, enforcing the Fig. 7 matrix.
-// Callers hold cm.mu.
+// Callers hold st.mu (or cm.mu in write mode).
 func (cm *CM) step(st *daState, op OpCode) error {
 	next, ok := Legal(st.da.State, op)
 	if !ok {
@@ -318,7 +419,8 @@ func (cm *CM) buildDA(cfg Config, parent string) (*daState, error) {
 }
 
 // InitDesign initiates a design process by creating the top-level DA
-// (operation 1 of Fig. 7). The DA starts in state generated.
+// (operation 1 of Fig. 7). The DA starts in state generated. Structural:
+// takes cm.mu in write mode.
 func (cm *CM) InitDesign(cfg Config) error {
 	cm.mu.Lock()
 	defer cm.mu.Unlock()
@@ -347,6 +449,7 @@ func (cm *CM) InitDesign(cfg Config) error {
 // (operation 2). The issuing super-DA must be active, and the sub-DA's DOT
 // must be a part of the super-DA's DOT (Sect. 4.1). A DOV0, if given, must
 // lie in the super-DA's scope and becomes readable by the sub-DA.
+// Structural: takes cm.mu in write mode.
 func (cm *CM) CreateSubDA(super string, cfg Config) error {
 	cm.mu.Lock()
 	defer cm.mu.Unlock()
@@ -391,12 +494,14 @@ func (cm *CM) CreateSubDA(super string, cfg Config) error {
 
 // Start begins a generated DA's work (operation 3).
 func (cm *CM) Start(da string) error {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	st, err := cm.get(da)
 	if err != nil {
 		return err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if err := cm.step(st, OpStart); err != nil {
 		return err
 	}
@@ -408,12 +513,14 @@ func (cm *CM) Start(da string) error {
 // specification (operation 7): the fulfilled feature subset is recorded, and
 // a DOV fulfilling the whole specification becomes final.
 func (cm *CM) Evaluate(da string, dov version.ID) (feature.QualityState, error) {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	st, err := cm.get(da)
 	if err != nil {
 		return feature.QualityState{}, err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if _, ok := Legal(st.da.State, OpEvaluate); !ok {
 		return feature.QualityState{}, fmt.Errorf("%w: Evaluate by %s in state %s", ErrIllegalOp, da, st.da.State)
 	}

@@ -13,12 +13,46 @@ import (
 // Require requests, which are then satisfied. The granted peers are
 // returned.
 func (cm *CM) Propagate(da string, dov version.ID) ([]string, error) {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	st, err := cm.get(da)
 	if err != nil {
 		return nil, err
 	}
+	// The lock set depends on state read under st.mu (the usage peers), so
+	// snapshot it, lock the whole set in order, and retry if a peer was
+	// added in between. SupportsTo only ever grows (Require adds entries
+	// while holding the supporter's lock), so the loop converges.
+	for {
+		st.mu.Lock()
+		peers := make([]string, 0, len(st.da.SupportsTo))
+		for p := range st.da.SupportsTo {
+			peers = append(peers, p)
+		}
+		st.mu.Unlock()
+
+		states := make([]*daState, 0, len(peers)+1)
+		states = append(states, st)
+		for _, p := range peers {
+			if ps, ok := cm.das[p]; ok {
+				states = append(states, ps)
+			}
+		}
+		unlock := lockOrdered(states...)
+		if len(st.da.SupportsTo) != len(peers) {
+			unlock()
+			continue // a peer appeared between snapshot and lock; retry
+		}
+		granted, err := cm.propagateLocked(st, dov)
+		unlock()
+		return granted, err
+	}
+}
+
+// propagateLocked does the Propagate work. The caller holds st.mu and the
+// mutexes of every usage peer of st.
+func (cm *CM) propagateLocked(st *daState, dov version.ID) ([]string, error) {
+	da := st.da.ID
 	if _, ok := Legal(st.da.State, OpPropagate); !ok {
 		return nil, fmt.Errorf("%w: Propagate by %s in state %s", ErrIllegalOp, da, st.da.State)
 	}
@@ -80,7 +114,7 @@ func (cm *CM) hasGrant(st *daState, peer string, dov version.ID) bool {
 	return false
 }
 
-// grantUse records and applies a usage grant. Callers hold cm.mu.
+// grantUse records and applies a usage grant. Callers hold st.mu.
 func (cm *CM) grantUse(st *daState, peer string, dov version.ID, features []string) {
 	cm.scopes.GrantUse(peer, string(dov))
 	st.grants = append(st.grants, grant{Peer: peer, DOV: dov, Features: features})
@@ -93,8 +127,8 @@ func (cm *CM) grantUse(st *daState, peer string, dov version.ID, features []stri
 // ok=true); otherwise the request is registered and the supporter notified —
 // its ECA rules typically answer with a Propagate (Sect. 4.2).
 func (cm *CM) Require(requirer, supporter string, features []string) (version.ID, bool, error) {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	req, err := cm.get(requirer)
 	if err != nil {
 		return "", false, err
@@ -106,6 +140,7 @@ func (cm *CM) Require(requirer, supporter string, features []string) (version.ID
 	if requirer == supporter {
 		return "", false, fmt.Errorf("%w: self-usage of %s", ErrNoUsage, requirer)
 	}
+	defer lockOrdered(req, sup)()
 	if _, ok := Legal(req.da.State, OpRequire); !ok {
 		return "", false, fmt.Errorf("%w: Require by %s in state %s", ErrIllegalOp, requirer, req.da.State)
 	}
@@ -164,8 +199,8 @@ func (cm *CM) Require(requirer, supporter string, features []string) (version.ID
 // between two sub-DAs of the issuing super-DA (operation 11). Negotiation is
 // allowed "between only the sub-DAs of the same super-DA" (Sect. 4.1).
 func (cm *CM) CreateNegotiationRel(super, a, b string) error {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	sa, err := cm.get(a)
 	if err != nil {
 		return err
@@ -174,11 +209,12 @@ func (cm *CM) CreateNegotiationRel(super, a, b string) error {
 	if err != nil {
 		return err
 	}
-	if sa.da.Parent != super || sb.da.Parent != super || a == b {
-		return fmt.Errorf("%w: %s and %s under %s", ErrNotSiblings, a, b, super)
-	}
 	if _, err := cm.get(super); err != nil {
 		return err
+	}
+	defer lockOrdered(sa, sb)()
+	if sa.da.Parent != super || sb.da.Parent != super || a == b {
+		return fmt.Errorf("%w: %s and %s under %s", ErrNotSiblings, a, b, super)
 	}
 	cm.addNegotiation(sa, sb)
 	cm.logOp(OpCreateNegotiation, super, a+"/"+b)
@@ -188,6 +224,7 @@ func (cm *CM) CreateNegotiationRel(super, a, b string) error {
 	return cm.persist(sb)
 }
 
+// addNegotiation records the relationship. Callers hold both DA locks.
 func (cm *CM) addNegotiation(sa, sb *daState) {
 	if !contains(sa.da.Negotiations, sb.da.ID) {
 		sa.da.Negotiations = append(sa.da.Negotiations, sb.da.ID)
@@ -211,8 +248,8 @@ func contains(xs []string, x string) bool {
 // Both DAs enter the negotiating state; their internal processing is
 // suspended until agreement or conflict escalation.
 func (cm *CM) Propose(from, to string, proposal map[string]string) error {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	sf, err := cm.get(from)
 	if err != nil {
 		return err
@@ -221,7 +258,11 @@ func (cm *CM) Propose(from, to string, proposal map[string]string) error {
 	if err != nil {
 		return err
 	}
-	if sf.da.Parent == "" || sf.da.Parent != st.da.Parent || from == to {
+	if from == to {
+		return fmt.Errorf("%w: %s and %s", ErrNotSiblings, from, to)
+	}
+	defer lockOrdered(sf, st)()
+	if sf.da.Parent == "" || sf.da.Parent != st.da.Parent {
 		return fmt.Errorf("%w: %s and %s", ErrNotSiblings, from, to)
 	}
 	if err := cm.step(sf, OpPropose); err != nil {
@@ -248,8 +289,8 @@ func (cm *CM) Propose(from, to string, proposal map[string]string) error {
 // Agree accepts the current proposal (operation 13): both negotiating DAs
 // return to active and resume internal processing.
 func (cm *CM) Agree(da, peer string) error {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	sd, err := cm.get(da)
 	if err != nil {
 		return err
@@ -258,6 +299,7 @@ func (cm *CM) Agree(da, peer string) error {
 	if err != nil {
 		return err
 	}
+	defer lockOrdered(sd, sp)()
 	if !contains(sd.da.Negotiations, peer) {
 		return fmt.Errorf("%w: %s with %s", ErrNoNegotiation, da, peer)
 	}
@@ -279,8 +321,8 @@ func (cm *CM) Agree(da, peer string) error {
 // Disagree rejects the current proposal (operation 14): both DAs remain
 // negotiating; the peer is notified and may counter-propose or escalate.
 func (cm *CM) Disagree(da, peer string) error {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	sd, err := cm.get(da)
 	if err != nil {
 		return err
@@ -288,6 +330,8 @@ func (cm *CM) Disagree(da, peer string) error {
 	if _, err := cm.get(peer); err != nil {
 		return err
 	}
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
 	if !contains(sd.da.Negotiations, peer) {
 		return fmt.Errorf("%w: %s with %s", ErrNoNegotiation, da, peer)
 	}
@@ -303,8 +347,8 @@ func (cm *CM) Disagree(da, peer string) error {
 // (operation 15): both sub-DAs leave the negotiating state and the super-DA
 // is asked to resolve the conflict (typically by Modify_Sub_DA_Spec).
 func (cm *CM) SpecConflict(a, b string) error {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	sa, err := cm.get(a)
 	if err != nil {
 		return err
@@ -313,6 +357,7 @@ func (cm *CM) SpecConflict(a, b string) error {
 	if err != nil {
 		return err
 	}
+	defer lockOrdered(sa, sb)()
 	if !contains(sa.da.Negotiations, b) {
 		return fmt.Errorf("%w: %s with %s", ErrNoNegotiation, a, b)
 	}
@@ -335,12 +380,14 @@ func (cm *CM) SpecConflict(a, b string) error {
 // (operation 5). The sub-DA must not terminate without the super-DA's
 // agreement; it waits in ready-for-termination.
 func (cm *CM) SubDAReadyToCommit(sub string) error {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	st, err := cm.get(sub)
 	if err != nil {
 		return err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.da.Parent == "" {
 		return fmt.Errorf("%w: %s has no super-DA", ErrNotParent, sub)
 	}
@@ -363,12 +410,14 @@ func (cm *CM) SubDAReadyToCommit(sub string) error {
 // specification (operation 8) and asks the super-DA for a reaction
 // (termination or specification change).
 func (cm *CM) SubDAImpossibleSpec(sub, reason string) error {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	st, err := cm.get(sub)
 	if err != nil {
 		return err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.da.Parent == "" {
 		return fmt.Errorf("%w: %s has no super-DA", ErrNotParent, sub)
 	}
@@ -386,12 +435,14 @@ func (cm *CM) SubDAImpossibleSpec(sub, reason string) error {
 // whose granted feature sets are no longer part of the new specification are
 // withdrawn from their requirers (Sect. 5.4).
 func (cm *CM) ModifySubDASpec(super, sub string, spec *feature.Spec) error {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	st, err := cm.get(sub)
 	if err != nil {
 		return err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.da.Parent != super {
 		return fmt.Errorf("%w: %s is not the super-DA of %s", ErrNotParent, super, sub)
 	}
@@ -408,12 +459,14 @@ func (cm *CM) ModifySubDASpec(super, sub string, spec *feature.Spec) error {
 // RefineOwnSpec lets a DA refine its own specification: only addition of new
 // features or further restriction of existing ones is allowed (Sect. 4.1).
 func (cm *CM) RefineOwnSpec(da string, spec *feature.Spec) error {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	st, err := cm.get(da)
 	if err != nil {
 		return err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.da.State != StateActive && st.da.State != StateNegotiating {
 		return fmt.Errorf("%w: refine in state %s", ErrIllegalOp, st.da.State)
 	}
@@ -426,7 +479,7 @@ func (cm *CM) RefineOwnSpec(da string, spec *feature.Spec) error {
 
 // withdrawStaleGrants revokes grants whose required features vanished from
 // the new specification and notifies the affected requirers. Callers hold
-// cm.mu.
+// st.mu.
 func (cm *CM) withdrawStaleGrants(st *daState, spec *feature.Spec) {
 	var kept []grant
 	for _, g := range st.grants {
@@ -454,12 +507,14 @@ func (cm *CM) withdrawStaleGrants(st *daState, spec *feature.Spec) {
 // required (and possibly more) features; requirers without a qualifying
 // replacement receive a withdrawal.
 func (cm *CM) InvalidateDOV(da string, dov version.ID) error {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	st, err := cm.get(da)
 	if err != nil {
 		return err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if err := cm.repo.SetStatus(dov, version.StatusInvalid); err != nil {
 		return err
 	}
@@ -509,7 +564,7 @@ func (cm *CM) InvalidateDOV(da string, dov version.ID) error {
 // sub-DA's own sub-DAs must already be terminated. Scope locks on its final
 // DOVs are inherited by the super-DA (the final DOVs devolve to the
 // super-DA's scope, Sect. 4.1/5.4); grants on non-final propagated versions
-// are withdrawn.
+// are withdrawn. Structural: takes cm.mu in write mode.
 func (cm *CM) TerminateSubDA(super, sub string) error {
 	cm.mu.Lock()
 	defer cm.mu.Unlock()
@@ -587,7 +642,7 @@ func (cm *CM) TerminateSubDA(super, sub string) error {
 
 // TerminateTopLevel ends the whole design process: the top-level DA
 // terminates once all sub-DAs have, and all scope locks of the hierarchy are
-// released (Sect. 5.4).
+// released (Sect. 5.4). Structural: takes cm.mu in write mode.
 func (cm *CM) TerminateTopLevel(da string) error {
 	cm.mu.Lock()
 	defer cm.mu.Unlock()
@@ -617,12 +672,14 @@ func (cm *CM) TerminateTopLevel(da string) error {
 
 // Get returns a copy of a DA's public view.
 func (cm *CM) Get(id string) (DA, error) {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	st, err := cm.get(id)
 	if err != nil {
 		return DA{}, err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	da := *st.da
 	da.Children = append([]string(nil), st.da.Children...)
 	da.Negotiations = append([]string(nil), st.da.Negotiations...)
@@ -641,8 +698,8 @@ func (cm *CM) Get(id string) (DA, error) {
 // Hierarchy returns the DA IDs of the subtree rooted at root in breadth-
 // first order.
 func (cm *CM) Hierarchy(root string) ([]string, error) {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	if _, err := cm.get(root); err != nil {
 		return nil, err
 	}
@@ -653,7 +710,9 @@ func (cm *CM) Hierarchy(root string) ([]string, error) {
 		queue = queue[1:]
 		out = append(out, id)
 		if st, ok := cm.das[id]; ok {
+			st.mu.Lock()
 			queue = append(queue, st.da.Children...)
+			st.mu.Unlock()
 		}
 	}
 	return out, nil
@@ -662,12 +721,14 @@ func (cm *CM) Hierarchy(root string) ([]string, error) {
 // PendingRequires reports the unsatisfied Require requests registered
 // against a supporting DA.
 func (cm *CM) PendingRequires(supporter string) ([]string, error) {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	st, err := cm.get(supporter)
 	if err != nil {
 		return nil, err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	out := make([]string, 0, len(st.pending))
 	for _, p := range st.pending {
 		out = append(out, p.Requirer)
@@ -679,12 +740,14 @@ func (cm *CM) PendingRequires(supporter string) ([]string, error) {
 // unsatisfied Require requests against a supporting DA (one slice per
 // pending request, in registration order).
 func (cm *CM) PendingRequireFeatures(supporter string) ([][]string, error) {
-	cm.mu.Lock()
-	defer cm.mu.Unlock()
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
 	st, err := cm.get(supporter)
 	if err != nil {
 		return nil, err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	out := make([][]string, 0, len(st.pending))
 	for _, p := range st.pending {
 		out = append(out, append([]string(nil), p.Features...))

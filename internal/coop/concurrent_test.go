@@ -1,0 +1,213 @@
+package coop
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"concord/internal/script"
+)
+
+// TestConcurrentDAOperations drives CM operations for many independent DAs
+// from parallel goroutines (the multi-workstation pattern: one designer per
+// DA). Run with -race; it exercises the per-DA locking plus the structural
+// write-lock paths concurrently.
+func TestConcurrentDAOperations(t *testing.T) {
+	h := newHarness(t, "")
+	defer h.cm.Close()
+	h.initChipDA(t, "root", nil)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sub := fmt.Sprintf("sub-%d", w)
+			if err := h.cm.CreateSubDA("root", Config{ID: sub, DOT: "cell", Designer: "d", Spec: specArea(100)}); err != nil {
+				t.Errorf("CreateSubDA(%s): %v", sub, err)
+				return
+			}
+			if err := h.cm.Start(sub); err != nil {
+				t.Errorf("Start(%s): %v", sub, err)
+				return
+			}
+			for i := 0; i < 10; i++ {
+				dov := h.addDOV(t, sub, fmt.Sprintf("%s/v%d", sub, i), 50)
+				if _, err := h.cm.Evaluate(sub, dov); err != nil {
+					t.Errorf("Evaluate(%s): %v", sub, err)
+					return
+				}
+				if _, err := h.cm.Propagate(sub, dov); err != nil {
+					t.Errorf("Propagate(%s): %v", sub, err)
+					return
+				}
+				if _, err := h.cm.Get(sub); err != nil {
+					t.Errorf("Get(%s): %v", sub, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ids, err := h.cm.Hierarchy("root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != workers+1 {
+		t.Fatalf("hierarchy has %d DAs, want %d", len(ids), workers+1)
+	}
+}
+
+// TestConcurrentRequirePropagate races usage-relationship establishment
+// against propagation between pairs of sibling DAs.
+func TestConcurrentRequirePropagate(t *testing.T) {
+	h := newHarness(t, "")
+	defer h.cm.Close()
+	h.initChipDA(t, "root", nil)
+	const pairs = 4
+	for p := 0; p < pairs; p++ {
+		h.subDA(t, "root", fmt.Sprintf("maker-%d", p), specArea(100), "")
+		h.subDA(t, "root", fmt.Sprintf("user-%d", p), nil, "")
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		maker := fmt.Sprintf("maker-%d", p)
+		user := fmt.Sprintf("user-%d", p)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, _, err := h.cm.Require(user, maker, []string{"area-limit"}); err != nil {
+				t.Errorf("Require(%s←%s): %v", user, maker, err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				dov := h.addDOV(t, maker, fmt.Sprintf("%s/v%d", maker, i), 50)
+				if _, err := h.cm.Evaluate(maker, dov); err != nil {
+					t.Errorf("Evaluate(%s): %v", maker, err)
+					return
+				}
+				if _, err := h.cm.Propagate(maker, dov); err != nil {
+					t.Errorf("Propagate(%s): %v", maker, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Every user must have ended up with a granted version: either the
+	// Require found one immediately or a later Propagate satisfied the
+	// pending request.
+	for p := 0; p < pairs; p++ {
+		user := fmt.Sprintf("user-%d", p)
+		maker := fmt.Sprintf("maker-%d", p)
+		pending, err := h.cm.PendingRequires(maker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pending) != 0 {
+			t.Fatalf("maker %s still has pending requires %v", maker, pending)
+		}
+		da, err := h.cm.Get(user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(da.UsesFrom[maker]) == 0 {
+			t.Fatalf("user %s has no usage relationship to %s", user, maker)
+		}
+	}
+}
+
+// TestEventDispatchOrder checks the dispatch queue's ordering guarantee:
+// events for one DA arrive at its sink in the order the operations ran.
+func TestEventDispatchOrder(t *testing.T) {
+	h := newHarness(t, "")
+	defer h.cm.Close()
+	h.initChipDA(t, "root", nil)
+	h.subDA(t, "root", "maker", specArea(100), "")
+	h.subDA(t, "root", "user", nil, "")
+
+	var mu sync.Mutex
+	var got []string
+	h.cm.Subscribe("user", func(ev script.Event) {
+		mu.Lock()
+		got = append(got, ev.Name+":"+ev.Data["dov"])
+		mu.Unlock()
+	})
+
+	if _, _, err := h.cm.Require("user", "maker", []string{"area-limit"}); err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 6; i++ {
+		dov := h.addDOV(t, "maker", fmt.Sprintf("maker/v%d", i), 50)
+		if _, err := h.cm.Evaluate("maker", dov); err != nil {
+			t.Fatal(err)
+		}
+		granted, err := h.cm.Propagate("maker", dov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(granted) != 1 || granted[0] != "user" {
+			t.Fatalf("propagate %s granted %v", dov, granted)
+		}
+		want = append(want, "Propagated:"+string(dov))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= len(want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d events, want %d", n, len(want))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("event %d = %s, want %s (full order: %v)", i, got[i], w, got)
+		}
+	}
+}
+
+// TestCloseDrainsQueue checks Close delivers already-enqueued events before
+// stopping the dispatcher.
+func TestCloseDrainsQueue(t *testing.T) {
+	h := newHarness(t, "")
+	h.initChipDA(t, "root", nil)
+	h.subDA(t, "root", "maker", specArea(100), "")
+	h.subDA(t, "root", "user", nil, "")
+	var mu sync.Mutex
+	count := 0
+	h.cm.Subscribe("user", func(script.Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	if _, _, err := h.cm.Require("user", "maker", []string{"area-limit"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		dov := h.addDOV(t, "maker", fmt.Sprintf("maker/v%d", i), 50)
+		if _, err := h.cm.Evaluate("maker", dov); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.cm.Propagate("maker", dov); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.cm.Close() // must drain the 4 Propagated events
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 4 {
+		t.Fatalf("sink saw %d events after Close, want 4", count)
+	}
+	h.cm.Close() // idempotent
+}

@@ -39,6 +39,17 @@ type Options struct {
 	RegisterTypes func(*catalog.Catalog) error
 	// Fault injects message faults into the workstation/server transport.
 	Fault rpc.FaultPlan
+	// Serialized reverts the server core to the pre-concurrency design:
+	// WAL appends are written and fsynced one at a time (no group commit)
+	// and the lock table collapses to a single shard. Experiments (E12) and
+	// ablation benchmarks use it as the contention baseline.
+	Serialized bool
+	// VolatileWorkstations keeps workstation sites in memory even when Dir
+	// is set: only the server persists. Workstation crash recovery is then
+	// unavailable, but server durability (the paper's correctness anchor)
+	// is unchanged. Load scenarios use it to measure the shared server
+	// core rather than each client's private disk.
+	VolatileWorkstations bool
 }
 
 // System is a complete single-process CONCORD deployment: one server site
@@ -102,11 +113,15 @@ func (s *System) serverDir() string {
 // startServer builds (or recovers) the server site and serves its handler.
 func (s *System) startServer() error {
 	dir := s.serverDir()
-	r, err := repo.Open(s.cat, repo.Options{Dir: dir, Sync: dir != ""})
+	r, err := repo.Open(s.cat, repo.Options{Dir: dir, Sync: dir != "", NoGroupCommit: s.opts.Serialized})
 	if err != nil {
 		return err
 	}
-	locks := lock.NewManager()
+	shards := lock.DefaultShards
+	if s.opts.Serialized {
+		shards = 1
+	}
+	locks := lock.NewManagerWithShards(shards)
 	scopes := lock.NewScopeTable()
 	reg := feature.NewRegistry()
 	stm := txn.NewServerTM(r, locks, scopes)
@@ -117,7 +132,7 @@ func (s *System) startServer() error {
 	}
 	var plog *wal.Log
 	if dir != "" {
-		plog, err = wal.Open(filepath.Join(dir, "participant.wal"), wal.Options{SyncOnAppend: true})
+		plog, err = wal.Open(filepath.Join(dir, "participant.wal"), wal.Options{SyncOnAppend: true, NoGroupCommit: s.opts.Serialized})
 		if err != nil {
 			r.Close()
 			return err
@@ -182,6 +197,7 @@ func (s *System) Close() error {
 	}
 	var err error
 	if s.server != nil {
+		s.server.cm.Close()
 		err = s.server.repo.Close()
 		if s.server.plog != nil {
 			s.server.plog.Close()
@@ -218,7 +234,7 @@ func (s *System) AddWorkstation(id string) (*Workstation, error) {
 	client := rpc.NewClient(s.trans, fmt.Sprintf("%s@%d", id, epoch))
 	client.Backoff = 0
 	var dir string
-	if s.opts.Dir != "" {
+	if s.opts.Dir != "" && !s.opts.VolatileWorkstations {
 		dir = filepath.Join(s.opts.Dir, id)
 	}
 	tm, recovered, err := txn.NewClientTM(id, client, ServerAddr, dir)
@@ -310,6 +326,7 @@ func (s *System) CrashServer() error {
 		return errors.New("core: server already down")
 	}
 	s.trans.Partition(ServerAddr)
+	site.cm.Close()
 	if site.plog != nil {
 		site.plog.Close()
 	}

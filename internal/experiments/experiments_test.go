@@ -11,8 +11,8 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 11 {
-		t.Fatalf("got %d reports, want 11", len(reports))
+	if len(reports) != 12 {
+		t.Fatalf("got %d reports, want 12", len(reports))
 	}
 	for _, rep := range reports {
 		if len(rep.Rows) == 0 {
@@ -92,6 +92,30 @@ func TestE11LostWorkBoundedByInterval(t *testing.T) {
 		if lost >= interval {
 			t.Fatalf("interval %g lost %g work units (must be < interval)", interval, lost)
 		}
+	}
+}
+
+func TestE12MultiWorkstationRuns(t *testing.T) {
+	res, err := RunMultiWorkstation(false, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkins != 20 {
+		t.Fatalf("checkins = %d, want 20", res.Checkins)
+	}
+	if res.OpsPerSec() <= 0 {
+		t.Fatalf("ops/s = %g", res.OpsPerSec())
+	}
+	if res.WALAppends == 0 || res.WALBatches == 0 || res.WALBatches > res.WALAppends {
+		t.Fatalf("WAL stats appends=%d batches=%d", res.WALAppends, res.WALBatches)
+	}
+	// The serialized baseline must still work and batch nothing.
+	ser, err := RunMultiWorkstation(true, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.WALAppends != ser.WALBatches {
+		t.Fatalf("serialized run batched: appends=%d batches=%d", ser.WALAppends, ser.WALBatches)
 	}
 }
 

@@ -10,11 +10,19 @@
 //   - a scope-lock table with nested-transaction-style inheritance that
 //     controls the dissemination of preliminary design information among
 //     DAs (see scope.go).
+//
+// The lock table is sharded: resources hash onto a fixed array of shards,
+// each with its own mutex and condition variable, so lock traffic from
+// concurrent workstations on disjoint resources never contends. The
+// waits-for graph used for deadlock detection stays global (cycles span
+// shards); it lives under its own mutex, always acquired after a shard
+// mutex, never before.
 package lock
 
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
 	"time"
@@ -77,7 +85,6 @@ type waiter struct {
 	owner string
 	mode  Mode
 	ready bool
-	dead  bool // deadlock victim or timed out; must dequeue
 }
 
 type entry struct {
@@ -85,23 +92,62 @@ type entry struct {
 	queue   []*waiter
 }
 
+// shard is one slice of the lock table with its own latch.
+type shard struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	table map[string]*entry
+}
+
+// DefaultShards is the shard count of NewManager. 64 comfortably exceeds
+// the concurrency of any realistic workstation population while keeping the
+// table array small.
+const DefaultShards = 64
+
 // Manager is a lock table over string-named resources. All methods are safe
 // for concurrent use.
 type Manager struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	table   map[string]*entry
+	shards []*shard
+	seed   maphash.Seed
+
+	// wfMu guards the global waits-for graph. Lock ordering: a shard mutex
+	// may be held when acquiring wfMu; never the reverse.
+	wfMu    sync.Mutex
 	waitFor map[string]map[string]bool // waiter owner → blocking owners
 }
 
-// NewManager returns an empty lock manager.
-func NewManager() *Manager {
+// NewManager returns an empty lock manager with DefaultShards shards.
+func NewManager() *Manager { return NewManagerWithShards(DefaultShards) }
+
+// NewManagerWithShards returns an empty lock manager with n shards (n < 1 is
+// treated as 1). A single shard reproduces the pre-sharding fully serialized
+// behaviour; experiments use it as the contention baseline.
+func NewManagerWithShards(n int) *Manager {
+	if n < 1 {
+		n = 1
+	}
 	m := &Manager{
-		table:   make(map[string]*entry),
+		shards:  make([]*shard, n),
+		seed:    maphash.MakeSeed(),
 		waitFor: make(map[string]map[string]bool),
 	}
-	m.cond = sync.NewCond(&m.mu)
+	for i := range m.shards {
+		sh := &shard{table: make(map[string]*entry)}
+		sh.cond = sync.NewCond(&sh.mu)
+		m.shards[i] = sh
+	}
 	return m
+}
+
+// Shards reports the shard count (diagnostics, experiments).
+func (m *Manager) Shards() int { return len(m.shards) }
+
+// shardFor maps a resource name onto its shard.
+func (m *Manager) shardFor(resource string) *shard {
+	if len(m.shards) == 1 {
+		return m.shards[0]
+	}
+	return m.shards[maphash.String(m.seed, resource)%uint64(len(m.shards))]
 }
 
 // stronger reports whether a covers b (holding a satisfies a request for b).
@@ -139,20 +185,21 @@ func grantable(e *entry, owner string, mode Mode) bool {
 // compatible with the other holders. A timeout of 0 means "do not wait":
 // the request fails immediately with ErrTimeout if it cannot be granted.
 func (m *Manager) Acquire(owner, resource string, mode Mode, timeout time.Duration) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	sh := m.shardFor(resource)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
-	e := m.table[resource]
+	e := sh.table[resource]
 	if e == nil {
 		e = &entry{granted: make(map[string]Mode)}
-		m.table[resource] = e
+		sh.table[resource] = e
 	}
 	if held, ok := e.granted[owner]; ok && stronger(held, mode) {
 		return nil
 	}
 	// Fast path: immediately grantable and no earlier waiter needs priority.
 	if grantable(e, owner, mode) && len(e.queue) == 0 {
-		m.grant(e, owner, mode)
+		grant(e, owner, mode)
 		return nil
 	}
 	if timeout == 0 {
@@ -167,43 +214,41 @@ func (m *Manager) Acquire(owner, resource string, mode Mode, timeout time.Durati
 	m.setWaitEdges(owner, e)
 
 	deadline := time.Now().Add(timeout)
-	timer := time.AfterFunc(timeout, m.cond.Broadcast)
+	timer := time.AfterFunc(timeout, sh.cond.Broadcast)
 	defer timer.Stop()
 
 	for !w.ready {
-		if w.dead {
-			m.dequeue(e, w)
-			m.clearWaitEdges(owner)
-			m.promote(resource, e)
-			return fmt.Errorf("%w: %s requesting %s on %s", ErrDeadlock, owner, mode, resource)
-		}
 		if time.Now().After(deadline) {
-			m.dequeue(e, w)
+			dequeue(e, w)
 			m.clearWaitEdges(owner)
-			m.promote(resource, e)
+			m.promote(sh, resource, e)
 			return fmt.Errorf("%w: %s on %s for %s", ErrTimeout, mode, resource, owner)
 		}
-		// Re-check deadlock: the graph may have changed while waiting.
+		// Re-check deadlock before every wait, including the first. This
+		// closes the cross-shard publish race: each requester publishes its
+		// own edges (setWaitEdges above) before checking, so whichever
+		// requester of a freshly closed cycle checks last sees every edge
+		// of the cycle and rejects itself promptly — no broadcast needed.
 		if m.wouldDeadlock(owner, e) {
-			m.dequeue(e, w)
+			dequeue(e, w)
 			m.clearWaitEdges(owner)
-			m.promote(resource, e)
+			m.promote(sh, resource, e)
 			return fmt.Errorf("%w: %s requesting %s on %s", ErrDeadlock, owner, mode, resource)
 		}
-		m.cond.Wait()
+		sh.cond.Wait()
 	}
 	m.clearWaitEdges(owner)
 	return nil
 }
 
 // grant records the lock, keeping the strongest mode per owner.
-func (m *Manager) grant(e *entry, owner string, mode Mode) {
+func grant(e *entry, owner string, mode Mode) {
 	if held, ok := e.granted[owner]; !ok || !stronger(held, mode) {
 		e.granted[owner] = mode
 	}
 }
 
-func (m *Manager) dequeue(e *entry, w *waiter) {
+func dequeue(e *entry, w *waiter) {
 	for i, q := range e.queue {
 		if q == w {
 			e.queue = append(e.queue[:i], e.queue[i+1:]...)
@@ -214,28 +259,30 @@ func (m *Manager) dequeue(e *entry, w *waiter) {
 
 // promote grants queued requests that are now compatible, in FIFO order,
 // stopping at the first ungrantable one (no overtaking, avoids starvation).
-func (m *Manager) promote(resource string, e *entry) {
+// The caller holds sh.mu.
+func (m *Manager) promote(sh *shard, resource string, e *entry) {
 	for len(e.queue) > 0 {
 		w := e.queue[0]
 		if !grantable(e, w.owner, w.mode) {
 			break
 		}
-		m.grant(e, w.owner, w.mode)
+		grant(e, w.owner, w.mode)
 		w.ready = true
-		delete(m.waitFor, w.owner)
+		m.clearWaitEdges(w.owner)
 		e.queue = e.queue[1:]
 	}
 	if len(e.granted) == 0 && len(e.queue) == 0 {
-		delete(m.table, resource)
+		delete(sh.table, resource)
 	}
-	m.cond.Broadcast()
+	sh.cond.Broadcast()
 }
 
 // Release drops owner's lock on resource and wakes compatible waiters.
 func (m *Manager) Release(owner, resource string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.table[resource]
+	sh := m.shardFor(resource)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.table[resource]
 	if e == nil {
 		return fmt.Errorf("%w: %s on %s", ErrNotHeld, owner, resource)
 	}
@@ -244,29 +291,32 @@ func (m *Manager) Release(owner, resource string) error {
 	}
 	delete(e.granted, owner)
 	m.refreshWaitEdges(e)
-	m.promote(resource, e)
+	m.promote(sh, resource, e)
 	return nil
 }
 
 // ReleaseAll drops every lock held by owner (transaction end).
 func (m *Manager) ReleaseAll(owner string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for res, e := range m.table {
-		if _, ok := e.granted[owner]; ok {
-			delete(e.granted, owner)
-			m.refreshWaitEdges(e)
-			m.promote(res, e)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for res, e := range sh.table {
+			if _, ok := e.granted[owner]; ok {
+				delete(e.granted, owner)
+				m.refreshWaitEdges(e)
+				m.promote(sh, res, e)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	delete(m.waitFor, owner)
+	m.clearWaitEdges(owner)
 }
 
 // Holds reports the mode owner currently holds on resource (0 if none).
 func (m *Manager) Holds(owner, resource string) Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if e := m.table[resource]; e != nil {
+	sh := m.shardFor(resource)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e := sh.table[resource]; e != nil {
 		return e.granted[owner]
 	}
 	return 0
@@ -274,9 +324,10 @@ func (m *Manager) Holds(owner, resource string) Mode {
 
 // Holders returns the owners holding locks on resource, sorted.
 func (m *Manager) Holders(resource string) []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.table[resource]
+	sh := m.shardFor(resource)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.table[resource]
 	if e == nil {
 		return nil
 	}
@@ -290,7 +341,8 @@ func (m *Manager) Holders(resource string) []string {
 
 // setWaitEdges records owner as waiting for the current holders of e plus
 // the queued waiters ahead of owner's position (later waiters cannot block
-// owner, so counting them would manufacture phantom cycles).
+// owner, so counting them would manufacture phantom cycles). The caller
+// holds the entry's shard mutex.
 func (m *Manager) setWaitEdges(owner string, e *entry) {
 	edges := make(map[string]bool)
 	for o := range e.granted {
@@ -304,14 +356,19 @@ func (m *Manager) setWaitEdges(owner string, e *entry) {
 		}
 		edges[q.owner] = true
 	}
+	m.wfMu.Lock()
 	m.waitFor[owner] = edges
+	m.wfMu.Unlock()
 }
 
 func (m *Manager) clearWaitEdges(owner string) {
+	m.wfMu.Lock()
 	delete(m.waitFor, owner)
+	m.wfMu.Unlock()
 }
 
 // refreshWaitEdges recomputes edges for waiters of e after a holder change.
+// The caller holds the entry's shard mutex.
 func (m *Manager) refreshWaitEdges(e *entry) {
 	for _, q := range e.queue {
 		m.setWaitEdges(q.owner, e)
@@ -319,6 +376,8 @@ func (m *Manager) refreshWaitEdges(e *entry) {
 }
 
 // wouldDeadlock reports whether owner waiting on e closes a waits-for cycle.
+// The caller holds the entry's shard mutex; the graph itself is global, so
+// cycles through resources on other shards are found too.
 func (m *Manager) wouldDeadlock(owner string, e *entry) bool {
 	// Hypothetical edges of owner.
 	targets := make(map[string]bool)
@@ -332,6 +391,8 @@ func (m *Manager) wouldDeadlock(owner string, e *entry) bool {
 			targets[q.owner] = true
 		}
 	}
+	m.wfMu.Lock()
+	defer m.wfMu.Unlock()
 	// DFS from each target through waitFor; a path back to owner is a cycle.
 	seen := make(map[string]bool)
 	var reach func(string) bool

@@ -1,0 +1,207 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShardedConcurrentAcquireRelease hammers the sharded table from many
+// goroutines over many resources and modes. Run with -race; the invariant
+// checked at the end is that every lock was released (no leaked entries).
+func TestShardedConcurrentAcquireRelease(t *testing.T) {
+	m := NewManager()
+	const workers, rounds, resources = 16, 200, 40
+	var wg sync.WaitGroup
+	var granted, denied atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			owner := fmt.Sprintf("T%d", w)
+			for i := 0; i < rounds; i++ {
+				res := fmt.Sprintf("dov/%d", (w*rounds+i*7)%resources)
+				mode := []Mode{S, X, D}[i%3]
+				err := m.Acquire(owner, res, mode, 200*time.Millisecond)
+				switch {
+				case err == nil:
+					granted.Add(1)
+					if got := m.Holds(owner, res); !stronger(got, mode) {
+						t.Errorf("Holds(%s,%s) = %v after granting %v", owner, res, got, mode)
+					}
+					if err := m.Release(owner, res); err != nil {
+						// A reentrant grant may coalesce with a mode the
+						// owner already held and released concurrently in
+						// another iteration; ErrNotHeld is the only
+						// acceptable error.
+						if !errors.Is(err, ErrNotHeld) {
+							t.Errorf("release: %v", err)
+						}
+					}
+				case errors.Is(err, ErrTimeout), errors.Is(err, ErrDeadlock):
+					denied.Add(1)
+				default:
+					t.Errorf("acquire: %v", err)
+				}
+			}
+			m.ReleaseAll(owner)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		m.ReleaseAll(fmt.Sprintf("T%d", w))
+	}
+	for i := 0; i < resources; i++ {
+		res := fmt.Sprintf("dov/%d", i)
+		if h := m.Holders(res); len(h) != 0 {
+			t.Fatalf("resource %s still held by %v", res, h)
+		}
+	}
+	if granted.Load() == 0 {
+		t.Fatal("no acquisitions succeeded")
+	}
+	t.Logf("granted=%d denied=%d", granted.Load(), denied.Load())
+}
+
+// TestCrossShardDeadlock builds a two-transaction cycle over many distinct
+// resources (so the two entries land on different shards with overwhelming
+// probability) and checks the cycle is detected rather than timing out.
+func TestCrossShardDeadlock(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		m := NewManager()
+		ra := fmt.Sprintf("res-a-%d", trial)
+		rb := fmt.Sprintf("res-b-%d", trial)
+		if err := m.Acquire("T1", ra, X, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Acquire("T2", rb, X, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		errs := make(chan error, 2)
+		start := time.Now()
+		go func() { errs <- m.Acquire("T1", rb, X, 30*time.Second) }()
+		go func() { errs <- m.Acquire("T2", ra, X, 30*time.Second) }()
+		// At least one must be rejected with ErrDeadlock, promptly (well
+		// under the 30s timeout bound).
+		err := <-errs
+		if err == nil {
+			err = <-errs
+		}
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("trial %d: expected deadlock rejection, got %v", trial, err)
+		}
+		if waited := time.Since(start); waited > 10*time.Second {
+			t.Fatalf("trial %d: deadlock detection took %v (timed out instead?)", trial, waited)
+		}
+		m.ReleaseAll("T1")
+		m.ReleaseAll("T2")
+	}
+}
+
+// TestCrossShardDeadlockThreeParty closes a three-transaction cycle spread
+// over three resources and expects prompt detection.
+func TestCrossShardDeadlockThreeParty(t *testing.T) {
+	m := NewManager()
+	owners := []string{"A", "B", "C"}
+	for i, o := range owners {
+		if err := m.Acquire(o, fmt.Sprintf("r%d", i), X, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errs := make(chan error, 3)
+	for i, o := range owners {
+		go func(o string, next int) {
+			errs <- m.Acquire(o, fmt.Sprintf("r%d", next), X, 30*time.Second)
+		}(o, (i+1)%3)
+	}
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				continue // unblocked by a victim's rollback
+			}
+			if errors.Is(err, ErrDeadlock) {
+				for _, o := range owners {
+					m.ReleaseAll(o)
+				}
+				return
+			}
+			if !errors.Is(err, ErrTimeout) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		case <-deadline:
+			t.Fatal("three-party deadlock not detected within 10s")
+		}
+	}
+	t.Fatal("no transaction was chosen as deadlock victim")
+}
+
+// TestConcurrentReleaseAll interleaves ReleaseAll with acquisitions across
+// shards (the transaction-end path of the server-TM).
+func TestConcurrentReleaseAll(t *testing.T) {
+	m := NewManager()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			owner := fmt.Sprintf("dop-%d", w)
+			for i := 0; i < 50; i++ {
+				for j := 0; j < 5; j++ {
+					res := fmt.Sprintf("g/%d", (w+j*3)%20)
+					m.Acquire(owner, res, S, 50*time.Millisecond) //nolint:errcheck // contention expected
+				}
+				m.ReleaseAll(owner)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < 20; i++ {
+		if h := m.Holders(fmt.Sprintf("g/%d", i)); len(h) != 0 {
+			t.Fatalf("g/%d still held by %v after ReleaseAll", i, h)
+		}
+	}
+}
+
+// TestSingleShardCompatibility checks the shards=1 ablation configuration
+// behaves identically for the basic protocol (it is the seed's design).
+func TestSingleShardCompatibility(t *testing.T) {
+	m := NewManagerWithShards(1)
+	if m.Shards() != 1 {
+		t.Fatalf("Shards() = %d", m.Shards())
+	}
+	if err := m.Acquire("T1", "r", S, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("T2", "r", S, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("T2", "r", X, 0); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("upgrade under shared holder: %v", err)
+	}
+	if err := m.Release("T1", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("T2", "r", X, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll("T2")
+}
+
+// TestShardDistribution sanity-checks that resource names spread over
+// multiple shards (otherwise the sharding is vacuous).
+func TestShardDistribution(t *testing.T) {
+	m := NewManager()
+	used := make(map[*shard]bool)
+	for i := 0; i < 512; i++ {
+		used[m.shardFor(fmt.Sprintf("dov/ws%d/v%d", i%16, i))] = true
+	}
+	if len(used) < DefaultShards/4 {
+		t.Fatalf("512 resources hit only %d/%d shards", len(used), DefaultShards)
+	}
+}

@@ -14,7 +14,6 @@ package repo
 
 import (
 	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -22,6 +21,7 @@ import (
 	"strings"
 	"sync"
 
+	"concord/internal/binenc"
 	"concord/internal/catalog"
 	"concord/internal/version"
 	"concord/internal/wal"
@@ -41,6 +41,11 @@ var (
 	ErrUnknownGraph = errors.New("repo: unknown derivation graph")
 	ErrUnknownMeta  = errors.New("repo: unknown metadata key")
 	ErrValidation   = errors.New("repo: schema validation failed")
+	// ErrFatal reports that a forced log write failed after its mutation
+	// was applied in memory: the volatile state may be ahead of the log,
+	// so the repository fail-stops rather than serve phantom data. A
+	// restart recovers the durable prefix.
+	ErrFatal = errors.New("repo: durability failure, repository is fail-stop")
 )
 
 // Options configures a Repository.
@@ -50,6 +55,9 @@ type Options struct {
 	Dir string
 	// Sync forces the log to stable storage on every append.
 	Sync bool
+	// NoGroupCommit disables WAL append batching (one write+fsync per
+	// record). Ablation baseline for experiments; see wal.Options.
+	NoGroupCommit bool
 }
 
 // Repository is the design data repository. All methods are safe for
@@ -63,6 +71,10 @@ type Repository struct {
 	meta   map[string][]byte
 	seq    uint64
 	log    *wal.Log
+	// fatal is set when a reserved log record failed to become durable
+	// (see appendAsync): the in-memory state is then ahead of the log and
+	// every subsequent operation is refused with ErrFatal.
+	fatal error
 }
 
 // Open creates or recovers a repository. When opts.Dir names a directory
@@ -78,7 +90,7 @@ func Open(cat *catalog.Catalog, opts Options) (*Repository, error) {
 		meta:   make(map[string][]byte),
 	}
 	if opts.Dir != "" {
-		l, err := wal.Open(filepath.Join(opts.Dir, "repo.wal"), wal.Options{SyncOnAppend: opts.Sync})
+		l, err := wal.Open(filepath.Join(opts.Dir, "repo.wal"), wal.Options{SyncOnAppend: opts.Sync, NoGroupCommit: opts.NoGroupCommit})
 		if err != nil {
 			return nil, err
 		}
@@ -114,6 +126,40 @@ type dovRecord struct {
 	Root      bool // adopted root (foreign parents allowed)
 }
 
+// encode writes the record in the binenc hot-path format (gob's per-record
+// engine compilation showed up in the checkin profile).
+func (d dovRecord) encode() []byte {
+	w := binenc.NewWriter(96 + len(d.Object))
+	w.Str(string(d.ID))
+	w.Str(d.DOT)
+	w.Str(d.DA)
+	w.U64(uint64(len(d.Parents)))
+	for _, p := range d.Parents {
+		w.Str(string(p))
+	}
+	w.Blob(d.Object)
+	w.Byte(byte(d.Status))
+	w.Strs(d.Fulfilled)
+	w.U64(d.Seq)
+	w.Bool(d.Root)
+	return w.Bytes()
+}
+
+func decodeDOVRecord(data []byte) (dovRecord, error) {
+	r := binenc.NewReader(data)
+	d := dovRecord{ID: version.ID(r.Str()), DOT: r.Str(), DA: r.Str()}
+	n := r.U64()
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		d.Parents = append(d.Parents, version.ID(r.Str()))
+	}
+	d.Object = r.Blob()
+	d.Status = version.Status(r.Byte())
+	d.Fulfilled = r.Strs()
+	d.Seq = r.U64()
+	d.Root = r.Bool()
+	return d, r.Err()
+}
+
 func (r *Repository) recover() error {
 	return r.log.Replay(func(rec wal.Record) error {
 		switch rec.Type {
@@ -123,8 +169,8 @@ func (r *Repository) recover() error {
 				r.graphs[da] = version.NewGraph(da)
 			}
 		case recDOVInsert:
-			var dr dovRecord
-			if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(&dr); err != nil {
+			dr, err := decodeDOVRecord(rec.Payload)
+			if err != nil {
 				return fmt.Errorf("repo: recover DOV: %w", err)
 			}
 			obj, err := catalog.DecodeObject(dr.Object)
@@ -173,13 +219,51 @@ func (r *Repository) recover() error {
 	})
 }
 
-func (r *Repository) append(t wal.RecordType, owner string, payload []byte) error {
+// noWait is the wait function of volatile repositories (no log).
+func noWait() (wal.LSN, error) { return 0, nil }
+
+// appendAsync reserves a log record and returns its durability wait
+// function. Mutators call it while holding r.mu — the reservation fixes the
+// record's replay position relative to every other mutation — and invoke the
+// wait after releasing r.mu, so the fsync happens outside the repository
+// lock and concurrent transactions' records group into one commit batch.
+//
+// The in-memory state is applied at reservation time, before durability.
+// This never lets a replay dangle: records enter the log in reservation
+// order, so anything derived from a not-yet-durable version sits at a later
+// LSN and the crash-surviving log prefix is always self-consistent. The one
+// remaining hazard is a failed wait (disk error): the applied state would
+// be ahead of the log, so the wait wrapper below turns that into a
+// repository-wide fail-stop (ErrFatal) instead of serving phantom data.
+func (r *Repository) appendAsync(t wal.RecordType, owner string, payload []byte) (func() (wal.LSN, error), error) {
 	if r.log == nil {
-		return nil
+		return noWait, nil
 	}
-	_, err := r.log.Append(t, owner, payload)
-	return err
+	wait, err := r.log.AppendAsync(t, owner, payload)
+	if err != nil {
+		return nil, err
+	}
+	return func() (wal.LSN, error) {
+		lsn, err := wait()
+		if err != nil {
+			r.failStop(err)
+		}
+		return lsn, err
+	}, nil
 }
+
+// failStop latches the fatal state.
+func (r *Repository) failStop(cause error) {
+	r.mu.Lock()
+	if r.fatal == nil {
+		r.fatal = fmt.Errorf("%w: %v", ErrFatal, cause)
+	}
+	r.mu.Unlock()
+}
+
+// alive returns the latched fatal error, if any. Callers hold r.mu (either
+// mode).
+func (r *Repository) alive() error { return r.fatal }
 
 // NextID allocates a fresh repository-wide DOV identifier.
 func (r *Repository) NextID() version.ID {
@@ -192,21 +276,32 @@ func (r *Repository) NextID() version.ID {
 // CreateGraph creates (idempotently) the derivation graph of a DA.
 func (r *Repository) CreateGraph(da string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	if err := r.alive(); err != nil {
+		r.mu.Unlock()
+		return err
+	}
 	if _, ok := r.graphs[da]; ok {
+		r.mu.Unlock()
 		return nil
 	}
-	if err := r.append(recGraphNew, da, []byte(da)); err != nil {
+	wait, err := r.appendAsync(recGraphNew, da, []byte(da))
+	if err != nil {
+		r.mu.Unlock()
 		return err
 	}
 	r.graphs[da] = version.NewGraph(da)
-	return nil
+	r.mu.Unlock()
+	_, err = wait()
+	return err
 }
 
 // Graph returns the derivation graph of a DA.
 func (r *Repository) Graph(da string) (*version.Graph, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	if err := r.alive(); err != nil {
+		return nil, err
+	}
 	g, ok := r.graphs[da]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownGraph, da)
@@ -221,6 +316,14 @@ func (r *Repository) Graph(da string) (*version.Graph, error) {
 // When root is true the version is adopted as a graph root and may carry
 // parents from foreign graphs (initial DOV0 or inherited finals).
 func (r *Repository) Checkin(v *version.DOV, root bool) error {
+	return r.CheckinCleanup(v, root, "")
+}
+
+// CheckinCleanup performs Checkin and, when cleanupKey is non-empty, deletes
+// that metadata key in the same durable commit batch (single fsync). The
+// server-TM's 2PC commit uses it to install a DOV and drop its staged
+// record with one forced log write.
+func (r *Repository) CheckinCleanup(v *version.DOV, root bool, cleanupKey string) error {
 	if v == nil {
 		return errors.New("repo: nil DOV")
 	}
@@ -234,13 +337,25 @@ func (r *Repository) Checkin(v *version.DOV, root bool) error {
 		return fmt.Errorf("%w: %v", ErrValidation, err)
 	}
 
+	// Encoding does not need the lock; do it before entering the critical
+	// section (the object is the caller's copy).
+	objBytes, err := catalog.EncodeObject(v.Object)
+	if err != nil {
+		return err
+	}
+
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	if err := r.alive(); err != nil {
+		r.mu.Unlock()
+		return err
+	}
 	g, ok := r.graphs[v.DA]
 	if !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownGraph, v.DA)
 	}
 	if _, dup := r.dovs[v.ID]; dup {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %s", version.ErrDuplicateDOV, v.ID)
 	}
 	if !root {
@@ -248,6 +363,7 @@ func (r *Repository) Checkin(v *version.DOV, root bool) error {
 		// exist somewhere in the repository.
 		for _, p := range v.Parents {
 			if _, ok := r.dovs[p]; !ok {
+				r.mu.Unlock()
 				return fmt.Errorf("%w: parent %s of %s", version.ErrUnknownDOV, p, v.ID)
 			}
 		}
@@ -255,29 +371,46 @@ func (r *Repository) Checkin(v *version.DOV, root bool) error {
 	r.seq++
 	v.Seq = r.seq
 
-	objBytes, err := catalog.EncodeObject(v.Object)
-	if err != nil {
-		return err
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(dovRecord{
+	recBytes := dovRecord{
 		ID: v.ID, DOT: v.DOT, DA: v.DA, Parents: v.Parents,
 		Object: objBytes, Status: v.Status, Fulfilled: v.Fulfilled, Seq: v.Seq, Root: root,
-	}); err != nil {
-		return fmt.Errorf("repo: encode DOV: %w", err)
-	}
-	// Log-before-apply: a crash after the append replays to the same state.
-	if err := r.append(recDOVInsert, v.DA, buf.Bytes()); err != nil {
+	}.encode()
+	// Reserve-then-apply: the reservation pins the record's replay position
+	// while r.mu is held; the durability wait happens after unlock so
+	// concurrent checkins share one fsync (see appendAsync).
+	wait, err := r.appendAsync(recDOVInsert, v.DA, recBytes)
+	if err != nil {
+		r.mu.Unlock()
 		return err
 	}
 	if root {
 		if err := g.AdoptRoot(v); err != nil {
+			r.mu.Unlock()
 			return err
 		}
 	} else if err := g.InsertDerived(v); err != nil {
+		r.mu.Unlock()
 		return err
 	}
 	r.dovs[v.ID] = v
+	var cleanupWait func() (wal.LSN, error)
+	if cleanupKey != "" {
+		if _, ok := r.meta[cleanupKey]; ok {
+			// Reserved right behind the insert: the two records normally
+			// land in the same batch, so the waits below cost one fsync.
+			if w, err := r.appendAsync(recMetaDel, "", []byte(cleanupKey)); err == nil {
+				delete(r.meta, cleanupKey)
+				cleanupWait = w
+			}
+		}
+	}
+	r.mu.Unlock()
+	if _, err := wait(); err != nil {
+		return err
+	}
+	if cleanupWait != nil {
+		cleanupWait() //nolint:errcheck // cleanup record; replay tolerates its absence
+	}
 	return nil
 }
 
@@ -286,6 +419,9 @@ func (r *Repository) Checkin(v *version.DOV, root bool) error {
 func (r *Repository) Get(id version.ID) (*version.DOV, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	if err := r.alive(); err != nil {
+		return nil, err
+	}
 	v, ok := r.dovs[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", version.ErrUnknownDOV, id)
@@ -297,6 +433,9 @@ func (r *Repository) Get(id version.ID) (*version.DOV, error) {
 func (r *Repository) Exists(id version.ID) bool {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	if r.alive() != nil {
+		return false
+	}
 	_, ok := r.dovs[id]
 	return ok
 }
@@ -304,17 +443,25 @@ func (r *Repository) Exists(id version.ID) bool {
 // SetStatus durably updates a version's lifecycle status.
 func (r *Repository) SetStatus(id version.ID, s version.Status) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	if err := r.alive(); err != nil {
+		r.mu.Unlock()
+		return err
+	}
 	v, ok := r.dovs[id]
 	if !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %s", version.ErrUnknownDOV, id)
 	}
 	payload := append([]byte(id), 0, byte(s))
-	if err := r.append(recDOVStatus, v.DA, payload); err != nil {
+	wait, err := r.appendAsync(recDOVStatus, v.DA, payload)
+	if err != nil {
+		r.mu.Unlock()
 		return err
 	}
 	v.Status = s
-	return nil
+	r.mu.Unlock()
+	_, err = wait()
+	return err
 }
 
 // SetFulfilled records the feature names a version satisfied at its last
@@ -328,6 +475,16 @@ func (r *Repository) SetFulfilled(id version.ID, names []string) error {
 	}
 	v.Fulfilled = append([]string(nil), names...)
 	return nil
+}
+
+// LogStats reports the repository WAL's append/batch/sync counters (all
+// zero for volatile repositories). The appends/batches ratio is the group-
+// commit factor achieved by concurrent transactions.
+func (r *Repository) LogStats() (appends, batches, syncs uint64) {
+	if r.log == nil {
+		return 0, 0, 0
+	}
+	return r.log.Stats()
 }
 
 // DOVCount returns the number of stored versions.
@@ -354,23 +511,33 @@ func (r *Repository) PutMeta(key string, value []byte) error {
 	if strings.ContainsRune(key, 0) {
 		return errors.New("repo: metadata key must not contain NUL")
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	payload := make([]byte, 0, len(key)+1+len(value))
 	payload = append(payload, key...)
 	payload = append(payload, 0)
 	payload = append(payload, value...)
-	if err := r.append(recMetaPut, "", payload); err != nil {
+	r.mu.Lock()
+	if err := r.alive(); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	wait, err := r.appendAsync(recMetaPut, "", payload)
+	if err != nil {
+		r.mu.Unlock()
 		return err
 	}
 	r.meta[key] = append([]byte(nil), value...)
-	return nil
+	r.mu.Unlock()
+	_, err = wait()
+	return err
 }
 
 // GetMeta fetches a metadata value.
 func (r *Repository) GetMeta(key string) ([]byte, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	if err := r.alive(); err != nil {
+		return nil, err
+	}
 	v, ok := r.meta[key]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownMeta, key)
@@ -381,15 +548,23 @@ func (r *Repository) GetMeta(key string) ([]byte, error) {
 // DeleteMeta durably removes a metadata value (idempotent).
 func (r *Repository) DeleteMeta(key string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	if err := r.alive(); err != nil {
+		r.mu.Unlock()
+		return err
+	}
 	if _, ok := r.meta[key]; !ok {
+		r.mu.Unlock()
 		return nil
 	}
-	if err := r.append(recMetaDel, "", []byte(key)); err != nil {
+	wait, err := r.appendAsync(recMetaDel, "", []byte(key))
+	if err != nil {
+		r.mu.Unlock()
 		return err
 	}
 	delete(r.meta, key)
-	return nil
+	r.mu.Unlock()
+	_, err = wait()
+	return err
 }
 
 // ListMeta returns all metadata keys with the given prefix, sorted.

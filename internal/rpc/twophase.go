@@ -309,7 +309,12 @@ func (p *Participant) finish(txid string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.log != nil && p.prepared[txid] {
-		p.log.Append(recTxDone, txid, []byte(txid)) //nolint:errcheck // cleanup only
+		// The done record is pure cleanup: if it never becomes durable the
+		// transaction is merely re-resolved against the coordinator at the
+		// next recovery (commit/abort are idempotent). Reserve it and let
+		// the next forced write or Close carry it, instead of stalling the
+		// commit acknowledgement on an extra fsync.
+		p.log.AppendAsync(recTxDone, txid, []byte(txid)) //nolint:errcheck // cleanup only
 	}
 	delete(p.prepared, txid)
 	p.done[txid] = true

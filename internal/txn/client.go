@@ -278,10 +278,7 @@ func (tm *ClientTM) Begin(dopID, da string) (*DOP, error) {
 	}
 	tm.mu.Unlock()
 
-	payload, err := encode(beginMsg{DOP: dopID, DA: da})
-	if err != nil {
-		return nil, err
-	}
+	payload := beginMsg{DOP: dopID, DA: da}.encode()
 	if _, err := tm.client.Call(tm.serverAddr, MethodBegin, payload); err != nil {
 		return nil, err
 	}
@@ -301,11 +298,7 @@ func (tm *ClientTM) Begin(dopID, da string) (*DOP, error) {
 // Reattach re-registers a recovered DOP with the server-TM (idempotent at
 // the server) so processing can continue after a workstation restart.
 func (tm *ClientTM) Reattach(d *DOP) error {
-	payload, err := encode(beginMsg{DOP: d.id, DA: d.da})
-	if err != nil {
-		return err
-	}
-	_, err = tm.client.Call(tm.serverAddr, MethodBegin, payload)
+	_, err := tm.client.Call(tm.serverAddr, MethodBegin, beginMsg{DOP: d.id, DA: d.da}.encode())
 	return err
 }
 
@@ -380,16 +373,13 @@ func (d *DOP) Checkout(dov version.ID, derive bool) (*catalog.Object, error) {
 	if d.phase != PhaseActive {
 		return nil, fmt.Errorf("%w: %s is %s", ErrDOPNotActive, d.id, d.phase)
 	}
-	payload, err := encode(checkoutMsg{DOP: d.id, DA: d.da, DOV: dov, Derive: derive})
-	if err != nil {
-		return nil, err
-	}
+	payload := checkoutMsg{DOP: d.id, DA: d.da, DOV: dov, Derive: derive}.encode()
 	resp, err := d.tm.client.Call(d.tm.serverAddr, MethodCheckout, payload)
 	if err != nil {
 		return nil, err
 	}
-	var w dovWire
-	if err := decode(resp, &w); err != nil {
+	w, err := decodeDOVWireBytes(resp)
+	if err != nil {
 		return nil, err
 	}
 	v, err := wireToDOV(w)
@@ -565,10 +555,7 @@ func (d *DOP) Checkin(status version.Status, root bool) (version.ID, error) {
 		},
 		Root: root,
 	}
-	payload, err := encode(msg)
-	if err != nil {
-		return "", err
-	}
+	payload := msg.encode()
 	if _, err := d.tm.client.Call(d.tm.serverAddr, MethodStage, payload); err != nil {
 		d.checkins--
 		return "", err
@@ -670,10 +657,6 @@ func (d *DOP) HandOver(next *DOP) error {
 // ReleaseDerivationLock gives up the derivation lock on an input version
 // before DOP end.
 func (d *DOP) ReleaseDerivationLock(dov version.ID) error {
-	payload, err := encode(releaseMsg{DOP: d.id, DOV: dov})
-	if err != nil {
-		return err
-	}
-	_, err = d.tm.client.Call(d.tm.serverAddr, MethodRelease, payload)
+	_, err := d.tm.client.Call(d.tm.serverAddr, MethodRelease, releaseMsg{DOP: d.id, DOV: dov}.encode())
 	return err
 }

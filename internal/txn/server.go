@@ -41,8 +41,11 @@ type serverDOP struct {
 }
 
 type stagedCheckin struct {
-	dop      string
-	dov      *version.DOV
+	dop string
+	dov *version.DOV
+	// raw is the encoded stageMsg as received from the wire; Prepare
+	// persists it verbatim instead of re-encoding the version.
+	raw      []byte
 	root     bool
 	prepared bool
 }
@@ -65,8 +68,8 @@ func NewServerTM(r *repo.Repository, lm *lock.Manager, st *lock.ScopeTable) *Ser
 		if err != nil {
 			continue
 		}
-		var m stageMsg
-		if err := decode(data, &m); err != nil {
+		m, err := decodeStage(data)
+		if err != nil {
 			continue
 		}
 		v, err := wireToDOV(m.DOV)
@@ -168,8 +171,9 @@ func (s *ServerTM) ReleaseDerivationLock(dop string, dov version.ID) error {
 }
 
 // Stage receives a derived DOV ahead of the checkin two-phase commit. The
-// version is validated at prepare time.
-func (s *ServerTM) Stage(dop, txid string, v *version.DOV, root bool) error {
+// version is validated at prepare time. raw, if non-nil, is the encoded
+// stageMsg exactly as received; Prepare persists it without re-encoding.
+func (s *ServerTM) Stage(dop, txid string, v *version.DOV, root bool, raw []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.dops[dop]
@@ -178,8 +182,9 @@ func (s *ServerTM) Stage(dop, txid string, v *version.DOV, root bool) error {
 	}
 	if v.DA == "" {
 		v.DA = st.da
+		raw = nil // the wire form lacks the DA; fall back to re-encoding
 	}
-	s.staged[txid] = &stagedCheckin{dop: dop, dov: v, root: root}
+	s.staged[txid] = &stagedCheckin{dop: dop, dov: v, raw: raw, root: root}
 	return nil
 }
 
@@ -208,17 +213,17 @@ func (s *ServerTM) Prepare(txid string) (rpc.Vote, error) {
 	}
 	// Persist the staged version before promising: a prepared checkin must
 	// survive a server crash so the coordinator's decision can be applied
-	// at recovery.
-	objData, err := catalog.EncodeObject(v.Object)
-	if err != nil {
-		return rpc.VoteAbort, nil //nolint:nilerr // vote conveys the refusal
-	}
-	stageData, err := encode(stageMsg{
-		DOP: sc.dop, TxID: txid, Root: sc.root,
-		DOV: dovWire{ID: v.ID, DOT: v.DOT, DA: v.DA, Parents: v.Parents, Object: objData, Status: v.Status, Fulfilled: v.Fulfilled},
-	})
-	if err != nil {
-		return rpc.VoteAbort, nil //nolint:nilerr // vote conveys the refusal
+	// at recovery. The wire payload is reused verbatim when possible.
+	stageData := sc.raw
+	if stageData == nil {
+		objData, err := catalog.EncodeObject(v.Object)
+		if err != nil {
+			return rpc.VoteAbort, nil //nolint:nilerr // vote conveys the refusal
+		}
+		stageData = stageMsg{
+			DOP: sc.dop, TxID: txid, Root: sc.root,
+			DOV: dovWire{ID: v.ID, DOT: v.DOT, DA: v.DA, Parents: v.Parents, Object: objData, Status: v.Status, Fulfilled: v.Fulfilled},
+		}.encode()
 	}
 	if err := s.repo.PutMeta(stagedMetaPrefix+txid, stageData); err != nil {
 		return rpc.VoteAbort, nil //nolint:nilerr // durability failed: refuse
@@ -248,13 +253,21 @@ func (s *ServerTM) Commit(txid string) error {
 	}
 	defer s.locks.Release(sc.dop, graphRes) //nolint:errcheck // short lock
 
-	if err := s.repo.Checkin(v, sc.root); err != nil {
+	// CheckinCleanup installs the DOV and drops the staged record in one
+	// commit batch. A duplicate DOV means a previous incarnation already
+	// installed it (crash between checkin and staged-record cleanup);
+	// Commit must be idempotent, so treat it as success and only clean up.
+	err := s.repo.CheckinCleanup(v, sc.root, stagedMetaPrefix+txid)
+	if errors.Is(err, version.ErrDuplicateDOV) {
+		s.repo.DeleteMeta(stagedMetaPrefix + txid) //nolint:errcheck // cleanup
+		err = nil
+	}
+	if err != nil {
 		return err
 	}
 	if err := s.scopes.Own(v.DA, string(v.ID)); err != nil {
 		return err
 	}
-	s.repo.DeleteMeta(stagedMetaPrefix + txid) //nolint:errcheck // cleanup
 	s.mu.Lock()
 	delete(s.staged, txid)
 	s.mu.Unlock()
@@ -305,14 +318,14 @@ func (s *ServerTM) Handler(participant *rpc.Participant) rpc.Handler {
 	return func(method string, payload []byte) ([]byte, error) {
 		switch method {
 		case MethodBegin:
-			var m beginMsg
-			if err := decode(payload, &m); err != nil {
+			m, err := decodeBegin(payload)
+			if err != nil {
 				return nil, err
 			}
 			return nil, s.Begin(m.DOP, m.DA)
 		case MethodCheckout:
-			var m checkoutMsg
-			if err := decode(payload, &m); err != nil {
+			m, err := decodeCheckout(payload)
+			if err != nil {
 				return nil, err
 			}
 			v, err := s.Checkout(m.DOP, m.DOV, m.Derive)
@@ -321,18 +334,18 @@ func (s *ServerTM) Handler(participant *rpc.Participant) rpc.Handler {
 			}
 			return encodeDOV(v)
 		case MethodStage:
-			var m stageMsg
-			if err := decode(payload, &m); err != nil {
+			m, err := decodeStage(payload)
+			if err != nil {
 				return nil, err
 			}
 			v, err := wireToDOV(m.DOV)
 			if err != nil {
 				return nil, err
 			}
-			return nil, s.Stage(m.DOP, m.TxID, v, m.Root)
+			return nil, s.Stage(m.DOP, m.TxID, v, m.Root, payload)
 		case MethodRelease:
-			var m releaseMsg
-			if err := decode(payload, &m); err != nil {
+			m, err := decodeRelease(payload)
+			if err != nil {
 				return nil, err
 			}
 			return nil, s.ReleaseDerivationLock(m.DOP, m.DOV)
@@ -353,10 +366,10 @@ func encodeDOV(v *version.DOV) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return encode(dovWire{
+	return encodeDOVWire(dovWire{
 		ID: v.ID, DOT: v.DOT, DA: v.DA, Parents: v.Parents,
 		Object: obj, Status: v.Status, Fulfilled: v.Fulfilled,
-	})
+	}), nil
 }
 
 // wireToDOV converts the wire form back to a version.

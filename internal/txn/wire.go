@@ -18,6 +18,7 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"concord/internal/binenc"
 	"concord/internal/version"
 )
 
@@ -73,7 +74,115 @@ type releaseMsg struct {
 	DOV version.ID
 }
 
-// encode gob-encodes a wire message.
+// The wire messages use the hand-rolled binenc format: they are exchanged
+// on every DOP operation, and gob's per-message engine compilation dominated
+// the server CPU profile under multi-workstation load. The client-TM's
+// context snapshots (ctxSnapshot) stay on gob — they are written at
+// recovery-point frequency, not per RPC.
+
+func (m beginMsg) encode() []byte {
+	w := binenc.NewWriter(32)
+	w.Str(m.DOP)
+	w.Str(m.DA)
+	return w.Bytes()
+}
+
+func decodeBegin(data []byte) (beginMsg, error) {
+	r := binenc.NewReader(data)
+	m := beginMsg{DOP: r.Str(), DA: r.Str()}
+	return m, wireErr(r)
+}
+
+func (m checkoutMsg) encode() []byte {
+	w := binenc.NewWriter(48)
+	w.Str(m.DOP)
+	w.Str(m.DA)
+	w.Str(string(m.DOV))
+	w.Bool(m.Derive)
+	return w.Bytes()
+}
+
+func decodeCheckout(data []byte) (checkoutMsg, error) {
+	r := binenc.NewReader(data)
+	m := checkoutMsg{DOP: r.Str(), DA: r.Str(), DOV: version.ID(r.Str()), Derive: r.Bool()}
+	return m, wireErr(r)
+}
+
+func (m releaseMsg) encode() []byte {
+	w := binenc.NewWriter(32)
+	w.Str(m.DOP)
+	w.Str(string(m.DOV))
+	return w.Bytes()
+}
+
+func decodeRelease(data []byte) (releaseMsg, error) {
+	r := binenc.NewReader(data)
+	m := releaseMsg{DOP: r.Str(), DOV: version.ID(r.Str())}
+	return m, wireErr(r)
+}
+
+func (v dovWire) encodeInto(w *binenc.Writer) {
+	w.Str(string(v.ID))
+	w.Str(v.DOT)
+	w.Str(v.DA)
+	w.U64(uint64(len(v.Parents)))
+	for _, p := range v.Parents {
+		w.Str(string(p))
+	}
+	w.Blob(v.Object)
+	w.Byte(byte(v.Status))
+	w.Strs(v.Fulfilled)
+}
+
+func decodeDOVWire(r *binenc.Reader) dovWire {
+	v := dovWire{ID: version.ID(r.Str()), DOT: r.Str(), DA: r.Str()}
+	n := r.U64()
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		v.Parents = append(v.Parents, version.ID(r.Str()))
+	}
+	v.Object = r.Blob()
+	v.Status = version.Status(r.Byte())
+	v.Fulfilled = r.Strs()
+	return v
+}
+
+func (m stageMsg) encode() []byte {
+	w := binenc.NewWriter(128 + len(m.DOV.Object))
+	w.Str(m.DOP)
+	w.Str(m.TxID)
+	m.DOV.encodeInto(w)
+	w.Bool(m.Root)
+	return w.Bytes()
+}
+
+func decodeStage(data []byte) (stageMsg, error) {
+	r := binenc.NewReader(data)
+	m := stageMsg{DOP: r.Str(), TxID: r.Str()}
+	m.DOV = decodeDOVWire(r)
+	m.Root = r.Bool()
+	return m, wireErr(r)
+}
+
+func encodeDOVWire(v dovWire) []byte {
+	w := binenc.NewWriter(96 + len(v.Object))
+	v.encodeInto(w)
+	return w.Bytes()
+}
+
+func decodeDOVWireBytes(data []byte) (dovWire, error) {
+	r := binenc.NewReader(data)
+	v := decodeDOVWire(r)
+	return v, wireErr(r)
+}
+
+func wireErr(r *binenc.Reader) error {
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("txn: decode: %w", err)
+	}
+	return nil
+}
+
+// encode gob-encodes a non-hot message (client recovery snapshots).
 func encode(v any) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
@@ -82,7 +191,7 @@ func encode(v any) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// decode gob-decodes a wire message.
+// decode gob-decodes a non-hot message.
 func decode(data []byte, v any) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
 		return fmt.Errorf("txn: decode: %w", err)

@@ -7,6 +7,14 @@
 // (e.g. a DOP or DA identifier) and an opaque payload. Replay tolerates a
 // torn tail: a record whose length prefix or checksum is invalid terminates
 // replay without error, mirroring the behaviour of a crashed writer.
+//
+// Appends use group commit: concurrent appenders reserve their LSNs under a
+// short mutex and enqueue the framed record; the first appender to acquire
+// the write slot becomes the batch leader, writes every pending record with
+// a single buffered write and forces the file to stable storage once for the
+// whole batch. Append returns only after the batch containing the record is
+// durable, so the per-record durability contract is unchanged while the
+// fsync cost is amortized over all concurrent writers.
 package wal
 
 import (
@@ -18,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // RecordType distinguishes the kinds of log records. The values are assigned
@@ -39,16 +48,46 @@ type Record struct {
 	Payload []byte
 }
 
+// commitReq is one appender's entry in the pending batch. done is closed by
+// the batch leader once the record is on disk (or the write failed).
+type commitReq struct {
+	buf  []byte
+	lsn  LSN
+	err  error
+	done chan struct{}
+}
+
 // Log is an append-only, checksummed redo log backed by a single file.
 // All methods are safe for concurrent use.
 type Log struct {
-	mu     sync.Mutex
-	f      *os.File
-	path   string
-	size   int64
-	closed bool
-	// syncOnAppend forces an fsync after every append (forced log writes).
+	// mu guards size, closed, err and the pending batch; it is never held
+	// across file I/O.
+	mu      sync.Mutex
+	pending []*commitReq
+	size    int64
+	closed  bool
+	err     error // sticky write failure: the log is unusable afterwards
+
+	// writeSem is a capacity-1 semaphore held by the batch leader while it
+	// writes and syncs. Replay/Truncate/Sync/Close acquire it to get
+	// exclusive use of the file descriptor.
+	writeSem chan struct{}
+
+	f    *os.File
+	path string
+	// written is the number of bytes actually on disk. Only accessed while
+	// holding the write slot (leaders, Replay, Truncate, Close).
+	written int64
+	// syncOnAppend forces an fsync per batch (forced log writes).
 	syncOnAppend bool
+	// noGroupCommit serializes appends with one write+fsync each (the
+	// pre-group-commit behaviour, kept as an ablation baseline).
+	noGroupCommit bool
+
+	// Batching statistics (atomic; Stats).
+	appends uint64
+	batches uint64
+	syncs   uint64
 }
 
 const (
@@ -62,9 +101,13 @@ var ErrClosed = errors.New("wal: log closed")
 
 // Options configures a Log.
 type Options struct {
-	// SyncOnAppend forces the file to stable storage after each append.
-	// Benchmarks may disable it; correctness tests enable it.
+	// SyncOnAppend forces the file to stable storage after each append
+	// batch. Benchmarks may disable it; correctness tests enable it.
 	SyncOnAppend bool
+	// NoGroupCommit disables append batching: every record is written and
+	// synced on its own under a single mutex. Exists so benchmarks and
+	// experiments (DESIGN.md §5, E12) can quantify what group commit buys.
+	NoGroupCommit bool
 }
 
 // Open opens (creating if necessary) the log file at path. An existing log is
@@ -78,7 +121,13 @@ func Open(path string, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	l := &Log{f: f, path: path, syncOnAppend: opts.SyncOnAppend}
+	l := &Log{
+		f:             f,
+		path:          path,
+		syncOnAppend:  opts.SyncOnAppend,
+		noGroupCommit: opts.NoGroupCommit,
+		writeSem:      make(chan struct{}, 1),
+	}
 	valid, err := l.scanValidPrefix()
 	if err != nil {
 		f.Close()
@@ -93,6 +142,7 @@ func Open(path string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
 	l.size = valid
+	l.written = valid
 	return l, nil
 }
 
@@ -123,49 +173,192 @@ func (l *Log) scanValidPrefix() (int64, error) {
 	}
 }
 
-// Append durably adds a record and returns its LSN.
-func (l *Log) Append(t RecordType, owner string, payload []byte) (LSN, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return 0, ErrClosed
-	}
+// frame encodes one record into its on-disk form.
+func frame(t RecordType, owner string, payload []byte) ([]byte, error) {
 	if len(owner) > 0xFFFF {
-		return 0, fmt.Errorf("wal: owner too long (%d bytes)", len(owner))
+		return nil, fmt.Errorf("wal: owner too long (%d bytes)", len(owner))
 	}
 	body := make([]byte, 0, len(owner)+len(payload))
 	body = append(body, owner...)
 	body = append(body, payload...)
 	total := uint32(recHeaderSize + len(body))
 	if total > maxRecordSize {
-		return 0, fmt.Errorf("wal: record too large (%d bytes)", total)
+		return nil, fmt.Errorf("wal: record too large (%d bytes)", total)
 	}
 	buf := make([]byte, recHeaderSize, total)
 	binary.LittleEndian.PutUint32(buf[0:4], total)
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(body))
 	binary.LittleEndian.PutUint16(buf[8:10], uint16(t))
 	binary.LittleEndian.PutUint16(buf[10:12], uint16(len(owner)))
-	buf = append(buf, body...)
+	return append(buf, body...), nil
+}
+
+// Append durably adds a record and returns its LSN. It returns once the
+// batch containing the record has been written (and, with SyncOnAppend,
+// forced to stable storage).
+func (l *Log) Append(t RecordType, owner string, payload []byte) (LSN, error) {
+	wait, err := l.AppendAsync(t, owner, payload)
+	if err != nil {
+		return 0, err
+	}
+	return wait()
+}
+
+// AppendAsync reserves the record's place in the log (its LSN is fixed, and
+// every later Append/AppendAsync is ordered after it) and returns a wait
+// function that blocks until the batch containing the record is durable.
+// Callers that hold a state lock while appending should reserve under the
+// lock and wait outside it, so that concurrent transactions' records gather
+// into one batch instead of serializing fsyncs behind the lock.
+func (l *Log) AppendAsync(t RecordType, owner string, payload []byte) (func() (LSN, error), error) {
+	buf, err := frame(t, owner, payload)
+	if err != nil {
+		return nil, err
+	}
+	atomic.AddUint64(&l.appends, 1)
+	if l.noGroupCommit {
+		lsn, err := l.appendSerial(buf)
+		if err != nil {
+			return nil, err
+		}
+		return func() (LSN, error) { return lsn, nil }, nil
+	}
+
+	req := &commitReq{buf: buf, done: make(chan struct{})}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return nil, err
+	}
+	req.lsn = LSN(l.size)
+	l.size += int64(len(buf))
+	l.pending = append(l.pending, req)
+	l.mu.Unlock()
+
+	return func() (LSN, error) {
+		// Wait for a leader to commit our batch, or become the leader. A
+		// leader drains every pending request, so after commitBatch our own
+		// request is done.
+		select {
+		case <-req.done:
+		case l.writeSem <- struct{}{}:
+			l.commitBatch()
+			<-l.writeSem
+			<-req.done
+		}
+		return req.lsn, req.err
+	}, nil
+}
+
+// appendSerial is the ablation path: one write and one fsync per record,
+// fully serialized on the write slot.
+func (l *Log) appendSerial(buf []byte) (LSN, error) {
+	l.writeSem <- struct{}{}
+	defer func() { <-l.writeSem }()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return 0, err
+	}
 	lsn := LSN(l.size)
+	l.size += int64(len(buf))
+	l.mu.Unlock()
+	atomic.AddUint64(&l.batches, 1)
 	if _, err := l.f.Write(buf); err != nil {
+		l.fail(err)
 		return 0, fmt.Errorf("wal: write: %w", err)
 	}
-	l.size += int64(total)
+	l.written += int64(len(buf))
 	if l.syncOnAppend {
+		atomic.AddUint64(&l.syncs, 1)
 		if err := l.f.Sync(); err != nil {
+			l.fail(err)
 			return 0, fmt.Errorf("wal: sync: %w", err)
 		}
 	}
 	return lsn, nil
 }
 
-// Sync forces buffered records to stable storage.
-func (l *Log) Sync() error {
+// fail records a sticky write error: the offset bookkeeping no longer
+// matches the file, so all subsequent appends must be refused.
+func (l *Log) fail(err error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
+}
+
+// commitBatch drains the pending queue and commits it with one write and at
+// most one fsync. The caller must hold the write slot.
+func (l *Log) commitBatch() {
+	l.mu.Lock()
+	batch := l.pending
+	l.pending = nil
+	werr := l.err
+	l.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	if werr == nil {
+		buf := batch[0].buf
+		if len(batch) > 1 {
+			total := 0
+			for _, r := range batch {
+				total += len(r.buf)
+			}
+			buf = make([]byte, 0, total)
+			for _, r := range batch {
+				buf = append(buf, r.buf...)
+			}
+		}
+		atomic.AddUint64(&l.batches, 1)
+		if _, err := l.f.Write(buf); err != nil {
+			werr = fmt.Errorf("wal: write: %w", err)
+			l.fail(werr)
+		} else {
+			l.written += int64(len(buf))
+			if l.syncOnAppend {
+				atomic.AddUint64(&l.syncs, 1)
+				if err := l.f.Sync(); err != nil {
+					werr = fmt.Errorf("wal: sync: %w", err)
+					l.fail(werr)
+				}
+			}
+		}
+	}
+	for _, r := range batch {
+		r.err = werr
+		close(r.done)
+	}
+}
+
+// Sync flushes any pending batch and forces buffered records to stable
+// storage.
+func (l *Log) Sync() error {
+	l.writeSem <- struct{}{}
+	defer func() { <-l.writeSem }()
+	l.commitBatch()
+	l.mu.Lock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
+	if err := l.err; err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
 	return l.f.Sync()
 }
 
@@ -176,33 +369,53 @@ func (l *Log) Size() int64 {
 	return l.size
 }
 
-// Close releases the underlying file.
+// Stats reports append/batch/sync counts since Open. With concurrent
+// appenders and group commit, batches (and syncs) stay well below appends;
+// the ratio appends/batches is the achieved group-commit factor.
+func (l *Log) Stats() (appends, batches, syncs uint64) {
+	return atomic.LoadUint64(&l.appends),
+		atomic.LoadUint64(&l.batches),
+		atomic.LoadUint64(&l.syncs)
+}
+
+// Close flushes pending appends and releases the underlying file.
 func (l *Log) Close() error {
+	l.writeSem <- struct{}{}
+	defer func() { <-l.writeSem }()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
+	l.mu.Unlock()
+	// closed stops new enqueues; drain what was already pending so every
+	// Append that reserved an LSN resolves before the descriptor closes.
+	l.commitBatch()
 	return l.f.Close()
 }
 
 // Replay reads every valid record from the beginning of the log, invoking fn
 // in log order. A torn or corrupt tail terminates replay silently. Replay
-// holds the log lock: it must not be interleaved with appends by fn.
+// holds the write slot: it must not be interleaved with appends by fn.
 func (l *Log) Replay(fn func(Record) error) error {
+	l.writeSem <- struct{}{}
+	defer func() { <-l.writeSem }()
+	l.commitBatch()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
+	l.mu.Unlock()
+	size := l.written
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("wal: seek: %w", err)
 	}
-	defer l.f.Seek(l.size, io.SeekStart) //nolint:errcheck // restore append position
+	defer l.f.Seek(size, io.SeekStart) //nolint:errcheck // restore append position
 	var off int64
 	hdr := make([]byte, recHeaderSize)
-	for off < l.size {
+	for off < size {
 		if _, err := io.ReadFull(l.f, hdr); err != nil {
 			return nil
 		}
@@ -238,6 +451,9 @@ func (l *Log) Replay(fn func(Record) error) error {
 // Truncate discards the whole log content (used after a checkpoint has made
 // the logged state redundant).
 func (l *Log) Truncate() error {
+	l.writeSem <- struct{}{}
+	defer func() { <-l.writeSem }()
+	l.commitBatch()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -249,6 +465,16 @@ func (l *Log) Truncate() error {
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("wal: seek: %w", err)
 	}
-	l.size = 0
+	// Appends enqueued since the flush above reserved offsets past the old
+	// tail; they have not been written (we hold the write slot), so re-base
+	// them onto the now-empty log.
+	var off int64
+	for _, r := range l.pending {
+		r.lsn = LSN(off)
+		off += int64(len(r.buf))
+	}
+	l.size = off
+	l.written = 0
+	l.err = nil
 	return l.f.Sync()
 }
