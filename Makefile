@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet fmt-check bench experiments check all
+.PHONY: build test test-race vet fmt-check bench experiments example-recovery check all
 
 all: check
 
@@ -26,9 +26,14 @@ fmt-check:
 bench:
 	$(GO) test -bench . -benchtime 1s -run XXX .
 
-# Regenerate every experiment table (E1-E12); EXPERIMENTS.md records the
+# Regenerate every experiment table (E1-E13); EXPERIMENTS.md records the
 # paper-vs-measured outcomes.
 experiments:
 	$(GO) run ./cmd/concordbench
+
+# Run the live restart choreography (CI runs this on every push so the
+# checkpointed recovery path stays exercised end-to-end).
+example-recovery:
+	$(GO) run ./examples/recovery
 
 check: fmt-check vet test

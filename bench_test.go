@@ -193,6 +193,28 @@ func BenchmarkE12MultiWorkstation(b *testing.B) {
 	}
 }
 
+// BenchmarkE13Restart times restart (repo.Open) after an 8k-operation churn
+// history, with and without the checkpoint subsystem, reporting the on-disk
+// log footprint alongside. The repo-level BenchmarkRestartAfterChurn in
+// internal/repo drills into the same pair at a larger history.
+func BenchmarkE13Restart(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		ckptEvery int
+	}{{"full-replay", 0}, {"checkpointed", 4096}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunRestart(8000, mode.ckptEvery)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Reopen.Microseconds()), "restart-us")
+				b.ReportMetric(float64(res.DiskBytes)/1024, "disk-KiB")
+			}
+		})
+	}
+}
+
 // --- Substrate micro-benchmarks. -------------------------------------------
 
 func BenchmarkDOPRoundTrip(b *testing.B) {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"concord/internal/catalog"
 	"concord/internal/coop"
@@ -50,7 +51,24 @@ type Options struct {
 	// is unchanged. Load scenarios use it to measure the shared server
 	// core rather than each client's private disk.
 	VolatileWorkstations bool
+	// CheckpointLogBytes is the background checkpointer's trigger: once the
+	// repository log has grown this many bytes past its low-water mark, a
+	// checkpoint (repository snapshot + participant-log compaction) runs.
+	// 0 uses DefaultCheckpointLogBytes. Explicit System.Checkpoint calls
+	// work regardless.
+	CheckpointLogBytes int64
+	// NoCheckpoint disables the background checkpointer (ablation: restart
+	// time and disk usage then grow with history length, the seed
+	// behaviour E13 quantifies). Explicit System.Checkpoint still works.
+	NoCheckpoint bool
+	// SegmentBytes is the WAL segment rotation threshold for the server
+	// logs (0 uses wal.DefaultSegmentBytes).
+	SegmentBytes int64
 }
+
+// DefaultCheckpointLogBytes is the background checkpoint trigger used when
+// Options.CheckpointLogBytes is zero.
+const DefaultCheckpointLogBytes int64 = 8 << 20
 
 // System is a complete single-process CONCORD deployment: one server site
 // and any number of workstation sites over an in-process LAN.
@@ -78,6 +96,20 @@ type serverSite struct {
 	cm          *coop.CM
 	participant *rpc.Participant
 	plog        *wal.Log
+	// ckptStop ends the background checkpointer; ckptDone is closed when
+	// it has exited. Nil when checkpointing is disabled or volatile.
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+}
+
+// stopCheckpointer shuts the background checkpointer down and waits for it.
+func (site *serverSite) stopCheckpointer() {
+	if site.ckptStop == nil {
+		return
+	}
+	close(site.ckptStop)
+	<-site.ckptDone
+	site.ckptStop = nil
 }
 
 // NewSystem boots a system: catalog registration, server recovery (if Dir
@@ -113,7 +145,10 @@ func (s *System) serverDir() string {
 // startServer builds (or recovers) the server site and serves its handler.
 func (s *System) startServer() error {
 	dir := s.serverDir()
-	r, err := repo.Open(s.cat, repo.Options{Dir: dir, Sync: dir != "", NoGroupCommit: s.opts.Serialized})
+	r, err := repo.Open(s.cat, repo.Options{
+		Dir: dir, Sync: dir != "", NoGroupCommit: s.opts.Serialized,
+		SegmentBytes: s.opts.SegmentBytes,
+	})
 	if err != nil {
 		return err
 	}
@@ -132,7 +167,10 @@ func (s *System) startServer() error {
 	}
 	var plog *wal.Log
 	if dir != "" {
-		plog, err = wal.Open(filepath.Join(dir, "participant.wal"), wal.Options{SyncOnAppend: true, NoGroupCommit: s.opts.Serialized})
+		plog, err = wal.Open(filepath.Join(dir, "participant.wal"), wal.Options{
+			SyncOnAppend: true, NoGroupCommit: s.opts.Serialized,
+			SegmentBytes: s.opts.SegmentBytes,
+		})
 		if err != nil {
 			r.Close()
 			return err
@@ -148,10 +186,71 @@ func (s *System) startServer() error {
 		r.Close()
 		return err
 	}
+	if dir != "" && !s.opts.NoCheckpoint {
+		site.ckptStop = make(chan struct{})
+		site.ckptDone = make(chan struct{})
+		go s.checkpointer(site)
+	}
 	s.mu.Lock()
 	s.server = site
 	s.mu.Unlock()
 	return nil
+}
+
+// checkpointer is the background compaction loop: whenever the repository
+// log has grown CheckpointLogBytes past its low-water mark, it snapshots the
+// repository and compacts both server logs, keeping restart time and disk
+// usage bounded by live state instead of history length.
+func (s *System) checkpointer(site *serverSite) {
+	defer close(site.ckptDone)
+	threshold := s.opts.CheckpointLogBytes
+	if threshold <= 0 {
+		threshold = DefaultCheckpointLogBytes
+	}
+	tick := time.NewTicker(checkpointPollInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-site.ckptStop:
+			return
+		case <-tick.C:
+		}
+		if site.repo.LogSize()-int64(site.repo.LowWater()) < threshold {
+			continue
+		}
+		if err := checkpointSite(site); err != nil {
+			// A failed checkpoint is not fatal to the running server: the
+			// log simply keeps growing until the next attempt (or an
+			// operator notices the fail-stop underneath, which every
+			// regular operation reports too).
+			continue //nolint:staticcheck // keep polling
+		}
+	}
+}
+
+// checkpointPollInterval is how often the background checkpointer samples
+// the log size. A variable so tests can tighten it.
+var checkpointPollInterval = 250 * time.Millisecond
+
+// checkpointSite runs one checkpoint over the server's durable state.
+func checkpointSite(site *serverSite) error {
+	if err := site.repo.Checkpoint(); err != nil {
+		return err
+	}
+	return site.participant.Checkpoint()
+}
+
+// Checkpoint snapshots the repository and compacts the server logs now,
+// regardless of the background threshold. It returns an error when the
+// server is down.
+func (s *System) Checkpoint() error {
+	s.mu.Lock()
+	site := s.server
+	s.mu.Unlock()
+	if site == nil {
+		return errors.New("core: server is down")
+	}
+	return checkpointSite(site)
 }
 
 // Catalog returns the shared DOT catalog.
@@ -197,6 +296,7 @@ func (s *System) Close() error {
 	}
 	var err error
 	if s.server != nil {
+		s.server.stopCheckpointer()
 		s.server.cm.Close()
 		err = s.server.repo.Close()
 		if s.server.plog != nil {
@@ -326,6 +426,7 @@ func (s *System) CrashServer() error {
 		return errors.New("core: server already down")
 	}
 	s.trans.Partition(ServerAddr)
+	site.stopCheckpointer()
 	site.cm.Close()
 	if site.plog != nil {
 		site.plog.Close()

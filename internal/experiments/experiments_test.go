@@ -11,8 +11,8 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 12 {
-		t.Fatalf("got %d reports, want 12", len(reports))
+	if len(reports) != 13 {
+		t.Fatalf("got %d reports, want 13", len(reports))
 	}
 	for _, rep := range reports {
 		if len(rep.Rows) == 0 {
@@ -116,6 +116,36 @@ func TestE12MultiWorkstationRuns(t *testing.T) {
 	}
 	if ser.WALAppends != ser.WALBatches {
 		t.Fatalf("serialized run batched: appends=%d batches=%d", ser.WALAppends, ser.WALBatches)
+	}
+}
+
+// TestE13RestartBounded asserts the acceptance criterion on the
+// deterministic axis (disk bytes; latency is too noisy for CI): with
+// checkpointing, quadrupling the history must not grow the on-disk
+// footprint, while without it the footprint scales with history.
+func TestE13RestartBounded(t *testing.T) {
+	smallOn, err := RunRestart(4000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	largeOn, err := RunRestart(16000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bounded by live state: allow slack for where the last checkpoint
+	// fell, but nothing near the 4x the history grew by.
+	if largeOn.DiskBytes > 2*smallOn.DiskBytes {
+		t.Fatalf("checkpointed footprint scales with history: %d -> %d bytes", smallOn.DiskBytes, largeOn.DiskBytes)
+	}
+	largeOff, err := RunRestart(16000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if largeOff.DiskBytes < 3*largeOn.DiskBytes {
+		t.Fatalf("full-replay footprint %d not clearly above checkpointed %d", largeOff.DiskBytes, largeOn.DiskBytes)
+	}
+	if largeOn.Reopen <= 0 || largeOff.Reopen <= 0 {
+		t.Fatalf("restart latencies not measured: on=%v off=%v", largeOn.Reopen, largeOff.Reopen)
 	}
 }
 

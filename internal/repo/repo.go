@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -58,44 +59,89 @@ type Options struct {
 	// NoGroupCommit disables WAL append batching (one write+fsync per
 	// record). Ablation baseline for experiments; see wal.Options.
 	NoGroupCommit bool
+	// SegmentBytes is the WAL segment rotation threshold (0 uses
+	// wal.DefaultSegmentBytes). Checkpointing deletes whole sealed
+	// segments, so smaller segments compact at a finer grain.
+	SegmentBytes int64
+	// CrashHook, when non-nil, is invoked at the named steps of the
+	// checkpoint protocol (the repo Crash* constants plus the wal.Crash*
+	// constants). A non-nil return aborts the operation at that point,
+	// simulating a crash there. Tests only; see CrashPoints.
+	CrashHook func(point string) error
 }
 
 // Repository is the design data repository. All methods are safe for
 // concurrent use.
 type Repository struct {
 	cat *catalog.Catalog
+	dir string
+	// hook is the crash-point fault-injection callback (tests only).
+	hook func(point string) error
 
 	mu     sync.RWMutex
 	graphs map[string]*version.Graph
 	dovs   map[version.ID]*version.DOV // global index
 	meta   map[string][]byte
-	seq    uint64
-	log    *wal.Log
+	// roots marks versions adopted as graph roots (foreign parents
+	// allowed); snapshots must preserve the distinction so rebuilt graphs
+	// wire exactly the edges replay would.
+	roots map[version.ID]bool
+	seq   uint64
+	log   *wal.Log
 	// fatal is set when a reserved log record failed to become durable
 	// (see appendAsync): the in-memory state is then ahead of the log and
 	// every subsequent operation is refused with ErrFatal.
 	fatal error
+
+	// ckptMu serializes checkpoints and guards snapLSN, the log position
+	// covered by the last installed snapshot.
+	ckptMu  sync.Mutex
+	snapLSN wal.LSN
 }
 
 // Open creates or recovers a repository. When opts.Dir names a directory
-// containing a previous repository log, the full state is rebuilt by replay.
+// containing prior repository state, recovery loads the last snapshot (if
+// any) and replays only the redo-log suffix behind it, so restart work is
+// bounded by live state plus the records since the last checkpoint.
 func Open(cat *catalog.Catalog, opts Options) (*Repository, error) {
 	if cat == nil {
 		return nil, errors.New("repo: nil catalog")
 	}
 	r := &Repository{
 		cat:    cat,
+		dir:    opts.Dir,
+		hook:   opts.CrashHook,
 		graphs: make(map[string]*version.Graph),
 		dovs:   make(map[version.ID]*version.DOV),
 		meta:   make(map[string][]byte),
+		roots:  make(map[version.ID]bool),
 	}
 	if opts.Dir != "" {
-		l, err := wal.Open(filepath.Join(opts.Dir, "repo.wal"), wal.Options{SyncOnAppend: opts.Sync, NoGroupCommit: opts.NoGroupCommit})
+		snapLSN, err := r.loadSnapshot()
+		if err != nil {
+			return nil, err
+		}
+		r.snapLSN = snapLSN
+		l, err := wal.Open(filepath.Join(opts.Dir, "repo.wal"), wal.Options{
+			SyncOnAppend:  opts.Sync,
+			NoGroupCommit: opts.NoGroupCommit,
+			SegmentBytes:  opts.SegmentBytes,
+			CrashHook:     opts.CrashHook,
+		})
 		if err != nil {
 			return nil, err
 		}
 		r.log = l
-		if err := r.recover(); err != nil {
+		// Complete a checkpoint whose snapshot installed but whose log mark
+		// was lost to a crash: the snapshot's position is authoritative and
+		// wal.Checkpoint is idempotent and monotonic.
+		if snapLSN > l.LowWater() {
+			if err := l.Checkpoint(snapLSN); err != nil {
+				l.Close()
+				return nil, err
+			}
+		}
+		if err := r.recover(snapLSN); err != nil {
 			l.Close()
 			return nil, err
 		}
@@ -160,8 +206,50 @@ func decodeDOVRecord(data []byte) (dovRecord, error) {
 	return d, r.Err()
 }
 
-func (r *Repository) recover() error {
+// applyDOVRecord decodes one durable DOV record (from the log or a
+// snapshot) and inserts the version exactly as the original checkin did.
+func (r *Repository) applyDOVRecord(data []byte) error {
+	dr, err := decodeDOVRecord(data)
+	if err != nil {
+		return fmt.Errorf("repo: recover DOV: %w", err)
+	}
+	obj, err := catalog.DecodeObject(dr.Object)
+	if err != nil {
+		return err
+	}
+	v := &version.DOV{
+		ID: dr.ID, DOT: dr.DOT, DA: dr.DA, Parents: dr.Parents,
+		Object: obj, Status: dr.Status, Fulfilled: dr.Fulfilled, Seq: dr.Seq,
+	}
+	g, ok := r.graphs[dr.DA]
+	if !ok {
+		g = version.NewGraph(dr.DA)
+		r.graphs[dr.DA] = g
+	}
+	if dr.Root {
+		if err := g.AdoptRoot(v); err != nil {
+			return err
+		}
+		r.roots[v.ID] = true
+	} else if err := g.InsertDerived(v); err != nil {
+		return err
+	}
+	r.dovs[v.ID] = v
+	if dr.Seq > r.seq {
+		r.seq = dr.Seq
+	}
+	return nil
+}
+
+// recover replays the redo-log suffix behind the loaded snapshot. Records
+// below snapLSN are already reflected in the snapshot state (the WAL's own
+// low-water mark normally equals snapLSN, but a crash between snapshot
+// install and log mark can leave older records in the log).
+func (r *Repository) recover(snapLSN wal.LSN) error {
 	return r.log.Replay(func(rec wal.Record) error {
+		if rec.LSN < snapLSN {
+			return nil
+		}
 		switch rec.Type {
 		case recGraphNew:
 			da := string(rec.Payload)
@@ -169,33 +257,8 @@ func (r *Repository) recover() error {
 				r.graphs[da] = version.NewGraph(da)
 			}
 		case recDOVInsert:
-			dr, err := decodeDOVRecord(rec.Payload)
-			if err != nil {
-				return fmt.Errorf("repo: recover DOV: %w", err)
-			}
-			obj, err := catalog.DecodeObject(dr.Object)
-			if err != nil {
+			if err := r.applyDOVRecord(rec.Payload); err != nil {
 				return err
-			}
-			v := &version.DOV{
-				ID: dr.ID, DOT: dr.DOT, DA: dr.DA, Parents: dr.Parents,
-				Object: obj, Status: dr.Status, Fulfilled: dr.Fulfilled, Seq: dr.Seq,
-			}
-			g, ok := r.graphs[dr.DA]
-			if !ok {
-				g = version.NewGraph(dr.DA)
-				r.graphs[dr.DA] = g
-			}
-			if dr.Root {
-				if err := g.AdoptRoot(v); err != nil {
-					return err
-				}
-			} else if err := g.InsertDerived(v); err != nil {
-				return err
-			}
-			r.dovs[v.ID] = v
-			if dr.Seq > r.seq {
-				r.seq = dr.Seq
 			}
 		case recDOVStatus:
 			parts := strings.SplitN(string(rec.Payload), "\x00", 2)
@@ -388,6 +451,7 @@ func (r *Repository) CheckinCleanup(v *version.DOV, root bool, cleanupKey string
 			r.mu.Unlock()
 			return err
 		}
+		r.roots[v.ID] = true
 	} else if err := g.InsertDerived(v); err != nil {
 		r.mu.Unlock()
 		return err
@@ -485,6 +549,45 @@ func (r *Repository) LogStats() (appends, batches, syncs uint64) {
 		return 0, 0, 0
 	}
 	return r.log.Stats()
+}
+
+// LogSize reports the logical log size (lifetime high-water LSN; zero for
+// volatile repositories). LogSize()-LowWater() is the replay work a restart
+// right now would pay — the quantity the background checkpointer bounds.
+func (r *Repository) LogSize() int64 {
+	if r.log == nil {
+		return 0
+	}
+	return r.log.Size()
+}
+
+// LowWater reports the checkpointed log position (replay starts here).
+func (r *Repository) LowWater() wal.LSN {
+	if r.log == nil {
+		return 0
+	}
+	return r.log.LowWater()
+}
+
+// DiskLogBytes reports the on-disk footprint of the live log segments plus
+// the installed snapshot — what checkpointing keeps bounded by live state.
+func (r *Repository) DiskLogBytes() int64 {
+	if r.log == nil {
+		return 0
+	}
+	total := r.log.DiskBytes()
+	if fi, err := os.Stat(filepath.Join(r.dir, snapName)); err == nil {
+		total += fi.Size()
+	}
+	return total
+}
+
+// Checkpoints reports how many checkpoints completed since Open.
+func (r *Repository) Checkpoints() uint64 {
+	if r.log == nil {
+		return 0
+	}
+	return r.log.Checkpoints()
 }
 
 // DOVCount returns the number of stored versions.

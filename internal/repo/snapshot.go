@@ -1,0 +1,266 @@
+package repo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"concord/internal/binenc"
+	"concord/internal/catalog"
+	"concord/internal/version"
+	"concord/internal/wal"
+)
+
+// Checkpointing (DESIGN.md §3.5): the repository bounds restart time and log
+// disk usage by periodically capturing its whole state — derivation graphs,
+// DOVs, metadata store (including staged 2PC records) — in a snapshot file,
+// then telling the segmented WAL to drop the covered prefix. The protocol:
+//
+//  1. Under the repository read lock, encode the state and note the log
+//     position L it corresponds to. The reserve-then-apply discipline of
+//     appendAsync makes the in-memory state under r.mu exactly the effect of
+//     all records below L, so the pair (snapshot, L) is always consistent —
+//     appends may keep committing past L while the snapshot is written out.
+//  2. Install the snapshot atomically: write snapshot.tmp, fsync, rename
+//     over snapshot, fsync the directory.
+//  3. wal.Checkpoint(L): durably mark L as the log's low-water mark, then
+//     delete the segments lying entirely below it.
+//
+// Recovery inverts this: load the snapshot (if any), complete a possibly
+// interrupted step 3 (the snapshot's L is authoritative; wal.Checkpoint is
+// idempotent and monotonic), then replay the log suffix from L. A crash at
+// any step loses nothing: before the rename the old snapshot and full log
+// prefix are intact; after it the new snapshot covers everything below L.
+const (
+	snapName    = "snapshot"
+	snapTmpName = "snapshot.tmp"
+	snapMagic   = "CCSNAP01"
+)
+
+// Crash points passed to Options.CrashHook during Checkpoint, in protocol
+// order (the wal.Crash* points follow them inside wal.Checkpoint).
+const (
+	// CrashSnapshotPartial fires halfway through writing snapshot.tmp.
+	CrashSnapshotPartial = "repo:snapshot-partial"
+	// CrashSnapshotWritten fires after snapshot.tmp is written and synced,
+	// before the rename.
+	CrashSnapshotWritten = "repo:snapshot-written"
+	// CrashSnapshotInstalled fires after the snapshot rename, before the
+	// WAL low-water mark is moved.
+	CrashSnapshotInstalled = "repo:snapshot-installed"
+)
+
+// CrashPoints lists every step of the checkpoint protocol a crash hook can
+// target, repository steps first, in the order they execute. The
+// fault-injection harness iterates it so no step goes unexercised.
+var CrashPoints = []string{
+	CrashSnapshotPartial,
+	CrashSnapshotWritten,
+	CrashSnapshotInstalled,
+	wal.CrashBeforeMark,
+	wal.CrashMarkTmp,
+	wal.CrashMarkInstalled,
+	wal.CrashSegmentDeleted,
+}
+
+// Checkpoint captures the full repository state in a snapshot and compacts
+// the redo log behind it. Concurrent mutators are blocked only while the
+// state is encoded in memory, never during file I/O. Safe to call
+// concurrently; checkpoints are serialized and monotonic.
+func (r *Repository) Checkpoint() error {
+	if r.log == nil {
+		return nil // volatile repository: nothing to compact
+	}
+	r.ckptMu.Lock()
+	defer r.ckptMu.Unlock()
+
+	r.mu.RLock()
+	if err := r.alive(); err != nil {
+		r.mu.RUnlock()
+		return err
+	}
+	snapLSN := wal.LSN(r.log.Size())
+	if snapLSN <= r.snapLSN {
+		r.mu.RUnlock()
+		return nil // no growth since the last snapshot
+	}
+	payload, err := r.encodeSnapshotLocked(snapLSN)
+	r.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+
+	if err := r.installSnapshot(payload); err != nil {
+		return err
+	}
+	if err := r.hookAt(CrashSnapshotInstalled); err != nil {
+		return err
+	}
+	if err := r.log.Checkpoint(snapLSN); err != nil {
+		return err
+	}
+	r.snapLSN = snapLSN
+	return nil
+}
+
+// SnapshotLSN reports the log position covered by the last installed
+// snapshot (0 when none was ever taken).
+func (r *Repository) SnapshotLSN() wal.LSN {
+	r.ckptMu.Lock()
+	defer r.ckptMu.Unlock()
+	return r.snapLSN
+}
+
+// hookAt fires the crash-point hook; a non-nil return aborts the checkpoint
+// exactly at that step.
+func (r *Repository) hookAt(point string) error {
+	if r.hook == nil {
+		return nil
+	}
+	if err := r.hook(point); err != nil {
+		return fmt.Errorf("repo: checkpoint aborted at %s: %w", point, err)
+	}
+	return nil
+}
+
+// encodeSnapshotLocked serializes graphs, DOVs (in Seq order — the original
+// log order, so rebuilding preserves every derivation edge), metadata and
+// the sequence counter. Caller holds r.mu.
+func (r *Repository) encodeSnapshotLocked(snapLSN wal.LSN) ([]byte, error) {
+	w := binenc.NewWriter(1 << 16)
+	w.Str(snapMagic)
+	w.U64(uint64(snapLSN))
+	w.U64(r.seq)
+
+	graphs := make([]string, 0, len(r.graphs))
+	for da := range r.graphs {
+		graphs = append(graphs, da)
+	}
+	sort.Strings(graphs)
+	w.Strs(graphs)
+
+	dovs := make([]*version.DOV, 0, len(r.dovs))
+	for _, v := range r.dovs {
+		dovs = append(dovs, v)
+	}
+	sort.Slice(dovs, func(i, j int) bool { return dovs[i].Seq < dovs[j].Seq })
+	w.U64(uint64(len(dovs)))
+	for _, v := range dovs {
+		obj, err := catalog.EncodeObject(v.Object)
+		if err != nil {
+			return nil, fmt.Errorf("repo: snapshot encode DOV %s: %w", v.ID, err)
+		}
+		w.Blob(dovRecord{
+			ID: v.ID, DOT: v.DOT, DA: v.DA, Parents: v.Parents,
+			Object: obj, Status: v.Status, Fulfilled: v.Fulfilled, Seq: v.Seq,
+			Root: r.roots[v.ID],
+		}.encode())
+	}
+
+	keys := make([]string, 0, len(r.meta))
+	for k := range r.meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.U64(uint64(len(keys)))
+	for _, k := range keys {
+		w.Str(k)
+		w.Blob(r.meta[k])
+	}
+
+	payload := w.Bytes()
+	crc := make([]byte, 4)
+	binary.LittleEndian.PutUint32(crc, crc32.ChecksumIEEE(payload))
+	return append(payload, crc...), nil
+}
+
+// installSnapshot writes the encoded snapshot to its tmp file and renames it
+// into place, fsyncing file and directory (atomic install).
+func (r *Repository) installSnapshot(payload []byte) error {
+	tmp := filepath.Join(r.dir, snapTmpName)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("repo: snapshot tmp: %w", err)
+	}
+	half := len(payload) / 2
+	if _, err := f.Write(payload[:half]); err != nil {
+		f.Close()
+		return fmt.Errorf("repo: snapshot write: %w", err)
+	}
+	if err := r.hookAt(CrashSnapshotPartial); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(payload[half:]); err != nil {
+		f.Close()
+		return fmt.Errorf("repo: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("repo: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("repo: snapshot close: %w", err)
+	}
+	if err := r.hookAt(CrashSnapshotWritten); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(r.dir, snapName)); err != nil {
+		return fmt.Errorf("repo: snapshot rename: %w", err)
+	}
+	if err := wal.SyncDir(r.dir); err != nil {
+		return fmt.Errorf("repo: snapshot dir sync: %w", err)
+	}
+	return nil
+}
+
+// loadSnapshot restores repository state from the installed snapshot, if
+// one exists, and returns the log position it covers. A missing snapshot
+// returns (0, nil): recovery falls back to full replay. The snapshot is
+// only ever installed by a completed atomic rename, so a corrupt one is an
+// error, not a tear to tolerate.
+func (r *Repository) loadSnapshot() (wal.LSN, error) {
+	os.Remove(filepath.Join(r.dir, snapTmpName)) //nolint:errcheck // stray tmp from a crashed checkpoint
+	data, err := os.ReadFile(filepath.Join(r.dir, snapName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("repo: read snapshot: %w", err)
+	}
+	if len(data) < 4 {
+		return 0, errors.New("repo: snapshot too short")
+	}
+	payload, crc := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crc) {
+		return 0, errors.New("repo: snapshot checksum mismatch")
+	}
+	rd := binenc.NewReader(payload)
+	if rd.Str() != snapMagic {
+		return 0, errors.New("repo: bad snapshot magic")
+	}
+	snapLSN := wal.LSN(rd.U64())
+	r.seq = rd.U64()
+	for _, da := range rd.Strs() {
+		r.graphs[da] = version.NewGraph(da)
+	}
+	nDOVs := rd.U64()
+	for i := uint64(0); i < nDOVs && rd.Err() == nil; i++ {
+		if err := r.applyDOVRecord(rd.Blob()); err != nil {
+			return 0, fmt.Errorf("repo: snapshot DOV: %w", err)
+		}
+	}
+	nMeta := rd.U64()
+	for i := uint64(0); i < nMeta && rd.Err() == nil; i++ {
+		k := rd.Str()
+		r.meta[k] = rd.Blob()
+	}
+	if err := rd.Err(); err != nil {
+		return 0, fmt.Errorf("repo: decode snapshot: %w", err)
+	}
+	return snapLSN, nil
+}

@@ -3,9 +3,11 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
+	"concord/internal/binenc"
 	"concord/internal/wal"
 )
 
@@ -198,6 +200,11 @@ type Participant struct {
 	res Resource
 	log *wal.Log
 
+	// ckMu orders vote/done log records against checkpoint snapshots: state
+	// changes hold it for read across (log append + map update), Checkpoint
+	// holds it for write, so a snapshot can never miss a vote whose record
+	// lies below the new low-water mark. Lock order: ckMu before mu.
+	ckMu     sync.RWMutex
 	mu       sync.Mutex
 	prepared map[string]bool
 	done     map[string]bool
@@ -207,6 +214,10 @@ type Participant struct {
 const (
 	recVotePrepared wal.RecordType = 0x31
 	recTxDone       wal.RecordType = 0x32
+	// recPartSnap carries the full prepared/done state at its LSN; replay
+	// rebuilds from the latest one plus the records after it. Checkpoint
+	// writes it immediately before moving the log's low-water mark.
+	recPartSnap wal.RecordType = 0x33
 )
 
 // NewParticipant wraps res. log (optional) makes prepare votes durable so
@@ -216,6 +227,12 @@ func NewParticipant(res Resource, log *wal.Log) (*Participant, error) {
 	if log != nil {
 		err := log.Replay(func(r wal.Record) error {
 			switch r.Type {
+			case recPartSnap:
+				prepared, done, err := decodePartSnap(r.Payload)
+				if err != nil {
+					return err
+				}
+				p.prepared, p.done = prepared, done
 			case recVotePrepared:
 				p.prepared[string(r.Payload)] = true
 			case recTxDone:
@@ -229,6 +246,62 @@ func NewParticipant(res Resource, log *wal.Log) (*Participant, error) {
 		}
 	}
 	return p, nil
+}
+
+// encodePartSnap serializes the prepared and done transaction-ID sets.
+func encodePartSnap(prepared, done map[string]bool) []byte {
+	w := binenc.NewWriter(64 + 16*(len(prepared)+len(done)))
+	w.Strs(sortedKeys(prepared))
+	w.Strs(sortedKeys(done))
+	return w.Bytes()
+}
+
+func decodePartSnap(data []byte) (prepared, done map[string]bool, err error) {
+	r := binenc.NewReader(data)
+	prepared, done = make(map[string]bool), make(map[string]bool)
+	for _, tx := range r.Strs() {
+		prepared[tx] = true
+	}
+	for _, tx := range r.Strs() {
+		done[tx] = true
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, fmt.Errorf("rpc: participant snapshot: %w", err)
+	}
+	return prepared, done, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Checkpoint compacts the participant log: it writes one snapshot record
+// holding the current prepared/done sets and moves the log's low-water mark
+// to just below it, so recovery replays the snapshot plus the records after
+// it instead of the whole vote history. In-doubt transactions (prepared,
+// unresolved) are preserved verbatim.
+func (p *Participant) Checkpoint() error {
+	if p.log == nil {
+		return nil
+	}
+	p.ckMu.Lock()
+	defer p.ckMu.Unlock()
+	p.mu.Lock()
+	payload := encodePartSnap(p.prepared, p.done)
+	p.mu.Unlock()
+	// No state change can append between here and the snapshot record (we
+	// hold ckMu), so the record's LSN is exactly the current tail and the
+	// mark below it covers every earlier vote.
+	mark := wal.LSN(p.log.Size())
+	if _, err := p.log.Append(recPartSnap, "participant", payload); err != nil {
+		return fmt.Errorf("rpc: participant checkpoint: %w", err)
+	}
+	return p.log.Checkpoint(mark)
 }
 
 // InDoubt lists transactions prepared but not yet resolved, sorted order not
@@ -276,6 +349,8 @@ func (p *Participant) prepare(txid string) ([]byte, error) {
 	if err != nil || vote != VoteCommit {
 		return []byte("abort"), nil
 	}
+	p.ckMu.RLock()
+	defer p.ckMu.RUnlock()
 	if p.log != nil {
 		if _, err := p.log.Append(recVotePrepared, txid, []byte(txid)); err != nil {
 			// Vote not durable: refuse to promise.
@@ -306,6 +381,8 @@ func (p *Participant) abort(txid string) ([]byte, error) {
 }
 
 func (p *Participant) finish(txid string) {
+	p.ckMu.RLock()
+	defer p.ckMu.RUnlock()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.log != nil && p.prepared[txid] {

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"errors"
+	"fmt"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -363,4 +364,68 @@ type erroringResource struct{ *memResource }
 
 func (e *erroringResource) Prepare(string) (Vote, error) {
 	return VoteAbort, errors.New("resource broken")
+}
+
+// TestParticipantCheckpointPreservesInDoubt runs a batch of resolved
+// transactions plus one in-doubt, compacts the participant log, crashes, and
+// verifies the recovered participant still knows the in-doubt vote (and the
+// resolved set — a finished transaction must not re-prepare) while the log
+// on disk shrank to the snapshot record.
+func TestParticipantCheckpointPreservesInDoubt(t *testing.T) {
+	dir := t.TempDir()
+	plog, err := wal.Open(filepath.Join(dir, "p.wal"), wal.Options{SyncOnAppend: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := newMemResource()
+	p, err := NewParticipant(res, plog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		txid := fmt.Sprintf("tx-%02d", i)
+		if resp, err := p.Handler()(MethodPrepare, []byte(txid)); err != nil || string(resp) != "commit" {
+			t.Fatalf("prepare %s: %q, %v", txid, resp, err)
+		}
+		if _, err := p.Handler()(MethodCommit, []byte(txid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if resp, err := p.Handler()(MethodPrepare, []byte("tx-open")); err != nil || string(resp) != "commit" {
+		t.Fatalf("prepare tx-open: %q, %v", resp, err)
+	}
+	before := plog.DiskBytes()
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if after := plog.DiskBytes(); after >= before {
+		t.Fatalf("participant log %d -> %d bytes: checkpoint compacted nothing", before, after)
+	}
+
+	// Crash: abandon the log without Close and recover from disk.
+	plog2, err := wal.Open(filepath.Join(dir, "p.wal"), wal.Options{SyncOnAppend: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plog2.Close()
+	res2 := newMemResource()
+	p2, err := NewParticipant(res2, plog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doubt := p2.InDoubt(); len(doubt) != 1 || doubt[0] != "tx-open" {
+		t.Fatalf("InDoubt after checkpoint+crash = %v, want [tx-open]", doubt)
+	}
+	// A resolved transaction stays resolved across the compaction.
+	if _, err := p2.Handler()(MethodPrepare, []byte("tx-00")); err == nil {
+		t.Fatal("finished transaction re-prepared after checkpoint")
+	}
+	// The coordinator logged a commit for the open transaction: resolution
+	// must commit it.
+	if err := p2.Resolve(func(string) Outcome { return OutcomeCommitted }); err != nil {
+		t.Fatal(err)
+	}
+	if res2.state("tx-open") != "committed" {
+		t.Fatalf("in-doubt resolution after checkpoint = %s, want committed", res2.state("tx-open"))
+	}
 }

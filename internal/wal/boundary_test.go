@@ -160,9 +160,10 @@ func TestReplayAfterMidBatchCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Find the record boundaries, then tear the file inside the body of the
-	// third-from-last record (as if the crash hit mid-batch).
-	data, err := os.ReadFile(path)
+	// Find the record boundaries, then tear the segment inside the body of
+	// the third-from-last record (as if the crash hit mid-batch).
+	seg := filepath.Join(path, segName(0))
+	data, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestReplayAfterMidBatchCrash(t *testing.T) {
 	}
 	tearRecord := n - 3
 	tearAt := bounds[tearRecord] + recHeaderSize + 2 // inside the body
-	if err := os.Truncate(path, tearAt); err != nil {
+	if err := os.Truncate(seg, tearAt); err != nil {
 		t.Fatal(err)
 	}
 
@@ -241,11 +242,12 @@ func TestNoGroupCommitAblation(t *testing.T) {
 	}
 }
 
-// TestAppendDuringTruncate exercises the re-basing of appends that race with
-// a Truncate: records enqueued around the truncation must land with LSNs
-// consistent with the file content.
-func TestAppendDuringTruncate(t *testing.T) {
-	l, err := Open(filepath.Join(t.TempDir(), "trunc.wal"), Options{SyncOnAppend: true})
+// TestAppendDuringCheckpoint races concurrent appenders against a checkpoint
+// of the current tail: records around the checkpoint must land with strictly
+// increasing LSNs, nothing appended after the checkpoint may be skipped, and
+// everything below the low-water mark must be.
+func TestAppendDuringCheckpoint(t *testing.T) {
+	l, err := Open(filepath.Join(t.TempDir(), "ckpt.wal"), Options{SyncOnAppend: true, SegmentBytes: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,6 +257,7 @@ func TestAppendDuringTruncate(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	mark := LSN(l.Size())
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
@@ -267,7 +270,7 @@ func TestAppendDuringTruncate(t *testing.T) {
 			}
 		}()
 	}
-	if err := l.Truncate(); err != nil {
+	if err := l.Checkpoint(mark); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -275,6 +278,9 @@ func TestAppendDuringTruncate(t *testing.T) {
 	ok := true
 	n := 0
 	err = l.Replay(func(r Record) error {
+		if r.LSN < mark {
+			t.Errorf("replayed checkpointed record at LSN %d < %d", r.LSN, mark)
+		}
 		if n > 0 && r.LSN <= prev {
 			ok = false
 		}
@@ -286,10 +292,10 @@ func TestAppendDuringTruncate(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !ok {
-		t.Fatal("replay out of LSN order after truncate race")
+		t.Fatal("replay out of LSN order after checkpoint race")
 	}
-	if n > 80 {
-		t.Fatalf("replayed %d records, more than were appended after truncate", n)
+	if n != 80 {
+		t.Fatalf("replayed %d records, want the 80 racers above the mark", n)
 	}
 }
 

@@ -2,11 +2,22 @@
 // repository, the transaction managers, the design manager and the
 // cooperation manager for durability and crash recovery.
 //
-// The log is a sequence of length-prefixed, CRC32-checked records. Each
-// record carries a record type (assigned by the client layer), an owner tag
-// (e.g. a DOP or DA identifier) and an opaque payload. Replay tolerates a
-// torn tail: a record whose length prefix or checksum is invalid terminates
-// replay without error, mirroring the behaviour of a crashed writer.
+// The log is a sequence of length-prefixed, CRC32-checked records stored in
+// rotating segment files under one directory. Each record carries a record
+// type (assigned by the client layer), an owner tag (e.g. a DOP or DA
+// identifier) and an opaque payload. Segment files are named by the LSN of
+// their first byte and are dense: segment N+1 starts exactly where segment N
+// ends, so an LSN is a global byte offset into the whole log. Replay
+// tolerates a torn tail: a record whose length prefix or checksum is invalid
+// terminates replay without error, mirroring the behaviour of a crashed
+// writer.
+//
+// Checkpointing: once a caller has captured the state up to some LSN L in a
+// snapshot of its own, Checkpoint(L) durably records L as the log's
+// low-water mark (atomic tmp-write/fsync/rename of a marker file) and
+// deletes every sealed segment lying entirely below L. Replay then starts at
+// the low-water mark, so both recovery work and disk usage are bounded by
+// the live suffix instead of the full history.
 //
 // Appends use group commit: concurrent appenders reserve their LSNs under a
 // short mutex and enqueue the framed record; the first appender to acquire
@@ -25,6 +36,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -33,7 +47,8 @@ import (
 // by the layers above (repository, TMs, DM, CM); the WAL treats them opaquely.
 type RecordType uint16
 
-// LSN is a log sequence number: the byte offset of a record in the log.
+// LSN is a log sequence number: the global byte offset of a record in the log
+// (segment start + offset within the segment; segments are dense).
 type LSN uint64
 
 // Record is a single durable log entry.
@@ -57,43 +72,82 @@ type commitReq struct {
 	done chan struct{}
 }
 
-// Log is an append-only, checksummed redo log backed by a single file.
-// All methods are safe for concurrent use.
+// Log is an append-only, checksummed redo log backed by a directory of
+// rotating segment files. All methods are safe for concurrent use.
 type Log struct {
-	// mu guards size, closed, err and the pending batch; it is never held
-	// across file I/O.
+	// mu guards size, closed, err, the pending batch, starts and lowWater;
+	// it is never held across file I/O.
 	mu      sync.Mutex
 	pending []*commitReq
 	size    int64
 	closed  bool
 	err     error // sticky write failure: the log is unusable afterwards
+	// starts holds the start LSN of every live segment, ascending; the last
+	// entry is the active segment. Mutated only while holding the write
+	// slot (plus mu for the brief pointer swap).
+	starts []int64
+	// lowWater is the checkpointed LSN: records below it are covered by the
+	// caller's snapshot and skipped on replay.
+	lowWater int64
 
 	// writeSem is a capacity-1 semaphore held by the batch leader while it
-	// writes and syncs. Replay/Truncate/Sync/Close acquire it to get
+	// writes and syncs. Replay/Checkpoint/Sync/Close acquire it to get
 	// exclusive use of the file descriptor.
 	writeSem chan struct{}
 
-	f    *os.File
-	path string
-	// written is the number of bytes actually on disk. Only accessed while
-	// holding the write slot (leaders, Replay, Truncate, Close).
+	dir string
+	// f is the active segment's file. Only accessed while holding the write
+	// slot.
+	f *os.File
+	// written is the number of bytes actually on disk (a global LSN). Only
+	// accessed while holding the write slot.
 	written int64
+	// segBytes is the rotation threshold: once the active segment holds at
+	// least this many bytes the leader seals it and opens a new one.
+	segBytes int64
 	// syncOnAppend forces an fsync per batch (forced log writes).
 	syncOnAppend bool
 	// noGroupCommit serializes appends with one write+fsync each (the
 	// pre-group-commit behaviour, kept as an ablation baseline).
 	noGroupCommit bool
+	// hook is the crash-point fault-injection callback (tests only).
+	hook func(point string) error
 
 	// Batching statistics (atomic; Stats).
-	appends uint64
-	batches uint64
-	syncs   uint64
+	appends     uint64
+	batches     uint64
+	syncs       uint64
+	checkpoints uint64
 }
 
 const (
 	// header: u32 totalLen | u32 crc | u16 type | u16 ownerLen
 	recHeaderSize = 4 + 4 + 2 + 2
 	maxRecordSize = 64 << 20 // 64 MiB sanity cap
+
+	// DefaultSegmentBytes is the rotation threshold used when
+	// Options.SegmentBytes is zero.
+	DefaultSegmentBytes = 4 << 20
+
+	segSuffix   = ".seg"
+	markName    = "checkpoint"
+	markTmpName = "checkpoint.tmp"
+)
+
+// Crash points passed to Options.CrashHook during Checkpoint, in protocol
+// order. A hook returning an error freezes the on-disk state exactly as a
+// crash at that step would.
+const (
+	// CrashBeforeMark fires before the new marker is written.
+	CrashBeforeMark = "wal:before-mark"
+	// CrashMarkTmp fires after the marker tmp file is written and synced,
+	// before it is renamed into place.
+	CrashMarkTmp = "wal:mark-tmp"
+	// CrashMarkInstalled fires after the marker rename, before any segment
+	// is deleted.
+	CrashMarkInstalled = "wal:mark-installed"
+	// CrashSegmentDeleted fires after each obsolete segment is unlinked.
+	CrashSegmentDeleted = "wal:segment-deleted"
 )
 
 // ErrClosed is returned by operations on a closed log.
@@ -108,69 +162,290 @@ type Options struct {
 	// synced on its own under a single mutex. Exists so benchmarks and
 	// experiments (DESIGN.md §5, E12) can quantify what group commit buys.
 	NoGroupCommit bool
+	// SegmentBytes is the segment rotation threshold (default
+	// DefaultSegmentBytes). A segment may overshoot by one append batch.
+	SegmentBytes int64
+	// CrashHook, when non-nil, is invoked at the named steps of the
+	// checkpoint protocol (the Crash* constants). A non-nil return aborts
+	// the operation at that point without any further disk mutation,
+	// simulating a crash there; tests then reopen the directory and assert
+	// recovery. Never set in production.
+	CrashHook func(point string) error
 }
 
-// Open opens (creating if necessary) the log file at path. An existing log is
-// scanned so that new appends continue after the last valid record; a torn
-// tail is truncated.
+func segName(start int64) string { return fmt.Sprintf("%020d%s", start, segSuffix) }
+
+func (l *Log) segPath(start int64) string { return filepath.Join(l.dir, segName(start)) }
+
+// SyncDir forces directory metadata (renames, new and deleted files) to
+// stable storage — the second half of every atomic tmp-write/rename install
+// in the checkpoint protocol (the repository snapshot installer shares it).
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Open opens (creating if necessary) the log directory at path. Existing
+// segments are scanned so that new appends continue after the last valid
+// record; a torn tail is truncated. A log written by the old single-file
+// format is migrated to a directory with one segment.
 func Open(path string, opts Options) (*Log, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return nil, fmt.Errorf("wal: mkdir: %w", err)
-	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("wal: open: %w", err)
-	}
-	l := &Log{
-		f:             f,
-		path:          path,
-		syncOnAppend:  opts.SyncOnAppend,
-		noGroupCommit: opts.NoGroupCommit,
-		writeSem:      make(chan struct{}, 1),
-	}
-	valid, err := l.scanValidPrefix()
-	if err != nil {
-		f.Close()
+	if err := migrateSingleFile(path); err != nil {
 		return nil, err
 	}
-	if err := f.Truncate(valid); err != nil {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir: %w", err)
+	}
+	os.Remove(filepath.Join(path, markTmpName)) //nolint:errcheck // stray tmp from a crashed checkpoint
+	l := &Log{
+		dir:           path,
+		segBytes:      opts.SegmentBytes,
+		syncOnAppend:  opts.SyncOnAppend,
+		noGroupCommit: opts.NoGroupCommit,
+		hook:          opts.CrashHook,
+		writeSem:      make(chan struct{}, 1),
+	}
+	if l.segBytes <= 0 {
+		l.segBytes = DefaultSegmentBytes
+	}
+	l.lowWater = readMark(path)
+	starts, err := listSegments(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(starts) == 0 {
+		starts = []int64{l.lowWater}
+		if err := createSegment(l.segPath(l.lowWater), path); err != nil {
+			return nil, err
+		}
+	}
+	size, starts, err := l.scanSegments(starts)
+	if err != nil {
+		return nil, err
+	}
+	if size < l.lowWater {
+		// The marker ran ahead of the durable log (crash after a snapshot
+		// install, before the covered records were forced). Everything below
+		// the mark is covered by the caller's snapshot: restart the log
+		// there with a fresh segment.
+		for _, st := range starts {
+			if err := os.Remove(l.segPath(st)); err != nil {
+				return nil, fmt.Errorf("wal: reset segment: %w", err)
+			}
+		}
+		starts = []int64{l.lowWater}
+		if err := createSegment(l.segPath(l.lowWater), path); err != nil {
+			return nil, err
+		}
+		size = l.lowWater
+	}
+	if starts[0] > l.lowWater {
+		// Should not happen (segments are only deleted after the marker is
+		// durable); treat the missing prefix as checkpointed.
+		l.lowWater = starts[0]
+	}
+	// Complete an interrupted deletion (crash between the marker install
+	// and dropCoveredSegments): sealed segments lying entirely below the
+	// mark are unreachable on replay and must not occupy disk forever.
+	for len(starts) > 1 && starts[1] <= l.lowWater {
+		if err := os.Remove(l.segPath(starts[0])); err != nil {
+			return nil, fmt.Errorf("wal: drop covered segment: %w", err)
+		}
+		starts = starts[1:]
+	}
+	l.starts = starts
+	active := starts[len(starts)-1]
+	f, err := os.OpenFile(l.segPath(active), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open segment: %w", err)
+	}
+	if err := f.Truncate(size - active); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
 	}
-	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+	if _, err := f.Seek(size-active, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
-	l.size = valid
-	l.written = valid
+	l.f = f
+	l.size = size
+	l.written = size
 	return l, nil
 }
 
-// scanValidPrefix returns the byte length of the longest valid record prefix.
-func (l *Log) scanValidPrefix() (int64, error) {
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+// migrateSingleFile converts a log written by the old single-file format
+// into a directory holding that file as the segment starting at LSN 0.
+func migrateSingleFile(path string) error {
+	fi, err := os.Stat(path)
+	if err != nil || !fi.Mode().IsRegular() {
+		return nil //nolint:nilerr // absent or already a directory
+	}
+	tmp := path + ".migrate"
+	if err := os.Rename(path, tmp); err != nil {
+		return fmt.Errorf("wal: migrate: %w", err)
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return fmt.Errorf("wal: migrate mkdir: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(path, segName(0))); err != nil {
+		return fmt.Errorf("wal: migrate segment: %w", err)
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// createSegment creates an empty segment file and makes its directory entry
+// durable.
+func createSegment(path, dir string) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if err := SyncDir(dir); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// listSegments returns the start LSNs of all segment files, ascending.
+func listSegments(dir string) ([]int64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+	var starts []int64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		start, err := strconv.ParseInt(strings.TrimSuffix(name, segSuffix), 10, 64)
+		if err != nil {
+			continue // foreign file
+		}
+		starts = append(starts, start)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	return starts, nil
+}
+
+// readMark loads the checkpoint marker, returning 0 when absent or corrupt.
+// Format: u64 LE low-water LSN | u32 LE CRC32 of the first 8 bytes.
+func readMark(dir string) int64 {
+	data, err := os.ReadFile(filepath.Join(dir, markName))
+	if err != nil || len(data) != 12 {
+		return 0
+	}
+	if crc32.ChecksumIEEE(data[:8]) != binary.LittleEndian.Uint32(data[8:12]) {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(data[:8]))
+}
+
+// scanSegments validates contiguity and record integrity across the segment
+// chain, truncating at the first tear and dropping any segments after it.
+// It returns the total valid log size and the surviving segment starts.
+func (l *Log) scanSegments(starts []int64) (int64, []int64, error) {
+	size := starts[0]
+	for i, st := range starts {
+		if st != size {
+			// Gap or overlap: everything from here on is unreachable.
+			for _, drop := range starts[i:] {
+				if err := os.Remove(l.segPath(drop)); err != nil {
+					return 0, nil, fmt.Errorf("wal: drop segment: %w", err)
+				}
+			}
+			starts = starts[:i]
+			break
+		}
+		f, err := os.Open(l.segPath(st))
+		if err != nil {
+			return 0, nil, fmt.Errorf("wal: open segment: %w", err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return 0, nil, fmt.Errorf("wal: stat segment: %w", err)
+		}
+		valid, err := iterateRecords(f, st, fi.Size(), 0, nil)
+		f.Close()
+		if err != nil {
+			return 0, nil, err
+		}
+		size = st + valid
+		if valid < fi.Size() {
+			// Torn or corrupt tail: this segment ends the log.
+			for _, drop := range starts[i+1:] {
+				if err := os.Remove(l.segPath(drop)); err != nil {
+					return 0, nil, fmt.Errorf("wal: drop segment: %w", err)
+				}
+			}
+			starts = starts[:i+1]
+			break
+		}
+	}
+	if len(starts) == 0 {
+		// The first listed segment did not start where expected — cannot
+		// happen with size initialized to starts[0], but keep the invariant
+		// that at least one segment survives.
+		return 0, nil, errors.New("wal: no usable segment")
+	}
+	return size, starts, nil
+}
+
+// iterateRecords scans the records of one segment file whose first byte sits
+// at global LSN base, reading at most limit bytes. For every valid record
+// with LSN >= skipBelow it invokes fn (when non-nil). It returns the byte
+// length of the valid record prefix; an invalid header, torn body or
+// checksum mismatch ends the scan without error.
+func iterateRecords(f *os.File, base, limit, skipBelow int64, fn func(Record) error) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, fmt.Errorf("wal: seek: %w", err)
 	}
 	var off int64
 	hdr := make([]byte, recHeaderSize)
-	for {
-		if _, err := io.ReadFull(l.f, hdr); err != nil {
-			return off, nil // clean EOF or torn header: stop
+	for off < limit {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			return off, nil // clean EOF or torn header
 		}
 		total := binary.LittleEndian.Uint32(hdr[0:4])
-		if total < recHeaderSize || total > maxRecordSize {
+		if total < recHeaderSize || total > maxRecordSize || off+int64(total) > limit {
 			return off, nil
 		}
 		body := make([]byte, total-recHeaderSize)
-		if _, err := io.ReadFull(l.f, body); err != nil {
+		if _, err := io.ReadFull(f, body); err != nil {
 			return off, nil // torn body
 		}
-		crc := binary.LittleEndian.Uint32(hdr[4:8])
-		if crc32.ChecksumIEEE(body) != crc {
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(hdr[4:8]) {
 			return off, nil // corrupt
+		}
+		ownerLen := int(binary.LittleEndian.Uint16(hdr[10:12]))
+		if ownerLen > len(body) {
+			return off, nil
+		}
+		if fn != nil && base+off >= skipBelow {
+			rec := Record{
+				LSN:     LSN(base + off),
+				Type:    RecordType(binary.LittleEndian.Uint16(hdr[8:10])),
+				Owner:   string(body[:ownerLen]),
+				Payload: body[ownerLen:],
+			}
+			if err := fn(rec); err != nil {
+				return off, err
+			}
 		}
 		off += int64(total)
 	}
+	return off, nil
 }
 
 // frame encodes one record into its on-disk form.
@@ -286,6 +561,7 @@ func (l *Log) appendSerial(buf []byte) (LSN, error) {
 			return 0, fmt.Errorf("wal: sync: %w", err)
 		}
 	}
+	l.maybeRotate()
 	return lsn, nil
 }
 
@@ -300,7 +576,8 @@ func (l *Log) fail(err error) {
 }
 
 // commitBatch drains the pending queue and commits it with one write and at
-// most one fsync. The caller must hold the write slot.
+// most one fsync, sealing the active segment if it crossed the rotation
+// threshold. The caller must hold the write slot.
 func (l *Log) commitBatch() {
 	l.mu.Lock()
 	batch := l.pending
@@ -341,6 +618,43 @@ func (l *Log) commitBatch() {
 		r.err = werr
 		close(r.done)
 	}
+	if werr == nil {
+		l.maybeRotate()
+	}
+}
+
+// maybeRotate seals the active segment once it holds segBytes and opens a
+// fresh one starting at the durable tail. The caller must hold the write
+// slot. Rotation failures leave the current segment active (the log keeps
+// working, just without compaction granularity).
+func (l *Log) maybeRotate() {
+	l.mu.Lock()
+	active := l.starts[len(l.starts)-1]
+	l.mu.Unlock()
+	if l.written-active < l.segBytes {
+		return
+	}
+	// The sealed segment's contents must be stable before the dirent of its
+	// successor: a checkpoint may delete it later, after which its bytes are
+	// unrecoverable.
+	if err := l.f.Sync(); err != nil {
+		l.fail(fmt.Errorf("wal: seal sync: %w", err))
+		return
+	}
+	newStart := l.written
+	nf, err := os.OpenFile(l.segPath(newStart), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return // keep appending to the oversized segment
+	}
+	if err := SyncDir(l.dir); err != nil {
+		nf.Close()
+		return
+	}
+	l.f.Close()
+	l.f = nf
+	l.mu.Lock()
+	l.starts = append(l.starts, newStart)
+	l.mu.Unlock()
 }
 
 // Sync flushes any pending batch and forces buffered records to stable
@@ -369,14 +683,48 @@ func (l *Log) Size() int64 {
 	return l.size
 }
 
-// Stats reports append/batch/sync counts since Open. With concurrent
-// appenders and group commit, batches (and syncs) stay well below appends;
-// the ratio appends/batches is the achieved group-commit factor.
+// LowWater reports the checkpointed LSN: replay starts here, and every
+// record below it is covered by the caller's snapshot.
+func (l *Log) LowWater() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LSN(l.lowWater)
+}
+
+// SegmentCount reports the number of live segment files.
+func (l *Log) SegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.starts)
+}
+
+// DiskBytes reports the total size of all live segment files on disk — the
+// quantity checkpointing bounds (unlike Size, which is the lifetime LSN
+// high-water mark and never shrinks).
+func (l *Log) DiskBytes() int64 {
+	l.mu.Lock()
+	starts := append([]int64(nil), l.starts...)
+	l.mu.Unlock()
+	var total int64
+	for _, st := range starts {
+		if fi, err := os.Stat(l.segPath(st)); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
+// Stats reports append/batch/sync/checkpoint counts since Open. With
+// concurrent appenders and group commit, batches (and syncs) stay well below
+// appends; the ratio appends/batches is the achieved group-commit factor.
 func (l *Log) Stats() (appends, batches, syncs uint64) {
 	return atomic.LoadUint64(&l.appends),
 		atomic.LoadUint64(&l.batches),
 		atomic.LoadUint64(&l.syncs)
 }
+
+// Checkpoints reports how many checkpoint installs completed since Open.
+func (l *Log) Checkpoints() uint64 { return atomic.LoadUint64(&l.checkpoints) }
 
 // Close flushes pending appends and releases the underlying file.
 func (l *Log) Close() error {
@@ -395,8 +743,8 @@ func (l *Log) Close() error {
 	return l.f.Close()
 }
 
-// Replay reads every valid record from the beginning of the log, invoking fn
-// in log order. A torn or corrupt tail terminates replay silently. Replay
+// Replay reads every valid record from the low-water mark onward, invoking
+// fn in log order. A torn or corrupt tail terminates replay silently. Replay
 // holds the write slot: it must not be interleaved with appends by fn.
 func (l *Log) Replay(fn func(Record) error) error {
 	l.writeSem <- struct{}{}
@@ -407,74 +755,195 @@ func (l *Log) Replay(fn func(Record) error) error {
 		l.mu.Unlock()
 		return ErrClosed
 	}
+	starts := append([]int64(nil), l.starts...)
+	lowWater := l.lowWater
 	l.mu.Unlock()
-	size := l.written
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("wal: seek: %w", err)
-	}
-	defer l.f.Seek(size, io.SeekStart) //nolint:errcheck // restore append position
-	var off int64
-	hdr := make([]byte, recHeaderSize)
-	for off < size {
-		if _, err := io.ReadFull(l.f, hdr); err != nil {
-			return nil
+	written := l.written
+	for i, st := range starts {
+		end := written
+		if i+1 < len(starts) {
+			end = starts[i+1]
 		}
-		total := binary.LittleEndian.Uint32(hdr[0:4])
-		if total < recHeaderSize || total > maxRecordSize {
-			return nil
+		if end <= lowWater {
+			continue // fully checkpointed (not yet deleted)
 		}
-		body := make([]byte, total-recHeaderSize)
-		if _, err := io.ReadFull(l.f, body); err != nil {
-			return nil
+		f, err := os.Open(l.segPath(st))
+		if err != nil {
+			return fmt.Errorf("wal: open segment: %w", err)
 		}
-		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(hdr[4:8]) {
-			return nil
-		}
-		ownerLen := int(binary.LittleEndian.Uint16(hdr[10:12]))
-		if ownerLen > len(body) {
-			return nil
-		}
-		rec := Record{
-			LSN:     LSN(off),
-			Type:    RecordType(binary.LittleEndian.Uint16(hdr[8:10])),
-			Owner:   string(body[:ownerLen]),
-			Payload: body[ownerLen:],
-		}
-		if err := fn(rec); err != nil {
+		valid, err := iterateRecords(f, st, end-st, lowWater, fn)
+		f.Close()
+		if err != nil {
 			return err
 		}
-		off += int64(total)
+		if st+valid < end {
+			return nil // torn tail ends replay
+		}
 	}
 	return nil
 }
 
-// Truncate discards the whole log content (used after a checkpoint has made
-// the logged state redundant).
-func (l *Log) Truncate() error {
+// Checkpoint durably records lsn as the log's low-water mark and deletes
+// every sealed segment lying entirely below it. The caller must have
+// captured all state up to lsn in a snapshot of its own before calling:
+// after Checkpoint returns, records below lsn are no longer replayed and
+// their segments may be gone.
+//
+// An lsn beyond the durable tail is accepted (it arises when a recovery
+// completes a checkpoint whose snapshot installed but whose log mark was
+// lost): the log restarts with a fresh segment at lsn. Checkpoint is
+// monotonic — an lsn at or below the current low-water mark is a no-op.
+func (l *Log) Checkpoint(lsn LSN) error {
+	target := int64(lsn)
 	l.writeSem <- struct{}{}
 	defer func() { <-l.writeSem }()
 	l.commitBatch()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
-	if err := l.f.Truncate(0); err != nil {
-		return fmt.Errorf("wal: truncate: %w", err)
+	if err := l.err; err != nil {
+		// A write already failed: records below target may never have
+		// reached disk, and their callers were told so. Installing a mark
+		// over them would resurrect refused operations from the caller's
+		// snapshot at the next recovery.
+		l.mu.Unlock()
+		return err
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("wal: seek: %w", err)
+	if target <= l.lowWater {
+		l.mu.Unlock()
+		return nil
 	}
-	// Appends enqueued since the flush above reserved offsets past the old
+	advance := target > l.size
+	l.mu.Unlock()
+
+	if err := l.hookAt(CrashBeforeMark); err != nil {
+		return err
+	}
+	if err := l.writeMark(target); err != nil {
+		return err
+	}
+	if err := l.hookAt(CrashMarkInstalled); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.lowWater = target
+	l.mu.Unlock()
+	atomic.AddUint64(&l.checkpoints, 1)
+	if advance {
+		return l.restartAt(target)
+	}
+	return l.dropCoveredSegments(target)
+}
+
+// hookAt fires the crash-point hook; a non-nil return aborts the checkpoint
+// exactly at that step.
+func (l *Log) hookAt(point string) error {
+	if l.hook == nil {
+		return nil
+	}
+	if err := l.hook(point); err != nil {
+		return fmt.Errorf("wal: checkpoint aborted at %s: %w", point, err)
+	}
+	return nil
+}
+
+// writeMark installs the low-water marker via tmp-write/fsync/rename.
+func (l *Log) writeMark(target int64) error {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint64(buf[:8], uint64(target))
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(buf[:8]))
+	tmp := filepath.Join(l.dir, markTmpName)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: mark tmp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: mark write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: mark sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: mark close: %w", err)
+	}
+	if err := l.hookAt(CrashMarkTmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, markName)); err != nil {
+		return fmt.Errorf("wal: mark rename: %w", err)
+	}
+	if err := SyncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: mark dir sync: %w", err)
+	}
+	return nil
+}
+
+// dropCoveredSegments unlinks sealed segments whose whole range lies below
+// the low-water mark. The active segment is never deleted.
+func (l *Log) dropCoveredSegments(target int64) error {
+	l.mu.Lock()
+	starts := append([]int64(nil), l.starts...)
+	l.mu.Unlock()
+	kept := 0
+	for i := 0; i+1 < len(starts) && starts[i+1] <= target; i++ {
+		if err := os.Remove(l.segPath(starts[i])); err != nil {
+			return fmt.Errorf("wal: drop segment: %w", err)
+		}
+		kept = i + 1
+		if err := l.hookAt(CrashSegmentDeleted); err != nil {
+			l.mu.Lock()
+			l.starts = append([]int64(nil), starts[kept:]...)
+			l.mu.Unlock()
+			return err
+		}
+	}
+	l.mu.Lock()
+	l.starts = append([]int64(nil), starts[kept:]...)
+	l.mu.Unlock()
+	return nil
+}
+
+// restartAt replaces every segment with a fresh one starting at target; all
+// current content is below the (already durable) low-water mark. Pending
+// reservations are re-based onto the new tail.
+func (l *Log) restartAt(target int64) error {
+	l.mu.Lock()
+	starts := append([]int64(nil), l.starts...)
+	l.mu.Unlock()
+	nf, err := os.OpenFile(l.segPath(target), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: restart segment: %w", err)
+	}
+	if err := SyncDir(l.dir); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	l.f.Close()
+	l.f = nf
+	for _, st := range starts {
+		if st == target {
+			continue
+		}
+		if err := os.Remove(l.segPath(st)); err != nil {
+			return fmt.Errorf("wal: drop segment: %w", err)
+		}
+	}
+	l.written = target
+	l.mu.Lock()
+	l.starts = []int64{target}
+	// Reservations enqueued since the flush above hold offsets below the new
 	// tail; they have not been written (we hold the write slot), so re-base
-	// them onto the now-empty log.
-	var off int64
+	// them onto it.
+	off := target
 	for _, r := range l.pending {
 		r.lsn = LSN(off)
 		off += int64(len(r.buf))
 	}
 	l.size = off
-	l.written = 0
-	l.err = nil
-	return l.f.Sync()
+	l.mu.Unlock()
+	return nil
 }

@@ -112,8 +112,8 @@ func TestTornTailTruncatedOnOpen(t *testing.T) {
 	size := l.Size()
 	l.Close()
 
-	// Simulate a torn write: append garbage bytes.
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	// Simulate a torn write: append garbage bytes to the active segment.
+	f, err := os.OpenFile(filepath.Join(path, segName(0)), os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,13 +155,15 @@ func TestCorruptMiddleStopsReplayAtCorruption(t *testing.T) {
 	}
 	l.Close()
 
-	// Flip a payload byte in the second record.
-	data, err := os.ReadFile(path)
+	// Flip a payload byte in the second record (segment 0 starts at LSN 0,
+	// so the file offset equals the LSN).
+	seg := filepath.Join(path, segName(0))
+	data, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[int(lsn2)+recHeaderSize+2] ^= 0xFF
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -179,26 +181,37 @@ func TestCorruptMiddleStopsReplayAtCorruption(t *testing.T) {
 	}
 }
 
-func TestTruncateResets(t *testing.T) {
+func TestCheckpointSkipsCoveredRecords(t *testing.T) {
 	l := openTemp(t)
 	if _, err := l.Append(1, "a", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Truncate(); err != nil {
+	if err := l.Checkpoint(LSN(l.Size())); err != nil {
 		t.Fatal(err)
 	}
-	if l.Size() != 0 {
-		t.Fatalf("size after truncate = %d", l.Size())
+	if got := l.LowWater(); got != LSN(l.Size()) {
+		t.Fatalf("LowWater = %d, want %d", got, l.Size())
 	}
 	var n int
 	if err := l.Replay(func(Record) error { n++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 0 {
-		t.Fatalf("replayed %d records after truncate", n)
+		t.Fatalf("replayed %d records after checkpoint", n)
 	}
-	if _, err := l.Append(2, "b", []byte("y")); err != nil {
-		t.Fatalf("append after truncate: %v", err)
+	lsn, err := l.Append(2, "b", []byte("y"))
+	if err != nil {
+		t.Fatalf("append after checkpoint: %v", err)
+	}
+	if lsn < l.LowWater() {
+		t.Fatalf("post-checkpoint append at LSN %d below low-water %d", lsn, l.LowWater())
+	}
+	n = 0
+	if err := l.Replay(func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records, want the 1 after the checkpoint", n)
 	}
 }
 
