@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet fmt-check bench experiments example-recovery check all
+.PHONY: build test test-race vet fmt-check doc-lint e14-short bench experiments example-recovery check all
 
 all: check
 
@@ -19,6 +19,17 @@ test-race:
 vet:
 	$(GO) vet ./...
 
+# Doc-comment lint (dependency-free equivalent of revive's exported-comment
+# rule, doclint_test.go): package docs everywhere, doc comments on every
+# exported identifier, CONCORD-layer statements in the level packages.
+doc-lint:
+	$(GO) test . -run 'TestEveryPackageHasDocComment|TestLayerStatedInLevelPackages|TestExportedIdentifiersAreDocumented' -count=1
+
+# E14 acceptance bounds (NotModified = O(hash) bytes, delta >= 5x smaller
+# than full) in short mode — one mid-size configuration.
+e14-short:
+	$(GO) test ./internal/experiments -run TestE14CacheDeltaBounds -count=1 -v
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -26,7 +37,7 @@ fmt-check:
 bench:
 	$(GO) test -bench . -benchtime 1s -run XXX .
 
-# Regenerate every experiment table (E1-E13); EXPERIMENTS.md records the
+# Regenerate every experiment table (E1-E14); EXPERIMENTS.md records the
 # paper-vs-measured outcomes.
 experiments:
 	$(GO) run ./cmd/concordbench
@@ -36,4 +47,4 @@ experiments:
 example-recovery:
 	$(GO) run ./examples/recovery
 
-check: fmt-check vet test
+check: fmt-check vet doc-lint test

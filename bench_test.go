@@ -1,6 +1,6 @@
 package concord
 
-// One benchmark per experiment of DESIGN.md §5: E1-E8 regenerate the paper's
+// One benchmark per experiment of DESIGN.md §6: E1-E8 regenerate the paper's
 // figures, E9-E11 quantify its qualitative claims. Each bench times a full
 // experiment run (the reproduction artifact), plus micro-benchmarks for the
 // hot substrate paths beneath them.
@@ -100,7 +100,7 @@ func BenchmarkE9Sweep(b *testing.B) {
 	}
 }
 
-// --- Concurrency benchmarks (DESIGN.md §5, E12). ---------------------------
+// --- Concurrency benchmarks (DESIGN.md §6, E12). ---------------------------
 //
 // These pairs quantify the server-core concurrency work: group-commit WAL vs
 // one fsync per append, sharded vs single-shard lock table, and the
@@ -216,6 +216,22 @@ func BenchmarkE13Restart(b *testing.B) {
 }
 
 // --- Substrate micro-benchmarks. -------------------------------------------
+
+// BenchmarkE14CacheDelta times the full E14 cycle (checkin, cold checkout,
+// cached re-checkout, delta checkin, delta checkout) over a ~128 KiB object
+// and reports the wire-byte metrics alongside.
+func BenchmarkE14CacheDelta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCacheDelta(256, 2, 480)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.NotModifiedBytes), "NM-bytes")
+		b.ReportMetric(float64(res.CheckinDeltaBytes), "ckinΔ-bytes")
+		b.ReportMetric(float64(res.CachedLatency.Microseconds()), "cached-checkout-us")
+		b.ReportMetric(float64(res.ColdLatency.Microseconds()), "cold-checkout-us")
+	}
+}
 
 func BenchmarkDOPRoundTrip(b *testing.B) {
 	sys, err := core.NewSystem(core.Options{RegisterTypes: vlsi.RegisterCatalog})

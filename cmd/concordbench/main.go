@@ -1,8 +1,9 @@
 // Command concordbench regenerates every figure of the paper (E1-E8), the
 // synthetic quantifications (E9-E11) and the scaling scenarios: E12
-// (multi-workstation load) and E13 (bounded-time restart), printing one
-// table per experiment. See DESIGN.md §5 for the experiment index and
-// EXPERIMENTS.md for the paper-vs-measured record.
+// (multi-workstation load), E13 (bounded-time restart) and E14 (workstation
+// cache and delta shipping), printing one table per experiment. See
+// DESIGN.md §6 for the experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record.
 //
 // Usage:
 //
@@ -25,9 +26,9 @@ func main() {
 		"E7": experiments.E7StateGraph, "E8": experiments.E8FailureMatrix,
 		"E9": experiments.E9Cooperation, "E10": experiments.E10CommitProtocols,
 		"E11": experiments.E11RecoveryPoints, "E12": experiments.E12MultiWorkstation,
-		"E13": experiments.E13Restart,
+		"E13": experiments.E13Restart, "E14": experiments.E14CacheDelta,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 
 	selected := os.Args[1:]
 	if len(selected) == 0 {

@@ -1,0 +1,195 @@
+package binenc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// Byte-level delta codec for the workstation checkout cache (DESIGN.md §4).
+// A delta is an edit script transforming one encoded buffer (the base, which
+// both ends already hold) into another (the target): a sequence of copy ops
+// referencing base ranges and insert ops carrying literal bytes. The matcher
+// is rsync-shaped — the base is indexed by a weak rolling hash over
+// non-overlapping blocks, the target is scanned with the rolling window, and
+// every weak hit is verified byte-for-byte and extended greedily — so shifted
+// content (an insertion early in a large object) still matches block-aligned
+// base ranges.
+//
+// The codec guarantees only structural integrity (ops in range, output length
+// as declared). It does NOT authenticate content: applying a well-formed
+// delta to the wrong base yields well-formed wrong bytes. Callers must verify
+// the reconstructed buffer against a content hash before trusting it, which
+// is exactly what the checkout/checkin protocol does on both ends.
+
+// ErrDelta reports a structurally invalid delta or a base of the wrong size.
+var ErrDelta = errors.New("binenc: invalid delta")
+
+// deltaMagic tags the delta format; it is distinct from every record format
+// tag already in use so mixed-up buffers fail fast.
+const deltaMagic = 0xD2
+
+// deltaBlock is the match granularity: smaller finds finer-grained reuse,
+// larger shrinks the base index. 32 suits the catalog object encoding, whose
+// attribute and part records are tens of bytes.
+const deltaBlock = 32
+
+// Delta op codes.
+const (
+	opCopy   = 0x01 // U64 base offset, U64 length
+	opInsert = 0x02 // length-prefixed literal bytes
+)
+
+// weakHash is a cheap rolling hash (Adler-style two-accumulator sum) over a
+// deltaBlock-sized window.
+func weakHash(p []byte) uint32 {
+	var a, b uint32
+	for _, c := range p {
+		a += uint32(c)
+		b += a
+	}
+	return a | b<<16
+}
+
+// Delta computes an edit script transforming base into target. It always
+// succeeds; when the inputs share nothing the script degenerates to one
+// insert of the whole target (len(target)+overhead bytes), so callers should
+// compare len(delta) against len(target) and ship whichever is smaller.
+func Delta(base, target []byte) []byte {
+	w := NewWriter(64 + len(target)/8)
+	w.Byte(deltaMagic)
+	w.U64(uint64(len(base)))
+	w.U64(uint64(len(target)))
+
+	if len(base) < deltaBlock || len(target) < deltaBlock {
+		if len(target) > 0 {
+			w.Byte(opInsert)
+			w.Blob(target)
+		}
+		return w.Bytes()
+	}
+
+	// Index the base by weak hash over non-overlapping blocks. Collisions
+	// keep a few candidates; more would trade CPU for marginal matches.
+	index := make(map[uint32][]int, len(base)/deltaBlock+1)
+	for off := 0; off+deltaBlock <= len(base); off += deltaBlock {
+		h := weakHash(base[off : off+deltaBlock])
+		if cand := index[h]; len(cand) < 4 {
+			index[h] = append(cand, off)
+		}
+	}
+
+	var a, b uint32 // rolling accumulators over target[i:i+deltaBlock]
+	roll := func(i int) {
+		a, b = 0, 0
+		for _, c := range target[i : i+deltaBlock] {
+			a += uint32(c)
+			b += a
+		}
+	}
+	flushLit := func(lo, hi int) {
+		if lo < hi {
+			w.Byte(opInsert)
+			w.Blob(target[lo:hi])
+		}
+	}
+
+	lit := 0 // start of the pending literal run
+	i := 0
+	roll(i)
+	for i+deltaBlock <= len(target) {
+		matched := false
+		for _, off := range index[a|b<<16] {
+			if !bytes.Equal(base[off:off+deltaBlock], target[i:i+deltaBlock]) {
+				continue
+			}
+			// Extend the verified match as far as the buffers agree.
+			n := deltaBlock
+			for off+n < len(base) && i+n < len(target) && base[off+n] == target[i+n] {
+				n++
+			}
+			flushLit(lit, i)
+			w.Byte(opCopy)
+			w.U64(uint64(off))
+			w.U64(uint64(n))
+			i += n
+			lit = i
+			if i+deltaBlock <= len(target) {
+				roll(i)
+			}
+			matched = true
+			break
+		}
+		if !matched {
+			// Slide the window one byte.
+			out := uint32(target[i])
+			a -= out
+			b -= uint32(deltaBlock) * out
+			i++
+			if i+deltaBlock <= len(target) {
+				a += uint32(target[i+deltaBlock-1])
+				b += a
+			}
+		}
+	}
+	flushLit(lit, len(target))
+	return w.Bytes()
+}
+
+// ApplyDelta reconstructs the target buffer from base and a delta produced by
+// Delta. It fails with ErrDelta when the script is malformed, references
+// ranges outside base, was computed against a base of a different length, or
+// does not produce exactly the declared target length. Content correctness is
+// the caller's to verify (content hash); see the package comment above.
+func ApplyDelta(base, delta []byte) ([]byte, error) {
+	r := NewReader(delta)
+	if r.Byte() != deltaMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrDelta)
+	}
+	baseLen := r.U64()
+	targetLen := r.U64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrDelta, err)
+	}
+	if baseLen != uint64(len(base)) {
+		return nil, fmt.Errorf("%w: computed against a %d-byte base, applied to %d bytes", ErrDelta, baseLen, len(base))
+	}
+	if targetLen > uint64(len(base)+len(delta))*maxExpansion {
+		return nil, fmt.Errorf("%w: declared target %d bytes implausibly large", ErrDelta, targetLen)
+	}
+	out := make([]byte, 0, targetLen)
+	for r.Remaining() > 0 {
+		switch op := r.Byte(); op {
+		case opCopy:
+			off, n := r.U64(), r.U64()
+			// Overflow-safe bounds check: off and n are attacker-controlled
+			// varints, so off+n must not be allowed to wrap.
+			if r.Err() != nil || n == 0 || off > uint64(len(base)) || n > uint64(len(base))-off {
+				return nil, fmt.Errorf("%w: copy [%d,+%d) outside %d-byte base", ErrDelta, off, n, len(base))
+			}
+			if uint64(len(out))+n > targetLen {
+				return nil, fmt.Errorf("%w: output overruns declared length", ErrDelta)
+			}
+			out = append(out, base[off:off+n]...)
+		case opInsert:
+			lit := r.Blob()
+			if r.Err() != nil {
+				return nil, fmt.Errorf("%w: truncated insert", ErrDelta)
+			}
+			if uint64(len(out))+uint64(len(lit)) > targetLen {
+				return nil, fmt.Errorf("%w: output overruns declared length", ErrDelta)
+			}
+			out = append(out, lit...)
+		default:
+			return nil, fmt.Errorf("%w: unknown op 0x%02x", ErrDelta, op)
+		}
+	}
+	if uint64(len(out)) != targetLen {
+		return nil, fmt.Errorf("%w: produced %d bytes, declared %d", ErrDelta, len(out), targetLen)
+	}
+	return out, nil
+}
+
+// maxExpansion bounds how much larger than its inputs a declared target may
+// be before ApplyDelta refuses to allocate (corrupt-header defense).
+const maxExpansion = 64

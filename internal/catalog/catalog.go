@@ -1,6 +1,8 @@
 // Package catalog defines design object types (DOTs) — the typed, complex
 // schemas of the CONCORD design-data repository — and the object values that
-// instantiate them.
+// instantiate them. It is the schema half of the design object management
+// (DOM) layer, beneath design flow management (DFM) and the cooperation
+// layer.
 //
 // A DOT has named attributes (integer, float, string, bool) with optional
 // declarative constraints, and named components referring to other DOTs with

@@ -1,11 +1,34 @@
 package catalog
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sort"
 
 	"concord/internal/binenc"
 )
+
+// HashSize is the length in bytes of a content hash.
+const HashSize = sha256.Size
+
+// HashEncoded returns the content hash of an object's canonical encoding
+// (EncodeObject output). Because the encoding is deterministic — map keys
+// sorted, no per-process state — equal objects hash equally on every
+// machine, which is what lets the checkout/checkin protocol negotiate
+// "do you already have these bytes" by hash alone (DESIGN.md §4).
+func HashEncoded(enc []byte) []byte {
+	h := sha256.Sum256(enc)
+	return h[:]
+}
+
+// HashObject encodes the object canonically and returns its content hash.
+func HashObject(o *Object) ([]byte, error) {
+	enc, err := EncodeObject(o)
+	if err != nil {
+		return nil, err
+	}
+	return HashEncoded(enc), nil
+}
 
 // objFmtV1 tags the hand-rolled binary object format (see binenc). The
 // previous gob format always started with a small type-definition length,

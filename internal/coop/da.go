@@ -1,9 +1,10 @@
-// Package coop implements CONCORD's Administration/Cooperation (AC) level:
-// design activities (DAs), the DA hierarchy grown by delegation, the
-// explicitly modeled cooperation relationships (delegation, negotiation,
-// usage), and the central cooperation manager (CM) enforcing their
-// integrity constraints and the DA state-transition graph of Fig. 7
-// (Sects. 4.1, 5.4).
+// Package coop implements CONCORD's Administration/Cooperation (AC) level —
+// the cooperation layer of the architecture, above design flow management
+// (DFM) and design object management (DOM): design activities (DAs), the DA
+// hierarchy grown by delegation, the explicitly modeled cooperation
+// relationships (delegation, negotiation, usage), and the central
+// cooperation manager (CM) enforcing their integrity constraints and the DA
+// state-transition graph of Fig. 7 (Sects. 4.1, 5.4).
 package coop
 
 import (

@@ -29,6 +29,10 @@ import (
 // ServerAddr is the transport address of the server site.
 const ServerAddr = "concord-server"
 
+// callbackAddr names the transport address on which a workstation serves
+// cache-invalidation callbacks.
+func callbackAddr(ws string) string { return "cb/" + ws }
+
 // Options configures a System.
 type Options struct {
 	// Dir is the root data directory; server state goes to Dir/server and
@@ -84,6 +88,9 @@ type System struct {
 	// workstation's RPC request IDs never collide with those of its
 	// previous life (the server deduplicates by request ID).
 	epochs map[string]int
+	// serverEpochs counts server incarnations for the same reason on the
+	// callback channel (workstation caches deduplicate by request ID too).
+	serverEpochs int
 }
 
 // serverSite bundles the server-side components.
@@ -96,6 +103,9 @@ type serverSite struct {
 	cm          *coop.CM
 	participant *rpc.Participant
 	plog        *wal.Log
+	// notifier is the server→workstation cache-invalidation channel
+	// (DESIGN.md §4); closed on crash/shutdown.
+	notifier *rpc.Notifier
 	// ckptStop ends the background checkpointer; ckptDone is closed when
 	// it has exited. Nil when checkpointing is disabled or volatile.
 	ckptStop chan struct{}
@@ -182,7 +192,20 @@ func (s *System) startServer() error {
 		return err
 	}
 	site := &serverSite{repo: r, locks: locks, scopes: scopes, reg: reg, stm: stm, cm: cm, participant: participant, plog: plog}
+	// Callback channel: version changes fan out to registered workstation
+	// caches, pushed off the hot path by a notifier worker. The client ID is
+	// incarnation-unique so workstation-side request dedup never mistakes a
+	// restarted server's callbacks for replays.
+	s.mu.Lock()
+	s.serverEpochs++
+	cbClient := rpc.NewClient(s.trans, fmt.Sprintf("server-cb@%d", s.serverEpochs))
+	s.mu.Unlock()
+	cbClient.Backoff = 0
+	site.notifier = rpc.NewNotifier(cbClient, 0)
+	stm.SetNotifier(site.notifier)
+	r.SetChangeHook(stm.VersionChanged)
 	if err := s.trans.Serve(ServerAddr, rpc.Dedup(stm.Handler(participant))); err != nil {
+		site.notifier.Close()
 		r.Close()
 		return err
 	}
@@ -277,6 +300,24 @@ func (s *System) Scopes() *lock.ScopeTable {
 	return s.server.scopes
 }
 
+// ServerTM returns the server transaction manager.
+func (s *System) ServerTM() *txn.ServerTM {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.server.stm
+}
+
+// CacheNotifier returns the server's cache-invalidation channel (nil when
+// the server is down).
+func (s *System) CacheNotifier() *rpc.Notifier {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.server == nil {
+		return nil
+	}
+	return s.server.notifier
+}
+
 // Registry returns the feature-tool registry used by Evaluate.
 func (s *System) Registry() *feature.Registry {
 	s.mu.Lock()
@@ -297,6 +338,9 @@ func (s *System) Close() error {
 	var err error
 	if s.server != nil {
 		s.server.stopCheckpointer()
+		if s.server.notifier != nil {
+			s.server.notifier.Close()
+		}
 		s.server.cm.Close()
 		err = s.server.repo.Close()
 		if s.server.plog != nil {
@@ -341,6 +385,16 @@ func (s *System) AddWorkstation(id string) (*Workstation, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Serve the cache-invalidation callback endpoint for this workstation
+	// and heal it in case a previous incarnation's crash partitioned it.
+	// The cache epoch (bumped by NewClientTM) retires stale registrations.
+	cbAddr := callbackAddr(id)
+	if err := s.trans.Serve(cbAddr, rpc.Dedup(tm.Cache().Handler())); err != nil {
+		tm.Close()
+		return nil, err
+	}
+	s.trans.Heal(cbAddr)
+	tm.SetCallbackAddr(cbAddr)
 	w := &Workstation{id: id, sys: s, tm: tm, recovered: recovered, dms: make(map[string]*script.DesignManager)}
 	for _, d := range recovered {
 		if err := tm.Reattach(d); err != nil {
@@ -410,6 +464,10 @@ func (s *System) CrashWorkstation(id string) error {
 	for da := range w.dms {
 		s.CM().Subscribe(da, nil)
 	}
+	// The callback endpoint dies with the workstation; invalidations pushed
+	// at it are dropped by the transport until the next incarnation heals
+	// the address (and re-registers under a fresh cache epoch).
+	s.trans.Partition(callbackAddr(id))
 	w.tm.Crash()
 	return nil
 }
@@ -427,6 +485,9 @@ func (s *System) CrashServer() error {
 	}
 	s.trans.Partition(ServerAddr)
 	site.stopCheckpointer()
+	if site.notifier != nil {
+		site.notifier.Close()
+	}
 	site.cm.Close()
 	if site.plog != nil {
 		site.plog.Close()

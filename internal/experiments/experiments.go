@@ -1,10 +1,11 @@
 // Package experiments implements the reproduction harness: one function per
 // figure of the paper (E1-E8), three synthetic quantifications of its
 // qualitative claims (E9-E11), and the scaling scenarios E12
-// (multi-workstation throughput) and E13 (bounded-time restart). Each
-// experiment returns a Report whose rows cmd/concordbench prints and whose
-// execution bench_test.go times; DESIGN.md §5 is the index, EXPERIMENTS.md
-// records paper-vs-measured.
+// (multi-workstation throughput), E13 (bounded-time restart) and E14
+// (workstation cache + delta shipping). Each experiment returns a Report
+// whose rows cmd/concordbench prints and whose execution bench_test.go
+// times; DESIGN.md §6 is the index, EXPERIMENTS.md records
+// paper-vs-measured.
 package experiments
 
 import (

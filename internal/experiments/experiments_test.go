@@ -11,8 +11,8 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 13 {
-		t.Fatalf("got %d reports, want 13", len(reports))
+	if len(reports) != 14 {
+		t.Fatalf("got %d reports, want 14", len(reports))
 	}
 	for _, rep := range reports {
 		if len(rep.Rows) == 0 {
@@ -146,6 +146,34 @@ func TestE13RestartBounded(t *testing.T) {
 	}
 	if largeOn.Reopen <= 0 || largeOff.Reopen <= 0 {
 		t.Fatalf("restart latencies not measured: on=%v off=%v", largeOn.Reopen, largeOff.Reopen)
+	}
+}
+
+// TestE14CacheDeltaBounds is the E14 acceptance check in short mode (one
+// mid-size configuration): re-checkout of an unmodified object transfers
+// O(hash) bytes, and a small edit to a large object ships a delta at least
+// 5x smaller than the full encoding — with content equality asserted inside
+// RunCacheDelta via the canonical encodings on both ends.
+func TestE14CacheDeltaBounds(t *testing.T) {
+	const parts, edits, partBytes = 256, 2, 480
+	res, err := RunCacheDelta(parts, edits, partBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ObjectBytes < 100<<10 {
+		t.Fatalf("E14 object only %d bytes; the bounds below assume a large object", res.ObjectBytes)
+	}
+	if res.NotModifiedBytes > 1024 {
+		t.Fatalf("NotModified re-checkout transferred %d bytes, want O(hash)", res.NotModifiedBytes)
+	}
+	if res.ColdBytes < uint64(res.ObjectBytes) {
+		t.Fatalf("cold checkout transferred %d bytes for a %d-byte object", res.ColdBytes, res.ObjectBytes)
+	}
+	if res.CheckinDeltaBytes*5 > uint64(res.ObjectBytes) {
+		t.Fatalf("checkin delta %d bytes vs full %d — want ≥ 5x smaller", res.CheckinDeltaBytes, res.ObjectBytes)
+	}
+	if res.CheckoutDeltaBytes*5 > uint64(res.ObjectBytes) {
+		t.Fatalf("checkout delta %d bytes vs full %d — want ≥ 5x smaller", res.CheckoutDeltaBytes, res.ObjectBytes)
 	}
 }
 

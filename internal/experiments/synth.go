@@ -204,7 +204,7 @@ func All() ([]Report, error) {
 		E1LevelStack, E2DesignPlane, E3ChipPlanning, E4DAHierarchy,
 		E5Delegation, E6Scripts, E7StateGraph, E8FailureMatrix,
 		E9Cooperation, E10CommitProtocols, E11RecoveryPoints,
-		E12MultiWorkstation, E13Restart,
+		E12MultiWorkstation, E13Restart, E14CacheDelta,
 	}
 	out := make([]Report, 0, len(runs))
 	for _, run := range runs {

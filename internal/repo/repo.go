@@ -97,6 +97,112 @@ type Repository struct {
 	// covered by the last installed snapshot.
 	ckptMu  sync.Mutex
 	snapLSN wal.LSN
+
+	// encCache memoizes canonical payload encodings and their content
+	// hashes by version ID (payloads are immutable once checked in). The
+	// checkout and delta paths hit it on every request; see EncodedObject.
+	encMu    sync.Mutex
+	encCache map[version.ID]encEntry
+
+	// onChange, when set, is invoked after every durable version mutation
+	// (see SetChangeHook).
+	changeMu sync.RWMutex
+	onChange func(ChangeEvent)
+}
+
+// encEntry is one memoized canonical encoding.
+type encEntry struct {
+	enc  []byte
+	hash []byte
+}
+
+// encCacheMax bounds the encoding memo; overflowing resets it wholesale (the
+// hot set re-populates lazily, and correctness never depends on a hit).
+const encCacheMax = 512
+
+// ChangeKind distinguishes version-change events pushed to the hook.
+type ChangeKind uint8
+
+// Version-change kinds.
+const (
+	// ChangeCheckin reports a newly installed DOV; Parents carries the
+	// versions it supersedes as "latest in its line".
+	ChangeCheckin ChangeKind = iota + 1
+	// ChangeStatus reports a lifecycle-status update (promotion,
+	// invalidation) of an existing DOV.
+	ChangeStatus
+)
+
+// ChangeEvent describes one durable version mutation.
+type ChangeEvent struct {
+	// Kind says what happened.
+	Kind ChangeKind
+	// ID is the affected (new or updated) version.
+	ID version.ID
+	// DA owns the version's derivation graph.
+	DA string
+	// Parents are the superseded versions (ChangeCheckin only).
+	Parents []version.ID
+	// Status is the new lifecycle status.
+	Status version.Status
+}
+
+// SetChangeHook registers fn to run after every durable version mutation
+// (checkin, status update), outside all repository locks and after the
+// mutation's log record is durable. The server-TM uses it to push workstation
+// cache invalidations (DESIGN.md §4). One hook; nil unregisters.
+func (r *Repository) SetChangeHook(fn func(ChangeEvent)) {
+	r.changeMu.Lock()
+	r.onChange = fn
+	r.changeMu.Unlock()
+}
+
+// fireChange delivers ev to the registered hook, if any.
+func (r *Repository) fireChange(ev ChangeEvent) {
+	r.changeMu.RLock()
+	fn := r.onChange
+	r.changeMu.RUnlock()
+	if fn != nil {
+		fn(ev)
+	}
+}
+
+// EncodedObject returns the canonical encoding and content hash of a stored
+// version's payload. Results are memoized — payloads are immutable once
+// checked in — so repeated checkouts and delta computations over the same
+// version encode it once.
+func (r *Repository) EncodedObject(id version.ID) (enc, hash []byte, err error) {
+	r.encMu.Lock()
+	if e, ok := r.encCache[id]; ok {
+		r.encMu.Unlock()
+		return e.enc, e.hash, nil
+	}
+	r.encMu.Unlock()
+
+	r.mu.RLock()
+	if err := r.alive(); err != nil {
+		r.mu.RUnlock()
+		return nil, nil, err
+	}
+	v, ok := r.dovs[id]
+	if !ok {
+		r.mu.RUnlock()
+		return nil, nil, fmt.Errorf("%w: %s", version.ErrUnknownDOV, id)
+	}
+	enc, err = catalog.EncodeObject(v.Object)
+	r.mu.RUnlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	hash = catalog.HashEncoded(enc)
+
+	r.encMu.Lock()
+	if r.encCache == nil || len(r.encCache) >= encCacheMax {
+		r.encCache = make(map[version.ID]encEntry)
+	}
+	r.encCache[id] = encEntry{enc: enc, hash: hash}
+	r.encMu.Unlock()
+	return enc, hash, nil
 }
 
 // Open creates or recovers a repository. When opts.Dir names a directory
@@ -475,6 +581,10 @@ func (r *Repository) CheckinCleanup(v *version.DOV, root bool, cleanupKey string
 	if cleanupWait != nil {
 		cleanupWait() //nolint:errcheck // cleanup record; replay tolerates its absence
 	}
+	r.fireChange(ChangeEvent{
+		Kind: ChangeCheckin, ID: v.ID, DA: v.DA,
+		Parents: append([]version.ID(nil), v.Parents...), Status: v.Status,
+	})
 	return nil
 }
 
@@ -523,9 +633,13 @@ func (r *Repository) SetStatus(id version.ID, s version.Status) error {
 		return err
 	}
 	v.Status = s
+	da := v.DA
 	r.mu.Unlock()
-	_, err = wait()
-	return err
+	if _, err := wait(); err != nil {
+		return err
+	}
+	r.fireChange(ChangeEvent{Kind: ChangeStatus, ID: id, DA: da, Status: s})
+	return nil
 }
 
 // SetFulfilled records the feature names a version satisfied at its last

@@ -1,0 +1,122 @@
+package rpc
+
+import (
+	"sync"
+)
+
+// Notifier is the server→workstation callback channel (DESIGN.md §4): a
+// bounded queue drained by one background worker that pushes fire-and-forget
+// notifications through a reliable Client. Producers (the server-TM's
+// checkin-commit and status-promotion paths) never block on a slow, dead or
+// partitioned workstation — when the queue is full the notification is
+// counted and dropped.
+//
+// Best-effort delivery is sufficient by design: callbacks steer workstation
+// caches toward freshness, they never carry correctness. Every cache use is
+// revalidated by content hash at the server, so a lost callback costs at
+// most one redundant transfer, never a stale read.
+type Notifier struct {
+	client *Client
+
+	mu     sync.Mutex
+	idle   *sync.Cond // signaled when processed or closed advances
+	ch     chan notification
+	closed bool
+	done   chan struct{}
+
+	enqueued, processed   uint64
+	sent, dropped, failed uint64
+}
+
+type notification struct {
+	addr, method string
+	payload      []byte
+}
+
+// DefaultNotifyQueue is the queue capacity used when NewNotifier gets 0.
+const DefaultNotifyQueue = 256
+
+// NewNotifier starts a notifier pushing through client. queue bounds the
+// number of undelivered notifications held (0 = DefaultNotifyQueue).
+func NewNotifier(client *Client, queue int) *Notifier {
+	if queue <= 0 {
+		queue = DefaultNotifyQueue
+	}
+	n := &Notifier{
+		client: client,
+		ch:     make(chan notification, queue),
+		done:   make(chan struct{}),
+	}
+	n.idle = sync.NewCond(&n.mu)
+	go n.run()
+	return n
+}
+
+func (n *Notifier) run() {
+	defer close(n.done)
+	for msg := range n.ch {
+		_, err := n.client.Call(msg.addr, msg.method, msg.payload)
+		n.mu.Lock()
+		if err != nil {
+			n.failed++
+		} else {
+			n.sent++
+		}
+		n.processed++
+		n.idle.Broadcast()
+		n.mu.Unlock()
+	}
+	n.mu.Lock()
+	n.idle.Broadcast()
+	n.mu.Unlock()
+}
+
+// Notify enqueues one notification. It never blocks: a full queue or a
+// closed notifier drops the message (counted in Stats).
+func (n *Notifier) Notify(addr, method string, payload []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		n.dropped++
+		return
+	}
+	select {
+	case n.ch <- notification{addr: addr, method: method, payload: payload}:
+		n.enqueued++
+	default:
+		n.dropped++
+	}
+}
+
+// Flush blocks until every notification enqueued before the call has been
+// attempted (tests and orderly handover; delivery stays best-effort).
+func (n *Notifier) Flush() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	target := n.enqueued
+	for n.processed < target && !n.closed {
+		n.idle.Wait()
+	}
+}
+
+// Close stops the worker after draining already-enqueued notifications.
+// Notify after Close drops.
+func (n *Notifier) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	close(n.ch)
+	n.mu.Unlock()
+	<-n.done
+}
+
+// Stats reports delivered, dropped (queue full or closed) and failed
+// (transport gave up) notification counts.
+func (n *Notifier) Stats() (sent, dropped, failed uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.dropped, n.failed
+}

@@ -1,0 +1,106 @@
+package rpc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNotifierDeliversInOrder(t *testing.T) {
+	trans := NewInProc(FaultPlan{})
+	defer trans.Close()
+	var mu sync.Mutex
+	var got []string
+	if err := trans.Serve("sink", func(method string, payload []byte) ([]byte, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, method+":"+string(payload))
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(trans, "n1")
+	client.Backoff = 0
+	n := NewNotifier(client, 8)
+	defer n.Close()
+	// The handler sees enveloped payloads; strip via Dedup-free manual
+	// check is unnecessary — we only assert delivery count and order of
+	// methods here.
+	n.Notify("sink", "m/a", []byte("1"))
+	n.Notify("sink", "m/b", []byte("2"))
+	n.Notify("sink", "m/c", []byte("3"))
+	n.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("delivered %d notifications, want 3", len(got))
+	}
+	for i, want := range []string{"m/a", "m/b", "m/c"} {
+		if got[i][:3] != want {
+			t.Fatalf("notification %d = %q, want method %q", i, got[i], want)
+		}
+	}
+	sent, dropped, failed := n.Stats()
+	if sent != 3 || dropped != 0 || failed != 0 {
+		t.Fatalf("stats sent=%d dropped=%d failed=%d", sent, dropped, failed)
+	}
+}
+
+func TestNotifierNeverBlocksOnSlowTarget(t *testing.T) {
+	trans := NewInProc(FaultPlan{})
+	defer trans.Close()
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	if err := trans.Serve("slow", func(string, []byte) ([]byte, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(trans, "n2")
+	client.Backoff = 0
+	client.Retries = 1
+	n := NewNotifier(client, 2)
+	defer n.Close()
+	// Wedge the worker on the first delivery, then overrun the queue: the
+	// excess must drop immediately — Notify never blocks the producer
+	// (the server's commit path).
+	n.Notify("slow", "m", nil)
+	<-started
+	for i := 0; i < 10; i++ {
+		n.Notify("slow", "m", nil)
+	}
+	close(release)
+	n.Flush()
+	sent, dropped, _ := n.Stats()
+	if dropped < 8 {
+		t.Fatalf("queue cap 2 wedged: dropped=%d, want >= 8", dropped)
+	}
+	if sent+dropped != 11 {
+		t.Fatalf("sent=%d + dropped=%d != 11", sent, dropped)
+	}
+	// And an unreachable target fails fast without blocking anyone.
+	n.Notify("void", "m", nil)
+	n.Flush()
+	if _, _, failed := n.Stats(); failed != 1 {
+		t.Fatalf("failed=%d after pushing to an unreachable address", failed)
+	}
+}
+
+func TestNotifierCloseIsIdempotentAndDropsLate(t *testing.T) {
+	trans := NewInProc(FaultPlan{})
+	defer trans.Close()
+	client := NewClient(trans, "n3")
+	client.Backoff = 0
+	n := NewNotifier(client, 2)
+	n.Close()
+	n.Close() // double close must not panic
+	n.Notify("anywhere", "m", nil)
+	if _, dropped, _ := n.Stats(); dropped != 1 {
+		t.Fatalf("post-close notify not dropped: %d", dropped)
+	}
+	n.Flush() // must return immediately on a closed notifier
+}

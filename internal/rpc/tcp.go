@@ -109,20 +109,22 @@ func (t *TCP) Call(addr, method string, payload []byte) ([]byte, error) {
 	d := net.Dialer{Timeout: t.DialTimeout}
 	conn, err := d.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+		return nil, fmt.Errorf("%w: %s: %w", ErrUnreachable, addr, err)
 	}
 	defer conn.Close()
 	if t.CallTimeout > 0 {
 		conn.SetDeadline(time.Now().Add(t.CallTimeout)) //nolint:errcheck
 	}
 	if err := gob.NewEncoder(conn).Encode(&tcpRequest{Method: method, Payload: payload}); err != nil {
-		return nil, fmt.Errorf("%w: send: %v", ErrDropped, err)
+		return nil, fmt.Errorf("%w: send: %w", ErrDropped, err)
 	}
 	var resp tcpResponse
 	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
-		return nil, fmt.Errorf("%w: recv: %v", ErrDropped, err)
+		return nil, fmt.Errorf("%w: recv: %w", ErrDropped, err)
 	}
 	if resp.Err != "" {
+		// The error chain cannot cross a socket; the remote cause survives
+		// as text only (in-process transports preserve the full chain).
 		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err)
 	}
 	return resp.Payload, nil

@@ -135,7 +135,10 @@ func (t *InProc) Call(addr, method string, payload []byte) ([]byte, error) {
 	}
 	resp, err := h(method, payload)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+		// Both sentinels stay unwrappable: callers branch on ErrRemote to
+		// stop retrying, and on the application error underneath (e.g.
+		// txn.ErrCheckinFailed, lock.ErrDeadlock) to decide how to react.
+		return nil, fmt.Errorf("%w: %w", ErrRemote, err)
 	}
 	if t.chance(t.plan.DropResponse) {
 		return nil, fmt.Errorf("%w: response from %s/%s", ErrDropped, addr, method)

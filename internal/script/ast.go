@@ -1,6 +1,8 @@
-// Package script implements CONCORD's Design Control (DC) level: the
-// organization of design-tool applications within one design activity
-// (Sect. 4.2) and the design manager (DM) enforcing it (Sect. 5.3).
+// Package script implements CONCORD's Design Control (DC) level — the
+// design flow management (DFM) layer, between the cooperation layer above
+// and design object management (DOM) below: the organization of design-tool
+// applications within one design activity (Sect. 4.2) and the design
+// manager (DM) enforcing it (Sect. 5.3).
 //
 // Three mechanisms combine to specify a DA's work flow:
 //

@@ -1,0 +1,205 @@
+package txn
+
+import (
+	"sync"
+
+	"concord/internal/repo"
+	"concord/internal/rpc"
+	"concord/internal/version"
+)
+
+// cacheDir is the server-TM's registry of workstation cache contents: which
+// workstation holds which version, at which callback address, under which
+// cache epoch. Checkout and checkin register entries; version-change events
+// from the repository fan out as callback invalidations to every registered
+// workstation (DESIGN.md §4).
+//
+// The registry is volatile by design. After a server crash it starts empty —
+// workstation caches keep their entries and simply re-register on their next
+// checkout, and because cache reads are always hash-revalidated at the
+// server, the lost registrations cost at most missed (best-effort anyway)
+// callbacks, never stale reads. Nothing here touches the checkpoint
+// invariants of DESIGN.md §3.5.
+type cacheDir struct {
+	mu    sync.Mutex
+	byVer map[version.ID]map[string]cacheReg
+	// byWS mirrors byVer per workstation with a registration clock, so the
+	// per-workstation bound below can evict oldest-first.
+	byWS  map[string]map[version.ID]uint64
+	clock uint64
+}
+
+// cacheReg is one workstation's registration.
+type cacheReg struct {
+	addr  string
+	epoch uint64
+}
+
+// maxRegsPerWS bounds the registrations kept per workstation. Client caches
+// hold at most DefaultCacheEntries versions (LRU), so tracking a couple of
+// multiples of that keeps every useful callback while keeping server memory
+// O(workstations), not O(history) — the same bounded-by-live-state
+// discipline §3.5 applies to disk.
+const maxRegsPerWS = 2 * DefaultCacheEntries
+
+func newCacheDir() *cacheDir {
+	return &cacheDir{
+		byVer: make(map[version.ID]map[string]cacheReg),
+		byWS:  make(map[string]map[version.ID]uint64),
+	}
+}
+
+// register records that workstation ws (callback addr, cache epoch) holds
+// id. A registration from a newer epoch replaces its predecessor, so
+// callbacks never chase a dead incarnation for long; per workstation the
+// oldest registration is evicted beyond maxRegsPerWS (its client-side entry
+// has long been LRU-evicted too, so the lost callback would have been a
+// no-op).
+func (d *cacheDir) register(ws, addr string, epoch uint64, id version.ID) {
+	if ws == "" || addr == "" {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	regs, ok := d.byVer[id]
+	if !ok {
+		regs = make(map[string]cacheReg)
+		d.byVer[id] = regs
+	}
+	if cur, ok := regs[ws]; ok && epoch < cur.epoch {
+		return
+	}
+	regs[ws] = cacheReg{addr: addr, epoch: epoch}
+	seen, ok := d.byWS[ws]
+	if !ok {
+		seen = make(map[version.ID]uint64)
+		d.byWS[ws] = seen
+	}
+	d.clock++
+	seen[id] = d.clock
+	for len(seen) > maxRegsPerWS {
+		var victim version.ID
+		var oldest uint64
+		for v, c := range seen {
+			if victim == "" || c < oldest {
+				victim, oldest = v, c
+			}
+		}
+		d.unregisterLocked(ws, victim)
+	}
+}
+
+// unregisterLocked removes one (ws, id) registration. d.mu must be held.
+func (d *cacheDir) unregisterLocked(ws string, id version.ID) {
+	if seen, ok := d.byWS[ws]; ok {
+		delete(seen, id)
+		if len(seen) == 0 {
+			delete(d.byWS, ws)
+		}
+	}
+	if regs, ok := d.byVer[id]; ok {
+		delete(regs, ws)
+		if len(regs) == 0 {
+			delete(d.byVer, id)
+		}
+	}
+}
+
+// drop forgets every registration of id (after an invalidating push the
+// clients drop their entries too).
+func (d *cacheDir) drop(id version.ID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for ws := range d.byVer[id] {
+		if seen, ok := d.byWS[ws]; ok {
+			delete(seen, id)
+			if len(seen) == 0 {
+				delete(d.byWS, ws)
+			}
+		}
+	}
+	delete(d.byVer, id)
+}
+
+// registrations reports the total registration count (diagnostics, tests).
+func (d *cacheDir) registrations() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, regs := range d.byVer {
+		n += len(regs)
+	}
+	return n
+}
+
+// wsTarget groups one workstation's pending invalidations. When the same
+// workstation is registered under different epochs for different versions,
+// the newest epoch wins (the client ignores callbacks for any other).
+type wsTarget struct {
+	addr    string
+	epoch   uint64
+	entries []invalidation
+}
+
+// collect gathers, per registered workstation, the invalidation entries for
+// a set of affected versions.
+func (d *cacheDir) collect(pairs []invalidation) map[string]*wsTarget {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]*wsTarget)
+	for _, inv := range pairs {
+		for ws, reg := range d.byVer[inv.DOV] {
+			t, ok := out[ws]
+			if !ok {
+				t = &wsTarget{addr: reg.addr, epoch: reg.epoch}
+				out[ws] = t
+			} else if reg.epoch > t.epoch {
+				t.addr, t.epoch = reg.addr, reg.epoch
+			}
+			t.entries = append(t.entries, inv)
+		}
+	}
+	return out
+}
+
+// SetNotifier installs the callback channel used to push cache
+// invalidations to workstations (core wires an rpc.Notifier over the
+// workstation/server transport). Nil disables pushes; registrations are
+// still tracked so a notifier can be attached later.
+func (s *ServerTM) SetNotifier(n *rpc.Notifier) {
+	s.mu.Lock()
+	s.notifier = n
+	s.mu.Unlock()
+}
+
+// VersionChanged is the repository change hook (repo.SetChangeHook): it
+// translates version mutations into cache invalidations and pushes them to
+// every registered workstation. Checkins supersede their parents; status
+// updates refresh (or, for StatusInvalid, evict) the version itself.
+func (s *ServerTM) VersionChanged(ev repo.ChangeEvent) {
+	s.mu.Lock()
+	n := s.notifier
+	s.mu.Unlock()
+	if n == nil {
+		return
+	}
+	var pairs []invalidation
+	switch ev.Kind {
+	case repo.ChangeCheckin:
+		for _, p := range ev.Parents {
+			pairs = append(pairs, invalidation{DOV: p, Kind: invSuperseded, By: ev.ID})
+		}
+	case repo.ChangeStatus:
+		pairs = append(pairs, invalidation{DOV: ev.ID, Kind: invStatus, Status: ev.Status})
+	}
+	if len(pairs) == 0 {
+		return
+	}
+	targets := s.cdir.collect(pairs)
+	for _, t := range targets {
+		n.Notify(t.addr, MethodInvalidate, invalidateMsg{Epoch: t.epoch, Entries: t.entries}.encode())
+	}
+	if ev.Kind == repo.ChangeStatus && ev.Status == version.StatusInvalid {
+		s.cdir.drop(ev.ID)
+	}
+}

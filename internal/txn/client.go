@@ -1,12 +1,14 @@
 package txn
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"path/filepath"
 	"sort"
 	"sync"
 
+	"concord/internal/binenc"
 	"concord/internal/catalog"
 	"concord/internal/rpc"
 	"concord/internal/version"
@@ -126,26 +128,50 @@ func (d *DOP) LastResult() version.ID {
 	return d.lastResult
 }
 
+// WireStats counts this client-TM's checkout/checkin wire traffic: how many
+// transfers the workstation cache downgraded to NotModified handshakes or
+// deltas, and the payload bytes that actually crossed the LAN. E14 reads it.
+type WireStats struct {
+	// Checkouts is the total checkout count; the next three partition it.
+	Checkouts, NotModified, DeltaCheckouts, FullCheckouts uint64
+	// CheckoutBytesOut / CheckoutBytesIn are request and response payload
+	// bytes of checkout calls.
+	CheckoutBytesOut, CheckoutBytesIn uint64
+	// Checkins is the total staged-checkin count; the next two partition it.
+	Checkins, DeltaCheckins, FullCheckins uint64
+	// CheckinBytesOut is the staged payload bytes shipped (2PC control
+	// messages are O(1) and not counted).
+	CheckinBytesOut uint64
+}
+
 // ClientTM is the workstation half of the transaction manager. It manages
 // the internal structure of DOPs and persists their contexts so that a
 // workstation crash rolls back only to the most recent recovery point, not
-// to the beginning of the long-lived DOP (Sect. 5.2).
+// to the beginning of the long-lived DOP (Sect. 5.2). Its ObjectCache keeps
+// checked-out and checked-in payloads on the workstation so repeated
+// transfers shrink to NotModified handshakes or deltas (DESIGN.md §4).
 type ClientTM struct {
 	id         string
 	client     *rpc.Client
 	serverAddr string
 	coord      *rpc.Coordinator
 	log        *wal.Log
+	cache      *ObjectCache
 
-	mu   sync.Mutex
-	dops map[string]*DOP
-	seq  uint64
+	mu     sync.Mutex
+	dops   map[string]*DOP
+	seq    uint64
+	cbAddr string
+	stats  WireStats
 }
 
 // NewClientTM opens a client-TM writing its recovery data under dir (the
-// workstation disk; empty disables persistence). Returns the TM and any DOP
-// contexts recovered from a previous incarnation, restored at their most
-// recent recovery points.
+// workstation disk; empty disables persistence). The checkout cache lives
+// under dir/cache — persistent across workstation crashes, with the epoch
+// bump on every open retiring the previous incarnation's callback
+// registrations; with dir empty the cache is volatile. Returns the TM and
+// any DOP contexts recovered from a previous incarnation, restored at their
+// most recent recovery points.
 func NewClientTM(id string, client *rpc.Client, serverAddr, dir string) (*ClientTM, []*DOP, error) {
 	tm := &ClientTM{
 		id:         id,
@@ -153,6 +179,15 @@ func NewClientTM(id string, client *rpc.Client, serverAddr, dir string) (*Client
 		serverAddr: serverAddr,
 		dops:       make(map[string]*DOP),
 	}
+	cacheDir := ""
+	if dir != "" {
+		cacheDir = filepath.Join(dir, "cache")
+	}
+	cache, err := OpenObjectCache(cacheDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	tm.cache = cache
 	var coordLog *wal.Log
 	if dir != "" {
 		l, err := wal.Open(filepath.Join(dir, "client-tm.wal"), wal.Options{SyncOnAppend: true})
@@ -190,6 +225,27 @@ func (tm *ClientTM) Close() error {
 // Coordinator exposes the 2PC coordinator (for in-doubt resolution by a
 // restarting server participant).
 func (tm *ClientTM) Coordinator() *rpc.Coordinator { return tm.coord }
+
+// Cache exposes the workstation object cache.
+func (tm *ClientTM) Cache() *ObjectCache { return tm.cache }
+
+// SetCallbackAddr names the transport address on which this workstation
+// serves MethodInvalidate (the cache's Handler); the server-TM registers it
+// with every checkout and checkin so invalidations find their way back.
+// Empty (the default) leaves callbacks off — the cache still works, it just
+// never hears about remote changes before its next revalidation.
+func (tm *ClientTM) SetCallbackAddr(addr string) {
+	tm.mu.Lock()
+	tm.cbAddr = addr
+	tm.mu.Unlock()
+}
+
+// WireStats returns a snapshot of the wire-traffic counters.
+func (tm *ClientTM) WireStats() WireStats {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.stats
+}
 
 // recover rebuilds DOP contexts from the client log.
 func (tm *ClientTM) recover() ([]*DOP, error) {
@@ -367,31 +423,130 @@ func (d *DOP) recoveryPointLocked(tag string) error {
 // concurrent derivation of the same version. A recovery point is taken
 // automatically after the checkout "to avoid duplicate requests of a DOV
 // from the server in the case of a failure" (Sect. 5.2).
+//
+// The transfer itself is cache-negotiated (DESIGN.md §4): when the
+// workstation cache holds the version, the server answers NotModified; when
+// it holds a relative, the payload travels as a delta. Every reconstruction
+// is verified against the server's content hash, and a cache miss mid-race
+// (an invalidation dropping the entry between request and response) falls
+// back to one cache-blind refetch.
 func (d *DOP) Checkout(dov version.ID, derive bool) (*catalog.Object, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.phase != PhaseActive {
 		return nil, fmt.Errorf("%w: %s is %s", ErrDOPNotActive, d.id, d.phase)
 	}
-	payload := checkoutMsg{DOP: d.id, DA: d.da, DOV: dov, Derive: derive}.encode()
-	resp, err := d.tm.client.Call(d.tm.serverAddr, MethodCheckout, payload)
-	if err != nil {
-		return nil, err
-	}
-	w, err := decodeDOVWireBytes(resp)
-	if err != nil {
-		return nil, err
-	}
-	v, err := wireToDOV(w)
+	obj, err := d.fetch(dov, derive, true)
 	if err != nil {
 		return nil, err
 	}
 	d.inputs = append(d.inputs, dov)
-	d.inputData[dov] = v.Object
+	d.inputData[dov] = obj
 	if err := d.recoveryPointLocked("post-checkout"); err != nil {
 		return nil, err
 	}
-	return v.Object.Clone(), nil
+	return obj.Clone(), nil
+}
+
+// fetch performs one cache-negotiated checkout transfer. useCache false runs
+// the degenerate (always-full) protocol — the retry path after a cache race
+// and the behaviour of cacheless clients. d.mu must be held.
+func (d *DOP) fetch(dov version.ID, derive, useCache bool) (*catalog.Object, error) {
+	tm := d.tm
+	m := checkoutMsg{DOP: d.id, DA: d.da, DOV: dov, Derive: derive}
+	if useCache && tm.cache != nil {
+		tm.mu.Lock()
+		m.WS, m.CBAddr = tm.id, tm.cbAddr
+		tm.mu.Unlock()
+		m.Epoch = tm.cache.Epoch()
+		if id, h, ok := tm.cache.BestBase(d.da, dov); ok {
+			m.BaseID, m.BaseHash = id, h
+		}
+	}
+	payload := m.encode()
+	resp, err := tm.client.Call(tm.serverAddr, MethodCheckout, payload)
+	tm.mu.Lock()
+	tm.stats.Checkouts++
+	tm.stats.CheckoutBytesOut += uint64(len(payload))
+	tm.stats.CheckoutBytesIn += uint64(len(resp))
+	tm.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	cr, err := decodeCheckoutResp(resp)
+	if err != nil {
+		return nil, err
+	}
+	count := func(field *uint64) {
+		tm.mu.Lock()
+		*field++
+		tm.mu.Unlock()
+	}
+	switch cr.Mode {
+	case coFull:
+		count(&tm.stats.FullCheckouts)
+		obj, err := catalog.DecodeObject(cr.DOV.Object)
+		if err != nil {
+			return nil, err
+		}
+		if tm.cache != nil {
+			tm.cache.Put(dovMeta{
+				ID: cr.DOV.ID, DOT: cr.DOV.DOT, DA: cr.DOV.DA,
+				Parents: cr.DOV.Parents, Status: cr.DOV.Status, Fulfilled: cr.DOV.Fulfilled,
+			}, cr.Hash, cr.DOV.Object)
+		}
+		return obj, nil
+	case coNotModified:
+		count(&tm.stats.NotModified)
+		_, hash, enc, ok := tm.cache.Lookup(dov)
+		if !ok || !bytes.Equal(hash, cr.Hash) {
+			// The entry vanished or changed underneath the in-flight call
+			// (concurrent invalidation). Refetch cache-blind; derivation
+			// locks are owner-reentrant, so re-running the checkout with
+			// the same DOP is safe.
+			if useCache {
+				return d.fetch(dov, derive, false)
+			}
+			return nil, fmt.Errorf("txn: checkout %s: NotModified without a cached copy", dov)
+		}
+		obj, err := catalog.DecodeObject(enc)
+		if err != nil {
+			return nil, err
+		}
+		// Refresh the volatile metadata (status, fulfilled features) the
+		// server just served under its lock.
+		tm.cache.Put(cr.Meta, cr.Hash, enc)
+		return obj, nil
+	case coDelta:
+		count(&tm.stats.DeltaCheckouts)
+		_, baseHash, baseEnc, ok := tm.cache.Lookup(cr.BaseID)
+		if !ok {
+			if useCache {
+				return d.fetch(dov, derive, false)
+			}
+			return nil, fmt.Errorf("txn: checkout %s: delta against evicted base %s", dov, cr.BaseID)
+		}
+		enc, err := binenc.ApplyDelta(baseEnc, cr.Delta)
+		if err == nil && !bytes.Equal(catalog.HashEncoded(enc), cr.Hash) {
+			err = fmt.Errorf("txn: checkout %s: delta reconstruction does not match server hash (base %s, hash %x)", dov, cr.BaseID, baseHash[:4])
+		}
+		if err != nil {
+			// Never trust a failed reconstruction; one cache-blind refetch
+			// resolves races, otherwise surface the fault.
+			if useCache {
+				return d.fetch(dov, derive, false)
+			}
+			return nil, err
+		}
+		obj, err := catalog.DecodeObject(enc)
+		if err != nil {
+			return nil, err
+		}
+		tm.cache.Put(cr.Meta, cr.Hash, enc)
+		return obj, nil
+	default:
+		return nil, fmt.Errorf("txn: checkout %s: unknown response mode %d", dov, cr.Mode)
+	}
 }
 
 // Input returns a copy of a previously checked-out object (reference
@@ -542,10 +697,12 @@ func (d *DOP) Checkin(status version.Status, root bool) (version.ID, error) {
 	if err != nil {
 		return "", err
 	}
+	hash := catalog.HashEncoded(objData)
 	var parents []version.ID
 	if !root {
 		parents = append([]version.ID(nil), d.inputs...)
 	}
+	tm := d.tm
 	msg := stageMsg{
 		DOP:  d.id,
 		TxID: txid,
@@ -554,15 +711,43 @@ func (d *DOP) Checkin(status version.Status, root bool) (version.ID, error) {
 			Parents: parents, Object: objData, Status: status,
 		},
 		Root: root,
+		Hash: hash,
+	}
+	deltaShipped := false
+	if tm.cache != nil {
+		tm.mu.Lock()
+		msg.WS, msg.CBAddr = tm.id, tm.cbAddr
+		tm.mu.Unlock()
+		msg.Epoch = tm.cache.Epoch()
+		// Ship the workspace as a delta against a cached relative — the
+		// most recent input is usually the version this one was derived
+		// from — whenever that is actually smaller. The server reapplies
+		// the delta and verifies the content hash before staging.
+		if baseID, baseHash, baseEnc, ok := d.checkinBase(); ok {
+			if delta := binenc.Delta(baseEnc, objData); len(delta) < len(objData) {
+				msg.DOV.Object = nil
+				msg.BaseID, msg.BaseHash, msg.Delta = baseID, baseHash, delta
+				deltaShipped = true
+			}
+		}
 	}
 	payload := msg.encode()
-	if _, err := d.tm.client.Call(d.tm.serverAddr, MethodStage, payload); err != nil {
-		d.checkins--
-		return "", err
+	tm.mu.Lock()
+	tm.stats.Checkins++
+	tm.stats.CheckinBytesOut += uint64(len(payload))
+	if deltaShipped {
+		tm.stats.DeltaCheckins++
+	} else {
+		tm.stats.FullCheckins++
 	}
-	outcome, err := d.tm.coord.Commit(txid, []string{d.tm.serverAddr})
+	tm.mu.Unlock()
+	if _, err := tm.client.Call(tm.serverAddr, MethodStage, payload); err != nil {
+		d.checkins--
+		return "", fmt.Errorf("txn: stage checkin %s: %w", txid, err)
+	}
+	outcome, err := tm.coord.Commit(txid, []string{tm.serverAddr})
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("txn: commit checkin %s: %w", txid, err)
 	}
 	if outcome != rpc.OutcomeCommitted {
 		// "Checkin failure": the server refused (e.g. integrity
@@ -570,11 +755,39 @@ func (d *DOP) Checkin(status version.Status, root bool) (version.ID, error) {
 		// (Sect. 5.2).
 		return "", fmt.Errorf("%w: transaction %s", ErrCheckinFailed, txid)
 	}
+	if tm.cache != nil {
+		// The new version's bytes are already here; cache them so the next
+		// checkout of this version is a NotModified handshake.
+		tm.cache.Put(dovMeta{
+			ID: newID, DOT: d.workspace.Type, DA: d.da,
+			Parents: parents, Status: status,
+		}, hash, objData)
+	}
 	d.lastResult = newID
 	if err := d.recoveryPointLocked("post-checkin"); err != nil {
 		return newID, err
 	}
 	return newID, nil
+}
+
+// checkinBase picks the delta base for a checkin: the most recently checked
+// out input still cached (the likeliest derivation parent), falling back to
+// the cache's best entry for this DA. d.mu must be held.
+func (d *DOP) checkinBase() (version.ID, []byte, []byte, bool) {
+	for i := len(d.inputs) - 1; i >= 0; i-- {
+		if _, hash, enc, ok := d.tm.cache.Lookup(d.inputs[i]); ok {
+			return d.inputs[i], hash, enc, true
+		}
+	}
+	id, _, ok := d.tm.cache.BestBase(d.da, "")
+	if !ok {
+		return "", nil, nil, false
+	}
+	_, hash, enc, ok := d.tm.cache.Lookup(id)
+	if !ok {
+		return "", nil, nil, false
+	}
+	return id, hash, enc, true
 }
 
 // Commit ends the DOP successfully (End-of-DOP): the server releases all

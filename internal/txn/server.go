@@ -1,11 +1,13 @@
 package txn
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"concord/internal/binenc"
 	"concord/internal/catalog"
 	"concord/internal/lock"
 	"concord/internal/repo"
@@ -17,6 +19,11 @@ import (
 var (
 	ErrUnknownDOP = errors.New("txn: unknown DOP")
 	ErrNotStaged  = errors.New("txn: no staged DOV for transaction")
+	// ErrDeltaBase reports a delta checkin whose base or reconstructed
+	// content failed hash verification. It is a hard failure: nothing is
+	// staged, nothing is logged — a wrong base must never corrupt the
+	// repository (DESIGN.md §4).
+	ErrDeltaBase = errors.New("txn: checkin delta failed hash verification")
 )
 
 // ServerTM is the server half of the transaction manager: it guards the
@@ -26,12 +33,16 @@ type ServerTM struct {
 	repo   *repo.Repository
 	locks  *lock.Manager
 	scopes *lock.ScopeTable
+	// cdir tracks which workstation caches hold which versions (DESIGN.md
+	// §4); volatile, rebuilt by re-registration after a server restart.
+	cdir *cacheDir
 	// LockTimeout bounds lock waits (default 5s).
 	LockTimeout time.Duration
 
-	mu     sync.Mutex
-	dops   map[string]*serverDOP
-	staged map[string]*stagedCheckin
+	mu       sync.Mutex
+	dops     map[string]*serverDOP
+	staged   map[string]*stagedCheckin
+	notifier *rpc.Notifier
 }
 
 type serverDOP struct {
@@ -44,10 +55,18 @@ type stagedCheckin struct {
 	dop string
 	dov *version.DOV
 	// raw is the encoded stageMsg as received from the wire; Prepare
-	// persists it verbatim instead of re-encoding the version.
+	// persists it verbatim instead of re-encoding the version. Delta-form
+	// stage messages are expanded before staging, so raw (and with it every
+	// durable staged record) is always full-form — recovery never needs a
+	// delta base (§3.5 invariants untouched).
 	raw      []byte
 	root     bool
 	prepared bool
+	// ws/cbAddr/epoch register the committing workstation's cache for the
+	// new version once Commit installs it.
+	ws     string
+	cbAddr string
+	epoch  uint64
 }
 
 // NewServerTM builds a server-TM over the repository, lock manager and scope
@@ -59,6 +78,7 @@ func NewServerTM(r *repo.Repository, lm *lock.Manager, st *lock.ScopeTable) *Ser
 		repo:        r,
 		locks:       lm,
 		scopes:      st,
+		cdir:        newCacheDir(),
 		LockTimeout: 5 * time.Second,
 		dops:        make(map[string]*serverDOP),
 		staged:      make(map[string]*stagedCheckin),
@@ -112,37 +132,82 @@ func (s *ServerTM) Begin(dop, da string) error {
 // can check the version out for derivation concurrently (Sect. 5.2). A
 // short S lock protects the read itself.
 func (s *ServerTM) Checkout(dop string, dov version.ID, derive bool) (*version.DOV, error) {
+	v, _, _, err := s.checkoutEnc(dop, dov, derive)
+	return v, err
+}
+
+// checkoutEnc is Checkout plus the canonical payload encoding and content
+// hash of the version (memoized in the repository), which the wire layer
+// needs for the NotModified/delta negotiation.
+func (s *ServerTM) checkoutEnc(dop string, dov version.ID, derive bool) (*version.DOV, []byte, []byte, error) {
 	s.mu.Lock()
 	st, ok := s.dops[dop]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownDOP, dop)
+		return nil, nil, nil, fmt.Errorf("%w: %s", ErrUnknownDOP, dop)
 	}
 	if err := s.scopes.CheckAccess(st.da, string(dov)); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	res := "dov/" + string(dov)
 	if derive {
 		if err := s.locks.Acquire(dop, res, lock.D, s.LockTimeout); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		s.mu.Lock()
 		st.derivationLocks[dov] = true
 		s.mu.Unlock()
 	} else {
 		if err := s.locks.Acquire(dop, res, lock.S, s.LockTimeout); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		defer s.locks.Release(dop, res) //nolint:errcheck // short lock
 	}
 	v, err := s.repo.Get(dov)
-	if err != nil {
-		if derive {
-			s.releaseDerivation(dop, dov)
+	if err == nil {
+		var enc, hash []byte
+		if enc, hash, err = s.repo.EncodedObject(dov); err == nil {
+			return v, enc, hash, nil
 		}
+	}
+	if derive {
+		s.releaseDerivation(dop, dov)
+	}
+	return nil, nil, nil, err
+}
+
+// checkoutWire serves one MethodCheckout call: perform the checkout, record
+// the workstation's cache registration, and answer in the cheapest mode the
+// client's offered base allows — NotModified (it already holds the target),
+// a binenc delta (it holds a verified relative), or the full DOV.
+func (s *ServerTM) checkoutWire(m checkoutMsg) ([]byte, error) {
+	v, enc, hash, err := s.checkoutEnc(m.DOP, m.DOV, m.Derive)
+	if err != nil {
 		return nil, err
 	}
-	return v, nil
+	s.cdir.register(m.WS, m.CBAddr, m.Epoch, m.DOV)
+	meta := dovMeta{ID: v.ID, DOT: v.DOT, DA: v.DA, Parents: v.Parents, Status: v.Status, Fulfilled: v.Fulfilled}
+	if m.BaseID == m.DOV && bytes.Equal(m.BaseHash, hash) {
+		return checkoutResp{Mode: coNotModified, Meta: meta, Hash: hash}.encode(), nil
+	}
+	if m.BaseID != "" {
+		baseEnc, baseHash, err := s.repo.EncodedObject(m.BaseID)
+		if err == nil && bytes.Equal(baseHash, m.BaseHash) {
+			if delta := binenc.Delta(baseEnc, enc); len(delta) < len(enc) {
+				return checkoutResp{Mode: coDelta, Meta: meta, Hash: hash, BaseID: m.BaseID, Delta: delta}.encode(), nil
+			}
+		}
+		// Unknown base, divergent hash or incompressible pair: fall through
+		// to a full transfer — the client's offer is advisory only.
+	}
+	return checkoutResp{
+		Mode: coFull,
+		DOV: dovWire{
+			ID: v.ID, DOT: v.DOT, DA: v.DA, Parents: v.Parents,
+			Object: enc, Status: v.Status, Fulfilled: v.Fulfilled,
+		},
+		Hash: hash,
+	}.encode(), nil
 }
 
 func (s *ServerTM) releaseDerivation(dop string, dov version.ID) {
@@ -174,6 +239,13 @@ func (s *ServerTM) ReleaseDerivationLock(dop string, dov version.ID) error {
 // version is validated at prepare time. raw, if non-nil, is the encoded
 // stageMsg exactly as received; Prepare persists it without re-encoding.
 func (s *ServerTM) Stage(dop, txid string, v *version.DOV, root bool, raw []byte) error {
+	return s.stage(dop, txid, v, root, raw, "", "", 0)
+}
+
+// stage is Stage plus the committing workstation's cache identity, which
+// Commit registers for the new version (the workstation retains the bytes it
+// just shipped, so its next checkout of this version is a NotModified).
+func (s *ServerTM) stage(dop, txid string, v *version.DOV, root bool, raw []byte, ws, cbAddr string, epoch uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.dops[dop]
@@ -184,8 +256,44 @@ func (s *ServerTM) Stage(dop, txid string, v *version.DOV, root bool, raw []byte
 		v.DA = st.da
 		raw = nil // the wire form lacks the DA; fall back to re-encoding
 	}
-	s.staged[txid] = &stagedCheckin{dop: dop, dov: v, raw: raw, root: root}
+	s.staged[txid] = &stagedCheckin{dop: dop, dov: v, raw: raw, root: root, ws: ws, cbAddr: cbAddr, epoch: epoch}
 	return nil
+}
+
+// expandStage resolves a wire stage message to its full form: delta-encoded
+// payloads are reconstructed from the named base and every content hash is
+// verified before anything reaches the staging table. A mismatch is a hard
+// ErrDeltaBase failure — wrong bases must never corrupt the repository.
+// It returns the full payload encoding and whether the message arrived in
+// delta form (in which case the caller must not reuse the wire bytes as the
+// durable staged record).
+func (s *ServerTM) expandStage(m *stageMsg) (wasDelta bool, err error) {
+	if m.BaseID == "" {
+		if len(m.Hash) > 0 && !bytes.Equal(catalog.HashEncoded(m.DOV.Object), m.Hash) {
+			return false, fmt.Errorf("%w: full payload of %s does not match its declared hash", ErrDeltaBase, m.DOV.ID)
+		}
+		return false, nil
+	}
+	if len(m.Hash) == 0 {
+		return true, fmt.Errorf("%w: delta checkin of %s carries no content hash", ErrDeltaBase, m.DOV.ID)
+	}
+	baseEnc, baseHash, err := s.repo.EncodedObject(m.BaseID)
+	if err != nil {
+		return true, fmt.Errorf("%w: base %s: %w", ErrDeltaBase, m.BaseID, err)
+	}
+	if !bytes.Equal(baseHash, m.BaseHash) {
+		return true, fmt.Errorf("%w: base %s hash diverges from the client's", ErrDeltaBase, m.BaseID)
+	}
+	full, err := binenc.ApplyDelta(baseEnc, m.Delta)
+	if err != nil {
+		return true, fmt.Errorf("%w: %w", ErrDeltaBase, err)
+	}
+	if !bytes.Equal(catalog.HashEncoded(full), m.Hash) {
+		return true, fmt.Errorf("%w: reconstructed %s does not match its declared hash", ErrDeltaBase, m.DOV.ID)
+	}
+	m.DOV.Object = full
+	m.BaseID, m.BaseHash, m.Delta = "", nil, nil
+	return true, nil
 }
 
 // Prepare implements rpc.Resource: validate the staged DOV (schema
@@ -268,11 +376,19 @@ func (s *ServerTM) Commit(txid string) error {
 	if err := s.scopes.Own(v.DA, string(v.ID)); err != nil {
 		return err
 	}
+	// The committing workstation keeps the bytes it shipped: register its
+	// cache for the new version so callbacks reach it and its re-checkout
+	// is a NotModified.
+	s.cdir.register(sc.ws, sc.cbAddr, sc.epoch, v.ID)
 	s.mu.Lock()
 	delete(s.staged, txid)
 	s.mu.Unlock()
 	return nil
 }
+
+// CacheRegistrations reports the number of live workstation cache
+// registrations (diagnostics, tests).
+func (s *ServerTM) CacheRegistrations() int { return s.cdir.registrations() }
 
 // Abort implements rpc.Resource: discard the staged DOV (presumed abort:
 // unknown transactions are fine).
@@ -328,13 +444,13 @@ func (s *ServerTM) Handler(participant *rpc.Participant) rpc.Handler {
 			if err != nil {
 				return nil, err
 			}
-			v, err := s.Checkout(m.DOP, m.DOV, m.Derive)
+			return s.checkoutWire(m)
+		case MethodStage:
+			m, err := decodeStage(payload)
 			if err != nil {
 				return nil, err
 			}
-			return encodeDOV(v)
-		case MethodStage:
-			m, err := decodeStage(payload)
+			wasDelta, err := s.expandStage(&m)
 			if err != nil {
 				return nil, err
 			}
@@ -342,7 +458,11 @@ func (s *ServerTM) Handler(participant *rpc.Participant) rpc.Handler {
 			if err != nil {
 				return nil, err
 			}
-			return nil, s.Stage(m.DOP, m.TxID, v, m.Root, payload)
+			raw := payload
+			if wasDelta {
+				raw = nil // the wire bytes are delta-form; Prepare re-encodes
+			}
+			return nil, s.stage(m.DOP, m.TxID, v, m.Root, raw, m.WS, m.CBAddr, m.Epoch)
 		case MethodRelease:
 			m, err := decodeRelease(payload)
 			if err != nil {
@@ -358,18 +478,6 @@ func (s *ServerTM) Handler(participant *rpc.Participant) rpc.Handler {
 			return nil, fmt.Errorf("txn: server-TM: unknown method %q", method)
 		}
 	}
-}
-
-// encodeDOV converts a version to its wire form.
-func encodeDOV(v *version.DOV) ([]byte, error) {
-	obj, err := catalog.EncodeObject(v.Object)
-	if err != nil {
-		return nil, err
-	}
-	return encodeDOVWire(dovWire{
-		ID: v.ID, DOT: v.DOT, DA: v.DA, Parents: v.Parents,
-		Object: obj, Status: v.Status, Fulfilled: v.Fulfilled,
-	}), nil
 }
 
 // wireToDOV converts the wire form back to a version.

@@ -1,5 +1,7 @@
 // Package version implements CONCORD's design object versions (DOVs) and
-// the per-design-activity derivation graphs that organize them.
+// the per-design-activity derivation graphs that organize them — the core
+// model of the design object management (DOM) layer, beneath design flow
+// management (DFM) and the cooperation layer.
 //
 // Every DOV created within a design activity (DA) belongs to that DA's
 // derivation graph — a DAG whose edges record which versions a design

@@ -1,5 +1,7 @@
 // Package vlsi implements the design substrate of CONCORD's sample design
-// process: the PLAYOUT-style VLSI methodology of Sect. 3 [Zi86]. It provides
+// process — the domain instantiation of the design object management (DOM)
+// layer, below DFM and the cooperation layer: the PLAYOUT-style VLSI
+// methodology of Sect. 3 [Zi86]. It provides
 // the design plane (four domains × a four-level cell hierarchy, Fig. 2), the
 // data types flowing between design tools (behaviours, netlists, shape
 // functions, floorplans, mask layouts), and executable stand-ins for the

@@ -160,7 +160,7 @@ type Options struct {
 	SyncOnAppend bool
 	// NoGroupCommit disables append batching: every record is written and
 	// synced on its own under a single mutex. Exists so benchmarks and
-	// experiments (DESIGN.md §5, E12) can quantify what group commit buys.
+	// experiments (DESIGN.md §6, E12) can quantify what group commit buys.
 	NoGroupCommit bool
 	// SegmentBytes is the segment rotation threshold (default
 	// DefaultSegmentBytes). A segment may overshoot by one append batch.
