@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet fmt-check doc-lint e14-short bench experiments example-recovery check all
+.PHONY: build test test-race vet fmt-check doc-lint e14-short e15-short bench bench-json experiments example-recovery check all
 
 all: check
 
@@ -30,6 +30,11 @@ doc-lint:
 e14-short:
 	$(GO) test ./internal/experiments -run TestE14CacheDeltaBounds -count=1 -v
 
+# E15 acceptance bounds (MVCC read path: >=1.3x CI throughput floor, >=50%
+# fewer allocs/op vs the locked+clone baseline) in short mode.
+e15-short:
+	$(GO) test ./internal/experiments -run TestE15ReadScalingBounds -count=1 -v
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -37,7 +42,12 @@ fmt-check:
 bench:
 	$(GO) test -bench . -benchtime 1s -run XXX .
 
-# Regenerate every experiment table (E1-E14); EXPERIMENTS.md records the
+# Machine-readable perf record: re-run E15 and refresh the committed
+# BENCH_E15.json (CI uploads it as an artifact on every push).
+bench-json:
+	$(GO) run ./cmd/concordbench -json out/BENCH_E15.json E15
+
+# Regenerate every experiment table (E1-E15); EXPERIMENTS.md records the
 # paper-vs-measured outcomes.
 experiments:
 	$(GO) run ./cmd/concordbench

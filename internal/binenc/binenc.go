@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrCorrupt reports a malformed or truncated buffer.
@@ -30,6 +31,54 @@ type Writer struct {
 func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
 }
+
+// writerPool recycles Writers for transient encodes (wire messages, WAL
+// record bodies): the hot paths encode, hand the bytes to a consumer that
+// copies or transmits them, and free the writer — steady-state encoding then
+// allocates nothing.
+var writerPool = sync.Pool{New: func() any { return &Writer{} }}
+
+// maxPooledWriterBytes caps the buffer a freed writer may park in the pool;
+// larger one-off encodes (bulk payloads) are dropped so the pool never pins
+// worst-case memory.
+const maxPooledWriterBytes = 256 << 10
+
+// GetWriter returns a pooled writer with at least the given capacity.
+// Callers must finish with the buffer returned by Bytes before calling Free:
+// ownership of the bytes stays with the writer. Use Detach when the encoding
+// must outlive the writer (e.g. a memoized result).
+func GetWriter(capacity int) *Writer {
+	w := writerPool.Get().(*Writer)
+	if cap(w.buf) < capacity {
+		w.buf = make([]byte, 0, capacity)
+	} else {
+		w.buf = w.buf[:0]
+	}
+	return w
+}
+
+// Free resets the writer and returns it to the pool. The buffer previously
+// returned by Bytes must no longer be referenced — it will be overwritten by
+// the writer's next user.
+func (w *Writer) Free() {
+	if cap(w.buf) > maxPooledWriterBytes {
+		w.buf = nil
+	}
+	w.buf = w.buf[:0]
+	writerPool.Put(w)
+}
+
+// Detach surrenders the accumulated buffer to the caller and leaves the
+// writer empty, so a subsequent Free cannot recycle bytes the caller
+// retains.
+func (w *Writer) Detach() []byte {
+	b := w.buf
+	w.buf = nil
+	return b
+}
+
+// Reset empties the writer, keeping its capacity.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
 
 // Bytes returns the accumulated buffer.
 func (w *Writer) Bytes() []byte { return w.buf }

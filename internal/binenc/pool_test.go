@@ -1,0 +1,73 @@
+package binenc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWriterPoolReuse checks the lifecycle: Get, encode, Free, Get again —
+// the recycled buffer must not leak previous contents through Bytes, and
+// Detach must protect retained encodings from reuse.
+func TestWriterPoolReuse(t *testing.T) {
+	w := GetWriter(64)
+	w.Str("first-encoding")
+	first := append([]byte(nil), w.Bytes()...)
+	w.Free()
+
+	w2 := GetWriter(64)
+	if len(w2.Bytes()) != 0 {
+		t.Fatal("pooled writer not reset")
+	}
+	w2.Str("second")
+	if bytes.Equal(w2.Bytes(), first) {
+		t.Fatal("recycled writer returned stale bytes")
+	}
+	w2.Free()
+
+	// Detach: the returned buffer survives Free and later reuse.
+	w3 := GetWriter(16)
+	w3.Str("retained")
+	kept := w3.Detach()
+	w3.Free()
+	w4 := GetWriter(16)
+	w4.Str("overwrite-attempt")
+	if got := NewReader(kept).Str(); got != "retained" {
+		t.Fatalf("detached buffer clobbered: %q", got)
+	}
+	w4.Free()
+}
+
+// TestWriterPoolZeroAllocs pins the steady state: encoding a typical wire
+// message into a pooled writer allocates nothing.
+func TestWriterPoolZeroAllocs(t *testing.T) {
+	blob := make([]byte, 128)
+	// Warm the pool so a buffer of adequate capacity is parked.
+	GetWriter(256).Free()
+	if n := testing.AllocsPerRun(200, func() {
+		w := GetWriter(256)
+		w.Str("dop-0001")
+		w.Str("da-7")
+		w.U64(42)
+		w.Bool(true)
+		w.Blob(blob)
+		if len(w.Bytes()) == 0 {
+			t.Fatal("empty encode")
+		}
+		w.Free()
+	}); n != 0 {
+		t.Fatalf("pooled encode allocates %v per op, want 0", n)
+	}
+}
+
+// TestWriterPoolCapacityCap ensures oversized one-off buffers are dropped on
+// Free instead of pinning pool memory.
+func TestWriterPoolCapacityCap(t *testing.T) {
+	w := GetWriter(maxPooledWriterBytes + 1024)
+	w.Blob(make([]byte, maxPooledWriterBytes+512))
+	w.Free() // must not panic; buffer dropped
+	w2 := GetWriter(8)
+	defer w2.Free()
+	if cap(w2.buf) > maxPooledWriterBytes {
+		t.Fatalf("oversized buffer re-entered the pool (cap %d)", cap(w2.buf))
+	}
+}

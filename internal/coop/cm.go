@@ -432,7 +432,11 @@ func (cm *CM) InitDesign(cfg Config) error {
 		return err
 	}
 	if cfg.DOV0 != "" {
-		if !cm.repo.Exists(cfg.DOV0) {
+		ok, err := cm.repo.Exists(cfg.DOV0)
+		if err != nil {
+			return err // repository fail-stop, not a missing DOV
+		}
+		if !ok {
 			return fmt.Errorf("%w: DOV0 %s", version.ErrUnknownDOV, cfg.DOV0)
 		}
 		cm.scopes.GrantUse(cfg.ID, string(cfg.DOV0))

@@ -71,8 +71,8 @@ func TestCheckpointPreservesInDoubt2PC(t *testing.T) {
 	if _, err := insp.GetMeta(stagedKey); err != nil {
 		t.Fatalf("staged 2PC record lost across checkpoint+crash: %v", err)
 	}
-	if insp.Exists("dov-indoubt") {
-		t.Fatal("undecided DOV installed before the decision")
+	if ok, err := insp.Exists("dov-indoubt"); err != nil || ok {
+		t.Fatalf("undecided DOV installed before the decision (ok=%t err=%v)", ok, err)
 	}
 	insp.Close()
 
@@ -83,8 +83,8 @@ func TestCheckpointPreservesInDoubt2PC(t *testing.T) {
 	if err := sys.RestartServer(); err != nil {
 		t.Fatal(err)
 	}
-	if sys.Repo().Exists("dov-indoubt") {
-		t.Fatal("aborted checkin installed after restart")
+	if ok, err := sys.Repo().Exists("dov-indoubt"); err != nil || ok {
+		t.Fatalf("aborted checkin installed after restart (ok=%t err=%v)", ok, err)
 	}
 	if _, err := sys.Repo().GetMeta(stagedKey); err == nil {
 		t.Fatal("staged record not cleaned up by in-doubt resolution")
@@ -96,8 +96,8 @@ func TestCheckpointPreservesInDoubt2PC(t *testing.T) {
 		t.Fatalf("%d transactions still in doubt after restart", n)
 	}
 	// The committed history survived and work continues.
-	if !sys.Repo().Exists(v0) {
-		t.Fatal("committed version lost")
+	if ok, err := sys.Repo().Exists(v0); err != nil || !ok {
+		t.Fatalf("committed version lost (ok=%t err=%v)", ok, err)
 	}
 	planOnce(t, ws, "da1", 60, v0)
 }

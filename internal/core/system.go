@@ -49,6 +49,11 @@ type Options struct {
 	// and the lock table collapses to a single shard. Experiments (E12) and
 	// ablation benchmarks use it as the contention baseline.
 	Serialized bool
+	// SerializedReads reverts only the repository read path to the pre-MVCC
+	// design (repository lock + deep payload clone per Get), leaving the
+	// group-commit WAL and sharded locks in place. E15 uses it to isolate
+	// what the lock-free, clone-free read index buys.
+	SerializedReads bool
 	// VolatileWorkstations keeps workstation sites in memory even when Dir
 	// is set: only the server persists. Workstation crash recovery is then
 	// unavailable, but server durability (the paper's correctness anchor)
@@ -157,7 +162,8 @@ func (s *System) startServer() error {
 	dir := s.serverDir()
 	r, err := repo.Open(s.cat, repo.Options{
 		Dir: dir, Sync: dir != "", NoGroupCommit: s.opts.Serialized,
-		SegmentBytes: s.opts.SegmentBytes,
+		SegmentBytes:    s.opts.SegmentBytes,
+		SerializedReads: s.opts.Serialized || s.opts.SerializedReads,
 	})
 	if err != nil {
 		return err

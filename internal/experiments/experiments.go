@@ -1,11 +1,11 @@
 // Package experiments implements the reproduction harness: one function per
 // figure of the paper (E1-E8), three synthetic quantifications of its
 // qualitative claims (E9-E11), and the scaling scenarios E12
-// (multi-workstation throughput), E13 (bounded-time restart) and E14
-// (workstation cache + delta shipping). Each experiment returns a Report
-// whose rows cmd/concordbench prints and whose execution bench_test.go
-// times; DESIGN.md §6 is the index, EXPERIMENTS.md records
-// paper-vs-measured.
+// (multi-workstation throughput), E13 (bounded-time restart), E14
+// (workstation cache + delta shipping) and E15 (MVCC read-path scaling).
+// Each experiment returns a Report whose rows cmd/concordbench prints and
+// whose execution bench_test.go times; DESIGN.md §6 is the index,
+// EXPERIMENTS.md records paper-vs-measured.
 package experiments
 
 import (
@@ -25,6 +25,20 @@ type Report struct {
 	Rows [][]string
 	// Notes records observations (expected shape, caveats).
 	Notes []string
+	// Metrics are the machine-readable results emitted by concordbench
+	// -json (the perf trajectory record; see BENCH_E15.json).
+	Metrics []Metric
+}
+
+// Metric is one machine-readable measurement of an experiment.
+type Metric struct {
+	// Name identifies the measurement, with /key=value qualifiers (e.g.
+	// "checkout_ops_per_sec/path=server/readers=8/design=mvcc").
+	Name string `json:"metric"`
+	// Value is the measured quantity.
+	Value float64 `json:"value"`
+	// Unit names the measurement unit ("ops/s", "allocs/op", "bytes").
+	Unit string `json:"unit"`
 }
 
 // String renders the report as an aligned text table.

@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+// TestE15ReadScalingBounds is the CI gate on the MVCC read path (acceptance
+// bounds of the E15 experiment, run at a reduced size): at 8 concurrent
+// readers the lock-free index must at least double the aggregate server-side
+// checkout throughput of the locked+cloning baseline and at least halve its
+// allocations per checkout. Throughput asserts a deliberately looser bound
+// (1.3x) so shared CI runners do not flake; the committed BENCH_E15.json
+// records the full-size numbers.
+func TestE15ReadScalingBounds(t *testing.T) {
+	const readers, rounds = 8, 500
+	base, err := RunCheckoutScaling(true, readers, rounds, ModeServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvcc, err := RunCheckoutScaling(false, readers, rounds, ModeServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline: %.0f ops/s, %.1f allocs/op; mvcc: %.0f ops/s, %.1f allocs/op (speedup %.2fx)",
+		base.OpsPerSec(), base.AllocsPerOp, mvcc.OpsPerSec(), mvcc.AllocsPerOp,
+		mvcc.OpsPerSec()/base.OpsPerSec())
+	if mvcc.OpsPerSec() < 1.3*base.OpsPerSec() {
+		t.Fatalf("mvcc read path %.0f ops/s vs baseline %.0f ops/s: below the 1.3x CI floor",
+			mvcc.OpsPerSec(), base.OpsPerSec())
+	}
+	if mvcc.AllocsPerOp > base.AllocsPerOp/2 {
+		t.Fatalf("mvcc read path allocates %.1f/op vs baseline %.1f/op: less than 50%% reduction",
+			mvcc.AllocsPerOp, base.AllocsPerOp)
+	}
+}
+
+// TestE15EndToEndModes smoke-tests the wire-level modes at a small size so
+// the hot (NotModified) and cold (full transfer) loops stay exercised.
+func TestE15EndToEndModes(t *testing.T) {
+	for _, mode := range []ReadPathMode{ModeE2EHot, ModeE2ECold} {
+		res, err := RunCheckoutScaling(false, 2, 10, mode)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if res.Checkouts != 20 || res.OpsPerSec() <= 0 {
+			t.Fatalf("%s: implausible result %+v", mode, res)
+		}
+	}
+}

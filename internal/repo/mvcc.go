@@ -1,0 +1,143 @@
+package repo
+
+import (
+	"sync/atomic"
+
+	"concord/internal/catalog"
+	"concord/internal/version"
+)
+
+// MVCC read path (DESIGN.md §3.6): the repository publishes every DOV as an
+// immutable record in a copy-on-write index whose shards are swapped with a
+// single atomic pointer store. Readers (checkout, EncodedObject, Exists,
+// Graph lookup) load the shard pointer, look the record up and return it —
+// no repository lock, no payload clone. Writers (Checkin, SetStatus,
+// SetFulfilled) keep running under the existing write lock r.mu, which makes
+// them the only index mutators: they build a fresh shard map containing the
+// new immutable record and publish it with one atomic store, preserving the
+// §3.5 reservation-order WAL invariant untouched.
+//
+// Immutability contract: a published *version.DOV (and its Object payload)
+// is never mutated again. Status and Fulfilled updates install a fresh
+// shallow copy; the superseded record stays valid forever for any reader
+// still holding it — multi-version concurrency in its simplest form.
+
+// idxShards is the copy-on-write fan-out. A write copies only its shard
+// (1/64th of the index on average), so installs stay cheap while readers
+// pay exactly one atomic load regardless of the shard count.
+const idxShards = 64
+
+// dovEntry is one published version: the immutable record plus the shared
+// memo of its canonical payload encoding.
+type dovEntry struct {
+	dov *version.DOV
+	// enc is shared across status/fulfilled re-publications of the same
+	// version — the payload (and therefore its canonical encoding) never
+	// changes after checkin.
+	enc *encMemo
+}
+
+// encMemo lazily caches a version's canonical payload encoding and content
+// hash. The memo starts empty and fills on the first EncodedObject call, so
+// resident memory grows with the read working set, not with history size
+// (versions never checked out — the bulk of a long-lived repository — pin
+// no second copy of their payload). Racing readers may compute the pair
+// twice; the encoding is deterministic, so the duplicate install is
+// idempotent and no lock is needed.
+type encMemo struct {
+	p atomic.Pointer[encPair]
+}
+
+// encPair is one memoized (encoding, hash) result.
+type encPair struct {
+	enc  []byte
+	hash []byte
+}
+
+// encoded returns the memoized canonical encoding and hash of the entry's
+// payload, computing and publishing them on first use.
+func (e *dovEntry) encoded() ([]byte, []byte, error) {
+	if p := e.enc.p.Load(); p != nil {
+		return p.enc, p.hash, nil
+	}
+	enc, err := catalog.EncodeObject(e.dov.Object)
+	if err != nil {
+		return nil, nil, err
+	}
+	pair := &encPair{enc: enc, hash: catalog.HashEncoded(enc)}
+	e.enc.p.Store(pair)
+	return pair.enc, pair.hash, nil
+}
+
+// dovIndex is the sharded copy-on-write version index.
+type dovIndex struct {
+	shards [idxShards]atomic.Pointer[map[version.ID]*dovEntry]
+}
+
+// shardOf hashes an ID onto its shard (FNV-1a; allocation-free).
+func shardOf(id version.ID) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return h % idxShards
+}
+
+// init publishes empty shard maps so readers never see a nil pointer.
+func (x *dovIndex) init() {
+	for i := range x.shards {
+		m := make(map[version.ID]*dovEntry)
+		x.shards[i].Store(&m)
+	}
+}
+
+// get is the lock-free read: one atomic load, one map lookup, zero
+// allocations.
+func (x *dovIndex) get(id version.ID) (*dovEntry, bool) {
+	m := x.shards[shardOf(id)].Load()
+	e, ok := (*m)[id]
+	return e, ok
+}
+
+// put publishes an entry by swapping a copied shard. Callers must hold the
+// repository write lock (r.mu): it is what serializes index writers.
+//
+// Cost note: a write copies its shard — n/idxShards entries on average — so
+// install cost grows with resident history. At the repository sizes the
+// checkpointing work targets (§3.5 keeps live state, not history, resident)
+// this is microseconds against a WAL fsync; if writes ever dominate at much
+// larger version counts, swap the shard map for a persistent (HAMT-style)
+// structure behind the same two-method surface.
+func (x *dovIndex) put(id version.ID, e *dovEntry) {
+	s := &x.shards[shardOf(id)]
+	old := s.Load()
+	next := make(map[version.ID]*dovEntry, len(*old)+1)
+	for k, v := range *old {
+		next[k] = v
+	}
+	next[id] = e
+	s.Store(&next)
+}
+
+// rebuild bulk-publishes the whole index in one pass per shard — recovery
+// inserts thousands of versions, and per-record copy-on-write would cost
+// O(n²/shards). Caller must hold r.mu (or be the only goroutine, as at
+// Open).
+func (x *dovIndex) rebuild(entries map[version.ID]*dovEntry) {
+	maps := make([]map[version.ID]*dovEntry, idxShards)
+	for i := range maps {
+		maps[i] = make(map[version.ID]*dovEntry)
+	}
+	for id, e := range entries {
+		maps[shardOf(id)][id] = e
+	}
+	for i := range maps {
+		m := maps[i]
+		x.shards[i].Store(&m)
+	}
+}

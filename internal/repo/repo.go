@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"concord/internal/binenc"
 	"concord/internal/catalog"
@@ -68,19 +69,35 @@ type Options struct {
 	// constants). A non-nil return aborts the operation at that point,
 	// simulating a crash there. Tests only; see CrashPoints.
 	CrashHook func(point string) error
+	// SerializedReads reverts the read path to the pre-MVCC design: Get
+	// takes the repository lock and deep-clones the payload, Exists and
+	// EncodedObject read under the lock. Ablation baseline for E15; never
+	// set in production.
+	SerializedReads bool
 }
 
 // Repository is the design data repository. All methods are safe for
 // concurrent use.
+//
+// Reads are multi-versioned (DESIGN.md §3.6): Get, Exists, EncodedObject and
+// Graph never take the repository lock and never copy payloads — they return
+// immutable records published through the copy-on-write index in mvcc.go.
+// Callers must treat every returned DOV (and its Object) as read-only.
 type Repository struct {
 	cat *catalog.Catalog
 	dir string
 	// hook is the crash-point fault-injection callback (tests only).
 	hook func(point string) error
+	// serializedReads selects the pre-MVCC locked+cloning read path
+	// (Options.SerializedReads; E15 ablation baseline).
+	serializedReads bool
 
+	// mu guards the writer-side state below. Readers go through idx and
+	// graphsPub instead; only mutators, snapshot encoding and the
+	// diagnostics that enumerate state take this lock.
 	mu     sync.RWMutex
 	graphs map[string]*version.Graph
-	dovs   map[version.ID]*version.DOV // global index
+	dovs   map[version.ID]*version.DOV // writer-side index
 	meta   map[string][]byte
 	// roots marks versions adopted as graph roots (foreign parents
 	// allowed); snapshots must preserve the distinction so rebuilt graphs
@@ -88,37 +105,30 @@ type Repository struct {
 	roots map[version.ID]bool
 	seq   uint64
 	log   *wal.Log
-	// fatal is set when a reserved log record failed to become durable
+
+	// idx is the lock-free read index (mvcc.go). Writers publish into it
+	// while holding mu; readers only load.
+	idx dovIndex
+	// graphsPub is the atomically swapped graph directory for lock-free
+	// Graph lookups (graphs are created rarely; each creation copies the
+	// map and swaps the pointer).
+	graphsPub atomic.Pointer[map[string]*version.Graph]
+	// fatal is latched when a reserved log record failed to become durable
 	// (see appendAsync): the in-memory state is then ahead of the log and
-	// every subsequent operation is refused with ErrFatal.
-	fatal error
+	// every subsequent operation is refused with ErrFatal. Atomic so the
+	// lock-free read path can check it without the lock.
+	fatal atomic.Pointer[error]
 
 	// ckptMu serializes checkpoints and guards snapLSN, the log position
 	// covered by the last installed snapshot.
 	ckptMu  sync.Mutex
 	snapLSN wal.LSN
 
-	// encCache memoizes canonical payload encodings and their content
-	// hashes by version ID (payloads are immutable once checked in). The
-	// checkout and delta paths hit it on every request; see EncodedObject.
-	encMu    sync.Mutex
-	encCache map[version.ID]encEntry
-
 	// onChange, when set, is invoked after every durable version mutation
 	// (see SetChangeHook).
 	changeMu sync.RWMutex
 	onChange func(ChangeEvent)
 }
-
-// encEntry is one memoized canonical encoding.
-type encEntry struct {
-	enc  []byte
-	hash []byte
-}
-
-// encCacheMax bounds the encoding memo; overflowing resets it wholesale (the
-// hot set re-populates lazily, and correctness never depends on a hit).
-const encCacheMax = 512
 
 // ChangeKind distinguishes version-change events pushed to the hook.
 type ChangeKind uint8
@@ -168,41 +178,22 @@ func (r *Repository) fireChange(ev ChangeEvent) {
 }
 
 // EncodedObject returns the canonical encoding and content hash of a stored
-// version's payload. Results are memoized — payloads are immutable once
-// checked in — so repeated checkouts and delta computations over the same
-// version encode it once.
+// version's payload. Both are memoized per version on first use (payloads
+// are immutable once checked in), so the checkout and delta paths read them
+// without locking, cloning or allocating after the first request.
 func (r *Repository) EncodedObject(id version.ID) (enc, hash []byte, err error) {
-	r.encMu.Lock()
-	if e, ok := r.encCache[id]; ok {
-		r.encMu.Unlock()
-		return e.enc, e.hash, nil
+	if r.serializedReads {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
 	}
-	r.encMu.Unlock()
-
-	r.mu.RLock()
 	if err := r.alive(); err != nil {
-		r.mu.RUnlock()
 		return nil, nil, err
 	}
-	v, ok := r.dovs[id]
+	e, ok := r.idx.get(id)
 	if !ok {
-		r.mu.RUnlock()
 		return nil, nil, fmt.Errorf("%w: %s", version.ErrUnknownDOV, id)
 	}
-	enc, err = catalog.EncodeObject(v.Object)
-	r.mu.RUnlock()
-	if err != nil {
-		return nil, nil, err
-	}
-	hash = catalog.HashEncoded(enc)
-
-	r.encMu.Lock()
-	if r.encCache == nil || len(r.encCache) >= encCacheMax {
-		r.encCache = make(map[version.ID]encEntry)
-	}
-	r.encCache[id] = encEntry{enc: enc, hash: hash}
-	r.encMu.Unlock()
-	return enc, hash, nil
+	return e.encoded()
 }
 
 // Open creates or recovers a repository. When opts.Dir names a directory
@@ -214,14 +205,16 @@ func Open(cat *catalog.Catalog, opts Options) (*Repository, error) {
 		return nil, errors.New("repo: nil catalog")
 	}
 	r := &Repository{
-		cat:    cat,
-		dir:    opts.Dir,
-		hook:   opts.CrashHook,
-		graphs: make(map[string]*version.Graph),
-		dovs:   make(map[version.ID]*version.DOV),
-		meta:   make(map[string][]byte),
-		roots:  make(map[version.ID]bool),
+		cat:             cat,
+		dir:             opts.Dir,
+		hook:            opts.CrashHook,
+		serializedReads: opts.SerializedReads,
+		graphs:          make(map[string]*version.Graph),
+		dovs:            make(map[version.ID]*version.DOV),
+		meta:            make(map[string][]byte),
+		roots:           make(map[version.ID]bool),
 	}
+	r.idx.init()
 	if opts.Dir != "" {
 		snapLSN, err := r.loadSnapshot()
 		if err != nil {
@@ -252,7 +245,31 @@ func Open(cat *catalog.Catalog, opts Options) (*Repository, error) {
 			return nil, err
 		}
 	}
+	r.publishIndex()
 	return r, nil
+}
+
+// publishIndex bulk-builds the lock-free read index from the recovered
+// writer-side state. Called once at the end of Open, before the repository
+// is shared. Encoding memos start empty and fill on first checkout, so a
+// large recovered history costs no second payload copy up front.
+func (r *Repository) publishIndex() {
+	entries := make(map[version.ID]*dovEntry, len(r.dovs))
+	for id, v := range r.dovs {
+		entries[id] = &dovEntry{dov: v, enc: &encMemo{}}
+	}
+	r.idx.rebuild(entries)
+	r.publishGraphsLocked()
+}
+
+// publishGraphsLocked swaps in a fresh copy of the graph directory. Callers
+// hold r.mu (or own the repository exclusively, as at Open).
+func (r *Repository) publishGraphsLocked() {
+	m := make(map[string]*version.Graph, len(r.graphs))
+	for da, g := range r.graphs {
+		m[da] = g
+	}
+	r.graphsPub.Store(&m)
 }
 
 // Close releases the underlying log.
@@ -278,10 +295,11 @@ type dovRecord struct {
 	Root      bool // adopted root (foreign parents allowed)
 }
 
-// encode writes the record in the binenc hot-path format (gob's per-record
-// engine compilation showed up in the checkin profile).
-func (d dovRecord) encode() []byte {
-	w := binenc.NewWriter(96 + len(d.Object))
+// encodeInto writes the record in the binenc hot-path format (gob's
+// per-record engine compilation showed up in the checkin profile). Checkin
+// encodes into a pooled writer; the bytes only need to survive until the WAL
+// frames them.
+func (d dovRecord) encodeInto(w *binenc.Writer) {
 	w.Str(string(d.ID))
 	w.Str(d.DOT)
 	w.Str(d.DA)
@@ -294,6 +312,12 @@ func (d dovRecord) encode() []byte {
 	w.Strs(d.Fulfilled)
 	w.U64(d.Seq)
 	w.Bool(d.Root)
+}
+
+// encode is encodeInto with a fresh buffer (snapshot path).
+func (d dovRecord) encode() []byte {
+	w := binenc.NewWriter(96 + len(d.Object))
+	d.encodeInto(w)
 	return w.Bytes()
 }
 
@@ -421,18 +445,25 @@ func (r *Repository) appendAsync(t wal.RecordType, owner string, payload []byte)
 	}, nil
 }
 
-// failStop latches the fatal state.
+// failStop latches the fatal state. The latch is published atomically so the
+// lock-free read path observes it without the repository lock.
 func (r *Repository) failStop(cause error) {
 	r.mu.Lock()
-	if r.fatal == nil {
-		r.fatal = fmt.Errorf("%w: %v", ErrFatal, cause)
+	if r.fatal.Load() == nil {
+		err := fmt.Errorf("%w: %v", ErrFatal, cause)
+		r.fatal.Store(&err)
 	}
 	r.mu.Unlock()
 }
 
-// alive returns the latched fatal error, if any. Callers hold r.mu (either
-// mode).
-func (r *Repository) alive() error { return r.fatal }
+// alive returns the latched fatal error, if any. Lock-free; safe from any
+// path.
+func (r *Repository) alive() error {
+	if p := r.fatal.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // NextID allocates a fresh repository-wide DOV identifier.
 func (r *Repository) NextID() version.ID {
@@ -459,19 +490,24 @@ func (r *Repository) CreateGraph(da string) error {
 		return err
 	}
 	r.graphs[da] = version.NewGraph(da)
+	r.publishGraphsLocked()
 	r.mu.Unlock()
 	_, err = wait()
 	return err
 }
 
-// Graph returns the derivation graph of a DA.
+// Graph returns the derivation graph of a DA. Lock-free: the graph directory
+// is an atomically swapped copy-on-write map (graphs themselves synchronize
+// internally).
 func (r *Repository) Graph(da string) (*version.Graph, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	if r.serializedReads {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+	}
 	if err := r.alive(); err != nil {
 		return nil, err
 	}
-	g, ok := r.graphs[da]
+	g, ok := (*r.graphsPub.Load())[da]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownGraph, da)
 	}
@@ -484,6 +520,9 @@ func (r *Repository) Graph(da string) (*version.Graph, error) {
 // and further, its DA's derivation graph is extended" (Sect. 5.2).
 // When root is true the version is adopted as a graph root and may carry
 // parents from foreign graphs (initial DOV0 or inherited finals).
+//
+// Ownership: on success the repository publishes v as an immutable record;
+// the caller must not mutate v or v.Object afterwards (DESIGN.md §3.6).
 func (r *Repository) Checkin(v *version.DOV, root bool) error {
 	return r.CheckinCleanup(v, root, "")
 }
@@ -540,14 +579,19 @@ func (r *Repository) CheckinCleanup(v *version.DOV, root bool, cleanupKey string
 	r.seq++
 	v.Seq = r.seq
 
-	recBytes := dovRecord{
+	// Encode the log record into a pooled writer: the WAL frames (copies)
+	// the bytes during the reservation, so the buffer is recycled as soon
+	// as appendAsync returns.
+	recw := binenc.GetWriter(96 + len(objBytes))
+	dovRecord{
 		ID: v.ID, DOT: v.DOT, DA: v.DA, Parents: v.Parents,
 		Object: objBytes, Status: v.Status, Fulfilled: v.Fulfilled, Seq: v.Seq, Root: root,
-	}.encode()
+	}.encodeInto(recw)
 	// Reserve-then-apply: the reservation pins the record's replay position
 	// while r.mu is held; the durability wait happens after unlock so
 	// concurrent checkins share one fsync (see appendAsync).
-	wait, err := r.appendAsync(recDOVInsert, v.DA, recBytes)
+	wait, err := r.appendAsync(recDOVInsert, v.DA, recw.Bytes())
+	recw.Free()
 	if err != nil {
 		r.mu.Unlock()
 		return err
@@ -563,6 +607,12 @@ func (r *Repository) CheckinCleanup(v *version.DOV, root bool, cleanupKey string
 		return err
 	}
 	r.dovs[v.ID] = v
+	// Publish the immutable record for lock-free readers. The encoding memo
+	// fills lazily on the first checkout (seeding it with objBytes here
+	// would pin a second copy of every payload for all history, read or
+	// not). From here on v (and its Object) must never be mutated — the
+	// repository owns it.
+	r.idx.put(v.ID, &dovEntry{dov: v, enc: &encMemo{}})
 	var cleanupWait func() (wal.LSN, error)
 	if cleanupKey != "" {
 		if _, ok := r.meta[cleanupKey]; ok {
@@ -588,9 +638,28 @@ func (r *Repository) CheckinCleanup(v *version.DOV, root bool, cleanupKey string
 	return nil
 }
 
-// Get returns a deep copy of the version with the given ID; callers may
-// mutate the copy freely (checkout semantics).
+// Get returns the stored version with the given ID. The returned record is
+// immutable and shared (MVCC checkout semantics, DESIGN.md §3.6): the read
+// takes no lock and copies nothing, and in exchange the caller must not
+// mutate the DOV or its Object. Tools needing a private scratch copy clone
+// explicitly (the client-TM already does at the workstation).
 func (r *Repository) Get(id version.ID) (*version.DOV, error) {
+	if r.serializedReads {
+		return r.getSerialized(id)
+	}
+	if err := r.alive(); err != nil {
+		return nil, err
+	}
+	e, ok := r.idx.get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", version.ErrUnknownDOV, id)
+	}
+	return e.dov, nil
+}
+
+// getSerialized is the pre-MVCC ablation read: repository lock plus a full
+// deep clone of the payload (E15 baseline).
+func (r *Repository) getSerialized(id version.ID) (*version.DOV, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if err := r.alive(); err != nil {
@@ -603,18 +672,26 @@ func (r *Repository) Get(id version.ID) (*version.DOV, error) {
 	return v.Clone(), nil
 }
 
-// Exists reports whether a version is stored.
-func (r *Repository) Exists(id version.ID) bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if r.alive() != nil {
-		return false
+// Exists reports whether a version is stored. A fail-stopped repository
+// returns the latched ErrFatal instead of a silent false, so callers can
+// tell "not stored" from "repository down" (a dead repository must never
+// read as a missing DOV).
+func (r *Repository) Exists(id version.ID) (bool, error) {
+	if r.serializedReads {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
 	}
-	_, ok := r.dovs[id]
-	return ok
+	if err := r.alive(); err != nil {
+		return false, err
+	}
+	_, ok := r.idx.get(id)
+	return ok, nil
 }
 
-// SetStatus durably updates a version's lifecycle status.
+// SetStatus durably updates a version's lifecycle status. The update
+// installs a fresh immutable record (MVCC): readers holding the superseded
+// record keep a consistent view, and the derivation graph swaps to the new
+// record under its own lock.
 func (r *Repository) SetStatus(id version.ID, s version.Status) error {
 	r.mu.Lock()
 	if err := r.alive(); err != nil {
@@ -632,7 +709,12 @@ func (r *Repository) SetStatus(id version.ID, s version.Status) error {
 		r.mu.Unlock()
 		return err
 	}
-	v.Status = s
+	nv := *v
+	nv.Status = s
+	if err := r.republishLocked(&nv); err != nil {
+		r.mu.Unlock()
+		return err
+	}
 	da := v.DA
 	r.mu.Unlock()
 	if _, err := wait(); err != nil {
@@ -643,7 +725,8 @@ func (r *Repository) SetStatus(id version.ID, s version.Status) error {
 }
 
 // SetFulfilled records the feature names a version satisfied at its last
-// evaluation (volatile cache; recomputable, so not logged).
+// evaluation (volatile cache; recomputable, so not logged). Installs a fresh
+// immutable record like SetStatus.
 func (r *Repository) SetFulfilled(id version.ID, names []string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -651,7 +734,27 @@ func (r *Repository) SetFulfilled(id version.ID, names []string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", version.ErrUnknownDOV, id)
 	}
-	v.Fulfilled = append([]string(nil), names...)
+	nv := *v
+	nv.Fulfilled = append([]string(nil), names...)
+	return r.republishLocked(&nv)
+}
+
+// republishLocked replaces a version's published record with an updated
+// immutable copy: writer-side index, derivation graph and read index all
+// swing to nv. The canonical-encoding memo carries over — payloads never
+// change after checkin. Caller holds r.mu.
+func (r *Repository) republishLocked(nv *version.DOV) error {
+	g, ok := r.graphs[nv.DA]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownGraph, nv.DA)
+	}
+	if err := g.Replace(nv); err != nil {
+		return err
+	}
+	r.dovs[nv.ID] = nv
+	if e, ok := r.idx.get(nv.ID); ok {
+		r.idx.put(nv.ID, &dovEntry{dov: nv, enc: e.enc})
+	}
 	return nil
 }
 

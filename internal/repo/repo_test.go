@@ -63,11 +63,22 @@ func TestCheckinAndGet(t *testing.T) {
 	if got.Parents[0] != "v1" || catalog.NumAttr(got.Object, "area") != 90 {
 		t.Fatalf("got %+v", got)
 	}
-	// Get returns a copy: mutating it must not affect the store.
-	got.Object.Set("area", catalog.Float(1))
+	// Get returns the shared immutable record (MVCC, no clone): repeated
+	// reads observe the identical version, and a status update republishes
+	// rather than mutating the record a reader may still hold.
 	again, _ := r.Get("v2")
-	if catalog.NumAttr(again.Object, "area") != 90 {
-		t.Fatal("Get leaked internal state")
+	if again != got {
+		t.Fatal("Get should return the published immutable record")
+	}
+	if err := r.SetStatus("v2", version.StatusFinal); err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != version.StatusWorking {
+		t.Fatal("SetStatus mutated a published record in place")
+	}
+	fresh, _ := r.Get("v2")
+	if fresh.Status != version.StatusFinal {
+		t.Fatal("SetStatus update not visible to new readers")
 	}
 	if r.DOVCount() != 2 {
 		t.Fatalf("DOVCount = %d", r.DOVCount())
@@ -199,8 +210,8 @@ func TestVolatileModeWorksWithoutDir(t *testing.T) {
 	if err := r.Checkin(mkDOV("v1", "da1", 10), true); err != nil {
 		t.Fatal(err)
 	}
-	if !r.Exists("v1") {
-		t.Fatal("volatile checkin lost")
+	if ok, err := r.Exists("v1"); err != nil || !ok {
+		t.Fatalf("volatile checkin lost (ok=%t err=%v)", ok, err)
 	}
 }
 

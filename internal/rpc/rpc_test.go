@@ -92,7 +92,7 @@ func TestDedupMemoizesErrors(t *testing.T) {
 		calls.Add(1)
 		return nil, errors.New("always fails")
 	})
-	env := encodeEnvelope("req-1", nil)
+	env := appendEnvelope(nil, "req-1", nil)
 	h("m", env) //nolint:errcheck
 	h("m", env) //nolint:errcheck
 	if calls.Load() != 1 {
@@ -106,7 +106,7 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 		{"", ""},
 		{strings.Repeat("x", 300), "p"},
 	} {
-		env := encodeEnvelope(tc.id, []byte(tc.payload))
+		env := appendEnvelope(nil, tc.id, []byte(tc.payload))
 		id, p, err := decodeEnvelope(env)
 		if err != nil {
 			t.Fatalf("decode(%q): %v", tc.id, err)
@@ -192,5 +192,49 @@ func TestSplitList(t *testing.T) {
 	}
 	if SplitList("") != nil {
 		t.Fatal("empty list should be nil")
+	}
+}
+
+// TestAppendEnvelopeZeroAllocs pins the pooled request framing: with a
+// destination of adequate capacity (what the envelope pool provides at
+// steady state), framing allocates nothing.
+func TestAppendEnvelopeZeroAllocs(t *testing.T) {
+	payload := make([]byte, 256)
+	dst := make([]byte, 0, 2+16+len(payload))
+	if n := testing.AllocsPerRun(200, func() {
+		env := appendEnvelope(dst[:0], "client#000042", payload)
+		if len(env) != 2+13+len(payload) {
+			t.Fatalf("framed %d bytes", len(env))
+		}
+	}); n != 0 {
+		t.Fatalf("appendEnvelope allocates %v per op, want 0", n)
+	}
+}
+
+// TestPooledEnvelopeIsolation drives two reliable calls back to back whose
+// handler stashes what it sees: because handlers must copy retained
+// payloads (Handler contract) and the client recycles envelopes, the second
+// call must not clobber data the first call's handler copied.
+func TestPooledEnvelopeIsolation(t *testing.T) {
+	tr := NewInProc(FaultPlan{})
+	defer tr.Close()
+	var copies [][]byte
+	h := func(method string, payload []byte) ([]byte, error) {
+		copies = append(copies, append([]byte(nil), payload...)) // contract: copy
+		return []byte("ok"), nil
+	}
+	if err := tr.Serve("srv", Dedup(h)); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(tr, "iso")
+	c.Backoff = 0
+	if _, err := c.Call("srv", "m", []byte("payload-one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call("srv", "m", []byte("payload-TWO")); err != nil {
+		t.Fatal(err)
+	}
+	if string(copies[0]) != "payload-one" || string(copies[1]) != "payload-TWO" {
+		t.Fatalf("handler copies corrupted across pooled envelopes: %q %q", copies[0], copies[1])
 	}
 }

@@ -19,6 +19,13 @@ import (
 )
 
 // Handler serves a single method invocation.
+//
+// Ownership: the payload slice is only valid for the duration of the call —
+// reliable clients frame requests in pooled envelope buffers that are
+// recycled once the call returns. A handler that retains payload bytes
+// beyond its return (e.g. staging them for a later commit) must copy them.
+// Response slices, by contrast, are retained by the deduplication layer and
+// must not be recycled by the handler.
 type Handler func(method string, payload []byte) ([]byte, error)
 
 // Transport delivers single request/response attempts. Delivery may fail;
@@ -194,10 +201,31 @@ func (c *Client) nextRequestID() string {
 	return fmt.Sprintf("%s#%d", c.id, c.seq)
 }
 
+// envelopePool recycles request framing buffers: every reliable call frames
+// its payload into an envelope, and under multi-workstation load that was
+// one allocation (plus a payload-sized copy into fresh memory) per RPC.
+// Safe because transports hand the envelope to the peer synchronously and
+// handlers must not retain payloads (see Handler).
+var envelopePool = sync.Pool{New: func() any { return new(envelope) }}
+
+// envelope is a pooled framing buffer.
+type envelope struct{ buf []byte }
+
+// maxPooledEnvelopeBytes caps what a released envelope may park in the pool
+// (bulk payload transfers should not pin worst-case memory).
+const maxPooledEnvelopeBytes = 256 << 10
+
 // Call invokes method at addr reliably. Application-level errors (ErrRemote)
 // are returned immediately; transport losses are retried.
 func (c *Client) Call(addr, method string, payload []byte) ([]byte, error) {
-	env := encodeEnvelope(c.nextRequestID(), payload)
+	e := envelopePool.Get().(*envelope)
+	e.buf = appendEnvelope(e.buf[:0], c.nextRequestID(), payload)
+	defer func() {
+		if cap(e.buf) > maxPooledEnvelopeBytes {
+			e.buf = nil
+		}
+		envelopePool.Put(e)
+	}()
 	var lastErr error
 	retries := c.Retries
 	if retries <= 0 {
@@ -207,7 +235,7 @@ func (c *Client) Call(addr, method string, payload []byte) ([]byte, error) {
 		c.mu.Lock()
 		c.attempts++
 		c.mu.Unlock()
-		resp, err := c.t.Call(addr, method, env)
+		resp, err := c.t.Call(addr, method, e.buf)
 		if err == nil {
 			return resp, nil
 		}
@@ -222,13 +250,12 @@ func (c *Client) Call(addr, method string, payload []byte) ([]byte, error) {
 	return nil, fmt.Errorf("rpc: call %s/%s failed after %d attempts: %w", addr, method, retries, lastErr)
 }
 
-// encodeEnvelope frames a request ID and payload.
-func encodeEnvelope(reqID string, payload []byte) []byte {
-	env := make([]byte, 0, 2+len(reqID)+len(payload))
-	env = append(env, byte(len(reqID)>>8), byte(len(reqID)))
-	env = append(env, reqID...)
-	env = append(env, payload...)
-	return env
+// appendEnvelope frames a request ID and payload onto dst (allocation-free
+// when dst has capacity).
+func appendEnvelope(dst []byte, reqID string, payload []byte) []byte {
+	dst = append(dst, byte(len(reqID)>>8), byte(len(reqID)))
+	dst = append(dst, reqID...)
+	return append(dst, payload...)
 }
 
 // decodeEnvelope splits a framed request.

@@ -167,9 +167,7 @@ func (d *cacheDir) collect(pairs []invalidation) map[string]*wsTarget {
 // workstation/server transport). Nil disables pushes; registrations are
 // still tracked so a notifier can be attached later.
 func (s *ServerTM) SetNotifier(n *rpc.Notifier) {
-	s.mu.Lock()
-	s.notifier = n
-	s.mu.Unlock()
+	s.notifier.Store(n)
 }
 
 // VersionChanged is the repository change hook (repo.SetChangeHook): it
@@ -177,9 +175,7 @@ func (s *ServerTM) SetNotifier(n *rpc.Notifier) {
 // every registered workstation. Checkins supersede their parents; status
 // updates refresh (or, for StatusInvalid, evict) the version itself.
 func (s *ServerTM) VersionChanged(ev repo.ChangeEvent) {
-	s.mu.Lock()
-	n := s.notifier
-	s.mu.Unlock()
+	n := s.notifier.Load()
 	if n == nil {
 		return
 	}

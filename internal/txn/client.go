@@ -463,11 +463,17 @@ func (d *DOP) fetch(dov version.ID, derive, useCache bool) (*catalog.Object, err
 			m.BaseID, m.BaseHash = id, h
 		}
 	}
-	payload := m.encode()
-	resp, err := tm.client.Call(tm.serverAddr, MethodCheckout, payload)
+	// Encode into a pooled writer: the reliable client frames the payload
+	// into its own (pooled) envelope, so the message bytes are dead once
+	// Call returns.
+	pw := binenc.GetWriter(96)
+	m.encodeInto(pw)
+	outBytes := uint64(len(pw.Bytes()))
+	resp, err := tm.client.Call(tm.serverAddr, MethodCheckout, pw.Bytes())
+	pw.Free()
 	tm.mu.Lock()
 	tm.stats.Checkouts++
-	tm.stats.CheckoutBytesOut += uint64(len(payload))
+	tm.stats.CheckoutBytesOut += outBytes
 	tm.stats.CheckoutBytesIn += uint64(len(resp))
 	tm.mu.Unlock()
 	if err != nil {
@@ -731,17 +737,22 @@ func (d *DOP) Checkin(status version.Status, root bool) (version.ID, error) {
 			}
 		}
 	}
-	payload := msg.encode()
+	pw := binenc.GetWriter(192 + len(msg.DOV.Object) + len(msg.Delta))
+	msg.encodeInto(pw)
 	tm.mu.Lock()
 	tm.stats.Checkins++
-	tm.stats.CheckinBytesOut += uint64(len(payload))
+	tm.stats.CheckinBytesOut += uint64(len(pw.Bytes()))
 	if deltaShipped {
 		tm.stats.DeltaCheckins++
 	} else {
 		tm.stats.FullCheckins++
 	}
 	tm.mu.Unlock()
-	if _, err := tm.client.Call(tm.serverAddr, MethodStage, payload); err != nil {
+	// The stage handler copies anything it retains (rpc.Handler contract),
+	// so the pooled message buffer is safe to recycle after the call.
+	_, err = tm.client.Call(tm.serverAddr, MethodStage, pw.Bytes())
+	pw.Free()
+	if err != nil {
 		d.checkins--
 		return "", fmt.Errorf("txn: stage checkin %s: %w", txid, err)
 	}

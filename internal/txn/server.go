@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"concord/internal/binenc"
@@ -29,6 +30,11 @@ var (
 // ServerTM is the server half of the transaction manager: it guards the
 // design data repository, controls concurrent access to DOVs, and installs
 // derived versions atomically (Sect. 5.2).
+//
+// Admission state is sharded (DESIGN.md §3.6): DOP registrations hash over
+// dopShards and staged checkins over stagedShards, so checkouts and checkins
+// of distinct DOPs/transactions never contend on one TM mutex — the TE-level
+// counterpart of the sharded lock manager beneath it.
 type ServerTM struct {
 	repo   *repo.Repository
 	locks  *lock.Manager
@@ -39,15 +45,50 @@ type ServerTM struct {
 	// LockTimeout bounds lock waits (default 5s).
 	LockTimeout time.Duration
 
-	mu       sync.Mutex
-	dops     map[string]*serverDOP
-	staged   map[string]*stagedCheckin
-	notifier *rpc.Notifier
+	dops     [tmShards]dopShard
+	staged   [tmShards]stagedShard
+	notifier atomic.Pointer[rpc.Notifier]
 }
+
+// tmShards is the admission fan-out. Shard count beyond the workstation
+// count buys nothing; 16 comfortably covers the multi-workstation scenarios
+// while keeping the struct small.
+const tmShards = 16
+
+// dopShard holds the DOP registrations hashing onto it. Its mutex also
+// guards the derivationLocks sets of those DOPs.
+type dopShard struct {
+	mu sync.Mutex
+	m  map[string]*serverDOP
+}
+
+// stagedShard holds the staged checkins whose transaction IDs hash onto it.
+type stagedShard struct {
+	mu sync.Mutex
+	m  map[string]*stagedCheckin
+}
+
+// tmHash hashes an identifier onto a shard (FNV-1a, allocation-free).
+func tmHash(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h % tmShards
+}
+
+func (s *ServerTM) dopShard(dop string) *dopShard        { return &s.dops[tmHash(dop)] }
+func (s *ServerTM) stagedShard(txid string) *stagedShard { return &s.staged[tmHash(txid)] }
 
 type serverDOP struct {
 	da string
-	// derivationLocks tracks D locks held on behalf of the DOP.
+	// derivationLocks tracks D locks held on behalf of the DOP. Guarded by
+	// the owning dopShard's mutex.
 	derivationLocks map[version.ID]bool
 }
 
@@ -80,8 +121,12 @@ func NewServerTM(r *repo.Repository, lm *lock.Manager, st *lock.ScopeTable) *Ser
 		scopes:      st,
 		cdir:        newCacheDir(),
 		LockTimeout: 5 * time.Second,
-		dops:        make(map[string]*serverDOP),
-		staged:      make(map[string]*stagedCheckin),
+	}
+	for i := range s.dops {
+		s.dops[i].m = make(map[string]*serverDOP)
+	}
+	for i := range s.staged {
+		s.staged[i].m = make(map[string]*stagedCheckin)
 	}
 	for _, key := range r.ListMeta(stagedMetaPrefix) {
 		data, err := r.GetMeta(key)
@@ -96,7 +141,8 @@ func NewServerTM(r *repo.Repository, lm *lock.Manager, st *lock.ScopeTable) *Ser
 		if err != nil {
 			continue
 		}
-		s.staged[m.TxID] = &stagedCheckin{dop: m.DOP, dov: v, root: m.Root, prepared: true}
+		sh := s.stagedShard(m.TxID)
+		sh.m[m.TxID] = &stagedCheckin{dop: m.DOP, dov: v, root: m.Root, prepared: true}
 	}
 	return s
 }
@@ -115,16 +161,26 @@ func (s *ServerTM) Begin(dop, da string) error {
 	if dop == "" || da == "" {
 		return errors.New("txn: Begin needs DOP and DA identifiers")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if cur, dup := s.dops[dop]; dup {
+	sh := s.dopShard(dop)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, dup := sh.m[dop]; dup {
 		if cur.da == da {
 			return nil // idempotent re-attach after workstation recovery
 		}
 		return fmt.Errorf("txn: DOP %s already registered for DA %s", dop, cur.da)
 	}
-	s.dops[dop] = &serverDOP{da: da, derivationLocks: make(map[version.ID]bool)}
+	sh.m[dop] = &serverDOP{da: da, derivationLocks: make(map[version.ID]bool)}
 	return nil
+}
+
+// lookupDOP fetches a registration under its shard lock.
+func (s *ServerTM) lookupDOP(dop string) (*serverDOP, bool) {
+	sh := s.dopShard(dop)
+	sh.mu.Lock()
+	st, ok := sh.m[dop]
+	sh.mu.Unlock()
+	return st, ok
 }
 
 // Checkout reads a DOV for the DOP. The version must lie in the DOP's DA
@@ -140,9 +196,7 @@ func (s *ServerTM) Checkout(dop string, dov version.ID, derive bool) (*version.D
 // hash of the version (memoized in the repository), which the wire layer
 // needs for the NotModified/delta negotiation.
 func (s *ServerTM) checkoutEnc(dop string, dov version.ID, derive bool) (*version.DOV, []byte, []byte, error) {
-	s.mu.Lock()
-	st, ok := s.dops[dop]
-	s.mu.Unlock()
+	st, ok := s.lookupDOP(dop)
 	if !ok {
 		return nil, nil, nil, fmt.Errorf("%w: %s", ErrUnknownDOP, dop)
 	}
@@ -154,9 +208,10 @@ func (s *ServerTM) checkoutEnc(dop string, dov version.ID, derive bool) (*versio
 		if err := s.locks.Acquire(dop, res, lock.D, s.LockTimeout); err != nil {
 			return nil, nil, nil, err
 		}
-		s.mu.Lock()
+		sh := s.dopShard(dop)
+		sh.mu.Lock()
 		st.derivationLocks[dov] = true
-		s.mu.Unlock()
+		sh.mu.Unlock()
 	} else {
 		if err := s.locks.Acquire(dop, res, lock.S, s.LockTimeout); err != nil {
 			return nil, nil, nil, err
@@ -212,22 +267,24 @@ func (s *ServerTM) checkoutWire(m checkoutMsg) ([]byte, error) {
 
 func (s *ServerTM) releaseDerivation(dop string, dov version.ID) {
 	s.locks.Release(dop, "dov/"+string(dov)) //nolint:errcheck // may already be gone
-	s.mu.Lock()
-	if st, ok := s.dops[dop]; ok {
+	sh := s.dopShard(dop)
+	sh.mu.Lock()
+	if st, ok := sh.m[dop]; ok {
 		delete(st.derivationLocks, dov)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // ReleaseDerivationLock drops a derivation lock before DOP end (used when a
 // designer abandons an input version).
 func (s *ServerTM) ReleaseDerivationLock(dop string, dov version.ID) error {
-	s.mu.Lock()
-	st, ok := s.dops[dop]
+	sh := s.dopShard(dop)
+	sh.mu.Lock()
+	st, ok := sh.m[dop]
 	if ok {
 		ok = st.derivationLocks[dov]
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: derivation lock on %s by %s", lock.ErrNotHeld, dov, dop)
 	}
@@ -246,9 +303,7 @@ func (s *ServerTM) Stage(dop, txid string, v *version.DOV, root bool, raw []byte
 // Commit registers for the new version (the workstation retains the bytes it
 // just shipped, so its next checkout of this version is a NotModified).
 func (s *ServerTM) stage(dop, txid string, v *version.DOV, root bool, raw []byte, ws, cbAddr string, epoch uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.dops[dop]
+	st, ok := s.lookupDOP(dop)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownDOP, dop)
 	}
@@ -256,7 +311,10 @@ func (s *ServerTM) stage(dop, txid string, v *version.DOV, root bool, raw []byte
 		v.DA = st.da
 		raw = nil // the wire form lacks the DA; fall back to re-encoding
 	}
-	s.staged[txid] = &stagedCheckin{dop: dop, dov: v, raw: raw, root: root, ws: ws, cbAddr: cbAddr, epoch: epoch}
+	sh := s.stagedShard(txid)
+	sh.mu.Lock()
+	sh.m[txid] = &stagedCheckin{dop: dop, dov: v, raw: raw, root: root, ws: ws, cbAddr: cbAddr, epoch: epoch}
+	sh.mu.Unlock()
 	return nil
 }
 
@@ -299,9 +357,10 @@ func (s *ServerTM) expandStage(m *stageMsg) (wasDelta bool, err error) {
 // Prepare implements rpc.Resource: validate the staged DOV (schema
 // consistency plus parent-scope membership) and promise to commit.
 func (s *ServerTM) Prepare(txid string) (rpc.Vote, error) {
-	s.mu.Lock()
-	sc, ok := s.staged[txid]
-	s.mu.Unlock()
+	sh := s.stagedShard(txid)
+	sh.mu.Lock()
+	sc, ok := sh.m[txid]
+	sh.mu.Unlock()
 	if !ok {
 		return rpc.VoteAbort, fmt.Errorf("%w: %s", ErrNotStaged, txid)
 	}
@@ -336,9 +395,9 @@ func (s *ServerTM) Prepare(txid string) (rpc.Vote, error) {
 	if err := s.repo.PutMeta(stagedMetaPrefix+txid, stageData); err != nil {
 		return rpc.VoteAbort, nil //nolint:nilerr // durability failed: refuse
 	}
-	s.mu.Lock()
+	sh.mu.Lock()
 	sc.prepared = true
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	return rpc.VoteCommit, nil
 }
 
@@ -348,9 +407,10 @@ func (s *ServerTM) Prepare(txid string) (rpc.Vote, error) {
 // derivation graph ... employing a locking protocol based on short locks",
 // Sect. 5.2).
 func (s *ServerTM) Commit(txid string) error {
-	s.mu.Lock()
-	sc, ok := s.staged[txid]
-	s.mu.Unlock()
+	sh := s.stagedShard(txid)
+	sh.mu.Lock()
+	sc, ok := sh.m[txid]
+	sh.mu.Unlock()
 	if !ok {
 		return nil // idempotent: already committed and cleaned up
 	}
@@ -380,9 +440,9 @@ func (s *ServerTM) Commit(txid string) error {
 	// cache for the new version so callbacks reach it and its re-checkout
 	// is a NotModified.
 	s.cdir.register(sc.ws, sc.cbAddr, sc.epoch, v.ID)
-	s.mu.Lock()
-	delete(s.staged, txid)
-	s.mu.Unlock()
+	sh.mu.Lock()
+	delete(sh.m, txid)
+	sh.mu.Unlock()
 	return nil
 }
 
@@ -394,9 +454,10 @@ func (s *ServerTM) CacheRegistrations() int { return s.cdir.registrations() }
 // unknown transactions are fine).
 func (s *ServerTM) Abort(txid string) error {
 	s.repo.DeleteMeta(stagedMetaPrefix + txid) //nolint:errcheck // cleanup
-	s.mu.Lock()
-	delete(s.staged, txid)
-	s.mu.Unlock()
+	sh := s.stagedShard(txid)
+	sh.mu.Lock()
+	delete(sh.m, txid)
+	sh.mu.Unlock()
 	return nil
 }
 
@@ -405,16 +466,24 @@ func (s *ServerTM) Abort(txid string) error {
 // server-TM is firstly asked to release the derivation locks held",
 // Sect. 5.2).
 func (s *ServerTM) EndDOP(dop string) {
-	s.mu.Lock()
-	st, ok := s.dops[dop]
+	sh := s.dopShard(dop)
+	sh.mu.Lock()
+	st, ok := sh.m[dop]
+	var held []version.ID
 	if ok {
-		delete(s.dops, dop)
+		delete(sh.m, dop)
+		// Snapshot under the shard lock: a checkout racing EndDOP may still
+		// hold st and write its lock set.
+		held = make([]version.ID, 0, len(st.derivationLocks))
+		for dov := range st.derivationLocks {
+			held = append(held, dov)
+		}
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return
 	}
-	for dov := range st.derivationLocks {
+	for _, dov := range held {
 		s.locks.Release(dop, "dov/"+string(dov)) //nolint:errcheck // cleanup
 	}
 	s.locks.ReleaseAll(dop)
@@ -422,9 +491,14 @@ func (s *ServerTM) EndDOP(dop string) {
 
 // ActiveDOPs returns the registered DOP count (diagnostics).
 func (s *ServerTM) ActiveDOPs() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.dops)
+	n := 0
+	for i := range s.dops {
+		sh := &s.dops[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Handler returns the transport handler exposing the server-TM protocol:
@@ -458,10 +532,14 @@ func (s *ServerTM) Handler(participant *rpc.Participant) rpc.Handler {
 			if err != nil {
 				return nil, err
 			}
-			raw := payload
-			if wasDelta {
-				raw = nil // the wire bytes are delta-form; Prepare re-encodes
+			var raw []byte
+			if !wasDelta {
+				// Copy before retaining: transport buffers are only valid for
+				// the duration of the call (the client pools its envelope;
+				// see rpc.Handler), and this staged record outlives it.
+				raw = append([]byte(nil), payload...)
 			}
+			// Delta-form wire bytes are never retained; Prepare re-encodes.
 			return nil, s.stage(m.DOP, m.TxID, v, m.Root, raw, m.WS, m.CBAddr, m.Epoch)
 		case MethodRelease:
 			m, err := decodeRelease(payload)

@@ -209,14 +209,19 @@ func (m beginMsg) encode() []byte {
 	return w.Bytes()
 }
 
+// encodeInto variants write into caller-supplied (usually pooled) writers:
+// the client-TM encodes checkout and stage messages on every DOP operation,
+// and with the writer pool those encodes stop allocating. Server→client
+// responses stay on encode() — the rpc deduplication layer retains response
+// buffers, so they must own fresh memory.
+
 func decodeBegin(data []byte) (beginMsg, error) {
 	r := binenc.NewReader(data)
 	m := beginMsg{DOP: r.Str(), DA: r.Str()}
 	return m, wireErr(r)
 }
 
-func (m checkoutMsg) encode() []byte {
-	w := binenc.NewWriter(96)
+func (m checkoutMsg) encodeInto(w *binenc.Writer) {
 	w.Str(m.DOP)
 	w.Str(m.DA)
 	w.Str(string(m.DOV))
@@ -226,6 +231,11 @@ func (m checkoutMsg) encode() []byte {
 	w.U64(m.Epoch)
 	w.Str(string(m.BaseID))
 	w.Blob(m.BaseHash)
+}
+
+func (m checkoutMsg) encode() []byte {
+	w := binenc.NewWriter(96)
+	m.encodeInto(w)
 	return w.Bytes()
 }
 
@@ -369,8 +379,7 @@ func decodeDOVWire(r *binenc.Reader) dovWire {
 	return v
 }
 
-func (m stageMsg) encode() []byte {
-	w := binenc.NewWriter(192 + len(m.DOV.Object) + len(m.Delta))
+func (m stageMsg) encodeInto(w *binenc.Writer) {
 	w.Str(m.DOP)
 	w.Str(m.TxID)
 	m.DOV.encodeInto(w)
@@ -382,6 +391,11 @@ func (m stageMsg) encode() []byte {
 	w.Str(m.WS)
 	w.Str(m.CBAddr)
 	w.U64(m.Epoch)
+}
+
+func (m stageMsg) encode() []byte {
+	w := binenc.NewWriter(192 + len(m.DOV.Object) + len(m.Delta))
+	m.encodeInto(w)
 	return w.Bytes()
 }
 

@@ -402,14 +402,20 @@ func (g *Graph) FinalDOVs() []*DOV {
 	return out
 }
 
-// SetStatus updates the lifecycle status of a version.
-func (g *Graph) SetStatus(id ID, s Status) error {
+// Replace swaps the stored record of an existing version for an updated
+// immutable copy carrying the same ID (the repository's MVCC write path
+// republishes status and quality updates this way; published DOVs are never
+// mutated in place). Derivation edges are untouched — a replacement must
+// not change ID or Parents.
+func (g *Graph) Replace(v *DOV) error {
+	if v == nil {
+		return errors.New("version: nil DOV")
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	v, ok := g.dovs[id]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownDOV, id)
+	if _, ok := g.dovs[v.ID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDOV, v.ID)
 	}
-	v.Status = s
+	g.dovs[v.ID] = v
 	return nil
 }

@@ -160,15 +160,28 @@ func TestStatusLifecycle(t *testing.T) {
 	if err := g.Insert(dov("v0", "da1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.SetStatus("v0", StatusFinal); err != nil {
+	// Status updates go through Replace: a fresh immutable record supersedes
+	// the stored one (the repository's MVCC write path).
+	v0, err := g.Get("v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := *v0
+	final.Status = StatusFinal
+	if err := g.Replace(&final); err != nil {
 		t.Fatal(err)
 	}
 	finals := g.FinalDOVs()
 	if len(finals) != 1 || finals[0].ID != "v0" {
 		t.Fatalf("FinalDOVs = %v", finals)
 	}
-	if err := g.SetStatus("ghost", StatusFinal); !errors.Is(err, ErrUnknownDOV) {
-		t.Errorf("SetStatus(ghost) = %v", err)
+	if v0.Status != StatusWorking {
+		t.Fatal("Replace mutated the superseded record")
+	}
+	ghost := dov("ghost", "da1")
+	ghost.Status = StatusFinal
+	if err := g.Replace(ghost); !errors.Is(err, ErrUnknownDOV) {
+		t.Errorf("Replace(ghost) = %v", err)
 	}
 }
 

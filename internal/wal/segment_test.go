@@ -270,7 +270,7 @@ func TestMigrateSingleFileLog(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "old.wal")
 	var raw []byte
 	for i := 0; i < 3; i++ {
-		buf, err := frame(5, "legacy", []byte(fmt.Sprintf("old-%d", i)))
+		buf, err := frameInto(nil, 5, "legacy", []byte(fmt.Sprintf("old-%d", i)))
 		if err != nil {
 			t.Fatal(err)
 		}

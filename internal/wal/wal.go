@@ -66,10 +66,38 @@ type Record struct {
 // commitReq is one appender's entry in the pending batch. done is closed by
 // the batch leader once the record is on disk (or the write failed).
 type commitReq struct {
-	buf  []byte
+	buf []byte
+	// fb owns buf's backing array; the batch leader recycles it once the
+	// record has been written (the waiter only reads lsn and err).
+	fb   *frameBuf
 	lsn  LSN
 	err  error
 	done chan struct{}
+}
+
+// frameBufPool recycles record framing buffers: every append frames its
+// record (header + owner + payload) into one of these, and the batch leader
+// returns it to the pool right after the bytes hit the file — so the append
+// hot path reuses a handful of buffers instead of allocating one per record.
+var frameBufPool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+// frameBuf is a pooled framing buffer.
+type frameBuf struct{ b []byte }
+
+// maxPooledFrameBytes caps what a released frame buffer may park in the pool
+// so bulk records do not pin worst-case memory.
+const maxPooledFrameBytes = 256 << 10
+
+func getFrameBuf() *frameBuf { return frameBufPool.Get().(*frameBuf) }
+
+func putFrameBuf(f *frameBuf) {
+	if f == nil {
+		return
+	}
+	if cap(f.b) > maxPooledFrameBytes {
+		f.b = nil
+	}
+	frameBufPool.Put(f)
 }
 
 // Log is an append-only, checksummed redo log backed by a directory of
@@ -448,24 +476,29 @@ func iterateRecords(f *os.File, base, limit, skipBelow int64, fn func(Record) er
 	return off, nil
 }
 
-// frame encodes one record into its on-disk form.
-func frame(t RecordType, owner string, payload []byte) ([]byte, error) {
+// frameInto appends one record's on-disk form to dst (header, owner,
+// payload in place — no intermediate body buffer) and returns the extended
+// slice. Allocation-free when dst has capacity, which is what the frame
+// buffer pool provides on the append hot path.
+func frameInto(dst []byte, t RecordType, owner string, payload []byte) ([]byte, error) {
 	if len(owner) > 0xFFFF {
 		return nil, fmt.Errorf("wal: owner too long (%d bytes)", len(owner))
 	}
-	body := make([]byte, 0, len(owner)+len(payload))
-	body = append(body, owner...)
-	body = append(body, payload...)
-	total := uint32(recHeaderSize + len(body))
+	total := uint32(recHeaderSize + len(owner) + len(payload))
 	if total > maxRecordSize {
 		return nil, fmt.Errorf("wal: record too large (%d bytes)", total)
 	}
-	buf := make([]byte, recHeaderSize, total)
-	binary.LittleEndian.PutUint32(buf[0:4], total)
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(body))
-	binary.LittleEndian.PutUint16(buf[8:10], uint16(t))
-	binary.LittleEndian.PutUint16(buf[10:12], uint16(len(owner)))
-	return append(buf, body...), nil
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0) // recHeaderSize placeholder
+	dst = append(dst, owner...)
+	dst = append(dst, payload...)
+	hdr := dst[start:]
+	body := dst[start+recHeaderSize:]
+	binary.LittleEndian.PutUint32(hdr[0:4], total)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint16(hdr[8:10], uint16(t))
+	binary.LittleEndian.PutUint16(hdr[10:12], uint16(len(owner)))
+	return dst, nil
 }
 
 // Append durably adds a record and returns its LSN. It returns once the
@@ -486,28 +519,34 @@ func (l *Log) Append(t RecordType, owner string, payload []byte) (LSN, error) {
 // lock and wait outside it, so that concurrent transactions' records gather
 // into one batch instead of serializing fsyncs behind the lock.
 func (l *Log) AppendAsync(t RecordType, owner string, payload []byte) (func() (LSN, error), error) {
-	buf, err := frame(t, owner, payload)
+	fb := getFrameBuf()
+	buf, err := frameInto(fb.b[:0], t, owner, payload)
 	if err != nil {
+		putFrameBuf(fb)
 		return nil, err
 	}
+	fb.b = buf
 	atomic.AddUint64(&l.appends, 1)
 	if l.noGroupCommit {
 		lsn, err := l.appendSerial(buf)
+		putFrameBuf(fb) // written (or refused); the bytes are dead either way
 		if err != nil {
 			return nil, err
 		}
 		return func() (LSN, error) { return lsn, nil }, nil
 	}
 
-	req := &commitReq{buf: buf, done: make(chan struct{})}
+	req := &commitReq{buf: buf, fb: fb, done: make(chan struct{})}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
+		putFrameBuf(fb)
 		return nil, ErrClosed
 	}
 	if l.err != nil {
 		err := l.err
 		l.mu.Unlock()
+		putFrameBuf(fb)
 		return nil, err
 	}
 	req.lsn = LSN(l.size)
@@ -589,15 +628,17 @@ func (l *Log) commitBatch() {
 	}
 	if werr == nil {
 		buf := batch[0].buf
+		var cb *frameBuf
 		if len(batch) > 1 {
-			total := 0
+			// Coalesce into one pooled buffer so the batch costs one write
+			// (and the per-record frame buffers free up immediately after).
+			cb = getFrameBuf()
+			b := cb.b[:0]
 			for _, r := range batch {
-				total += len(r.buf)
+				b = append(b, r.buf...)
 			}
-			buf = make([]byte, 0, total)
-			for _, r := range batch {
-				buf = append(buf, r.buf...)
-			}
+			cb.b = b
+			buf = b
 		}
 		atomic.AddUint64(&l.batches, 1)
 		if _, err := l.f.Write(buf); err != nil {
@@ -613,8 +654,14 @@ func (l *Log) commitBatch() {
 				}
 			}
 		}
+		putFrameBuf(cb)
 	}
 	for _, r := range batch {
+		// The record is on disk (or refused); recycle its framing buffer
+		// before waking the waiter — it only reads lsn and err.
+		r.buf = nil
+		putFrameBuf(r.fb)
+		r.fb = nil
 		r.err = werr
 		close(r.done)
 	}
