@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet fmt-check doc-lint e14-short e15-short bench bench-json experiments example-recovery check all
+.PHONY: build test test-race vet fmt-check doc-lint e14-short e15-short e16-short bench bench-json experiments example-recovery check all
 
 all: check
 
@@ -35,19 +35,28 @@ e14-short:
 e15-short:
 	$(GO) test ./internal/experiments -run TestE15ReadScalingBounds -count=1 -v
 
+# E16 acceptance bounds (sharded write path: >=2x aggregate checkin
+# throughput at 8 writer DAs vs the SerializedWrites baseline; pipelined
+# replay beats serial replay on a 64k-op history) in short mode.
+e16-short:
+	$(GO) test ./internal/experiments -run TestE16WriteScalingBounds -count=1 -v -timeout 20m
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# All benchmark suites (root package plus wal/repo/experiments and the rest
+# of internal/); -run XXX skips the unit tests.
 bench:
-	$(GO) test -bench . -benchtime 1s -run XXX .
+	$(GO) test -bench . -benchtime 1s -run XXX ./...
 
-# Machine-readable perf record: re-run E15 and refresh the committed
-# BENCH_E15.json (CI uploads it as an artifact on every push).
+# Machine-readable perf record: re-run E15 and E16 and refresh the committed
+# BENCH_*.json files (CI uploads them as artifacts on every push).
 bench-json:
 	$(GO) run ./cmd/concordbench -json out/BENCH_E15.json E15
+	$(GO) run ./cmd/concordbench -json out/BENCH_E16.json E16
 
-# Regenerate every experiment table (E1-E15); EXPERIMENTS.md records the
+# Regenerate every experiment table (E1-E16); EXPERIMENTS.md records the
 # paper-vs-measured outcomes.
 experiments:
 	$(GO) run ./cmd/concordbench

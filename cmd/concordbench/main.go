@@ -1,20 +1,21 @@
 // Command concordbench regenerates every figure of the paper (E1-E8), the
 // synthetic quantifications (E9-E11) and the scaling scenarios: E12
 // (multi-workstation load), E13 (bounded-time restart), E14 (workstation
-// cache and delta shipping) and E15 (MVCC read-path scaling), printing one
-// table per experiment. See DESIGN.md §6 for the experiment index and
-// EXPERIMENTS.md for the paper-vs-measured record.
+// cache and delta shipping), E15 (MVCC read-path scaling) and E16
+// (sharded write path and pipelined replay), printing one table per
+// experiment. See DESIGN.md §6 for the experiment index and EXPERIMENTS.md
+// for the paper-vs-measured record.
 //
 // With -json, every machine-readable metric the selected experiments emit is
 // additionally written to the given file as a JSON array of
 // {experiment, metric, value, unit, git_rev} records — the perf-trajectory
-// format CI archives (BENCH_E15.json).
+// format CI archives (BENCH_E15.json, BENCH_E16.json).
 //
 // Usage:
 //
 //	concordbench                            # run all experiments
 //	concordbench E5 E12                     # run selected experiments
-//	concordbench -json out/BENCH_E15.json E15
+//	concordbench -json out/BENCH_E16.json E16
 package main
 
 import (
@@ -66,9 +67,9 @@ func main() {
 		"E9": experiments.E9Cooperation, "E10": experiments.E10CommitProtocols,
 		"E11": experiments.E11RecoveryPoints, "E12": experiments.E12MultiWorkstation,
 		"E13": experiments.E13Restart, "E14": experiments.E14CacheDelta,
-		"E15": experiments.E15ReadPath,
+		"E15": experiments.E15ReadPath, "E16": experiments.E16WritePath,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {

@@ -54,6 +54,12 @@ type Options struct {
 	// group-commit WAL and sharded locks in place. E15 uses it to isolate
 	// what the lock-free, clone-free read index buys.
 	SerializedReads bool
+	// SerializedWrites reverts only the repository mutation path to the
+	// fully serial design: one global repository lock held across each
+	// forced log write, instead of per-DA write locks with group-committed
+	// appends (DESIGN.md §3.7). E16 uses it to isolate what the sharded
+	// checkin pipeline buys.
+	SerializedWrites bool
 	// VolatileWorkstations keeps workstation sites in memory even when Dir
 	// is set: only the server persists. Workstation crash recovery is then
 	// unavailable, but server durability (the paper's correctness anchor)
@@ -162,8 +168,9 @@ func (s *System) startServer() error {
 	dir := s.serverDir()
 	r, err := repo.Open(s.cat, repo.Options{
 		Dir: dir, Sync: dir != "", NoGroupCommit: s.opts.Serialized,
-		SegmentBytes:    s.opts.SegmentBytes,
-		SerializedReads: s.opts.Serialized || s.opts.SerializedReads,
+		SegmentBytes:     s.opts.SegmentBytes,
+		SerializedReads:  s.opts.Serialized || s.opts.SerializedReads,
+		SerializedWrites: s.opts.Serialized || s.opts.SerializedWrites,
 	})
 	if err != nil {
 		return err

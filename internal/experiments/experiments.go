@@ -2,7 +2,8 @@
 // figure of the paper (E1-E8), three synthetic quantifications of its
 // qualitative claims (E9-E11), and the scaling scenarios E12
 // (multi-workstation throughput), E13 (bounded-time restart), E14
-// (workstation cache + delta shipping) and E15 (MVCC read-path scaling).
+// (workstation cache + delta shipping), E15 (MVCC read-path scaling) and
+// E16 (sharded write path + pipelined replay).
 // Each experiment returns a Report whose rows cmd/concordbench prints and
 // whose execution bench_test.go times; DESIGN.md §6 is the index,
 // EXPERIMENTS.md records paper-vs-measured.

@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build;
+// perf-bound gates skip themselves under it (instrumentation turns the
+// fsync-dominated write path CPU-bound and voids the measured ratios).
+const raceEnabled = false

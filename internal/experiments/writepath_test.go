@@ -1,0 +1,68 @@
+package experiments
+
+import "testing"
+
+// TestE16WriteScalingBounds is the CI gate on the concurrent write path
+// (acceptance bounds of the E16 experiment, run at a reduced size): at 8
+// concurrent writer DAs the sharded checkin pipeline must at least double
+// the aggregate throughput of the SerializedWrites baseline, and the
+// pipelined replay must beat record-at-a-time serial replay on a 64k-op
+// history. The committed BENCH_E16.json records the full-size numbers.
+func TestE16WriteScalingBounds(t *testing.T) {
+	if raceEnabled {
+		// Race instrumentation slows the CPU side of a checkin ~10x, so the
+		// fsync-amortization ratios the bounds assert no longer describe the
+		// shipped binary. Correctness under -race is covered by the repo/wal
+		// stress and replay-equivalence tests; the perf gate runs unraced.
+		t.Skip("perf bounds are not meaningful under the race detector")
+	}
+	const writers, rounds = 8, 150
+	// Perf gates on shared single-CPU runners see CPU theft from sibling
+	// processes (e.g. the remaining test binaries still compiling); one
+	// retry separates a genuinely regressed write path from a noisy run.
+	const attempts = 2
+	var lastBase, lastShard WriteScalingResult
+	pass := false
+	for a := 0; a < attempts && !pass; a++ {
+		base, err := RunCheckinScaling(true, writers, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard, err := RunCheckinScaling(false, writers, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("attempt %d: baseline %.0f ops/s (group factor %.1f); sharded %.0f ops/s (group factor %.1f); speedup %.2fx",
+			a+1, base.OpsPerSec(), base.GroupFactor(), shard.OpsPerSec(), shard.GroupFactor(),
+			shard.OpsPerSec()/base.OpsPerSec())
+		lastBase, lastShard = base, shard
+		pass = shard.OpsPerSec() >= 2*base.OpsPerSec()
+	}
+	if !pass {
+		t.Fatalf("sharded write path %.0f ops/s vs serialized %.0f ops/s: below the 2x floor at %d writers",
+			lastShard.OpsPerSec(), lastBase.OpsPerSec(), writers)
+	}
+
+	rr, err := RunReplayComparison(64*1024, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("replay %d ops: serial %v, pipelined %v (speedup %.2fx)",
+		rr.History, rr.Serial, rr.Pipelined, rr.Speedup())
+	if rr.Pipelined >= rr.Serial {
+		t.Fatalf("pipelined replay %v is not faster than serial replay %v on a %d-op history",
+			rr.Pipelined, rr.Serial, rr.History)
+	}
+}
+
+// TestE16SmallSmoke keeps the full experiment path (report rows, metrics)
+// exercised at a tiny size in the regular test run.
+func TestE16SmallSmoke(t *testing.T) {
+	rep, err := e16WritePath([]int{2}, 20, 2048, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 || len(rep.Metrics) != 6 {
+		t.Fatalf("unexpected report shape: %d rows, %d metrics", len(rep.Rows), len(rep.Metrics))
+	}
+}

@@ -19,36 +19,43 @@ import (
 func digest(t *testing.T, r *Repository) string {
 	t.Helper()
 	var b strings.Builder
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	fmt.Fprintf(&b, "seq=%d\n", r.seq)
-	names := make([]string, 0, len(r.graphs))
-	for da := range r.graphs {
+	// Quiesce writers (exclusive side of the §3.7 lock order) for a stable
+	// cut across the sharded index, DA directory and metadata store.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fmt.Fprintf(&b, "seq=%d\n", r.seq.Load())
+	das := *r.dasPub.Load()
+	names := make([]string, 0, len(das))
+	for da := range das {
 		names = append(names, da)
 	}
 	sortStrings(names)
 	for _, da := range names {
-		g := r.graphs[da]
+		g := das[da].g
 		fmt.Fprintf(&b, "graph %s:", da)
 		for _, id := range g.IDs() {
 			fmt.Fprintf(&b, " %s>[%s]", id, joinIDs(g.Children(id)))
 		}
 		b.WriteByte('\n')
 	}
-	ids := make([]string, 0, len(r.dovs))
-	for id := range r.dovs {
+	entries := make(map[version.ID]*dovEntry)
+	r.idx.each(func(id version.ID, e *dovEntry) { entries[id] = e })
+	ids := make([]string, 0, len(entries))
+	for id := range entries {
 		ids = append(ids, string(id))
 	}
 	sortStrings(ids)
 	for _, id := range ids {
-		v := r.dovs[version.ID(id)]
+		e := entries[version.ID(id)]
+		v := e.dov
 		obj, err := catalog.EncodeObject(v.Object)
 		if err != nil {
 			t.Fatalf("digest encode %s: %v", id, err)
 		}
 		fmt.Fprintf(&b, "dov %s dot=%s da=%s parents=[%s] status=%d seq=%d root=%t obj=%x\n",
-			v.ID, v.DOT, v.DA, joinIDs(v.Parents), v.Status, v.Seq, r.roots[v.ID], obj)
+			v.ID, v.DOT, v.DA, joinIDs(v.Parents), v.Status, v.Seq, e.root, obj)
 	}
+	r.metaMu.Lock()
 	keys := make([]string, 0, len(r.meta))
 	for k := range r.meta {
 		keys = append(keys, k)
@@ -57,6 +64,7 @@ func digest(t *testing.T, r *Repository) string {
 	for _, k := range keys {
 		fmt.Fprintf(&b, "meta %s=%x\n", k, r.meta[k])
 	}
+	r.metaMu.Unlock()
 	return b.String()
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -74,6 +75,23 @@ type Options struct {
 	// EncodedObject read under the lock. Ablation baseline for E15; never
 	// set in production.
 	SerializedReads bool
+	// SerializedWrites reverts the mutation path to the fully serial
+	// pre-concurrency design: every mutation holds one global repository
+	// lock across its forced log write, so checkins serialize repository-
+	// wide — one record, one fsync, one writer at a time — instead of
+	// running concurrently per design area with group-committed log
+	// appends (DESIGN.md §3.7). Ablation baseline for E16; never set in
+	// production.
+	SerializedWrites bool
+	// SerialReplay reverts restart to record-at-a-time replay (unbuffered
+	// reads, decode and apply interleaved in one loop) instead of the
+	// pipelined replay that streams segments through a large buffer and
+	// decodes DOV payloads on a worker pool (DESIGN.md §3.7). Ablation
+	// baseline for E16 restart numbers; never set in production.
+	SerialReplay bool
+	// ReplayWorkers is the decode worker count of the pipelined replay
+	// (0 = GOMAXPROCS, capped at 8). Ignored with SerialReplay.
+	ReplayWorkers int
 }
 
 // Repository is the design data repository. All methods are safe for
@@ -83,6 +101,14 @@ type Options struct {
 // Graph never take the repository lock and never copy payloads — they return
 // immutable records published through the copy-on-write index in mvcc.go.
 // Callers must treat every returned DOV (and its Object) as read-only.
+//
+// Writes are sharded by design area (DESIGN.md §3.7): a checkin holds the
+// repository-wide quiesce lock shared plus its DA's write lock, so checkins
+// to distinct DAs proceed concurrently and serialize only inside one
+// derivation graph. The snapshot encoder is the only exclusive holder of the
+// quiesce lock, which is what keeps the §3.5 (snapshot state == effect of
+// all records below the noted LSN) invariant intact without a global writer
+// mutex.
 type Repository struct {
 	cat *catalog.Catalog
 	dir string
@@ -91,28 +117,45 @@ type Repository struct {
 	// serializedReads selects the pre-MVCC locked+cloning read path
 	// (Options.SerializedReads; E15 ablation baseline).
 	serializedReads bool
+	// serializedWrites selects the global-lock-across-fsync write path
+	// (Options.SerializedWrites; E16 ablation baseline).
+	serializedWrites bool
+	// globalWriteLock makes every mutator take mu exclusively instead of
+	// shared — set by either Serialized* ablation so the historical
+	// reader/writer mutual exclusion those baselines measure is preserved.
+	globalWriteLock bool
+	// serialReplay / replayWorkers configure restart replay (§3.7).
+	serialReplay  bool
+	replayWorkers int
 
-	// mu guards the writer-side state below. Readers go through idx and
-	// graphsPub instead; only mutators, snapshot encoding and the
-	// diagnostics that enumerate state take this lock.
-	mu     sync.RWMutex
-	graphs map[string]*version.Graph
-	dovs   map[version.ID]*version.DOV // writer-side index
+	// mu is the quiesce lock. Mutators hold it SHARED for the span
+	// [WAL reservation, in-memory publication]; the snapshot encoder (and
+	// state-wide diagnostics) hold it EXCLUSIVE, which blocks out every
+	// in-flight mutation and makes (state, log.Size()) a consistent pair
+	// (§3.5). Actual mutual exclusion between writers is per resource:
+	// daState.mu for a DA's graph + version inserts, idx shard mutexes for
+	// index publication, metaMu for the metadata store.
+	mu sync.RWMutex
+
+	// dasMu serializes DA-state creation; lookups go through dasPub.
+	dasMu sync.Mutex
+	das   map[string]*daState
+	// dasPub is the atomically swapped DA directory for lock-free lookups
+	// (DAs are created rarely; each creation copies the map and swaps the
+	// pointer).
+	dasPub atomic.Pointer[map[string]*daState]
+
+	// metaMu guards the metadata store (cold path: manager context data).
+	metaMu sync.Mutex
 	meta   map[string][]byte
-	// roots marks versions adopted as graph roots (foreign parents
-	// allowed); snapshots must preserve the distinction so rebuilt graphs
-	// wire exactly the edges replay would.
-	roots map[version.ID]bool
-	seq   uint64
-	log   *wal.Log
 
-	// idx is the lock-free read index (mvcc.go). Writers publish into it
-	// while holding mu; readers only load.
+	// seq is the repository-wide version sequence counter.
+	seq atomic.Uint64
+	log *wal.Log
+
+	// idx is the sharded read index and writer-side version directory
+	// (mvcc.go). Readers only load; writers claim/publish per shard.
 	idx dovIndex
-	// graphsPub is the atomically swapped graph directory for lock-free
-	// Graph lookups (graphs are created rarely; each creation copies the
-	// map and swaps the pointer).
-	graphsPub atomic.Pointer[map[string]*version.Graph]
 	// fatal is latched when a reserved log record failed to become durable
 	// (see appendAsync): the in-memory state is then ahead of the log and
 	// every subsequent operation is refused with ErrFatal. Atomic so the
@@ -128,6 +171,14 @@ type Repository struct {
 	// (see SetChangeHook).
 	changeMu sync.RWMutex
 	onChange func(ChangeEvent)
+}
+
+// daState is the writer-side record of one design area: its derivation graph
+// plus the write lock serializing mutations of that graph. Checkins to
+// different DAs take different locks, which is the §3.7 sharding.
+type daState struct {
+	mu sync.Mutex
+	g  *version.Graph
 }
 
 // ChangeKind distinguishes version-change events pushed to the hook.
@@ -205,18 +256,23 @@ func Open(cat *catalog.Catalog, opts Options) (*Repository, error) {
 		return nil, errors.New("repo: nil catalog")
 	}
 	r := &Repository{
-		cat:             cat,
-		dir:             opts.Dir,
-		hook:            opts.CrashHook,
-		serializedReads: opts.SerializedReads,
-		graphs:          make(map[string]*version.Graph),
-		dovs:            make(map[version.ID]*version.DOV),
-		meta:            make(map[string][]byte),
-		roots:           make(map[version.ID]bool),
+		cat:              cat,
+		dir:              opts.Dir,
+		hook:             opts.CrashHook,
+		serializedReads:  opts.SerializedReads,
+		serializedWrites: opts.SerializedWrites,
+		globalWriteLock:  opts.SerializedReads || opts.SerializedWrites,
+		serialReplay:     opts.SerialReplay,
+		replayWorkers:    opts.ReplayWorkers,
+		das:              make(map[string]*daState),
+		meta:             make(map[string][]byte),
 	}
 	r.idx.init()
+	// staging collects recovered versions outside the published index so the
+	// bulk rebuild below costs one pass instead of per-record copy-on-write.
+	staging := make(map[version.ID]*dovEntry)
 	if opts.Dir != "" {
-		snapLSN, err := r.loadSnapshot()
+		snapLSN, err := r.loadSnapshot(staging)
 		if err != nil {
 			return nil, err
 		}
@@ -226,6 +282,7 @@ func Open(cat *catalog.Catalog, opts Options) (*Repository, error) {
 			NoGroupCommit: opts.NoGroupCommit,
 			SegmentBytes:  opts.SegmentBytes,
 			CrashHook:     opts.CrashHook,
+			BufferedScan:  !opts.SerialReplay,
 		})
 		if err != nil {
 			return nil, err
@@ -240,36 +297,24 @@ func Open(cat *catalog.Catalog, opts Options) (*Repository, error) {
 				return nil, err
 			}
 		}
-		if err := r.recover(snapLSN); err != nil {
+		if err := r.recover(snapLSN, staging); err != nil {
 			l.Close()
 			return nil, err
 		}
 	}
-	r.publishIndex()
+	r.idx.rebuild(staging)
+	r.publishDAs()
 	return r, nil
 }
 
-// publishIndex bulk-builds the lock-free read index from the recovered
-// writer-side state. Called once at the end of Open, before the repository
-// is shared. Encoding memos start empty and fill on first checkout, so a
-// large recovered history costs no second payload copy up front.
-func (r *Repository) publishIndex() {
-	entries := make(map[version.ID]*dovEntry, len(r.dovs))
-	for id, v := range r.dovs {
-		entries[id] = &dovEntry{dov: v, enc: &encMemo{}}
+// publishDAs swaps in a fresh copy of the DA directory. Callers hold dasMu
+// (or own the repository exclusively, as at Open).
+func (r *Repository) publishDAs() {
+	m := make(map[string]*daState, len(r.das))
+	for da, st := range r.das {
+		m[da] = st
 	}
-	r.idx.rebuild(entries)
-	r.publishGraphsLocked()
-}
-
-// publishGraphsLocked swaps in a fresh copy of the graph directory. Callers
-// hold r.mu (or own the repository exclusively, as at Open).
-func (r *Repository) publishGraphsLocked() {
-	m := make(map[string]*version.Graph, len(r.graphs))
-	for da, g := range r.graphs {
-		m[da] = g
-	}
-	r.graphsPub.Store(&m)
+	r.dasPub.Store(&m)
 }
 
 // Close releases the underlying log.
@@ -336,68 +381,98 @@ func decodeDOVRecord(data []byte) (dovRecord, error) {
 	return d, r.Err()
 }
 
-// applyDOVRecord decodes one durable DOV record (from the log or a
-// snapshot) and inserts the version exactly as the original checkin did.
-func (r *Repository) applyDOVRecord(data []byte) error {
+// decodedInsert is a recDOVInsert payload after the CPU-heavy half of its
+// recovery — record decode plus catalog.DecodeObject — which the pipelined
+// replay runs on a worker pool (§3.7).
+type decodedInsert struct {
+	rec dovRecord
+	obj *catalog.Object
+}
+
+// decodeInsert performs the worker-side half of recovering one DOV record.
+func decodeInsert(data []byte) (*decodedInsert, error) {
 	dr, err := decodeDOVRecord(data)
 	if err != nil {
-		return fmt.Errorf("repo: recover DOV: %w", err)
+		return nil, fmt.Errorf("repo: recover DOV: %w", err)
 	}
 	obj, err := catalog.DecodeObject(dr.Object)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	return &decodedInsert{rec: dr, obj: obj}, nil
+}
+
+// installRecovered inserts one decoded DOV exactly as the original checkin
+// did, into the recovery staging map and the (not yet shared) graphs.
+func (r *Repository) installRecovered(d *decodedInsert, staging map[version.ID]*dovEntry) error {
+	dr := d.rec
 	v := &version.DOV{
 		ID: dr.ID, DOT: dr.DOT, DA: dr.DA, Parents: dr.Parents,
-		Object: obj, Status: dr.Status, Fulfilled: dr.Fulfilled, Seq: dr.Seq,
+		Object: d.obj, Status: dr.Status, Fulfilled: dr.Fulfilled, Seq: dr.Seq,
 	}
-	g, ok := r.graphs[dr.DA]
+	st, ok := r.das[dr.DA]
 	if !ok {
-		g = version.NewGraph(dr.DA)
-		r.graphs[dr.DA] = g
+		st = &daState{g: version.NewGraph(dr.DA)}
+		r.das[dr.DA] = st
 	}
 	if dr.Root {
-		if err := g.AdoptRoot(v); err != nil {
+		if err := st.g.AdoptRoot(v); err != nil {
 			return err
 		}
-		r.roots[v.ID] = true
-	} else if err := g.InsertDerived(v); err != nil {
+	} else if err := st.g.InsertDerived(v); err != nil {
 		return err
 	}
-	r.dovs[v.ID] = v
-	if dr.Seq > r.seq {
-		r.seq = dr.Seq
+	staging[v.ID] = &dovEntry{dov: v, enc: &encMemo{}, root: dr.Root}
+	if dr.Seq > r.seq.Load() {
+		r.seq.Store(dr.Seq)
 	}
 	return nil
+}
+
+// applyDOVRecord decodes and installs one durable DOV record (snapshot
+// load and serial replay path).
+func (r *Repository) applyDOVRecord(data []byte, staging map[version.ID]*dovEntry) error {
+	d, err := decodeInsert(data)
+	if err != nil {
+		return err
+	}
+	return r.installRecovered(d, staging)
 }
 
 // recover replays the redo-log suffix behind the loaded snapshot. Records
 // below snapLSN are already reflected in the snapshot state (the WAL's own
 // low-water mark normally equals snapLSN, but a crash between snapshot
 // install and log mark can leave older records in the log).
-func (r *Repository) recover(snapLSN wal.LSN) error {
-	return r.log.Replay(func(rec wal.Record) error {
+//
+// By default the replay is pipelined (§3.7): the WAL streams records through
+// a large read buffer and a worker pool runs decodeInsert — the dominant
+// restart cost — concurrently, while this applier installs records strictly
+// in LSN order, so the rebuilt state is identical to serial replay.
+func (r *Repository) recover(snapLSN wal.LSN, staging map[version.ID]*dovEntry) error {
+	apply := func(rec wal.Record, pre any) error {
 		if rec.LSN < snapLSN {
 			return nil
 		}
 		switch rec.Type {
 		case recGraphNew:
 			da := string(rec.Payload)
-			if _, ok := r.graphs[da]; !ok {
-				r.graphs[da] = version.NewGraph(da)
+			if _, ok := r.das[da]; !ok {
+				r.das[da] = &daState{g: version.NewGraph(da)}
 			}
 		case recDOVInsert:
-			if err := r.applyDOVRecord(rec.Payload); err != nil {
-				return err
+			if d, ok := pre.(*decodedInsert); ok {
+				return r.installRecovered(d, staging)
 			}
+			return r.applyDOVRecord(rec.Payload, staging)
 		case recDOVStatus:
 			parts := strings.SplitN(string(rec.Payload), "\x00", 2)
-			if len(parts) != 2 {
+			if len(parts) != 2 || len(parts[1]) != 1 {
+				// A short second part means the status byte is missing: a
+				// corrupt record must fail recovery, not index past the end.
 				return errors.New("repo: recover status: bad payload")
 			}
-			id := version.ID(parts[0])
-			if v, ok := r.dovs[id]; ok {
-				v.Status = version.Status(parts[1][0])
+			if e, ok := staging[version.ID(parts[0])]; ok {
+				e.dov.Status = version.Status(parts[1][0])
 			}
 		case recMetaPut:
 			parts := bytes.SplitN(rec.Payload, []byte{0}, 2)
@@ -409,22 +484,42 @@ func (r *Repository) recover(snapLSN wal.LSN) error {
 			delete(r.meta, string(rec.Payload))
 		}
 		return nil
-	})
+	}
+	if r.serialReplay {
+		return r.log.Replay(func(rec wal.Record) error { return apply(rec, nil) })
+	}
+	workers := r.replayWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	decode := func(rec wal.Record) (any, error) {
+		if rec.Type != recDOVInsert || rec.LSN < snapLSN {
+			return nil, nil
+		}
+		return decodeInsert(rec.Payload)
+	}
+	return r.log.ReplayPipelined(workers, decode, apply)
 }
 
 // noWait is the wait function of volatile repositories (no log).
 func noWait() (wal.LSN, error) { return 0, nil }
 
 // appendAsync reserves a log record and returns its durability wait
-// function. Mutators call it while holding r.mu — the reservation fixes the
-// record's replay position relative to every other mutation — and invoke the
-// wait after releasing r.mu, so the fsync happens outside the repository
-// lock and concurrent transactions' records group into one commit batch.
+// function. Mutators call it while holding the quiesce lock (shared) plus
+// the mutated resource's lock — the reservation fixes the record's replay
+// position relative to every other mutation of that resource — and invoke
+// the wait after releasing their locks, so the fsync happens outside the
+// repository locks and concurrent transactions' records group into one
+// commit batch.
 //
 // The in-memory state is applied at reservation time, before durability.
-// This never lets a replay dangle: records enter the log in reservation
-// order, so anything derived from a not-yet-durable version sits at a later
-// LSN and the crash-surviving log prefix is always self-consistent. The one
+// This never lets a replay dangle: a version is published only after its
+// record is reserved, and anything derived from it reserves later (records
+// enter the log in reservation order), so the crash-surviving log prefix is
+// always self-consistent — see the §3.7 cross-DA argument. The one
 // remaining hazard is a failed wait (disk error): the applied state would
 // be ahead of the log, so the wait wrapper below turns that into a
 // repository-wide fail-stop (ErrFatal) instead of serving phantom data.
@@ -445,15 +540,12 @@ func (r *Repository) appendAsync(t wal.RecordType, owner string, payload []byte)
 	}, nil
 }
 
-// failStop latches the fatal state. The latch is published atomically so the
-// lock-free read path observes it without the repository lock.
+// failStop latches the fatal state. The latch is a lock-free CAS so it is
+// safe from any path, including waits running inside the SerializedWrites
+// critical section.
 func (r *Repository) failStop(cause error) {
-	r.mu.Lock()
-	if r.fatal.Load() == nil {
-		err := fmt.Errorf("%w: %v", ErrFatal, cause)
-		r.fatal.Store(&err)
-	}
-	r.mu.Unlock()
+	err := fmt.Errorf("%w: %v", ErrFatal, cause)
+	r.fatal.CompareAndSwap(nil, &err)
 }
 
 // alive returns the latched fatal error, if any. Lock-free; safe from any
@@ -465,38 +557,110 @@ func (r *Repository) alive() error {
 	return nil
 }
 
+// beginMutation takes the quiesce lock in the configured mode (shared in the
+// sharded design, exclusive under the Serialized* ablations) and checks
+// liveness. It returns the matching unlock.
+func (r *Repository) beginMutation() (func(), error) {
+	if r.globalWriteLock {
+		r.mu.Lock()
+		if err := r.alive(); err != nil {
+			r.mu.Unlock()
+			return nil, err
+		}
+		return r.mu.Unlock, nil
+	}
+	r.mu.RLock()
+	if err := r.alive(); err != nil {
+		r.mu.RUnlock()
+		return nil, err
+	}
+	return r.mu.RUnlock, nil
+}
+
+// finishWrite resolves a mutation's durability wait(s) against the
+// configured write path and releases its locks in the right order: the
+// SerializedWrites ablation waits *before* unlocking (one record, one
+// fsync, one writer at a time — the fully serial baseline), the sharded
+// default unlocks first so concurrent writers' records share a group-commit
+// fsync. unlock must release every lock the mutator holds; waits beyond the
+// first are cleanup records whose errors are ignored (replay tolerates
+// their absence).
+func (r *Repository) finishWrite(unlock func(), waits ...func() (wal.LSN, error)) error {
+	flush := func() error {
+		var ferr error
+		for i, w := range waits {
+			if w == nil {
+				continue
+			}
+			if _, err := w(); err != nil && i == 0 {
+				ferr = err
+			}
+		}
+		return ferr
+	}
+	if r.serializedWrites {
+		err := flush()
+		unlock()
+		return err
+	}
+	unlock()
+	return flush()
+}
+
+// lockDA looks the DA up (lock-free) and takes its write lock. Under the
+// global-lock ablations the per-DA lock is skipped: the exclusive quiesce
+// lock already serializes every mutator.
+func (r *Repository) lockDA(da string) (*daState, bool) {
+	st, ok := (*r.dasPub.Load())[da]
+	if !ok {
+		return nil, false
+	}
+	if !r.globalWriteLock {
+		st.mu.Lock()
+	}
+	return st, true
+}
+
+// unlockDA releases lockDA.
+func (r *Repository) unlockDA(st *daState) {
+	if !r.globalWriteLock {
+		st.mu.Unlock()
+	}
+}
+
 // NextID allocates a fresh repository-wide DOV identifier.
 func (r *Repository) NextID() version.ID {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.seq++
-	return version.ID(fmt.Sprintf("dov-%06d", r.seq))
+	return version.ID(fmt.Sprintf("dov-%06d", r.seq.Add(1)))
 }
 
 // CreateGraph creates (idempotently) the derivation graph of a DA.
 func (r *Repository) CreateGraph(da string) error {
-	r.mu.Lock()
-	if err := r.alive(); err != nil {
-		r.mu.Unlock()
+	end, err := r.beginMutation()
+	if err != nil {
 		return err
 	}
-	if _, ok := r.graphs[da]; ok {
-		r.mu.Unlock()
+	r.dasMu.Lock()
+	if _, ok := r.das[da]; ok {
+		r.dasMu.Unlock()
+		end()
 		return nil
 	}
 	wait, err := r.appendAsync(recGraphNew, da, []byte(da))
 	if err != nil {
-		r.mu.Unlock()
+		r.dasMu.Unlock()
+		end()
 		return err
 	}
-	r.graphs[da] = version.NewGraph(da)
-	r.publishGraphsLocked()
-	r.mu.Unlock()
-	_, err = wait()
-	return err
+	// Publication after reservation: a checkin can only find the DA (and
+	// reserve records into its graph) once the graph's own record holds an
+	// earlier log position.
+	r.das[da] = &daState{g: version.NewGraph(da)}
+	r.publishDAs()
+	r.dasMu.Unlock()
+	return r.finishWrite(end, wait)
 }
 
-// Graph returns the derivation graph of a DA. Lock-free: the graph directory
+// Graph returns the derivation graph of a DA. Lock-free: the DA directory
 // is an atomically swapped copy-on-write map (graphs themselves synchronize
 // internally).
 func (r *Repository) Graph(da string) (*version.Graph, error) {
@@ -507,11 +671,11 @@ func (r *Repository) Graph(da string) (*version.Graph, error) {
 	if err := r.alive(); err != nil {
 		return nil, err
 	}
-	g, ok := (*r.graphsPub.Load())[da]
+	st, ok := (*r.dasPub.Load())[da]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownGraph, da)
 	}
-	return g, nil
+	return st.g, nil
 }
 
 // Checkin validates and durably stores a new DOV, extending its DA's
@@ -531,6 +695,10 @@ func (r *Repository) Checkin(v *version.DOV, root bool) error {
 // that metadata key in the same durable commit batch (single fsync). The
 // server-TM's 2PC commit uses it to install a DOV and drop its staged
 // record with one forced log write.
+//
+// Concurrency (§3.7): the critical section runs under the quiesce lock
+// (shared) plus the DA's write lock, so checkins to distinct DAs proceed in
+// parallel and their durability waits share one group-commit fsync.
 func (r *Repository) CheckinCleanup(v *version.DOV, root bool, cleanupKey string) error {
 	if v == nil {
 		return errors.New("repo: nil DOV")
@@ -545,39 +713,46 @@ func (r *Repository) CheckinCleanup(v *version.DOV, root bool, cleanupKey string
 		return fmt.Errorf("%w: %v", ErrValidation, err)
 	}
 
-	// Encoding does not need the lock; do it before entering the critical
+	// Encoding does not need any lock; do it before entering the critical
 	// section (the object is the caller's copy).
 	objBytes, err := catalog.EncodeObject(v.Object)
 	if err != nil {
 		return err
 	}
 
-	r.mu.Lock()
-	if err := r.alive(); err != nil {
-		r.mu.Unlock()
+	end, err := r.beginMutation()
+	if err != nil {
 		return err
 	}
-	g, ok := r.graphs[v.DA]
+	st, ok := r.lockDA(v.DA)
 	if !ok {
-		r.mu.Unlock()
+		end()
 		return fmt.Errorf("%w: %s", ErrUnknownGraph, v.DA)
 	}
-	if _, dup := r.dovs[v.ID]; dup {
-		r.mu.Unlock()
-		return fmt.Errorf("%w: %s", version.ErrDuplicateDOV, v.ID)
+	fail := func(err error) error {
+		r.unlockDA(st)
+		end()
+		return err
+	}
+	// The claim is the race-free duplicate check: it reserves the ID against
+	// every concurrent checkin, in any DA, before the log position is taken.
+	if !r.idx.claim(v.ID) {
+		return fail(fmt.Errorf("%w: %s", version.ErrDuplicateDOV, v.ID))
 	}
 	if !root {
 		// Parents may live in other DAs' graphs (usage inputs) but must
-		// exist somewhere in the repository.
+		// exist somewhere in the repository. The lock-free index only shows
+		// published versions, i.e. versions whose log reservation already
+		// happened — which is exactly what keeps replay order topological
+		// across DAs (§3.7).
 		for _, p := range v.Parents {
-			if _, ok := r.dovs[p]; !ok {
-				r.mu.Unlock()
-				return fmt.Errorf("%w: parent %s of %s", version.ErrUnknownDOV, p, v.ID)
+			if _, ok := r.idx.get(p); !ok {
+				r.idx.unclaim(v.ID)
+				return fail(fmt.Errorf("%w: parent %s of %s", version.ErrUnknownDOV, p, v.ID))
 			}
 		}
 	}
-	r.seq++
-	v.Seq = r.seq
+	v.Seq = r.seq.Add(1)
 
 	// Encode the log record into a pooled writer: the WAL frames (copies)
 	// the bytes during the reservation, so the buffer is recycled as soon
@@ -588,33 +763,32 @@ func (r *Repository) CheckinCleanup(v *version.DOV, root bool, cleanupKey string
 		Object: objBytes, Status: v.Status, Fulfilled: v.Fulfilled, Seq: v.Seq, Root: root,
 	}.encodeInto(recw)
 	// Reserve-then-apply: the reservation pins the record's replay position
-	// while r.mu is held; the durability wait happens after unlock so
+	// while the DA lock is held; the durability wait happens after unlock so
 	// concurrent checkins share one fsync (see appendAsync).
 	wait, err := r.appendAsync(recDOVInsert, v.DA, recw.Bytes())
 	recw.Free()
 	if err != nil {
-		r.mu.Unlock()
-		return err
+		r.idx.unclaim(v.ID)
+		return fail(err)
 	}
 	if root {
-		if err := g.AdoptRoot(v); err != nil {
-			r.mu.Unlock()
-			return err
+		if err := st.g.AdoptRoot(v); err != nil {
+			r.idx.unclaim(v.ID)
+			return fail(err)
 		}
-		r.roots[v.ID] = true
-	} else if err := g.InsertDerived(v); err != nil {
-		r.mu.Unlock()
-		return err
+	} else if err := st.g.InsertDerived(v); err != nil {
+		r.idx.unclaim(v.ID)
+		return fail(err)
 	}
-	r.dovs[v.ID] = v
-	// Publish the immutable record for lock-free readers. The encoding memo
-	// fills lazily on the first checkout (seeding it with objBytes here
-	// would pin a second copy of every payload for all history, read or
-	// not). From here on v (and its Object) must never be mutated — the
-	// repository owns it.
-	r.idx.put(v.ID, &dovEntry{dov: v, enc: &encMemo{}})
+	// Publish the immutable record for lock-free readers, consuming the
+	// claim. The encoding memo fills lazily on the first checkout (seeding
+	// it with objBytes here would pin a second copy of every payload for all
+	// history, read or not). From here on v (and its Object) must never be
+	// mutated — the repository owns it.
+	r.idx.put(v.ID, &dovEntry{dov: v, enc: &encMemo{}, root: root})
 	var cleanupWait func() (wal.LSN, error)
 	if cleanupKey != "" {
+		r.metaMu.Lock()
 		if _, ok := r.meta[cleanupKey]; ok {
 			// Reserved right behind the insert: the two records normally
 			// land in the same batch, so the waits below cost one fsync.
@@ -623,13 +797,10 @@ func (r *Repository) CheckinCleanup(v *version.DOV, root bool, cleanupKey string
 				cleanupWait = w
 			}
 		}
+		r.metaMu.Unlock()
 	}
-	r.mu.Unlock()
-	if _, err := wait(); err != nil {
+	if err := r.finishWrite(func() { r.unlockDA(st); end() }, wait, cleanupWait); err != nil {
 		return err
-	}
-	if cleanupWait != nil {
-		cleanupWait() //nolint:errcheck // cleanup record; replay tolerates its absence
 	}
 	r.fireChange(ChangeEvent{
 		Kind: ChangeCheckin, ID: v.ID, DA: v.DA,
@@ -665,11 +836,11 @@ func (r *Repository) getSerialized(id version.ID) (*version.DOV, error) {
 	if err := r.alive(); err != nil {
 		return nil, err
 	}
-	v, ok := r.dovs[id]
+	e, ok := r.idx.get(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", version.ErrUnknownDOV, id)
 	}
-	return v.Clone(), nil
+	return e.dov.Clone(), nil
 }
 
 // Exists reports whether a version is stored. A fail-stopped repository
@@ -691,33 +862,42 @@ func (r *Repository) Exists(id version.ID) (bool, error) {
 // SetStatus durably updates a version's lifecycle status. The update
 // installs a fresh immutable record (MVCC): readers holding the superseded
 // record keep a consistent view, and the derivation graph swaps to the new
-// record under its own lock.
+// record under its own lock. Like checkin, the update serializes only
+// within the version's DA (§3.7).
 func (r *Repository) SetStatus(id version.ID, s version.Status) error {
-	r.mu.Lock()
-	if err := r.alive(); err != nil {
-		r.mu.Unlock()
+	end, err := r.beginMutation()
+	if err != nil {
 		return err
 	}
-	v, ok := r.dovs[id]
+	e, ok := r.idx.get(id)
 	if !ok {
-		r.mu.Unlock()
+		end()
 		return fmt.Errorf("%w: %s", version.ErrUnknownDOV, id)
 	}
+	st, ok := r.lockDA(e.dov.DA)
+	if !ok {
+		end()
+		return fmt.Errorf("%w: %s", ErrUnknownGraph, e.dov.DA)
+	}
+	// Re-read under the DA lock: a concurrent update may have republished
+	// the entry (its DA never changes).
+	e, _ = r.idx.get(id)
 	payload := append([]byte(id), 0, byte(s))
-	wait, err := r.appendAsync(recDOVStatus, v.DA, payload)
+	wait, err := r.appendAsync(recDOVStatus, e.dov.DA, payload)
 	if err != nil {
-		r.mu.Unlock()
+		r.unlockDA(st)
+		end()
 		return err
 	}
-	nv := *v
+	nv := *e.dov
 	nv.Status = s
-	if err := r.republishLocked(&nv); err != nil {
-		r.mu.Unlock()
+	if err := r.republish(st, &nv, e); err != nil {
+		r.unlockDA(st)
+		end()
 		return err
 	}
-	da := v.DA
-	r.mu.Unlock()
-	if _, err := wait(); err != nil {
+	da := nv.DA
+	if err := r.finishWrite(func() { r.unlockDA(st); end() }, wait); err != nil {
 		return err
 	}
 	r.fireChange(ChangeEvent{Kind: ChangeStatus, ID: id, DA: da, Status: s})
@@ -728,33 +908,35 @@ func (r *Repository) SetStatus(id version.ID, s version.Status) error {
 // evaluation (volatile cache; recomputable, so not logged). Installs a fresh
 // immutable record like SetStatus.
 func (r *Repository) SetFulfilled(id version.ID, names []string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	v, ok := r.dovs[id]
+	end, err := r.beginMutation()
+	if err != nil {
+		return err
+	}
+	defer end()
+	e, ok := r.idx.get(id)
 	if !ok {
 		return fmt.Errorf("%w: %s", version.ErrUnknownDOV, id)
 	}
-	nv := *v
+	st, ok := r.lockDA(e.dov.DA)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownGraph, e.dov.DA)
+	}
+	defer r.unlockDA(st)
+	e, _ = r.idx.get(id)
+	nv := *e.dov
 	nv.Fulfilled = append([]string(nil), names...)
-	return r.republishLocked(&nv)
+	return r.republish(st, &nv, e)
 }
 
-// republishLocked replaces a version's published record with an updated
-// immutable copy: writer-side index, derivation graph and read index all
-// swing to nv. The canonical-encoding memo carries over — payloads never
-// change after checkin. Caller holds r.mu.
-func (r *Repository) republishLocked(nv *version.DOV) error {
-	g, ok := r.graphs[nv.DA]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownGraph, nv.DA)
-	}
-	if err := g.Replace(nv); err != nil {
+// republish replaces a version's published record with an updated immutable
+// copy: derivation graph and read index both swing to nv. The canonical-
+// encoding memo and root marker carry over — payloads and graph shape never
+// change after checkin. Caller holds the DA's write lock.
+func (r *Repository) republish(st *daState, nv *version.DOV, old *dovEntry) error {
+	if err := st.g.Replace(nv); err != nil {
 		return err
 	}
-	r.dovs[nv.ID] = nv
-	if e, ok := r.idx.get(nv.ID); ok {
-		r.idx.put(nv.ID, &dovEntry{dov: nv, enc: e.enc})
-	}
+	r.idx.put(nv.ID, &dovEntry{dov: nv, enc: old.enc, root: old.root})
 	return nil
 }
 
@@ -807,19 +989,16 @@ func (r *Repository) Checkpoints() uint64 {
 	return r.log.Checkpoints()
 }
 
-// DOVCount returns the number of stored versions.
+// DOVCount returns the number of stored versions. Lock-free.
 func (r *Repository) DOVCount() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.dovs)
+	return r.idx.count()
 }
 
 // GraphNames returns the names of all derivation graphs, sorted.
 func (r *Repository) GraphNames() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.graphs))
-	for n := range r.graphs {
+	das := *r.dasPub.Load()
+	out := make([]string, 0, len(das))
+	for n := range das {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -835,29 +1014,28 @@ func (r *Repository) PutMeta(key string, value []byte) error {
 	payload = append(payload, key...)
 	payload = append(payload, 0)
 	payload = append(payload, value...)
-	r.mu.Lock()
-	if err := r.alive(); err != nil {
-		r.mu.Unlock()
+	end, err := r.beginMutation()
+	if err != nil {
 		return err
 	}
+	r.metaMu.Lock()
 	wait, err := r.appendAsync(recMetaPut, "", payload)
 	if err != nil {
-		r.mu.Unlock()
+		r.metaMu.Unlock()
+		end()
 		return err
 	}
 	r.meta[key] = append([]byte(nil), value...)
-	r.mu.Unlock()
-	_, err = wait()
-	return err
+	return r.finishWrite(func() { r.metaMu.Unlock(); end() }, wait)
 }
 
 // GetMeta fetches a metadata value.
 func (r *Repository) GetMeta(key string) ([]byte, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	if err := r.alive(); err != nil {
 		return nil, err
 	}
+	r.metaMu.Lock()
+	defer r.metaMu.Unlock()
 	v, ok := r.meta[key]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownMeta, key)
@@ -867,30 +1045,30 @@ func (r *Repository) GetMeta(key string) ([]byte, error) {
 
 // DeleteMeta durably removes a metadata value (idempotent).
 func (r *Repository) DeleteMeta(key string) error {
-	r.mu.Lock()
-	if err := r.alive(); err != nil {
-		r.mu.Unlock()
+	end, err := r.beginMutation()
+	if err != nil {
 		return err
 	}
+	r.metaMu.Lock()
 	if _, ok := r.meta[key]; !ok {
-		r.mu.Unlock()
+		r.metaMu.Unlock()
+		end()
 		return nil
 	}
 	wait, err := r.appendAsync(recMetaDel, "", []byte(key))
 	if err != nil {
-		r.mu.Unlock()
+		r.metaMu.Unlock()
+		end()
 		return err
 	}
 	delete(r.meta, key)
-	r.mu.Unlock()
-	_, err = wait()
-	return err
+	return r.finishWrite(func() { r.metaMu.Unlock(); end() }, wait)
 }
 
 // ListMeta returns all metadata keys with the given prefix, sorted.
 func (r *Repository) ListMeta(prefix string) []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.metaMu.Lock()
+	defer r.metaMu.Unlock()
 	var out []string
 	for k := range r.meta {
 		if strings.HasPrefix(k, prefix) {
@@ -902,24 +1080,31 @@ func (r *Repository) ListMeta(prefix string) []string {
 }
 
 // CheckConsistency verifies repository invariants: every graph is acyclic
-// and every indexed DOV is present in its graph. Used by tests and the
-// recovery path of the server.
+// and every indexed DOV is present in its graph. It quiesces writers (the
+// exclusive side of the §3.7 lock order) for a stable cut. Used by tests and
+// the recovery path of the server.
 func (r *Repository) CheckConsistency() error {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	for da, g := range r.graphs {
-		if !g.Acyclic() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	das := *r.dasPub.Load()
+	for da, st := range das {
+		if !st.g.Acyclic() {
 			return fmt.Errorf("repo: graph %s has a derivation cycle", da)
 		}
 	}
-	for id, v := range r.dovs {
-		g, ok := r.graphs[v.DA]
+	var err error
+	r.idx.each(func(id version.ID, e *dovEntry) {
+		if err != nil {
+			return
+		}
+		st, ok := das[e.dov.DA]
 		if !ok {
-			return fmt.Errorf("repo: DOV %s references missing graph %s", id, v.DA)
+			err = fmt.Errorf("repo: DOV %s references missing graph %s", id, e.dov.DA)
+			return
 		}
-		if !g.Contains(id) {
-			return fmt.Errorf("repo: DOV %s missing from graph %s", id, v.DA)
+		if !st.g.Contains(id) {
+			err = fmt.Errorf("repo: DOV %s missing from graph %s", id, e.dov.DA)
 		}
-	}
-	return nil
+	})
+	return err
 }

@@ -20,11 +20,13 @@ import (
 // DOVs, metadata store (including staged 2PC records) — in a snapshot file,
 // then telling the segmented WAL to drop the covered prefix. The protocol:
 //
-//  1. Under the repository read lock, encode the state and note the log
-//     position L it corresponds to. The reserve-then-apply discipline of
-//     appendAsync makes the in-memory state under r.mu exactly the effect of
-//     all records below L, so the pair (snapshot, L) is always consistent —
-//     appends may keep committing past L while the snapshot is written out.
+//  1. Holding the quiesce lock exclusively (every mutator holds it shared
+//     for the span [WAL reservation, publication], §3.7), encode the state
+//     and note the log position L it corresponds to. The reserve-then-apply
+//     discipline of appendAsync makes the quiesced in-memory state exactly
+//     the effect of all records below L, so the pair (snapshot, L) is always
+//     consistent — appends may keep committing past L while the snapshot is
+//     written out.
 //  2. Install the snapshot atomically: write snapshot.tmp, fsync, rename
 //     over snapshot, fsync the directory.
 //  3. wal.Checkpoint(L): durably mark L as the log's low-water mark, then
@@ -78,18 +80,18 @@ func (r *Repository) Checkpoint() error {
 	r.ckptMu.Lock()
 	defer r.ckptMu.Unlock()
 
-	r.mu.RLock()
+	r.mu.Lock()
 	if err := r.alive(); err != nil {
-		r.mu.RUnlock()
+		r.mu.Unlock()
 		return err
 	}
 	snapLSN := wal.LSN(r.log.Size())
 	if snapLSN <= r.snapLSN {
-		r.mu.RUnlock()
+		r.mu.Unlock()
 		return nil // no growth since the last snapshot
 	}
-	payload, err := r.encodeSnapshotLocked(snapLSN)
-	r.mu.RUnlock()
+	payload, err := r.encodeSnapshotQuiesced(snapLSN)
+	r.mu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -127,29 +129,32 @@ func (r *Repository) hookAt(point string) error {
 	return nil
 }
 
-// encodeSnapshotLocked serializes graphs, DOVs (in Seq order — the original
-// log order, so rebuilding preserves every derivation edge), metadata and
-// the sequence counter. Caller holds r.mu.
-func (r *Repository) encodeSnapshotLocked(snapLSN wal.LSN) ([]byte, error) {
+// encodeSnapshotQuiesced serializes graphs, DOVs (in Seq order — the
+// original log order, so rebuilding preserves every derivation edge),
+// metadata and the sequence counter. Caller holds the quiesce lock
+// exclusively, so the per-shard index maps and the metadata store are
+// stable without their own locks (metaMu is still taken: GetMeta/ListMeta
+// readers do not hold the quiesce lock).
+func (r *Repository) encodeSnapshotQuiesced(snapLSN wal.LSN) ([]byte, error) {
 	w := binenc.NewWriter(1 << 16)
 	w.Str(snapMagic)
 	w.U64(uint64(snapLSN))
-	w.U64(r.seq)
+	w.U64(r.seq.Load())
 
-	graphs := make([]string, 0, len(r.graphs))
-	for da := range r.graphs {
+	das := *r.dasPub.Load()
+	graphs := make([]string, 0, len(das))
+	for da := range das {
 		graphs = append(graphs, da)
 	}
 	sort.Strings(graphs)
 	w.Strs(graphs)
 
-	dovs := make([]*version.DOV, 0, len(r.dovs))
-	for _, v := range r.dovs {
-		dovs = append(dovs, v)
-	}
-	sort.Slice(dovs, func(i, j int) bool { return dovs[i].Seq < dovs[j].Seq })
-	w.U64(uint64(len(dovs)))
-	for _, v := range dovs {
+	entries := make([]*dovEntry, 0, r.idx.count())
+	r.idx.each(func(_ version.ID, e *dovEntry) { entries = append(entries, e) })
+	sort.Slice(entries, func(i, j int) bool { return entries[i].dov.Seq < entries[j].dov.Seq })
+	w.U64(uint64(len(entries)))
+	for _, e := range entries {
+		v := e.dov
 		obj, err := catalog.EncodeObject(v.Object)
 		if err != nil {
 			return nil, fmt.Errorf("repo: snapshot encode DOV %s: %w", v.ID, err)
@@ -157,10 +162,11 @@ func (r *Repository) encodeSnapshotLocked(snapLSN wal.LSN) ([]byte, error) {
 		w.Blob(dovRecord{
 			ID: v.ID, DOT: v.DOT, DA: v.DA, Parents: v.Parents,
 			Object: obj, Status: v.Status, Fulfilled: v.Fulfilled, Seq: v.Seq,
-			Root: r.roots[v.ID],
+			Root: e.root,
 		}.encode())
 	}
 
+	r.metaMu.Lock()
 	keys := make([]string, 0, len(r.meta))
 	for k := range r.meta {
 		keys = append(keys, k)
@@ -171,6 +177,7 @@ func (r *Repository) encodeSnapshotLocked(snapLSN wal.LSN) ([]byte, error) {
 		w.Str(k)
 		w.Blob(r.meta[k])
 	}
+	r.metaMu.Unlock()
 
 	payload := w.Bytes()
 	crc := make([]byte, 4)
@@ -219,11 +226,11 @@ func (r *Repository) installSnapshot(payload []byte) error {
 }
 
 // loadSnapshot restores repository state from the installed snapshot, if
-// one exists, and returns the log position it covers. A missing snapshot
-// returns (0, nil): recovery falls back to full replay. The snapshot is
-// only ever installed by a completed atomic rename, so a corrupt one is an
-// error, not a tear to tolerate.
-func (r *Repository) loadSnapshot() (wal.LSN, error) {
+// one exists, into the recovery staging map, and returns the log position it
+// covers. A missing snapshot returns (0, nil): recovery falls back to full
+// replay. The snapshot is only ever installed by a completed atomic rename,
+// so a corrupt one is an error, not a tear to tolerate.
+func (r *Repository) loadSnapshot(staging map[version.ID]*dovEntry) (wal.LSN, error) {
 	os.Remove(filepath.Join(r.dir, snapTmpName)) //nolint:errcheck // stray tmp from a crashed checkpoint
 	data, err := os.ReadFile(filepath.Join(r.dir, snapName))
 	if errors.Is(err, os.ErrNotExist) {
@@ -244,13 +251,13 @@ func (r *Repository) loadSnapshot() (wal.LSN, error) {
 		return 0, errors.New("repo: bad snapshot magic")
 	}
 	snapLSN := wal.LSN(rd.U64())
-	r.seq = rd.U64()
+	r.seq.Store(rd.U64())
 	for _, da := range rd.Strs() {
-		r.graphs[da] = version.NewGraph(da)
+		r.das[da] = &daState{g: version.NewGraph(da)}
 	}
 	nDOVs := rd.U64()
 	for i := uint64(0); i < nDOVs && rd.Err() == nil; i++ {
-		if err := r.applyDOVRecord(rd.Blob()); err != nil {
+		if err := r.applyDOVRecord(rd.Blob(), staging); err != nil {
 			return 0, fmt.Errorf("repo: snapshot DOV: %w", err)
 		}
 	}

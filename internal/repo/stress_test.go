@@ -3,6 +3,7 @@ package repo
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"concord/internal/version"
@@ -10,7 +11,9 @@ import (
 
 // TestConcurrentCheckinsAcrossGraphs hammers the repository from many
 // goroutines: per-DA graphs must stay consistent and the WAL must record
-// every committed version.
+// every committed version. Writers also derive from other DAs' committed
+// versions and flip statuses mid-flight, exercising the sharded write path's
+// cross-DA parent checks (§3.7).
 func TestConcurrentCheckinsAcrossGraphs(t *testing.T) {
 	dir := t.TempDir()
 	r := openRepo(t, dir)
@@ -21,6 +24,9 @@ func TestConcurrentCheckinsAcrossGraphs(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// lastOf publishes each writer's most recent committed version so the
+	// next DA over can use it as a cross-DA parent.
+	var lastOf [das]atomic.Value
 	var wg sync.WaitGroup
 	errs := make(chan error, das)
 	for i := 0; i < das; i++ {
@@ -34,10 +40,22 @@ func TestConcurrentCheckinsAcrossGraphs(t *testing.T) {
 				v := mkDOV(string(id), name, float64(j))
 				if prev != "" {
 					v.Parents = []version.ID{prev}
+					if x := lastOf[(da+1)%das].Load(); x != nil && j%3 == 0 {
+						if p := x.(version.ID); p != prev {
+							v.Parents = append(v.Parents, p)
+						}
+					}
 				}
 				if err := r.Checkin(v, prev == ""); err != nil {
 					errs <- err
 					return
+				}
+				lastOf[da].Store(id)
+				if j%5 == 0 {
+					if err := r.SetStatus(id, version.StatusPropagated); err != nil {
+						errs <- err
+						return
+					}
 				}
 				// Interleave metadata writes (manager context traffic).
 				if err := r.PutMeta(fmt.Sprintf("m/%s/%d", name, j), []byte{byte(j)}); err != nil {

@@ -196,3 +196,55 @@ func TestReleaseLockUnknownDOP(t *testing.T) {
 		t.Fatalf("checkout for unknown DOP = %v", err)
 	}
 }
+
+// TestCommitScopeOwnershipFailureRetries pins the post-checkin tail contract
+// of ServerTM.Commit: once the version is durably installed, a scope-
+// ownership failure is surfaced as an error while the staged entry is
+// retained, so a retried Commit converges through the idempotent duplicate
+// path instead of losing the tail (or double-installing the version).
+func TestCommitScopeOwnershipFailureRetries(t *testing.T) {
+	s := newStack(t, "")
+	if err := s.server.Begin("dop1", "da1"); err != nil {
+		t.Fatal(err)
+	}
+	obj := catalog.NewObject("floorplan").Set("cell", catalog.Str("O")).Set("area", catalog.Float(42))
+	v := &version.DOV{ID: "vtail", DOT: "floorplan", DA: "da1", Object: obj, Status: version.StatusWorking}
+	if err := s.server.Stage("dop1", "txtail", v, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A foreign owner on the version's ID makes scopes.Own fail after the
+	// checkin has already committed.
+	if err := s.scopes.Own("intruder", "vtail"); err != nil {
+		t.Fatal(err)
+	}
+	err := s.server.Commit("txtail")
+	if err == nil {
+		t.Fatal("Commit succeeded although scope ownership failed")
+	}
+	if ok, rerr := s.repo.Exists("vtail"); rerr != nil || !ok {
+		t.Fatalf("version must be durably installed despite the tail failure (ok=%t err=%v)", ok, rerr)
+	}
+	// The retry re-runs only the tail (still failing while the intruder
+	// holds the ID) and must not report a duplicate-DOV error.
+	if err := s.server.Commit("txtail"); err == nil {
+		t.Fatal("retry succeeded although the intruder still owns the ID")
+	} else if errors.Is(err, version.ErrDuplicateDOV) {
+		t.Fatalf("retry surfaced the duplicate install instead of the tail failure: %v", err)
+	}
+	// Once the conflict clears, the retried Commit converges: ownership
+	// lands with the version's DA and the staged entry is consumed.
+	s.scopes.ReleaseDA("intruder")
+	if err := s.server.Commit("txtail"); err != nil {
+		t.Fatalf("Commit after conflict cleared: %v", err)
+	}
+	if owner, ok := s.scopes.Owner("vtail"); !ok || owner != "da1" {
+		t.Fatalf("owner = %q/%t, want da1", owner, ok)
+	}
+	if s.repo.DOVCount() != 1 {
+		t.Fatalf("DOV count = %d, want 1 (no double install)", s.repo.DOVCount())
+	}
+	// Idempotence after completion: a late duplicate Commit is a no-op.
+	if err := s.server.Commit("txtail"); err != nil {
+		t.Fatalf("late duplicate Commit: %v", err)
+	}
+}

@@ -423,8 +423,9 @@ func (s *ServerTM) Commit(txid string) error {
 
 	// CheckinCleanup installs the DOV and drops the staged record in one
 	// commit batch. A duplicate DOV means a previous incarnation already
-	// installed it (crash between checkin and staged-record cleanup);
-	// Commit must be idempotent, so treat it as success and only clean up.
+	// installed it (crash between checkin and staged-record cleanup, or a
+	// retry after a post-checkin tail failure below); Commit must be
+	// idempotent, so treat it as success and only clean up.
 	err := s.repo.CheckinCleanup(v, sc.root, stagedMetaPrefix+txid)
 	if errors.Is(err, version.ErrDuplicateDOV) {
 		s.repo.DeleteMeta(stagedMetaPrefix + txid) //nolint:errcheck // cleanup
@@ -433,12 +434,19 @@ func (s *ServerTM) Commit(txid string) error {
 	if err != nil {
 		return err
 	}
+	// Post-checkin tail. The version is durably installed from here on, so
+	// a failure must not read as "commit rolled back" — it can only mean
+	// "commit incomplete, retry". Scope ownership gates every later
+	// checkout of the version (Sect. 5.4), so its failure is surfaced to
+	// the coordinator while the staged entry is RETAINED: a retried Commit
+	// re-enters through the idempotent duplicate path above and re-runs
+	// exactly this tail until it converges.
 	if err := s.scopes.Own(v.DA, string(v.ID)); err != nil {
-		return err
+		return fmt.Errorf("txn: checkin %s durably installed but scope ownership failed (commit retry converges): %w", txid, err)
 	}
-	// The committing workstation keeps the bytes it shipped: register its
-	// cache for the new version so callbacks reach it and its re-checkout
-	// is a NotModified.
+	// Cache registration is best-effort by design: losing it costs one
+	// NotModified optimization, never correctness — every checkout
+	// revalidates content hashes server-side (DESIGN.md §4).
 	s.cdir.register(sc.ws, sc.cbAddr, sc.epoch, v.ID)
 	sh.mu.Lock()
 	delete(sh.m, txid)

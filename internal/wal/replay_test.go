@@ -1,0 +1,170 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fillLog appends n records with deterministic payloads across several
+// segments and returns the opened log.
+func fillLog(t *testing.T, n int) *Log {
+	t.Helper()
+	l, err := Open(filepath.Join(t.TempDir(), "wal"), Options{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	for i := 0; i < n; i++ {
+		payload := []byte(fmt.Sprintf("payload-%04d-%s", i, strings.Repeat("x", i%97)))
+		if _, err := l.Append(RecordType(1+i%3), fmt.Sprintf("o%d", i%5), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+// replayTrace renders a replay as one line per record so the two replay
+// modes can be compared byte for byte.
+func replayTrace(rec Record, val any) string {
+	return fmt.Sprintf("%d/%d/%s/%s/%v", rec.LSN, rec.Type, rec.Owner, rec.Payload, val)
+}
+
+// TestReplayPipelinedMatchesSerial proves the pipelined replay's ordering
+// contract: whatever the worker count, apply sees exactly the records (and
+// decoded values) serial replay sees, in the same LSN order.
+func TestReplayPipelinedMatchesSerial(t *testing.T) {
+	const n = 500
+	l := fillLog(t, n)
+	decode := func(rec Record) (any, error) {
+		if rec.Type == 2 {
+			return len(rec.Payload), nil
+		}
+		return nil, nil
+	}
+	var want []string
+	if err := l.Replay(func(rec Record) error {
+		v, err := decode(rec)
+		if err != nil {
+			return err
+		}
+		want = append(want, replayTrace(rec, v))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != n {
+		t.Fatalf("serial replay saw %d records, want %d", len(want), n)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		var got []string
+		err := l.ReplayPipelined(workers, decode, func(rec Record, val any) error {
+			got = append(got, replayTrace(rec, val))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d records, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: record %d = %q, want %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReplayPipelinedDecodeError asserts a decode failure surfaces as the
+// replay error and nothing past the failing record is applied.
+func TestReplayPipelinedDecodeError(t *testing.T) {
+	l := fillLog(t, 200)
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		applied := 0
+		err := l.ReplayPipelined(workers,
+			func(rec Record) (any, error) {
+				if strings.Contains(string(rec.Payload), "payload-0100") {
+					return nil, boom
+				}
+				return nil, nil
+			},
+			func(rec Record, _ any) error {
+				if strings.Contains(string(rec.Payload), "payload-0100") {
+					t.Fatal("applied a record whose decode failed")
+				}
+				applied++
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want decode error", workers, err)
+		}
+		if applied != 100 {
+			t.Fatalf("workers=%d: applied %d records before the failure, want 100", workers, applied)
+		}
+	}
+}
+
+// TestReplayPipelinedApplyError asserts an apply failure aborts the replay
+// with that error, regardless of how far ahead the decoders ran.
+func TestReplayPipelinedApplyError(t *testing.T) {
+	l := fillLog(t, 300)
+	boom := errors.New("apply boom")
+	for _, workers := range []int{1, 4} {
+		applied := 0
+		err := l.ReplayPipelined(workers,
+			func(Record) (any, error) { return nil, nil },
+			func(rec Record, _ any) error {
+				if applied == 42 {
+					return boom
+				}
+				applied++
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want apply error", workers, err)
+		}
+		if applied != 42 {
+			t.Fatalf("workers=%d: applied %d, want 42", workers, applied)
+		}
+	}
+}
+
+// TestReplayPipelinedRespectsLowWater asserts the pipelined replay starts at
+// the checkpoint mark exactly like serial replay.
+func TestReplayPipelinedRespectsLowWater(t *testing.T) {
+	l := fillLog(t, 120)
+	var cut LSN
+	count := 0
+	if err := l.Replay(func(rec Record) error {
+		count++
+		if count == 60 {
+			cut = rec.LSN
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(cut); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	err := l.ReplayPipelined(4,
+		func(Record) (any, error) { return nil, nil },
+		func(rec Record, _ any) error {
+			if rec.LSN < cut {
+				t.Fatalf("record %d below the low-water mark %d", rec.LSN, cut)
+			}
+			seen++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 120-59 {
+		t.Fatalf("replayed %d records past the mark, want %d", seen, 120-59)
+	}
+}

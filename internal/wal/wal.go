@@ -36,6 +36,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -138,6 +139,8 @@ type Log struct {
 	// noGroupCommit serializes appends with one write+fsync each (the
 	// pre-group-commit behaviour, kept as an ablation baseline).
 	noGroupCommit bool
+	// bufferedScan selects the buffered Open-time validation scan.
+	bufferedScan bool
 	// hook is the crash-point fault-injection callback (tests only).
 	hook func(point string) error
 
@@ -199,6 +202,12 @@ type Options struct {
 	// simulating a crash there; tests then reopen the directory and assert
 	// recovery. Never set in production.
 	CrashHook func(point string) error
+	// BufferedScan streams the Open-time segment-validation scan through a
+	// large read buffer with a reused scratch body, instead of two read
+	// calls and one allocation per record. Half of the pipelined restart
+	// (DESIGN.md §3.7, the other half is ReplayPipelined); off by default
+	// so the serial-replay ablation measures the original path.
+	BufferedScan bool
 }
 
 func segName(start int64) string { return fmt.Sprintf("%020d%s", start, segSuffix) }
@@ -237,6 +246,7 @@ func Open(path string, opts Options) (*Log, error) {
 		segBytes:      opts.SegmentBytes,
 		syncOnAppend:  opts.SyncOnAppend,
 		noGroupCommit: opts.NoGroupCommit,
+		bufferedScan:  opts.BufferedScan,
 		hook:          opts.CrashHook,
 		writeSem:      make(chan struct{}, 1),
 	}
@@ -404,7 +414,11 @@ func (l *Log) scanSegments(starts []int64) (int64, []int64, error) {
 			f.Close()
 			return 0, nil, fmt.Errorf("wal: stat segment: %w", err)
 		}
-		valid, err := iterateRecords(f, st, fi.Size(), 0, nil)
+		scan := iterateRecords
+		if l.bufferedScan {
+			scan = iterateRecordsBuffered
+		}
+		valid, err := scan(f, st, fi.Size(), 0, nil)
 		f.Close()
 		if err != nil {
 			return 0, nil, err
@@ -617,6 +631,13 @@ func (l *Log) fail(err error) {
 // commitBatch drains the pending queue and commits it with one write and at
 // most one fsync, sealing the active segment if it crossed the rotation
 // threshold. The caller must hold the write slot.
+//
+// Between the drain and the disk force the leader yields the processor once:
+// appenders that lost the race to the drain by a few instructions (on a
+// single-CPU host: every appender woken by the previous batch) get to park
+// their reservations in this batch instead of paying for one more fsync
+// cycle. The yield costs nanoseconds against a forced write and nothing
+// measurable without one.
 func (l *Log) commitBatch() {
 	l.mu.Lock()
 	batch := l.pending
@@ -625,6 +646,16 @@ func (l *Log) commitBatch() {
 	l.mu.Unlock()
 	if len(batch) == 0 {
 		return
+	}
+	if werr == nil {
+		runtime.Gosched()
+		l.mu.Lock()
+		if len(l.pending) > 0 {
+			batch = append(batch, l.pending...)
+			l.pending = nil
+		}
+		werr = l.err
+		l.mu.Unlock()
 	}
 	if werr == nil {
 		buf := batch[0].buf
@@ -794,6 +825,16 @@ func (l *Log) Close() error {
 // fn in log order. A torn or corrupt tail terminates replay silently. Replay
 // holds the write slot: it must not be interleaved with appends by fn.
 func (l *Log) Replay(fn func(Record) error) error {
+	return l.replayWith(iterateRecords, fn)
+}
+
+// recordIterator scans one segment file (see iterateRecords and its
+// buffered sibling in replay.go).
+type recordIterator func(f *os.File, base, limit, skipBelow int64, fn func(Record) error) (int64, error)
+
+// replayWith is the segment walk shared by both replay modes; iter decides
+// how each segment is read. The caller-facing contract is Replay's.
+func (l *Log) replayWith(iter recordIterator, fn func(Record) error) error {
 	l.writeSem <- struct{}{}
 	defer func() { <-l.writeSem }()
 	l.commitBatch()
@@ -818,7 +859,7 @@ func (l *Log) Replay(fn func(Record) error) error {
 		if err != nil {
 			return fmt.Errorf("wal: open segment: %w", err)
 		}
-		valid, err := iterateRecords(f, st, end-st, lowWater, fn)
+		valid, err := iter(f, st, end-st, lowWater, fn)
 		f.Close()
 		if err != nil {
 			return err
