@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet fmt-check doc-lint e14-short e15-short e16-short bench bench-json experiments example-recovery check all
+.PHONY: build test test-race vet fmt-check doc-lint fuzz-short scenarios scenarios-short e14-short e15-short e16-short bench bench-json experiments example-recovery check all
 
 all: check
 
@@ -10,11 +10,28 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent core (WAL group commit, sharded
-# locks, CM dispatch, repository, TM, 2PC).
+# Race-detector pass over every package — the same command CI runs.
 test-race:
-	$(GO) test -race ./internal/wal ./internal/lock ./internal/coop \
-		./internal/core ./internal/txn ./internal/rpc ./internal/repo
+	$(GO) test -race ./...
+
+# Fuzz smoke: run each fuzz target for 10s (the committed seed corpora run
+# as plain tests under `make test` too).
+fuzz-short:
+	$(GO) test -fuzz=FuzzDeltaApply -fuzztime=10s -run XXX ./internal/binenc
+	$(GO) test -fuzz=FuzzWALFrameDecode -fuzztime=10s -run XXX ./internal/wal
+
+# Short scenario matrix (the CI gate): every fault class once, full oracle
+# suite, fault-point coverage written to out/SCENARIO_COVERAGE.txt.
+scenarios-short:
+	SCENARIO_COVERAGE_OUT=$(CURDIR)/out/SCENARIO_COVERAGE.txt \
+		$(GO) test ./internal/scenario -count=1 -v -run TestScenarioMatrixShort
+
+# Long scenario matrix: every checkpoint-protocol point under racing
+# checkpoints, every 2PC point over both transports, multi-seed mixed chaos
+# and the 8-workstation scale-out.
+scenarios:
+	CONCORD_SCENARIOS_LONG=1 SCENARIO_COVERAGE_OUT=$(CURDIR)/out/SCENARIO_COVERAGE.txt \
+		$(GO) test ./internal/scenario -count=1 -v -timeout 30m
 
 vet:
 	$(GO) vet ./...
@@ -66,4 +83,4 @@ experiments:
 example-recovery:
 	$(GO) run ./examples/recovery
 
-check: fmt-check vet doc-lint test
+check: fmt-check vet doc-lint test fuzz-short

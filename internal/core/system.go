@@ -17,6 +17,7 @@ import (
 
 	"concord/internal/catalog"
 	"concord/internal/coop"
+	"concord/internal/fault"
 	"concord/internal/feature"
 	"concord/internal/lock"
 	"concord/internal/repo"
@@ -79,6 +80,11 @@ type Options struct {
 	// SegmentBytes is the WAL segment rotation threshold for the server
 	// logs (0 uses wal.DefaultSegmentBytes).
 	SegmentBytes int64
+	// Faults is the named fault-point registry threaded through every
+	// component (repository, WAL, 2PC participant and coordinators,
+	// server-TM, notifier). Nil-safe and inert unless a scenario arms a
+	// point; see internal/fault.
+	Faults *fault.Registry
 }
 
 // DefaultCheckpointLogBytes is the background checkpoint trigger used when
@@ -171,6 +177,7 @@ func (s *System) startServer() error {
 		SegmentBytes:     s.opts.SegmentBytes,
 		SerializedReads:  s.opts.Serialized || s.opts.SerializedReads,
 		SerializedWrites: s.opts.Serialized || s.opts.SerializedWrites,
+		Faults:           s.opts.Faults,
 	})
 	if err != nil {
 		return err
@@ -183,6 +190,7 @@ func (s *System) startServer() error {
 	scopes := lock.NewScopeTable()
 	reg := feature.NewRegistry()
 	stm := txn.NewServerTM(r, locks, scopes)
+	stm.Faults = s.opts.Faults
 	cm, err := coop.NewCM(r, scopes, reg)
 	if err != nil {
 		r.Close()
@@ -204,6 +212,7 @@ func (s *System) startServer() error {
 		r.Close()
 		return err
 	}
+	participant.Faults = s.opts.Faults
 	site := &serverSite{repo: r, locks: locks, scopes: scopes, reg: reg, stm: stm, cm: cm, participant: participant, plog: plog}
 	// Callback channel: version changes fan out to registered workstation
 	// caches, pushed off the hot path by a notifier worker. The client ID is
@@ -215,6 +224,7 @@ func (s *System) startServer() error {
 	s.mu.Unlock()
 	cbClient.Backoff = 0
 	site.notifier = rpc.NewNotifier(cbClient, 0)
+	site.notifier.SetFaults(s.opts.Faults)
 	stm.SetNotifier(site.notifier)
 	r.SetChangeHook(stm.VersionChanged)
 	if err := s.trans.Serve(ServerAddr, rpc.Dedup(stm.Handler(participant))); err != nil {
@@ -398,6 +408,7 @@ func (s *System) AddWorkstation(id string) (*Workstation, error) {
 	if err != nil {
 		return nil, err
 	}
+	tm.Coordinator().Faults = s.opts.Faults
 	// Serve the cache-invalidation callback endpoint for this workstation
 	// and heal it in case a previous incarnation's crash partitioned it.
 	// The cache epoch (bumped by NewClientTM) retires stale registrations.

@@ -1,0 +1,198 @@
+// Package fault is the named fault-point registry used by CONCORD's
+// chaos/scenario harness. Production code threads a *Registry through its
+// options and calls At("pkg:point-name") at interesting places — before a
+// checkpoint marker is forced, after a 2PC vote is logged, before a callback
+// is delivered. An unarmed registry (or a nil one) is inert: At returns nil
+// and only counts the traversal. Tests arm points with an error to simulate
+// a crash or fault exactly there, and read back hit/fire counters to report
+// injection coverage.
+//
+// Point names follow "owner:event" (e.g. "wal:before-mark",
+// "rpc:2pc-prepare-vote-logged"); owners export their names as constants so
+// the scenario matrix can enumerate the full catalog.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the default error delivered by an armed fault point when
+// the test does not need a more specific one.
+var ErrInjected = errors.New("fault: injected failure")
+
+// arming is the pending behavior for one point.
+type arming struct {
+	skip  int   // traversals to let pass before firing
+	count int   // remaining fires; < 0 means every traversal
+	err   error // error delivered when the point fires
+}
+
+// Registry maps named fault points to armed behaviors and counts
+// traversals. All methods are safe for concurrent use and safe on a nil
+// receiver, so packages can thread a registry unconditionally.
+type Registry struct {
+	mu    sync.Mutex
+	armed map[string]*arming
+	hits  map[string]uint64
+	fired map[string]uint64
+}
+
+// New returns an empty registry with nothing armed.
+func New() *Registry {
+	return &Registry{
+		armed: make(map[string]*arming),
+		hits:  make(map[string]uint64),
+		fired: make(map[string]uint64),
+	}
+}
+
+// At records a traversal of point and returns the armed error if the point
+// is due to fire, nil otherwise. Call it at the injection site.
+func (r *Registry) At(point string) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hits[point]++
+	a := r.armed[point]
+	if a == nil {
+		return nil
+	}
+	if a.skip > 0 {
+		a.skip--
+		return nil
+	}
+	if a.count == 0 {
+		return nil
+	}
+	if a.count > 0 {
+		a.count--
+	}
+	r.fired[point]++
+	return a.err
+}
+
+// Arm makes point fire err on every subsequent traversal until Disarm.
+func (r *Registry) Arm(point string, err error) {
+	r.armAs(point, &arming{count: -1, err: err})
+}
+
+// ArmOnce makes point fire err exactly once, on its next traversal.
+func (r *Registry) ArmOnce(point string, err error) {
+	r.armAs(point, &arming{count: 1, err: err})
+}
+
+// ArmAfter makes point let skip traversals pass and then fire err once —
+// the "crash on the N-th checkpoint" idiom.
+func (r *Registry) ArmAfter(point string, skip int, err error) {
+	r.armAs(point, &arming{skip: skip, count: 1, err: err})
+}
+
+func (r *Registry) armAs(point string, a *arming) {
+	if r == nil {
+		return
+	}
+	if a.err == nil {
+		a.err = fmt.Errorf("%w at %s", ErrInjected, point)
+	}
+	r.mu.Lock()
+	r.armed[point] = a
+	r.mu.Unlock()
+}
+
+// Disarm removes any pending behavior for point. Counters are kept.
+func (r *Registry) Disarm(point string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.armed, point)
+	r.mu.Unlock()
+}
+
+// DisarmAll removes every pending behavior, keeping the counters — used
+// between the fault phase and the recovery phase of a scenario.
+func (r *Registry) DisarmAll() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.armed = make(map[string]*arming)
+	r.mu.Unlock()
+}
+
+// Hits reports how many times point was traversed (armed or not).
+func (r *Registry) Hits(point string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits[point]
+}
+
+// Fired reports how many times point actually delivered its armed error.
+func (r *Registry) Fired(point string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fired[point]
+}
+
+// PointStats is one row of a coverage Snapshot.
+type PointStats struct {
+	// Point is the fault-point name.
+	Point string
+	// Hits counts traversals of the point.
+	Hits uint64
+	// Fired counts traversals that delivered an injected error.
+	Fired uint64
+}
+
+// Snapshot returns per-point counters sorted by point name, for coverage
+// reports.
+func (r *Registry) Snapshot() []PointStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PointStats, 0, len(r.hits))
+	for p, h := range r.hits {
+		out = append(out, PointStats{Point: p, Hits: h, Fired: r.fired[p]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Point < out[j].Point })
+	return out
+}
+
+// Report renders a coverage table over the union of known and observed
+// points: one "point hits fired" line each, with never-traversed known
+// points listed as zero so silent loss of injection coverage is visible.
+func (r *Registry) Report(known []string) string {
+	seen := make(map[string]bool, len(known))
+	rows := make([]PointStats, 0, len(known))
+	for _, s := range r.Snapshot() {
+		seen[s.Point] = true
+		rows = append(rows, s)
+	}
+	for _, p := range known {
+		if !seen[p] {
+			seen[p] = true
+			rows = append(rows, PointStats{Point: p})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Point < rows[j].Point })
+	var b strings.Builder
+	b.WriteString("point\thits\tfired\n")
+	for _, s := range rows {
+		fmt.Fprintf(&b, "%s\t%d\t%d\n", s.Point, s.Hits, s.Fired)
+	}
+	return b.String()
+}

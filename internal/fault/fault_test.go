@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	if err := r.At("x"); err != nil {
+		t.Fatalf("nil At = %v", err)
+	}
+	r.Arm("x", nil)
+	r.ArmOnce("x", nil)
+	r.ArmAfter("x", 2, nil)
+	r.Disarm("x")
+	r.DisarmAll()
+	if r.Hits("x") != 0 || r.Fired("x") != 0 {
+		t.Fatal("nil counters nonzero")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil Snapshot not nil")
+	}
+}
+
+func TestUnarmedCountsHits(t *testing.T) {
+	r := New()
+	for i := 0; i < 3; i++ {
+		if err := r.At("wal:before-mark"); err != nil {
+			t.Fatalf("unarmed At = %v", err)
+		}
+	}
+	if got := r.Hits("wal:before-mark"); got != 3 {
+		t.Fatalf("hits = %d, want 3", got)
+	}
+	if got := r.Fired("wal:before-mark"); got != 0 {
+		t.Fatalf("fired = %d, want 0", got)
+	}
+}
+
+func TestArmOnceFiresExactlyOnce(t *testing.T) {
+	r := New()
+	boom := errors.New("boom")
+	r.ArmOnce("p", boom)
+	if err := r.At("p"); !errors.Is(err, boom) {
+		t.Fatalf("first At = %v", err)
+	}
+	if err := r.At("p"); err != nil {
+		t.Fatalf("second At = %v", err)
+	}
+	if r.Fired("p") != 1 || r.Hits("p") != 2 {
+		t.Fatalf("fired=%d hits=%d", r.Fired("p"), r.Hits("p"))
+	}
+}
+
+func TestArmFiresEveryTimeUntilDisarm(t *testing.T) {
+	r := New()
+	r.Arm("p", nil)
+	for i := 0; i < 2; i++ {
+		if err := r.At("p"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("At #%d = %v", i, err)
+		}
+	}
+	r.Disarm("p")
+	if err := r.At("p"); err != nil {
+		t.Fatalf("post-disarm At = %v", err)
+	}
+	if r.Fired("p") != 2 {
+		t.Fatalf("fired = %d", r.Fired("p"))
+	}
+}
+
+func TestArmAfterSkips(t *testing.T) {
+	r := New()
+	r.ArmAfter("p", 2, nil)
+	for i := 0; i < 2; i++ {
+		if err := r.At("p"); err != nil {
+			t.Fatalf("skipped At #%d = %v", i, err)
+		}
+	}
+	if err := r.At("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third At = %v", err)
+	}
+	if err := r.At("p"); err != nil {
+		t.Fatalf("fourth At = %v", err)
+	}
+}
+
+func TestDisarmAllKeepsCounters(t *testing.T) {
+	r := New()
+	r.ArmOnce("a", nil)
+	r.Arm("b", nil)
+	_ = r.At("a")
+	r.DisarmAll()
+	if err := r.At("b"); err != nil {
+		t.Fatalf("post-DisarmAll At = %v", err)
+	}
+	if r.Fired("a") != 1 {
+		t.Fatal("DisarmAll dropped counters")
+	}
+}
+
+func TestReportListsKnownZeroPoints(t *testing.T) {
+	r := New()
+	r.ArmOnce("seen", nil)
+	_ = r.At("seen")
+	rep := r.Report([]string{"seen", "never"})
+	if !strings.Contains(rep, "seen\t1\t1") {
+		t.Fatalf("report missing seen row:\n%s", rep)
+	}
+	if !strings.Contains(rep, "never\t0\t0") {
+		t.Fatalf("report missing zero row:\n%s", rep)
+	}
+}
+
+func TestConcurrentAt(t *testing.T) {
+	r := New()
+	r.ArmAfter("p", 50, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = r.At("p")
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Hits("p") != 800 {
+		t.Fatalf("hits = %d", r.Hits("p"))
+	}
+	if r.Fired("p") != 1 {
+		t.Fatalf("fired = %d", r.Fired("p"))
+	}
+}

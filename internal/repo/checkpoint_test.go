@@ -4,84 +4,23 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"strings"
 	"sync"
 	"testing"
 
-	"concord/internal/catalog"
+	"concord/internal/fault"
 	"concord/internal/version"
 )
 
-// digest renders the complete durable repository state deterministically:
-// DOV set (payload bytes included), derivation graph structure, metadata
-// store and sequence counter. Two repositories with equal digests are
+// digest wraps the exported StateDigest (the scenario harness's recovery
+// oracle) with test plumbing: two repositories with equal digests are
 // byte-identical as far as recovery is concerned.
 func digest(t *testing.T, r *Repository) string {
 	t.Helper()
-	var b strings.Builder
-	// Quiesce writers (exclusive side of the §3.7 lock order) for a stable
-	// cut across the sharded index, DA directory and metadata store.
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	fmt.Fprintf(&b, "seq=%d\n", r.seq.Load())
-	das := *r.dasPub.Load()
-	names := make([]string, 0, len(das))
-	for da := range das {
-		names = append(names, da)
+	d, err := r.StateDigest()
+	if err != nil {
+		t.Fatalf("StateDigest: %v", err)
 	}
-	sortStrings(names)
-	for _, da := range names {
-		g := das[da].g
-		fmt.Fprintf(&b, "graph %s:", da)
-		for _, id := range g.IDs() {
-			fmt.Fprintf(&b, " %s>[%s]", id, joinIDs(g.Children(id)))
-		}
-		b.WriteByte('\n')
-	}
-	entries := make(map[version.ID]*dovEntry)
-	r.idx.each(func(id version.ID, e *dovEntry) { entries[id] = e })
-	ids := make([]string, 0, len(entries))
-	for id := range entries {
-		ids = append(ids, string(id))
-	}
-	sortStrings(ids)
-	for _, id := range ids {
-		e := entries[version.ID(id)]
-		v := e.dov
-		obj, err := catalog.EncodeObject(v.Object)
-		if err != nil {
-			t.Fatalf("digest encode %s: %v", id, err)
-		}
-		fmt.Fprintf(&b, "dov %s dot=%s da=%s parents=[%s] status=%d seq=%d root=%t obj=%x\n",
-			v.ID, v.DOT, v.DA, joinIDs(v.Parents), v.Status, v.Seq, e.root, obj)
-	}
-	r.metaMu.Lock()
-	keys := make([]string, 0, len(r.meta))
-	for k := range r.meta {
-		keys = append(keys, k)
-	}
-	sortStrings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(&b, "meta %s=%x\n", k, r.meta[k])
-	}
-	r.metaMu.Unlock()
-	return b.String()
-}
-
-func joinIDs(ids []version.ID) string {
-	ss := make([]string, len(ids))
-	for i, id := range ids {
-		ss[i] = string(id)
-	}
-	return strings.Join(ss, ",")
-}
-
-func sortStrings(ss []string) {
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
-			ss[j], ss[j-1] = ss[j-1], ss[j]
-		}
-	}
+	return d
 }
 
 // churn runs a deterministic update-heavy workload: a few live DOVs, then
@@ -173,20 +112,14 @@ func TestCheckpointCrashPoints(t *testing.T) {
 		t.Run(point, func(t *testing.T) {
 			dir := t.TempDir()
 			crash := errors.New("injected crash")
-			crashAt := ""
-			hook := func(p string) error {
-				if p == crashAt {
-					return crash
-				}
-				return nil
-			}
-			r, err := Open(testCatalog(t), Options{Dir: dir, Sync: true, SegmentBytes: 4 << 10, CrashHook: hook})
+			reg := fault.New()
+			r, err := Open(testCatalog(t), Options{Dir: dir, Sync: true, SegmentBytes: 4 << 10, Faults: reg})
 			if err != nil {
 				t.Fatal(err)
 			}
 			churn(t, r, "a-", 8, 200)
 			want := digest(t, r)
-			crashAt = point
+			reg.Arm(point, crash)
 			if err := r.Checkpoint(); !errors.Is(err, crash) {
 				t.Fatalf("Checkpoint with crash at %s = %v, want injected crash", point, err)
 			}

@@ -26,6 +26,7 @@ import (
 
 	"concord/internal/binenc"
 	"concord/internal/catalog"
+	"concord/internal/fault"
 	"concord/internal/version"
 	"concord/internal/wal"
 )
@@ -65,11 +66,11 @@ type Options struct {
 	// wal.DefaultSegmentBytes). Checkpointing deletes whole sealed
 	// segments, so smaller segments compact at a finer grain.
 	SegmentBytes int64
-	// CrashHook, when non-nil, is invoked at the named steps of the
-	// checkpoint protocol (the repo Crash* constants plus the wal.Crash*
-	// constants). A non-nil return aborts the operation at that point,
-	// simulating a crash there. Tests only; see CrashPoints.
-	CrashHook func(point string) error
+	// Faults, when non-nil, is the named fault-point registry traversed at
+	// the steps of the checkpoint protocol (the repo Crash* constants plus
+	// the wal.Crash* constants). An armed point aborts the operation
+	// there, simulating a crash. Tests only; see CrashPoints.
+	Faults *fault.Registry
 	// SerializedReads reverts the read path to the pre-MVCC design: Get
 	// takes the repository lock and deep-clones the payload, Exists and
 	// EncodedObject read under the lock. Ablation baseline for E15; never
@@ -112,8 +113,8 @@ type Options struct {
 type Repository struct {
 	cat *catalog.Catalog
 	dir string
-	// hook is the crash-point fault-injection callback (tests only).
-	hook func(point string) error
+	// faults is the crash-point fault-injection registry (tests only).
+	faults *fault.Registry
 	// serializedReads selects the pre-MVCC locked+cloning read path
 	// (Options.SerializedReads; E15 ablation baseline).
 	serializedReads bool
@@ -258,7 +259,7 @@ func Open(cat *catalog.Catalog, opts Options) (*Repository, error) {
 	r := &Repository{
 		cat:              cat,
 		dir:              opts.Dir,
-		hook:             opts.CrashHook,
+		faults:           opts.Faults,
 		serializedReads:  opts.SerializedReads,
 		serializedWrites: opts.SerializedWrites,
 		globalWriteLock:  opts.SerializedReads || opts.SerializedWrites,
@@ -281,7 +282,7 @@ func Open(cat *catalog.Catalog, opts Options) (*Repository, error) {
 			SyncOnAppend:  opts.Sync,
 			NoGroupCommit: opts.NoGroupCommit,
 			SegmentBytes:  opts.SegmentBytes,
-			CrashHook:     opts.CrashHook,
+			Faults:        opts.Faults,
 			BufferedScan:  !opts.SerialReplay,
 		})
 		if err != nil {

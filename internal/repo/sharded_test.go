@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"concord/internal/fault"
 	"concord/internal/version"
 	"concord/internal/wal"
 )
@@ -170,17 +171,8 @@ func TestCheckpointCrashRacingMultiDAWriters(t *testing.T) {
 		t.Run(point, func(t *testing.T) {
 			dir := t.TempDir()
 			crash := errors.New("injected crash")
-			var hookOn sync.Mutex
-			crashAt := ""
-			hook := func(p string) error {
-				hookOn.Lock()
-				defer hookOn.Unlock()
-				if p == crashAt {
-					return crash
-				}
-				return nil
-			}
-			r, err := Open(testCatalog(t), Options{Dir: dir, Sync: true, SegmentBytes: 4 << 10, CrashHook: hook})
+			reg := fault.New()
+			r, err := Open(testCatalog(t), Options{Dir: dir, Sync: true, SegmentBytes: 4 << 10, Faults: reg})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -222,9 +214,7 @@ func TestCheckpointCrashRacingMultiDAWriters(t *testing.T) {
 			close(start)
 			// Let the writers interleave with a checkpoint that dies at the
 			// injected step (the crash leaves the process "half checkpointed").
-			hookOn.Lock()
-			crashAt = point
-			hookOn.Unlock()
+			reg.Arm(point, crash)
 			if err := r.Checkpoint(); !errors.Is(err, crash) {
 				t.Fatalf("Checkpoint with crash at %s = %v, want injected crash", point, err)
 			}

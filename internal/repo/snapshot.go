@@ -43,7 +43,7 @@ const (
 	snapMagic   = "CCSNAP01"
 )
 
-// Crash points passed to Options.CrashHook during Checkpoint, in protocol
+// Crash points traversed on Options.Faults during Checkpoint, in protocol
 // order (the wal.Crash* points follow them inside wal.Checkpoint).
 const (
 	// CrashSnapshotPartial fires halfway through writing snapshot.tmp.
@@ -56,7 +56,7 @@ const (
 	CrashSnapshotInstalled = "repo:snapshot-installed"
 )
 
-// CrashPoints lists every step of the checkpoint protocol a crash hook can
+// CrashPoints lists every step of the checkpoint protocol a fault point can
 // target, repository steps first, in the order they execute. The
 // fault-injection harness iterates it so no step goes unexercised.
 var CrashPoints = []string{
@@ -117,13 +117,10 @@ func (r *Repository) SnapshotLSN() wal.LSN {
 	return r.snapLSN
 }
 
-// hookAt fires the crash-point hook; a non-nil return aborts the checkpoint
-// exactly at that step.
+// hookAt traverses a crash point on the fault registry; an armed point
+// aborts the checkpoint exactly at that step.
 func (r *Repository) hookAt(point string) error {
-	if r.hook == nil {
-		return nil
-	}
-	if err := r.hook(point); err != nil {
+	if err := r.faults.At(point); err != nil {
 		return fmt.Errorf("repo: checkpoint aborted at %s: %w", point, err)
 	}
 	return nil

@@ -2,6 +2,8 @@ package rpc
 
 import (
 	"sync"
+
+	"concord/internal/fault"
 )
 
 // Notifier is the server→workstation callback channel (DESIGN.md §4): a
@@ -19,6 +21,7 @@ type Notifier struct {
 	client *Client
 
 	mu     sync.Mutex
+	faults *fault.Registry
 	idle   *sync.Cond // signaled when processed or closed advances
 	ch     chan notification
 	closed bool
@@ -71,12 +74,22 @@ func (n *Notifier) run() {
 	n.mu.Unlock()
 }
 
-// Notify enqueues one notification. It never blocks: a full queue or a
-// closed notifier drops the message (counted in Stats).
+// SetFaults installs the fault-point registry traversed at FaultNotifyDrop
+// on every Notify; an armed point drops the notification (counted in Stats
+// like a queue-full drop). Tests only.
+func (n *Notifier) SetFaults(reg *fault.Registry) {
+	n.mu.Lock()
+	n.faults = reg
+	n.mu.Unlock()
+}
+
+// Notify enqueues one notification. It never blocks: a full queue, a closed
+// notifier or an armed FaultNotifyDrop point drops the message (counted in
+// Stats).
 func (n *Notifier) Notify(addr, method string, payload []byte) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.closed {
+	if n.closed || n.faults.At(FaultNotifyDrop) != nil {
 		n.dropped++
 		return
 	}

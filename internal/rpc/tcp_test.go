@@ -1,0 +1,169 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startEcho serves h on a fresh loopback listener and returns its address.
+func startEcho(t *testing.T, h Handler) (*TCP, string) {
+	t.Helper()
+	srv := NewTCP()
+	if err := srv.Serve("127.0.0.1:0", h); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	addr := srv.Addr()
+	if addr == "" {
+		t.Fatal("no bound address")
+	}
+	return srv, addr
+}
+
+// TestTCPDedupExactlyOnceOverSockets redelivers the same framed request over
+// real sockets: the Dedup-wrapped handler must execute once and memoize the
+// response, which is what makes client retries exactly-once end to end.
+func TestTCPDedupExactlyOnceOverSockets(t *testing.T) {
+	var calls atomic.Int64
+	_, addr := startEcho(t, Dedup(func(m string, p []byte) ([]byte, error) {
+		calls.Add(1)
+		return append([]byte("r:"), p...), nil
+	}))
+	cli := NewTCP()
+	defer cli.Close()
+	env := appendEnvelope(nil, "ws1#42", []byte("payload"))
+	var first []byte
+	for i := 0; i < 3; i++ {
+		resp, err := cli.Call(addr, "stage", env)
+		if err != nil {
+			t.Fatalf("delivery %d: %v", i, err)
+		}
+		if i == 0 {
+			first = resp
+		} else if !bytes.Equal(resp, first) {
+			t.Fatalf("delivery %d returned %q, first returned %q", i, resp, first)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("handler ran %d times for one request ID, want exactly once", n)
+	}
+	// A different request ID is a fresh call.
+	if _, err := cli.Call(addr, "stage", appendEnvelope(nil, "ws1#43", []byte("p"))); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("handler ran %d times after a second request ID, want 2", n)
+	}
+}
+
+// TestTCPErrorChainFlattens pins the documented error-chain semantics of the
+// socket transport: a wrapped server-side cause cannot cross the wire as a
+// matchable chain — the client gets ErrRemote with the full rendered text,
+// and sentinel matching against the remote cause must fail.
+func TestTCPErrorChainFlattens(t *testing.T) {
+	sentinel := errors.New("checkin failed")
+	_, addr := startEcho(t, func(m string, p []byte) ([]byte, error) {
+		return nil, fmt.Errorf("server-tm: stage %q: %w", p, sentinel)
+	})
+	cli := NewTCP()
+	defer cli.Close()
+	_, err := cli.Call(addr, "stage", []byte("v7"))
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote", err)
+	}
+	if errors.Is(err, sentinel) {
+		t.Fatal("server-side sentinel survived the socket; the chain must flatten to text")
+	}
+	for _, part := range []string{"server-tm", `"v7"`, "checkin failed"} {
+		if !strings.Contains(err.Error(), part) {
+			t.Fatalf("flattened error %q lost the remote detail %q", err, part)
+		}
+	}
+}
+
+// TestTCPLargePayloadRoundTrip pushes a multi-megabyte payload through one
+// call in each direction (full checkouts of big objects take this path).
+func TestTCPLargePayloadRoundTrip(t *testing.T) {
+	_, addr := startEcho(t, func(m string, p []byte) ([]byte, error) {
+		out := make([]byte, len(p))
+		copy(out, p)
+		return out, nil
+	})
+	cli := NewTCP()
+	defer cli.Close()
+	big := make([]byte, 3<<20)
+	rand.New(rand.NewSource(1)).Read(big)
+	resp, err := cli.Call(addr, "echo", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, big) {
+		t.Fatal("large payload corrupted in transit")
+	}
+}
+
+// TestTCPCallTimeout bounds a stalled exchange: a handler that never answers
+// within CallTimeout must surface as a retriable transport loss (ErrDropped),
+// not hang the caller.
+func TestTCPCallTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	_, addr := startEcho(t, func(m string, p []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	cli := NewTCP()
+	defer cli.Close()
+	cli.CallTimeout = 150 * time.Millisecond
+	start := time.Now()
+	_, err := cli.Call(addr, "stall", nil)
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("stalled call = %v, want ErrDropped", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("timeout took %v, deadline not applied", took)
+	}
+}
+
+// TestTCPClientRetriesThenFails drives the reliable Client over sockets
+// against a dead port: every attempt must be made and the final error must
+// still expose the transport cause.
+func TestTCPClientRetriesThenFails(t *testing.T) {
+	cli := NewClient(NewTCP(), "ws1")
+	cli.Retries = 3
+	cli.Backoff = 0
+	_, err := cli.Call("127.0.0.1:1", "do", nil)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable after retries", err)
+	}
+	if cli.Attempts() != 3 {
+		t.Fatalf("attempts = %d, want 3", cli.Attempts())
+	}
+}
+
+// TestTCPServeAfterClose pins the lifecycle: a closed transport refuses new
+// listeners and drops existing ones.
+func TestTCPServeAfterClose(t *testing.T) {
+	srv := NewTCP()
+	if err := srv.Serve("127.0.0.1:0", func(m string, p []byte) ([]byte, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve("127.0.0.1:0", func(m string, p []byte) ([]byte, error) { return nil, nil }); err == nil {
+		t.Fatal("Serve after Close succeeded")
+	}
+	cli := NewTCP()
+	defer cli.Close()
+	if _, err := cli.Call(addr, "do", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call to closed listener = %v, want ErrUnreachable", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"concord/internal/binenc"
+	"concord/internal/fault"
 	"concord/internal/wal"
 )
 
@@ -70,11 +71,44 @@ const (
 	recDecisionEnd    wal.RecordType = 0x22
 )
 
+// Fault points traversed by the 2PC engine and the notifier (the scenario
+// harness arms them to simulate crashes at protocol steps).
+const (
+	// FaultDecisionLogged fires in the coordinator after the commit
+	// decision is durable, before any participant hears it — the classic
+	// in-doubt window on the participant side.
+	FaultDecisionLogged = "rpc:2pc-decision-logged"
+	// FaultPrepareVoteLogged fires in the participant after its commit
+	// vote is durable, before the vote reaches the coordinator — the
+	// reply is lost and the participant stays in doubt.
+	FaultPrepareVoteLogged = "rpc:2pc-prepare-vote-logged"
+	// FaultCommitApply fires in the participant when the commit decision
+	// arrives, before the resource applies it — committed at the
+	// coordinator, unapplied at the participant until Resolve.
+	FaultCommitApply = "rpc:2pc-commit-apply"
+	// FaultNotifyDrop fires on every callback enqueue; when armed the
+	// notification is dropped (best-effort channel, counted in Stats).
+	FaultNotifyDrop = "rpc:notify-drop"
+)
+
+// FaultPoints lists every fault point owned by this package, for coverage
+// reports.
+var FaultPoints = []string{
+	FaultDecisionLogged,
+	FaultPrepareVoteLogged,
+	FaultCommitApply,
+	FaultNotifyDrop,
+}
+
 // Coordinator drives presumed-abort 2PC over a Client. The decision log may
 // be nil for volatile (test) coordinators.
 type Coordinator struct {
 	client *Client
 	log    *wal.Log
+
+	// Faults is the fault-point registry traversed at FaultDecisionLogged
+	// (nil-safe). Set it before the first Commit; tests only.
+	Faults *fault.Registry
 
 	mu        sync.Mutex
 	decisions map[string]Outcome
@@ -165,6 +199,12 @@ func (c *Coordinator) Commit(txid string, participants []string) (Outcome, error
 	c.mu.Lock()
 	c.decisions[txid] = OutcomeCommitted
 	c.mu.Unlock()
+	if err := c.Faults.At(FaultDecisionLogged); err != nil {
+		// Simulated coordinator death between the durable decision and
+		// phase 2: the transaction IS committed; participants stay in
+		// doubt until they Resolve against the decision log.
+		return OutcomeCommitted, fmt.Errorf("rpc: 2pc after decision: %w", err)
+	}
 	// Phase 2: commit.
 	var firstErr error
 	for _, p := range participants {
@@ -199,6 +239,10 @@ func (c *Coordinator) abortAll(txid string, participants []string) {
 type Participant struct {
 	res Resource
 	log *wal.Log
+
+	// Faults is the fault-point registry traversed at FaultPrepareVoteLogged
+	// and FaultCommitApply (nil-safe). Set it before serving; tests only.
+	Faults *fault.Registry
 
 	// ckMu orders vote/done log records against checkpoint snapshots: state
 	// changes hold it for read across (log append + map update), Checkpoint
@@ -361,10 +405,21 @@ func (p *Participant) prepare(txid string) ([]byte, error) {
 	p.mu.Lock()
 	p.prepared[txid] = true
 	p.mu.Unlock()
+	if err := p.Faults.At(FaultPrepareVoteLogged); err != nil {
+		// Simulated participant death after the durable vote: the reply
+		// never reaches the coordinator, which aborts by presumption; the
+		// vote stays in doubt here until Resolve.
+		return nil, err
+	}
 	return []byte("commit"), nil
 }
 
 func (p *Participant) commit(txid string) ([]byte, error) {
+	if err := p.Faults.At(FaultCommitApply); err != nil {
+		// Simulated participant death on arrival of the commit decision:
+		// the resource never applies it; Resolve re-delivers after restart.
+		return nil, err
+	}
 	if err := p.res.Commit(txid); err != nil {
 		return nil, err
 	}

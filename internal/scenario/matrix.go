@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"fmt"
+
+	"concord/internal/repo"
+	"concord/internal/rpc"
+	"concord/internal/sim"
+	"concord/internal/txn"
+)
+
+// mixedLoad is the default designer mix: checkin-heavy with a steady stream
+// of checkouts, occasional delegations, handovers and status flips.
+func mixedLoad(ops int, seed int64) Workload {
+	return Workload{
+		Mix: sim.OpMix{Checkout: 3, Checkin: 6, Delegate: 1, HandOver: 1, SetStatus: 1, Seed: seed},
+		Ops: ops,
+	}
+}
+
+// writeLoad is a pure checkin stream (every op traverses the 2PC path).
+func writeLoad(ops int, seed int64) Workload {
+	return Workload{Mix: sim.OpMix{Checkin: 1, Seed: seed}, Ops: ops}
+}
+
+// smallTopo is the default short-matrix shape: two workstations, two DAs,
+// in-process transport.
+func smallTopo() Topology {
+	return Topology{Workstations: 2, DesignAreas: 2}
+}
+
+// Short is the CI matrix: every fault class (checkpoint-protocol crashes
+// racing live writers, 2PC crashes at each durability point, dropped
+// callbacks, torn WAL tail, workstation crash with a cache-epoch bump,
+// volatile workstations, a TCP deployment and a concurrent scale entry),
+// each checked by the full oracle suite.
+func Short() []Scenario {
+	out := []Scenario{
+		{
+			Name: "inproc-baseline-smoke",
+			Topo: smallTopo(),
+			Load: mixedLoad(40, 1),
+		},
+		{
+			Name:  "inproc-callback-drop",
+			Topo:  smallTopo(),
+			Load:  Workload{Mix: sim.OpMix{Checkout: 4, Checkin: 4, HandOver: 2, Seed: 2}, Ops: 40},
+			Fault: Fault{DropCallbacks: true},
+		},
+		{
+			Name:  "inproc-torn-wal-tail",
+			Topo:  smallTopo(),
+			Load:  writeLoad(30, 3),
+			Fault: Fault{CrashServer: true, TornTail: true},
+		},
+		{
+			Name:  "inproc-stale-cache-epoch",
+			Topo:  Topology{Workstations: 2, DesignAreas: 2},
+			Load:  mixedLoad(40, 4),
+			Fault: Fault{CrashWS: true},
+		},
+		{
+			Name:  "inproc-volatile-ws-server-crash",
+			Topo:  Topology{Workstations: 2, DesignAreas: 2, VolatileWS: true},
+			Load:  writeLoad(30, 5),
+			Fault: Fault{CrashServer: true},
+		},
+		{
+			Name: "inproc-cold-cache",
+			Topo: Topology{Workstations: 2, DesignAreas: 2, ColdCache: true},
+			Load: mixedLoad(40, 6),
+		},
+		{
+			Name: "tcp-baseline",
+			Topo: Topology{Workstations: 2, DesignAreas: 2, Transport: TCP},
+			Load: Workload{Mix: sim.OpMix{Checkout: 3, Checkin: 6, SetStatus: 1, Seed: 7}, Ops: 40},
+		},
+		{
+			Name:  "tcp-2pc-checkin-installed-crash",
+			Topo:  Topology{Workstations: 2, DesignAreas: 2, Transport: TCP},
+			Load:  writeLoad(30, 8),
+			Fault: Fault{Point: txn.FaultCheckinInstalled, Skip: 10, CrashServer: true},
+		},
+		{
+			Name: "inproc-scale-concurrent",
+			Topo: Topology{Workstations: 4, DesignAreas: 3},
+			Load: Workload{
+				Mix:        sim.OpMix{Checkout: 3, Checkin: 6, SetStatus: 1, Seed: 9},
+				Ops:        80,
+				Concurrent: true,
+			},
+			Fault: Fault{RaceCheckpoint: true},
+		},
+	}
+	// Crash at each checkpoint-protocol durability point while checkpoints
+	// race live writers; tiny segments make the log roll so the
+	// segment-deletion points are traversed too.
+	for i, point := range repo.CrashPoints {
+		out = append(out, Scenario{
+			Name:  "inproc-ckpt-crash-" + shortPoint(point),
+			Topo:  Topology{Workstations: 2, DesignAreas: 2, SegmentBytes: 2 << 10},
+			Load:  writeLoad(30, 20+int64(i)),
+			Fault: Fault{Point: point, Skip: 1, CrashServer: true, RaceCheckpoint: true},
+		})
+	}
+	// Crash at each 2PC durability point mid-workload.
+	for i, point := range []string{
+		txn.FaultStagePersisted, txn.FaultCheckinInstalled,
+		rpc.FaultPrepareVoteLogged, rpc.FaultDecisionLogged, rpc.FaultCommitApply,
+	} {
+		out = append(out, Scenario{
+			Name:  "inproc-2pc-crash-" + shortPoint(point),
+			Topo:  smallTopo(),
+			Load:  writeLoad(30, 30+int64(i)),
+			Fault: Fault{Point: point, Skip: 10, CrashServer: true},
+		})
+	}
+	return out
+}
+
+// Long is the exhaustive matrix behind `make scenarios`
+// (CONCORD_SCENARIOS_LONG=1): every checkpoint-protocol point under racing
+// checkpoints, every 2PC point over both transports, multiple seeds and a
+// larger concurrent scale-out.
+func Long() []Scenario {
+	var out []Scenario
+	for i, point := range repo.CrashPoints {
+		out = append(out, Scenario{
+			Name:  "long-ckpt-crash-" + shortPoint(point),
+			Topo:  Topology{Workstations: 3, DesignAreas: 3, SegmentBytes: 2 << 10},
+			Load:  writeLoad(120, 100+int64(i)),
+			Fault: Fault{Point: point, Skip: 2, CrashServer: true, RaceCheckpoint: true},
+		})
+	}
+	twoPC := []string{
+		txn.FaultStagePersisted, txn.FaultCheckinInstalled,
+		rpc.FaultPrepareVoteLogged, rpc.FaultDecisionLogged, rpc.FaultCommitApply,
+	}
+	for _, tr := range []Transport{InProc, TCP} {
+		for i, point := range twoPC {
+			out = append(out, Scenario{
+				Name:  fmt.Sprintf("long-%s-2pc-crash-%s", tr, shortPoint(point)),
+				Topo:  Topology{Workstations: 3, DesignAreas: 2, Transport: tr},
+				Load:  writeLoad(90, 200+int64(i)),
+				Fault: Fault{Point: point, Skip: 25, CrashServer: true},
+			})
+		}
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		out = append(out, Scenario{
+			Name: fmt.Sprintf("long-mixed-chaos-seed%d", seed),
+			Topo: Topology{Workstations: 3, DesignAreas: 3},
+			Load: mixedLoad(150, 300+seed),
+			Fault: Fault{
+				DropCallbacks: true, CrashServer: true, TornTail: seed%2 == 0,
+				RaceCheckpoint: true,
+			},
+		})
+	}
+	out = append(out, Scenario{
+		Name: "long-scale-concurrent",
+		Topo: Topology{Workstations: 8, DesignAreas: 4},
+		Load: Workload{
+			Mix:        sim.OpMix{Checkout: 3, Checkin: 6, SetStatus: 1, Seed: 400},
+			Ops:        400,
+			Concurrent: true,
+		},
+		Fault: Fault{RaceCheckpoint: true},
+	})
+	return out
+}
+
+// shortPoint turns "owner:some-event" into "owner-some-event" for subtest
+// names.
+func shortPoint(point string) string {
+	b := []byte(point)
+	for i, c := range b {
+		if c == ':' {
+			b[i] = '-'
+		}
+	}
+	return string(b)
+}

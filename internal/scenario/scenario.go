@@ -1,0 +1,196 @@
+// Package scenario is the declarative chaos + scale matrix for the whole
+// CONCORD stack: each entry names a topology (workstations, design areas,
+// in-process or real TCP transport, cache temperature, workstation
+// volatility), a seeded workload mix (checkout / checkin / delegate /
+// handover / setstatus ratios via sim.OpMix), a fault (a named fault point
+// from the internal/fault registry armed mid-run, a server or workstation
+// crash, a torn WAL tail, dropped callbacks, checkpoints racing writers)
+// and runs a fixed oracle suite over the survivors: no committed checkin is
+// ever lost, repository consistency holds, recovery is byte-identical
+// across a restart (StateDigest), serial and pipelined replay are
+// equivalent twins, and every workstation cache checkout revalidates to the
+// server's content hash.
+//
+// The short matrix (Short) runs under plain `go test ./internal/scenario`
+// for CI; the long matrix (Long) is gated behind CONCORD_SCENARIOS_LONG=1
+// and reached via `make scenarios`. Fault-point coverage — which named
+// points were traversed and fired across the whole run — is aggregated
+// process-wide and rendered by CoverageReport (CI uploads it as an
+// artifact).
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"concord/internal/fault"
+	"concord/internal/repo"
+	"concord/internal/rpc"
+	"concord/internal/sim"
+	"concord/internal/txn"
+)
+
+// Transport selects how workstations reach the server site.
+type Transport uint8
+
+// Transports.
+const (
+	// InProc uses the in-process transport (the core.System deployment).
+	InProc Transport = iota
+	// TCP uses real TCP sockets with gob envelopes (the cmd/concordd
+	// deployment, assembled manually per site).
+	TCP
+)
+
+// String names the transport.
+func (tr Transport) String() string {
+	if tr == TCP {
+		return "tcp"
+	}
+	return "inproc"
+}
+
+// Topology is the deployment shape of one scenario entry.
+type Topology struct {
+	// Workstations is the number of workstation sites.
+	Workstations int
+	// DesignAreas is the number of top-level design areas.
+	DesignAreas int
+	// Transport selects in-process or real TCP sockets.
+	Transport Transport
+	// ColdCache skips the cache warm-up checkouts, so every first checkout
+	// pays a full transfer.
+	ColdCache bool
+	// VolatileWS keeps workstation state in memory (no workstation crash
+	// recovery; the server remains persistent).
+	VolatileWS bool
+	// SegmentBytes overrides the server WAL segment rotation threshold
+	// (0 uses the default). Small values make segments roll and get
+	// deleted during the run, so the late checkpoint-protocol fault
+	// points are traversed.
+	SegmentBytes int64
+}
+
+// Workload is the seeded operation stream driven against the topology.
+type Workload struct {
+	// Mix weights the designer operations (sim.OpMix, seeded).
+	Mix sim.OpMix
+	// Ops is the total number of operations in the fault phase.
+	Ops int
+	// Concurrent drives each workstation from its own goroutine instead of
+	// round-robin from one driver.
+	Concurrent bool
+}
+
+// Fault is the chaos applied while the workload runs. The zero value is a
+// fault-free scenario (oracles still run).
+type Fault struct {
+	// Point is a named fault point to arm one-shot (wal.Crash*,
+	// repo.CrashSnapshot*, rpc.Fault*, txn.Fault*); empty arms nothing.
+	Point string
+	// Skip lets that many traversals pass before the point fires.
+	Skip int
+	// CrashServer crashes and restarts the server once the armed point has
+	// fired (or at the workload midpoint when Point is empty).
+	CrashServer bool
+	// TornTail appends garbage to the repository WAL's active segment
+	// while the server is down, simulating a torn partial write.
+	TornTail bool
+	// CrashWS crashes and restarts workstation 0 at the workload midpoint
+	// (cache epoch bump; sequential workloads only).
+	CrashWS bool
+	// DropCallbacks arms rpc.FaultNotifyDrop for the whole run, so every
+	// cache-invalidation callback is dropped.
+	DropCallbacks bool
+	// RaceCheckpoint runs explicit checkpoints in a background loop while
+	// the workload writes (how the checkpoint-protocol points get
+	// traversed under load).
+	RaceCheckpoint bool
+}
+
+// Scenario is one entry of the matrix: topology × workload × fault, always
+// checked by the full oracle suite.
+type Scenario struct {
+	// Name labels the subtest.
+	Name string
+	// Topo is the deployment shape.
+	Topo Topology
+	// Load is the seeded workload.
+	Load Workload
+	// Fault is the chaos applied mid-run.
+	Fault Fault
+}
+
+// KnownFaultPoints is the full catalog of named fault points across the
+// stack (checkpoint protocol, 2PC engine, server-TM, notifier). The
+// coverage report lists every one of them, so a point that silently stops
+// firing is visible.
+func KnownFaultPoints() []string {
+	out := make([]string, 0, len(repo.CrashPoints)+len(rpc.FaultPoints)+len(txn.FaultPoints))
+	out = append(out, repo.CrashPoints...)
+	out = append(out, rpc.FaultPoints...)
+	out = append(out, txn.FaultPoints...)
+	return out
+}
+
+// covMu guards the process-wide coverage accumulation.
+var covMu sync.Mutex
+
+// covHits / covFired accumulate per-point counters across every Run in the
+// process.
+var covHits, covFired map[string]uint64
+
+// recordCoverage folds one scenario registry into the process-wide totals.
+func recordCoverage(reg *fault.Registry) {
+	covMu.Lock()
+	defer covMu.Unlock()
+	if covHits == nil {
+		covHits = make(map[string]uint64)
+		covFired = make(map[string]uint64)
+	}
+	for _, s := range reg.Snapshot() {
+		covHits[s.Point] += s.Hits
+		covFired[s.Point] += s.Fired
+	}
+}
+
+// CoverageReport renders the aggregated fault-point coverage of every
+// scenario run so far in this process: one "point hits fired" row per known
+// point (zero rows included). The scenario test binary writes it to the
+// path named by SCENARIO_COVERAGE_OUT.
+func CoverageReport() string {
+	covMu.Lock()
+	defer covMu.Unlock()
+	var b strings.Builder
+	b.WriteString("point\thits\tfired\n")
+	for _, p := range sortedPoints() {
+		fmt.Fprintf(&b, "%s\t%d\t%d\n", p, covHits[p], covFired[p])
+	}
+	return b.String()
+}
+
+// sortedPoints returns the union of known and observed points, sorted.
+// covMu must be held.
+func sortedPoints() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range KnownFaultPoints() {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for p := range covHits {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

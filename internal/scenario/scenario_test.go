@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestMain runs the matrix and, when SCENARIO_COVERAGE_OUT names a path,
+// writes the aggregated fault-point coverage report there (CI uploads it as
+// an artifact).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("SCENARIO_COVERAGE_OUT"); path != "" {
+		if err := os.WriteFile(path, []byte(CoverageReport()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: write coverage report: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+// TestScenarioMatrixShort runs the CI matrix: one subtest per entry, each
+// asserting the full recovery-oracle suite.
+func TestScenarioMatrixShort(t *testing.T) {
+	for _, sc := range Short() {
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			Run(t, sc)
+		})
+	}
+}
+
+// TestScenarioMatrixLong runs the exhaustive matrix; gated behind
+// CONCORD_SCENARIOS_LONG=1 (reached via `make scenarios`).
+func TestScenarioMatrixLong(t *testing.T) {
+	if os.Getenv("CONCORD_SCENARIOS_LONG") == "" {
+		t.Skip("set CONCORD_SCENARIOS_LONG=1 (or run `make scenarios`) for the long matrix")
+	}
+	for _, sc := range Long() {
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			Run(t, sc)
+		})
+	}
+}
+
+// TestShortMatrixShape pins the acceptance floor: the short matrix keeps at
+// least 12 distinct entries and distinct names.
+func TestShortMatrixShape(t *testing.T) {
+	short := Short()
+	if len(short) < 12 {
+		t.Fatalf("short matrix has %d entries, want >= 12", len(short))
+	}
+	seen := make(map[string]bool)
+	for _, sc := range short {
+		if sc.Name == "" || seen[sc.Name] {
+			t.Fatalf("short matrix entry %q duplicated or unnamed", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+}

@@ -1,0 +1,400 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"concord/internal/catalog"
+	"concord/internal/coop"
+	"concord/internal/core"
+	"concord/internal/fault"
+	"concord/internal/feature"
+	"concord/internal/lock"
+	"concord/internal/repo"
+	"concord/internal/rpc"
+	"concord/internal/txn"
+	"concord/internal/vlsi"
+	"concord/internal/wal"
+)
+
+// errUnsupported reports a site operation the deployment cannot express
+// (e.g. delegation without a cooperation manager); the driver falls back.
+var errUnsupported = errors.New("scenario: operation unsupported by this deployment")
+
+// site abstracts one deployed CONCORD instance so the driver and oracles
+// run identically over the in-process and TCP deployments.
+type site interface {
+	// begin starts a DOP with an explicit ID on workstation ws.
+	begin(ws int, dopID, da string) (*txn.DOP, error)
+	// repo returns the live server repository (nil while crashed).
+	repo() *repo.Repository
+	// catalog returns the shared DOT catalog (for twin replay).
+	catalog() *catalog.Catalog
+	// newDA creates and starts a top-level design area.
+	newDA(id string) error
+	// delegate creates and starts a sub-DA under parent (errUnsupported
+	// when the deployment has no cooperation manager).
+	delegate(parent, child string) error
+	// checkpoint snapshots the repository and compacts the server logs.
+	checkpoint() error
+	// crashRestartServer kills the server site and recovers it from disk;
+	// tornTail corrupts the repository WAL's active segment in between.
+	crashRestartServer(tornTail bool) error
+	// crashRestartWS crashes workstation ws and re-attaches a fresh
+	// incarnation (cache epoch bump).
+	crashRestartWS(ws int) error
+	// serverRepoDir is the repository directory for the twin-replay oracle.
+	serverRepoDir() string
+	// close shuts everything down (idempotent).
+	close()
+}
+
+// scenarioSpec is the permissive design goal shared by all scenario DAs.
+func scenarioSpec() *feature.Spec {
+	return feature.MustSpec(feature.Range("area-limit", "area", 0, 1e12))
+}
+
+// wsName names workstation i.
+func wsName(i int) string { return fmt.Sprintf("ws%02d", i) }
+
+// corruptWALTail appends garbage to the highest-numbered segment of the WAL
+// directory at walDir, simulating a torn partial write of the next record.
+// Committed records precede the garbage, so recovery must truncate the tail
+// without losing any of them.
+func corruptWALTail(walDir string) error {
+	entries, err := os.ReadDir(walDir)
+	if err != nil {
+		return err
+	}
+	var last string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") && (last == "" || e.Name() > last) {
+			last = e.Name()
+		}
+	}
+	if last == "" {
+		return fmt.Errorf("scenario: no WAL segment in %s", walDir)
+	}
+	f, err := os.OpenFile(filepath.Join(walDir, last), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	garbage := make([]byte, 37)
+	for i := range garbage {
+		garbage[i] = 0xA5
+	}
+	_, err = f.Write(garbage)
+	return err
+}
+
+// inprocSite deploys a core.System: the single-process deployment with the
+// cooperation manager, callback channel and full crash/restart support.
+type inprocSite struct {
+	sys *core.System
+	dir string
+
+	mu sync.Mutex
+	ws []*core.Workstation
+}
+
+// newInProcSite boots a core.System with n workstations.
+func newInProcSite(dir string, topo Topology, reg *fault.Registry) (*inprocSite, error) {
+	sys, err := core.NewSystem(core.Options{
+		Dir:                  dir,
+		RegisterTypes:        vlsi.RegisterCatalog,
+		VolatileWorkstations: topo.VolatileWS,
+		SegmentBytes:         topo.SegmentBytes,
+		Faults:               reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &inprocSite{sys: sys, dir: dir}
+	for i := 0; i < topo.Workstations; i++ {
+		w, err := sys.AddWorkstation(wsName(i))
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		s.ws = append(s.ws, w)
+	}
+	return s, nil
+}
+
+func (s *inprocSite) begin(ws int, dopID, da string) (*txn.DOP, error) {
+	s.mu.Lock()
+	w := s.ws[ws]
+	s.mu.Unlock()
+	return w.Begin(dopID, da)
+}
+
+func (s *inprocSite) repo() *repo.Repository    { return s.sys.Repo() }
+func (s *inprocSite) catalog() *catalog.Catalog { return s.sys.Catalog() }
+func (s *inprocSite) serverRepoDir() string     { return filepath.Join(s.dir, "server") }
+
+func (s *inprocSite) newDA(id string) error {
+	cfg := coop.Config{ID: id, DOT: vlsi.DOTFloorplan, Spec: scenarioSpec(), Designer: id}
+	if err := s.sys.CM().InitDesign(cfg); err != nil {
+		return err
+	}
+	return s.sys.CM().Start(id)
+}
+
+func (s *inprocSite) delegate(parent, child string) error {
+	cfg := coop.Config{ID: child, DOT: vlsi.DOTFloorplan, Spec: scenarioSpec(), Designer: child}
+	if err := s.sys.CM().CreateSubDA(parent, cfg); err != nil {
+		return err
+	}
+	return s.sys.CM().Start(child)
+}
+
+func (s *inprocSite) checkpoint() error { return s.sys.Checkpoint() }
+
+func (s *inprocSite) crashRestartServer(tornTail bool) error {
+	if err := s.sys.CrashServer(); err != nil {
+		return err
+	}
+	if tornTail {
+		if err := corruptWALTail(filepath.Join(s.serverRepoDir(), "repo.wal")); err != nil {
+			return err
+		}
+	}
+	return s.sys.RestartServer()
+}
+
+func (s *inprocSite) crashRestartWS(ws int) error {
+	id := wsName(ws)
+	if err := s.sys.CrashWorkstation(id); err != nil {
+		return err
+	}
+	w, err := s.sys.AddWorkstation(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ws[ws] = w
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *inprocSite) close() {
+	s.mu.Lock()
+	sys := s.sys
+	s.sys = nil
+	s.mu.Unlock()
+	if sys != nil {
+		sys.Close()
+	}
+}
+
+// tcpSite deploys the LAN shape of Sect. 5.1 over real sockets: the server
+// (repository, server-TM, 2PC participant) behind one rpc.TCP listener and
+// one ClientTM per workstation, each with its own TCP transport — the same
+// assembly cmd/concordd performs. No cooperation manager: delegation falls
+// back to plain design areas.
+type tcpSite struct {
+	cat      *catalog.Catalog
+	reg      *fault.Registry
+	dir      string
+	addr     string
+	segBytes int64
+
+	mu          sync.Mutex
+	r           *repo.Repository
+	plog        *wal.Log
+	stm         *txn.ServerTM
+	participant *rpc.Participant
+	scopes      *lock.ScopeTable
+	srv         *rpc.TCP
+
+	tms    []*txn.ClientTM
+	trans  []*rpc.TCP
+	closed bool
+}
+
+// newTCPSite assembles the server and n workstations over real sockets.
+func newTCPSite(dir string, topo Topology, reg *fault.Registry) (*tcpSite, error) {
+	cat := catalog.New()
+	if err := vlsi.RegisterCatalog(cat); err != nil {
+		return nil, err
+	}
+	s := &tcpSite{cat: cat, reg: reg, dir: dir, segBytes: topo.SegmentBytes}
+	if err := s.startServer(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < topo.Workstations; i++ {
+		wsDir := ""
+		if !topo.VolatileWS {
+			wsDir = filepath.Join(dir, wsName(i))
+		}
+		tr := rpc.NewTCP()
+		client := rpc.NewClient(tr, wsName(i))
+		client.Backoff = 0
+		tm, _, err := txn.NewClientTM(wsName(i), client, s.addr, wsDir)
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		tm.Coordinator().Faults = reg
+		s.trans = append(s.trans, tr)
+		s.tms = append(s.tms, tm)
+	}
+	return s, nil
+}
+
+// startServer opens (or recovers) the durable server state and serves it on
+// s.addr (chosen by the kernel on first boot, reused on restart).
+func (s *tcpSite) startServer() error {
+	sdir := filepath.Join(s.dir, "server")
+	r, err := repo.Open(s.cat, repo.Options{Dir: sdir, Sync: true, SegmentBytes: s.segBytes, Faults: s.reg})
+	if err != nil {
+		return err
+	}
+	plog, err := wal.Open(filepath.Join(sdir, "participant.wal"), wal.Options{SyncOnAppend: true})
+	if err != nil {
+		r.Close()
+		return err
+	}
+	scopes := lock.NewScopeTable()
+	// Without a cooperation manager to rebuild scope ownership at restart,
+	// reseed it from the recovered derivation graphs: every surviving
+	// version belongs to its DA's scope.
+	for _, da := range r.GraphNames() {
+		g, err := r.Graph(da)
+		if err != nil {
+			continue
+		}
+		for _, id := range g.IDs() {
+			scopes.Own(da, string(id)) //nolint:errcheck // reseed is idempotent
+		}
+	}
+	stm := txn.NewServerTM(r, lock.NewManager(), scopes)
+	stm.LockTimeout = 2 * time.Second
+	stm.Faults = s.reg
+	participant, err := rpc.NewParticipant(stm, plog)
+	if err != nil {
+		plog.Close()
+		r.Close()
+		return err
+	}
+	participant.Faults = s.reg
+	srv := rpc.NewTCP()
+	listen := s.addr
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	if err := srv.Serve(listen, rpc.Dedup(stm.Handler(participant))); err != nil {
+		plog.Close()
+		r.Close()
+		return err
+	}
+	s.mu.Lock()
+	s.r, s.plog, s.stm, s.participant, s.scopes, s.srv = r, plog, stm, participant, scopes, srv
+	if s.addr == "" {
+		s.addr = srv.Addr()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *tcpSite) begin(ws int, dopID, da string) (*txn.DOP, error) {
+	return s.tms[ws].Begin(dopID, da)
+}
+
+func (s *tcpSite) repo() *repo.Repository {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r
+}
+
+func (s *tcpSite) catalog() *catalog.Catalog { return s.cat }
+func (s *tcpSite) serverRepoDir() string     { return filepath.Join(s.dir, "server") }
+
+func (s *tcpSite) newDA(id string) error { return s.repo().CreateGraph(id) }
+
+func (s *tcpSite) delegate(string, string) error { return errUnsupported }
+
+func (s *tcpSite) checkpoint() error {
+	s.mu.Lock()
+	r, p := s.r, s.participant
+	s.mu.Unlock()
+	if r == nil {
+		return errors.New("scenario: server down")
+	}
+	if err := r.Checkpoint(); err != nil {
+		return err
+	}
+	return p.Checkpoint()
+}
+
+func (s *tcpSite) crashRestartServer(tornTail bool) error {
+	s.mu.Lock()
+	r, plog, srv := s.r, s.plog, s.srv
+	s.r, s.plog, s.stm, s.participant, s.srv = nil, nil, nil, nil, nil
+	s.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+	if plog != nil {
+		plog.Close()
+	}
+	if r != nil {
+		r.Close()
+	}
+	if tornTail {
+		if err := corruptWALTail(filepath.Join(s.serverRepoDir(), "repo.wal")); err != nil {
+			return err
+		}
+	}
+	if err := s.startServer(); err != nil {
+		return err
+	}
+	// Resolve in-doubt checkins against the workstation coordinators
+	// (presumed abort for unknown outcomes), as core.RestartServer does.
+	s.mu.Lock()
+	participant := s.participant
+	s.mu.Unlock()
+	return participant.Resolve(func(txid string) rpc.Outcome {
+		for _, tm := range s.tms {
+			if tm.Coordinator().Outcome(txid) == rpc.OutcomeCommitted {
+				return rpc.OutcomeCommitted
+			}
+		}
+		return rpc.OutcomeAborted
+	})
+}
+
+func (s *tcpSite) crashRestartWS(int) error { return errUnsupported }
+
+func (s *tcpSite) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	r, plog, srv := s.r, s.plog, s.srv
+	s.r, s.plog, s.stm, s.participant, s.srv = nil, nil, nil, nil, nil
+	s.mu.Unlock()
+	for _, tm := range s.tms {
+		tm.Close()
+	}
+	for _, tr := range s.trans {
+		tr.Close()
+	}
+	if srv != nil {
+		srv.Close()
+	}
+	if plog != nil {
+		plog.Close()
+	}
+	if r != nil {
+		r.Close()
+	}
+}

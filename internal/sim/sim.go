@@ -198,6 +198,84 @@ func RunCooperative(sys *core.System, w Workload) (Metrics, error) {
 	return m, nil
 }
 
+// Op is one kind of designer operation an OpMix can emit.
+type Op uint8
+
+// Designer operations drawn by OpMix.Pick.
+const (
+	// OpCheckout checks an existing version out into a DOP workspace.
+	OpCheckout Op = iota
+	// OpCheckin derives and checks in a new version.
+	OpCheckin
+	// OpDelegate creates and starts a sub-DA (delegation).
+	OpDelegate
+	// OpHandOver transfers a DOP's design state to a successor DOP.
+	OpHandOver
+	// OpSetStatus flips a version's status (working/propagated/final).
+	OpSetStatus
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpCheckout:
+		return "checkout"
+	case OpCheckin:
+		return "checkin"
+	case OpDelegate:
+		return "delegate"
+	case OpHandOver:
+		return "handover"
+	case OpSetStatus:
+		return "setstatus"
+	}
+	return "unknown"
+}
+
+// OpMix is a seeded designer-operation mix: relative weights for each
+// operation kind, drawn reproducibly by Pick. The scenario matrix uses it
+// to describe workloads declaratively
+// (checkout/checkin/delegate/handover/setstatus ratios).
+type OpMix struct {
+	// Checkout, Checkin, Delegate, HandOver, SetStatus are the relative
+	// weights of the respective operations (zero disables one).
+	Checkout, Checkin, Delegate, HandOver, SetStatus int
+	// Seed makes the drawn sequence reproducible.
+	Seed int64
+
+	rng *rand.Rand
+}
+
+// Pick draws the next operation according to the weights. A mix with all
+// weights zero always returns OpCheckin (the one operation that grows
+// design state).
+func (m *OpMix) Pick() Op {
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(m.Seed))
+	}
+	total := m.Checkout + m.Checkin + m.Delegate + m.HandOver + m.SetStatus
+	if total <= 0 {
+		return OpCheckin
+	}
+	n := m.rng.Intn(total)
+	for _, c := range []struct {
+		w  int
+		op Op
+	}{
+		{m.Checkout, OpCheckout},
+		{m.Checkin, OpCheckin},
+		{m.Delegate, OpDelegate},
+		{m.HandOver, OpHandOver},
+		{m.SetStatus, OpSetStatus},
+	} {
+		if n < c.w {
+			return c.op
+		}
+		n -= c.w
+	}
+	return OpCheckin
+}
+
 // Policy is a seeded random script.Designer for simulation runs.
 type Policy struct {
 	rng *rand.Rand

@@ -291,10 +291,17 @@ func (c *ObjectCache) Put(meta dovMeta, hash, enc []byte) {
 	e.used = c.clock
 	c.entries[meta.ID] = e
 	c.evictLocked()
+	// Encode while still holding the lock: once the entry is published in
+	// c.entries, a concurrent callback (apply) may mutate its Meta.Status or
+	// Superseded fields.
+	var blob []byte
+	if c.dir != "" {
+		blob = encodeCacheEntry(e)
+	}
 	dir := c.dir
 	c.mu.Unlock()
 	if dir != "" {
-		os.WriteFile(c.entryPath(meta.ID), encodeCacheEntry(e), 0o644) //nolint:errcheck // best effort
+		os.WriteFile(c.entryPath(meta.ID), blob, 0o644) //nolint:errcheck // best effort
 	}
 }
 

@@ -10,11 +10,29 @@ import (
 
 	"concord/internal/binenc"
 	"concord/internal/catalog"
+	"concord/internal/fault"
 	"concord/internal/lock"
 	"concord/internal/repo"
 	"concord/internal/rpc"
 	"concord/internal/version"
 )
+
+// Fault points traversed by the server-TM's 2PC resource hooks (the
+// scenario harness arms them to simulate crashes at protocol steps).
+const (
+	// FaultStagePersisted fires in Prepare after the staged DOV is durable
+	// in the repository, before the commit vote is promised.
+	FaultStagePersisted = "txn:stage-persisted"
+	// FaultCheckinInstalled fires in Commit after the DOV is durably
+	// installed, before the post-checkin tail (scope ownership, cache
+	// registration, staged-entry cleanup) — the retained-staged-entry
+	// retry window.
+	FaultCheckinInstalled = "txn:checkin-installed"
+)
+
+// FaultPoints lists every fault point owned by this package, for coverage
+// reports.
+var FaultPoints = []string{FaultStagePersisted, FaultCheckinInstalled}
 
 // Errors reported by the server-TM.
 var (
@@ -44,6 +62,9 @@ type ServerTM struct {
 	cdir *cacheDir
 	// LockTimeout bounds lock waits (default 5s).
 	LockTimeout time.Duration
+	// Faults is the fault-point registry traversed at FaultStagePersisted
+	// and FaultCheckinInstalled (nil-safe). Set before serving; tests only.
+	Faults *fault.Registry
 
 	dops     [tmShards]dopShard
 	staged   [tmShards]stagedShard
@@ -395,6 +416,11 @@ func (s *ServerTM) Prepare(txid string) (rpc.Vote, error) {
 	if err := s.repo.PutMeta(stagedMetaPrefix+txid, stageData); err != nil {
 		return rpc.VoteAbort, nil //nolint:nilerr // durability failed: refuse
 	}
+	if err := s.Faults.At(FaultStagePersisted); err != nil {
+		// Simulated server death after the durable stage: the staged
+		// record survives restart and is resolved against the coordinator.
+		return rpc.VoteAbort, err
+	}
 	sh.mu.Lock()
 	sc.prepared = true
 	sh.mu.Unlock()
@@ -432,6 +458,12 @@ func (s *ServerTM) Commit(txid string) error {
 		err = nil
 	}
 	if err != nil {
+		return err
+	}
+	if err := s.Faults.At(FaultCheckinInstalled); err != nil {
+		// Simulated server death inside the retained-staged-entry window:
+		// the DOV is durably installed, the staged record survives, and a
+		// retried Commit converges through the duplicate path above.
 		return err
 	}
 	// Post-checkin tail. The version is durably installed from here on, so

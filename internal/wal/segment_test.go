@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"concord/internal/fault"
 )
 
 // fill appends n records of ~40 bytes each and returns their LSNs.
@@ -200,20 +202,14 @@ func TestCheckpointCrashPoints(t *testing.T) {
 	for _, point := range points {
 		t.Run(point, func(t *testing.T) {
 			path := filepath.Join(t.TempDir(), "crash.wal")
-			crashAt := ""
-			hook := func(p string) error {
-				if p == crashAt {
-					return errCrash
-				}
-				return nil
-			}
-			l, err := Open(path, Options{SyncOnAppend: true, SegmentBytes: 200, CrashHook: hook})
+			reg := fault.New()
+			l, err := Open(path, Options{SyncOnAppend: true, SegmentBytes: 200, Faults: reg})
 			if err != nil {
 				t.Fatal(err)
 			}
 			lsns := fill(t, l, 60, "c")
 			mark := lsns[40]
-			crashAt = point
+			reg.Arm(point, errCrash)
 			err = l.Checkpoint(mark)
 			if !errors.Is(err, errCrash) {
 				t.Fatalf("Checkpoint with crash at %s = %v, want injected crash", point, err)

@@ -42,6 +42,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"concord/internal/fault"
 )
 
 // RecordType distinguishes the kinds of log records. The values are assigned
@@ -141,8 +143,9 @@ type Log struct {
 	noGroupCommit bool
 	// bufferedScan selects the buffered Open-time validation scan.
 	bufferedScan bool
-	// hook is the crash-point fault-injection callback (tests only).
-	hook func(point string) error
+	// faults is the named fault-point registry traversed at the Crash*
+	// points (nil-safe; inert unless a test arms a point).
+	faults *fault.Registry
 
 	// Batching statistics (atomic; Stats).
 	appends     uint64
@@ -165,9 +168,9 @@ const (
 	markTmpName = "checkpoint.tmp"
 )
 
-// Crash points passed to Options.CrashHook during Checkpoint, in protocol
-// order. A hook returning an error freezes the on-disk state exactly as a
-// crash at that step would.
+// Crash points traversed on Options.Faults during Checkpoint, in protocol
+// order. An armed point freezes the on-disk state exactly as a crash at
+// that step would.
 const (
 	// CrashBeforeMark fires before the new marker is written.
 	CrashBeforeMark = "wal:before-mark"
@@ -196,12 +199,12 @@ type Options struct {
 	// SegmentBytes is the segment rotation threshold (default
 	// DefaultSegmentBytes). A segment may overshoot by one append batch.
 	SegmentBytes int64
-	// CrashHook, when non-nil, is invoked at the named steps of the
-	// checkpoint protocol (the Crash* constants). A non-nil return aborts
-	// the operation at that point without any further disk mutation,
-	// simulating a crash there; tests then reopen the directory and assert
-	// recovery. Never set in production.
-	CrashHook func(point string) error
+	// Faults, when non-nil, is traversed at the named steps of the
+	// checkpoint protocol (the Crash* constants). An armed point aborts
+	// the operation there without any further disk mutation, simulating a
+	// crash; tests then reopen the directory and assert recovery. Never
+	// armed in production.
+	Faults *fault.Registry
 	// BufferedScan streams the Open-time segment-validation scan through a
 	// large read buffer with a reused scratch body, instead of two read
 	// calls and one allocation per record. Half of the pipelined restart
@@ -247,7 +250,7 @@ func Open(path string, opts Options) (*Log, error) {
 		syncOnAppend:  opts.SyncOnAppend,
 		noGroupCommit: opts.NoGroupCommit,
 		bufferedScan:  opts.BufferedScan,
-		hook:          opts.CrashHook,
+		faults:        opts.Faults,
 		writeSem:      make(chan struct{}, 1),
 	}
 	if l.segBytes <= 0 {
@@ -925,13 +928,10 @@ func (l *Log) Checkpoint(lsn LSN) error {
 	return l.dropCoveredSegments(target)
 }
 
-// hookAt fires the crash-point hook; a non-nil return aborts the checkpoint
-// exactly at that step.
+// hookAt traverses a crash point on the fault registry; an armed point
+// aborts the checkpoint exactly at that step.
 func (l *Log) hookAt(point string) error {
-	if l.hook == nil {
-		return nil
-	}
-	if err := l.hook(point); err != nil {
+	if err := l.faults.At(point); err != nil {
 		return fmt.Errorf("wal: checkpoint aborted at %s: %w", point, err)
 	}
 	return nil
