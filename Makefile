@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet fmt-check doc-lint fuzz-short scenarios scenarios-short e14-short e15-short e16-short bench bench-json experiments example-recovery check all
+.PHONY: build test test-race vet fmt-check doc-lint fuzz-short scenarios scenarios-short e14-short e15-short e16-short e18-short bench bench-json experiments example-recovery check all
 
 all: check
 
@@ -58,6 +58,12 @@ e15-short:
 e16-short:
 	$(GO) test ./internal/experiments -run TestE16WriteScalingBounds -count=1 -v -timeout 20m
 
+# E18 acceptance bounds (multiplexed wire protocol: >=2x aggregate e2e
+# checkout throughput at 8 workstations over real sockets vs the
+# connect-per-call baseline) in short mode.
+e18-short:
+	$(GO) test ./internal/experiments -run TestE18WireBounds -count=1 -v
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -67,13 +73,14 @@ fmt-check:
 bench:
 	$(GO) test -bench . -benchtime 1s -run XXX ./...
 
-# Machine-readable perf record: re-run E15 and E16 and refresh the committed
-# BENCH_*.json files (CI uploads them as artifacts on every push).
+# Machine-readable perf record: re-run E15, E16 and E18 and refresh the
+# committed BENCH_*.json files (CI uploads them as artifacts on every push).
 bench-json:
 	$(GO) run ./cmd/concordbench -json out/BENCH_E15.json E15
 	$(GO) run ./cmd/concordbench -json out/BENCH_E16.json E16
+	$(GO) run ./cmd/concordbench -json out/BENCH_E18.json E18
 
-# Regenerate every experiment table (E1-E16); EXPERIMENTS.md records the
+# Regenerate every experiment table (E1-E16, E18); EXPERIMENTS.md records the
 # paper-vs-measured outcomes.
 experiments:
 	$(GO) run ./cmd/concordbench

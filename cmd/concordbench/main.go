@@ -1,15 +1,15 @@
 // Command concordbench regenerates every figure of the paper (E1-E8), the
 // synthetic quantifications (E9-E11) and the scaling scenarios: E12
 // (multi-workstation load), E13 (bounded-time restart), E14 (workstation
-// cache and delta shipping), E15 (MVCC read-path scaling) and E16
-// (sharded write path and pipelined replay), printing one table per
-// experiment. See DESIGN.md §6 for the experiment index and EXPERIMENTS.md
-// for the paper-vs-measured record.
+// cache and delta shipping), E15 (MVCC read-path scaling), E16 (sharded
+// write path and pipelined replay) and E18 (multiplexed wire protocol over
+// real sockets), printing one table per experiment. See DESIGN.md §6 for the
+// experiment index and EXPERIMENTS.md for the paper-vs-measured record.
 //
 // With -json, every machine-readable metric the selected experiments emit is
 // additionally written to the given file as a JSON array of
 // {experiment, metric, value, unit, git_rev} records — the perf-trajectory
-// format CI archives (BENCH_E15.json, BENCH_E16.json).
+// format CI archives (BENCH_E15.json, BENCH_E16.json, BENCH_E18.json).
 //
 // Usage:
 //
@@ -68,8 +68,9 @@ func main() {
 		"E11": experiments.E11RecoveryPoints, "E12": experiments.E12MultiWorkstation,
 		"E13": experiments.E13Restart, "E14": experiments.E14CacheDelta,
 		"E15": experiments.E15ReadPath, "E16": experiments.E16WritePath,
+		"E18": experiments.E18WirePath,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E18"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {

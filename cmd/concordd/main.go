@@ -62,11 +62,21 @@ func run(addr, data string) error {
 	}
 	trans := rpc.NewTCP()
 	defer trans.Close()
-	if err := trans.Serve(addr, rpc.Dedup(stm.Handler(participant))); err != nil {
+	bound, err := trans.Listen(addr, rpc.Dedup(stm.Handler(participant)))
+	if err != nil {
 		return err
 	}
+	// Cache-invalidation callbacks: workstations register their callback
+	// listener address at checkout time and the notifier dials back over the
+	// same transport. The client ID is start-time-unique so workstation-side
+	// dedup never mistakes a restarted server's callbacks for replays.
+	cbClient := rpc.NewClient(trans, fmt.Sprintf("concordd-cb@%d", os.Getpid()))
+	notifier := rpc.NewNotifier(cbClient, 0)
+	defer notifier.Close()
+	stm.SetNotifier(notifier)
+	r.SetChangeHook(stm.VersionChanged)
 	fmt.Printf("concordd: serving on %s, data in %s (%d DOVs recovered)\n",
-		trans.Addr(), data, r.DOVCount())
+		bound, data, r.DOVCount())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

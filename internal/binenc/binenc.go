@@ -118,6 +118,11 @@ func (w *Writer) Blob(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
+// Raw appends bytes without a length prefix — for trailing variable-length
+// fields whose extent the container bounds (e.g. the chunk body of a wire
+// frame, delimited by the frame length itself).
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
 // Strs appends a count-prefixed string slice.
 func (w *Writer) Strs(ss []string) {
 	w.U64(uint64(len(ss)))

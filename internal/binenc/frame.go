@@ -1,0 +1,74 @@
+package binenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Stream framing for the multiplexed TCP wire (DESIGN.md §5.2): every frame
+// is a 4-byte big-endian length followed by that many body bytes. The body is
+// a position-based binenc message owned by the rpc layer; this file only
+// knows how to move frames on and off a byte stream without allocating on the
+// steady-state path.
+
+// FrameHeaderLen is the byte length of the frame length prefix.
+const FrameHeaderLen = 4
+
+// ErrFrameTooLarge reports a frame whose declared length exceeds the
+// receiver's limit — either a protocol violation or garbage on the socket;
+// the connection cannot be resynchronized and must be dropped.
+var ErrFrameTooLarge = fmt.Errorf("%w: frame exceeds limit", ErrCorrupt)
+
+// AppendFrame appends the length prefix and body onto dst (allocation-free
+// when dst has capacity) and returns the extended slice.
+func AppendFrame(dst, body []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(body)))
+	return append(dst, body...)
+}
+
+// WriteFrame writes one frame (header + body) to w. The body bytes are not
+// retained.
+func WriteFrame(w io.Writer, body []byte) error {
+	var hdr [FrameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame body from r into buf, which is grown as needed
+// and reused when its capacity allows (pass the previous return value to
+// amortize allocation across frames). maxLen bounds the accepted body length;
+// a longer declaration returns ErrFrameTooLarge without consuming the body.
+// io.EOF is returned untouched when the stream ends cleanly between frames;
+// a stream ending inside a frame yields io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf []byte, maxLen int) ([]byte, error) {
+	var hdr [FrameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return buf[:0], err // clean EOF between frames stays io.EOF
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return buf[:0], err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if maxLen >= 0 && n > uint32(maxLen) {
+		return buf[:0], fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, n, maxLen)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return buf[:0], err
+	}
+	return buf, nil
+}

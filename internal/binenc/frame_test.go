@@ -1,0 +1,91 @@
+package binenc
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var stream bytes.Buffer
+	bodies := [][]byte{
+		[]byte("first"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 70000), // > 64 KiB, exercises the full header
+	}
+	for _, b := range bodies {
+		if err := WriteFrame(&stream, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf []byte
+	for i, want := range bodies {
+		var err error
+		buf, err = ReadFrame(&stream, buf, 1<<20)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(buf), len(want))
+		}
+	}
+	if _, err := ReadFrame(&stream, buf, 1<<20); err != io.EOF {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameAppendMatchesWrite(t *testing.T) {
+	body := []byte("payload")
+	var viaWrite bytes.Buffer
+	if err := WriteFrame(&viaWrite, body); err != nil {
+		t.Fatal(err)
+	}
+	viaAppend := AppendFrame(nil, body)
+	if !bytes.Equal(viaWrite.Bytes(), viaAppend) {
+		t.Fatalf("AppendFrame %x != WriteFrame %x", viaAppend, viaWrite.Bytes())
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var stream bytes.Buffer
+	if err := WriteFrame(&stream, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&stream, nil, 1024); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	full := AppendFrame(nil, []byte("truncate me"))
+	for _, cut := range []int{1, 3, FrameHeaderLen + 2} {
+		r := bytes.NewReader(full[:cut])
+		if _, err := ReadFrame(r, nil, 1<<20); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestFrameBufferReuse(t *testing.T) {
+	var stream bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := WriteFrame(&stream, []byte("same-size")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf, err := ReadFrame(&stream, make([]byte, 0, 64), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := &buf[0]
+	for i := 0; i < 2; i++ {
+		buf, err = ReadFrame(&stream, buf, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &buf[0] != first {
+			t.Fatal("ReadFrame reallocated although capacity sufficed")
+		}
+	}
+}

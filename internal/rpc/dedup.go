@@ -1,0 +1,143 @@
+package rpc
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Default bounds for the deduplication memo. Retries arrive within a short
+// window of the first delivery (the Client gives up after Retries×MaxBackoff),
+// so the memo only needs to cover the recent past; these defaults hold tens
+// of thousands of responses without letting a long-lived server grow without
+// bound.
+const (
+	// DefaultDedupEntries caps the number of memoized responses.
+	DefaultDedupEntries = 1 << 16
+	// DefaultDedupBytes caps the memoized response bytes (keys included).
+	DefaultDedupBytes = 64 << 20
+)
+
+// dedupEntry is one request ID's slot: in flight until done is closed, then
+// a memoized result linked into the LRU.
+type dedupEntry struct {
+	key  string
+	done chan struct{} // closed once resp/err are valid
+	resp []byte
+	err  error
+	cost int           // bytes charged against MaxBytes
+	elem *list.Element // nil while in flight (in-flight entries are not evictable)
+}
+
+// Deduper gives a handler at-most-once execution per request ID, the server
+// half of the exactly-once contract (Client retries with a stable ID, the
+// Deduper memoizes the first outcome).
+//
+// Two properties matter beyond plain memoization:
+//
+//   - Single flight: a duplicate that arrives while the first delivery is
+//     still executing does not run the handler a second time — it waits for
+//     the in-flight execution and returns its memoized result. (The naive
+//     check-then-execute version had a window where concurrent duplicates
+//     both executed, which is precisely the double-apply the layer exists to
+//     prevent.)
+//   - Bounded memory: completed results live in an LRU capped by MaxEntries
+//     and MaxBytes; the oldest results are evicted first. In-flight entries
+//     are never evicted. An evicted ID that is redelivered re-executes, so
+//     the bounds must comfortably exceed the client retry horizon — the
+//     defaults do by orders of magnitude.
+type Deduper struct {
+	// MaxEntries caps memoized results (default DefaultDedupEntries).
+	MaxEntries int
+	// MaxBytes caps memoized bytes, responses plus keys (default
+	// DefaultDedupBytes).
+	MaxBytes int
+
+	h       Handler
+	mu      sync.Mutex
+	entries map[string]*dedupEntry
+	lru     *list.List // front = most recently used; completed entries only
+	bytes   int
+	evicted uint64
+}
+
+// NewDeduper wraps h with a bounded exactly-once memo. Non-positive limits
+// select the defaults.
+func NewDeduper(h Handler, maxEntries, maxBytes int) *Deduper {
+	if maxEntries <= 0 {
+		maxEntries = DefaultDedupEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultDedupBytes
+	}
+	return &Deduper{
+		MaxEntries: maxEntries,
+		MaxBytes:   maxBytes,
+		h:          h,
+		entries:    make(map[string]*dedupEntry),
+		lru:        list.New(),
+	}
+}
+
+// DedupStats is a snapshot of the memo for observability and tests.
+type DedupStats struct {
+	// Entries counts memoized and in-flight request IDs.
+	Entries int
+	// Bytes is the memoized cost currently charged against MaxBytes.
+	Bytes int
+	// Evicted counts results dropped by the LRU bounds since creation.
+	Evicted uint64
+}
+
+// Stats returns a snapshot of the memo.
+func (d *Deduper) Stats() DedupStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DedupStats{Entries: len(d.entries), Bytes: d.bytes, Evicted: d.evicted}
+}
+
+// Handle is the wrapped Handler: it decodes the request envelope and executes
+// the inner handler at most once per (method, request ID).
+func (d *Deduper) Handle(method string, env []byte) ([]byte, error) {
+	reqID, payload, err := decodeEnvelope(env)
+	if err != nil {
+		return nil, err
+	}
+	key := method + "\x00" + reqID
+	d.mu.Lock()
+	if e, ok := d.entries[key]; ok {
+		if e.elem != nil {
+			d.lru.MoveToFront(e.elem)
+			d.mu.Unlock()
+			return e.resp, e.err
+		}
+		// In flight: wait for the first delivery's outcome instead of
+		// executing again.
+		d.mu.Unlock()
+		<-e.done
+		return e.resp, e.err
+	}
+	e := &dedupEntry{key: key, done: make(chan struct{})}
+	d.entries[key] = e
+	d.mu.Unlock()
+
+	e.resp, e.err = d.h(method, payload)
+
+	d.mu.Lock()
+	e.cost = len(e.key) + len(e.resp)
+	d.bytes += e.cost
+	e.elem = d.lru.PushFront(e)
+	for d.lru.Len() > d.MaxEntries || d.bytes > d.MaxBytes {
+		back := d.lru.Back()
+		if back == nil {
+			break
+		}
+		old := back.Value.(*dedupEntry)
+		d.lru.Remove(back)
+		delete(d.entries, old.key)
+		d.bytes -= old.cost
+		d.evicted++
+	}
+	d.mu.Unlock()
+	close(e.done)
+	return e.resp, e.err
+}

@@ -1,0 +1,165 @@
+package rpc
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDedupConcurrentDuplicatesSingleFlight delivers the same request ID from
+// many goroutines at once while the handler is deliberately slow: the handler
+// must run exactly once and every delivery must observe the same response.
+// This is the race the seed Dedup lost — it released its lock before invoking
+// the handler, so concurrent duplicates both found no memo and both executed.
+// Run under -race.
+func TestDedupConcurrentDuplicatesSingleFlight(t *testing.T) {
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	h := Dedup(func(m string, p []byte) ([]byte, error) {
+		calls.Add(1)
+		<-gate // hold every concurrent duplicate in the in-flight window
+		return append([]byte("r:"), p...), nil
+	})
+	const workers = 32
+	env := appendEnvelope(nil, "ws1#7", []byte("payload"))
+	var wg sync.WaitGroup
+	responses := make([][]byte, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			responses[i], errs[i] = h("stage", env)
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let every worker reach the deduper
+	close(gate)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("handler ran %d times for %d concurrent duplicates, want exactly 1", n, workers)
+	}
+	for i := range responses {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(responses[i], responses[0]) {
+			t.Fatalf("worker %d saw %q, worker 0 saw %q", i, responses[i], responses[0])
+		}
+	}
+}
+
+// TestDedupConcurrentDistinctIDs hammers the deduper with distinct IDs from
+// many goroutines — the common load shape — to shake out lock ordering under
+// -race and verify each ID executes once.
+func TestDedupConcurrentDistinctIDs(t *testing.T) {
+	var calls atomic.Int64
+	h := Dedup(func(m string, p []byte) ([]byte, error) {
+		calls.Add(1)
+		return p, nil
+	})
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			env := appendEnvelope(nil, fmt.Sprintf("ws%d#%d", i%8, i), []byte("x"))
+			for j := 0; j < 3; j++ { // redeliveries of the same ID
+				if _, err := h("m", env); err != nil {
+					t.Error(err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c := calls.Load(); c != n {
+		t.Fatalf("handler ran %d times for %d distinct IDs, want %d", c, n, n)
+	}
+}
+
+// TestDedupEntryBoundEvictsOldest fills the memo past MaxEntries and checks
+// LRU order: the oldest IDs re-execute on redelivery, the newest stay
+// memoized, and the stats reflect the bound.
+func TestDedupEntryBoundEvictsOldest(t *testing.T) {
+	var calls atomic.Int64
+	d := NewDeduper(func(m string, p []byte) ([]byte, error) {
+		calls.Add(1)
+		return p, nil
+	}, 4, 0)
+	env := func(i int) []byte { return appendEnvelope(nil, fmt.Sprintf("ws1#%d", i), []byte("v")) }
+	for i := 0; i < 6; i++ { // IDs 0..5; 0 and 1 fall off the back
+		if _, err := d.Handle("m", env(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.Entries != 4 {
+		t.Fatalf("entries = %d, want the bound 4", st.Entries)
+	}
+	if st.Evicted != 2 {
+		t.Fatalf("evicted = %d, want 2", st.Evicted)
+	}
+	if _, err := d.Handle("m", env(5)); err != nil { // newest: memoized
+		t.Fatal(err)
+	}
+	if c := calls.Load(); c != 6 {
+		t.Fatalf("redelivery of a memoized ID re-executed (calls = %d, want 6)", c)
+	}
+	if _, err := d.Handle("m", env(0)); err != nil { // evicted: re-executes
+		t.Fatal(err)
+	}
+	if c := calls.Load(); c != 7 {
+		t.Fatalf("redelivery of an evicted ID did not re-execute (calls = %d, want 7)", c)
+	}
+}
+
+// TestDedupByteBoundEvicts bounds the memo by response bytes.
+func TestDedupByteBoundEvicts(t *testing.T) {
+	d := NewDeduper(func(m string, p []byte) ([]byte, error) {
+		return make([]byte, 1000), nil
+	}, 0, 2500)
+	for i := 0; i < 5; i++ {
+		env := appendEnvelope(nil, fmt.Sprintf("ws1#%d", i), nil)
+		if _, err := d.Handle("m", env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.Bytes > 2500 {
+		t.Fatalf("memo holds %d bytes, bound is 2500", st.Bytes)
+	}
+	if st.Evicted == 0 {
+		t.Fatal("byte bound never evicted")
+	}
+	if st.Entries > 2 {
+		t.Fatalf("entries = %d, want ≤2 under the byte bound", st.Entries)
+	}
+}
+
+// TestDedupLRUTouchOnRedelivery verifies redelivery refreshes recency: an ID
+// kept warm by retries survives eviction pressure that removes colder ones.
+func TestDedupLRUTouchOnRedelivery(t *testing.T) {
+	var calls atomic.Int64
+	d := NewDeduper(func(m string, p []byte) ([]byte, error) {
+		calls.Add(1)
+		return p, nil
+	}, 3, 0)
+	env := func(i int) []byte { return appendEnvelope(nil, fmt.Sprintf("ws1#%d", i), []byte("v")) }
+	for i := 0; i < 3; i++ {
+		d.Handle("m", env(i)) //nolint:errcheck
+	}
+	d.Handle("m", env(0)) //nolint:errcheck // touch 0: now 1 is the coldest
+	d.Handle("m", env(3)) //nolint:errcheck // evicts 1, not 0
+	before := calls.Load()
+	d.Handle("m", env(0)) //nolint:errcheck
+	if calls.Load() != before {
+		t.Fatal("touched ID was evicted; LRU must evict the coldest")
+	}
+	d.Handle("m", env(1)) //nolint:errcheck
+	if calls.Load() != before+1 {
+		t.Fatal("coldest ID survived; eviction order is not LRU")
+	}
+}

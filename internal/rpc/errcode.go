@@ -1,0 +1,118 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Wire error codes: the in-process transport hands the handler's error chain
+// to the caller intact, so callers branch on application sentinels
+// (txn.ErrCheckinFailed, lock.ErrDeadlock, ...) with errors.Is. A socket
+// cannot carry a Go error chain — the seed TCP transport flattened it to
+// text, which silently changed caller behaviour between deployments. The
+// multiplexed wire therefore carries a numeric error *code* alongside the
+// rendered message: the server maps the chain to the first registered
+// sentinel it matches, and the client re-attaches that sentinel (plus
+// ErrRemote) under the textual error, so errors.Is behaves identically over
+// sockets and in-proc for every registered sentinel.
+//
+// Packages owning wire-visible sentinels register them at init time with
+// RegisterWireError (internal/txn registers its own plus the lock and
+// version sentinels its handlers surface). Code 0 is reserved for
+// "unregistered": the message still travels, only sentinel matching degrades.
+
+// wireErrMu guards the registry; registration happens at init time, lookups
+// on every remote error.
+var wireErrMu sync.RWMutex
+
+// wireErrByCode maps code → sentinel for client-side reconstruction.
+var wireErrByCode = make(map[uint64]error)
+
+// wireErrOrdered lists registered (code, sentinel) pairs sorted by code, the
+// deterministic matching order for server-side chain classification.
+var wireErrOrdered []wireErrEntry
+
+type wireErrEntry struct {
+	code     uint64
+	sentinel error
+}
+
+// RegisterWireError registers a sentinel error under a stable nonzero wire
+// code so it survives the TCP transport as an unwrappable chain member.
+// Codes must be process-wide unique and stable across releases (they are the
+// wire contract); re-registering a code or a sentinel panics, which surfaces
+// collisions at init time.
+func RegisterWireError(code uint64, sentinel error) {
+	if code == 0 {
+		panic("rpc: wire error code 0 is reserved")
+	}
+	if sentinel == nil {
+		panic("rpc: nil wire error sentinel")
+	}
+	wireErrMu.Lock()
+	defer wireErrMu.Unlock()
+	if prev, dup := wireErrByCode[code]; dup {
+		panic(fmt.Sprintf("rpc: wire error code %d already registered for %q", code, prev))
+	}
+	for _, e := range wireErrOrdered {
+		if errors.Is(sentinel, e.sentinel) {
+			panic(fmt.Sprintf("rpc: wire error %q already registered under code %d", sentinel, e.code))
+		}
+	}
+	wireErrByCode[code] = sentinel
+	wireErrOrdered = append(wireErrOrdered, wireErrEntry{code: code, sentinel: sentinel})
+	sort.Slice(wireErrOrdered, func(i, j int) bool { return wireErrOrdered[i].code < wireErrOrdered[j].code })
+}
+
+// wireCodeOf classifies a handler error chain for the wire: the lowest
+// registered code whose sentinel the chain matches, or 0 when none does.
+func wireCodeOf(err error) uint64 {
+	wireErrMu.RLock()
+	defer wireErrMu.RUnlock()
+	for _, e := range wireErrOrdered {
+		if errors.Is(err, e.sentinel) {
+			return e.code
+		}
+	}
+	return 0
+}
+
+// wireSentinel resolves a received code back to its sentinel (nil for 0 or
+// an unknown code — e.g. a peer release that registers more sentinels).
+func wireSentinel(code uint64) error {
+	if code == 0 {
+		return nil
+	}
+	wireErrMu.RLock()
+	defer wireErrMu.RUnlock()
+	return wireErrByCode[code]
+}
+
+// remoteError is an application error received over the socket transport:
+// the rendered remote text plus the unwrap targets reconstructed from the
+// wire code. It matches ErrRemote always and the coded sentinel when one was
+// registered, mirroring the in-process chain
+// fmt.Errorf("%w: %w", ErrRemote, err).
+type remoteError struct {
+	msg      string
+	sentinel error // nil when the code was 0/unknown
+}
+
+// newRemoteError builds the client-side error for a remote failure.
+func newRemoteError(code uint64, msg string) error {
+	return &remoteError{msg: msg, sentinel: wireSentinel(code)}
+}
+
+// Error renders the error with the same shape as the in-process chain.
+func (e *remoteError) Error() string { return ErrRemote.Error() + ": " + e.msg }
+
+// Unwrap exposes ErrRemote and, when the wire carried a registered code, the
+// application sentinel, so errors.Is works identically to in-proc.
+func (e *remoteError) Unwrap() []error {
+	if e.sentinel == nil {
+		return []error{ErrRemote}
+	}
+	return []error{ErrRemote, e.sentinel}
+}

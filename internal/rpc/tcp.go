@@ -1,78 +1,144 @@
 package rpc
 
 import (
-	"encoding/gob"
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
+
+	"concord/internal/binenc"
 )
 
-// tcpRequest is the wire format of one TCP call.
-type tcpRequest struct {
-	Method  string
-	Payload []byte
-}
-
-// tcpResponse is the wire format of one TCP reply.
-type tcpResponse struct {
-	Payload []byte
-	Err     string
-}
-
-// TCP is a Transport over real sockets: each registered address is a
-// listening endpoint; each Call opens one connection, exchanges one
-// gob-encoded request/response pair, and closes. Suitable for the LAN
-// workstation/server deployment of cmd/concordd.
+// TCP is the socket transport of the LAN workstation/server deployment
+// (Sect. 5.1, cmd/concordd). It speaks a multiplexed binary wire protocol
+// (DESIGN.md §5.2): each peer pair shares a small pool of persistent
+// connections carrying length-prefixed binenc frames, every frame tagged
+// with a connection-local request ID so responses correlate to pipelined
+// requests in any order, and payloads larger than ChunkBytes travel as
+// chunk sequences — a multi-MiB checkout never monopolizes the connection,
+// small calls interleave between its chunks.
+//
+// Application errors cross the wire as a numeric code plus the rendered
+// message (see RegisterWireError), so transport sentinels and registered
+// application sentinels unwrap with errors.Is exactly as over the
+// in-process transport.
+//
+// ConnectPerCall restores the seed behaviour — one freshly dialed
+// connection per call, same frame format — as the ablation baseline of
+// experiment E18.
 type TCP struct {
-	mu        sync.Mutex
-	listeners map[string]net.Listener
-	closed    bool
 	// DialTimeout bounds connection establishment (default 2s).
 	DialTimeout time.Duration
 	// CallTimeout bounds a whole request/response exchange (default 10s).
+	// A timed-out call kills its connection: correlation state for the
+	// stalled exchange cannot be trusted further.
 	CallTimeout time.Duration
+	// ChunkBytes caps the payload bytes per frame (default
+	// DefaultChunkBytes); larger payloads are split so the connection
+	// stays fair under multiplexing.
+	ChunkBytes int
+	// PoolSize is the number of persistent connections kept per peer
+	// (default DefaultPoolSize). Calls round-robin over the pool.
+	PoolSize int
+	// ConnectPerCall dials one connection per call instead of pooling —
+	// the seed transport's behaviour, kept as the E18 ablation baseline.
+	ConnectPerCall bool
+
+	mu        sync.Mutex
+	listeners []net.Listener // in Serve order; Addr reports the first
+	srvConns  map[net.Conn]struct{}
+	pools     map[string]*connPool
+	closed    bool
 }
 
-// NewTCP returns a TCP transport.
+// Wire defaults and frame layout bounds.
+const (
+	// DefaultChunkBytes is the default per-frame payload cap (large
+	// transfers are chunked at this grain).
+	DefaultChunkBytes = 256 << 10
+	// DefaultPoolSize is the default persistent-connection count per peer.
+	DefaultPoolSize = 2
+	// maxFrameSlack bounds the non-chunk portion of a frame (ids, method,
+	// error message); a received frame may be at most ChunkBytes+slack.
+	maxFrameSlack = 64 << 10
+	// maxWireErrMsg truncates outgoing error messages so a pathological
+	// rendered error cannot produce an oversized frame.
+	maxWireErrMsg = 32 << 10
+)
+
+// Frame kinds (first body byte).
+const (
+	frameRequest  byte = 1
+	frameResponse byte = 2
+)
+
+// NewTCP returns a TCP transport with default timeouts.
 func NewTCP() *TCP {
 	return &TCP{
-		listeners:   make(map[string]net.Listener),
 		DialTimeout: 2 * time.Second,
 		CallTimeout: 10 * time.Second,
+		srvConns:    make(map[net.Conn]struct{}),
+		pools:       make(map[string]*connPool),
 	}
 }
 
-// Serve starts listening on addr (host:port; :0 picks a free port — use
-// Addr to discover it) and dispatches connections to h.
+func (t *TCP) chunkBytes() int {
+	if t.ChunkBytes > 0 {
+		return t.ChunkBytes
+	}
+	return DefaultChunkBytes
+}
+
+func (t *TCP) maxFrame() int { return t.chunkBytes() + maxFrameSlack }
+
+func (t *TCP) poolSize() int {
+	if t.PoolSize > 0 {
+		return t.PoolSize
+	}
+	return DefaultPoolSize
+}
+
+// Serve starts listening on addr (host:port; :0 picks a free port) and
+// dispatches connections to h. Use Listen when the caller needs the bound
+// address of this specific listener.
 func (t *TCP) Serve(addr string, h Handler) error {
+	_, err := t.Listen(addr, h)
+	return err
+}
+
+// Listen starts a listener on addr and returns its bound address — the
+// deterministic way to discover a port-zero binding when the transport
+// serves several endpoints (multi-listener topologies of the scenario
+// harness).
+func (t *TCP) Listen(addr string, h Handler) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return fmt.Errorf("rpc: listen %s: %w", addr, err)
+		return "", fmt.Errorf("rpc: listen %s: %w", addr, err)
 	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		ln.Close()
-		return errors.New("rpc: transport closed")
+		return "", errors.New("rpc: transport closed")
 	}
-	t.listeners[ln.Addr().String()] = ln
+	t.listeners = append(t.listeners, ln)
 	t.mu.Unlock()
 	go t.acceptLoop(ln, h)
-	return nil
+	return ln.Addr().String(), nil
 }
 
-// Addr returns the bound address of the most recently started listener that
-// matches the given port-zero address pattern; with a single listener it
-// returns that listener's address.
+// Addr returns the bound address of the first listener started on this
+// transport (deterministic under multiple listeners; prefer the address
+// returned by Listen for any but the first). Empty when none is serving.
 func (t *TCP) Addr() string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for a := range t.listeners {
-		return a
+	if len(t.listeners) == 0 {
+		return ""
 	}
-	return ""
+	return t.listeners[0].Addr().String()
 }
 
 func (t *TCP) acceptLoop(ln net.Listener, h Handler) {
@@ -81,31 +147,360 @@ func (t *TCP) acceptLoop(ln net.Listener, h Handler) {
 		if err != nil {
 			return // listener closed
 		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.srvConns[conn] = struct{}{}
+		t.mu.Unlock()
 		go t.serveConn(conn, h)
 	}
 }
 
-func (t *TCP) serveConn(conn net.Conn, h Handler) {
-	defer conn.Close()
-	if t.CallTimeout > 0 {
-		conn.SetDeadline(time.Now().Add(t.CallTimeout)) //nolint:errcheck
-	}
-	var req tcpRequest
-	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
-		return
-	}
-	resp := tcpResponse{}
-	payload, err := h(req.Method, req.Payload)
-	if err != nil {
-		resp.Err = err.Error()
-	} else {
-		resp.Payload = payload
-	}
-	gob.NewEncoder(conn).Encode(&resp) //nolint:errcheck // peer may be gone
+// partialReq accumulates the chunks of one in-flight inbound request.
+type partialReq struct {
+	method string
+	buf    []byte
 }
 
-// Call performs one request attempt against addr.
+// serveConn runs the server half of one persistent connection: a read loop
+// reassembling chunked requests and one goroutine per complete request, so a
+// slow handler never stalls requests pipelined behind it.
+func (t *TCP) serveConn(conn net.Conn, h Handler) {
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.srvConns, conn)
+		t.mu.Unlock()
+	}()
+	var wmu sync.Mutex
+	bw := bufio.NewWriter(conn)
+	partials := make(map[uint64]*partialReq)
+	br := bufio.NewReader(conn)
+	var buf []byte
+	for {
+		var err error
+		buf, err = binenc.ReadFrame(br, buf, t.maxFrame())
+		if err != nil {
+			return // peer gone or garbage; the connection is done
+		}
+		r := binenc.NewReader(buf)
+		kind := r.Byte()
+		id := r.U64()
+		last := r.Bool()
+		method := r.Str()
+		if r.Err() != nil || kind != frameRequest {
+			return // protocol violation: no resync possible
+		}
+		chunk := buf[len(buf)-r.Remaining():]
+		p := partials[id]
+		if p == nil {
+			p = &partialReq{method: method}
+			partials[id] = p
+		}
+		p.buf = append(p.buf, chunk...)
+		if !last {
+			continue
+		}
+		delete(partials, id)
+		go serveRequest(conn, &wmu, bw, id, p.method, p.buf, h, t.chunkBytes())
+	}
+}
+
+// serveRequest executes the handler and writes the (possibly chunked)
+// response. Write access to the shared connection is serialized per frame by
+// wmu, so concurrent responses interleave at chunk granularity.
+func serveRequest(conn net.Conn, wmu *sync.Mutex, bw *bufio.Writer, id uint64, method string, payload []byte, h Handler, chunk int) {
+	resp, herr := h(method, payload)
+	if herr != nil {
+		msg := herr.Error()
+		if len(msg) > maxWireErrMsg {
+			msg = msg[:maxWireErrMsg]
+		}
+		w := binenc.GetWriter(64 + len(msg))
+		w.Byte(frameResponse)
+		w.U64(id)
+		w.Bool(true) // last
+		w.Bool(true) // isErr
+		w.U64(wireCodeOf(herr))
+		w.Str(msg)
+		wmu.Lock()
+		if binenc.WriteFrame(bw, w.Bytes()) == nil {
+			bw.Flush() //nolint:errcheck // peer may be gone
+		}
+		wmu.Unlock()
+		w.Free()
+		return
+	}
+	writeChunked(wmu, bw, frameResponse, id, "", resp, chunk) //nolint:errcheck // peer may be gone
+}
+
+// writeChunked frames payload as one or more frames of at most chunk body
+// bytes, taking wmu per frame so other calls interleave between chunks.
+// Request frames carry method on the first chunk; response frames carry the
+// ok-path error fields (isErr=false, code 0, empty message) on every chunk.
+func writeChunked(wmu *sync.Mutex, bw *bufio.Writer, kind byte, id uint64, method string, payload []byte, chunk int) error {
+	w := binenc.GetWriter(64 + min(len(payload), chunk))
+	defer w.Free()
+	rest := payload
+	first := true
+	for {
+		n := min(chunk, len(rest))
+		last := n == len(rest)
+		w.Reset()
+		w.Byte(kind)
+		w.U64(id)
+		w.Bool(last)
+		if kind == frameRequest {
+			if first {
+				w.Str(method)
+			} else {
+				w.Str("")
+			}
+		} else {
+			w.Bool(false) // isErr
+			w.U64(0)
+			w.Str("")
+		}
+		w.Raw(rest[:n])
+		wmu.Lock()
+		err := binenc.WriteFrame(bw, w.Bytes())
+		if err == nil {
+			err = bw.Flush()
+		}
+		wmu.Unlock()
+		if err != nil {
+			return err
+		}
+		rest = rest[n:]
+		first = false
+		if last {
+			return nil
+		}
+	}
+}
+
+// connPool is the set of persistent connections to one peer.
+type connPool struct {
+	mu    sync.Mutex
+	conns []*muxConn
+	next  int
+}
+
+// pendingCall is one in-flight request awaiting its response frames.
+type pendingCall struct {
+	done    chan struct{}
+	buf     []byte
+	isErr   bool
+	errCode uint64
+	errMsg  string
+	failure error // transport-level failure (connection death, timeout)
+}
+
+// muxConn is one persistent multiplexed client connection: a background read
+// loop correlates response frames to pending requests by ID while callers
+// pipeline requests through the shared writer.
+type muxConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*pendingCall
+	dead    bool
+}
+
+func newMuxConn(conn net.Conn, maxFrame int) *muxConn {
+	c := &muxConn{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		pending: make(map[uint64]*pendingCall),
+	}
+	go c.readLoop(maxFrame)
+	return c
+}
+
+func (c *muxConn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// fail kills the connection: every pending call completes with err and
+// later roundTrips refuse it. Idempotent.
+func (c *muxConn) fail(err error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	pending := c.pending
+	c.pending = make(map[uint64]*pendingCall)
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, p := range pending {
+		p.failure = err
+		close(p.done)
+	}
+}
+
+func (c *muxConn) readLoop(maxFrame int) {
+	br := bufio.NewReader(c.conn)
+	var buf []byte
+	for {
+		var err error
+		buf, err = binenc.ReadFrame(br, buf, maxFrame)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: recv: %v", ErrDropped, err))
+			return
+		}
+		r := binenc.NewReader(buf)
+		kind := r.Byte()
+		id := r.U64()
+		last := r.Bool()
+		isErr := r.Bool()
+		errCode := r.U64()
+		errMsg := r.Str()
+		if r.Err() != nil || kind != frameResponse {
+			c.fail(fmt.Errorf("%w: recv: malformed response frame", ErrDropped))
+			return
+		}
+		chunk := buf[len(buf)-r.Remaining():]
+		c.mu.Lock()
+		p := c.pending[id]
+		if p == nil {
+			c.mu.Unlock()
+			continue // late response of a timed-out call; drop
+		}
+		p.buf = append(p.buf, chunk...)
+		if !last {
+			c.mu.Unlock()
+			continue
+		}
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if isErr {
+			p.isErr, p.errCode, p.errMsg = true, errCode, errMsg
+		}
+		close(p.done)
+	}
+}
+
+// roundTrip performs one pipelined request/response exchange.
+func (c *muxConn) roundTrip(method string, payload []byte, timeout time.Duration, chunk int) ([]byte, error) {
+	p := &pendingCall{done: make(chan struct{})}
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: connection closed", ErrDropped)
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = p
+	c.mu.Unlock()
+
+	if err := writeChunked(&c.wmu, c.bw, frameRequest, id, method, payload, chunk); err != nil {
+		c.fail(fmt.Errorf("%w: send: %v", ErrDropped, err))
+		return nil, fmt.Errorf("%w: send: %v", ErrDropped, err)
+	}
+	var timer <-chan time.Time
+	if timeout > 0 {
+		tm := time.NewTimer(timeout)
+		defer tm.Stop()
+		timer = tm.C
+	}
+	select {
+	case <-p.done:
+	case <-timer:
+		// The exchange is stuck; the connection's correlation state cannot
+		// be trusted further (the stale response may still arrive).
+		c.fail(fmt.Errorf("%w: call timed out", ErrDropped))
+		return nil, fmt.Errorf("%w: %s timed out after %v", ErrDropped, method, timeout)
+	}
+	if p.failure != nil {
+		return nil, p.failure
+	}
+	if p.isErr {
+		return nil, newRemoteError(p.errCode, p.errMsg)
+	}
+	return p.buf, nil
+}
+
+// getConn returns a pooled connection to addr, dialing a new one while the
+// pool is below PoolSize. Dead connections are pruned on the way.
+func (t *TCP) getConn(addr string) (*muxConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errors.New("rpc: transport closed")
+	}
+	p := t.pools[addr]
+	if p == nil {
+		p = &connPool{}
+		t.pools[addr] = p
+	}
+	t.mu.Unlock()
+
+	p.mu.Lock()
+	alive := p.conns[:0]
+	for _, c := range p.conns {
+		if !c.isDead() {
+			alive = append(alive, c)
+		}
+	}
+	p.conns = alive
+	if len(p.conns) >= t.poolSize() {
+		c := p.conns[p.next%len(p.conns)]
+		p.next++
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+
+	// Dial outside the pool lock so a slow or dead peer never blocks calls
+	// that could proceed on an existing connection.
+	d := net.Dialer{Timeout: t.DialTimeout}
+	nc, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %w", ErrUnreachable, addr, err)
+	}
+	c := newMuxConn(nc, t.maxFrame())
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		c.fail(errors.New("rpc: transport closed"))
+		return nil, errors.New("rpc: transport closed")
+	}
+	p.mu.Lock()
+	p.conns = append(p.conns, c)
+	p.mu.Unlock()
+	return c, nil
+}
+
+// Call performs one request attempt against addr over a pooled multiplexed
+// connection (or a fresh one in ConnectPerCall mode). Transport losses
+// return ErrDropped/ErrUnreachable (the reliable Client retries those);
+// application errors return a chain matching ErrRemote and any registered
+// sentinel of the remote cause.
 func (t *TCP) Call(addr, method string, payload []byte) ([]byte, error) {
+	if t.ConnectPerCall {
+		return t.callOneShot(addr, method, payload)
+	}
+	c, err := t.getConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	return c.roundTrip(method, payload, t.CallTimeout, t.chunkBytes())
+}
+
+// callOneShot is the ablation baseline: dial, exchange one request/response
+// in the same frame format, close.
+func (t *TCP) callOneShot(addr, method string, payload []byte) ([]byte, error) {
 	d := net.Dialer{Timeout: t.DialTimeout}
 	conn, err := d.Dial("tcp", addr)
 	if err != nil {
@@ -113,31 +508,69 @@ func (t *TCP) Call(addr, method string, payload []byte) ([]byte, error) {
 	}
 	defer conn.Close()
 	if t.CallTimeout > 0 {
-		conn.SetDeadline(time.Now().Add(t.CallTimeout)) //nolint:errcheck
+		conn.SetDeadline(time.Now().Add(t.CallTimeout)) //nolint:errcheck // best effort
 	}
-	if err := gob.NewEncoder(conn).Encode(&tcpRequest{Method: method, Payload: payload}); err != nil {
-		return nil, fmt.Errorf("%w: send: %w", ErrDropped, err)
+	var wmu sync.Mutex
+	bw := bufio.NewWriter(conn)
+	if err := writeChunked(&wmu, bw, frameRequest, 1, method, payload, t.chunkBytes()); err != nil {
+		return nil, fmt.Errorf("%w: send: %v", ErrDropped, err)
 	}
-	var resp tcpResponse
-	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
-		return nil, fmt.Errorf("%w: recv: %w", ErrDropped, err)
+	br := bufio.NewReader(conn)
+	var resp, buf []byte
+	for {
+		buf, err = binenc.ReadFrame(br, buf, t.maxFrame())
+		if err != nil {
+			return nil, fmt.Errorf("%w: recv: %v", ErrDropped, err)
+		}
+		r := binenc.NewReader(buf)
+		kind := r.Byte()
+		_ = r.U64() // id (single exchange)
+		last := r.Bool()
+		isErr := r.Bool()
+		errCode := r.U64()
+		errMsg := r.Str()
+		if r.Err() != nil || kind != frameResponse {
+			return nil, fmt.Errorf("%w: recv: malformed response frame", ErrDropped)
+		}
+		resp = append(resp, buf[len(buf)-r.Remaining():]...)
+		if !last {
+			continue
+		}
+		if isErr {
+			return nil, newRemoteError(errCode, errMsg)
+		}
+		return resp, nil
 	}
-	if resp.Err != "" {
-		// The error chain cannot cross a socket; the remote cause survives
-		// as text only (in-process transports preserve the full chain).
-		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err)
-	}
-	return resp.Payload, nil
 }
 
-// Close stops all listeners.
+// Close stops all listeners, drops every server-side connection and kills
+// the client-side pools.
 func (t *TCP) Close() error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.closed = true
-	for _, ln := range t.listeners {
+	listeners := t.listeners
+	t.listeners = nil
+	conns := make([]net.Conn, 0, len(t.srvConns))
+	for c := range t.srvConns {
+		conns = append(conns, c)
+	}
+	pools := t.pools
+	t.pools = make(map[string]*connPool)
+	t.mu.Unlock()
+	for _, ln := range listeners {
 		ln.Close()
 	}
-	t.listeners = make(map[string]net.Listener)
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, p := range pools {
+		p.mu.Lock()
+		cs := p.conns
+		p.conns = nil
+		p.mu.Unlock()
+		for _, c := range cs {
+			c.fail(errors.New("rpc: transport closed"))
+		}
+	}
 	return nil
 }

@@ -62,28 +62,50 @@ func TestTCPDedupExactlyOnceOverSockets(t *testing.T) {
 	}
 }
 
-// TestTCPErrorChainFlattens pins the documented error-chain semantics of the
-// socket transport: a wrapped server-side cause cannot cross the wire as a
-// matchable chain — the client gets ErrRemote with the full rendered text,
-// and sentinel matching against the remote cause must fail.
-func TestTCPErrorChainFlattens(t *testing.T) {
-	sentinel := errors.New("checkin failed")
+// errTestWire is a sentinel registered for the wire-code tests; the code sits
+// far above the application range so it can never collide with real codes.
+var errTestWire = errors.New("rpc-test: wire sentinel")
+
+func init() { RegisterWireError(1<<40, errTestWire) }
+
+// TestTCPErrorCodePreservesSentinel pins the wire error-code contract: a
+// server-side chain matching a registered sentinel reaches the client as an
+// error that still matches that sentinel via errors.Is — identical to the
+// in-process transport — while keeping the full rendered remote text, and an
+// unregistered cause degrades to text-only (ErrRemote plus message).
+func TestTCPErrorCodePreservesSentinel(t *testing.T) {
+	unregistered := errors.New("private cause")
 	_, addr := startEcho(t, func(m string, p []byte) ([]byte, error) {
-		return nil, fmt.Errorf("server-tm: stage %q: %w", p, sentinel)
+		if m == "coded" {
+			return nil, fmt.Errorf("server-tm: stage %q: %w", p, errTestWire)
+		}
+		return nil, fmt.Errorf("server-tm: stage %q: %w", p, unregistered)
 	})
 	cli := NewTCP()
 	defer cli.Close()
-	_, err := cli.Call(addr, "stage", []byte("v7"))
+
+	_, err := cli.Call(addr, "coded", []byte("v7"))
 	if !errors.Is(err, ErrRemote) {
 		t.Fatalf("err = %v, want ErrRemote", err)
 	}
-	if errors.Is(err, sentinel) {
-		t.Fatal("server-side sentinel survived the socket; the chain must flatten to text")
+	if !errors.Is(err, errTestWire) {
+		t.Fatalf("registered sentinel lost over the wire: %v", err)
 	}
-	for _, part := range []string{"server-tm", `"v7"`, "checkin failed"} {
+	for _, part := range []string{"server-tm", `"v7"`, "wire sentinel"} {
 		if !strings.Contains(err.Error(), part) {
-			t.Fatalf("flattened error %q lost the remote detail %q", err, part)
+			t.Fatalf("remote error %q lost the detail %q", err, part)
 		}
+	}
+
+	_, err = cli.Call(addr, "uncoded", []byte("v8"))
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote", err)
+	}
+	if errors.Is(err, unregistered) {
+		t.Fatal("unregistered sentinel cannot survive the socket")
+	}
+	if !strings.Contains(err.Error(), "private cause") {
+		t.Fatalf("remote error %q lost the rendered cause", err)
 	}
 }
 
@@ -144,6 +166,143 @@ func TestTCPClientRetriesThenFails(t *testing.T) {
 	}
 	if cli.Attempts() != 3 {
 		t.Fatalf("attempts = %d, want 3", cli.Attempts())
+	}
+}
+
+// TestTCPListenBoundAddr pins the addressing fix: Listen returns the bound
+// address of the listener it started, and Addr deterministically reports the
+// first listener regardless of how many endpoints the transport serves.
+func TestTCPListenBoundAddr(t *testing.T) {
+	srv := NewTCP()
+	defer srv.Close()
+	h := func(tag string) Handler {
+		return func(m string, p []byte) ([]byte, error) { return []byte(tag), nil }
+	}
+	first, err := srv.Listen("127.0.0.1:0", h("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []string
+	for _, tag := range []string{"b", "c", "d"} {
+		a, err := srv.Listen("127.0.0.1:0", h(tag))
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	for i := 0; i < 10; i++ {
+		if got := srv.Addr(); got != first {
+			t.Fatalf("Addr() = %q, want first listener %q every time", got, first)
+		}
+	}
+	cli := NewTCP()
+	defer cli.Close()
+	for i, tag := range []string{"b", "c", "d"} {
+		resp, err := cli.Call(addrs[i], "ping", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp) != tag {
+			t.Fatalf("listener %s answered %q: Listen returned the wrong bound address", addrs[i], resp)
+		}
+	}
+}
+
+// TestTCPPipelinedInterleave proves the multiplexing: with a single pooled
+// connection, a fast call issued behind a slow one completes first — requests
+// pipeline and responses correlate by ID instead of queuing head-of-line.
+func TestTCPPipelinedInterleave(t *testing.T) {
+	release := make(chan struct{})
+	_, addr := startEcho(t, func(m string, p []byte) ([]byte, error) {
+		if m == "slow" {
+			<-release
+		}
+		return []byte(m), nil
+	})
+	cli := NewTCP()
+	defer cli.Close()
+	cli.PoolSize = 1
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := cli.Call(addr, "slow", nil)
+		slowDone <- err
+	}()
+	// The fast call must complete while the slow one is still parked.
+	fastOK := make(chan error, 1)
+	go func() {
+		_, err := cli.Call(addr, "fast", nil)
+		fastOK <- err
+	}()
+	select {
+	case err := <-fastOK:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fast call blocked behind slow call on the shared connection")
+	}
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPConnectPerCall exercises the E18 ablation baseline: same frames,
+// one freshly dialed connection per call, including a chunked payload.
+func TestTCPConnectPerCall(t *testing.T) {
+	_, addr := startEcho(t, func(m string, p []byte) ([]byte, error) {
+		out := make([]byte, len(p))
+		copy(out, p)
+		return out, nil
+	})
+	cli := NewTCP()
+	defer cli.Close()
+	cli.ConnectPerCall = true
+	big := make([]byte, 600<<10) // forces several chunks at the default grain
+	rand.New(rand.NewSource(7)).Read(big)
+	resp, err := cli.Call(addr, "echo", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, big) {
+		t.Fatal("payload corrupted in connect-per-call mode")
+	}
+	if _, err := cli.Call(addr, "echo", []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPPooledConnSurvivesServerRestart kills the server under a client
+// holding pooled connections and restarts it on the same port: the reliable
+// Client must ride out the dead connections (ErrDropped/ErrUnreachable are
+// retriable) and succeed against the new incarnation.
+func TestTCPPooledConnSurvivesServerRestart(t *testing.T) {
+	h := Dedup(func(m string, p []byte) ([]byte, error) { return append([]byte("ok:"), p...), nil })
+	srv := NewTCP()
+	addr, err := srv.Listen("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trans := NewTCP()
+	defer trans.Close()
+	cli := NewClient(trans, "ws1")
+	cli.Backoff = time.Millisecond
+	if _, err := cli.Call(addr, "do", []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	srv2 := NewTCP()
+	defer srv2.Close()
+	if _, err := srv2.Listen(addr, h); err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	resp, err := cli.Call(addr, "do", []byte("again"))
+	if err != nil {
+		t.Fatalf("call after server restart: %v", err)
+	}
+	if string(resp) != "ok:again" {
+		t.Fatalf("resp = %q", resp)
 	}
 }
 

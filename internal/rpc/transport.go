@@ -169,9 +169,14 @@ type Client struct {
 	t Transport
 	// Retries bounds the attempts per call (default 8).
 	Retries int
-	// Backoff is the pause between attempts (default 1ms; 0 in tests with
-	// in-proc transports is fine).
+	// Backoff is the pause before the first retry (default 1ms; 0 disables
+	// sleeping entirely, which in-proc tests rely on). Subsequent retries
+	// double the pause up to MaxBackoff, with ±25% jitter so a fleet of
+	// workstations retrying against a restarting server does not stampede
+	// in lockstep.
 	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 100ms).
+	MaxBackoff time.Duration
 
 	mu       sync.Mutex
 	seq      uint64
@@ -243,11 +248,38 @@ func (c *Client) Call(addr, method string, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		lastErr = err
-		if c.Backoff > 0 {
-			time.Sleep(c.Backoff)
+		if d := c.backoffFor(i); d > 0 {
+			time.Sleep(d)
 		}
 	}
 	return nil, fmt.Errorf("rpc: call %s/%s failed after %d attempts: %w", addr, method, retries, lastErr)
+}
+
+// backoffFor computes the pause after failed attempt number attempt (zero
+// based): Backoff doubled per attempt, capped at MaxBackoff, with ±25%
+// jitter. Backoff <= 0 disables sleeping.
+func (c *Client) backoffFor(attempt int) time.Duration {
+	if c.Backoff <= 0 {
+		return 0
+	}
+	maxB := c.MaxBackoff
+	if maxB <= 0 {
+		maxB = 100 * time.Millisecond
+	}
+	d := c.Backoff
+	for i := 0; i < attempt && d < maxB; i++ {
+		d *= 2
+	}
+	if d > maxB {
+		d = maxB
+	}
+	// Jitter in [0.75d, 1.25d): desynchronizes retry storms without
+	// changing the expected pause.
+	j := d / 4
+	if j > 0 {
+		d = d - j + time.Duration(rand.Int63n(int64(2*j)))
+	}
+	return d
 }
 
 // appendEnvelope frames a request ID and payload onto dst (allocation-free
@@ -272,30 +304,8 @@ func decodeEnvelope(env []byte) (reqID string, payload []byte, err error) {
 
 // Dedup wraps a handler with at-most-once execution per request ID: repeated
 // deliveries return the memoized first response. Combined with Client
-// retries this yields exactly-once effects.
+// retries this yields exactly-once effects. See Deduper for the mechanism
+// and the memo bounds; Dedup uses the default limits.
 func Dedup(h Handler) Handler {
-	type cached struct {
-		resp []byte
-		err  error
-	}
-	var mu sync.Mutex
-	seen := make(map[string]cached)
-	return func(method string, env []byte) ([]byte, error) {
-		reqID, payload, err := decodeEnvelope(env)
-		if err != nil {
-			return nil, err
-		}
-		key := method + "\x00" + reqID
-		mu.Lock()
-		if c, ok := seen[key]; ok {
-			mu.Unlock()
-			return c.resp, c.err
-		}
-		mu.Unlock()
-		resp, herr := h(method, payload)
-		mu.Lock()
-		seen[key] = cached{resp: resp, err: herr}
-		mu.Unlock()
-		return resp, herr
-	}
+	return NewDeduper(h, DefaultDedupEntries, DefaultDedupBytes).Handle
 }

@@ -82,6 +82,39 @@ func Short() []Scenario {
 			Fault: Fault{Point: txn.FaultCheckinInstalled, Skip: 10, CrashServer: true},
 		},
 		{
+			// Dropped invalidation callbacks over real sockets: the
+			// notifier dials each workstation's callback listener and the
+			// armed drop point swallows deliveries; the coherence oracle
+			// must still see server-identical checkouts.
+			Name:  "tcp-callback-drop",
+			Topo:  Topology{Workstations: 2, DesignAreas: 2, Transport: TCP},
+			Load:  Workload{Mix: sim.OpMix{Checkout: 4, Checkin: 4, HandOver: 2, Seed: 10}, Ops: 40},
+			Fault: Fault{DropCallbacks: true},
+		},
+		{
+			// Server crash/restart halfway through the run: every pooled
+			// multiplexed client connection dies mid-workload and the
+			// reliable clients must ride over reconnection (retriable
+			// ErrDropped/ErrUnreachable) against the recovered incarnation
+			// on the same port.
+			Name:  "tcp-server-crash-pooled-conns",
+			Topo:  Topology{Workstations: 2, DesignAreas: 2, Transport: TCP},
+			Load:  writeLoad(30, 11),
+			Fault: Fault{CrashServer: true},
+		},
+		{
+			// Concurrent workstations pipelining over shared connections,
+			// then a crash that kills the server with the pools warm.
+			Name: "tcp-scale-concurrent",
+			Topo: Topology{Workstations: 4, DesignAreas: 2, Transport: TCP},
+			Load: Workload{
+				Mix:        sim.OpMix{Checkout: 3, Checkin: 6, SetStatus: 1, Seed: 12},
+				Ops:        80,
+				Concurrent: true,
+			},
+			Fault: Fault{CrashServer: true},
+		},
+		{
 			Name: "inproc-scale-concurrent",
 			Topo: Topology{Workstations: 4, DesignAreas: 3},
 			Load: Workload{

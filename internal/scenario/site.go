@@ -196,8 +196,10 @@ func (s *inprocSite) close() {
 // tcpSite deploys the LAN shape of Sect. 5.1 over real sockets: the server
 // (repository, server-TM, 2PC participant) behind one rpc.TCP listener and
 // one ClientTM per workstation, each with its own TCP transport — the same
-// assembly cmd/concordd performs. No cooperation manager: delegation falls
-// back to plain design areas.
+// assembly cmd/concordd performs. Cache-invalidation callbacks flow over the
+// sockets too: each workstation serves its cache handler on a loopback
+// listener of its own transport and the server's notifier dials back to it.
+// No cooperation manager: delegation falls back to plain design areas.
 type tcpSite struct {
 	cat      *catalog.Catalog
 	reg      *fault.Registry
@@ -212,6 +214,8 @@ type tcpSite struct {
 	participant *rpc.Participant
 	scopes      *lock.ScopeTable
 	srv         *rpc.TCP
+	notifier    *rpc.Notifier
+	epoch       int
 
 	tms    []*txn.ClientTM
 	trans  []*rpc.TCP
@@ -235,13 +239,23 @@ func newTCPSite(dir string, topo Topology, reg *fault.Registry) (*tcpSite, error
 		}
 		tr := rpc.NewTCP()
 		client := rpc.NewClient(tr, wsName(i))
-		client.Backoff = 0
+		client.Backoff = time.Millisecond
 		tm, _, err := txn.NewClientTM(wsName(i), client, s.addr, wsDir)
 		if err != nil {
 			s.close()
 			return nil, err
 		}
 		tm.Coordinator().Faults = reg
+		// Callback endpoint: the workstation listens on its own transport
+		// and registers the kernel-chosen address with the server so
+		// invalidations arrive over a real socket.
+		cbAddr, err := tr.Listen("127.0.0.1:0", rpc.Dedup(tm.Cache().Handler()))
+		if err != nil {
+			tm.Close()
+			s.close()
+			return nil, err
+		}
+		tm.SetCallbackAddr(cbAddr)
 		s.trans = append(s.trans, tr)
 		s.tms = append(s.tms, tm)
 	}
@@ -289,15 +303,30 @@ func (s *tcpSite) startServer() error {
 	if listen == "" {
 		listen = "127.0.0.1:0"
 	}
-	if err := srv.Serve(listen, rpc.Dedup(stm.Handler(participant))); err != nil {
+	bound, err := srv.Listen(listen, rpc.Dedup(stm.Handler(participant)))
+	if err != nil {
 		plog.Close()
 		r.Close()
 		return err
 	}
+	// Callback channel over the same transport: version changes fan out to
+	// the workstations' callback listeners. The client ID is
+	// incarnation-unique so workstation-side dedup never mistakes a
+	// restarted server's callbacks for replays.
+	s.mu.Lock()
+	s.epoch++
+	cbClient := rpc.NewClient(srv, fmt.Sprintf("server-cb@%d", s.epoch))
+	s.mu.Unlock()
+	cbClient.Backoff = time.Millisecond
+	notifier := rpc.NewNotifier(cbClient, 0)
+	notifier.SetFaults(s.reg)
+	stm.SetNotifier(notifier)
+	r.SetChangeHook(stm.VersionChanged)
 	s.mu.Lock()
 	s.r, s.plog, s.stm, s.participant, s.scopes, s.srv = r, plog, stm, participant, scopes, srv
+	s.notifier = notifier
 	if s.addr == "" {
-		s.addr = srv.Addr()
+		s.addr = bound
 	}
 	s.mu.Unlock()
 	return nil
@@ -335,9 +364,12 @@ func (s *tcpSite) checkpoint() error {
 
 func (s *tcpSite) crashRestartServer(tornTail bool) error {
 	s.mu.Lock()
-	r, plog, srv := s.r, s.plog, s.srv
-	s.r, s.plog, s.stm, s.participant, s.srv = nil, nil, nil, nil, nil
+	r, plog, srv, notifier := s.r, s.plog, s.srv, s.notifier
+	s.r, s.plog, s.stm, s.participant, s.srv, s.notifier = nil, nil, nil, nil, nil, nil
 	s.mu.Unlock()
+	if notifier != nil {
+		notifier.Close()
+	}
 	if srv != nil {
 		srv.Close()
 	}
@@ -379,9 +411,12 @@ func (s *tcpSite) close() {
 		return
 	}
 	s.closed = true
-	r, plog, srv := s.r, s.plog, s.srv
-	s.r, s.plog, s.stm, s.participant, s.srv = nil, nil, nil, nil, nil
+	r, plog, srv, notifier := s.r, s.plog, s.srv, s.notifier
+	s.r, s.plog, s.stm, s.participant, s.srv, s.notifier = nil, nil, nil, nil, nil, nil
 	s.mu.Unlock()
+	if notifier != nil {
+		notifier.Close()
+	}
 	for _, tm := range s.tms {
 		tm.Close()
 	}

@@ -1,0 +1,39 @@
+package txn
+
+import (
+	"concord/internal/catalog"
+	"concord/internal/lock"
+	"concord/internal/rpc"
+	"concord/internal/version"
+)
+
+// Wire error codes for the sentinels that cross the workstation/server
+// boundary. The rpc package cannot import the packages owning these
+// sentinels (it sits below them), so the registration lives here, in the
+// package that assembles the server-TM handlers whose errors travel.
+//
+// The codes are the wire contract: stable across releases, never reused.
+// Allocations so far:
+//
+//	1–19  txn
+//	20–39 lock
+//	40–59 version
+//	60–79 catalog
+func init() {
+	rpc.RegisterWireError(1, ErrUnknownDOP)
+	rpc.RegisterWireError(2, ErrNotStaged)
+	rpc.RegisterWireError(3, ErrDeltaBase)
+	rpc.RegisterWireError(4, ErrCheckinFailed)
+	rpc.RegisterWireError(5, ErrNothingToCommit)
+
+	rpc.RegisterWireError(20, lock.ErrDeadlock)
+	rpc.RegisterWireError(21, lock.ErrTimeout)
+	rpc.RegisterWireError(22, lock.ErrNotHeld)
+	rpc.RegisterWireError(23, lock.ErrScopeDenied)
+	rpc.RegisterWireError(24, lock.ErrScopeOwned)
+
+	rpc.RegisterWireError(40, version.ErrUnknownDOV)
+	rpc.RegisterWireError(41, version.ErrDuplicateDOV)
+
+	rpc.RegisterWireError(60, catalog.ErrUnknownDOT)
+}
