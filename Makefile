@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet fmt-check doc-lint fuzz-short scenarios scenarios-short e14-short e15-short e16-short e18-short bench bench-json experiments example-recovery check all
+.PHONY: build test test-race vet fmt-check doc-lint fuzz-short scenarios scenarios-short e14-short e15-short e16-short e18-short e19-short bench bench-json experiments example-recovery check all
 
 all: check
 
@@ -19,6 +19,7 @@ test-race:
 fuzz-short:
 	$(GO) test -fuzz=FuzzDeltaApply -fuzztime=10s -run XXX ./internal/binenc
 	$(GO) test -fuzz=FuzzWALFrameDecode -fuzztime=10s -run XXX ./internal/wal
+	$(GO) test -fuzz=FuzzSnapshotDecode -fuzztime=10s -run XXX ./internal/repo
 
 # Short scenario matrix (the CI gate): every fault class once, full oracle
 # suite, fault-point coverage written to out/SCENARIO_COVERAGE.txt.
@@ -64,6 +65,11 @@ e16-short:
 e18-short:
 	$(GO) test ./internal/experiments -run TestE18WireBounds -count=1 -v
 
+# E19 acceptance bounds (non-quiescent checkpointing: p99 checkin latency
+# while checkpoints loop stays within 1.5x of steady state) in short mode.
+e19-short:
+	$(GO) test ./internal/experiments -run TestE19CheckpointLatencyBounds -count=1 -v
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -73,15 +79,16 @@ fmt-check:
 bench:
 	$(GO) test -bench . -benchtime 1s -run XXX ./...
 
-# Machine-readable perf record: re-run E15, E16 and E18 and refresh the
+# Machine-readable perf record: re-run E15, E16, E18 and E19 and refresh the
 # committed BENCH_*.json files (CI uploads them as artifacts on every push).
 bench-json:
 	$(GO) run ./cmd/concordbench -json out/BENCH_E15.json E15
 	$(GO) run ./cmd/concordbench -json out/BENCH_E16.json E16
 	$(GO) run ./cmd/concordbench -json out/BENCH_E18.json E18
+	$(GO) run ./cmd/concordbench -json out/BENCH_E19.json E19
 
-# Regenerate every experiment table (E1-E16, E18); EXPERIMENTS.md records the
-# paper-vs-measured outcomes.
+# Regenerate every experiment table (E1-E16, E18, E19); EXPERIMENTS.md records
+# the paper-vs-measured outcomes.
 experiments:
 	$(GO) run ./cmd/concordbench
 

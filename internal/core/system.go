@@ -80,6 +80,17 @@ type Options struct {
 	// SegmentBytes is the WAL segment rotation threshold for the server
 	// logs (0 uses wal.DefaultSegmentBytes).
 	SegmentBytes int64
+	// QuiescentCheckpoint reverts the repository to the pre-incremental
+	// design: every checkpoint encodes the full state while holding the
+	// repository lock exclusively (DESIGN.md §3.8). E19 uses it as the
+	// pause-time baseline.
+	QuiescentCheckpoint bool
+	// CheckpointMaxChain bounds the repository's incremental snapshot chain
+	// before a full rebase (0 uses repo.DefaultCheckpointMaxChain).
+	CheckpointMaxChain int
+	// CheckpointMaxChainBytes bounds the chain's total payload bytes before
+	// a full rebase (0 uses repo.DefaultCheckpointMaxChainBytes).
+	CheckpointMaxChainBytes int64
 	// Faults is the named fault-point registry threaded through every
 	// component (repository, WAL, 2PC participant and coordinators,
 	// server-TM, notifier). Nil-safe and inert unless a scenario arms a
@@ -174,10 +185,13 @@ func (s *System) startServer() error {
 	dir := s.serverDir()
 	r, err := repo.Open(s.cat, repo.Options{
 		Dir: dir, Sync: dir != "", NoGroupCommit: s.opts.Serialized,
-		SegmentBytes:     s.opts.SegmentBytes,
-		SerializedReads:  s.opts.Serialized || s.opts.SerializedReads,
-		SerializedWrites: s.opts.Serialized || s.opts.SerializedWrites,
-		Faults:           s.opts.Faults,
+		SegmentBytes:            s.opts.SegmentBytes,
+		SerializedReads:         s.opts.Serialized || s.opts.SerializedReads,
+		SerializedWrites:        s.opts.Serialized || s.opts.SerializedWrites,
+		QuiescentCheckpoint:     s.opts.QuiescentCheckpoint,
+		CheckpointMaxChain:      s.opts.CheckpointMaxChain,
+		CheckpointMaxChainBytes: s.opts.CheckpointMaxChainBytes,
+		Faults:                  s.opts.Faults,
 	})
 	if err != nil {
 		return err

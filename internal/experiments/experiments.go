@@ -2,8 +2,10 @@
 // figure of the paper (E1-E8), three synthetic quantifications of its
 // qualitative claims (E9-E11), and the scaling scenarios E12
 // (multi-workstation throughput), E13 (bounded-time restart), E14
-// (workstation cache + delta shipping), E15 (MVCC read-path scaling) and
-// E16 (sharded write path + pipelined replay).
+// (workstation cache + delta shipping), E15 (MVCC read-path scaling), E16
+// (sharded write path + pipelined replay), E18 (multiplexed wire protocol
+// over real sockets) and E19 (writer latency under non-quiescent
+// checkpointing).
 // Each experiment returns a Report whose rows cmd/concordbench prints and
 // whose execution bench_test.go times; DESIGN.md §6 is the index,
 // EXPERIMENTS.md records paper-vs-measured.

@@ -52,6 +52,25 @@ func churn(t *testing.T, r *Repository, tag string, dovs, rounds int) {
 	}
 }
 
+// crashCheckpointAt drives checkpoints (forcing a little log growth before
+// each attempt) until the armed point delivers its error. The first
+// checkpoint after Open is always a full rebase, so the incremental-only
+// points (CrashInc*) fire on the second attempt, which runs the delta path.
+func crashCheckpointAt(t *testing.T, r *Repository, reg *fault.Registry, point string, crash error) {
+	t.Helper()
+	reg.Arm(point, crash)
+	var err error
+	for try := 0; try < 8 && err == nil; try++ {
+		if perr := r.PutMeta("ckpt/poke", []byte{byte(try)}); perr != nil {
+			t.Fatal(perr)
+		}
+		err = r.Checkpoint()
+	}
+	if !errors.Is(err, crash) {
+		t.Fatalf("Checkpoint with crash at %s = %v, want injected crash", point, err)
+	}
+}
+
 func openRepoOpts(t *testing.T, dir string, opts Options) *Repository {
 	t.Helper()
 	opts.Dir = dir
@@ -118,16 +137,18 @@ func TestCheckpointCrashPoints(t *testing.T) {
 				t.Fatal(err)
 			}
 			churn(t, r, "a-", 8, 200)
+			crashCheckpointAt(t, r, reg, point, crash)
 			want := digest(t, r)
-			reg.Arm(point, crash)
-			if err := r.Checkpoint(); !errors.Is(err, crash) {
-				t.Fatalf("Checkpoint with crash at %s = %v, want injected crash", point, err)
-			}
 			// The process dies here: abandon r without Close and recover
 			// from the directory alone.
 			r2 := openRepoOpts(t, dir, Options{SegmentBytes: 4 << 10})
 			if err := r2.CheckConsistency(); err != nil {
 				t.Fatalf("crash at %s: consistency: %v", point, err)
+			}
+			// Mark-semantics invariant: segment reclamation never outruns
+			// what the surviving snapshot chain covers.
+			if lw := r2.LowWater(); lw > r2.SnapshotLSN() {
+				t.Fatalf("crash at %s: low-water mark %d beyond chain coverage %d", point, lw, r2.SnapshotLSN())
 			}
 			if got := digest(t, r2); got != want {
 				t.Fatalf("crash at %s lost durable state:\n--- want\n%s--- got\n%s", point, want, got)

@@ -15,8 +15,10 @@ import (
 // with equal digests are byte-identical as far as recovery is concerned —
 // the scenario harness's byte-identical-recovery and twin-replay oracles
 // compare digests taken before a crash and after the restarted twin
-// recovers. The repository is quiesced (writers excluded) for the duration
-// of the call.
+// recovers, and the checkpoint-equivalence battery (§3.8) compares an
+// incrementally checkpointed repository recovered at every catalogued
+// crash point against its quiescent twin. The repository is quiesced
+// (writers excluded) for the duration of the call.
 func (r *Repository) StateDigest() (string, error) {
 	var b strings.Builder
 	// Quiesce writers (exclusive side of the §3.7 lock order) for a stable

@@ -93,6 +93,12 @@ type idxShard struct {
 	// The channel is closed when the claim resolves (publish or unclaim),
 	// waking racers blocked in claim.
 	claims map[version.ID]chan struct{}
+	// gen counts publications into this shard — the incremental
+	// checkpointer's dirty mark (DESIGN.md §3.8). Written under mu by
+	// writers (who also hold the quiesce lock shared); read by the snapshot
+	// cut, which holds the quiesce lock exclusively, so the RWMutex
+	// ordering makes the plain read race-free.
+	gen uint64
 }
 
 // dovIndex is the sharded copy-on-write version index.
@@ -198,6 +204,7 @@ func (x *dovIndex) put(id version.ID, e *dovEntry) {
 		next[k] = v
 	}
 	next[id] = e
+	s.gen++
 	s.p.Store(&next)
 	s.mu.Unlock()
 }

@@ -93,6 +93,19 @@ type Options struct {
 	// ReplayWorkers is the decode worker count of the pipelined replay
 	// (0 = GOMAXPROCS, capped at 8). Ignored with SerialReplay.
 	ReplayWorkers int
+	// QuiescentCheckpoint reverts Checkpoint to the pre-chain design: the
+	// whole state is encoded while the quiesce lock is held exclusively (a
+	// stop-the-world pause growing with live state) and every checkpoint is
+	// a full snapshot. Ablation baseline for E19; never set in production.
+	QuiescentCheckpoint bool
+	// CheckpointMaxChain bounds the snapshot chain length: once a full
+	// snapshot has this many incremental deltas stacked on it, the next
+	// checkpoint rebases (writes a fresh full snapshot). 0 uses
+	// DefaultCheckpointMaxChain.
+	CheckpointMaxChain int
+	// CheckpointMaxChainBytes bounds the chain's total payload bytes before
+	// a rebase is forced. 0 uses DefaultCheckpointMaxChainBytes.
+	CheckpointMaxChainBytes int64
 }
 
 // Repository is the design data repository. All methods are safe for
@@ -146,9 +159,13 @@ type Repository struct {
 	// pointer).
 	dasPub atomic.Pointer[map[string]*daState]
 
-	// metaMu guards the metadata store (cold path: manager context data).
+	// metaMu guards the metadata store (cold path: manager context data)
+	// and its dirty generation.
 	metaMu sync.Mutex
 	meta   map[string][]byte
+	// metaGen counts durable metadata mutations — the incremental
+	// checkpointer's dirty mark for the store (§3.8). Guarded by metaMu.
+	metaGen uint64
 
 	// seq is the repository-wide version sequence counter.
 	seq atomic.Uint64
@@ -163,10 +180,25 @@ type Repository struct {
 	// lock-free read path can check it without the lock.
 	fatal atomic.Pointer[error]
 
-	// ckptMu serializes checkpoints and guards snapLSN, the log position
-	// covered by the last installed snapshot.
-	ckptMu  sync.Mutex
-	snapLSN wal.LSN
+	// ckptMu serializes checkpoints and guards the chain state below:
+	// snapLSN (the log position the durable chain covers), the manifest
+	// chain itself, its payload byte total, and the generation vector of
+	// the last committed cut (nil forces the next checkpoint to be a full
+	// rebase — always the case right after Open, since dirty marks are
+	// volatile).
+	ckptMu     sync.Mutex
+	snapLSN    wal.LSN
+	chain      []manifestEntry
+	chainBytes int64
+	lastGens   *ckptGens
+	// Checkpoint policy (from Options; fixed after Open).
+	quiescentCkpt bool
+	maxChain      int
+	maxChainBytes int64
+	// lastPauseNs/maxPauseNs instrument the exclusive-lock window of the
+	// snapshot cut — the writer stall E19 bounds.
+	lastPauseNs atomic.Int64
+	maxPauseNs  atomic.Int64
 
 	// onChange, when set, is invoked after every durable version mutation
 	// (see SetChangeHook).
@@ -265,19 +297,30 @@ func Open(cat *catalog.Catalog, opts Options) (*Repository, error) {
 		globalWriteLock:  opts.SerializedReads || opts.SerializedWrites,
 		serialReplay:     opts.SerialReplay,
 		replayWorkers:    opts.ReplayWorkers,
+		quiescentCkpt:    opts.QuiescentCheckpoint,
+		maxChain:         opts.CheckpointMaxChain,
+		maxChainBytes:    opts.CheckpointMaxChainBytes,
 		das:              make(map[string]*daState),
 		meta:             make(map[string][]byte),
+	}
+	if r.maxChain <= 0 {
+		r.maxChain = DefaultCheckpointMaxChain
+	}
+	if r.maxChainBytes <= 0 {
+		r.maxChainBytes = DefaultCheckpointMaxChainBytes
 	}
 	r.idx.init()
 	// staging collects recovered versions outside the published index so the
 	// bulk rebuild below costs one pass instead of per-record copy-on-write.
 	staging := make(map[version.ID]*dovEntry)
 	if opts.Dir != "" {
-		snapLSN, err := r.loadSnapshot(staging)
+		snapLSN, chain, chainBytes, err := r.loadSnapshotChain(staging)
 		if err != nil {
 			return nil, err
 		}
 		r.snapLSN = snapLSN
+		r.chain = chain
+		r.chainBytes = chainBytes
 		l, err := wal.Open(filepath.Join(opts.Dir, "repo.wal"), wal.Options{
 			SyncOnAppend:  opts.Sync,
 			NoGroupCommit: opts.NoGroupCommit,
@@ -289,8 +332,19 @@ func Open(cat *catalog.Catalog, opts Options) (*Repository, error) {
 			return nil, err
 		}
 		r.log = l
-		// Complete a checkpoint whose snapshot installed but whose log mark
-		// was lost to a crash: the snapshot's position is authoritative and
+		// A mark beyond the surviving chain coverage means records the chain
+		// was supposed to carry are gone from the log — genuine loss (e.g. a
+		// deleted manifest). Refuse to open rather than silently serve a
+		// truncated history. The checkpoint protocol makes this unreachable:
+		// the covering manifest entry is fsync-durable strictly before the
+		// mark moves.
+		if l.LowWater() > snapLSN {
+			l.Close()
+			return nil, fmt.Errorf("repo: checkpoint mark %d beyond snapshot chain coverage %d (manifest truncated or missing)",
+				l.LowWater(), snapLSN)
+		}
+		// Complete a checkpoint whose chain entry installed but whose log
+		// mark was lost to a crash: the chain's coverage is authoritative and
 		// wal.Checkpoint is idempotent and monotonic.
 		if snapLSN > l.LowWater() {
 			if err := l.Checkpoint(snapLSN); err != nil {
@@ -302,6 +356,10 @@ func Open(cat *catalog.Catalog, opts Options) (*Repository, error) {
 			l.Close()
 			return nil, err
 		}
+		// Collect leftovers of crashed checkpoint attempts (unreferenced
+		// payload files, stray tmps). The parsed chain matches the durable
+		// manifest prefix, so everything outside it is garbage.
+		r.gcSnapshots()
 	}
 	r.idx.rebuild(staging)
 	r.publishDAs()
@@ -795,6 +853,7 @@ func (r *Repository) CheckinCleanup(v *version.DOV, root bool, cleanupKey string
 			// land in the same batch, so the waits below cost one fsync.
 			if w, err := r.appendAsync(recMetaDel, "", []byte(cleanupKey)); err == nil {
 				delete(r.meta, cleanupKey)
+				r.metaGen++
 				cleanupWait = w
 			}
 		}
@@ -970,14 +1029,23 @@ func (r *Repository) LowWater() wal.LSN {
 }
 
 // DiskLogBytes reports the on-disk footprint of the live log segments plus
-// the installed snapshot — what checkpointing keeps bounded by live state.
+// the installed snapshot chain (manifest and every referenced payload file)
+// — what checkpointing keeps bounded by live state.
 func (r *Repository) DiskLogBytes() int64 {
 	if r.log == nil {
 		return 0
 	}
 	total := r.log.DiskBytes()
-	if fi, err := os.Stat(filepath.Join(r.dir, snapName)); err == nil {
+	if fi, err := os.Stat(filepath.Join(r.dir, manifestName)); err == nil {
 		total += fi.Size()
+	}
+	r.ckptMu.Lock()
+	chain := append([]manifestEntry(nil), r.chain...)
+	r.ckptMu.Unlock()
+	for _, e := range chain {
+		if fi, err := os.Stat(filepath.Join(r.dir, e.file)); err == nil {
+			total += fi.Size()
+		}
 	}
 	return total
 }
@@ -1027,6 +1095,7 @@ func (r *Repository) PutMeta(key string, value []byte) error {
 		return err
 	}
 	r.meta[key] = append([]byte(nil), value...)
+	r.metaGen++
 	return r.finishWrite(func() { r.metaMu.Unlock(); end() }, wait)
 }
 
@@ -1063,6 +1132,7 @@ func (r *Repository) DeleteMeta(key string) error {
 		return err
 	}
 	delete(r.meta, key)
+	r.metaGen++
 	return r.finishWrite(func() { r.metaMu.Unlock(); end() }, wait)
 }
 

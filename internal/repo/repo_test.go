@@ -10,7 +10,7 @@ import (
 	"concord/internal/version"
 )
 
-func testCatalog(t *testing.T) *catalog.Catalog {
+func testCatalog(t testing.TB) *catalog.Catalog {
 	t.Helper()
 	c := catalog.New()
 	if err := c.Register(&catalog.DOT{

@@ -214,10 +214,9 @@ func TestCheckpointCrashRacingMultiDAWriters(t *testing.T) {
 			close(start)
 			// Let the writers interleave with a checkpoint that dies at the
 			// injected step (the crash leaves the process "half checkpointed").
-			reg.Arm(point, crash)
-			if err := r.Checkpoint(); !errors.Is(err, crash) {
-				t.Fatalf("Checkpoint with crash at %s = %v, want injected crash", point, err)
-			}
+			// The first attempt rebases (full); the incremental-only points
+			// fire on the delta path of a follow-up attempt.
+			crashCheckpointAt(t, r, reg, point, crash)
 			wg.Wait()
 			close(werrs)
 			for err := range werrs {

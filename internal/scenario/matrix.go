@@ -115,6 +115,33 @@ func Short() []Scenario {
 			Fault: Fault{CrashServer: true},
 		},
 		{
+			// Torn incremental-checkpoint append: periodic checkpoints grow a
+			// chain, the crash corrupts the manifest's tail, and recovery must
+			// keep the valid prefix plus the WAL suffix with nothing lost.
+			Name:  "inproc-torn-manifest-tail",
+			Topo:  Topology{Workstations: 2, DesignAreas: 2, SegmentBytes: 2 << 10, CheckpointMaxChain: 4},
+			Load:  Workload{Mix: sim.OpMix{Checkin: 1, Seed: 13}, Ops: 30, CheckpointEvery: 5},
+			Fault: Fault{CrashServer: true, TornManifest: true},
+		},
+		{
+			// Restart from a base plus several incremental deltas: a generous
+			// chain bound with frequent checkpoints builds a chain of three or
+			// more before the crash, so recovery folds the whole chain before
+			// replaying the WAL suffix.
+			Name:  "inproc-ckpt-chain-of-3-restart",
+			Topo:  Topology{Workstations: 2, DesignAreas: 2, SegmentBytes: 2 << 10, CheckpointMaxChain: 8},
+			Load:  Workload{Mix: sim.OpMix{Checkin: 1, Seed: 14}, Ops: 40, CheckpointEvery: 5},
+			Fault: Fault{CrashServer: true},
+		},
+		{
+			// The E19 ablation shape under chaos: quiescent full checkpoints
+			// racing writers, then a crash.
+			Name:  "inproc-quiescent-ckpt-crash",
+			Topo:  Topology{Workstations: 2, DesignAreas: 2, SegmentBytes: 2 << 10, QuiescentCheckpoint: true},
+			Load:  writeLoad(30, 15),
+			Fault: Fault{CrashServer: true, RaceCheckpoint: true},
+		},
+		{
 			Name: "inproc-scale-concurrent",
 			Topo: Topology{Workstations: 4, DesignAreas: 3},
 			Load: Workload{
@@ -127,11 +154,13 @@ func Short() []Scenario {
 	}
 	// Crash at each checkpoint-protocol durability point while checkpoints
 	// race live writers; tiny segments make the log roll so the
-	// segment-deletion points are traversed too.
+	// segment-deletion points are traversed, and a chain bound of 2 makes
+	// the racing checkpoints alternate the full and incremental paths so
+	// the delta-only points fire too.
 	for i, point := range repo.CrashPoints {
 		out = append(out, Scenario{
 			Name:  "inproc-ckpt-crash-" + shortPoint(point),
-			Topo:  Topology{Workstations: 2, DesignAreas: 2, SegmentBytes: 2 << 10},
+			Topo:  Topology{Workstations: 2, DesignAreas: 2, SegmentBytes: 2 << 10, CheckpointMaxChain: 2},
 			Load:  writeLoad(30, 20+int64(i)),
 			Fault: Fault{Point: point, Skip: 1, CrashServer: true, RaceCheckpoint: true},
 		})
@@ -160,11 +189,25 @@ func Long() []Scenario {
 	for i, point := range repo.CrashPoints {
 		out = append(out, Scenario{
 			Name:  "long-ckpt-crash-" + shortPoint(point),
-			Topo:  Topology{Workstations: 3, DesignAreas: 3, SegmentBytes: 2 << 10},
+			Topo:  Topology{Workstations: 3, DesignAreas: 3, SegmentBytes: 2 << 10, CheckpointMaxChain: 2},
 			Load:  writeLoad(120, 100+int64(i)),
 			Fault: Fault{Point: point, Skip: 2, CrashServer: true, RaceCheckpoint: true},
 		})
 	}
+	out = append(out,
+		Scenario{
+			Name:  "long-torn-manifest-tail",
+			Topo:  Topology{Workstations: 3, DesignAreas: 3, SegmentBytes: 2 << 10, CheckpointMaxChain: 4},
+			Load:  Workload{Mix: sim.OpMix{Checkin: 1, Seed: 150}, Ops: 120, CheckpointEvery: 10},
+			Fault: Fault{CrashServer: true, TornManifest: true},
+		},
+		Scenario{
+			Name:  "long-ckpt-chain-restart",
+			Topo:  Topology{Workstations: 3, DesignAreas: 3, SegmentBytes: 2 << 10, CheckpointMaxChain: 16},
+			Load:  Workload{Mix: sim.OpMix{Checkin: 1, Seed: 151}, Ops: 120, CheckpointEvery: 8},
+			Fault: Fault{CrashServer: true},
+		},
+	)
 	twoPC := []string{
 		txn.FaultStagePersisted, txn.FaultCheckinInstalled,
 		rpc.FaultPrepareVoteLogged, rpc.FaultDecisionLogged, rpc.FaultCommitApply,

@@ -180,7 +180,7 @@ func Run(t *testing.T, sc Scenario) {
 	crashServer := func() {
 		crashed = true
 		stopRacer()
-		if err := s.crashRestartServer(sc.Fault.TornTail); err != nil {
+		if err := s.crashRestartServer(sc.Fault.TornTail, sc.Fault.TornManifest); err != nil {
 			t.Fatalf("server crash/restart: %v", err)
 		}
 	}
@@ -216,6 +216,9 @@ func Run(t *testing.T, sc Scenario) {
 				}
 			}
 			runOp(s, st, i%sc.Topo.Workstations, mix.Pick(), rng)
+			if ce := sc.Load.CheckpointEvery; ce > 0 && (i+1)%ce == 0 {
+				_ = s.checkpoint() // armed points fire; failures tolerated
+			}
 			if sc.Fault.CrashServer && !crashed {
 				if fired := sc.Fault.Point != "" && reg.Fired(sc.Fault.Point) > 0; fired ||
 					(sc.Fault.Point == "" && i == sc.Load.Ops/2) {
@@ -473,7 +476,7 @@ func runOracles(t *testing.T, sc Scenario, s site, st *runState) {
 	// but whose client saw an error keeps its staged entry until the next
 	// recovery resolves it); after that, recovery must be a fixpoint: one
 	// more crash/restart reproduces the exact repository state.
-	if err := s.crashRestartServer(false); err != nil {
+	if err := s.crashRestartServer(false, false); err != nil {
 		t.Fatalf("oracle restart: settling crash/restart: %v", err)
 	}
 	r = s.repo()
@@ -481,7 +484,7 @@ func runOracles(t *testing.T, sc Scenario, s site, st *runState) {
 	if err != nil {
 		t.Fatalf("oracle restart: digest before: %v", err)
 	}
-	if err := s.crashRestartServer(false); err != nil {
+	if err := s.crashRestartServer(false, false); err != nil {
 		t.Fatalf("oracle restart: crash/restart: %v", err)
 	}
 	after, err := s.repo().StateDigest()

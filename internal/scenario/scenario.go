@@ -70,6 +70,14 @@ type Topology struct {
 	// deleted during the run, so the late checkpoint-protocol fault
 	// points are traversed.
 	SegmentBytes int64
+	// CheckpointMaxChain overrides the incremental snapshot chain bound
+	// before a full rebase (0 uses the repository default). Small values
+	// make checkpoints alternate the full and incremental protocol paths,
+	// so both sets of fault points are traversed.
+	CheckpointMaxChain int
+	// QuiescentCheckpoint reverts the server repository to the ablation
+	// design: full snapshots encoded under the exclusive lock.
+	QuiescentCheckpoint bool
 }
 
 // Workload is the seeded operation stream driven against the topology.
@@ -81,6 +89,11 @@ type Workload struct {
 	// Concurrent drives each workstation from its own goroutine instead of
 	// round-robin from one driver.
 	Concurrent bool
+	// CheckpointEvery runs an explicit checkpoint after every N sequential
+	// operations (0 checkpoints only where a fault asks for it). With a
+	// generous CheckpointMaxChain this grows a multi-element incremental
+	// chain for the restart-from-chain scenarios.
+	CheckpointEvery int
 }
 
 // Fault is the chaos applied while the workload runs. The zero value is a
@@ -97,6 +110,10 @@ type Fault struct {
 	// TornTail appends garbage to the repository WAL's active segment
 	// while the server is down, simulating a torn partial write.
 	TornTail bool
+	// TornManifest appends garbage to the snapshot chain manifest while
+	// the server is down, simulating a torn incremental-checkpoint append.
+	// Recovery must keep the longest valid prefix and lose nothing.
+	TornManifest bool
 	// CrashWS crashes and restarts workstation 0 at the workload midpoint
 	// (cache epoch bump; sequential workloads only).
 	CrashWS bool

@@ -43,8 +43,9 @@ type site interface {
 	// checkpoint snapshots the repository and compacts the server logs.
 	checkpoint() error
 	// crashRestartServer kills the server site and recovers it from disk;
-	// tornTail corrupts the repository WAL's active segment in between.
-	crashRestartServer(tornTail bool) error
+	// tornTail corrupts the repository WAL's active segment in between and
+	// tornManifest corrupts the snapshot chain manifest's tail.
+	crashRestartServer(tornTail, tornManifest bool) error
 	// crashRestartWS crashes workstation ws and re-attaches a fresh
 	// incarnation (cache epoch bump).
 	crashRestartWS(ws int) error
@@ -93,6 +94,20 @@ func corruptWALTail(walDir string) error {
 	return err
 }
 
+// corruptManifestTail appends garbage to the snapshot chain manifest of the
+// repository at repoDir, simulating a crash mid-append of an incremental
+// checkpoint's manifest frame. The WAL mark only ever covers fsync-durable
+// entries, so recovery must shed the garbage tail without losing anything.
+func corruptManifestTail(repoDir string) error {
+	f, err := os.OpenFile(filepath.Join(repoDir, repo.ManifestFileName), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write([]byte{0xA5, 0xA5, 0xA5, 0xA5, 0x00, 0xFF, 0x17})
+	return err
+}
+
 // inprocSite deploys a core.System: the single-process deployment with the
 // cooperation manager, callback channel and full crash/restart support.
 type inprocSite struct {
@@ -110,6 +125,8 @@ func newInProcSite(dir string, topo Topology, reg *fault.Registry) (*inprocSite,
 		RegisterTypes:        vlsi.RegisterCatalog,
 		VolatileWorkstations: topo.VolatileWS,
 		SegmentBytes:         topo.SegmentBytes,
+		CheckpointMaxChain:   topo.CheckpointMaxChain,
+		QuiescentCheckpoint:  topo.QuiescentCheckpoint,
 		Faults:               reg,
 	})
 	if err != nil {
@@ -156,12 +173,17 @@ func (s *inprocSite) delegate(parent, child string) error {
 
 func (s *inprocSite) checkpoint() error { return s.sys.Checkpoint() }
 
-func (s *inprocSite) crashRestartServer(tornTail bool) error {
+func (s *inprocSite) crashRestartServer(tornTail, tornManifest bool) error {
 	if err := s.sys.CrashServer(); err != nil {
 		return err
 	}
 	if tornTail {
 		if err := corruptWALTail(filepath.Join(s.serverRepoDir(), "repo.wal")); err != nil {
+			return err
+		}
+	}
+	if tornManifest {
+		if err := corruptManifestTail(s.serverRepoDir()); err != nil {
 			return err
 		}
 	}
@@ -201,11 +223,13 @@ func (s *inprocSite) close() {
 // listener of its own transport and the server's notifier dials back to it.
 // No cooperation manager: delegation falls back to plain design areas.
 type tcpSite struct {
-	cat      *catalog.Catalog
-	reg      *fault.Registry
-	dir      string
-	addr     string
-	segBytes int64
+	cat       *catalog.Catalog
+	reg       *fault.Registry
+	dir       string
+	addr      string
+	segBytes  int64
+	maxChain  int
+	quiescent bool
 
 	mu          sync.Mutex
 	r           *repo.Repository
@@ -228,7 +252,11 @@ func newTCPSite(dir string, topo Topology, reg *fault.Registry) (*tcpSite, error
 	if err := vlsi.RegisterCatalog(cat); err != nil {
 		return nil, err
 	}
-	s := &tcpSite{cat: cat, reg: reg, dir: dir, segBytes: topo.SegmentBytes}
+	s := &tcpSite{
+		cat: cat, reg: reg, dir: dir,
+		segBytes: topo.SegmentBytes, maxChain: topo.CheckpointMaxChain,
+		quiescent: topo.QuiescentCheckpoint,
+	}
 	if err := s.startServer(); err != nil {
 		return nil, err
 	}
@@ -266,7 +294,11 @@ func newTCPSite(dir string, topo Topology, reg *fault.Registry) (*tcpSite, error
 // s.addr (chosen by the kernel on first boot, reused on restart).
 func (s *tcpSite) startServer() error {
 	sdir := filepath.Join(s.dir, "server")
-	r, err := repo.Open(s.cat, repo.Options{Dir: sdir, Sync: true, SegmentBytes: s.segBytes, Faults: s.reg})
+	r, err := repo.Open(s.cat, repo.Options{
+		Dir: sdir, Sync: true, SegmentBytes: s.segBytes,
+		CheckpointMaxChain: s.maxChain, QuiescentCheckpoint: s.quiescent,
+		Faults: s.reg,
+	})
 	if err != nil {
 		return err
 	}
@@ -362,7 +394,7 @@ func (s *tcpSite) checkpoint() error {
 	return p.Checkpoint()
 }
 
-func (s *tcpSite) crashRestartServer(tornTail bool) error {
+func (s *tcpSite) crashRestartServer(tornTail, tornManifest bool) error {
 	s.mu.Lock()
 	r, plog, srv, notifier := s.r, s.plog, s.srv, s.notifier
 	s.r, s.plog, s.stm, s.participant, s.srv, s.notifier = nil, nil, nil, nil, nil, nil
@@ -381,6 +413,11 @@ func (s *tcpSite) crashRestartServer(tornTail bool) error {
 	}
 	if tornTail {
 		if err := corruptWALTail(filepath.Join(s.serverRepoDir(), "repo.wal")); err != nil {
+			return err
+		}
+	}
+	if tornManifest {
+		if err := corruptManifestTail(s.serverRepoDir()); err != nil {
 			return err
 		}
 	}

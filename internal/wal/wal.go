@@ -122,9 +122,16 @@ type Log struct {
 	lowWater int64
 
 	// writeSem is a capacity-1 semaphore held by the batch leader while it
-	// writes and syncs. Replay/Checkpoint/Sync/Close acquire it to get
-	// exclusive use of the file descriptor.
+	// writes and syncs. Replay/Sync/Close acquire it to get exclusive use of
+	// the file descriptor; Checkpoint takes it only briefly (flush + decide,
+	// and for the recovery-only restartAt), never across the mark install.
 	writeSem chan struct{}
+
+	// ckptMu serializes checkpoints against each other. Checkpoint installs
+	// its mark and drops covered segments WITHOUT the write slot — appenders
+	// must not stall behind the mark's fsyncs — so this mutex is what keeps
+	// two concurrent checkpoints from double-removing segments.
+	ckptMu sync.Mutex
 
 	dir string
 	// f is the active segment's file. Only accessed while holding the write
@@ -779,6 +786,20 @@ func (l *Log) SegmentCount() int {
 	return len(l.starts)
 }
 
+// SegmentFloor reports the LSN where the oldest retained segment starts —
+// the boundary below which Checkpoint has reclaimed the log. Every record at
+// or above the floor is still replayable, so a snapshot chain is safe
+// exactly when its coverage never falls below the mark (which itself never
+// falls below the floor).
+func (l *Log) SegmentFloor() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.starts) == 0 {
+		return LSN(l.lowWater)
+	}
+	return LSN(l.starts[0])
+}
+
 // DiskBytes reports the total size of all live segment files on disk — the
 // quantity checkpointing bounds (unlike Size, which is the lifetime LSN
 // high-water mark and never shrinks).
@@ -876,9 +897,19 @@ func (l *Log) replayWith(iter recordIterator, fn func(Record) error) error {
 
 // Checkpoint durably records lsn as the log's low-water mark and deletes
 // every sealed segment lying entirely below it. The caller must have
-// captured all state up to lsn in a snapshot of its own before calling:
-// after Checkpoint returns, records below lsn are no longer replayed and
-// their segments may be gone.
+// captured all state up to lsn durably in a snapshot of its own before
+// calling: after Checkpoint returns, records below lsn are no longer
+// replayed and their segments may be gone.
+//
+// Chained snapshots (DESIGN.md §3.8): the mark makes no assumption that one
+// snapshot record covers lsn — the caller may cover it with a chain of
+// incremental snapshot files. The contract is then per chain, not per file:
+// pass the coverage LSN of the *durably linked* chain tip, never an LSN a
+// not-yet-fsynced manifest entry would cover, because segment deletion below
+// the mark is immediate and unrecoverable. The inverse invariant (the mark
+// never exceeds surviving chain coverage) is what repo.Open verifies before
+// trusting a recovered chain; SegmentFloor exposes the deletion boundary so
+// callers can assert no live chain element references a reclaimed segment.
 //
 // An lsn beyond the durable tail is accepted (it arises when a recovery
 // completes a checkpoint whose snapshot installed but whose log mark was
@@ -886,28 +917,32 @@ func (l *Log) replayWith(iter recordIterator, fn func(Record) error) error {
 // monotonic — an lsn at or below the current low-water mark is a no-op.
 func (l *Log) Checkpoint(lsn LSN) error {
 	target := int64(lsn)
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+	// Take the write slot only long enough to flush the pending batch and
+	// decide; the mark install below runs without it, so concurrent appends
+	// never stall behind the marker's fsyncs (the E19 latency bound).
 	l.writeSem <- struct{}{}
-	defer func() { <-l.writeSem }()
 	l.commitBatch()
 	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
+	closed, werr := l.closed, l.err
+	lowWater, size := l.lowWater, l.size
+	l.mu.Unlock()
+	<-l.writeSem
+	if closed {
 		return ErrClosed
 	}
-	if err := l.err; err != nil {
+	if werr != nil {
 		// A write already failed: records below target may never have
 		// reached disk, and their callers were told so. Installing a mark
 		// over them would resurrect refused operations from the caller's
 		// snapshot at the next recovery.
-		l.mu.Unlock()
-		return err
+		return werr
 	}
-	if target <= l.lowWater {
-		l.mu.Unlock()
+	if target <= lowWater {
 		return nil
 	}
-	advance := target > l.size
-	l.mu.Unlock()
+	advance := target > size
 
 	if err := l.hookAt(CrashBeforeMark); err != nil {
 		return err
@@ -923,6 +958,12 @@ func (l *Log) Checkpoint(lsn LSN) error {
 	l.mu.Unlock()
 	atomic.AddUint64(&l.checkpoints, 1)
 	if advance {
+		// Recovery-only path: the mark outruns the durable tail when a crash
+		// left an installed snapshot without its mark, and Open completes the
+		// checkpoint before any appender exists. Replacing the active segment
+		// still needs the write slot.
+		l.writeSem <- struct{}{}
+		defer func() { <-l.writeSem }()
 		return l.restartAt(target)
 	}
 	return l.dropCoveredSegments(target)
@@ -971,28 +1012,40 @@ func (l *Log) writeMark(target int64) error {
 }
 
 // dropCoveredSegments unlinks sealed segments whose whole range lies below
-// the low-water mark. The active segment is never deleted.
+// the low-water mark. The active segment is never deleted. It runs without
+// the write slot — appenders may seal new segments concurrently, which only
+// appends to l.starts, so the dropped entries are stripped as a prefix
+// rather than overwriting the live slice.
 func (l *Log) dropCoveredSegments(target int64) error {
 	l.mu.Lock()
 	starts := append([]int64(nil), l.starts...)
 	l.mu.Unlock()
-	kept := 0
+	dropped := 0
 	for i := 0; i+1 < len(starts) && starts[i+1] <= target; i++ {
 		if err := os.Remove(l.segPath(starts[i])); err != nil {
+			l.stripDroppedStarts(dropped)
 			return fmt.Errorf("wal: drop segment: %w", err)
 		}
-		kept = i + 1
+		dropped = i + 1
 		if err := l.hookAt(CrashSegmentDeleted); err != nil {
-			l.mu.Lock()
-			l.starts = append([]int64(nil), starts[kept:]...)
-			l.mu.Unlock()
+			l.stripDroppedStarts(dropped)
 			return err
 		}
 	}
-	l.mu.Lock()
-	l.starts = append([]int64(nil), starts[kept:]...)
-	l.mu.Unlock()
+	l.stripDroppedStarts(dropped)
 	return nil
+}
+
+// stripDroppedStarts removes the first n entries from l.starts (the sealed
+// segments dropCoveredSegments just unlinked; sealing only ever appends, so
+// they are still the slice's prefix).
+func (l *Log) stripDroppedStarts(n int) {
+	if n == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.starts = append([]int64(nil), l.starts[n:]...)
+	l.mu.Unlock()
 }
 
 // restartAt replaces every segment with a fresh one starting at target; all
