@@ -7,6 +7,9 @@ all: check
 build:
 	$(GO) build ./...
 
+# Package tests. The rpc/txn/core/scenario binaries run under the
+# internal/leakcheck TestMain guard: any heartbeat, lease-reaper, notifier,
+# or transport goroutine still alive after the tests fails the package.
 test:
 	$(GO) test ./...
 

@@ -62,7 +62,7 @@ func run(addr, data string) error {
 	}
 	trans := rpc.NewTCP()
 	defer trans.Close()
-	bound, err := trans.Listen(addr, rpc.Dedup(stm.Handler(participant)))
+	bound, err := trans.ListenDeadline(addr, rpc.DedupDeadline(stm.DeadlineHandler(participant)))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"concord/internal/leakcheck"
+	"concord/internal/vlsi"
+)
+
+// TestMain guards the whole package against leaked background goroutines:
+// every heartbeat loop, lease reaper, notifier drain, and checkpointer a
+// test starts must have terminated by the time the tests finish.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}
+
+// TestShutdownStopsBackgroundGoroutines is the direct form of the guard: a
+// full System (server + two workstations, so heartbeats, the lease reaper,
+// the notifier, and the checkpointer are all running) must take every
+// background goroutine down with it on Close.
+func TestShutdownStopsBackgroundGoroutines(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewSystem(Options{Dir: dir, RegisterTypes: vlsi.RegisterCatalog})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	for _, ws := range []string{"ws1", "ws2"} {
+		if _, err := s.AddWorkstation(ws); err != nil {
+			t.Fatalf("AddWorkstation(%s): %v", ws, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if dump := leakcheck.Check(leakcheck.DefaultTimeout); dump != "" {
+		t.Fatalf("goroutines survived System.Close:\n%s", dump)
+	}
+}

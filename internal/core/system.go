@@ -96,6 +96,20 @@ type Options struct {
 	// server-TM, notifier). Nil-safe and inert unless a scenario arms a
 	// point; see internal/fault.
 	Faults *fault.Registry
+	// LeaseTTL is the workstation session lease lifetime (DESIGN.md §5.3):
+	// a workstation silent for this long is presumed failed and its volatile
+	// footprint (unprepared staged branches, derivation locks, cache
+	// callbacks) is reclaimed by the server-side reaper. 0 uses
+	// txn.DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the workstation lease-renewal period. 0 uses
+	// LeaseTTL / txn.DefaultHeartbeatDivisor.
+	HeartbeatEvery time.Duration
+	// DegradedOnWALFailure turns a server WAL append/fsync failure into
+	// read-only degraded mode instead of fail-stop: checkouts keep serving
+	// from the MVCC read index, mutations fail fast with repo.ErrDegraded,
+	// and the tm/health RPC reports "degraded" (DESIGN.md §5.3).
+	DegradedOnWALFailure bool
 }
 
 // DefaultCheckpointLogBytes is the background checkpoint trigger used when
@@ -191,6 +205,7 @@ func (s *System) startServer() error {
 		QuiescentCheckpoint:     s.opts.QuiescentCheckpoint,
 		CheckpointMaxChain:      s.opts.CheckpointMaxChain,
 		CheckpointMaxChainBytes: s.opts.CheckpointMaxChainBytes,
+		DegradedOnWALFailure:    s.opts.DegradedOnWALFailure,
 		Faults:                  s.opts.Faults,
 	})
 	if err != nil {
@@ -205,6 +220,7 @@ func (s *System) startServer() error {
 	reg := feature.NewRegistry()
 	stm := txn.NewServerTM(r, locks, scopes)
 	stm.Faults = s.opts.Faults
+	stm.LeaseTTL = s.opts.LeaseTTL
 	cm, err := coop.NewCM(r, scopes, reg)
 	if err != nil {
 		r.Close()
@@ -241,11 +257,15 @@ func (s *System) startServer() error {
 	site.notifier.SetFaults(s.opts.Faults)
 	stm.SetNotifier(site.notifier)
 	r.SetChangeHook(stm.VersionChanged)
-	if err := s.trans.Serve(ServerAddr, rpc.Dedup(stm.Handler(participant))); err != nil {
+	// The deadline-aware path threads each call's propagated budget down to
+	// the server-TM, where it bounds lock waits (heartbeats carry tight
+	// budgets, bulk checkouts generous ones).
+	if err := rpc.ServeWithDeadline(s.trans, ServerAddr, rpc.DedupDeadline(stm.DeadlineHandler(participant))); err != nil {
 		site.notifier.Close()
 		r.Close()
 		return err
 	}
+	stm.StartLeaseReaper()
 	if dir != "" && !s.opts.NoCheckpoint {
 		site.ckptStop = make(chan struct{})
 		site.ckptDone = make(chan struct{})
@@ -355,6 +375,33 @@ func (s *System) CacheNotifier() *rpc.Notifier {
 	return s.server.notifier
 }
 
+// NotifierStats reports the cache-invalidation channel's delivery counters
+// (sent, dropped, failed) for scenario oracles: a reaped workstation's
+// callback deregistration must stop the failed counter from climbing. Zeros
+// when the server is down.
+func (s *System) NotifierStats() (sent, dropped, failed uint64) {
+	s.mu.Lock()
+	site := s.server
+	s.mu.Unlock()
+	if site == nil || site.notifier == nil {
+		return 0, 0, 0
+	}
+	return site.notifier.Stats()
+}
+
+// Health reports the server repository's degradation mode ("ok", "degraded"
+// or "failstop") and latched cause; "down" when the server is crashed.
+func (s *System) Health() (mode, cause string) {
+	s.mu.Lock()
+	site := s.server
+	s.mu.Unlock()
+	if site == nil {
+		return "down", "server crashed"
+	}
+	h := site.repo.Health()
+	return h.Mode, h.Cause
+}
+
 // Registry returns the feature-tool registry used by Evaluate.
 func (s *System) Registry() *feature.Registry {
 	s.mu.Lock()
@@ -375,6 +422,7 @@ func (s *System) Close() error {
 	var err error
 	if s.server != nil {
 		s.server.stopCheckpointer()
+		s.server.stm.StopLeaseReaper()
 		if s.server.notifier != nil {
 			s.server.notifier.Close()
 		}
@@ -433,6 +481,15 @@ func (s *System) AddWorkstation(id string) (*Workstation, error) {
 	}
 	s.trans.Heal(cbAddr)
 	tm.SetCallbackAddr(cbAddr)
+	ttl := s.opts.LeaseTTL
+	if ttl <= 0 {
+		ttl = txn.DefaultLeaseTTL
+	}
+	hb := s.opts.HeartbeatEvery
+	if hb <= 0 {
+		hb = ttl / txn.DefaultHeartbeatDivisor
+	}
+	tm.StartHeartbeat(hb)
 	w := &Workstation{id: id, sys: s, tm: tm, recovered: recovered, dms: make(map[string]*script.DesignManager)}
 	for _, d := range recovered {
 		if err := tm.Reattach(d); err != nil {
@@ -523,6 +580,7 @@ func (s *System) CrashServer() error {
 	}
 	s.trans.Partition(ServerAddr)
 	site.stopCheckpointer()
+	site.stm.StopLeaseReaper()
 	if site.notifier != nil {
 		site.notifier.Close()
 	}

@@ -128,7 +128,7 @@ func RunWireScaling(connectPerCall bool, n, rounds int, mode WirePathMode) (Wire
 	}
 	srv := rpc.NewTCP()
 	defer srv.Close()
-	addr, err := srv.Listen("127.0.0.1:0", rpc.Dedup(stm.Handler(participant)))
+	addr, err := srv.ListenDeadline("127.0.0.1:0", rpc.DedupDeadline(stm.DeadlineHandler(participant)))
 	if err != nil {
 		return res, err
 	}

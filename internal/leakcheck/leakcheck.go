@@ -1,0 +1,92 @@
+// Package leakcheck is a dependency-free goroutine-leak guard for test
+// binaries. The failure-lifecycle layer runs background goroutines all over
+// the stack — ClientTM heartbeats, the ServerTM lease reaper, the notifier
+// drain, transport accept loops — and every one of them must terminate when
+// its owner shuts down. Main wraps testing.M: after the package's tests
+// finish it polls until no goroutine is still executing this module's code,
+// and fails the binary with a full stack dump of the survivors otherwise.
+//
+// The check is stack-based rather than count-based so runtime and testing
+// internals (GC workers, test output pumps) never produce false positives:
+// only goroutines with a concord frame on their stack count as leaks.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// modulePrefix identifies this module's frames in a goroutine stack dump.
+const modulePrefix = "concord/internal/"
+
+// DefaultTimeout bounds how long Check waits for stragglers to exit.
+// Shutdown paths signal background goroutines without joining them (e.g.
+// ClientTM.Crash), so the guard polls rather than asserting instantly.
+const DefaultTimeout = 5 * time.Second
+
+// Check polls until no goroutine other than the caller is executing code
+// from this module, or timeout passes. It returns "" on success and the
+// stack dump of the leaked goroutines otherwise.
+func Check(timeout time.Duration) string {
+	deadline := time.Now().Add(timeout)
+	for {
+		leaked := moduleGoroutines()
+		if len(leaked) == 0 {
+			return ""
+		}
+		if time.Now().After(deadline) {
+			return strings.Join(leaked, "\n\n")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Main runs the package's tests and then the leak check, returning the exit
+// code for os.Exit. A leak fails the binary even when every test passed:
+//
+//	func TestMain(m *testing.M) { os.Exit(leakcheck.Main(m)) }
+func Main(m *testing.M) int {
+	code := m.Run()
+	if dump := Check(DefaultTimeout); dump != "" {
+		fmt.Fprintf(os.Stderr, "leakcheck: goroutines still running module code after tests:\n\n%s\n", dump)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// moduleGoroutines returns the stack records of every goroutine (other than
+// the calling one) with a frame inside this module.
+func moduleGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	records := strings.Split(string(buf), "\n\n")
+	var out []string
+	for i, r := range records {
+		if i == 0 {
+			continue // the calling goroutine
+		}
+		if strings.Contains(r, "testing.(*M).Run(") {
+			// The TestMain goroutine: parked in the test runner while a
+			// test calls Check directly, with the package's TestMain (a
+			// module frame) below it on the stack.
+			continue
+		}
+		if strings.Contains(r, modulePrefix) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

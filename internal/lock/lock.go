@@ -79,12 +79,16 @@ var (
 	ErrTimeout = errors.New("lock: wait timed out")
 	// ErrNotHeld reports a release of a lock the owner does not hold.
 	ErrNotHeld = errors.New("lock: not held")
+	// ErrOwnerEvicted rejects a queued request whose owner was forcibly
+	// evicted from the table (ReleaseOwner) while it waited.
+	ErrOwnerEvicted = errors.New("lock: owner evicted")
 )
 
 type waiter struct {
-	owner string
-	mode  Mode
-	ready bool
+	owner   string
+	mode    Mode
+	ready   bool
+	evicted bool
 }
 
 type entry struct {
@@ -218,6 +222,10 @@ func (m *Manager) Acquire(owner, resource string, mode Mode, timeout time.Durati
 	defer timer.Stop()
 
 	for !w.ready {
+		if w.evicted {
+			m.clearWaitEdges(owner)
+			return fmt.Errorf("%w: %s on %s for %s", ErrOwnerEvicted, mode, resource, owner)
+		}
 		if time.Now().After(deadline) {
 			dequeue(e, w)
 			m.clearWaitEdges(owner)
@@ -309,6 +317,46 @@ func (m *Manager) ReleaseAll(owner string) {
 		sh.mu.Unlock()
 	}
 	m.clearWaitEdges(owner)
+}
+
+// ReleaseOwner forcibly evicts owner from the lock table (workstation
+// reaping). Unlike ReleaseAll it also cancels the owner's queued requests:
+// a handler goroutine still blocked in Acquire on the dead owner's behalf
+// fails promptly with ErrOwnerEvicted instead of running out its deadline,
+// and FIFO promotion is re-run so waiters stuck behind the evicted request
+// are granted. All wait-for edges of the owner are cleared, so the deadlock
+// detector never sees a ghost. Returns the number of resources on which the
+// owner held a granted lock.
+func (m *Manager) ReleaseOwner(owner string) int {
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for res, e := range sh.table {
+			touched := false
+			if _, ok := e.granted[owner]; ok {
+				delete(e.granted, owner)
+				n++
+				touched = true
+			}
+			kept := e.queue[:0]
+			for _, q := range e.queue {
+				if q.owner == owner {
+					q.evicted = true
+					touched = true
+				} else {
+					kept = append(kept, q)
+				}
+			}
+			e.queue = kept
+			if touched {
+				m.refreshWaitEdges(e)
+				m.promote(sh, res, e)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	m.clearWaitEdges(owner)
+	return n
 }
 
 // Holds reports the mode owner currently holds on resource (0 if none).

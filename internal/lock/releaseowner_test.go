@@ -1,0 +1,178 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A dead owner's granted locks must be released and queued waiters promoted.
+func TestReleaseOwnerPromotesWaiters(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire("dead", "dov1", D, tmo); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		got <- m.Acquire("live", "dov1", D, tmo)
+	}()
+	// Wait until the live request is queued behind the dead holder.
+	waitForQueue(t, m, "dov1", 1)
+	if n := m.ReleaseOwner("dead"); n != 1 {
+		t.Fatalf("ReleaseOwner = %d, want 1", n)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("waiter not promoted: %v", err)
+		}
+	case <-time.After(tmo):
+		t.Fatal("waiter still blocked after ReleaseOwner")
+	}
+	if mode := m.Holds("live", "dov1"); mode != D {
+		t.Fatalf("live holds %v, want D", mode)
+	}
+	if mode := m.Holds("dead", "dov1"); mode != 0 {
+		t.Fatalf("dead still holds %v", mode)
+	}
+}
+
+// A dead owner's *queued* request must be cancelled promptly (not run out
+// its deadline) and must stop blocking FIFO promotion of later waiters.
+func TestReleaseOwnerCancelsQueuedRequests(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire("holder", "res", X, tmo); err != nil {
+		t.Fatal(err)
+	}
+	deadErr := make(chan error, 1)
+	go func() {
+		deadErr <- m.Acquire("dead", "res", X, time.Minute)
+	}()
+	waitForQueue(t, m, "res", 1)
+	lateErr := make(chan error, 1)
+	go func() {
+		lateErr <- m.Acquire("late", "res", S, tmo)
+	}()
+	waitForQueue(t, m, "res", 2)
+
+	m.ReleaseOwner("dead")
+	select {
+	case err := <-deadErr:
+		if !errors.Is(err, ErrOwnerEvicted) {
+			t.Fatalf("dead waiter got %v, want ErrOwnerEvicted", err)
+		}
+	case <-time.After(tmo):
+		t.Fatal("dead waiter not cancelled by ReleaseOwner")
+	}
+	// With the evicted head gone, releasing the holder must promote "late"
+	// (an X request stuck at the head would have blocked it forever).
+	if err := m.Release("holder", "res"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-lateErr:
+		if err != nil {
+			t.Fatalf("late waiter: %v", err)
+		}
+	case <-time.After(tmo):
+		t.Fatal("late waiter stuck behind evicted request")
+	}
+}
+
+// After ReleaseOwner the waits-for graph must hold no edge from or to the
+// evicted owner: a request that would previously have closed a cycle
+// through the ghost must succeed.
+func TestReleaseOwnerLeavesNoGhostInDeadlockDetector(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire("alive", "r1", X, tmo); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("ghost", "r2", X, tmo); err != nil {
+		t.Fatal(err)
+	}
+	ghostErr := make(chan error, 1)
+	go func() {
+		// ghost waits for alive: edge ghost→alive.
+		ghostErr <- m.Acquire("ghost", "r1", X, time.Minute)
+	}()
+	waitForQueue(t, m, "r1", 1)
+
+	m.ReleaseOwner("ghost")
+	<-ghostErr
+
+	m.wfMu.Lock()
+	_, present := m.waitFor["ghost"]
+	m.wfMu.Unlock()
+	if present {
+		t.Fatal("ghost owner still present in waits-for graph")
+	}
+	// alive→r2 would have been a deadlock (alive→ghost→alive) before the
+	// eviction; now r2 is free and the edge is gone.
+	if err := m.Acquire("alive", "r2", X, tmo); err != nil {
+		t.Fatalf("acquire after eviction: %v", err)
+	}
+}
+
+// ReleaseOwner racing live acquire/release traffic must neither deadlock
+// nor evict anyone else's locks (run with -race).
+func TestReleaseOwnerRaced(t *testing.T) {
+	m := NewManager()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			owner := fmt.Sprintf("live%d", w)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res := fmt.Sprintf("res%d", i%8)
+				if err := m.Acquire(owner, res, X, 50*time.Millisecond); err == nil {
+					m.Release(owner, res)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		dead := fmt.Sprintf("dead%d", i%3)
+		res := fmt.Sprintf("res%d", i%8)
+		m.Acquire(dead, res, S, 10*time.Millisecond)
+		m.ReleaseOwner(dead)
+	}
+	close(stop)
+	wg.Wait()
+	for w := 0; w < 4; w++ {
+		owner := fmt.Sprintf("live%d", w)
+		if err := m.Acquire(owner, "final", S, tmo); err != nil {
+			t.Fatalf("live owner %s unusable after eviction storm: %v", owner, err)
+		}
+	}
+}
+
+// waitForQueue blocks until resource has n queued waiters.
+func waitForQueue(t *testing.T, m *Manager, resource string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(tmo)
+	for {
+		sh := m.shardFor(resource)
+		sh.mu.Lock()
+		q := 0
+		if e := sh.table[resource]; e != nil {
+			q = len(e.queue)
+		}
+		sh.mu.Unlock()
+		if q >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resource %s never reached %d waiters", resource, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

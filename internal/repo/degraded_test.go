@@ -1,0 +1,106 @@
+package repo
+
+import (
+	"errors"
+	"testing"
+
+	"concord/internal/fault"
+	"concord/internal/wal"
+)
+
+// A WAL append failure with DegradedOnWALFailure must latch read-only
+// degraded mode: mutations refused with ErrDegraded, reads still served
+// from the MVCC index, Health reporting the mode — and a restart with the
+// disk healthy must recover the durable prefix and come back "ok".
+func TestDegradedModeOnWALFailure(t *testing.T) {
+	dir := t.TempDir()
+	reg := fault.New()
+	r, err := Open(testCatalog(t), Options{
+		Dir: dir, Sync: true, Faults: reg, DegradedOnWALFailure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.CreateGraph("da"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Checkin(mkDOV("v1", "da", 100), true); err != nil {
+		t.Fatal(err)
+	}
+	if h := r.Health(); h.Mode != "ok" {
+		t.Fatalf("health before fault = %+v", h)
+	}
+
+	// Disk full: the next append is refused and the error sticks.
+	reg.Arm(wal.FaultAppendSync, errors.New("no space left on device"))
+	if err := r.Checkin(mkDOV("v2", "da", 90, "v1"), false); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("checkin during disk-full: err = %v, want ErrDegraded", err)
+	}
+	reg.Disarm(wal.FaultAppendSync)
+
+	// Degraded, not fail-stopped: reads keep serving, mutations fail fast.
+	if h := r.Health(); h.Mode != "degraded" || h.Cause == "" {
+		t.Fatalf("health after fault = %+v, want degraded with cause", h)
+	}
+	if _, err := r.Get("v1"); err != nil {
+		t.Fatalf("Get in degraded mode: %v", err)
+	}
+	if ok, err := r.Exists("v1"); err != nil || !ok {
+		t.Fatalf("Exists in degraded mode: ok=%t err=%v", ok, err)
+	}
+	if _, err := r.Graph("da"); err != nil {
+		t.Fatalf("Graph in degraded mode: %v", err)
+	}
+	if err := r.Checkin(mkDOV("v3", "da", 80, "v1"), false); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("checkin in degraded mode: err = %v, want ErrDegraded", err)
+	}
+	if err := r.PutMeta("k", []byte("v")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("PutMeta in degraded mode: err = %v, want ErrDegraded", err)
+	}
+	if err := r.Checkpoint(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Checkpoint in degraded mode: err = %v, want ErrDegraded", err)
+	}
+
+	// Restart on a healthy disk: the durable prefix (v1, not the refused
+	// v2) is recovered and the repository is writable again.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := openRepo(t, dir)
+	if h := r2.Health(); h.Mode != "ok" {
+		t.Fatalf("health after restart = %+v", h)
+	}
+	if ok, err := r2.Exists("v1"); err != nil || !ok {
+		t.Fatalf("v1 lost across restart: ok=%t err=%v", ok, err)
+	}
+	if ok, err := r2.Exists("v2"); err != nil || ok {
+		t.Fatalf("refused v2 resurrected: ok=%t err=%v", ok, err)
+	}
+	if err := r2.Checkin(mkDOV("v4", "da", 70, "v1"), false); err != nil {
+		t.Fatalf("checkin after restart: %v", err)
+	}
+}
+
+// Without the knob the same failure fail-stops the whole repository.
+func TestWALFailureFailStopsWithoutKnob(t *testing.T) {
+	reg := fault.New()
+	r, err := Open(testCatalog(t), Options{Dir: t.TempDir(), Sync: true, Faults: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.CreateGraph("da"); err != nil {
+		t.Fatal(err)
+	}
+	reg.Arm(wal.FaultAppendSync, errors.New("no space left on device"))
+	if err := r.Checkin(mkDOV("v1", "da", 1), true); !errors.Is(err, ErrFatal) {
+		t.Fatalf("checkin: err = %v, want ErrFatal", err)
+	}
+	if _, err := r.Get("v1"); !errors.Is(err, ErrFatal) {
+		t.Fatalf("Get: err = %v, want ErrFatal (fail-stop refuses reads)", err)
+	}
+	if h := r.Health(); h.Mode != "failstop" {
+		t.Fatalf("health = %+v, want failstop", h)
+	}
+}

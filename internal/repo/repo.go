@@ -50,6 +50,12 @@ var (
 	// so the repository fail-stops rather than serve phantom data. A
 	// restart recovers the durable prefix.
 	ErrFatal = errors.New("repo: durability failure, repository is fail-stop")
+	// ErrDegraded reports that the log stopped accepting writes (e.g. a
+	// full disk) and the repository latched read-only degraded mode
+	// (Options.DegradedOnWALFailure): reads keep serving from the MVCC
+	// index, every mutation is refused with this sentinel. A restart with
+	// the disk healthy recovers the durable prefix and clears the mode.
+	ErrDegraded = errors.New("repo: degraded (read-only), log not accepting writes")
 )
 
 // Options configures a Repository.
@@ -106,6 +112,16 @@ type Options struct {
 	// CheckpointMaxChainBytes bounds the chain's total payload bytes before
 	// a rebase is forced. 0 uses DefaultCheckpointMaxChainBytes.
 	CheckpointMaxChainBytes int64
+	// DegradedOnWALFailure turns a durability failure (failed WAL
+	// append/fsync, e.g. disk full) into read-only degraded mode instead
+	// of a repository-wide fail-stop: reads keep serving from the MVCC
+	// index while mutations are refused with ErrDegraded. The tradeoff is
+	// visibility of the narrow in-flight window — mutations whose log
+	// record was refused at the moment of failure were never published,
+	// but an already-published mutation whose batch fsync failed may be
+	// readable yet not durable until restart rolls the log back to its
+	// durable prefix. See DESIGN.md §5.3.
+	DegradedOnWALFailure bool
 }
 
 // Repository is the design data repository. All methods are safe for
@@ -174,6 +190,12 @@ type Repository struct {
 	// idx is the sharded read index and writer-side version directory
 	// (mvcc.go). Readers only load; writers claim/publish per shard.
 	idx dovIndex
+	// degradedOnWAL selects read-only degraded mode over fail-stop when a
+	// log write fails (Options.DegradedOnWALFailure).
+	degradedOnWAL bool
+	// degraded is latched instead of fatal when degradedOnWAL is set: the
+	// read path stays open, the mutation path is refused with ErrDegraded.
+	degraded atomic.Pointer[error]
 	// fatal is latched when a reserved log record failed to become durable
 	// (see appendAsync): the in-memory state is then ahead of the log and
 	// every subsequent operation is refused with ErrFatal. Atomic so the
@@ -297,6 +319,7 @@ func Open(cat *catalog.Catalog, opts Options) (*Repository, error) {
 		globalWriteLock:  opts.SerializedReads || opts.SerializedWrites,
 		serialReplay:     opts.SerialReplay,
 		replayWorkers:    opts.ReplayWorkers,
+		degradedOnWAL:    opts.DegradedOnWALFailure,
 		quiescentCkpt:    opts.QuiescentCheckpoint,
 		maxChain:         opts.CheckpointMaxChain,
 		maxChainBytes:    opts.CheckpointMaxChainBytes,
@@ -594,26 +617,71 @@ func (r *Repository) appendAsync(t wal.RecordType, owner string, payload []byte)
 		lsn, err := wait()
 		if err != nil {
 			r.failStop(err)
+			// Surface the latched sentinel (ErrDegraded / ErrFatal) so the
+			// failing mutation itself unwraps like every later one — over
+			// the wire it maps to the registered code.
+			if lerr := r.writable(); lerr != nil {
+				err = lerr
+			}
 		}
 		return lsn, err
 	}, nil
 }
 
-// failStop latches the fatal state. The latch is a lock-free CAS so it is
-// safe from any path, including waits running inside the SerializedWrites
-// critical section.
+// failStop latches the durability-failure state: read-only degraded mode
+// when DegradedOnWALFailure is set, repository-wide fail-stop otherwise.
+// The latch is a lock-free CAS so it is safe from any path, including waits
+// running inside the SerializedWrites critical section.
 func (r *Repository) failStop(cause error) {
+	if r.degradedOnWAL {
+		err := fmt.Errorf("%w: %v", ErrDegraded, cause)
+		r.degraded.CompareAndSwap(nil, &err)
+		return
+	}
 	err := fmt.Errorf("%w: %v", ErrFatal, cause)
 	r.fatal.CompareAndSwap(nil, &err)
 }
 
-// alive returns the latched fatal error, if any. Lock-free; safe from any
-// path.
+// alive returns the latched fatal error, if any. Degraded mode does NOT
+// trip it: reads stay open. Lock-free; safe from any path.
 func (r *Repository) alive() error {
 	if p := r.fatal.Load(); p != nil {
 		return *p
 	}
 	return nil
+}
+
+// writable returns the latched fatal or degraded error, if any — the
+// mutation-path liveness check. Lock-free; safe from any path.
+func (r *Repository) writable() error {
+	if err := r.alive(); err != nil {
+		return err
+	}
+	if p := r.degraded.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Health describes the repository's availability mode for the status RPC
+// and scenario oracles.
+type Health struct {
+	// Mode is "ok", "degraded" (read-only, mutations refused with
+	// ErrDegraded) or "failstop" (all operations refused with ErrFatal).
+	Mode string
+	// Cause is the latched durability error, empty in mode "ok".
+	Cause string
+}
+
+// Health reports the current availability mode. Lock-free.
+func (r *Repository) Health() Health {
+	if p := r.fatal.Load(); p != nil {
+		return Health{Mode: "failstop", Cause: (*p).Error()}
+	}
+	if p := r.degraded.Load(); p != nil {
+		return Health{Mode: "degraded", Cause: (*p).Error()}
+	}
+	return Health{Mode: "ok"}
 }
 
 // beginMutation takes the quiesce lock in the configured mode (shared in the
@@ -622,14 +690,14 @@ func (r *Repository) alive() error {
 func (r *Repository) beginMutation() (func(), error) {
 	if r.globalWriteLock {
 		r.mu.Lock()
-		if err := r.alive(); err != nil {
+		if err := r.writable(); err != nil {
 			r.mu.Unlock()
 			return nil, err
 		}
 		return r.mu.Unlock, nil
 	}
 	r.mu.RLock()
-	if err := r.alive(); err != nil {
+	if err := r.writable(); err != nil {
 		r.mu.RUnlock()
 		return nil, err
 	}

@@ -196,7 +196,10 @@ func (r *Repository) Checkpoint() error {
 
 	start := time.Now()
 	r.mu.Lock()
-	if err := r.alive(); err != nil {
+	// writable, not alive: a degraded repository must not advance the
+	// checkpoint mark — its in-memory state may be ahead of the durable
+	// log, and the disk is refusing writes anyway.
+	if err := r.writable(); err != nil {
 		r.mu.Unlock()
 		return err
 	}

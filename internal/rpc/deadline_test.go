@@ -1,0 +1,174 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startDeadlineEcho serves a deadline-aware handler on a fresh loopback
+// listener and returns its address.
+func startDeadlineEcho(t *testing.T, h DeadlineHandler) (*TCP, string) {
+	t.Helper()
+	srv := NewTCP()
+	if _, err := srv.ListenDeadline("127.0.0.1:0", h); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, srv.Addr()
+}
+
+// TestTCPBudgetPropagatesDeadline pins the wire contract: a per-call budget
+// travels in the request frame and surfaces as an absolute deadline at the
+// server handler; a call without a budget surfaces a zero deadline.
+func TestTCPBudgetPropagatesDeadline(t *testing.T) {
+	type seen struct {
+		method   string
+		deadline time.Time
+	}
+	got := make(chan seen, 2)
+	_, addr := startDeadlineEcho(t, func(deadline time.Time, m string, p []byte) ([]byte, error) {
+		got <- seen{method: m, deadline: deadline}
+		return p, nil
+	})
+	cli := NewTCP()
+	defer cli.Close()
+
+	before := time.Now()
+	if _, err := cli.CallBudget(addr, "budgeted", nil, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s := <-got
+	if s.deadline.IsZero() {
+		t.Fatal("budgeted call arrived with a zero deadline")
+	}
+	if s.deadline.Before(before.Add(time.Second)) || s.deadline.After(before.Add(10*time.Second)) {
+		t.Fatalf("propagated deadline %v not ~2s after %v", s.deadline, before)
+	}
+	if _, err := cli.Call(addr, "unbudgeted", nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := <-got; !s.deadline.IsZero() {
+		t.Fatalf("unbudgeted call arrived with deadline %v, want zero", s.deadline)
+	}
+}
+
+// TestTCPPerCallBudgetOnSharedConn pins the per-call timer contract on one
+// multiplexed connection: a tight-budget call expiring must neither be
+// stretched to the generous CallTimeout nor poison the connection deadline
+// for a concurrent call that is still inside its own budget. (The seed
+// design set conn.SetDeadline per call on the shared connection, so one
+// call's deadline clobbered every other in flight.)
+func TestTCPPerCallBudgetOnSharedConn(t *testing.T) {
+	stall := make(chan struct{})
+	defer close(stall)
+	_, addr := startDeadlineEcho(t, func(_ time.Time, m string, p []byte) ([]byte, error) {
+		switch m {
+		case "stall":
+			<-stall // never answers inside any budget
+		case "wait":
+			time.Sleep(300 * time.Millisecond)
+		}
+		return []byte(m), nil
+	})
+	cli := NewTCP()
+	defer cli.Close()
+	cli.PoolSize = 1 // force every call onto the same mux connection
+	cli.CallTimeout = 10 * time.Second
+
+	stallErr := make(chan error, 1)
+	go func() {
+		_, err := cli.CallBudget(addr, "stall", nil, 150*time.Millisecond)
+		stallErr <- err
+	}()
+	// The wait call outlives the stalled call's expiry by design: if the
+	// 150ms deadline leaked onto the shared connection, this read would be
+	// killed with it.
+	waitErr := make(chan error, 1)
+	go func() {
+		_, err := cli.CallBudget(addr, "wait", nil, 5*time.Second)
+		waitErr <- err
+	}()
+	select {
+	case err := <-stallErr:
+		if !errors.Is(err, ErrDropped) {
+			t.Fatalf("stalled budgeted call = %v, want ErrDropped", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("tight budget did not expire the stalled call")
+	}
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("concurrent call inside its own budget failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("concurrent call starved after a neighbour's budget expired")
+	}
+}
+
+// TestTCPSharedConnBudgetRace hammers one multiplexed connection with mixed
+// tight and generous budgets; run under -race it proves the per-call write
+// deadlines and pending-call bookkeeping never step on each other.
+func TestTCPSharedConnBudgetRace(t *testing.T) {
+	_, addr := startDeadlineEcho(t, func(_ time.Time, m string, p []byte) ([]byte, error) {
+		if m == "slow" {
+			time.Sleep(50 * time.Millisecond)
+		}
+		return p, nil
+	})
+	cli := NewTCP()
+	defer cli.Close()
+	cli.PoolSize = 1
+	cli.CallTimeout = 10 * time.Second
+
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("p%d", i))
+			var err error
+			var resp []byte
+			if i%3 == 0 {
+				// Tight budget on a slow method: expiry is acceptable,
+				// corruption of a neighbour's call is not.
+				_, err = cli.CallBudget(addr, "slow", payload, 5*time.Millisecond)
+				if err != nil {
+					return
+				}
+			} else {
+				resp, err = cli.CallBudget(addr, "fast", payload, 5*time.Second)
+				if err != nil {
+					t.Errorf("fast call %d: %v", i, err)
+					return
+				}
+				if string(resp) != string(payload) {
+					t.Errorf("fast call %d echoed %q", i, resp)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestClientBudgetCapsRetries pins the reliable Client's end-to-end budget:
+// retries against a dead address stop once the budget is exhausted, with the
+// ErrBudgetExceeded sentinel wrapping the transport cause.
+func TestClientBudgetCapsRetries(t *testing.T) {
+	tcp := NewTCP()
+	defer tcp.Close()
+	cli := NewClient(tcp, "ws-budget")
+	cli.Retries = 1000
+	cli.Backoff = 10 * time.Millisecond
+	start := time.Now()
+	_, err := cli.CallBudget("127.0.0.1:1", "m", nil, 200*time.Millisecond)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("exhausted budget = %v, want ErrBudgetExceeded", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("budgeted retries ran %v, budget not enforced", took)
+	}
+}

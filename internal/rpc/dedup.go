@@ -3,6 +3,7 @@ package rpc
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
 // Default bounds for the deduplication memo. Retries arrive within a short
@@ -52,7 +53,7 @@ type Deduper struct {
 	// DefaultDedupBytes).
 	MaxBytes int
 
-	h       Handler
+	h       DeadlineHandler
 	mu      sync.Mutex
 	entries map[string]*dedupEntry
 	lru     *list.List // front = most recently used; completed entries only
@@ -63,6 +64,15 @@ type Deduper struct {
 // NewDeduper wraps h with a bounded exactly-once memo. Non-positive limits
 // select the defaults.
 func NewDeduper(h Handler, maxEntries, maxBytes int) *Deduper {
+	return NewDeadlineDeduper(func(_ time.Time, method string, payload []byte) ([]byte, error) {
+		return h(method, payload)
+	}, maxEntries, maxBytes)
+}
+
+// NewDeadlineDeduper is NewDeduper for a deadline-aware inner handler: the
+// per-call deadline passes through the memo untouched (a duplicate delivery
+// returns the memoized result regardless of its own deadline).
+func NewDeadlineDeduper(h DeadlineHandler, maxEntries, maxBytes int) *Deduper {
 	if maxEntries <= 0 {
 		maxEntries = DefaultDedupEntries
 	}
@@ -98,6 +108,12 @@ func (d *Deduper) Stats() DedupStats {
 // Handle is the wrapped Handler: it decodes the request envelope and executes
 // the inner handler at most once per (method, request ID).
 func (d *Deduper) Handle(method string, env []byte) ([]byte, error) {
+	return d.HandleDeadline(time.Time{}, method, env)
+}
+
+// HandleDeadline is Handle with the transport-propagated per-call deadline,
+// forwarded to the inner handler on first execution.
+func (d *Deduper) HandleDeadline(deadline time.Time, method string, env []byte) ([]byte, error) {
 	reqID, payload, err := decodeEnvelope(env)
 	if err != nil {
 		return nil, err
@@ -120,7 +136,7 @@ func (d *Deduper) Handle(method string, env []byte) ([]byte, error) {
 	d.entries[key] = e
 	d.mu.Unlock()
 
-	e.resp, e.err = d.h(method, payload)
+	e.resp, e.err = d.h(deadline, method, payload)
 
 	d.mu.Lock()
 	e.cost = len(e.key) + len(e.resp)

@@ -1,0 +1,15 @@
+package rpc
+
+import (
+	"os"
+	"testing"
+
+	"concord/internal/leakcheck"
+)
+
+// TestMain guards the package against leaked background goroutines: server
+// accept loops, connection readers, and the notifier drain must terminate
+// when the transports the tests build are closed.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -108,11 +108,25 @@ func (t *TCP) Serve(addr string, h Handler) error {
 	return err
 }
 
+// ServeDeadline is Serve for a deadline-aware handler: the per-call budget
+// carried by request frames reaches h as an absolute deadline.
+func (t *TCP) ServeDeadline(addr string, h DeadlineHandler) error {
+	_, err := t.ListenDeadline(addr, h)
+	return err
+}
+
 // Listen starts a listener on addr and returns its bound address — the
 // deterministic way to discover a port-zero binding when the transport
 // serves several endpoints (multi-listener topologies of the scenario
 // harness).
 func (t *TCP) Listen(addr string, h Handler) (string, error) {
+	return t.ListenDeadline(addr, func(_ time.Time, method string, payload []byte) ([]byte, error) {
+		return h(method, payload)
+	})
+}
+
+// ListenDeadline is Listen for a deadline-aware handler.
+func (t *TCP) ListenDeadline(addr string, h DeadlineHandler) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("rpc: listen %s: %w", addr, err)
@@ -141,7 +155,7 @@ func (t *TCP) Addr() string {
 	return t.listeners[0].Addr().String()
 }
 
-func (t *TCP) acceptLoop(ln net.Listener, h Handler) {
+func (t *TCP) acceptLoop(ln net.Listener, h DeadlineHandler) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -162,21 +176,23 @@ func (t *TCP) acceptLoop(ln net.Listener, h Handler) {
 // partialReq accumulates the chunks of one in-flight inbound request.
 type partialReq struct {
 	method string
-	buf    []byte
+	// deadline is the caller's propagated deadline (zero = no budget),
+	// decoded from the first chunk's budget field.
+	deadline time.Time
+	buf      []byte
 }
 
 // serveConn runs the server half of one persistent connection: a read loop
 // reassembling chunked requests and one goroutine per complete request, so a
 // slow handler never stalls requests pipelined behind it.
-func (t *TCP) serveConn(conn net.Conn, h Handler) {
+func (t *TCP) serveConn(conn net.Conn, h DeadlineHandler) {
 	defer func() {
 		conn.Close()
 		t.mu.Lock()
 		delete(t.srvConns, conn)
 		t.mu.Unlock()
 	}()
-	var wmu sync.Mutex
-	bw := bufio.NewWriter(conn)
+	fw := &frameWriter{conn: conn, bw: bufio.NewWriter(conn)}
 	partials := make(map[uint64]*partialReq)
 	br := bufio.NewReader(conn)
 	var buf []byte
@@ -191,6 +207,7 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 		id := r.U64()
 		last := r.Bool()
 		method := r.Str()
+		budgetMs := r.U64()
 		if r.Err() != nil || kind != frameRequest {
 			return // protocol violation: no resync possible
 		}
@@ -198,6 +215,9 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 		p := partials[id]
 		if p == nil {
 			p = &partialReq{method: method}
+			if budgetMs > 0 {
+				p.deadline = time.Now().Add(time.Duration(budgetMs) * time.Millisecond)
+			}
 			partials[id] = p
 		}
 		p.buf = append(p.buf, chunk...)
@@ -205,15 +225,24 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 			continue
 		}
 		delete(partials, id)
-		go serveRequest(conn, &wmu, bw, id, p.method, p.buf, h, t.chunkBytes())
+		go t.serveRequest(fw, id, p, h)
 	}
 }
 
 // serveRequest executes the handler and writes the (possibly chunked)
 // response. Write access to the shared connection is serialized per frame by
-// wmu, so concurrent responses interleave at chunk granularity.
-func serveRequest(conn net.Conn, wmu *sync.Mutex, bw *bufio.Writer, id uint64, method string, payload []byte, h Handler, chunk int) {
-	resp, herr := h(method, payload)
+// the frameWriter, so concurrent responses interleave at chunk granularity;
+// every response write carries a deadline so a stuck peer can never pin
+// handler goroutines forever.
+func (t *TCP) serveRequest(fw *frameWriter, id uint64, p *partialReq, h DeadlineHandler) {
+	resp, herr := h(p.deadline, p.method, p.buf)
+	// Response writes are bounded by the call deadline when the client set
+	// one (a late response is worthless to it anyway) and by CallTimeout
+	// otherwise.
+	wd := p.deadline
+	if wd.IsZero() && t.CallTimeout > 0 {
+		wd = time.Now().Add(t.CallTimeout)
+	}
 	if herr != nil {
 		msg := herr.Error()
 		if len(msg) > maxWireErrMsg {
@@ -226,22 +255,45 @@ func serveRequest(conn net.Conn, wmu *sync.Mutex, bw *bufio.Writer, id uint64, m
 		w.Bool(true) // isErr
 		w.U64(wireCodeOf(herr))
 		w.Str(msg)
-		wmu.Lock()
-		if binenc.WriteFrame(bw, w.Bytes()) == nil {
-			bw.Flush() //nolint:errcheck // peer may be gone
-		}
-		wmu.Unlock()
+		fw.writeFrame(w.Bytes(), wd) //nolint:errcheck // peer may be gone
 		w.Free()
 		return
 	}
-	writeChunked(wmu, bw, frameResponse, id, "", resp, chunk) //nolint:errcheck // peer may be gone
+	fw.writeChunked(frameResponse, id, "", 0, resp, t.chunkBytes(), wd) //nolint:errcheck // peer may be gone
+}
+
+// frameWriter serializes frame writes on a shared connection. Each frame
+// write sets (or clears) the connection write deadline under the lock, so
+// per-call deadlines on a multiplexed connection never leak between calls —
+// the fix for the connection-wide SetDeadline of the seed transport.
+type frameWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+}
+
+// writeFrame writes one frame under the lock, bounded by deadline (zero =
+// unbounded).
+func (fw *frameWriter) writeFrame(frame []byte, deadline time.Time) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.conn != nil {
+		fw.conn.SetWriteDeadline(deadline) //nolint:errcheck // best effort
+	}
+	err := binenc.WriteFrame(fw.bw, frame)
+	if err == nil {
+		err = fw.bw.Flush()
+	}
+	return err
 }
 
 // writeChunked frames payload as one or more frames of at most chunk body
-// bytes, taking wmu per frame so other calls interleave between chunks.
-// Request frames carry method on the first chunk; response frames carry the
-// ok-path error fields (isErr=false, code 0, empty message) on every chunk.
-func writeChunked(wmu *sync.Mutex, bw *bufio.Writer, kind byte, id uint64, method string, payload []byte, chunk int) error {
+// bytes, taking the write lock per frame so other calls interleave between
+// chunks. Request frames carry method and the remaining budget (ms, 0 = no
+// bound) on the first chunk; response frames carry the ok-path error fields
+// (isErr=false, code 0, empty message) on every chunk. deadline bounds each
+// frame write.
+func (fw *frameWriter) writeChunked(kind byte, id uint64, method string, budgetMs uint64, payload []byte, chunk int, deadline time.Time) error {
 	w := binenc.GetWriter(64 + min(len(payload), chunk))
 	defer w.Free()
 	rest := payload
@@ -256,8 +308,10 @@ func writeChunked(wmu *sync.Mutex, bw *bufio.Writer, kind byte, id uint64, metho
 		if kind == frameRequest {
 			if first {
 				w.Str(method)
+				w.U64(budgetMs)
 			} else {
 				w.Str("")
+				w.U64(0)
 			}
 		} else {
 			w.Bool(false) // isErr
@@ -265,13 +319,7 @@ func writeChunked(wmu *sync.Mutex, bw *bufio.Writer, kind byte, id uint64, metho
 			w.Str("")
 		}
 		w.Raw(rest[:n])
-		wmu.Lock()
-		err := binenc.WriteFrame(bw, w.Bytes())
-		if err == nil {
-			err = bw.Flush()
-		}
-		wmu.Unlock()
-		if err != nil {
+		if err := fw.writeFrame(w.Bytes(), deadline); err != nil {
 			return err
 		}
 		rest = rest[n:]
@@ -304,8 +352,7 @@ type pendingCall struct {
 // pipeline requests through the shared writer.
 type muxConn struct {
 	conn net.Conn
-	wmu  sync.Mutex
-	bw   *bufio.Writer
+	fw   *frameWriter
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -316,7 +363,7 @@ type muxConn struct {
 func newMuxConn(conn net.Conn, maxFrame int) *muxConn {
 	c := &muxConn{
 		conn:    conn,
-		bw:      bufio.NewWriter(conn),
+		fw:      &frameWriter{conn: conn, bw: bufio.NewWriter(conn)},
 		pending: make(map[uint64]*pendingCall),
 	}
 	go c.readLoop(maxFrame)
@@ -390,8 +437,12 @@ func (c *muxConn) readLoop(maxFrame int) {
 	}
 }
 
-// roundTrip performs one pipelined request/response exchange.
-func (c *muxConn) roundTrip(method string, payload []byte, timeout time.Duration, chunk int) ([]byte, error) {
+// roundTrip performs one pipelined request/response exchange. timeout is the
+// whole-exchange bound — request writes (per frame, via the shared
+// frameWriter, so one stuck call never wedges calls pipelined on the same
+// connection) and the response wait both count against it. budgetMs > 0
+// additionally travels to the server as the caller's deadline.
+func (c *muxConn) roundTrip(method string, payload []byte, timeout time.Duration, budgetMs uint64, chunk int) ([]byte, error) {
 	p := &pendingCall{done: make(chan struct{})}
 	c.mu.Lock()
 	if c.dead {
@@ -403,13 +454,17 @@ func (c *muxConn) roundTrip(method string, payload []byte, timeout time.Duration
 	c.pending[id] = p
 	c.mu.Unlock()
 
-	if err := writeChunked(&c.wmu, c.bw, frameRequest, id, method, payload, chunk); err != nil {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if err := c.fw.writeChunked(frameRequest, id, method, budgetMs, payload, chunk, deadline); err != nil {
 		c.fail(fmt.Errorf("%w: send: %v", ErrDropped, err))
 		return nil, fmt.Errorf("%w: send: %v", ErrDropped, err)
 	}
 	var timer <-chan time.Time
-	if timeout > 0 {
-		tm := time.NewTimer(timeout)
+	if !deadline.IsZero() {
+		tm := time.NewTimer(time.Until(deadline))
 		defer tm.Stop()
 		timer = tm.C
 	}
@@ -488,31 +543,46 @@ func (t *TCP) getConn(addr string) (*muxConn, error) {
 // application errors return a chain matching ErrRemote and any registered
 // sentinel of the remote cause.
 func (t *TCP) Call(addr, method string, payload []byte) ([]byte, error) {
+	return t.CallBudget(addr, method, payload, 0)
+}
+
+// CallBudget is Call with a per-call time budget: it bounds this attempt
+// (overriding CallTimeout) and travels in the request frames so the serving
+// DeadlineHandler sees the matching deadline. budget 0 falls back to
+// CallTimeout with no propagated deadline.
+func (t *TCP) CallBudget(addr, method string, payload []byte, budget time.Duration) ([]byte, error) {
+	timeout := t.CallTimeout
+	var budgetMs uint64
+	if budget > 0 {
+		timeout = budget
+		// Round up: a 300µs budget must not travel as 0 ("no bound").
+		budgetMs = uint64((budget + time.Millisecond - 1) / time.Millisecond)
+	}
 	if t.ConnectPerCall {
-		return t.callOneShot(addr, method, payload)
+		return t.callOneShot(addr, method, payload, timeout, budgetMs)
 	}
 	c, err := t.getConn(addr)
 	if err != nil {
 		return nil, err
 	}
-	return c.roundTrip(method, payload, t.CallTimeout, t.chunkBytes())
+	return c.roundTrip(method, payload, timeout, budgetMs, t.chunkBytes())
 }
 
 // callOneShot is the ablation baseline: dial, exchange one request/response
-// in the same frame format, close.
-func (t *TCP) callOneShot(addr, method string, payload []byte) ([]byte, error) {
+// in the same frame format, close. The connection is private to the call, so
+// a whole-connection deadline here IS the per-call timer.
+func (t *TCP) callOneShot(addr, method string, payload []byte, timeout time.Duration, budgetMs uint64) ([]byte, error) {
 	d := net.Dialer{Timeout: t.DialTimeout}
 	conn, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %w", ErrUnreachable, addr, err)
 	}
 	defer conn.Close()
-	if t.CallTimeout > 0 {
-		conn.SetDeadline(time.Now().Add(t.CallTimeout)) //nolint:errcheck // best effort
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck // best effort
 	}
-	var wmu sync.Mutex
-	bw := bufio.NewWriter(conn)
-	if err := writeChunked(&wmu, bw, frameRequest, 1, method, payload, t.chunkBytes()); err != nil {
+	fw := &frameWriter{bw: bufio.NewWriter(conn)}
+	if err := fw.writeChunked(frameRequest, 1, method, budgetMs, payload, t.chunkBytes(), time.Time{}); err != nil {
 		return nil, fmt.Errorf("%w: send: %v", ErrDropped, err)
 	}
 	br := bufio.NewReader(conn)

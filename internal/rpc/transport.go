@@ -28,6 +28,14 @@ import (
 // must not be recycled by the handler.
 type Handler func(method string, payload []byte) ([]byte, error)
 
+// DeadlineHandler is a Handler that also receives the per-call deadline
+// propagated from the caller (zero when the caller set no budget). Handlers
+// use it to bound server-side work — e.g. lock waits — to time the caller is
+// still willing to spend, instead of discovering the abandonment only when
+// the response hits a dead wire. The payload/response ownership rules of
+// Handler apply unchanged.
+type DeadlineHandler func(deadline time.Time, method string, payload []byte) ([]byte, error)
+
 // Transport delivers single request/response attempts. Delivery may fail;
 // the Client layers retries and deduplication on top.
 type Transport interface {
@@ -38,6 +46,33 @@ type Transport interface {
 	Serve(addr string, h Handler) error
 	// Close releases transport resources.
 	Close() error
+}
+
+// BudgetCaller is implemented by transports that can attach a per-call time
+// budget: the call fails once the budget elapses, and the budget travels to
+// the peer so the serving DeadlineHandler sees the matching deadline. A
+// budget of 0 means "no per-call bound" (the transport's defaults apply).
+type BudgetCaller interface {
+	// CallBudget performs one request attempt bounded by budget.
+	CallBudget(addr, method string, payload []byte, budget time.Duration) ([]byte, error)
+}
+
+// DeadlineServer is implemented by transports that deliver per-call
+// deadlines to their handlers.
+type DeadlineServer interface {
+	// ServeDeadline registers a deadline-aware handler for addr.
+	ServeDeadline(addr string, h DeadlineHandler) error
+}
+
+// ServeWithDeadline registers h at addr, threading per-call deadlines when
+// the transport supports them and degrading to zero deadlines otherwise.
+func ServeWithDeadline(t Transport, addr string, h DeadlineHandler) error {
+	if ds, ok := t.(DeadlineServer); ok {
+		return ds.ServeDeadline(addr, h)
+	}
+	return t.Serve(addr, func(method string, payload []byte) ([]byte, error) {
+		return h(time.Time{}, method, payload)
+	})
 }
 
 // Transport-level errors.
@@ -66,7 +101,7 @@ type FaultPlan struct {
 // not usable; create one with NewInProc.
 type InProc struct {
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]DeadlineHandler
 	plan     FaultPlan
 	rng      *rand.Rand
 	rngMu    sync.Mutex
@@ -78,15 +113,24 @@ type InProc struct {
 // NewInProc returns an in-process transport with the given fault plan.
 func NewInProc(plan FaultPlan) *InProc {
 	return &InProc{
-		handlers:    make(map[string]Handler),
+		handlers:    make(map[string]DeadlineHandler),
 		plan:        plan,
 		rng:         rand.New(rand.NewSource(plan.Seed)),
 		partitioned: make(map[string]bool),
 	}
 }
 
-// Serve registers a handler for addr.
+// Serve registers a handler for addr (called with zero deadlines; use
+// ServeDeadline for deadline propagation).
 func (t *InProc) Serve(addr string, h Handler) error {
+	return t.ServeDeadline(addr, func(_ time.Time, method string, payload []byte) ([]byte, error) {
+		return h(method, payload)
+	})
+}
+
+// ServeDeadline registers a deadline-aware handler for addr: calls made with
+// CallBudget deliver their deadline to h.
+func (t *InProc) ServeDeadline(addr string, h DeadlineHandler) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -121,6 +165,14 @@ func (t *InProc) chance(p float64) bool {
 
 // Call delivers one request attempt, subject to the fault plan.
 func (t *InProc) Call(addr, method string, payload []byte) ([]byte, error) {
+	return t.CallBudget(addr, method, payload, 0)
+}
+
+// CallBudget delivers one request attempt with a per-call time budget: the
+// handler receives the matching deadline (zero when budget is 0). The
+// in-process exchange itself is synchronous, so the budget bounds handler
+// work via the propagated deadline rather than by killing the call.
+func (t *InProc) CallBudget(addr, method string, payload []byte, budget time.Duration) ([]byte, error) {
 	t.mu.RLock()
 	h, ok := t.handlers[addr]
 	part := t.partitioned[addr]
@@ -135,12 +187,16 @@ func (t *InProc) Call(addr, method string, payload []byte) ([]byte, error) {
 	if t.chance(t.plan.DropRequest) {
 		return nil, fmt.Errorf("%w: request to %s/%s", ErrDropped, addr, method)
 	}
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
 	if t.chance(t.plan.Duplicate) {
 		// Execute twice; the first response is discarded. Exactly-once
 		// handlers must tolerate this.
-		h(method, payload) //nolint:errcheck // duplicated delivery
+		h(deadline, method, payload) //nolint:errcheck // duplicated delivery
 	}
-	resp, err := h(method, payload)
+	resp, err := h(deadline, method, payload)
 	if err != nil {
 		// Both sentinels stay unwrappable: callers branch on ErrRemote to
 		// stop retrying, and on the application error underneath (e.g.
@@ -158,7 +214,7 @@ func (t *InProc) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.closed = true
-	t.handlers = make(map[string]Handler)
+	t.handlers = make(map[string]DeadlineHandler)
 	return nil
 }
 
@@ -223,6 +279,19 @@ const maxPooledEnvelopeBytes = 256 << 10
 // Call invokes method at addr reliably. Application-level errors (ErrRemote)
 // are returned immediately; transport losses are retried.
 func (c *Client) Call(addr, method string, payload []byte) ([]byte, error) {
+	return c.CallBudget(addr, method, payload, 0)
+}
+
+// ErrBudgetExceeded reports a reliable call abandoned because its time
+// budget ran out across attempts (the per-attempt failure is wrapped).
+var ErrBudgetExceeded = errors.New("rpc: call budget exceeded")
+
+// CallBudget is Call with an end-to-end time budget covering every attempt
+// and backoff: no retry starts past the deadline, and on budget-aware
+// transports each attempt carries the remaining budget to the server, whose
+// handlers bound their own work by it (deadline propagation). budget 0 is
+// plain Call.
+func (c *Client) CallBudget(addr, method string, payload []byte, budget time.Duration) ([]byte, error) {
 	e := envelopePool.Get().(*envelope)
 	e.buf = appendEnvelope(e.buf[:0], c.nextRequestID(), payload)
 	defer func() {
@@ -231,16 +300,37 @@ func (c *Client) Call(addr, method string, payload []byte) ([]byte, error) {
 		}
 		envelopePool.Put(e)
 	}()
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+	bc, budgeted := c.t.(BudgetCaller)
 	var lastErr error
 	retries := c.Retries
 	if retries <= 0 {
 		retries = 8
 	}
 	for i := 0; i < retries; i++ {
+		remaining := time.Duration(0)
+		if !deadline.IsZero() {
+			remaining = time.Until(deadline)
+			if remaining <= 0 {
+				if lastErr == nil {
+					lastErr = fmt.Errorf("%w: %s/%s within %v", ErrBudgetExceeded, addr, method, budget)
+				}
+				return nil, fmt.Errorf("%w: %s/%s: %w", ErrBudgetExceeded, addr, method, lastErr)
+			}
+		}
 		c.mu.Lock()
 		c.attempts++
 		c.mu.Unlock()
-		resp, err := c.t.Call(addr, method, e.buf)
+		var resp []byte
+		var err error
+		if budgeted {
+			resp, err = bc.CallBudget(addr, method, e.buf, remaining)
+		} else {
+			resp, err = c.t.Call(addr, method, e.buf)
+		}
 		if err == nil {
 			return resp, nil
 		}
@@ -308,4 +398,10 @@ func decodeEnvelope(env []byte) (reqID string, payload []byte, err error) {
 // and the memo bounds; Dedup uses the default limits.
 func Dedup(h Handler) Handler {
 	return NewDeduper(h, DefaultDedupEntries, DefaultDedupBytes).Handle
+}
+
+// DedupDeadline is Dedup for a deadline-aware handler chain: the per-call
+// deadline flows through the memo to h on first execution.
+func DedupDeadline(h DeadlineHandler) DeadlineHandler {
+	return NewDeadlineDeduper(h, DefaultDedupEntries, DefaultDedupBytes).HandleDeadline
 }

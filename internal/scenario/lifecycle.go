@@ -1,0 +1,206 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"concord/internal/txn"
+	"concord/internal/version"
+	"concord/internal/vlsi"
+	"concord/internal/wal"
+)
+
+// effectiveTTL is the lease lifetime the scenario's server actually runs
+// with (the topology override or the package default).
+func effectiveTTL(sc Scenario) time.Duration {
+	if sc.Topo.LeaseTTL > 0 {
+		return sc.Topo.LeaseTTL
+	}
+	return txn.DefaultLeaseTTL
+}
+
+// vanishState is the mid-checkin context a vanished workstation leaves
+// behind, checked against the reaper's reclamation afterwards.
+type vanishState struct {
+	at     time.Time
+	da     string
+	dopID  string
+	parent version.ID
+	txid   string // staged-but-unprepared checkin branch ("" without mid-2PC)
+}
+
+// vanishWorkstation kills workstation 0 without restart. It first parks a
+// dangling DOP holding the derivation lock on the DA's newest version, and —
+// for the mid-2PC variant — stages an unprepared checkin branch under it, so
+// the vanish happens exactly mid-checkin.
+func vanishWorkstation(t *testing.T, s site, st *runState, sc Scenario) *vanishState {
+	t.Helper()
+	vs := &vanishState{da: st.rootDAs[0], dopID: st.nextDOPID()}
+	vs.parent = st.lastOf(vs.da)
+	d, err := s.begin(0, vs.dopID, vs.da)
+	if err != nil {
+		t.Fatalf("vanish: begin dangling DOP: %v", err)
+	}
+	if _, err := d.Checkout(vs.parent, true); err != nil {
+		t.Fatalf("vanish: derive checkout of %s: %v", vs.parent, err)
+	}
+	if sc.Fault.VanishMid2PC {
+		vs.txid = "vanish-tx-" + vs.dopID
+		dov := &version.DOV{
+			ID: version.ID("vanish-" + vs.dopID), DOT: vlsi.DOTFloorplan, DA: vs.da,
+			Parents: []version.ID{vs.parent}, Object: payload(vs.da, vs.dopID),
+			Status: version.StatusWorking,
+		}
+		if err := s.serverTM().Stage(vs.dopID, vs.txid, dov, false, nil); err != nil {
+			t.Fatalf("vanish: stage mid-2PC branch: %v", err)
+		}
+	}
+	vs.at = time.Now()
+	if err := s.vanishWS(0); err != nil {
+		t.Fatalf("vanish: kill workstation 0: %v", err)
+	}
+	return vs
+}
+
+// verifyReapAndTakeover is the workstation-failure oracle: within 2×LeaseTTL
+// of the vanish the lease must be reaped, the staged branch presumed-abort
+// discarded and the derivation lock freed; a surviving designer then derives
+// from the same version and commits; finally the vanished workstation's next
+// incarnation rejoins with its recovered DOP context.
+func verifyReapAndTakeover(t *testing.T, s site, st *runState, sc Scenario, vs *vanishState) {
+	t.Helper()
+	stm := s.serverTM()
+	ttl := effectiveTTL(sc)
+	deadline := vs.at.Add(2 * ttl)
+	for stm.HasLease(wsName(0)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("lease of vanished workstation not reaped within 2×LeaseTTL (%v)", 2*ttl)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if vs.txid != "" {
+		// The unprepared mid-2PC branch must be presumed-abort discarded: a
+		// prepare of its transaction ID now finds nothing staged.
+		if _, err := stm.Prepare(vs.txid); !errors.Is(err, txn.ErrNotStaged) {
+			t.Errorf("staged branch of vanished workstation not reaped: Prepare = %v, want ErrNotStaged", err)
+		}
+	}
+	// Takeover: a surviving designer acquires the freed derivation lock and
+	// commits a successor. The lock wait is bounded, so a ghost owner would
+	// surface as a timeout here.
+	d2, err := s.begin(1, st.nextDOPID(), vs.da)
+	if err != nil {
+		t.Fatalf("takeover: begin: %v", err)
+	}
+	if _, err := d2.Checkout(vs.parent, true); err != nil {
+		t.Fatalf("takeover: derivation lock of %s still held after reap: %v", vs.parent, err)
+	}
+	if err := d2.SetWorkspace(payload(vs.da, "takeover")); err != nil {
+		t.Fatalf("takeover: workspace: %v", err)
+	}
+	id, err := d2.Checkin(version.StatusWorking, false)
+	if err != nil {
+		t.Fatalf("takeover: checkin: %v", err)
+	}
+	st.recordCommit(vs.da, id)
+	_ = d2.Commit()
+	// Revive: the next incarnation recovers its persisted DOP contexts and
+	// rejoins (Begin is idempotent; AddWorkstation reattaches, and the
+	// heartbeat loop re-establishes the lease).
+	recovered, err := s.reviveWS(0)
+	if err != nil {
+		t.Fatalf("revive workstation 0: %v", err)
+	}
+	if !sc.Topo.VolatileWS && recovered == 0 {
+		t.Errorf("revived workstation recovered no DOP context; the dangling DOP was persisted")
+	}
+	rejoined := time.Now().Add(5 * time.Second)
+	for !stm.HasLease(wsName(0)) {
+		if time.Now().After(rejoined) {
+			t.Fatalf("revived workstation never re-established its lease")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// verifyPartitionRejoin simulates a heartbeat partition long enough for the
+// reaper to reclaim a live workstation, then heals it: the client's next
+// heartbeat sees ErrNoLease, auto-rejoins, and its pre-partition DOP resumes
+// with a successful checkin.
+func verifyPartitionRejoin(t *testing.T, s site, st *runState, sc Scenario) {
+	t.Helper()
+	stm := s.serverTM()
+	ttl := effectiveTTL(sc)
+	da := st.rootDAs[0]
+	dopID := st.nextDOPID()
+	d, err := s.begin(0, dopID, da)
+	if err != nil {
+		t.Fatalf("partition: begin pre-partition DOP: %v", err)
+	}
+	parent := st.lastOf(da)
+	if _, err := d.Checkout(parent, false); err != nil {
+		t.Fatalf("partition: checkout: %v", err)
+	}
+	if err := d.SetWorkspace(payload(da, dopID)); err != nil {
+		t.Fatalf("partition: workspace: %v", err)
+	}
+	// Partition: every heartbeat renewal is refused until healed. No
+	// operations run meanwhile, so nothing else renews the lease either.
+	reg := stm.Faults
+	reg.Arm(txn.FaultHeartbeatDrop, nil)
+	reapDeadline := time.Now().Add(3*ttl + time.Second)
+	for stm.HasLease(wsName(0)) {
+		if time.Now().After(reapDeadline) {
+			t.Fatalf("partitioned workstation's lease never reaped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	reg.Disarm(txn.FaultHeartbeatDrop)
+	// Heal: the live client auto-rejoins off its heartbeat loop.
+	rejoinDeadline := time.Now().Add(10 * time.Second)
+	for !stm.HasLease(wsName(0)) {
+		if time.Now().After(rejoinDeadline) {
+			t.Fatalf("healed workstation never auto-rejoined")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The pre-partition DOP resumes: its checkin commits.
+	id, err := d.Checkin(version.StatusWorking, false)
+	if err != nil {
+		t.Fatalf("partition: DOP did not resume after rejoin: %v", err)
+	}
+	st.recordCommit(da, id)
+	_ = d.Commit()
+}
+
+// verifyDegradedMode is the disk-full oracle: once the armed WAL failure has
+// fired, the server must be in read-only degraded mode — health reports it,
+// checkouts keep serving from the MVCC index, mutations fail fast — and a
+// restart (onto a healthy disk) restores writability.
+func verifyDegradedMode(t *testing.T, s site, st *runState, sc Scenario) {
+	t.Helper()
+	reg := s.serverTM().Faults
+	if reg.Fired(wal.FaultAppendSync) == 0 {
+		t.Fatalf("disk-full point %s never fired; the scenario exercises nothing", wal.FaultAppendSync)
+	}
+	if mode, cause := s.health(); mode != "degraded" {
+		t.Errorf("health after WAL failure = (%q, %q), want degraded", mode, cause)
+	}
+	da := st.rootDAs[0]
+	// Reads still serve from the MVCC read index.
+	if err := doCheckout(s, st, 1, da); err != nil {
+		t.Errorf("degraded server refused a read-only checkout: %v", err)
+	}
+	// Mutations fail fast instead of hanging or fail-stopping the reads.
+	if err := doCheckin(s, st, 1, da); err == nil {
+		t.Errorf("checkin succeeded on a degraded (read-only) server")
+	}
+	// Restart onto the healed disk: writability returns.
+	if err := s.crashRestartServer(false, false); err != nil {
+		t.Fatalf("restart out of degraded mode: %v", err)
+	}
+	if mode, cause := s.health(); mode != "ok" {
+		t.Errorf("health after restart = (%q, %q), want ok", mode, cause)
+	}
+}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"time"
 
 	"concord/internal/repo"
 	"concord/internal/rpc"
@@ -140,6 +141,50 @@ func Short() []Scenario {
 			Topo:  Topology{Workstations: 2, DesignAreas: 2, SegmentBytes: 2 << 10, QuiescentCheckpoint: true},
 			Load:  writeLoad(30, 15),
 			Fault: Fault{CrashServer: true, RaceCheckpoint: true},
+		},
+		{
+			// The PR-9 acceptance scenario: workstation 0 is killed
+			// mid-checkin (derivation lock held, 2PC branch staged but not
+			// prepared). Within 2×LeaseTTL the reaper presumed-aborts the
+			// branch and frees the lock, a surviving designer derives from
+			// the same version and commits, and the killed workstation's
+			// next incarnation rejoins with its recovered DOP context. The
+			// digest oracles prove no committed state was lost.
+			Name:  "inproc-ws-vanish-mid-2pc",
+			Topo:  Topology{Workstations: 2, DesignAreas: 2, LeaseTTL: 500 * time.Millisecond},
+			Load:  writeLoad(24, 16),
+			Fault: Fault{VanishMid2PC: true},
+		},
+		{
+			// Vanish while holding only a derivation lock, with the reaper
+			// additionally delayed one pass by the armed lease-expired
+			// point; the second workstation still acquires after reaping.
+			Name:  "inproc-ws-vanish-derivation-lock",
+			Topo:  Topology{Workstations: 2, DesignAreas: 2, LeaseTTL: 500 * time.Millisecond},
+			Load:  mixedLoad(24, 17),
+			Fault: Fault{VanishWS: true, Point: txn.FaultLeaseExpired},
+		},
+		{
+			// Heartbeat partition of a live workstation: its lease is reaped,
+			// the heal triggers an ErrNoLease-driven auto-Rejoin, and the
+			// pre-partition DOP resumes with a successful checkin.
+			Name: "inproc-partition-rejoin-resumes-dop",
+			Topo: Topology{
+				Workstations: 2, DesignAreas: 2,
+				LeaseTTL: 300 * time.Millisecond, HeartbeatEvery: 30 * time.Millisecond,
+			},
+			Load:  mixedLoad(24, 18),
+			Fault: Fault{PartitionWS: true},
+		},
+		{
+			// Disk-full on the server WAL with the degradation knob on: the
+			// server latches read-only degraded mode — checkouts keep
+			// serving, mutations fail fast, health reports "degraded" — and
+			// a restart restores writability.
+			Name:  "inproc-disk-full-degraded-reads",
+			Topo:  Topology{Workstations: 2, DesignAreas: 2, DegradedOnWALFailure: true},
+			Load:  writeLoad(24, 19),
+			Fault: Fault{DiskFull: true, Skip: 10},
 		},
 		{
 			Name: "inproc-scale-concurrent",

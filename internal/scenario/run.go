@@ -15,6 +15,7 @@ import (
 	"concord/internal/sim"
 	"concord/internal/version"
 	"concord/internal/vlsi"
+	"concord/internal/wal"
 )
 
 // runState is the driver's shared bookkeeping: the newest committed version
@@ -149,8 +150,14 @@ func Run(t *testing.T, sc Scenario) {
 	}
 
 	// Phase B — arm the fault and drive the workload.
+	if sc.Fault.VanishMid2PC {
+		sc.Fault.VanishWS = true
+	}
 	if sc.Fault.DropCallbacks {
 		reg.Arm(rpc.FaultNotifyDrop, nil)
+	}
+	if sc.Fault.DiskFull {
+		reg.ArmAfter(wal.FaultAppendSync, sc.Fault.Skip, nil)
 	}
 	if sc.Fault.Point != "" {
 		reg.ArmAfter(sc.Fault.Point, sc.Fault.Skip, nil)
@@ -184,6 +191,7 @@ func Run(t *testing.T, sc Scenario) {
 			t.Fatalf("server crash/restart: %v", err)
 		}
 	}
+	var vs *vanishState
 	if sc.Load.Concurrent {
 		var wg sync.WaitGroup
 		per := sc.Load.Ops / sc.Topo.Workstations
@@ -215,6 +223,9 @@ func Run(t *testing.T, sc Scenario) {
 					t.Fatalf("workstation crash/restart: %v", err)
 				}
 			}
+			if sc.Fault.VanishWS && vs == nil && i == sc.Load.Ops/2 {
+				vs = vanishWorkstation(t, s, st, sc)
+			}
 			runOp(s, st, i%sc.Topo.Workstations, mix.Pick(), rng)
 			if ce := sc.Load.CheckpointEvery; ce > 0 && (i+1)%ce == 0 {
 				_ = s.checkpoint() // armed points fire; failures tolerated
@@ -229,6 +240,19 @@ func Run(t *testing.T, sc Scenario) {
 		if sc.Fault.CrashServer && !crashed {
 			crashServer() // armed point never fired mid-run: crash at the end
 		}
+	}
+	// Workstation-failure lifecycle verifications (DESIGN.md §5.3) run after
+	// the workload settles, while the chaos registry is still armed. They
+	// come before the traversal check because they wait on the background
+	// reaper, whose pass is itself a traversal of txn:lease-expired.
+	if vs != nil {
+		verifyReapAndTakeover(t, s, st, sc, vs)
+	}
+	if sc.Fault.PartitionWS {
+		verifyPartitionRejoin(t, s, st, sc)
+	}
+	if sc.Fault.DiskFull {
+		verifyDegradedMode(t, s, st, sc)
 	}
 	if sc.Fault.Point != "" && reg.Hits(sc.Fault.Point) == 0 {
 		t.Errorf("fault point %s was never traversed: the scenario exercises nothing", sc.Fault.Point)

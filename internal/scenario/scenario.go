@@ -23,12 +23,14 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"concord/internal/fault"
 	"concord/internal/repo"
 	"concord/internal/rpc"
 	"concord/internal/sim"
 	"concord/internal/txn"
+	"concord/internal/wal"
 )
 
 // Transport selects how workstations reach the server site.
@@ -78,6 +80,16 @@ type Topology struct {
 	// QuiescentCheckpoint reverts the server repository to the ablation
 	// design: full snapshots encoded under the exclusive lock.
 	QuiescentCheckpoint bool
+	// LeaseTTL overrides the workstation session lease lifetime (0 uses
+	// txn.DefaultLeaseTTL). The vanish/partition entries shrink it so the
+	// reaper acts within the test budget.
+	LeaseTTL time.Duration
+	// HeartbeatEvery overrides the lease renewal period (0 derives it from
+	// LeaseTTL).
+	HeartbeatEvery time.Duration
+	// DegradedOnWALFailure routes a server WAL append/fsync failure to
+	// read-only degraded mode instead of fail-stop.
+	DegradedOnWALFailure bool
 }
 
 // Workload is the seeded operation stream driven against the topology.
@@ -124,6 +136,29 @@ type Fault struct {
 	// the workload writes (how the checkpoint-protocol points get
 	// traversed under load).
 	RaceCheckpoint bool
+	// VanishWS kills workstation 0 at the workload midpoint WITHOUT
+	// restarting it (sequential in-process workloads only): its heartbeats
+	// stop, the lease expires, and the reaper reclaims the footprint. The
+	// driver verifies reclamation within 2×LeaseTTL, proves a surviving
+	// designer can then commit, and finally revives the workstation so
+	// Rejoin resumes its recovered DOP context.
+	VanishWS bool
+	// VanishMid2PC additionally leaves workstation 0 mid-checkin at vanish
+	// time: a derivation lock held by a dangling DOP and a staged-but-
+	// unprepared checkin branch on the server. The reaper must presume-abort
+	// the branch and free the lock for the next designer. Implies VanishWS.
+	VanishMid2PC bool
+	// PartitionWS simulates a heartbeat partition of workstation 0 (armed
+	// txn.FaultHeartbeatDrop) long enough for its lease to be reaped while
+	// the client stays alive, then heals it: the next heartbeat sees
+	// ErrNoLease, auto-rejoins, and the pre-partition DOP resumes.
+	PartitionWS bool
+	// DiskFull arms wal.FaultAppendSync (after Skip traversals) so a server
+	// WAL append fails mid-run. With Topology.DegradedOnWALFailure the
+	// server latches read-only degraded mode: the driver verifies reads
+	// still serve, mutations fail fast, the health endpoint reports
+	// "degraded", and a restart restores writability.
+	DiskFull bool
 }
 
 // Scenario is one entry of the matrix: topology × workload × fault, always
@@ -140,14 +175,15 @@ type Scenario struct {
 }
 
 // KnownFaultPoints is the full catalog of named fault points across the
-// stack (checkpoint protocol, 2PC engine, server-TM, notifier). The
-// coverage report lists every one of them, so a point that silently stops
-// firing is visible.
+// stack (checkpoint protocol, 2PC engine, server-TM, lease lifecycle, WAL
+// durability, notifier). The coverage report lists every one of them, so a
+// point that silently stops firing is visible.
 func KnownFaultPoints() []string {
-	out := make([]string, 0, len(repo.CrashPoints)+len(rpc.FaultPoints)+len(txn.FaultPoints))
+	out := make([]string, 0, len(repo.CrashPoints)+len(rpc.FaultPoints)+len(txn.FaultPoints)+1)
 	out = append(out, repo.CrashPoints...)
 	out = append(out, rpc.FaultPoints...)
 	out = append(out, txn.FaultPoints...)
+	out = append(out, wal.FaultAppendSync)
 	return out
 }
 

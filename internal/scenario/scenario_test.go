@@ -4,13 +4,16 @@ import (
 	"fmt"
 	"os"
 	"testing"
+
+	"concord/internal/leakcheck"
 )
 
-// TestMain runs the matrix and, when SCENARIO_COVERAGE_OUT names a path,
-// writes the aggregated fault-point coverage report there (CI uploads it as
-// an artifact).
+// TestMain runs the matrix under the goroutine-leak guard (heartbeats, the
+// lease reaper, and the notifier must all terminate with their sites) and,
+// when SCENARIO_COVERAGE_OUT names a path, writes the aggregated
+// fault-point coverage report there (CI uploads it as an artifact).
 func TestMain(m *testing.M) {
-	code := m.Run()
+	code := leakcheck.Main(m)
 	if path := os.Getenv("SCENARIO_COVERAGE_OUT"); path != "" {
 		if err := os.WriteFile(path, []byte(CoverageReport()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "scenario: write coverage report: %v\n", err)

@@ -49,6 +49,17 @@ type site interface {
 	// crashRestartWS crashes workstation ws and re-attaches a fresh
 	// incarnation (cache epoch bump).
 	crashRestartWS(ws int) error
+	// serverTM returns the live server transaction manager (nil while the
+	// server is crashed); lease scenarios inspect and force-reap through it.
+	serverTM() *txn.ServerTM
+	// vanishWS kills workstation ws WITHOUT restarting it: heartbeats stop
+	// and the lease is left to expire. reviveWS boots its next incarnation.
+	vanishWS(ws int) error
+	// reviveWS boots the next incarnation of a vanished workstation and
+	// reports how many persisted DOP contexts it recovered.
+	reviveWS(ws int) (int, error)
+	// health reports the server's degradation mode and latched cause.
+	health() (mode, cause string)
 	// serverRepoDir is the repository directory for the twin-replay oracle.
 	serverRepoDir() string
 	// close shuts everything down (idempotent).
@@ -127,6 +138,9 @@ func newInProcSite(dir string, topo Topology, reg *fault.Registry) (*inprocSite,
 		SegmentBytes:         topo.SegmentBytes,
 		CheckpointMaxChain:   topo.CheckpointMaxChain,
 		QuiescentCheckpoint:  topo.QuiescentCheckpoint,
+		LeaseTTL:             topo.LeaseTTL,
+		HeartbeatEvery:       topo.HeartbeatEvery,
+		DegradedOnWALFailure: topo.DegradedOnWALFailure,
 		Faults:               reg,
 	})
 	if err != nil {
@@ -191,19 +205,31 @@ func (s *inprocSite) crashRestartServer(tornTail, tornManifest bool) error {
 }
 
 func (s *inprocSite) crashRestartWS(ws int) error {
-	id := wsName(ws)
-	if err := s.sys.CrashWorkstation(id); err != nil {
+	if err := s.vanishWS(ws); err != nil {
 		return err
 	}
-	w, err := s.sys.AddWorkstation(id)
+	_, err := s.reviveWS(ws)
+	return err
+}
+
+func (s *inprocSite) serverTM() *txn.ServerTM { return s.sys.ServerTM() }
+
+func (s *inprocSite) vanishWS(ws int) error {
+	return s.sys.CrashWorkstation(wsName(ws))
+}
+
+func (s *inprocSite) reviveWS(ws int) (int, error) {
+	w, err := s.sys.AddWorkstation(wsName(ws))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	s.mu.Lock()
 	s.ws[ws] = w
 	s.mu.Unlock()
-	return nil
+	return len(w.RecoveredDOPs()), nil
 }
+
+func (s *inprocSite) health() (string, string) { return s.sys.Health() }
 
 func (s *inprocSite) close() {
 	s.mu.Lock()
@@ -223,13 +249,15 @@ func (s *inprocSite) close() {
 // listener of its own transport and the server's notifier dials back to it.
 // No cooperation manager: delegation falls back to plain design areas.
 type tcpSite struct {
-	cat       *catalog.Catalog
-	reg       *fault.Registry
-	dir       string
-	addr      string
-	segBytes  int64
-	maxChain  int
-	quiescent bool
+	cat         *catalog.Catalog
+	reg         *fault.Registry
+	dir         string
+	addr        string
+	segBytes    int64
+	maxChain    int
+	quiescent   bool
+	leaseTTL    time.Duration
+	degradedWAL bool
 
 	mu          sync.Mutex
 	r           *repo.Repository
@@ -256,6 +284,7 @@ func newTCPSite(dir string, topo Topology, reg *fault.Registry) (*tcpSite, error
 		cat: cat, reg: reg, dir: dir,
 		segBytes: topo.SegmentBytes, maxChain: topo.CheckpointMaxChain,
 		quiescent: topo.QuiescentCheckpoint,
+		leaseTTL:  topo.LeaseTTL, degradedWAL: topo.DegradedOnWALFailure,
 	}
 	if err := s.startServer(); err != nil {
 		return nil, err
@@ -297,7 +326,8 @@ func (s *tcpSite) startServer() error {
 	r, err := repo.Open(s.cat, repo.Options{
 		Dir: sdir, Sync: true, SegmentBytes: s.segBytes,
 		CheckpointMaxChain: s.maxChain, QuiescentCheckpoint: s.quiescent,
-		Faults: s.reg,
+		DegradedOnWALFailure: s.degradedWAL,
+		Faults:               s.reg,
 	})
 	if err != nil {
 		return err
@@ -323,6 +353,7 @@ func (s *tcpSite) startServer() error {
 	stm := txn.NewServerTM(r, lock.NewManager(), scopes)
 	stm.LockTimeout = 2 * time.Second
 	stm.Faults = s.reg
+	stm.LeaseTTL = s.leaseTTL
 	participant, err := rpc.NewParticipant(stm, plog)
 	if err != nil {
 		plog.Close()
@@ -335,7 +366,7 @@ func (s *tcpSite) startServer() error {
 	if listen == "" {
 		listen = "127.0.0.1:0"
 	}
-	bound, err := srv.Listen(listen, rpc.Dedup(stm.Handler(participant)))
+	bound, err := srv.ListenDeadline(listen, rpc.DedupDeadline(stm.DeadlineHandler(participant)))
 	if err != nil {
 		plog.Close()
 		r.Close()
@@ -440,6 +471,26 @@ func (s *tcpSite) crashRestartServer(tornTail, tornManifest bool) error {
 }
 
 func (s *tcpSite) crashRestartWS(int) error { return errUnsupported }
+
+func (s *tcpSite) serverTM() *txn.ServerTM {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stm
+}
+
+func (s *tcpSite) vanishWS(int) error        { return errUnsupported }
+func (s *tcpSite) reviveWS(int) (int, error) { return 0, errUnsupported }
+
+func (s *tcpSite) health() (string, string) {
+	s.mu.Lock()
+	r := s.r
+	s.mu.Unlock()
+	if r == nil {
+		return "down", "server crashed"
+	}
+	h := r.Health()
+	return h.Mode, h.Cause
+}
 
 func (s *tcpSite) close() {
 	s.mu.Lock()

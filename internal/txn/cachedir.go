@@ -105,6 +105,24 @@ func (d *cacheDir) unregisterLocked(ws string, id version.ID) {
 	}
 }
 
+// dropWS forgets every registration of workstation ws (lease expiry: the
+// endpoint is dead, so queued callbacks to it would only burn notifier
+// retries). The workstation's cache keeps its entries and re-registers on
+// its next checkout after Rejoin.
+func (d *cacheDir) dropWS(ws string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for id := range d.byWS[ws] {
+		if regs, ok := d.byVer[id]; ok {
+			delete(regs, ws)
+			if len(regs) == 0 {
+				delete(d.byVer, id)
+			}
+		}
+	}
+	delete(d.byWS, ws)
+}
+
 // drop forgets every registration of id (after an invalidating push the
 // clients drop their entries too).
 func (d *cacheDir) drop(id version.ID) {

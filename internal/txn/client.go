@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"concord/internal/binenc"
 	"concord/internal/catalog"
@@ -157,12 +158,21 @@ type ClientTM struct {
 	coord      *rpc.Coordinator
 	log        *wal.Log
 	cache      *ObjectCache
+	// OpBudget is the per-call time budget for bulk transfers (checkout,
+	// staged checkin) — generous, since multi-MiB payloads are legitimate
+	// (DefaultOpBudget when zero). Propagated to the server, where it
+	// bounds lock waits; heartbeats use their own tight budget instead.
+	OpBudget time.Duration
 
 	mu     sync.Mutex
 	dops   map[string]*DOP
 	seq    uint64
 	cbAddr string
 	stats  WireStats
+	// hbStop/hbDone are the heartbeat goroutine's lifecycle channels
+	// (nil while no heartbeat runs); see heartbeat.go.
+	hbStop chan struct{}
+	hbDone chan struct{}
 }
 
 // NewClientTM opens a client-TM writing its recovery data under dir (the
@@ -214,8 +224,10 @@ func NewClientTM(id string, client *rpc.Client, serverAddr, dir string) (*Client
 	return tm, recovered, nil
 }
 
-// Close releases the client log.
+// Close stops the heartbeat (waiting for the goroutine to exit) and releases
+// the client log.
 func (tm *ClientTM) Close() error {
+	tm.StopHeartbeat()
 	if tm.log != nil {
 		return tm.log.Close()
 	}
@@ -238,6 +250,17 @@ func (tm *ClientTM) SetCallbackAddr(addr string) {
 	tm.mu.Lock()
 	tm.cbAddr = addr
 	tm.mu.Unlock()
+}
+
+// DefaultOpBudget is the bulk-transfer call budget when OpBudget is unset.
+const DefaultOpBudget = 30 * time.Second
+
+// opBudget resolves the bulk-transfer budget.
+func (tm *ClientTM) opBudget() time.Duration {
+	if tm.OpBudget > 0 {
+		return tm.OpBudget
+	}
+	return DefaultOpBudget
 }
 
 // WireStats returns a snapshot of the wire-traffic counters.
@@ -334,7 +357,7 @@ func (tm *ClientTM) Begin(dopID, da string) (*DOP, error) {
 	}
 	tm.mu.Unlock()
 
-	payload := beginMsg{DOP: dopID, DA: da}.encode()
+	payload := beginMsg{DOP: dopID, DA: da, WS: tm.id}.encode()
 	if _, err := tm.client.Call(tm.serverAddr, MethodBegin, payload); err != nil {
 		return nil, err
 	}
@@ -354,14 +377,18 @@ func (tm *ClientTM) Begin(dopID, da string) (*DOP, error) {
 // Reattach re-registers a recovered DOP with the server-TM (idempotent at
 // the server) so processing can continue after a workstation restart.
 func (tm *ClientTM) Reattach(d *DOP) error {
-	_, err := tm.client.Call(tm.serverAddr, MethodBegin, beginMsg{DOP: d.id, DA: d.da}.encode())
+	_, err := tm.client.Call(tm.serverAddr, MethodBegin, beginMsg{DOP: d.id, DA: d.da, WS: tm.id}.encode())
 	return err
 }
 
 // Crash drops all volatile client-TM state without notifying the server,
 // simulating a workstation crash (Sect. 5.2 failure model). The client log
-// stays on disk for the next incarnation.
+// stays on disk for the next incarnation. The heartbeat goroutine is
+// signalled but not waited for (a crash is immediate); with no renewals
+// arriving, the server-side lease expires and the reaper reclaims the
+// workstation's footprint.
 func (tm *ClientTM) Crash() {
+	tm.signalHeartbeatStop()
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
 	tm.dops = make(map[string]*DOP)
@@ -469,7 +496,7 @@ func (d *DOP) fetch(dov version.ID, derive, useCache bool) (*catalog.Object, err
 	pw := binenc.GetWriter(96)
 	m.encodeInto(pw)
 	outBytes := uint64(len(pw.Bytes()))
-	resp, err := tm.client.Call(tm.serverAddr, MethodCheckout, pw.Bytes())
+	resp, err := tm.client.CallBudget(tm.serverAddr, MethodCheckout, pw.Bytes(), tm.opBudget())
 	pw.Free()
 	tm.mu.Lock()
 	tm.stats.Checkouts++
@@ -750,7 +777,7 @@ func (d *DOP) Checkin(status version.Status, root bool) (version.ID, error) {
 	tm.mu.Unlock()
 	// The stage handler copies anything it retains (rpc.Handler contract),
 	// so the pooled message buffer is safe to recycle after the call.
-	_, err = tm.client.Call(tm.serverAddr, MethodStage, pw.Bytes())
+	_, err = tm.client.CallBudget(tm.serverAddr, MethodStage, pw.Bytes(), tm.opBudget())
 	pw.Free()
 	if err != nil {
 		d.checkins--

@@ -3,6 +3,7 @@ package txn
 import (
 	"concord/internal/catalog"
 	"concord/internal/lock"
+	"concord/internal/repo"
 	"concord/internal/rpc"
 	"concord/internal/version"
 )
@@ -19,21 +20,26 @@ import (
 //	20–39 lock
 //	40–59 version
 //	60–79 catalog
+//	80–99 repo
 func init() {
 	rpc.RegisterWireError(1, ErrUnknownDOP)
 	rpc.RegisterWireError(2, ErrNotStaged)
 	rpc.RegisterWireError(3, ErrDeltaBase)
 	rpc.RegisterWireError(4, ErrCheckinFailed)
 	rpc.RegisterWireError(5, ErrNothingToCommit)
+	rpc.RegisterWireError(6, ErrNoLease)
 
 	rpc.RegisterWireError(20, lock.ErrDeadlock)
 	rpc.RegisterWireError(21, lock.ErrTimeout)
 	rpc.RegisterWireError(22, lock.ErrNotHeld)
 	rpc.RegisterWireError(23, lock.ErrScopeDenied)
 	rpc.RegisterWireError(24, lock.ErrScopeOwned)
+	rpc.RegisterWireError(25, lock.ErrOwnerEvicted)
 
 	rpc.RegisterWireError(40, version.ErrUnknownDOV)
 	rpc.RegisterWireError(41, version.ErrDuplicateDOV)
 
 	rpc.RegisterWireError(60, catalog.ErrUnknownDOT)
+
+	rpc.RegisterWireError(80, repo.ErrDegraded)
 }

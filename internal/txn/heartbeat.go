@@ -1,0 +1,116 @@
+package txn
+
+import (
+	"errors"
+	"sort"
+	"time"
+)
+
+// Workstation half of the lease lifecycle: a heartbeat goroutine renews the
+// session the workstation's Begin-of-DOP calls opened. A heartbeat answered
+// with ErrNoLease means the server forgot us — it restarted (leases are
+// volatile) or the reaper reclaimed an expired lease — and the loop reacts by
+// Rejoining with the DOPs currently registered, restoring the session without
+// designer intervention.
+
+// DefaultHeartbeatDivisor derives the heartbeat period from the server's
+// lease TTL when the caller does not choose one: TTL/4 survives two lost
+// heartbeats and a retry before the lease expires.
+const DefaultHeartbeatDivisor = 4
+
+// StartHeartbeat launches the lease-renewal goroutine, sending a heartbeat
+// every `every`. Idempotent while running; StopHeartbeat ends it. Heartbeats
+// ride the deadline-propagating call path with a budget of one period — a
+// renewal that cannot make it in time is worthless, so it must not occupy the
+// wire longer than that.
+func (tm *ClientTM) StartHeartbeat(every time.Duration) {
+	if every <= 0 {
+		every = DefaultLeaseTTL / DefaultHeartbeatDivisor
+	}
+	tm.mu.Lock()
+	if tm.hbStop != nil {
+		tm.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	tm.hbStop, tm.hbDone = stop, done
+	tm.mu.Unlock()
+	go tm.heartbeatLoop(every, stop, done)
+}
+
+// StopHeartbeat signals the heartbeat goroutine and waits for it to exit.
+func (tm *ClientTM) StopHeartbeat() {
+	stop, done := tm.signalHeartbeatStop()
+	if stop {
+		<-done
+	}
+}
+
+// signalHeartbeatStop closes the stop channel without waiting (Crash must
+// not block on an in-flight heartbeat call). Returns whether a loop was
+// running and its done channel.
+func (tm *ClientTM) signalHeartbeatStop() (bool, chan struct{}) {
+	tm.mu.Lock()
+	stop, done := tm.hbStop, tm.hbDone
+	tm.hbStop, tm.hbDone = nil, nil
+	tm.mu.Unlock()
+	if stop == nil {
+		return false, nil
+	}
+	close(stop)
+	return true, done
+}
+
+func (tm *ClientTM) heartbeatLoop(every time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		err := tm.heartbeat(every)
+		if errors.Is(err, ErrNoLease) {
+			tm.Rejoin() //nolint:errcheck // best-effort; retried next tick
+		}
+	}
+}
+
+// heartbeat sends one lease renewal with a tight per-call budget.
+func (tm *ClientTM) heartbeat(budget time.Duration) error {
+	_, err := tm.client.CallBudget(tm.serverAddr, MethodHeartbeat, []byte(tm.id), budget)
+	return err
+}
+
+// Rejoin re-establishes the workstation's lease and re-registers every DOP
+// this client-TM holds (recovered ones included) with the server. Safe to
+// call at any time — Begin is idempotent server-side.
+func (tm *ClientTM) Rejoin() error {
+	tm.mu.Lock()
+	m := rejoinMsg{WS: tm.id, DOPs: make([]dopPair, 0, len(tm.dops))}
+	for _, d := range tm.dops {
+		m.DOPs = append(m.DOPs, dopPair{DOP: d.id, DA: d.da})
+	}
+	tm.mu.Unlock()
+	sort.Slice(m.DOPs, func(i, j int) bool { return m.DOPs[i].DOP < m.DOPs[j].DOP })
+	_, err := tm.client.Call(tm.serverAddr, MethodRejoin, m.encode())
+	return err
+}
+
+// ServerHealth asks the server for its degradation mode: Mode is "ok",
+// "degraded" (read-only: checkouts serve, mutations refused with
+// repo.ErrDegraded) or "failstop", with the latched cause alongside.
+func (tm *ClientTM) ServerHealth() (mode, cause string, err error) {
+	resp, err := tm.client.Call(tm.serverAddr, MethodHealth, nil)
+	if err != nil {
+		return "", "", err
+	}
+	h, err := decodeHealth(resp)
+	if err != nil {
+		return "", "", err
+	}
+	return h.Mode, h.Cause, nil
+}

@@ -1,0 +1,15 @@
+package txn
+
+import (
+	"os"
+	"testing"
+
+	"concord/internal/leakcheck"
+)
+
+// TestMain guards the package against leaked background goroutines: client
+// heartbeat loops and the server-side lease reaper must terminate when the
+// stacks the tests build are torn down.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

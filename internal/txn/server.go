@@ -32,7 +32,7 @@ const (
 
 // FaultPoints lists every fault point owned by this package, for coverage
 // reports.
-var FaultPoints = []string{FaultStagePersisted, FaultCheckinInstalled}
+var FaultPoints = []string{FaultStagePersisted, FaultCheckinInstalled, FaultLeaseExpired, FaultHeartbeatDrop}
 
 // Errors reported by the server-TM.
 var (
@@ -62,13 +62,22 @@ type ServerTM struct {
 	cdir *cacheDir
 	// LockTimeout bounds lock waits (default 5s).
 	LockTimeout time.Duration
-	// Faults is the fault-point registry traversed at FaultStagePersisted
-	// and FaultCheckinInstalled (nil-safe). Set before serving; tests only.
+	// LeaseTTL is the workstation lease lifetime (DefaultLeaseTTL when
+	// zero). A workstation silent for this long is reclaimed by the reaper.
+	LeaseTTL time.Duration
+	// Faults is the fault-point registry traversed at the txn fault points
+	// (nil-safe). Set before serving; tests only.
 	Faults *fault.Registry
 
 	dops     [tmShards]dopShard
 	staged   [tmShards]stagedShard
 	notifier atomic.Pointer[rpc.Notifier]
+
+	// leaseMu guards the lease table and the reaper lifecycle fields.
+	leaseMu  sync.Mutex
+	leases   map[string]*wsLease
+	reapStop chan struct{}
+	reapDone chan struct{}
 }
 
 // tmShards is the admission fan-out. Shard count beyond the workstation
@@ -108,6 +117,9 @@ func (s *ServerTM) stagedShard(txid string) *stagedShard { return &s.staged[tmHa
 
 type serverDOP struct {
 	da string
+	// ws is the workstation whose lease the DOP lives under ("" for direct
+	// API use without a session).
+	ws string
 	// derivationLocks tracks D locks held on behalf of the DOP. Guarded by
 	// the owning dopShard's mutex.
 	derivationLocks map[version.ID]bool
@@ -142,6 +154,7 @@ func NewServerTM(r *repo.Repository, lm *lock.Manager, st *lock.ScopeTable) *Ser
 		scopes:      st,
 		cdir:        newCacheDir(),
 		LockTimeout: 5 * time.Second,
+		leases:      make(map[string]*wsLease),
 	}
 	for i := range s.dops {
 		s.dops[i].m = make(map[string]*serverDOP)
@@ -179,19 +192,33 @@ func (s *ServerTM) Scopes() *lock.ScopeTable { return s.scopes }
 
 // Begin registers a DOP for a DA (Begin-of-DOP, Sect. 5.2).
 func (s *ServerTM) Begin(dop, da string) error {
+	return s.beginWS(dop, da, "")
+}
+
+// beginWS is Begin plus the workstation session: a non-empty ws opens (or
+// renews) the workstation's lease and records the DOP under it for
+// reclamation on expiry.
+func (s *ServerTM) beginWS(dop, da, ws string) error {
 	if dop == "" || da == "" {
 		return errors.New("txn: Begin needs DOP and DA identifiers")
 	}
 	sh := s.dopShard(dop)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if cur, dup := sh.m[dop]; dup {
 		if cur.da == da {
-			return nil // idempotent re-attach after workstation recovery
+			// Idempotent re-attach after workstation recovery; adopt the
+			// (possibly new) session.
+			cur.ws = ws
+			sh.mu.Unlock()
+			s.touchLease(ws, dop)
+			return nil
 		}
+		sh.mu.Unlock()
 		return fmt.Errorf("txn: DOP %s already registered for DA %s", dop, cur.da)
 	}
-	sh.m[dop] = &serverDOP{da: da, derivationLocks: make(map[version.ID]bool)}
+	sh.m[dop] = &serverDOP{da: da, ws: ws, derivationLocks: make(map[version.ID]bool)}
+	sh.mu.Unlock()
+	s.touchLease(ws, dop)
 	return nil
 }
 
@@ -209,14 +236,32 @@ func (s *ServerTM) lookupDOP(dop string) (*serverDOP, bool) {
 // can check the version out for derivation concurrently (Sect. 5.2). A
 // short S lock protects the read itself.
 func (s *ServerTM) Checkout(dop string, dov version.ID, derive bool) (*version.DOV, error) {
-	v, _, _, err := s.checkoutEnc(dop, dov, derive)
+	v, _, _, err := s.checkoutEnc(dop, dov, derive, time.Time{})
 	return v, err
+}
+
+// lockBudget bounds a lock wait by LockTimeout and, when the caller
+// propagated a deadline, by the time it is still willing to spend — there is
+// no point winning a lock for a caller that already hung up. An expired
+// deadline yields 0, which lock.Acquire treats as "do not wait".
+func (s *ServerTM) lockBudget(deadline time.Time) time.Duration {
+	to := s.LockTimeout
+	if !deadline.IsZero() {
+		if rem := time.Until(deadline); rem < to {
+			to = rem
+		}
+		if to < 0 {
+			to = 0
+		}
+	}
+	return to
 }
 
 // checkoutEnc is Checkout plus the canonical payload encoding and content
 // hash of the version (memoized in the repository), which the wire layer
-// needs for the NotModified/delta negotiation.
-func (s *ServerTM) checkoutEnc(dop string, dov version.ID, derive bool) (*version.DOV, []byte, []byte, error) {
+// needs for the NotModified/delta negotiation. deadline bounds lock waits
+// (zero = LockTimeout only).
+func (s *ServerTM) checkoutEnc(dop string, dov version.ID, derive bool, deadline time.Time) (*version.DOV, []byte, []byte, error) {
 	st, ok := s.lookupDOP(dop)
 	if !ok {
 		return nil, nil, nil, fmt.Errorf("%w: %s", ErrUnknownDOP, dop)
@@ -226,7 +271,7 @@ func (s *ServerTM) checkoutEnc(dop string, dov version.ID, derive bool) (*versio
 	}
 	res := "dov/" + string(dov)
 	if derive {
-		if err := s.locks.Acquire(dop, res, lock.D, s.LockTimeout); err != nil {
+		if err := s.locks.Acquire(dop, res, lock.D, s.lockBudget(deadline)); err != nil {
 			return nil, nil, nil, err
 		}
 		sh := s.dopShard(dop)
@@ -234,7 +279,7 @@ func (s *ServerTM) checkoutEnc(dop string, dov version.ID, derive bool) (*versio
 		st.derivationLocks[dov] = true
 		sh.mu.Unlock()
 	} else {
-		if err := s.locks.Acquire(dop, res, lock.S, s.LockTimeout); err != nil {
+		if err := s.locks.Acquire(dop, res, lock.S, s.lockBudget(deadline)); err != nil {
 			return nil, nil, nil, err
 		}
 		defer s.locks.Release(dop, res) //nolint:errcheck // short lock
@@ -256,8 +301,8 @@ func (s *ServerTM) checkoutEnc(dop string, dov version.ID, derive bool) (*versio
 // the workstation's cache registration, and answer in the cheapest mode the
 // client's offered base allows — NotModified (it already holds the target),
 // a binenc delta (it holds a verified relative), or the full DOV.
-func (s *ServerTM) checkoutWire(m checkoutMsg) ([]byte, error) {
-	v, enc, hash, err := s.checkoutEnc(m.DOP, m.DOV, m.Derive)
+func (s *ServerTM) checkoutWire(m checkoutMsg, deadline time.Time) ([]byte, error) {
+	v, enc, hash, err := s.checkoutEnc(m.DOP, m.DOV, m.Derive, deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -422,8 +467,20 @@ func (s *ServerTM) Prepare(txid string) (rpc.Vote, error) {
 		return rpc.VoteAbort, err
 	}
 	sh.mu.Lock()
-	sc.prepared = true
+	cur, still := sh.m[txid]
+	if still && cur == sc {
+		sc.prepared = true
+	}
 	sh.mu.Unlock()
+	if !still || cur != sc {
+		// The lease reaper presumed-abort discarded the entry between the
+		// durable stage and the promise (its owner's lease expired
+		// mid-prepare). Voting commit now would promise a branch the server
+		// no longer tracks — and an unknown txid reads as already-committed
+		// at Commit — so withdraw the stage record and refuse.
+		s.repo.DeleteMeta(stagedMetaPrefix + txid) //nolint:errcheck // cleanup
+		return rpc.VoteAbort, nil
+	}
 	return rpc.VoteCommit, nil
 }
 
@@ -510,8 +567,10 @@ func (s *ServerTM) EndDOP(dop string) {
 	sh.mu.Lock()
 	st, ok := sh.m[dop]
 	var held []version.ID
+	var ws string
 	if ok {
 		delete(sh.m, dop)
+		ws = st.ws
 		// Snapshot under the shard lock: a checkout racing EndDOP may still
 		// hold st and write its lock set.
 		held = make([]version.ID, 0, len(st.derivationLocks))
@@ -523,6 +582,7 @@ func (s *ServerTM) EndDOP(dop string) {
 	if !ok {
 		return
 	}
+	s.dropDOPFromLease(ws, dop)
 	for _, dov := range held {
 		s.locks.Release(dop, "dov/"+string(dov)) //nolint:errcheck // cleanup
 	}
@@ -541,24 +601,47 @@ func (s *ServerTM) ActiveDOPs() int {
 	return n
 }
 
-// Handler returns the transport handler exposing the server-TM protocol:
-// Begin-of-DOP, checkout, staging, derivation-lock release, DOP end and the
-// 2PC participant methods.
+// Handler returns the transport handler exposing the server-TM protocol
+// with no deadline propagation (handlers see zero deadlines). Prefer
+// DeadlineHandler on transports that deliver per-call budgets.
 func (s *ServerTM) Handler(participant *rpc.Participant) rpc.Handler {
+	dh := s.DeadlineHandler(participant)
 	return func(method string, payload []byte) ([]byte, error) {
+		return dh(time.Time{}, method, payload)
+	}
+}
+
+// DeadlineHandler returns the transport handler exposing the server-TM
+// protocol: Begin-of-DOP, checkout, staging, derivation-lock release, DOP
+// end, the lease lifecycle (heartbeat, rejoin, health) and the 2PC
+// participant methods. The per-call deadline propagated by the transport
+// bounds lock waits, so a generous bulk-checkout budget and a tight
+// heartbeat budget get exactly the server-side patience they asked for.
+func (s *ServerTM) DeadlineHandler(participant *rpc.Participant) rpc.DeadlineHandler {
+	return func(deadline time.Time, method string, payload []byte) ([]byte, error) {
 		switch method {
 		case MethodBegin:
 			m, err := decodeBegin(payload)
 			if err != nil {
 				return nil, err
 			}
-			return nil, s.Begin(m.DOP, m.DA)
+			return nil, s.beginWS(m.DOP, m.DA, m.WS)
+		case MethodHeartbeat:
+			return nil, s.Heartbeat(string(payload))
+		case MethodRejoin:
+			m, err := decodeRejoin(payload)
+			if err != nil {
+				return nil, err
+			}
+			return nil, s.Rejoin(m)
+		case MethodHealth:
+			return s.HealthInfo().encode(), nil
 		case MethodCheckout:
 			m, err := decodeCheckout(payload)
 			if err != nil {
 				return nil, err
 			}
-			return s.checkoutWire(m)
+			return s.checkoutWire(m, deadline)
 		case MethodStage:
 			m, err := decodeStage(payload)
 			if err != nil {

@@ -50,10 +50,13 @@ const (
 	MethodInvalidate = "cache/invalidate"
 )
 
-// beginMsg registers a DOP with the server-TM.
+// beginMsg registers a DOP with the server-TM. WS (wire rev 3) names the
+// workstation whose lease the DOP is opened under ("" = no session tracking,
+// the pre-lease behaviour).
 type beginMsg struct {
 	DOP string
 	DA  string
+	WS  string
 }
 
 // checkoutMsg requests a DOV for processing. Beyond identifying the version,
@@ -203,9 +206,10 @@ type releaseMsg struct {
 // recovery-point frequency, not per RPC.
 
 func (m beginMsg) encode() []byte {
-	w := binenc.NewWriter(32)
+	w := binenc.NewWriter(48)
 	w.Str(m.DOP)
 	w.Str(m.DA)
+	w.Str(m.WS)
 	return w.Bytes()
 }
 
@@ -217,7 +221,7 @@ func (m beginMsg) encode() []byte {
 
 func decodeBegin(data []byte) (beginMsg, error) {
 	r := binenc.NewReader(data)
-	m := beginMsg{DOP: r.Str(), DA: r.Str()}
+	m := beginMsg{DOP: r.Str(), DA: r.Str(), WS: r.Str()}
 	return m, wireErr(r)
 }
 

@@ -191,6 +191,15 @@ const (
 	CrashSegmentDeleted = "wal:segment-deleted"
 )
 
+// FaultAppendSync is the fault point traversed on the append/fsync path,
+// just before the batch write hits the file. Arming it with an error
+// simulates a full disk: the batch is refused, the injected error is
+// latched as the log's sticky write error, and every later append fails the
+// same way — exactly what a real ENOSPC does. Unlike the Crash* points it
+// models a disk that stays up but stops accepting writes, not a process
+// crash.
+const FaultAppendSync = "wal:append-sync"
+
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log closed")
 
@@ -612,6 +621,11 @@ func (l *Log) appendSerial(buf []byte) (LSN, error) {
 	l.size += int64(len(buf))
 	l.mu.Unlock()
 	atomic.AddUint64(&l.batches, 1)
+	if err := l.faults.At(FaultAppendSync); err != nil {
+		werr := fmt.Errorf("wal: write: %w", err)
+		l.fail(werr)
+		return 0, werr
+	}
 	if _, err := l.f.Write(buf); err != nil {
 		l.fail(err)
 		return 0, fmt.Errorf("wal: write: %w", err)
@@ -682,7 +696,10 @@ func (l *Log) commitBatch() {
 			buf = b
 		}
 		atomic.AddUint64(&l.batches, 1)
-		if _, err := l.f.Write(buf); err != nil {
+		if err := l.faults.At(FaultAppendSync); err != nil {
+			werr = fmt.Errorf("wal: write: %w", err)
+			l.fail(werr)
+		} else if _, err := l.f.Write(buf); err != nil {
 			werr = fmt.Errorf("wal: write: %w", err)
 			l.fail(werr)
 		} else {
