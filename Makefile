@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet fmt-check doc-lint fuzz-short scenarios scenarios-short e14-short e15-short e16-short e18-short e19-short bench bench-json experiments example-recovery check all
+.PHONY: build test test-race vet fmt-check doc-lint fuzz-short scenarios scenarios-short e14-short e15-short e16-short e18-short e19-short e20-short bench bench-json experiments example-recovery check all
 
 all: check
 
@@ -23,6 +23,7 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzDeltaApply -fuzztime=10s -run XXX ./internal/binenc
 	$(GO) test -fuzz=FuzzWALFrameDecode -fuzztime=10s -run XXX ./internal/wal
 	$(GO) test -fuzz=FuzzSnapshotDecode -fuzztime=10s -run XXX ./internal/repo
+	$(GO) test -fuzz=FuzzReplFrameDecode -fuzztime=10s -run XXX ./internal/repl
 
 # Short scenario matrix (the CI gate): every fault class once, full oracle
 # suite, fault-point coverage written to out/SCENARIO_COVERAGE.txt.
@@ -73,6 +74,12 @@ e18-short:
 e19-short:
 	$(GO) test ./internal/experiments -run TestE19CheckpointLatencyBounds -count=1 -v
 
+# E20 acceptance bounds (warm-standby replication: sync-replicated checkin
+# p99 within 1.5x of unreplicated; client-driven takeover after a primary
+# kill within 2x the heartbeat period) in short mode.
+e20-short:
+	$(GO) test ./internal/experiments -run 'TestE20ReplicationLatencyBounds|TestE20FailoverTakeoverBound' -count=1 -v
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -82,15 +89,17 @@ fmt-check:
 bench:
 	$(GO) test -bench . -benchtime 1s -run XXX ./...
 
-# Machine-readable perf record: re-run E15, E16, E18 and E19 and refresh the
-# committed BENCH_*.json files (CI uploads them as artifacts on every push).
+# Machine-readable perf record: re-run E15, E16, E18, E19 and E20 and refresh
+# the committed BENCH_*.json files (CI uploads them as artifacts on every
+# push).
 bench-json:
 	$(GO) run ./cmd/concordbench -json out/BENCH_E15.json E15
 	$(GO) run ./cmd/concordbench -json out/BENCH_E16.json E16
 	$(GO) run ./cmd/concordbench -json out/BENCH_E18.json E18
 	$(GO) run ./cmd/concordbench -json out/BENCH_E19.json E19
+	$(GO) run ./cmd/concordbench -json out/BENCH_E20.json E20
 
-# Regenerate every experiment table (E1-E16, E18, E19); EXPERIMENTS.md records
+# Regenerate every experiment table (E1-E16, E18-E20); EXPERIMENTS.md records
 # the paper-vs-measured outcomes.
 experiments:
 	$(GO) run ./cmd/concordbench

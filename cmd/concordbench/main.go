@@ -3,7 +3,8 @@
 // (multi-workstation load), E13 (bounded-time restart), E14 (workstation
 // cache and delta shipping), E15 (MVCC read-path scaling), E16 (sharded
 // write path and pipelined replay), E18 (multiplexed wire protocol over
-// real sockets) and E19 (writer latency under non-quiescent checkpointing),
+// real sockets), E19 (writer latency under non-quiescent checkpointing) and
+// E20 (warm-standby replication cost and client-driven failover),
 // printing one table per experiment. See DESIGN.md §6 for the
 // experiment index and EXPERIMENTS.md for the paper-vs-measured record.
 //
@@ -70,8 +71,9 @@ func main() {
 		"E13": experiments.E13Restart, "E14": experiments.E14CacheDelta,
 		"E15": experiments.E15ReadPath, "E16": experiments.E16WritePath,
 		"E18": experiments.E18WirePath, "E19": experiments.E19CheckpointLatency,
+		"E20": experiments.E20Failover,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E18", "E19"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E18", "E19", "E20"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {

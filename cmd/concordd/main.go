@@ -3,9 +3,20 @@
 // workstation/server protocol of Sect. 5.1. Workstations connect with the
 // txn.ClientTM over the rpc.TCP transport.
 //
+// Replication (DESIGN.md §5.4): a second concordd started with -standby-of
+// follows a primary through WAL shipping. The standby announces itself to the
+// primary, which begins replicating (synchronously with -sync-repl, trailing
+// with a -repl-lag-max window otherwise); the standby refuses client traffic
+// until an epoch-fenced promotion makes it the primary. Promotion is what a
+// workstation's failover performs through RPC; operators trigger it with the
+// one-shot -promote verb. Both roles log a periodic health line with their
+// replication role, fencing epoch and shipping lag.
+//
 // Usage:
 //
 //	concordd -addr :7070 -data /var/lib/concord
+//	concordd -addr :7071 -data /var/lib/concord-standby -standby-of host-a:7070
+//	concordd -promote -addr host-b:7071
 package main
 
 import (
@@ -15,11 +26,15 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
+	"time"
 
+	"concord/internal/binenc"
 	"concord/internal/coop"
 	"concord/internal/feature"
 	"concord/internal/lock"
+	"concord/internal/repl"
 	"concord/internal/repo"
 	"concord/internal/rpc"
 	"concord/internal/txn"
@@ -27,60 +42,368 @@ import (
 	"concord/internal/wal"
 )
 
+// methodAttach is the standby's self-announcement to its primary: the payload
+// names the address the standby serves the replication protocol at, and the
+// primary responds by (re)starting its WAL shipper towards it. Idempotent, so
+// the standby re-announces periodically and a restarted primary resumes
+// shipping without operator action.
+const methodAttach = "concordd/attach"
+
+// config carries the parsed flags.
+type config struct {
+	addr, data string
+	standbyOf  string
+	syncRepl   bool
+	replLagMax int64
+	healthLog  time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
-	data := flag.String("data", "concord-data", "durable data directory")
+	cfg := config{}
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7070", "listen address")
+	flag.StringVar(&cfg.data, "data", "concord-data", "durable data directory")
+	flag.StringVar(&cfg.standbyOf, "standby-of", "",
+		"run as warm standby of the primary at this address: follow its WAL, refuse client traffic until promoted")
+	flag.BoolVar(&cfg.syncRepl, "sync-repl", false,
+		"primary: ship synchronously — commits wait for the standby's acknowledgement (core.Options.SyncReplication)")
+	flag.Int64Var(&cfg.replLagMax, "repl-lag-max", 0,
+		"primary: trailing-mode lag bound in bytes before batches ship inline again; 0 = unbounded (core.Options.ReplLagMax)")
+	flag.DurationVar(&cfg.healthLog, "health-every", 30*time.Second,
+		"interval of the role/epoch/lag health log line; 0 disables")
+	promote := flag.Bool("promote", false,
+		"one-shot: ask the standby at -addr to take over as primary, print the new epoch and exit")
 	flag.Parse()
 
-	if err := run(*addr, *data); err != nil {
+	if *promote {
+		if err := runPromote(cfg.addr); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, data string) error {
-	cat := vlsi.NewCatalog()
-	r, err := repo.Open(cat, repo.Options{Dir: data, Sync: true})
+// runPromote dials the standby and performs the client-driven takeover
+// (repl.MethodPromote), printing the fencing epoch the promoted server now
+// serves under.
+func runPromote(addr string) error {
+	trans := rpc.NewTCP()
+	defer trans.Close()
+	client := rpc.NewClient(trans, fmt.Sprintf("promote@%d", os.Getpid()))
+	reply, err := client.Call(addr, repl.MethodPromote, nil)
 	if err != nil {
-		return err
+		return fmt.Errorf("promote %s: %w", addr, err)
 	}
-	defer r.Close()
+	r := binenc.NewReader(reply)
+	epoch := r.U64()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("promote %s: bad reply: %w", addr, err)
+	}
+	fmt.Printf("concordd: %s promoted to primary at epoch %d\n", addr, epoch)
+	return nil
+}
 
+func run(cfg config) error {
+	trans := rpc.NewTCP()
+	defer trans.Close()
+	if cfg.standbyOf != "" {
+		return runStandby(cfg, trans)
+	}
+	return runPrimary(cfg, trans)
+}
+
+// serverRole is the assembled primary-side server: server-TM, 2PC participant
+// and cache-invalidation notifier over a repository + participant log. The
+// primary builds it at boot; a standby builds it at promotion, over the
+// replicated state.
+type serverRole struct {
+	stm      *txn.ServerTM
+	notifier *rpc.Notifier
+	handler  rpc.DeadlineHandler
+}
+
+func (sr *serverRole) close() { sr.notifier.Close() }
+
+// newServerRole wires the server stack. The client ID seeds the notifier's
+// dial-back client; it must be unique per server incarnation so workstation
+// callback dedup never mistakes a new server's notifications for replays.
+func newServerRole(r *repo.Repository, plog *wal.Log, trans *rpc.TCP, cbID string) (*serverRole, error) {
 	locks := lock.NewManager()
 	scopes := lock.NewScopeTable()
 	stm := txn.NewServerTM(r, locks, scopes)
 	if _, err := coop.NewCM(r, scopes, feature.NewRegistry()); err != nil {
+		return nil, err
+	}
+	participant, err := rpc.NewParticipant(stm, plog)
+	if err != nil {
+		return nil, err
+	}
+	// Cache-invalidation callbacks: workstations register their callback
+	// listener address at checkout time and the notifier dials back over the
+	// same transport.
+	notifier := rpc.NewNotifier(rpc.NewClient(trans, cbID), 0)
+	stm.SetNotifier(notifier)
+	r.SetChangeHook(stm.VersionChanged)
+	return &serverRole{stm: stm, notifier: notifier, handler: stm.DeadlineHandler(participant)}, nil
+}
+
+// runPrimary serves the full workstation/server protocol and, once a standby
+// attaches, ships both WAL streams to it.
+func runPrimary(cfg config, trans *rpc.TCP) error {
+	cat := vlsi.NewCatalog()
+	r, err := repo.Open(cat, repo.Options{Dir: cfg.data, Sync: true})
+	if err != nil {
 		return err
 	}
-	plog, err := wal.Open(filepath.Join(data, "participant.wal"), wal.Options{SyncOnAppend: true})
+	defer r.Close()
+	plog, err := wal.Open(filepath.Join(cfg.data, "participant.wal"), wal.Options{SyncOnAppend: true})
 	if err != nil {
 		return err
 	}
 	defer plog.Close()
-	participant, err := rpc.NewParticipant(stm, plog)
+	role, err := newServerRole(r, plog, trans, fmt.Sprintf("concordd-cb@%d", os.Getpid()))
 	if err != nil {
 		return err
 	}
-	trans := rpc.NewTCP()
-	defer trans.Close()
-	bound, err := trans.ListenDeadline(addr, rpc.DedupDeadline(stm.DeadlineHandler(participant)))
-	if err != nil {
-		return err
-	}
-	// Cache-invalidation callbacks: workstations register their callback
-	// listener address at checkout time and the notifier dials back over the
-	// same transport. The client ID is start-time-unique so workstation-side
-	// dedup never mistakes a restarted server's callbacks for replays.
-	cbClient := rpc.NewClient(trans, fmt.Sprintf("concordd-cb@%d", os.Getpid()))
-	notifier := rpc.NewNotifier(cbClient, 0)
-	defer notifier.Close()
-	stm.SetNotifier(notifier)
-	r.SetChangeHook(stm.VersionChanged)
-	fmt.Printf("concordd: serving on %s, data in %s (%d DOVs recovered)\n",
-		bound, data, r.DOVCount())
+	defer role.close()
 
+	// The shipper towards the standby, created when one attaches. Guarded:
+	// attach requests race with health probes and shutdown.
+	var mu sync.Mutex
+	var sender *repl.Sender
+	var senderAddr string
+	attach := func(addr string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if sender != nil && senderAddr == addr {
+			return nil // re-announcement; the sender reconnects on its own
+		}
+		if sender != nil {
+			r.Log().SetShipper(nil)
+			plog.SetShipper(nil)
+			sender.Close()
+		}
+		s := repl.NewSender(rpc.NewClient(trans, fmt.Sprintf("repl@%d", os.Getpid())), addr,
+			[]repl.Stream{
+				{ID: repl.StreamRepo, Log: r.Log()},
+				{ID: repl.StreamPart, Log: plog},
+			}, repl.SenderOptions{
+				Sync:   cfg.syncRepl,
+				LagMax: cfg.replLagMax,
+				Epoch:  r.Epoch,
+			})
+		r.Log().SetShipper(s.Shipper(repl.StreamRepo))
+		plog.SetShipper(s.Shipper(repl.StreamPart))
+		sender, senderAddr = s, addr
+		log.Printf("concordd: replicating to standby at %s (sync=%v, lag-max=%d)", addr, cfg.syncRepl, cfg.replLagMax)
+		return nil
+	}
+	senderStats := func() repl.SenderStats {
+		mu.Lock()
+		defer mu.Unlock()
+		if sender == nil {
+			return repl.SenderStats{}
+		}
+		return sender.Stats()
+	}
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if sender != nil {
+			r.Log().SetShipper(nil)
+			plog.SetShipper(nil)
+			sender.Close()
+		}
+	}()
+	role.stm.SetReplInfo(func() (string, uint64, uint64, uint64) {
+		st := senderStats()
+		var lagR, lagB uint64
+		if st.LagRecords > 0 {
+			lagR = uint64(st.LagRecords)
+		}
+		if st.LagBytes > 0 {
+			lagB = uint64(st.LagBytes)
+		}
+		return "primary", r.Epoch(), lagR, lagB
+	})
+
+	base := role.handler
+	dispatch := func(deadline time.Time, method string, payload []byte) ([]byte, error) {
+		if method == methodAttach {
+			rd := binenc.NewReader(payload)
+			addr := rd.Str()
+			if err := rd.Err(); err != nil {
+				return nil, fmt.Errorf("concordd: bad attach payload: %w", err)
+			}
+			return nil, attach(addr)
+		}
+		return base(deadline, method, payload)
+	}
+	// Epoch fence: a workstation stamped with a newer term has witnessed a
+	// failover this server missed — it is deposed and must not serve the call.
+	bound, err := trans.ListenDeadline(cfg.addr, rpc.DedupDeadlineFenced(dispatch, rpc.EpochFence(r.Epoch)))
+	if err != nil {
+		return err
+	}
+	log.Printf("concordd: serving on %s, data in %s (%d DOVs recovered, epoch %d)",
+		bound, cfg.data, r.DOVCount(), r.Epoch())
+
+	stop := make(chan struct{})
+	defer close(stop)
+	healthLoop(cfg.healthLog, stop, func() string {
+		h := r.Health()
+		line := fmt.Sprintf("role=primary epoch=%d mode=%s", r.Epoch(), h.Mode)
+		if st := senderStats(); st.Mode != 0 {
+			line += fmt.Sprintf(" repl=%s lag=%drec/%dB degrades=%d", st.Mode, st.LagRecords, st.LagBytes, st.Degrades)
+		}
+		return line
+	})
+	waitSignal()
+	return nil
+}
+
+// runStandby follows the primary at cfg.standbyOf: it serves the replication
+// protocol (and health probes) at cfg.addr, announces itself to the primary so
+// shipping starts, and refuses client traffic until a promotion assembles the
+// full server role over the replicated state.
+func runStandby(cfg config, trans *rpc.TCP) error {
+	cat := vlsi.NewCatalog()
+	r, err := repo.Open(cat, repo.Options{Dir: cfg.data, Sync: true, Follower: true})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	plog, err := wal.Open(filepath.Join(cfg.data, "participant.wal"), wal.Options{SyncOnAppend: true})
+	if err != nil {
+		return err
+	}
+	defer plog.Close()
+
+	var mu sync.Mutex
+	var promoted *serverRole
+	recv := repl.NewReceiver(r, plog, repl.ReceiverOptions{
+		OnPromote: func(epoch uint64) error {
+			role, err := newServerRole(r, plog, trans, fmt.Sprintf("standby-cb@%d", os.Getpid()))
+			if err != nil {
+				return err
+			}
+			role.stm.SetReplInfo(func() (string, uint64, uint64, uint64) {
+				return "primary", r.Epoch(), 0, 0
+			})
+			mu.Lock()
+			promoted = role
+			mu.Unlock()
+			log.Printf("concordd: promoted to primary at epoch %d", epoch)
+			return nil
+		},
+	})
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if promoted != nil {
+			promoted.close()
+		}
+	}()
+
+	dispatch := func(deadline time.Time, method string, payload []byte) ([]byte, error) {
+		switch method {
+		case repl.MethodHello, repl.MethodShip, repl.MethodPromote:
+			return recv.Handler()(method, payload)
+		}
+		mu.Lock()
+		role := promoted
+		mu.Unlock()
+		if role != nil {
+			return role.handler(deadline, method, payload)
+		}
+		if method == txn.MethodHealth {
+			return txn.EncodeHealthInfo(txn.ServerHealthInfo{
+				Mode: r.Health().Mode, Role: "standby", Epoch: r.Epoch(),
+			}), nil
+		}
+		return nil, fmt.Errorf("%w: standby serves no client traffic before promotion", repo.ErrFollower)
+	}
+	bound, err := trans.ListenDeadline(cfg.addr, rpc.DedupDeadlineFenced(dispatch, rpc.EpochFence(r.Epoch)))
+	if err != nil {
+		return err
+	}
+	log.Printf("concordd: standby of %s serving replication on %s, data in %s (%d DOVs recovered, epoch %d)",
+		cfg.standbyOf, bound, cfg.data, r.DOVCount(), r.Epoch())
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go attachLoop(trans, cfg.standbyOf, bound, recv, stop)
+	healthLoop(cfg.healthLog, stop, func() string {
+		role := "standby"
+		if recv.Promoted() {
+			role = "primary"
+		}
+		st := recv.Stats()
+		return fmt.Sprintf("role=%s epoch=%d mode=%s applied=%drec/%dB",
+			role, r.Epoch(), r.Health().Mode, st.Records, st.Bytes)
+	})
+	waitSignal()
+	return nil
+}
+
+// attachLoop announces the standby's replication address to the primary until
+// promotion or shutdown. The announcement is idempotent and repeats so a
+// restarted primary resumes shipping without operator action; failures are
+// logged once per outage, not once per retry.
+func attachLoop(trans *rpc.TCP, primary, self string, recv *repl.Receiver, stop <-chan struct{}) {
+	client := rpc.NewClient(trans, fmt.Sprintf("attach@%d", os.Getpid()))
+	w := binenc.GetWriter(64)
+	w.Str(self)
+	payload := w.Detach()
+	attached := false
+	for {
+		if recv.Promoted() {
+			return
+		}
+		if _, err := client.Call(primary, methodAttach, payload); err != nil {
+			if attached {
+				log.Printf("concordd: primary %s unreachable: %v", primary, err)
+			}
+			attached = false
+		} else if !attached {
+			log.Printf("concordd: attached to primary %s", primary)
+			attached = true
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(2 * time.Second):
+		}
+	}
+}
+
+// healthLoop logs the role/epoch/lag line every interval (0 disables). It
+// logs one line immediately so the startup state is on record.
+func healthLoop(every time.Duration, stop <-chan struct{}, line func() string) {
+	if every <= 0 {
+		return
+	}
+	log.Printf("concordd: health %s", line())
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				log.Printf("concordd: health %s", line())
+			}
+		}
+	}()
+}
+
+// waitSignal blocks until SIGINT/SIGTERM.
+func waitSignal() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("concordd: shutting down")
-	return nil
+	log.Println("concordd: shutting down")
 }

@@ -20,6 +20,7 @@ import (
 	"concord/internal/fault"
 	"concord/internal/feature"
 	"concord/internal/lock"
+	"concord/internal/repl"
 	"concord/internal/repo"
 	"concord/internal/rpc"
 	"concord/internal/script"
@@ -110,6 +111,20 @@ type Options struct {
 	// from the MVCC read index, mutations fail fast with repo.ErrDegraded,
 	// and the tm/health RPC reports "degraded" (DESIGN.md §5.3).
 	DegradedOnWALFailure bool
+	// Replicated boots a warm-standby server site at StandbyAddr alongside
+	// the primary (DESIGN.md §5.4): the primary ships every WAL batch to it,
+	// and workstations promote it (epoch-fenced) when the primary falls
+	// silent. Requires Dir — replication exists to protect durable state.
+	Replicated bool
+	// SyncReplication makes commits wait for the standby's acknowledgement
+	// before releasing group-commit waiters: a promoted standby then holds
+	// every acknowledged write. With an unreachable standby the primary
+	// degrades to trailing (asynchronous) shipping and keeps committing.
+	SyncReplication bool
+	// ReplLagMax bounds asynchronous shipping lag in bytes: once the standby
+	// trails further, contiguous batches ship inline on the commit path until
+	// the window drains. 0 means unbounded.
+	ReplLagMax int64
 }
 
 // DefaultCheckpointLogBytes is the background checkpoint trigger used when
@@ -125,7 +140,11 @@ type System struct {
 
 	mu     sync.Mutex
 	server *serverSite
-	ws     map[string]*Workstation
+	// standby is the warm-standby site (nil unless Options.Replicated). It
+	// outlives primary crashes: CrashServer leaves it running so a failover
+	// target exists exactly when it is needed.
+	standby *standbySite
+	ws      map[string]*Workstation
 	// epochs counts workstation incarnations so that a restarted
 	// workstation's RPC request IDs never collide with those of its
 	// previous life (the server deduplicates by request ID).
@@ -145,6 +164,9 @@ type serverSite struct {
 	cm          *coop.CM
 	participant *rpc.Participant
 	plog        *wal.Log
+	// sender is the primary half of WAL shipping (nil unless replicated and
+	// this site is the primary; a promoted standby ships nothing onward).
+	sender *repl.Sender
 	// notifier is the server→workstation cache-invalidation channel
 	// (DESIGN.md §4); closed on crash/shutdown.
 	notifier *rpc.Notifier
@@ -164,11 +186,40 @@ func (site *serverSite) stopCheckpointer() {
 	site.ckptStop = nil
 }
 
+// shutdown tears the site down: background loops, the notifier channel, WAL
+// shipping, and finally the durable state. Returns the repository's close
+// error (the one that can report lost durability).
+func (site *serverSite) shutdown() error {
+	site.stopCheckpointer()
+	site.stm.StopLeaseReaper()
+	if site.notifier != nil {
+		site.notifier.Close()
+	}
+	site.cm.Close()
+	if site.sender != nil {
+		if l := site.repo.Log(); l != nil {
+			l.SetShipper(nil)
+		}
+		if site.plog != nil {
+			site.plog.SetShipper(nil)
+		}
+		site.sender.Close()
+	}
+	err := site.repo.Close()
+	if site.plog != nil {
+		site.plog.Close()
+	}
+	return err
+}
+
 // NewSystem boots a system: catalog registration, server recovery (if Dir
 // holds prior state) and transport setup.
 func NewSystem(opts Options) (*System, error) {
 	if opts.RegisterTypes == nil {
 		return nil, errors.New("core: Options.RegisterTypes is required")
+	}
+	if opts.Replicated && opts.Dir == "" {
+		return nil, errors.New("core: Options.Replicated requires Options.Dir (replication protects durable state)")
 	}
 	cat := catalog.New()
 	if err := opts.RegisterTypes(cat); err != nil {
@@ -181,7 +232,17 @@ func NewSystem(opts Options) (*System, error) {
 		ws:     make(map[string]*Workstation),
 		epochs: make(map[string]int),
 	}
+	// The standby boots first so the primary's sender finds its receiver on
+	// the very first handshake instead of burning a retry.
+	if opts.Replicated {
+		if err := s.startStandby(); err != nil {
+			return nil, err
+		}
+	}
 	if err := s.startServer(); err != nil {
+		if s.standby != nil {
+			s.standby.shutdown()
+		}
 		return nil, err
 	}
 	return s, nil
@@ -192,6 +253,16 @@ func (s *System) serverDir() string {
 		return ""
 	}
 	return filepath.Join(s.opts.Dir, "server")
+}
+
+// newLockManager builds a server lock manager honouring the Serialized
+// ablation (single shard).
+func (s *System) newLockManager() *lock.Manager {
+	shards := lock.DefaultShards
+	if s.opts.Serialized {
+		shards = 1
+	}
+	return lock.NewManagerWithShards(shards)
 }
 
 // startServer builds (or recovers) the server site and serves its handler.
@@ -211,11 +282,7 @@ func (s *System) startServer() error {
 	if err != nil {
 		return err
 	}
-	shards := lock.DefaultShards
-	if s.opts.Serialized {
-		shards = 1
-	}
-	locks := lock.NewManagerWithShards(shards)
+	locks := s.newLockManager()
 	scopes := lock.NewScopeTable()
 	reg := feature.NewRegistry()
 	stm := txn.NewServerTM(r, locks, scopes)
@@ -257,11 +324,52 @@ func (s *System) startServer() error {
 	site.notifier.SetFaults(s.opts.Faults)
 	stm.SetNotifier(site.notifier)
 	r.SetChangeHook(stm.VersionChanged)
+	if s.opts.Replicated {
+		// WAL shipping: both server logs stream to the standby. The sender's
+		// client is incarnation-unique like the callback client; its envelopes
+		// stay unstamped (epoch agreement travels inside the repl protocol,
+		// where the receiver can adopt newer terms).
+		s.mu.Lock()
+		replClient := rpc.NewClient(s.trans, fmt.Sprintf("repl@%d", s.serverEpochs))
+		s.mu.Unlock()
+		replClient.Backoff = 0
+		site.sender = repl.NewSender(replClient, StandbyAddr, []repl.Stream{
+			{ID: repl.StreamRepo, Log: r.Log()},
+			{ID: repl.StreamPart, Log: plog},
+		}, repl.SenderOptions{
+			Sync:   s.opts.SyncReplication,
+			LagMax: s.opts.ReplLagMax,
+			Epoch:  r.Epoch,
+			Faults: s.opts.Faults,
+		})
+		r.Log().SetShipper(site.sender.Shipper(repl.StreamRepo))
+		plog.SetShipper(site.sender.Shipper(repl.StreamPart))
+		sender := site.sender
+		stm.SetReplInfo(func() (string, uint64, uint64, uint64) {
+			st := sender.Stats()
+			var lagR, lagB uint64
+			if st.LagRecords > 0 {
+				lagR = uint64(st.LagRecords)
+			}
+			if st.LagBytes > 0 {
+				lagB = uint64(st.LagBytes)
+			}
+			return "primary", r.Epoch(), lagR, lagB
+		})
+	}
 	// The deadline-aware path threads each call's propagated budget down to
 	// the server-TM, where it bounds lock waits (heartbeats carry tight
-	// budgets, bulk checkouts generous ones).
-	if err := rpc.ServeWithDeadline(s.trans, ServerAddr, rpc.DedupDeadline(stm.DeadlineHandler(participant))); err != nil {
+	// budgets, bulk checkouts generous ones). The epoch fence refuses callers
+	// that witnessed a failover this server missed: a deposed primary cannot
+	// serve a workstation that already moved on (DESIGN.md §5.4).
+	handler := rpc.DedupDeadlineFenced(stm.DeadlineHandler(participant), rpc.EpochFence(r.Epoch))
+	if err := rpc.ServeWithDeadline(s.trans, ServerAddr, handler); err != nil {
 		site.notifier.Close()
+		if site.sender != nil {
+			r.Log().SetShipper(nil)
+			plog.SetShipper(nil)
+			site.sender.Close()
+		}
 		r.Close()
 		return err
 	}
@@ -324,9 +432,7 @@ func checkpointSite(site *serverSite) error {
 // regardless of the background threshold. It returns an error when the
 // server is down.
 func (s *System) Checkpoint() error {
-	s.mu.Lock()
-	site := s.server
-	s.mu.Unlock()
+	site := s.activeSite()
 	if site == nil {
 		return errors.New("core: server is down")
 	}
@@ -336,43 +442,50 @@ func (s *System) Checkpoint() error {
 // Catalog returns the shared DOT catalog.
 func (s *System) Catalog() *catalog.Catalog { return s.cat }
 
+// activeSite resolves the server site currently in charge: the promoted
+// standby once a failover happened (it holds the highest fencing epoch),
+// otherwise the primary. Nil when no site serves.
+func (s *System) activeSite() *serverSite {
+	s.mu.Lock()
+	sb, site := s.standby, s.server
+	s.mu.Unlock()
+	if sb != nil {
+		if psite := sb.promotedSite(); psite != nil {
+			return psite
+		}
+	}
+	return site
+}
+
 // CM returns the cooperation manager (centralized at the server site).
 func (s *System) CM() *coop.CM {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.server.cm
+	return s.activeSite().cm
 }
 
-// Repo returns the server repository.
+// Repo returns the active server repository (the promoted standby's after a
+// failover).
 func (s *System) Repo() *repo.Repository {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.server.repo
+	return s.activeSite().repo
 }
 
-// Scopes returns the server scope table.
+// Scopes returns the active server scope table.
 func (s *System) Scopes() *lock.ScopeTable {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.server.scopes
+	return s.activeSite().scopes
 }
 
-// ServerTM returns the server transaction manager.
+// ServerTM returns the active server transaction manager.
 func (s *System) ServerTM() *txn.ServerTM {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.server.stm
+	return s.activeSite().stm
 }
 
 // CacheNotifier returns the server's cache-invalidation channel (nil when
 // the server is down).
 func (s *System) CacheNotifier() *rpc.Notifier {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.server == nil {
+	site := s.activeSite()
+	if site == nil {
 		return nil
 	}
-	return s.server.notifier
+	return site.notifier
 }
 
 // NotifierStats reports the cache-invalidation channel's delivery counters
@@ -380,21 +493,18 @@ func (s *System) CacheNotifier() *rpc.Notifier {
 // callback deregistration must stop the failed counter from climbing. Zeros
 // when the server is down.
 func (s *System) NotifierStats() (sent, dropped, failed uint64) {
-	s.mu.Lock()
-	site := s.server
-	s.mu.Unlock()
+	site := s.activeSite()
 	if site == nil || site.notifier == nil {
 		return 0, 0, 0
 	}
 	return site.notifier.Stats()
 }
 
-// Health reports the server repository's degradation mode ("ok", "degraded"
-// or "failstop") and latched cause; "down" when the server is crashed.
+// Health reports the active server repository's degradation mode ("ok",
+// "degraded" or "failstop") and latched cause; "down" when no site serves.
+// ReplHealth carries the replication facet (role, epoch, lag).
 func (s *System) Health() (mode, cause string) {
-	s.mu.Lock()
-	site := s.server
-	s.mu.Unlock()
+	site := s.activeSite()
 	if site == nil {
 		return "down", "server crashed"
 	}
@@ -404,9 +514,7 @@ func (s *System) Health() (mode, cause string) {
 
 // Registry returns the feature-tool registry used by Evaluate.
 func (s *System) Registry() *feature.Registry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.server.reg
+	return s.activeSite().reg
 }
 
 // Transport exposes the in-process LAN (fault injection, partitions).
@@ -421,16 +529,10 @@ func (s *System) Close() error {
 	}
 	var err error
 	if s.server != nil {
-		s.server.stopCheckpointer()
-		s.server.stm.StopLeaseReaper()
-		if s.server.notifier != nil {
-			s.server.notifier.Close()
-		}
-		s.server.cm.Close()
-		err = s.server.repo.Close()
-		if s.server.plog != nil {
-			s.server.plog.Close()
-		}
+		err = s.server.shutdown()
+	}
+	if s.standby != nil {
+		s.standby.shutdown()
 	}
 	s.trans.Close()
 	return err
@@ -471,6 +573,12 @@ func (s *System) AddWorkstation(id string) (*Workstation, error) {
 		return nil, err
 	}
 	tm.Coordinator().Faults = s.opts.Faults
+	if s.opts.Replicated {
+		// The workstation knows its failover target: when the primary falls
+		// silent (or answers ErrStaleEpoch), the heartbeat loop promotes the
+		// standby and moves the session over.
+		tm.SetStandbyAddr(StandbyAddr)
+	}
 	// Serve the cache-invalidation callback endpoint for this workstation
 	// and heal it in case a previous incarnation's crash partitioned it.
 	// The cache epoch (bumped by NewClientTM) retires stale registrations.
@@ -569,7 +677,8 @@ func (s *System) CrashWorkstation(id string) error {
 
 // CrashServer simulates a server crash: the repository closes, the transport
 // partitions the server address, and all volatile server state (lock tables,
-// scope table, staged checkins in memory) vanishes.
+// scope table, staged checkins in memory) vanishes. In a replicated system
+// the standby keeps running — it exists for exactly this moment.
 func (s *System) CrashServer() error {
 	s.mu.Lock()
 	site := s.server
@@ -579,16 +688,7 @@ func (s *System) CrashServer() error {
 		return errors.New("core: server already down")
 	}
 	s.trans.Partition(ServerAddr)
-	site.stopCheckpointer()
-	site.stm.StopLeaseReaper()
-	if site.notifier != nil {
-		site.notifier.Close()
-	}
-	site.cm.Close()
-	if site.plog != nil {
-		site.plog.Close()
-	}
-	return site.repo.Close()
+	return site.shutdown()
 }
 
 // RestartServer recovers the server site from its durable state: the

@@ -4,8 +4,9 @@
 // (multi-workstation throughput), E13 (bounded-time restart), E14
 // (workstation cache + delta shipping), E15 (MVCC read-path scaling), E16
 // (sharded write path + pipelined replay), E18 (multiplexed wire protocol
-// over real sockets) and E19 (writer latency under non-quiescent
-// checkpointing).
+// over real sockets), E19 (writer latency under non-quiescent
+// checkpointing) and E20 (warm-standby replication cost and client-driven
+// failover).
 // Each experiment returns a Report whose rows cmd/concordbench prints and
 // whose execution bench_test.go times; DESIGN.md §6 is the index,
 // EXPERIMENTS.md records paper-vs-measured.

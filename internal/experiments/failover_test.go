@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE20ReplicationLatencyBounds is the CI gate on synchronous replication
+// (acceptance bound of the E20 experiment, reduced size): a commit that waits
+// for the standby's ack must stay within 1.5x of the unreplicated checkin p99
+// (with a small absolute floor so fsync-queue noise on shared runners cannot
+// fail the gate). The ship rides the same group-commit batch as the local
+// WAL write, so the ack adds one in-process round trip, not a second fsync.
+func TestE20ReplicationLatencyBounds(t *testing.T) {
+	if raceEnabled {
+		// Race instrumentation inflates the replication pump's CPU cost and
+		// with it the latency ratios; correctness under -race is covered by
+		// the repl and core test suites. The perf gate runs unraced.
+		t.Skip("perf bounds are not meaningful under the race detector")
+	}
+	const checkins = 800
+	// Shared single-CPU runners see CPU theft and filesystem-journal
+	// interference from sibling processes; retries separate a genuinely
+	// regressed ship path from a noisy window.
+	const attempts = 3
+	var base, sync ReplCheckinResult
+	pass := false
+	for a := 0; a < attempts && !pass; a++ {
+		var err error
+		if base, err = RunReplicatedCheckins("unreplicated", checkins); err != nil {
+			t.Fatal(err)
+		}
+		if sync, err = RunReplicatedCheckins("sync", checkins); err != nil {
+			t.Fatal(err)
+		}
+		bound := base.P99 * 3 / 2
+		// Absolute floor: both configurations are fsync-bound, so a single
+		// slow journal commit inside the sync window would fail a pure ratio
+		// on noise alone.
+		if floor := base.P99 + 3*time.Millisecond; bound < floor {
+			bound = floor
+		}
+		t.Logf("attempt %d: unreplicated p99 %v, sync p99 %v (bound %v)", a+1, base.P99, sync.P99, bound)
+		pass = sync.P99 <= bound
+	}
+	if !pass {
+		t.Fatalf("sync-replicated checkin p99 %v vs unreplicated %v regressed past the 1.5x acceptance bound",
+			sync.P99, base.P99)
+	}
+}
+
+// TestE20FailoverTakeoverBound gates the designer-visible outage of a primary
+// kill: heartbeat-driven detection, standby promotion, epoch adoption and
+// session rejoin must land the next committed checkin within 2x the heartbeat
+// period (the same bound the scenario matrix holds client takeover to).
+func TestE20FailoverTakeoverBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("perf bounds are not meaningful under the race detector")
+	}
+	const heartbeat = 50 * time.Millisecond
+	const attempts = 3
+	var last FailoverTiming
+	pass := false
+	for a := 0; a < attempts && !pass; a++ {
+		ft, err := RunFailoverTakeover(heartbeat, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("attempt %d: takeover in %v (heartbeat %v, epoch %d)", a+1, ft.Takeover, ft.Heartbeat, ft.Epoch)
+		if ft.Epoch == 0 {
+			t.Fatalf("promotion did not bump the replication epoch: %+v", ft)
+		}
+		last = ft
+		pass = ft.Takeover <= 2*heartbeat
+	}
+	if !pass {
+		t.Fatalf("client-driven takeover took %v, over the 2x heartbeat bound (%v)", last.Takeover, 2*heartbeat)
+	}
+}
+
+// TestE20SmallSmoke keeps the full experiment path (all three designs and the
+// takeover measurement) exercised at a tiny size in the regular test run.
+func TestE20SmallSmoke(t *testing.T) {
+	for _, design := range replDesigns {
+		res, err := RunReplicatedCheckins(design, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", design, err)
+		}
+		if res.P50 <= 0 || res.P99 <= 0 {
+			t.Fatalf("%s: degenerate percentiles: %+v", design, res)
+		}
+	}
+	ft, err := RunFailoverTakeover(20*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Takeover <= 0 || ft.Epoch == 0 {
+		t.Fatalf("degenerate takeover measurement: %+v", ft)
+	}
+}

@@ -1,0 +1,15 @@
+package repl
+
+import (
+	"os"
+	"testing"
+
+	"concord/internal/leakcheck"
+)
+
+// TestMain guards the package against leaked background goroutines: the
+// sender's catch-up pump must terminate when the sender is closed or
+// deposed.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

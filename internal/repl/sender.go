@@ -1,0 +1,502 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"concord/internal/binenc"
+	"concord/internal/fault"
+	"concord/internal/rpc"
+	"concord/internal/wal"
+)
+
+// Mode is a Sender's replication mode.
+type Mode uint8
+
+// Sender modes.
+const (
+	// ModeSync ships every batch inline on the commit path: group-commit
+	// waiters are not released until the standby acknowledged.
+	ModeSync Mode = iota + 1
+	// ModeTrailing ships in the background: commits proceed locally while
+	// the pump catches the standby up. Synchronous configurations return to
+	// ModeSync once the gap closes; asynchronous ones live here.
+	ModeTrailing
+	// ModeDeposed is terminal: the standby (or its successor) has a higher
+	// replication epoch, so this node lost a failover it has not witnessed.
+	// Every subsequent Ship returns rpc.ErrStaleEpoch, fail-stopping the
+	// local WAL before a split-brain write can be acknowledged.
+	ModeDeposed
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeSync:
+		return "sync"
+	case ModeTrailing:
+		return "trailing"
+	case ModeDeposed:
+		return "deposed"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Stream declares one WAL to replicate under a stream ID.
+type Stream struct {
+	// ID identifies the stream on the wire (StreamRepo, StreamPart).
+	ID uint8
+	// Log is the primary-side log whose batches are shipped.
+	Log *wal.Log
+}
+
+// SenderOptions configures a Sender.
+type SenderOptions struct {
+	// Sync selects synchronous replication: commits wait for the standby's
+	// acknowledgement (degrading to trailing when it is unreachable).
+	Sync bool
+	// LagMax bounds the trailing lag window in bytes: once the standby is
+	// further behind, contiguous batches ship inline on the commit path
+	// until the lag drains. 0 means unbounded.
+	LagMax int64
+	// RetryEvery paces the background pump's catch-up and reconnect
+	// attempts (default 20ms).
+	RetryEvery time.Duration
+	// ChunkBytes bounds one catch-up read (default 256KiB).
+	ChunkBytes int
+	// Epoch supplies the primary's current replication epoch, stamped on
+	// every batch. Nil means epoch 0.
+	Epoch func() uint64
+	// Faults is the registry traversed at FaultShipDrop (nil-safe).
+	Faults *fault.Registry
+}
+
+// senderStream is a Stream plus its send serialization: the commit path and
+// the pump may both ship on the same stream, and sendMu keeps their batches
+// ordered. The lock is never held while reading the log (wal.ReadRaw briefly
+// takes the log's write slot, which the commit path holds while shipping —
+// holding sendMu across a read would deadlock the two).
+type senderStream struct {
+	Stream
+	sendMu sync.Mutex
+}
+
+// Sender is the primary half of WAL shipping: it implements wal.Shipper for
+// each declared stream and pushes batches to the standby's Receiver.
+type Sender struct {
+	client  *rpc.Client
+	addr    string
+	opts    SenderOptions
+	streams []*senderStream
+
+	mu        sync.Mutex
+	mode      Mode
+	needHello bool
+	compacted bool
+	acked     map[uint8]wal.LSN
+	recsIn    map[uint8]uint64 // records appended locally (Ship calls)
+	recsOut   map[uint8]uint64 // records acknowledged by the standby
+	batches   uint64
+	bytesOut  uint64
+	degrades  uint64
+
+	kick     chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewSender starts a sender replicating streams to the Receiver served at
+// addr through client. It begins in trailing mode; the background pump
+// performs the hello handshake, catches the standby up and — for synchronous
+// configurations — flips to ModeSync once every stream is level.
+func NewSender(client *rpc.Client, addr string, streams []Stream, opts SenderOptions) *Sender {
+	if opts.RetryEvery <= 0 {
+		opts.RetryEvery = 20 * time.Millisecond
+	}
+	if opts.ChunkBytes <= 0 {
+		opts.ChunkBytes = 256 << 10
+	}
+	s := &Sender{
+		client:    client,
+		addr:      addr,
+		opts:      opts,
+		mode:      ModeTrailing,
+		needHello: true,
+		acked:     make(map[uint8]wal.LSN),
+		recsIn:    make(map[uint8]uint64),
+		recsOut:   make(map[uint8]uint64),
+		kick:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, st := range streams {
+		s.streams = append(s.streams, &senderStream{Stream: st})
+	}
+	go s.run()
+	s.kickPump()
+	return s
+}
+
+// Shipper returns the wal.Shipper for stream id, to be installed on the
+// matching primary log with SetShipper. It panics on an undeclared id
+// (wiring bug).
+func (s *Sender) Shipper(id uint8) wal.Shipper {
+	for _, st := range s.streams {
+		if st.ID == id {
+			return &streamShipper{s: s, st: st}
+		}
+	}
+	panic(fmt.Sprintf("repl: no stream %d declared", id))
+}
+
+// streamShipper binds a Sender to one stream for the wal.Shipper hook.
+type streamShipper struct {
+	s  *Sender
+	st *senderStream
+}
+
+// Ship implements wal.Shipper.
+func (ss *streamShipper) Ship(start wal.LSN, frames []byte, records int) error {
+	return ss.s.ship(ss.st, start, frames, records)
+}
+
+// Close stops the background pump. Installed Shippers keep functioning in
+// degraded form (every batch trails and nothing drains it), so detach them
+// (SetShipper(nil)) or close the logs first.
+func (s *Sender) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// SenderStats is a snapshot of the sender for health reporting and tests.
+type SenderStats struct {
+	// Mode is the current replication mode.
+	Mode Mode
+	// SyncConfigured reports whether the sender aims for ModeSync.
+	SyncConfigured bool
+	// LagBytes is how many durable bytes the standby is behind, summed over
+	// streams.
+	LagBytes int64
+	// LagRecords is how many records the standby is behind, summed over
+	// streams (approximate across restarts).
+	LagRecords int64
+	// Batches counts acknowledged shipments.
+	Batches uint64
+	// BytesShipped counts acknowledged shipped bytes.
+	BytesShipped uint64
+	// Degrades counts sync→trailing transitions.
+	Degrades uint64
+	// Compacted reports that catch-up is impossible because the primary
+	// reclaimed log bytes the standby still needs (full reseed required).
+	Compacted bool
+}
+
+// Stats returns a snapshot of the sender.
+func (s *Sender) Stats() SenderStats {
+	s.mu.Lock()
+	st := SenderStats{
+		Mode:           s.mode,
+		SyncConfigured: s.opts.Sync,
+		Batches:        s.batches,
+		BytesShipped:   s.bytesOut,
+		Degrades:       s.degrades,
+		Compacted:      s.compacted,
+	}
+	for _, str := range s.streams {
+		if in, out := s.recsIn[str.ID], s.recsOut[str.ID]; in > out {
+			st.LagRecords += int64(in - out)
+		}
+	}
+	acked := make(map[uint8]wal.LSN, len(s.acked))
+	for id, a := range s.acked {
+		acked[id] = a
+	}
+	s.mu.Unlock()
+	for _, str := range s.streams {
+		if size := str.Log.Size(); size > int64(acked[str.ID]) {
+			st.LagBytes += size - int64(acked[str.ID])
+		}
+	}
+	return st
+}
+
+// ship is the Shipper hook body: inline send in sync mode (and for
+// contiguous batches past the lag bound), otherwise hand off to the pump.
+// It is called on the commit path holding the log's write slot, so it must
+// never wait on the pump (which needs that slot to read the log).
+func (s *Sender) ship(st *senderStream, start wal.LSN, frames []byte, records int) error {
+	s.mu.Lock()
+	if s.mode == ModeDeposed {
+		s.mu.Unlock()
+		return rpc.ErrStaleEpoch
+	}
+	s.recsIn[st.ID] += uint64(records)
+	if err := s.opts.Faults.At(FaultShipDrop); err != nil {
+		s.degradeLocked()
+		s.mu.Unlock()
+		s.kickPump()
+		return nil
+	}
+	inline := s.mode == ModeSync && !s.needHello
+	contiguous := s.acked[st.ID] == start
+	s.mu.Unlock()
+	if !inline && contiguous && s.opts.LagMax > 0 && s.lagBytes() > s.opts.LagMax {
+		// Bounded async lag: the standby is reachable enough to have acked
+		// up to this batch's start, but too far behind — ship inline until
+		// the window drains.
+		inline = true
+	}
+	if !inline {
+		s.kickPump()
+		return nil
+	}
+	err := s.send(st, start, frames, records)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, rpc.ErrStaleEpoch):
+		return rpc.ErrStaleEpoch
+	default:
+		s.mu.Lock()
+		s.degradeLocked()
+		s.mu.Unlock()
+		s.kickPump()
+		return nil
+	}
+}
+
+// lagBytes sums the durable bytes not yet acknowledged across streams.
+func (s *Sender) lagBytes() int64 {
+	s.mu.Lock()
+	acked := make(map[uint8]wal.LSN, len(s.acked))
+	for id, a := range s.acked {
+		acked[id] = a
+	}
+	s.mu.Unlock()
+	var lag int64
+	for _, str := range s.streams {
+		if size := str.Log.Size(); size > int64(acked[str.ID]) {
+			lag += size - int64(acked[str.ID])
+		}
+	}
+	return lag
+}
+
+// degradeLocked drops sync mode to trailing. Caller holds s.mu.
+func (s *Sender) degradeLocked() {
+	if s.mode == ModeSync {
+		s.mode = ModeTrailing
+		s.degrades++
+	}
+}
+
+// depose latches the terminal deposed mode.
+func (s *Sender) depose() {
+	s.mu.Lock()
+	if s.mode != ModeDeposed {
+		s.mode = ModeDeposed
+	}
+	s.mu.Unlock()
+}
+
+// kickPump nudges the background pump without blocking.
+func (s *Sender) kickPump() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// send transmits one batch on st and processes the acknowledgement. Batches
+// already acknowledged (races between the commit path and the pump) are
+// trimmed or skipped; a batch starting past the acknowledged tail is a gap
+// the pump must fill first.
+func (s *Sender) send(st *senderStream, start wal.LSN, frames []byte, records int) error {
+	st.sendMu.Lock()
+	defer st.sendMu.Unlock()
+	s.mu.Lock()
+	acked := s.acked[st.ID]
+	deposed := s.mode == ModeDeposed
+	s.mu.Unlock()
+	if deposed {
+		return rpc.ErrStaleEpoch
+	}
+	end := start + wal.LSN(len(frames))
+	if end <= acked {
+		return nil // the pump already shipped these bytes
+	}
+	if start < acked {
+		// LSNs are byte offsets, so the already-acknowledged prefix can be
+		// trimmed without reframing; recount the records that remain.
+		frames = frames[acked-start:]
+		start = acked
+		_, records = wal.ValidFrames(frames)
+	}
+	if start > acked {
+		return fmt.Errorf("repl: send gap on stream %d: acked %d, batch starts %d", st.ID, acked, start)
+	}
+	var epoch uint64
+	if s.opts.Epoch != nil {
+		epoch = s.opts.Epoch()
+	}
+	w := binenc.GetWriter(40 + len(frames))
+	encodeShip(w, shipMsg{Stream: st.ID, Epoch: epoch, Start: start, Records: uint32(records), Frames: frames})
+	resp, err := s.client.Call(s.addr, MethodShip, w.Bytes())
+	w.Free()
+	if err != nil {
+		if errors.Is(err, rpc.ErrStaleEpoch) {
+			s.depose()
+			return rpc.ErrStaleEpoch
+		}
+		return err
+	}
+	ack, err := decodeAck(resp)
+	if err != nil {
+		return err
+	}
+	if ack.Epoch > epoch {
+		s.depose()
+		return rpc.ErrStaleEpoch
+	}
+	s.mu.Lock()
+	// The ack's tail is authoritative in both directions: forward when the
+	// pump raced ahead, backward when the standby restarted behind our
+	// cursor and refused the batch.
+	s.acked[st.ID] = ack.Tail
+	if ack.Tail >= end {
+		s.recsOut[st.ID] += uint64(records)
+		s.batches++
+		s.bytesOut += uint64(len(frames))
+	}
+	s.mu.Unlock()
+	if ack.Tail < end {
+		return fmt.Errorf("repl: standby behind on stream %d (tail %d, batch ended %d)", st.ID, ack.Tail, end)
+	}
+	return nil
+}
+
+// run is the background pump: it performs the hello handshake, drains the
+// catch-up backlog, and flips trailing → sync when configured and level.
+func (s *Sender) run() {
+	defer close(s.done)
+	t := time.NewTicker(s.opts.RetryEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.kick:
+		case <-t.C:
+		}
+		s.tick()
+		s.mu.Lock()
+		deposed := s.mode == ModeDeposed
+		s.mu.Unlock()
+		if deposed {
+			return
+		}
+	}
+}
+
+// tick is one pump round.
+func (s *Sender) tick() {
+	s.mu.Lock()
+	if s.mode == ModeDeposed {
+		s.mu.Unlock()
+		return
+	}
+	needHello := s.needHello
+	s.mu.Unlock()
+	if needHello && !s.hello() {
+		return
+	}
+	for _, st := range s.streams {
+		if !s.catchUp(st) {
+			return
+		}
+	}
+	s.mu.Lock()
+	if s.mode == ModeTrailing && s.opts.Sync && !s.compacted {
+		s.mode = ModeSync
+	}
+	s.mu.Unlock()
+}
+
+// hello performs the handshake, adopting the receiver's tails as the
+// catch-up cursors. A receiver on a higher epoch deposes this sender.
+func (s *Sender) hello() bool {
+	var epoch uint64
+	if s.opts.Epoch != nil {
+		epoch = s.opts.Epoch()
+	}
+	w := binenc.GetWriter(16)
+	w.U64(epoch)
+	resp, err := s.client.Call(s.addr, MethodHello, w.Bytes())
+	w.Free()
+	if err != nil {
+		if errors.Is(err, rpc.ErrStaleEpoch) {
+			s.depose()
+		}
+		return false
+	}
+	h, err := decodeHello(resp)
+	if err != nil {
+		return false
+	}
+	if h.Epoch > epoch {
+		s.depose()
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compacted = false
+	for _, st := range s.streams {
+		tail := h.Tails[st.ID]
+		if int64(tail) > st.Log.Size() {
+			// The standby holds bytes this log never wrote: divergent
+			// histories (it belongs to a different lineage). Catch-up cannot
+			// reconcile that; a full reseed is required.
+			s.compacted = true
+			continue
+		}
+		s.acked[st.ID] = tail
+	}
+	s.needHello = false
+	return true
+}
+
+// catchUp drains st's backlog, returning true when the stream is level with
+// its log's durable tail.
+func (s *Sender) catchUp(st *senderStream) bool {
+	for {
+		s.mu.Lock()
+		acked := s.acked[st.ID]
+		compacted := s.compacted
+		s.mu.Unlock()
+		if compacted {
+			return false
+		}
+		if int64(acked) >= st.Log.Size() {
+			return true
+		}
+		buf, records, err := st.Log.ReadRaw(acked, s.opts.ChunkBytes)
+		if errors.Is(err, wal.ErrCompacted) {
+			s.mu.Lock()
+			s.compacted = true
+			s.mu.Unlock()
+			return false
+		}
+		if err != nil {
+			return false
+		}
+		if len(buf) == 0 {
+			return true // durable tail reached (reservations may be in flight)
+		}
+		if err := s.send(st, acked, buf, records); err != nil {
+			return false
+		}
+	}
+}

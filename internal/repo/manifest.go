@@ -38,9 +38,19 @@ const ManifestFileName = manifestName
 
 // Manifest entry kinds.
 const (
-	manifestKindBase = 1 // full snapshot; always the first chain element
-	manifestKindInc  = 2 // incremental delta over the preceding chain prefix
+	manifestKindBase  = 1 // full snapshot; always the first chain element
+	manifestKindInc   = 2 // incremental delta over the preceding chain prefix
+	manifestKindEpoch = 3 // replication epoch marker; lsn carries the epoch value
 )
+
+// epochEntryFile is the file field of epoch entries. Epoch entries reference
+// no payload file; the constant keeps them past the plain-name validation.
+const epochEntryFile = "epoch"
+
+// epochEntry builds the manifest frame persisting a replication epoch.
+func epochEntry(e uint64) manifestEntry {
+	return manifestEntry{kind: manifestKindEpoch, file: epochEntryFile, lsn: wal.LSN(e)}
+}
 
 // manifestEntry is one chain element.
 type manifestEntry struct {
@@ -68,14 +78,19 @@ func encodeManifest(entries []manifestEntry) []byte {
 	return out
 }
 
-// parseManifest returns the longest valid entry prefix of data. A frame is
-// valid when it is complete, its CRC matches, its payload decodes, and it
-// keeps the chain well-formed: the first entry is a base, every later entry
-// is an incremental, coverage LSNs are strictly increasing, and the file
-// name is a plain name (no path separators). Everything from the first
-// invalid frame on — a torn append, appended garbage — is ignored.
-func parseManifest(data []byte) []manifestEntry {
+// parseManifest returns the longest valid entry prefix of data, split into
+// the snapshot chain and the highest replication epoch recorded alongside
+// it. A frame is valid when it is complete, its CRC matches, its payload
+// decodes, and it keeps the chain well-formed: the first chain entry is a
+// base, every later one is an incremental, coverage LSNs are strictly
+// increasing, and the file name is a plain name (no path separators). Epoch
+// entries (kind 3, promotion fencing — DESIGN.md §5.4) sit outside the
+// chain-shape rules: they may appear anywhere, the highest value wins, and
+// they are not returned as chain elements. Everything from the first invalid
+// frame on — a torn append, appended garbage — is ignored.
+func parseManifest(data []byte) ([]manifestEntry, uint64) {
 	var out []manifestEntry
+	var epoch uint64
 	for len(data) >= 8 {
 		n := binary.LittleEndian.Uint32(data[:4])
 		crc := binary.LittleEndian.Uint32(data[4:8])
@@ -94,6 +109,16 @@ func parseManifest(data []byte) []manifestEntry {
 		if e.file == "" || strings.ContainsAny(e.file, "/\\") || e.file != filepath.Base(e.file) {
 			break
 		}
+		if e.kind == manifestKindEpoch {
+			if e.file != epochEntryFile {
+				break
+			}
+			if uint64(e.lsn) > epoch {
+				epoch = uint64(e.lsn)
+			}
+			data = data[8+n:]
+			continue
+		}
 		if len(out) == 0 {
 			if e.kind != manifestKindBase {
 				break
@@ -104,7 +129,7 @@ func parseManifest(data []byte) []manifestEntry {
 		out = append(out, e)
 		data = data[8+n:]
 	}
-	return out
+	return out, epoch
 }
 
 // isSnapPayloadName reports whether a directory entry is a chain payload
@@ -374,7 +399,8 @@ func (r *Repository) loadSnapshotChain(staging map[version.ID]*dovEntry) (wal.LS
 	if err != nil {
 		return 0, nil, 0, fmt.Errorf("repo: read manifest: %w", err)
 	}
-	entries := parseManifest(data)
+	entries, epoch := parseManifest(data)
+	r.epoch.Store(epoch)
 	var fold chainFold
 	var kept []manifestEntry
 	var keptBytes int64

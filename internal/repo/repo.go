@@ -56,6 +56,11 @@ var (
 	// index, every mutation is refused with this sentinel. A restart with
 	// the disk healthy recovers the durable prefix and clears the mode.
 	ErrDegraded = errors.New("repo: degraded (read-only), log not accepting writes")
+	// ErrFollower reports a mutation refused because the repository is a
+	// warm-standby replication follower (Options.Follower): its state
+	// changes arrive exclusively through ApplyShipped until Promote ends
+	// follower mode. Reads serve normally from the hot MVCC index.
+	ErrFollower = errors.New("repo: follower (standby replica, mutations arrive via replication)")
 )
 
 // Options configures a Repository.
@@ -122,6 +127,13 @@ type Options struct {
 	// readable yet not durable until restart rolls the log back to its
 	// durable prefix. See DESIGN.md §5.3.
 	DegradedOnWALFailure bool
+	// Follower opens the repository as a warm-standby replication
+	// follower (DESIGN.md §5.4): direct mutations are refused with
+	// ErrFollower and state changes arrive exclusively through
+	// ApplyShipped, which appends the primary's shipped WAL frames and
+	// applies them to the live MVCC index so promotion finds the state
+	// hot. Promote ends follower mode.
+	Follower bool
 }
 
 // Repository is the design data repository. All methods are safe for
@@ -196,6 +208,14 @@ type Repository struct {
 	// degraded is latched instead of fatal when degradedOnWAL is set: the
 	// read path stays open, the mutation path is refused with ErrDegraded.
 	degraded atomic.Pointer[error]
+	// follower marks warm-standby mode (Options.Follower): mutations are
+	// refused with ErrFollower and state arrives via ApplyShipped until
+	// Promote clears it. Atomic so the hot paths check it lock-free.
+	follower atomic.Bool
+	// epoch is the replication epoch (promotion term) persisted in the
+	// snapshot manifest — the fencing token of DESIGN.md §5.4. Writes go
+	// through BumpEpoch (under ckptMu, durably); reads are lock-free.
+	epoch atomic.Uint64
 	// fatal is latched when a reserved log record failed to become durable
 	// (see appendAsync): the in-memory state is then ahead of the log and
 	// every subsequent operation is refused with ErrFatal. Atomic so the
@@ -326,6 +346,7 @@ func Open(cat *catalog.Catalog, opts Options) (*Repository, error) {
 		das:              make(map[string]*daState),
 		meta:             make(map[string][]byte),
 	}
+	r.follower.Store(opts.Follower)
 	if r.maxChain <= 0 {
 		r.maxChain = DefaultCheckpointMaxChain
 	}
@@ -633,12 +654,14 @@ func (r *Repository) appendAsync(t wal.RecordType, owner string, payload []byte)
 // The latch is a lock-free CAS so it is safe from any path, including waits
 // running inside the SerializedWrites critical section.
 func (r *Repository) failStop(cause error) {
+	// Both the mode sentinel and the cause stay matchable: a deposed
+	// primary's latched error answers errors.Is for rpc.ErrStaleEpoch too.
 	if r.degradedOnWAL {
-		err := fmt.Errorf("%w: %v", ErrDegraded, cause)
+		err := fmt.Errorf("%w: %w", ErrDegraded, cause)
 		r.degraded.CompareAndSwap(nil, &err)
 		return
 	}
-	err := fmt.Errorf("%w: %v", ErrFatal, cause)
+	err := fmt.Errorf("%w: %w", ErrFatal, cause)
 	r.fatal.CompareAndSwap(nil, &err)
 }
 
@@ -688,6 +711,9 @@ func (r *Repository) Health() Health {
 // sharded design, exclusive under the Serialized* ablations) and checks
 // liveness. It returns the matching unlock.
 func (r *Repository) beginMutation() (func(), error) {
+	if r.follower.Load() {
+		return nil, ErrFollower
+	}
 	if r.globalWriteLock {
 		r.mu.Lock()
 		if err := r.writable(); err != nil {
@@ -1077,6 +1103,12 @@ func (r *Repository) LogStats() (appends, batches, syncs uint64) {
 	}
 	return r.log.Stats()
 }
+
+// Log exposes the repository's redo log (nil for volatile repositories) so
+// the embedding server can attach replication: a repl.Sender reads it during
+// catch-up and installs its shipper with SetShipper. Callers must not append
+// to or close the log directly.
+func (r *Repository) Log() *wal.Log { return r.log }
 
 // LogSize reports the logical log size (lifetime high-water LSN; zero for
 // volatile repositories). LogSize()-LowWater() is the replay work a restart

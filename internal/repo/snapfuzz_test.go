@@ -77,14 +77,21 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Add([]byte("CCINCR01"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Manifest: never panics, and parsing is idempotent on its own output.
-		entries := parseManifest(data)
-		re := parseManifest(encodeManifest(entries))
+		entries, epoch := parseManifest(data)
+		re, _ := parseManifest(encodeManifest(entries))
 		if len(re) != len(entries) {
 			t.Fatalf("manifest reparse kept %d of %d entries", len(re), len(entries))
 		}
 		for i := range entries {
 			if re[i] != entries[i] {
 				t.Fatalf("manifest entry %d changed across reparse: %+v != %+v", i, re[i], entries[i])
+			}
+		}
+		// Epoch entries survive a rebase-style re-encode alongside the chain.
+		if epoch > 0 {
+			re2, ep2 := parseManifest(encodeManifest(append([]manifestEntry{epochEntry(epoch)}, entries...)))
+			if ep2 != epoch || len(re2) != len(entries) {
+				t.Fatalf("epoch %d + %d entries re-encoded to epoch %d + %d entries", epoch, len(entries), ep2, len(re2))
 			}
 		}
 		// Payloads: never panic; CRC-valid inputs decode the same way twice.

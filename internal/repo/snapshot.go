@@ -256,7 +256,13 @@ func (r *Repository) installBase(cut *snapCut, payload []byte) error {
 	if err := r.hookAt(CrashSnapshotWritten); err != nil {
 		return err
 	}
-	if err := r.rebaseManifest([]manifestEntry{entry}); err != nil {
+	// A rebase rewrites the whole manifest, so the replication epoch entry
+	// must be carried over or a restart would forget the fencing term.
+	entries := []manifestEntry{entry}
+	if e := r.epoch.Load(); e > 0 {
+		entries = []manifestEntry{epochEntry(e), entry}
+	}
+	if err := r.rebaseManifest(entries); err != nil {
 		return err
 	}
 	if err := r.hookAt(CrashSnapshotInstalled); err != nil {

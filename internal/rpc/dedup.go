@@ -53,7 +53,12 @@ type Deduper struct {
 	// DefaultDedupBytes).
 	MaxBytes int
 
-	h       DeadlineHandler
+	h DeadlineHandler
+	// fence, when set, is consulted with the envelope's epoch stamp before
+	// the first execution of each request; a non-nil result (ErrStaleEpoch)
+	// is memoized exactly like a handler error, so retries of a fenced
+	// request stay fenced. See DedupDeadlineFenced.
+	fence   func(clientEpoch uint64) error
 	mu      sync.Mutex
 	entries map[string]*dedupEntry
 	lru     *list.List // front = most recently used; completed entries only
@@ -114,7 +119,7 @@ func (d *Deduper) Handle(method string, env []byte) ([]byte, error) {
 // HandleDeadline is Handle with the transport-propagated per-call deadline,
 // forwarded to the inner handler on first execution.
 func (d *Deduper) HandleDeadline(deadline time.Time, method string, env []byte) ([]byte, error) {
-	reqID, payload, err := decodeEnvelope(env)
+	reqID, epoch, payload, err := decodeEnvelopeEpoch(env)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +141,15 @@ func (d *Deduper) HandleDeadline(deadline time.Time, method string, env []byte) 
 	d.entries[key] = e
 	d.mu.Unlock()
 
-	e.resp, e.err = d.h(deadline, method, payload)
+	if d.fence != nil {
+		if ferr := d.fence(epoch); ferr != nil {
+			e.err = ferr
+		} else {
+			e.resp, e.err = d.h(deadline, method, payload)
+		}
+	} else {
+		e.resp, e.err = d.h(deadline, method, payload)
+	}
 
 	d.mu.Lock()
 	e.cost = len(e.key) + len(e.resp)

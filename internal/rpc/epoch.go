@@ -1,0 +1,39 @@
+package rpc
+
+import "errors"
+
+// Replication-epoch fencing (DESIGN.md §5.4). Failover bumps a durable,
+// monotonic epoch; clients stamp it on every envelope (Client.Epoch) and an
+// epoch-fenced server compares the stamp against its own term before the
+// handler runs. A workstation that has rejoined the promoted standby carries
+// the new epoch, so the deposed primary — still on the old term — refuses its
+// requests instead of accepting writes the rest of the cluster will never
+// see. The stale side of a partition fences itself out; no split-brain.
+
+// ErrStaleEpoch reports an interaction refused by epoch fencing: the server's
+// replication epoch is behind the caller's, meaning a failover the server has
+// not witnessed already deposed it (or, on the replication stream, a deposed
+// primary is shipping to a promoted standby). The condition is permanent for
+// the deposed node — callers must not retry against the same address.
+var ErrStaleEpoch = errors.New("rpc: stale replication epoch (node deposed by failover)")
+
+// init registers the fencing sentinel under its stable wire code (range
+// 100–119: rpc/repl; see internal/txn/errcodes.go for the full map).
+func init() { RegisterWireError(100, ErrStaleEpoch) }
+
+// EpochFence returns a fence callback for DedupDeadlineFenced that compares
+// the client's stamped epoch against the server's current term: a stamp
+// ahead of current() means the caller has witnessed a failover this server
+// has not — the server is deposed and the call is refused with ErrStaleEpoch.
+// Stamps at or below the server's term are served (an old stamp only means
+// the client has not rejoined yet; its requests are still valid at the
+// current primary), as are unstamped requests (epoch 0, pre-failover
+// clients).
+func EpochFence(current func() uint64) func(uint64) error {
+	return func(clientEpoch uint64) error {
+		if clientEpoch > current() {
+			return ErrStaleEpoch
+		}
+		return nil
+	}
+}

@@ -1,0 +1,208 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"concord/internal/fault"
+)
+
+// TestEnvelopeEpochRoundTrip pins the v2 framing: stamped envelopes carry the
+// epoch losslessly, epoch-0 envelopes are byte-identical to v1, and a v1
+// decoder path (decodeEnvelope) still reads stamped envelopes' ID+payload.
+func TestEnvelopeEpochRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		id, payload string
+		epoch       uint64
+	}{
+		{"a#1", "payload", 0},
+		{"a#1", "payload", 1},
+		{"ws7#99", "", 7},
+		{"", "p", 1<<64 - 1},
+	} {
+		env := appendEnvelopeEpoch(nil, tc.id, tc.epoch, []byte(tc.payload))
+		id, ep, p, err := decodeEnvelopeEpoch(env)
+		if err != nil {
+			t.Fatalf("decode(%q, %d): %v", tc.id, tc.epoch, err)
+		}
+		if id != tc.id || ep != tc.epoch || string(p) != tc.payload {
+			t.Fatalf("round trip (%q, %d, %q) -> (%q, %d, %q)", tc.id, tc.epoch, tc.payload, id, ep, p)
+		}
+		// The legacy decoder must still split ID and payload.
+		id2, p2, err := decodeEnvelope(env)
+		if err != nil || id2 != tc.id || string(p2) != tc.payload {
+			t.Fatalf("legacy decode of stamped envelope: (%q, %q, %v)", id2, p2, err)
+		}
+		if tc.epoch == 0 {
+			v1 := appendEnvelope(nil, tc.id, []byte(tc.payload))
+			if string(env) != string(v1) {
+				t.Fatal("epoch-0 envelope differs from v1 framing")
+			}
+		}
+	}
+	// A stamped envelope truncated inside the epoch bytes must be refused.
+	env := appendEnvelopeEpoch(nil, "a#1", 5, nil)
+	if _, _, _, err := decodeEnvelopeEpoch(env[:len(env)-3]); err == nil {
+		t.Fatal("truncated epoch accepted")
+	}
+}
+
+// TestClientStampsEpoch wires Client.Epoch and checks the server-side deduper
+// surfaces the stamp to its fence.
+func TestClientStampsEpoch(t *testing.T) {
+	tr := NewInProc(FaultPlan{})
+	defer tr.Close()
+	var seen atomic.Uint64
+	h := DedupDeadlineFenced(func(_ time.Time, method string, payload []byte) ([]byte, error) {
+		return []byte("ok"), nil
+	}, func(clientEpoch uint64) error {
+		seen.Store(clientEpoch)
+		return nil
+	})
+	if err := ServeWithDeadline(tr, "s", h); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(tr, "ws1")
+	c.Epoch = func() uint64 { return 42 }
+	if _, err := c.Call("s", "m", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if seen.Load() != 42 {
+		t.Fatalf("fence saw epoch %d, want 42", seen.Load())
+	}
+}
+
+// TestEpochFenceRejectsDeposed drives the full fencing rule: a client that
+// has witnessed a newer epoch is refused with ErrStaleEpoch at a server stuck
+// on the old term, the refusal is memoized across retries, and clients at or
+// below the server's term (including unstamped ones) are served.
+func TestEpochFenceRejectsDeposed(t *testing.T) {
+	tr := NewInProc(FaultPlan{})
+	defer tr.Close()
+	var serverEpoch atomic.Uint64
+	serverEpoch.Store(3)
+	var execs atomic.Int64
+	h := DedupDeadlineFenced(func(_ time.Time, method string, payload []byte) ([]byte, error) {
+		execs.Add(1)
+		return []byte("ok"), nil
+	}, EpochFence(serverEpoch.Load))
+	if err := ServeWithDeadline(tr, "s", h); err != nil {
+		t.Fatal(err)
+	}
+	var clientEpoch atomic.Uint64
+	c := NewClient(tr, "ws1")
+	c.Epoch = clientEpoch.Load
+
+	for _, e := range []uint64{0, 2, 3} {
+		clientEpoch.Store(e)
+		if _, err := c.Call("s", "m", nil); err != nil {
+			t.Fatalf("epoch %d vs server 3: %v", e, err)
+		}
+	}
+	if execs.Load() != 3 {
+		t.Fatalf("handler ran %d times, want 3", execs.Load())
+	}
+	clientEpoch.Store(4) // the client rejoined a promoted standby
+	_, err := c.Call("s", "m", nil)
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("deposed server served a fenced call: %v", err)
+	}
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("fencing refusal should surface as a remote error: %v", err)
+	}
+	if execs.Load() != 3 {
+		t.Fatalf("handler ran behind the fence (%d executions)", execs.Load())
+	}
+}
+
+// TestNotifierDroppedAt checks the per-address loss counter sees both drop
+// paths: queue-full/fault drops before enqueue and delivery failures.
+func TestNotifierDroppedAt(t *testing.T) {
+	tr := NewInProc(FaultPlan{})
+	defer tr.Close()
+	if err := tr.Serve("up", func(string, []byte) ([]byte, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(tr, "srv")
+	cli.Retries, cli.Backoff = 1, 0
+	n := NewNotifier(cli, 4)
+	defer n.Close()
+	n.Notify("up", "cb/ping", nil)
+	n.Notify("down", "cb/ping", nil) // no handler: delivery fails
+	n.Flush()
+	if got := n.DroppedAt("up"); got != 0 {
+		t.Fatalf("DroppedAt(up) = %d, want 0", got)
+	}
+	if got := n.DroppedAt("down"); got != 1 {
+		t.Fatalf("DroppedAt(down) = %d, want 1", got)
+	}
+	n.Close()
+	n.Notify("down", "cb/ping", nil) // closed: dropped before enqueue
+	if got := n.DroppedAt("down"); got != 2 {
+		t.Fatalf("DroppedAt(down) after closed drop = %d, want 2", got)
+	}
+}
+
+// TestResendDecisions simulates the failover handoff: a commit decision is
+// durable but phase 2 dies against the old address; ResendDecisions pushes
+// the outcome to the new address, acknowledges it, and a second resend is a
+// no-op. Branches fully acknowledged by the original Commit are never resent.
+func TestResendDecisions(t *testing.T) {
+	tr := NewInProc(FaultPlan{})
+	defer tr.Close()
+	commits := make(map[string]map[string]int) // addr -> txid -> commits seen
+	serve := func(addr string) {
+		commits[addr] = make(map[string]int)
+		m := commits[addr]
+		if err := tr.Serve(addr, Dedup(func(method string, payload []byte) ([]byte, error) {
+			switch method {
+			case MethodPrepare:
+				return []byte("commit"), nil
+			case MethodCommit:
+				m[string(payload)]++
+				return []byte("ok"), nil
+			}
+			return []byte("ok"), nil
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serve("old")
+	cli := NewClient(tr, "coord")
+	cli.Retries, cli.Backoff = 1, 0
+	co, err := NewCoordinator(cli, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if o, err := co.Commit("tx-acked", []string{"old"}); err != nil || o != OutcomeCommitted {
+		t.Fatalf("commit tx-acked: %v %v", o, err)
+	}
+	// Decision logged, then the participant dies before phase 2 reaches it.
+	co.Faults = fault.New()
+	co.Faults.Arm(FaultDecisionLogged, fmt.Errorf("crash"))
+	if o, _ := co.Commit("tx-indoubt", []string{"old"}); o != OutcomeCommitted {
+		t.Fatalf("in-doubt commit outcome = %v", o)
+	}
+	co.Faults.Disarm(FaultDecisionLogged)
+
+	serve("new") // the promoted standby's participant endpoint
+	if err := co.ResendDecisions("new"); err != nil {
+		t.Fatal(err)
+	}
+	if commits["new"]["tx-indoubt"] != 1 || commits["new"]["tx-acked"] != 0 {
+		t.Fatalf("resend delivered %v", commits["new"])
+	}
+	if err := co.ResendDecisions("new"); err != nil {
+		t.Fatal(err)
+	}
+	if commits["new"]["tx-indoubt"] != 1 {
+		t.Fatal("acknowledged resend was re-delivered")
+	}
+	if co.Outcome("tx-indoubt") != OutcomeCommitted {
+		t.Fatal("resend forgot the durable outcome")
+	}
+}

@@ -29,6 +29,11 @@ type Notifier struct {
 
 	enqueued, processed   uint64
 	sent, dropped, failed uint64
+	// lost counts per-address notifications that never arrived (dropped
+	// before enqueue or failed in delivery). The server-TM's checkout
+	// negotiation reads it (DroppedAt) to detect workstations whose
+	// invalidation stream has holes and force a cache-epoch bump.
+	lost map[string]uint64
 }
 
 type notification struct {
@@ -49,6 +54,7 @@ func NewNotifier(client *Client, queue int) *Notifier {
 		client: client,
 		ch:     make(chan notification, queue),
 		done:   make(chan struct{}),
+		lost:   make(map[string]uint64),
 	}
 	n.idle = sync.NewCond(&n.mu)
 	go n.run()
@@ -62,6 +68,7 @@ func (n *Notifier) run() {
 		n.mu.Lock()
 		if err != nil {
 			n.failed++
+			n.lost[msg.addr]++
 		} else {
 			n.sent++
 		}
@@ -91,6 +98,7 @@ func (n *Notifier) Notify(addr, method string, payload []byte) {
 	defer n.mu.Unlock()
 	if n.closed || n.faults.At(FaultNotifyDrop) != nil {
 		n.dropped++
+		n.lost[addr]++
 		return
 	}
 	select {
@@ -98,7 +106,18 @@ func (n *Notifier) Notify(addr, method string, payload []byte) {
 		n.enqueued++
 	default:
 		n.dropped++
+		n.lost[addr]++
 	}
+}
+
+// DroppedAt reports how many notifications destined for addr were lost
+// (dropped before enqueue or failed in delivery) since creation. The counter
+// is monotonic — callers detect new holes in addr's invalidation stream by
+// comparing against the last value they acted on.
+func (n *Notifier) DroppedAt(addr string) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lost[addr]
 }
 
 // Flush blocks until every notification enqueued before the call has been

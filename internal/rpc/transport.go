@@ -233,6 +233,12 @@ type Client struct {
 	Backoff time.Duration
 	// MaxBackoff caps the exponential growth (default 100ms).
 	MaxBackoff time.Duration
+	// Epoch, when set, stamps every request envelope with the caller's
+	// current replication epoch (DESIGN.md §5.4): epoch-fenced servers
+	// compare it against their own term and refuse interactions that would
+	// cross a failover boundary with ErrStaleEpoch. Nil (or a returned 0)
+	// leaves requests unstamped, which fenced servers always serve.
+	Epoch func() uint64
 
 	mu       sync.Mutex
 	seq      uint64
@@ -292,8 +298,12 @@ var ErrBudgetExceeded = errors.New("rpc: call budget exceeded")
 // handlers bound their own work by it (deadline propagation). budget 0 is
 // plain Call.
 func (c *Client) CallBudget(addr, method string, payload []byte, budget time.Duration) ([]byte, error) {
+	var epoch uint64
+	if c.Epoch != nil {
+		epoch = c.Epoch()
+	}
 	e := envelopePool.Get().(*envelope)
-	e.buf = appendEnvelope(e.buf[:0], c.nextRequestID(), payload)
+	e.buf = appendEnvelopeEpoch(e.buf[:0], c.nextRequestID(), epoch, payload)
 	defer func() {
 		if cap(e.buf) > maxPooledEnvelopeBytes {
 			e.buf = nil
@@ -372,24 +382,64 @@ func (c *Client) backoffFor(attempt int) time.Duration {
 	return d
 }
 
+// envEpochFlag marks an envelope whose request ID is followed by an 8-byte
+// big-endian replication epoch. It rides the high bit of the u16 ID-length
+// field, so epoch-free envelopes are byte-identical to the v1 framing —
+// unstamped clients and fenced servers interoperate without negotiation.
+// Request IDs are "<client>#<seq>", far below the remaining 15 bits.
+const envEpochFlag = 0x8000
+
 // appendEnvelope frames a request ID and payload onto dst (allocation-free
 // when dst has capacity).
 func appendEnvelope(dst []byte, reqID string, payload []byte) []byte {
-	dst = append(dst, byte(len(reqID)>>8), byte(len(reqID)))
+	return appendEnvelopeEpoch(dst, reqID, 0, payload)
+}
+
+// appendEnvelopeEpoch is appendEnvelope with a replication-epoch stamp;
+// epoch 0 means unstamped and produces the v1 framing.
+func appendEnvelopeEpoch(dst []byte, reqID string, epoch uint64, payload []byte) []byte {
+	field := len(reqID)
+	if epoch > 0 {
+		field |= envEpochFlag
+	}
+	dst = append(dst, byte(field>>8), byte(field))
 	dst = append(dst, reqID...)
+	if epoch > 0 {
+		dst = append(dst,
+			byte(epoch>>56), byte(epoch>>48), byte(epoch>>40), byte(epoch>>32),
+			byte(epoch>>24), byte(epoch>>16), byte(epoch>>8), byte(epoch))
+	}
 	return append(dst, payload...)
 }
 
-// decodeEnvelope splits a framed request.
+// decodeEnvelope splits a framed request, discarding any epoch stamp.
 func decodeEnvelope(env []byte) (reqID string, payload []byte, err error) {
+	reqID, _, payload, err = decodeEnvelopeEpoch(env)
+	return reqID, payload, err
+}
+
+// decodeEnvelopeEpoch splits a framed request; epoch is 0 when the envelope
+// carries no stamp.
+func decodeEnvelopeEpoch(env []byte) (reqID string, epoch uint64, payload []byte, err error) {
 	if len(env) < 2 {
-		return "", nil, errors.New("rpc: short envelope")
+		return "", 0, nil, errors.New("rpc: short envelope")
 	}
-	n := int(env[0])<<8 | int(env[1])
-	if len(env) < 2+n {
-		return "", nil, errors.New("rpc: truncated envelope")
+	field := int(env[0])<<8 | int(env[1])
+	n := field &^ envEpochFlag
+	rest := env[2:]
+	if len(rest) < n {
+		return "", 0, nil, errors.New("rpc: truncated envelope")
 	}
-	return string(env[2 : 2+n]), env[2+n:], nil
+	reqID, rest = string(rest[:n]), rest[n:]
+	if field&envEpochFlag != 0 {
+		if len(rest) < 8 {
+			return "", 0, nil, errors.New("rpc: truncated envelope epoch")
+		}
+		epoch = uint64(rest[0])<<56 | uint64(rest[1])<<48 | uint64(rest[2])<<40 | uint64(rest[3])<<32 |
+			uint64(rest[4])<<24 | uint64(rest[5])<<16 | uint64(rest[6])<<8 | uint64(rest[7])
+		rest = rest[8:]
+	}
+	return reqID, epoch, rest, nil
 }
 
 // Dedup wraps a handler with at-most-once execution per request ID: repeated
@@ -404,4 +454,16 @@ func Dedup(h Handler) Handler {
 // deadline flows through the memo to h on first execution.
 func DedupDeadline(h DeadlineHandler) DeadlineHandler {
 	return NewDeadlineDeduper(h, DefaultDedupEntries, DefaultDedupBytes).HandleDeadline
+}
+
+// DedupDeadlineFenced is DedupDeadline with epoch fencing: before each
+// request's first execution, fence is consulted with the epoch stamped on
+// the envelope (0 when unstamped) and a non-nil result refuses the call
+// without running h. The refusal is memoized like any handler error, so
+// client retries of a fenced request never slip through. Use EpochFence for
+// the standard stale-node rule.
+func DedupDeadlineFenced(h DeadlineHandler, fence func(clientEpoch uint64) error) DeadlineHandler {
+	d := NewDeadlineDeduper(h, DefaultDedupEntries, DefaultDedupBytes)
+	d.fence = fence
+	return d.HandleDeadline
 }

@@ -112,6 +112,10 @@ type Coordinator struct {
 
 	mu        sync.Mutex
 	decisions map[string]Outcome
+	// ended marks committed transactions every participant has acknowledged
+	// (decision-end logged): ResendDecisions skips them so a failover resend
+	// only re-delivers the genuinely unacknowledged tail.
+	ended map[string]bool
 	// Stats counts protocol messages for the E10 experiment.
 	stats Stats
 }
@@ -124,7 +128,7 @@ type Stats struct {
 // NewCoordinator returns a coordinator using client for participant calls
 // and log (optional) for durable commit decisions.
 func NewCoordinator(client *Client, log *wal.Log) (*Coordinator, error) {
-	c := &Coordinator{client: client, log: log, decisions: make(map[string]Outcome)}
+	c := &Coordinator{client: client, log: log, decisions: make(map[string]Outcome), ended: make(map[string]bool)}
 	if log != nil {
 		err := log.Replay(func(r wal.Record) error {
 			switch r.Type {
@@ -215,13 +219,58 @@ func (c *Coordinator) Commit(txid string, participants []string) (Outcome, error
 			firstErr = fmt.Errorf("rpc: 2pc commit at %s: %w", p, err)
 		}
 	}
-	if firstErr == nil && c.log != nil {
-		// All acks in: the decision record may be forgotten.
-		c.log.Append(recDecisionEnd, "coordinator", []byte(txid)) //nolint:errcheck // cleanup only
+	if firstErr == nil {
+		if c.log != nil {
+			// All acks in: the decision record may be forgotten.
+			c.log.Append(recDecisionEnd, "coordinator", []byte(txid)) //nolint:errcheck // cleanup only
+		}
+		c.mu.Lock()
+		c.ended[txid] = true
+		c.mu.Unlock()
 	}
 	// The transaction is committed even if some participant is temporarily
 	// unreachable; it will learn the outcome on recovery (Resolve).
 	return OutcomeCommitted, firstErr
+}
+
+// ResendDecisions re-delivers every committed, not-yet-acknowledged decision
+// to addr: the client-driven half of in-doubt resolution after a failover.
+// The participant endpoint moved to the promoted standby, whose replicated
+// vote log knows the prepared branches but never heard phase 2 from the dead
+// primary's window — pushing the durable outcomes re-applies them (Commit is
+// idempotent, so branches the old server already applied and replicated are
+// harmless re-deliveries). Successful re-deliveries are acknowledged with a
+// decision-end record exactly as in Commit.
+func (c *Coordinator) ResendDecisions(addr string) error {
+	c.mu.Lock()
+	pending := make([]string, 0, len(c.decisions))
+	for txid, o := range c.decisions {
+		if o == OutcomeCommitted && !c.ended[txid] {
+			pending = append(pending, txid)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(pending)
+	var firstErr error
+	for _, txid := range pending {
+		c.mu.Lock()
+		c.stats.Commits++
+		c.stats.Retries++
+		c.mu.Unlock()
+		if _, err := c.client.Call(addr, MethodCommit, []byte(txid)); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rpc: 2pc resend at %s: %w", addr, err)
+			}
+			continue
+		}
+		if c.log != nil {
+			c.log.Append(recDecisionEnd, "coordinator", []byte(txid)) //nolint:errcheck // cleanup only
+		}
+		c.mu.Lock()
+		c.ended[txid] = true
+		c.mu.Unlock()
+	}
+	return firstErr
 }
 
 func (c *Coordinator) abortAll(txid string, participants []string) {

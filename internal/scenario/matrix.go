@@ -196,6 +196,42 @@ func Short() []Scenario {
 			},
 			Fault: Fault{RaceCheckpoint: true},
 		},
+		{
+			// The PR-10 acceptance scenario: the primary dies while concurrent
+			// designers are mid-checkin. The workstations' heartbeat loops
+			// drive the takeover — promote the warm standby, rejoin, resume —
+			// within 2×heartbeat, and the ledger oracle proves every
+			// synchronously committed checkin survived the failover.
+			Name: "inproc-repl-primary-kill-failover",
+			Topo: Topology{
+				Workstations: 2, DesignAreas: 2, Replicated: true, SyncReplication: true,
+				LeaseTTL: 3 * time.Second, HeartbeatEvery: time.Second,
+			},
+			Load:  Workload{Mix: sim.OpMix{Checkin: 1, Seed: 40}, Ops: 40, Concurrent: true},
+			Fault: Fault{KillPrimary: true},
+		},
+		{
+			// Split brain: a partition separates a LIVE primary from its
+			// workstations, which promote the standby. Once the partition
+			// heals, the deposed primary's next commit must be refused with
+			// ErrStaleEpoch before any split-brain write is acknowledged.
+			Name: "inproc-repl-split-brain-fencing",
+			Topo: Topology{
+				Workstations: 2, DesignAreas: 2, Replicated: true, SyncReplication: true,
+				LeaseTTL: 3 * time.Second, HeartbeatEvery: time.Second,
+			},
+			Load:  writeLoad(30, 41),
+			Fault: Fault{SplitBrain: true},
+		},
+		{
+			// Standby crash: synchronous replication degrades to trailing
+			// instead of blocking designers, the restarted standby is caught
+			// back up from its durable replicated state, and sync returns.
+			Name:  "inproc-repl-standby-crash-degrade",
+			Topo:  Topology{Workstations: 2, DesignAreas: 2, Replicated: true, SyncReplication: true},
+			Load:  writeLoad(30, 42),
+			Fault: Fault{CrashStandby: true},
+		},
 	}
 	// Crash at each checkpoint-protocol durability point while checkpoints
 	// race live writers; tiny segments make the log roll so the
@@ -287,6 +323,16 @@ func Long() []Scenario {
 			Concurrent: true,
 		},
 		Fault: Fault{RaceCheckpoint: true},
+	}, Scenario{
+		// The short failover scenario at scale: more designers, more
+		// committed work riding over the promotion.
+		Name: "long-repl-primary-kill-concurrent",
+		Topo: Topology{
+			Workstations: 4, DesignAreas: 3, Replicated: true, SyncReplication: true,
+			LeaseTTL: 3 * time.Second, HeartbeatEvery: time.Second,
+		},
+		Load:  Workload{Mix: sim.OpMix{Checkin: 1, Seed: 410}, Ops: 160, Concurrent: true},
+		Fault: Fault{KillPrimary: true},
 	})
 	return out
 }

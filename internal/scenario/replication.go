@@ -1,0 +1,216 @@
+package scenario
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"concord/internal/core"
+	"concord/internal/rpc"
+	"concord/internal/txn"
+	"concord/internal/version"
+	"concord/internal/vlsi"
+)
+
+// effectiveHeartbeat is the lease-renewal period the scenario's workstations
+// actually run with (the topology override or the derivation core applies).
+func effectiveHeartbeat(sc Scenario) time.Duration {
+	if sc.Topo.HeartbeatEvery > 0 {
+		return sc.Topo.HeartbeatEvery
+	}
+	return effectiveTTL(sc) / txn.DefaultHeartbeatDivisor
+}
+
+// replState coordinates the one-shot replication fault and remembers when it
+// landed, so the promotion oracle can hold client-driven takeover to its
+// 2×heartbeat deadline. Concurrent workloads inject from a watcher goroutine
+// once enough checkins have committed, so the kill lands under live 2PC
+// traffic.
+type replState struct {
+	mu   sync.Mutex
+	done bool
+	at   time.Time
+}
+
+// when reports the injection time (zero before inject ran).
+func (rs *replState) when() time.Time {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.at
+}
+
+// inject applies the scenario's replication fault exactly once; later calls
+// no-op. It reports failures with Errorf, not Fatalf, because it may run on a
+// watcher goroutine.
+func (rs *replState) inject(t *testing.T, s site, sc Scenario) {
+	rs.mu.Lock()
+	if rs.done {
+		rs.mu.Unlock()
+		return
+	}
+	rs.done = true
+	rs.at = time.Now()
+	rs.mu.Unlock()
+	if sc.Fault.KillPrimary {
+		if err := s.killPrimary(); err != nil {
+			t.Errorf("kill primary: %v", err)
+		}
+	}
+	if sc.Fault.SplitBrain {
+		if err := s.partitionPrimary(); err != nil {
+			t.Errorf("partition primary: %v", err)
+		}
+	}
+	if sc.Fault.CrashStandby {
+		if err := s.crashStandby(); err != nil {
+			t.Errorf("crash standby: %v", err)
+		}
+	}
+}
+
+// awaitTakeover waits until every workstation's session targets the promoted
+// standby. Workstation 0 is held to the hard promotion deadline measured from
+// the fault injection; the rest follow within their own heartbeat with a
+// generous bound (the later oracles drive traffic through all of them).
+func awaitTakeover(t *testing.T, s site, sc Scenario, rs *replState) time.Duration {
+	t.Helper()
+	bound := 2 * effectiveHeartbeat(sc)
+	deadline := rs.when().Add(bound)
+	for {
+		if addr, err := s.wsServerAddr(0); err == nil && addr == core.StandbyAddr {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("standby not promoted and adopted by workstation 0 within 2×heartbeat (%v)", bound)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	took := time.Since(rs.when())
+	rest := time.Now().Add(10 * time.Second)
+	for ws := 1; ws < sc.Topo.Workstations; ws++ {
+		for {
+			if addr, err := s.wsServerAddr(ws); err == nil && addr == core.StandbyAddr {
+				break
+			}
+			if time.Now().After(rest) {
+				t.Fatalf("workstation %d never failed over to the promoted standby", ws)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return took
+}
+
+// verifyFailoverPromotion is the primary-kill oracle: after the primary died
+// under concurrent checkins, client-driven takeover must promote the warm
+// standby and move every session over — workstation 0 within 2×heartbeat —
+// with the epoch bumped. The ledger oracle afterwards re-proves that no
+// synchronously committed checkin was lost across the failover.
+func verifyFailoverPromotion(t *testing.T, s site, st *runState, sc Scenario, rs *replState) {
+	t.Helper()
+	took := awaitTakeover(t, s, sc, rs)
+	h, err := s.replHealth()
+	if err != nil {
+		t.Fatalf("failover: replication health: %v", err)
+	}
+	if !h.StandbyPromoted || h.Epoch == 0 {
+		t.Errorf("failover: replication health = %+v, want promoted standby with a bumped epoch", h)
+	}
+	t.Logf("failover: client takeover in %v (bound %v), epoch %d", took, 2*effectiveHeartbeat(sc), h.Epoch)
+	// Spot-check before the full ledger replay: the newest committed checkin
+	// of every root DA is already served by the promoted repository.
+	for _, da := range st.rootDAs {
+		id := st.lastOf(da)
+		if id == "" {
+			continue
+		}
+		ok, err := s.repo().Exists(id)
+		if err != nil || !ok {
+			t.Errorf("failover: committed checkin %s missing at the promoted standby: %t, %v", id, ok, err)
+		}
+	}
+}
+
+// verifySplitBrainFencing is the split-brain oracle: a partition deposed a
+// LIVE primary and the clients promoted the standby. Once the partition
+// heals, the deposed primary's next commit must be refused with
+// rpc.ErrStaleEpoch — fenced before any split-brain write is acknowledged —
+// while the promoted side keeps accepting commits.
+func verifySplitBrainFencing(t *testing.T, s site, st *runState, sc Scenario, rs *replState) {
+	t.Helper()
+	awaitTakeover(t, s, sc, rs)
+	if err := s.healPrimary(); err != nil {
+		t.Fatalf("split-brain: heal partition: %v", err)
+	}
+	pr := s.primaryRepo()
+	if pr == nil {
+		t.Fatalf("split-brain: the deposed primary should still be running")
+	}
+	da := st.rootDAs[0]
+	v := &version.DOV{
+		DOT: vlsi.DOTFloorplan, DA: da,
+		Object: payload(da, "split-brain"),
+		Status: version.StatusWorking,
+	}
+	v.ID = pr.NextID()
+	if err := pr.Checkin(v, false); !errors.Is(err, rpc.ErrStaleEpoch) {
+		t.Errorf("split-brain: deposed primary commit = %v, want rpc.ErrStaleEpoch", err)
+	}
+	// The promoted side keeps serving commits after fencing the old primary.
+	if err := doCheckin(s, st, 1, da); err != nil {
+		t.Errorf("split-brain: promoted standby refused a commit: %v", err)
+	}
+}
+
+// verifyStandbyCrashDegrade is the standby-outage oracle: with the standby
+// dead, a synchronous primary must have degraded to trailing replication and
+// kept committing; after the standby restarts from its durable replicated
+// state, the sender must catch it up and return to sync mode.
+func verifyStandbyCrashDegrade(t *testing.T, s site, st *runState, sc Scenario) {
+	t.Helper()
+	h, err := s.replHealth()
+	if err != nil {
+		t.Fatalf("standby crash: replication health: %v", err)
+	}
+	if h.Role != "primary" || h.Mode != "trailing" || h.Degrades == 0 || !h.SyncConfigured {
+		t.Errorf("standby crash: replication health = %+v, want a configured-sync primary degraded to trailing", h)
+	}
+	// Designers keep committing without the standby.
+	da := st.rootDAs[0]
+	if err := doCheckin(s, st, 0, da); err != nil {
+		t.Fatalf("standby crash: primary refused a commit during the outage: %v", err)
+	}
+	if err := s.restartStandby(); err != nil {
+		t.Fatalf("standby crash: restart standby: %v", err)
+	}
+	resync := time.Now().Add(15 * time.Second)
+	for {
+		h, err := s.replHealth()
+		if err != nil {
+			t.Fatalf("standby crash: replication health: %v", err)
+		}
+		if h.Mode == "sync" {
+			break
+		}
+		if time.Now().After(resync) {
+			t.Fatalf("standby crash: sender never returned to sync mode after the restart (mode %q)", h.Mode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Catch-up reached the follower's live state: the newest committed
+	// checkin is readable at the standby.
+	want := st.lastOf(da)
+	catchup := time.Now().Add(5 * time.Second)
+	for {
+		if sb := s.standbyRepo(); sb != nil {
+			if ok, err := sb.Exists(want); err == nil && ok {
+				return
+			}
+		}
+		if time.Now().After(catchup) {
+			t.Fatalf("standby crash: restarted standby never caught up to %s", want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

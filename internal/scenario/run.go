@@ -111,6 +111,13 @@ func Run(t *testing.T, sc Scenario) {
 	if sc.Topo.Workstations <= 0 || sc.Topo.DesignAreas <= 0 || sc.Load.Ops <= 0 {
 		t.Fatalf("scenario %s: topology and workload must be non-zero", sc.Name)
 	}
+	var rs *replState
+	if sc.Fault.KillPrimary || sc.Fault.SplitBrain || sc.Fault.CrashStandby {
+		if !sc.Topo.Replicated || sc.Topo.Transport != InProc {
+			t.Fatalf("scenario %s: replication faults need an in-process replicated topology", sc.Name)
+		}
+		rs = &replState{}
+	}
 
 	var s site
 	var err error
@@ -193,6 +200,34 @@ func Run(t *testing.T, sc Scenario) {
 	}
 	var vs *vanishState
 	if sc.Load.Concurrent {
+		// The replication fault lands from a watcher goroutine once a quarter
+		// of the workload has committed, so the kill catches the concurrent
+		// designers mid-checkin with warm 2PC traffic in flight.
+		stopWatch := func() {}
+		if rs != nil {
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				threshold := sc.Load.Ops / 4
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					st.mu.Lock()
+					committed := len(st.ledger)
+					st.mu.Unlock()
+					if committed >= threshold {
+						rs.inject(t, s, sc)
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}()
+			stopWatch = func() { close(stop); <-done }
+		}
 		var wg sync.WaitGroup
 		per := sc.Load.Ops / sc.Topo.Workstations
 		if per == 0 {
@@ -211,6 +246,10 @@ func Run(t *testing.T, sc Scenario) {
 			}(ws)
 		}
 		wg.Wait()
+		stopWatch()
+		if rs != nil {
+			rs.inject(t, s, sc) // workload drained below threshold: inject now
+		}
 		if sc.Fault.CrashServer {
 			crashServer()
 		}
@@ -225,6 +264,9 @@ func Run(t *testing.T, sc Scenario) {
 			}
 			if sc.Fault.VanishWS && vs == nil && i == sc.Load.Ops/2 {
 				vs = vanishWorkstation(t, s, st, sc)
+			}
+			if rs != nil && i == sc.Load.Ops/2 {
+				rs.inject(t, s, sc)
 			}
 			runOp(s, st, i%sc.Topo.Workstations, mix.Pick(), rng)
 			if ce := sc.Load.CheckpointEvery; ce > 0 && (i+1)%ce == 0 {
@@ -253,6 +295,18 @@ func Run(t *testing.T, sc Scenario) {
 	}
 	if sc.Fault.DiskFull {
 		verifyDegradedMode(t, s, st, sc)
+	}
+	// Server-failover lifecycle verifications (DESIGN.md §5.4) also run while
+	// the registry is armed: they wait on client-driven takeover before the
+	// liveness phase needs a serving primary again.
+	if sc.Fault.KillPrimary {
+		verifyFailoverPromotion(t, s, st, sc, rs)
+	}
+	if sc.Fault.SplitBrain {
+		verifySplitBrainFencing(t, s, st, sc, rs)
+	}
+	if sc.Fault.CrashStandby {
+		verifyStandbyCrashDegrade(t, s, st, sc)
 	}
 	if sc.Fault.Point != "" && reg.Hits(sc.Fault.Point) == 0 {
 		t.Errorf("fault point %s was never traversed: the scenario exercises nothing", sc.Fault.Point)
@@ -499,24 +553,30 @@ func runOracles(t *testing.T, sc Scenario, s site, st *runState) {
 	// any in-doubt 2PC leftovers (a checkin whose coordinator logged COMMIT
 	// but whose client saw an error keeps its staged entry until the next
 	// recovery resolves it); after that, recovery must be a fixpoint: one
-	// more crash/restart reproduces the exact repository state.
-	if err := s.crashRestartServer(false, false); err != nil {
-		t.Fatalf("oracle restart: settling crash/restart: %v", err)
-	}
-	r = s.repo()
-	before, err := r.StateDigest()
-	if err != nil {
-		t.Fatalf("oracle restart: digest before: %v", err)
-	}
-	if err := s.crashRestartServer(false, false); err != nil {
-		t.Fatalf("oracle restart: crash/restart: %v", err)
-	}
-	after, err := s.repo().StateDigest()
-	if err != nil {
-		t.Fatalf("oracle restart: digest after: %v", err)
-	}
-	if before != after {
-		t.Errorf("oracle restart: recovery is not byte-identical:\n--- before crash\n%s--- after recovery\n%s", before, after)
+	// more crash/restart reproduces the exact repository state. A scenario
+	// whose failover promoted the warm standby skips this one: the promoted
+	// standby IS the recovery, and it cannot crash/restart in place (a
+	// promoted standby never rejoins as a follower) — the twin-replay oracle
+	// below still proves its on-disk state replays deterministically.
+	if !sc.Fault.KillPrimary && !sc.Fault.SplitBrain {
+		if err := s.crashRestartServer(false, false); err != nil {
+			t.Fatalf("oracle restart: settling crash/restart: %v", err)
+		}
+		r = s.repo()
+		before, err := r.StateDigest()
+		if err != nil {
+			t.Fatalf("oracle restart: digest before: %v", err)
+		}
+		if err := s.crashRestartServer(false, false); err != nil {
+			t.Fatalf("oracle restart: crash/restart: %v", err)
+		}
+		after, err := s.repo().StateDigest()
+		if err != nil {
+			t.Fatalf("oracle restart: digest after: %v", err)
+		}
+		if before != after {
+			t.Errorf("oracle restart: recovery is not byte-identical:\n--- before crash\n%s--- after recovery\n%s", before, after)
+		}
 	}
 
 	// Oracle 5: twin replay — serial and pipelined replay of the same

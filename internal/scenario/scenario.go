@@ -4,8 +4,10 @@
 // volatility), a seeded workload mix (checkout / checkin / delegate /
 // handover / setstatus ratios via sim.OpMix), a fault (a named fault point
 // from the internal/fault registry armed mid-run, a server or workstation
-// crash, a torn WAL tail, dropped callbacks, checkpoints racing writers)
-// and runs a fixed oracle suite over the survivors: no committed checkin is
+// crash, a torn WAL tail, dropped callbacks, checkpoints racing writers, a
+// primary kill or split-brain partition of a replicated deployment, a
+// standby crash) and runs a fixed oracle suite over the survivors: no
+// committed checkin is
 // ever lost, repository consistency holds, recovery is byte-identical
 // across a restart (StateDigest), serial and pipelined replay are
 // equivalent twins, and every workstation cache checkout revalidates to the
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"concord/internal/fault"
+	"concord/internal/repl"
 	"concord/internal/repo"
 	"concord/internal/rpc"
 	"concord/internal/sim"
@@ -90,6 +93,15 @@ type Topology struct {
 	// DegradedOnWALFailure routes a server WAL append/fsync failure to
 	// read-only degraded mode instead of fail-stop.
 	DegradedOnWALFailure bool
+	// Replicated deploys a warm standby next to the server: the repository
+	// and participant redo logs ship to it live, and on primary death the
+	// workstations promote it and move their sessions over (in-process
+	// transport only; DESIGN.md §5.4).
+	Replicated bool
+	// SyncReplication makes every commit wait for the standby's ack, so a
+	// checkin the designer saw succeed is durable at both sites. Requires
+	// Replicated.
+	SyncReplication bool
 }
 
 // Workload is the seeded operation stream driven against the topology.
@@ -159,6 +171,23 @@ type Fault struct {
 	// still serve, mutations fail fast, the health endpoint reports
 	// "degraded", and a restart restores writability.
 	DiskFull bool
+	// KillPrimary crashes the primary server mid-workload WITHOUT restarting
+	// it. The workstations' heartbeat loops must drive the takeover —
+	// promote the warm standby, rejoin, resume — within 2×heartbeat, and no
+	// committed checkin may be lost (requires Topology.Replicated).
+	KillPrimary bool
+	// SplitBrain partitions a LIVE primary from every workstation
+	// mid-workload: the clients promote the standby while the old primary
+	// keeps running. Once the partition heals, the deposed primary's next
+	// commit must be refused with rpc.ErrStaleEpoch before any split-brain
+	// write is acknowledged (requires Topology.Replicated).
+	SplitBrain bool
+	// CrashStandby kills the warm standby mid-workload: a synchronous
+	// primary must degrade to trailing replication and keep committing
+	// instead of blocking designers; after the standby restarts, the sender
+	// must catch it up and return to sync mode (requires
+	// Topology.Replicated + SyncReplication).
+	CrashStandby bool
 }
 
 // Scenario is one entry of the matrix: topology × workload × fault, always
@@ -176,13 +205,14 @@ type Scenario struct {
 
 // KnownFaultPoints is the full catalog of named fault points across the
 // stack (checkpoint protocol, 2PC engine, server-TM, lease lifecycle, WAL
-// durability, notifier). The coverage report lists every one of them, so a
-// point that silently stops firing is visible.
+// durability, notifier, replication shipping). The coverage report lists
+// every one of them, so a point that silently stops firing is visible.
 func KnownFaultPoints() []string {
-	out := make([]string, 0, len(repo.CrashPoints)+len(rpc.FaultPoints)+len(txn.FaultPoints)+1)
+	out := make([]string, 0, len(repo.CrashPoints)+len(rpc.FaultPoints)+len(txn.FaultPoints)+len(repl.FaultPoints)+1)
 	out = append(out, repo.CrashPoints...)
 	out = append(out, rpc.FaultPoints...)
 	out = append(out, txn.FaultPoints...)
+	out = append(out, repl.FaultPoints...)
 	out = append(out, wal.FaultAppendSync)
 	return out
 }

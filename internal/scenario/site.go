@@ -58,6 +58,30 @@ type site interface {
 	// reviveWS boots the next incarnation of a vanished workstation and
 	// reports how many persisted DOP contexts it recovered.
 	reviveWS(ws int) (int, error)
+	// killPrimary crashes the primary server WITHOUT restart: the warm
+	// standby keeps running and client-driven takeover must promote it
+	// (errUnsupported without a replicated deployment).
+	killPrimary() error
+	// partitionPrimary isolates a LIVE primary from every workstation (the
+	// split-brain precondition); healPrimary reconnects it.
+	partitionPrimary() error
+	healPrimary() error
+	// crashStandby kills the warm standby (a synchronous primary degrades to
+	// trailing); restartStandby recovers it from its durable replicated
+	// state so the sender can catch it back up.
+	crashStandby() error
+	restartStandby() error
+	// replHealth reports the deployment's replication role, epoch and mode.
+	replHealth() (core.ReplHealth, error)
+	// standbyRepo returns the standby's live follower repository (nil while
+	// crashed or unreplicated).
+	standbyRepo() *repo.Repository
+	// primaryRepo returns the original primary's repository even after a
+	// promotion deposed it (the split-brain oracle pokes it directly).
+	primaryRepo() *repo.Repository
+	// wsServerAddr reports which server address workstation ws's session
+	// currently targets (client-driven takeover detection).
+	wsServerAddr(ws int) (string, error)
 	// health reports the server's degradation mode and latched cause.
 	health() (mode, cause string)
 	// serverRepoDir is the repository directory for the twin-replay oracle.
@@ -141,6 +165,8 @@ func newInProcSite(dir string, topo Topology, reg *fault.Registry) (*inprocSite,
 		LeaseTTL:             topo.LeaseTTL,
 		HeartbeatEvery:       topo.HeartbeatEvery,
 		DegradedOnWALFailure: topo.DegradedOnWALFailure,
+		Replicated:           topo.Replicated,
+		SyncReplication:      topo.SyncReplication,
 		Faults:               reg,
 	})
 	if err != nil {
@@ -167,7 +193,16 @@ func (s *inprocSite) begin(ws int, dopID, da string) (*txn.DOP, error) {
 
 func (s *inprocSite) repo() *repo.Repository    { return s.sys.Repo() }
 func (s *inprocSite) catalog() *catalog.Catalog { return s.sys.Catalog() }
-func (s *inprocSite) serverRepoDir() string     { return filepath.Join(s.dir, "server") }
+
+// serverRepoDir names the directory holding the ACTIVE repository: after a
+// failover scenario promoted the warm standby, the twin-replay oracle must
+// replay the replicated state it now serves, not the deposed primary's.
+func (s *inprocSite) serverRepoDir() string {
+	if s.sys.ReplHealth().StandbyPromoted {
+		return filepath.Join(s.dir, "standby")
+	}
+	return filepath.Join(s.dir, "server")
+}
 
 func (s *inprocSite) newDA(id string) error {
 	cfg := coop.Config{ID: id, DOT: vlsi.DOTFloorplan, Spec: scenarioSpec(), Designer: id}
@@ -227,6 +262,26 @@ func (s *inprocSite) reviveWS(ws int) (int, error) {
 	s.ws[ws] = w
 	s.mu.Unlock()
 	return len(w.RecoveredDOPs()), nil
+}
+
+func (s *inprocSite) killPrimary() error { return s.sys.CrashServer() }
+func (s *inprocSite) partitionPrimary() error {
+	s.sys.Transport().Partition(core.ServerAddr)
+	return nil
+}
+func (s *inprocSite) healPrimary() error    { s.sys.Transport().Heal(core.ServerAddr); return nil }
+func (s *inprocSite) crashStandby() error   { return s.sys.CrashStandby() }
+func (s *inprocSite) restartStandby() error { return s.sys.RestartStandby() }
+
+func (s *inprocSite) replHealth() (core.ReplHealth, error) { return s.sys.ReplHealth(), nil }
+func (s *inprocSite) standbyRepo() *repo.Repository        { return s.sys.StandbyRepo() }
+func (s *inprocSite) primaryRepo() *repo.Repository        { return s.sys.PrimaryRepo() }
+
+func (s *inprocSite) wsServerAddr(ws int) (string, error) {
+	s.mu.Lock()
+	w := s.ws[ws]
+	s.mu.Unlock()
+	return w.TM().ServerAddr(), nil
 }
 
 func (s *inprocSite) health() (string, string) { return s.sys.Health() }
@@ -480,6 +535,18 @@ func (s *tcpSite) serverTM() *txn.ServerTM {
 
 func (s *tcpSite) vanishWS(int) error        { return errUnsupported }
 func (s *tcpSite) reviveWS(int) (int, error) { return 0, errUnsupported }
+
+// The TCP deployment carries no warm standby: every replication operation is
+// unsupported (the matrix keeps replication faults on the in-process shape).
+func (s *tcpSite) killPrimary() error                   { return errUnsupported }
+func (s *tcpSite) partitionPrimary() error              { return errUnsupported }
+func (s *tcpSite) healPrimary() error                   { return errUnsupported }
+func (s *tcpSite) crashStandby() error                  { return errUnsupported }
+func (s *tcpSite) restartStandby() error                { return errUnsupported }
+func (s *tcpSite) replHealth() (core.ReplHealth, error) { return core.ReplHealth{}, errUnsupported }
+func (s *tcpSite) standbyRepo() *repo.Repository        { return nil }
+func (s *tcpSite) primaryRepo() *repo.Repository        { return s.repo() }
+func (s *tcpSite) wsServerAddr(int) (string, error)     { return "", errUnsupported }
 
 func (s *tcpSite) health() (string, string) {
 	s.mu.Lock()

@@ -231,6 +231,34 @@ func (c *ObjectCache) Epoch() uint64 {
 	return c.epoch
 }
 
+// BumpEpoch ends this cache incarnation without a restart and returns the new
+// epoch. The server orders it (checkoutResp.BumpEpoch) after its notifier
+// dropped invalidations destined for this workstation: payloads are always
+// hash-revalidated at checkout, but the advisory metadata only callbacks
+// refresh — supersession marks, lifecycle status — is now suspect on an
+// unknowable subset of entries, so the whole incarnation is retired: the
+// epoch advances durably (retiring in-flight callbacks addressed to the old
+// one) and every entry is flushed from memory and disk.
+func (c *ObjectCache) BumpEpoch() uint64 {
+	c.mu.Lock()
+	c.epoch++
+	e := c.epoch
+	victims := make([]version.ID, 0, len(c.entries))
+	for id := range c.entries {
+		victims = append(victims, id)
+	}
+	c.entries = make(map[version.ID]*cacheEntry)
+	dir := c.dir
+	c.mu.Unlock()
+	if dir != "" {
+		writeEpoch(filepath.Join(dir, epochFile), e) //nolint:errcheck // best effort; restart re-bumps
+		for _, id := range victims {
+			os.Remove(c.entryPath(id)) //nolint:errcheck // best effort
+		}
+	}
+	return e
+}
+
 // Len reports the number of cached versions.
 func (c *ObjectCache) Len() int {
 	c.mu.Lock()

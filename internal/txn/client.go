@@ -7,10 +7,12 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"concord/internal/binenc"
 	"concord/internal/catalog"
+	"concord/internal/repl"
 	"concord/internal/rpc"
 	"concord/internal/version"
 	"concord/internal/wal"
@@ -164,11 +166,20 @@ type ClientTM struct {
 	// bounds lock waits; heartbeats use their own tight budget instead.
 	OpBudget time.Duration
 
+	// srvEpoch is the highest server fencing epoch this workstation has
+	// witnessed (health answers, failover promotions). The rpc client stamps
+	// it on every call, so a deposed primary refuses this workstation with
+	// rpc.ErrStaleEpoch instead of serving split-brain state.
+	srvEpoch atomic.Uint64
+
 	mu     sync.Mutex
 	dops   map[string]*DOP
 	seq    uint64
 	cbAddr string
 	stats  WireStats
+	// standby is the warm-standby server address ("" = no failover target);
+	// serverAddr switches to it when Failover promotes it.
+	standby string
 	// hbStop/hbDone are the heartbeat goroutine's lifecycle channels
 	// (nil while no heartbeat runs); see heartbeat.go.
 	hbStop chan struct{}
@@ -188,6 +199,12 @@ func NewClientTM(id string, client *rpc.Client, serverAddr, dir string) (*Client
 		client:     client,
 		serverAddr: serverAddr,
 		dops:       make(map[string]*DOP),
+	}
+	if client.Epoch == nil {
+		// Stamp every call with the highest fencing epoch this workstation
+		// has witnessed (the client is per-workstation in every deployment;
+		// an already-wired client is left alone).
+		client.Epoch = tm.srvEpoch.Load
 	}
 	cacheDir := ""
 	if dir != "" {
@@ -250,6 +267,80 @@ func (tm *ClientTM) SetCallbackAddr(addr string) {
 	tm.mu.Lock()
 	tm.cbAddr = addr
 	tm.mu.Unlock()
+}
+
+// SetStandbyAddr names the warm-standby server this workstation may fail
+// over to ("" disables failover). The heartbeat loop drives the takeover
+// automatically when the primary falls silent; Failover runs it on demand.
+func (tm *ClientTM) SetStandbyAddr(addr string) {
+	tm.mu.Lock()
+	tm.standby = addr
+	tm.mu.Unlock()
+}
+
+// server resolves the server address calls go to right now (it switches from
+// the primary to the promoted standby on failover).
+func (tm *ClientTM) server() string {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.serverAddr
+}
+
+// ServerAddr reports the server address this workstation currently talks to.
+func (tm *ClientTM) ServerAddr() string { return tm.server() }
+
+// KnownEpoch reports the highest server fencing epoch witnessed so far.
+func (tm *ClientTM) KnownEpoch() uint64 { return tm.srvEpoch.Load() }
+
+// noteEpoch raises the witnessed fencing epoch (monotonic).
+func (tm *ClientTM) noteEpoch(e uint64) {
+	for {
+		cur := tm.srvEpoch.Load()
+		if e <= cur || tm.srvEpoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Failover performs the client-driven takeover (DESIGN.md §5.4): promote the
+// warm standby (idempotent — concurrent workstations race harmlessly), adopt
+// its bumped fencing epoch (every later call stamps it, fencing the deposed
+// primary off), switch this client-TM to the new address, re-establish the
+// session (Rejoin re-registers every live DOP), and re-deliver any commit
+// decisions the old primary never acknowledged so in-doubt checkin branches
+// recovered from the replicated participant log resolve. The heartbeat loop
+// calls it when the primary stops answering; it is safe to call directly.
+func (tm *ClientTM) Failover() error {
+	tm.mu.Lock()
+	standby, cur := tm.standby, tm.serverAddr
+	tm.mu.Unlock()
+	if standby == "" || standby == cur {
+		return errors.New("txn: failover: no standby configured")
+	}
+	resp, err := tm.client.CallBudget(standby, repl.MethodPromote, nil, tm.opBudget())
+	if err != nil {
+		return fmt.Errorf("txn: failover: promote standby: %w", err)
+	}
+	r := binenc.NewReader(resp)
+	epoch := r.U64()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("txn: failover: promote response: %w", err)
+	}
+	tm.noteEpoch(epoch)
+	tm.mu.Lock()
+	if tm.serverAddr == cur {
+		tm.serverAddr = standby
+		tm.standby = ""
+	}
+	addr := tm.serverAddr
+	tm.mu.Unlock()
+	if err := tm.Rejoin(); err != nil {
+		return fmt.Errorf("txn: failover: rejoin at %s: %w", addr, err)
+	}
+	if err := tm.coord.ResendDecisions(addr); err != nil {
+		return fmt.Errorf("txn: failover: resend decisions to %s: %w", addr, err)
+	}
+	return nil
 }
 
 // DefaultOpBudget is the bulk-transfer call budget when OpBudget is unset.
@@ -358,7 +449,7 @@ func (tm *ClientTM) Begin(dopID, da string) (*DOP, error) {
 	tm.mu.Unlock()
 
 	payload := beginMsg{DOP: dopID, DA: da, WS: tm.id}.encode()
-	if _, err := tm.client.Call(tm.serverAddr, MethodBegin, payload); err != nil {
+	if _, err := tm.client.Call(tm.server(), MethodBegin, payload); err != nil {
 		return nil, err
 	}
 	d := &DOP{
@@ -377,7 +468,7 @@ func (tm *ClientTM) Begin(dopID, da string) (*DOP, error) {
 // Reattach re-registers a recovered DOP with the server-TM (idempotent at
 // the server) so processing can continue after a workstation restart.
 func (tm *ClientTM) Reattach(d *DOP) error {
-	_, err := tm.client.Call(tm.serverAddr, MethodBegin, beginMsg{DOP: d.id, DA: d.da, WS: tm.id}.encode())
+	_, err := tm.client.Call(tm.server(), MethodBegin, beginMsg{DOP: d.id, DA: d.da, WS: tm.id}.encode())
 	return err
 }
 
@@ -496,7 +587,7 @@ func (d *DOP) fetch(dov version.ID, derive, useCache bool) (*catalog.Object, err
 	pw := binenc.GetWriter(96)
 	m.encodeInto(pw)
 	outBytes := uint64(len(pw.Bytes()))
-	resp, err := tm.client.CallBudget(tm.serverAddr, MethodCheckout, pw.Bytes(), tm.opBudget())
+	resp, err := tm.client.CallBudget(tm.server(), MethodCheckout, pw.Bytes(), tm.opBudget())
 	pw.Free()
 	tm.mu.Lock()
 	tm.stats.Checkouts++
@@ -509,6 +600,13 @@ func (d *DOP) fetch(dov version.ID, derive, useCache bool) (*catalog.Object, err
 	cr, err := decodeCheckoutResp(resp)
 	if err != nil {
 		return nil, err
+	}
+	if cr.BumpEpoch && tm.cache != nil {
+		// The server lost invalidations destined for this workstation; the
+		// cache incarnation ends before any of its (possibly stale) entries
+		// can serve this response. NotModified/delta answers then miss their
+		// base and fall back to the cache-blind refetch below.
+		tm.cache.BumpEpoch()
 	}
 	count := func(field *uint64) {
 		tm.mu.Lock()
@@ -777,13 +875,17 @@ func (d *DOP) Checkin(status version.Status, root bool) (version.ID, error) {
 	tm.mu.Unlock()
 	// The stage handler copies anything it retains (rpc.Handler contract),
 	// so the pooled message buffer is safe to recycle after the call.
-	_, err = tm.client.CallBudget(tm.serverAddr, MethodStage, pw.Bytes(), tm.opBudget())
+	// Resolve the server once: stage and 2PC must target the same
+	// incarnation, and a failover between them is resolved by the
+	// coordinator's decision resend, not by splitting this checkin.
+	srv := tm.server()
+	_, err = tm.client.CallBudget(srv, MethodStage, pw.Bytes(), tm.opBudget())
 	pw.Free()
 	if err != nil {
 		d.checkins--
 		return "", fmt.Errorf("txn: stage checkin %s: %w", txid, err)
 	}
-	outcome, err := tm.coord.Commit(txid, []string{tm.serverAddr})
+	outcome, err := tm.coord.Commit(txid, []string{srv})
 	if err != nil {
 		return "", fmt.Errorf("txn: commit checkin %s: %w", txid, err)
 	}
@@ -847,7 +949,7 @@ func (d *DOP) end(final Phase) error {
 	if d.phase == PhaseCommitted || d.phase == PhaseAborted {
 		return fmt.Errorf("%w: %s is %s", ErrDOPNotActive, d.id, d.phase)
 	}
-	if _, err := d.tm.client.Call(d.tm.serverAddr, MethodAbortDOP, []byte(d.id)); err != nil {
+	if _, err := d.tm.client.Call(d.tm.server(), MethodAbortDOP, []byte(d.id)); err != nil {
 		return err
 	}
 	d.phase = final
@@ -908,6 +1010,6 @@ func (d *DOP) HandOver(next *DOP) error {
 // ReleaseDerivationLock gives up the derivation lock on an input version
 // before DOP end.
 func (d *DOP) ReleaseDerivationLock(dov version.ID) error {
-	_, err := d.tm.client.Call(d.tm.serverAddr, MethodRelease, releaseMsg{DOP: d.id, DOV: dov}.encode())
+	_, err := d.tm.client.Call(d.tm.server(), MethodRelease, releaseMsg{DOP: d.id, DOV: dov}.encode())
 	return err
 }

@@ -16,11 +16,13 @@ import (
 // The codes are the wire contract: stable across releases, never reused.
 // Allocations so far:
 //
-//	1–19  txn
-//	20–39 lock
-//	40–59 version
-//	60–79 catalog
-//	80–99 repo
+//	1–19    txn
+//	20–39   lock
+//	40–59   version
+//	60–79   catalog
+//	80–99   repo
+//	100–119 rpc/repl (registered by the rpc package itself: 100 is
+//	        rpc.ErrStaleEpoch, the failover fencing sentinel)
 func init() {
 	rpc.RegisterWireError(1, ErrUnknownDOP)
 	rpc.RegisterWireError(2, ErrNotStaged)
@@ -42,4 +44,5 @@ func init() {
 	rpc.RegisterWireError(60, catalog.ErrUnknownDOT)
 
 	rpc.RegisterWireError(80, repo.ErrDegraded)
+	rpc.RegisterWireError(81, repo.ErrFollower)
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sort"
 	"time"
+
+	"concord/internal/rpc"
 )
 
 // Workstation half of the lease lifecycle: a heartbeat goroutine renews the
@@ -73,15 +75,26 @@ func (tm *ClientTM) heartbeatLoop(every time.Duration, stop, done chan struct{})
 		case <-t.C:
 		}
 		err := tm.heartbeat(every)
-		if errors.Is(err, ErrNoLease) {
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrNoLease):
 			tm.Rejoin() //nolint:errcheck // best-effort; retried next tick
+		case errors.Is(err, rpc.ErrStaleEpoch):
+			// The server we heartbeat is on an older fencing term than one
+			// this workstation has witnessed: a deposed primary. Move over.
+			tm.Failover() //nolint:errcheck // best-effort; retried next tick
+		case !errors.Is(err, rpc.ErrRemote):
+			// No answer inside a whole budgeted (internally retried) call:
+			// the primary is unreachable. Promote the standby and take over;
+			// without one the error is transient and the next tick retries.
+			tm.Failover() //nolint:errcheck // best-effort; retried next tick
 		}
 	}
 }
 
 // heartbeat sends one lease renewal with a tight per-call budget.
 func (tm *ClientTM) heartbeat(budget time.Duration) error {
-	_, err := tm.client.CallBudget(tm.serverAddr, MethodHeartbeat, []byte(tm.id), budget)
+	_, err := tm.client.CallBudget(tm.server(), MethodHeartbeat, []byte(tm.id), budget)
 	return err
 }
 
@@ -96,7 +109,7 @@ func (tm *ClientTM) Rejoin() error {
 	}
 	tm.mu.Unlock()
 	sort.Slice(m.DOPs, func(i, j int) bool { return m.DOPs[i].DOP < m.DOPs[j].DOP })
-	_, err := tm.client.Call(tm.serverAddr, MethodRejoin, m.encode())
+	_, err := tm.client.Call(tm.server(), MethodRejoin, m.encode())
 	return err
 }
 
@@ -104,13 +117,39 @@ func (tm *ClientTM) Rejoin() error {
 // "degraded" (read-only: checkouts serve, mutations refused with
 // repo.ErrDegraded) or "failstop", with the latched cause alongside.
 func (tm *ClientTM) ServerHealth() (mode, cause string, err error) {
-	resp, err := tm.client.Call(tm.serverAddr, MethodHealth, nil)
-	if err != nil {
-		return "", "", err
-	}
-	h, err := decodeHealth(resp)
+	h, err := tm.ServerHealthFull()
 	if err != nil {
 		return "", "", err
 	}
 	return h.Mode, h.Cause, nil
+}
+
+// ServerHealthInfo is the full MethodHealth answer: degradation mode and
+// cause, plus the replication role, fencing epoch and shipping lag.
+type ServerHealthInfo struct {
+	Mode, Cause string
+	// Role is "primary", "standby" or "promoting".
+	Role string
+	// Epoch is the fencing term the server serves under.
+	Epoch uint64
+	// LagRecords / LagBytes measure how far its standby trails.
+	LagRecords, LagBytes uint64
+}
+
+// ServerHealthFull asks the server for its full health record and adopts its
+// fencing epoch (the stamp that fences a later deposed primary off).
+func (tm *ClientTM) ServerHealthFull() (ServerHealthInfo, error) {
+	resp, err := tm.client.Call(tm.server(), MethodHealth, nil)
+	if err != nil {
+		return ServerHealthInfo{}, err
+	}
+	h, err := decodeHealth(resp)
+	if err != nil {
+		return ServerHealthInfo{}, err
+	}
+	tm.noteEpoch(h.Epoch)
+	return ServerHealthInfo{
+		Mode: h.Mode, Cause: h.Cause, Role: h.Role,
+		Epoch: h.Epoch, LagRecords: h.LagRecords, LagBytes: h.LagBytes,
+	}, nil
 }

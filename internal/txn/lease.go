@@ -272,10 +272,38 @@ func (s *ServerTM) reapWorkstation(ws string, dops []string) {
 	s.cdir.dropWS(ws)
 }
 
-// HealthInfo reports the repository degradation mode (MethodHealth backend).
+// HealthInfo reports the repository degradation mode plus the replication
+// role (MethodHealth backend). Without a repl reporter the server presents as
+// a standalone primary at epoch 0.
 func (s *ServerTM) HealthInfo() healthResp {
 	h := s.repo.Health()
-	return healthResp{Mode: h.Mode, Cause: h.Cause}
+	out := healthResp{Mode: h.Mode, Cause: h.Cause, Role: "primary"}
+	if f := s.replInfo.Load(); f != nil {
+		out.Role, out.Epoch, out.LagRecords, out.LagBytes = (*f)()
+	}
+	return out
+}
+
+// SetReplInfo installs the replication reporter consulted by MethodHealth:
+// the server's role ("primary", "standby" or "promoting"), its fencing epoch,
+// and the shipping lag in records and bytes. core wires it to the repl
+// sender (primary) or receiver (standby); nil keeps the standalone default.
+func (s *ServerTM) SetReplInfo(f func() (role string, epoch, lagRecords, lagBytes uint64)) {
+	if f == nil {
+		s.replInfo.Store(nil)
+		return
+	}
+	s.replInfo.Store(&f)
+}
+
+// EncodeHealthInfo encodes a MethodHealth answer from the given record.
+// Standby sites use it to answer health probes before a full server-TM
+// exists at their address.
+func EncodeHealthInfo(h ServerHealthInfo) []byte {
+	return healthResp{
+		Mode: h.Mode, Cause: h.Cause, Role: h.Role,
+		Epoch: h.Epoch, LagRecords: h.LagRecords, LagBytes: h.LagBytes,
+	}.encode()
 }
 
 // dopPair names one DOP registration a rejoining workstation restores.
@@ -312,21 +340,38 @@ func decodeRejoin(data []byte) (rejoinMsg, error) {
 }
 
 // healthResp is the MethodHealth answer: the server's degradation mode
-// ("ok", "degraded" or "failstop") and, when degraded, the latched cause.
+// ("ok", "degraded" or "failstop") with the latched cause, and (wire rev 4)
+// its replication role, fencing epoch and shipping lag.
 type healthResp struct {
 	Mode  string
 	Cause string
+	// Role is "primary", "standby" or "promoting" ("primary" when the
+	// server runs unreplicated).
+	Role string
+	// Epoch is the replication fencing term the server serves under.
+	Epoch uint64
+	// LagRecords / LagBytes measure how far the standby trails (as seen from
+	// a primary's sender; zero on a standby and in sync steady state).
+	LagRecords uint64
+	LagBytes   uint64
 }
 
 func (m healthResp) encode() []byte {
-	w := binenc.NewWriter(32 + len(m.Cause))
+	w := binenc.NewWriter(64 + len(m.Cause))
 	w.Str(m.Mode)
 	w.Str(m.Cause)
+	w.Str(m.Role)
+	w.U64(m.Epoch)
+	w.U64(m.LagRecords)
+	w.U64(m.LagBytes)
 	return w.Bytes()
 }
 
 func decodeHealth(data []byte) (healthResp, error) {
 	r := binenc.NewReader(data)
-	m := healthResp{Mode: r.Str(), Cause: r.Str()}
+	m := healthResp{Mode: r.Str(), Cause: r.Str(), Role: r.Str()}
+	m.Epoch = r.U64()
+	m.LagRecords = r.U64()
+	m.LagBytes = r.U64()
 	return m, wireErr(r)
 }

@@ -72,6 +72,13 @@ type ServerTM struct {
 	dops     [tmShards]dopShard
 	staged   [tmShards]stagedShard
 	notifier atomic.Pointer[rpc.Notifier]
+	// replInfo reports role/epoch/lag for MethodHealth (SetReplInfo).
+	replInfo atomic.Pointer[func() (string, uint64, uint64, uint64)]
+
+	// bumpMu guards bumpAcked: per callback address, the notifier loss count
+	// already answered with a cache-epoch bump (DESIGN.md §4 reconnect fix).
+	bumpMu    sync.Mutex
+	bumpAcked map[string]uint64
 
 	// leaseMu guards the lease table and the reaper lifecycle fields.
 	leaseMu  sync.Mutex
@@ -155,6 +162,7 @@ func NewServerTM(r *repo.Repository, lm *lock.Manager, st *lock.ScopeTable) *Ser
 		cdir:        newCacheDir(),
 		LockTimeout: 5 * time.Second,
 		leases:      make(map[string]*wsLease),
+		bumpAcked:   make(map[string]uint64),
 	}
 	for i := range s.dops {
 		s.dops[i].m = make(map[string]*serverDOP)
@@ -300,35 +308,66 @@ func (s *ServerTM) checkoutEnc(dop string, dov version.ID, derive bool, deadline
 // checkoutWire serves one MethodCheckout call: perform the checkout, record
 // the workstation's cache registration, and answer in the cheapest mode the
 // client's offered base allows — NotModified (it already holds the target),
-// a binenc delta (it holds a verified relative), or the full DOV.
+// a binenc delta (it holds a verified relative), or the full DOV. When the
+// workstation's callback endpoint has lost invalidations since its last
+// negotiation, the answer additionally orders a cache-epoch bump.
 func (s *ServerTM) checkoutWire(m checkoutMsg, deadline time.Time) ([]byte, error) {
 	v, enc, hash, err := s.checkoutEnc(m.DOP, m.DOV, m.Derive, deadline)
 	if err != nil {
 		return nil, err
 	}
 	s.cdir.register(m.WS, m.CBAddr, m.Epoch, m.DOV)
+	resp := checkoutResp{Hash: hash, BumpEpoch: s.noteCallbackLoss(m.CBAddr)}
 	meta := dovMeta{ID: v.ID, DOT: v.DOT, DA: v.DA, Parents: v.Parents, Status: v.Status, Fulfilled: v.Fulfilled}
-	if m.BaseID == m.DOV && bytes.Equal(m.BaseHash, hash) {
-		return checkoutResp{Mode: coNotModified, Meta: meta, Hash: hash}.encode(), nil
-	}
-	if m.BaseID != "" {
-		baseEnc, baseHash, err := s.repo.EncodedObject(m.BaseID)
-		if err == nil && bytes.Equal(baseHash, m.BaseHash) {
-			if delta := binenc.Delta(baseEnc, enc); len(delta) < len(enc) {
-				return checkoutResp{Mode: coDelta, Meta: meta, Hash: hash, BaseID: m.BaseID, Delta: delta}.encode(), nil
+	switch {
+	case m.BaseID == m.DOV && bytes.Equal(m.BaseHash, hash):
+		resp.Mode, resp.Meta = coNotModified, meta
+	default:
+		if m.BaseID != "" {
+			baseEnc, baseHash, err := s.repo.EncodedObject(m.BaseID)
+			if err == nil && bytes.Equal(baseHash, m.BaseHash) {
+				if delta := binenc.Delta(baseEnc, enc); len(delta) < len(enc) {
+					resp.Mode, resp.Meta = coDelta, meta
+					resp.BaseID, resp.Delta = m.BaseID, delta
+					return resp.encode(), nil
+				}
 			}
+			// Unknown base, divergent hash or incompressible pair: fall
+			// through to a full transfer — the client's offer is advisory.
 		}
-		// Unknown base, divergent hash or incompressible pair: fall through
-		// to a full transfer — the client's offer is advisory only.
-	}
-	return checkoutResp{
-		Mode: coFull,
-		DOV: dovWire{
+		resp.Mode = coFull
+		resp.DOV = dovWire{
 			ID: v.ID, DOT: v.DOT, DA: v.DA, Parents: v.Parents,
 			Object: enc, Status: v.Status, Fulfilled: v.Fulfilled,
-		},
-		Hash: hash,
-	}.encode(), nil
+		}
+	}
+	return resp.encode(), nil
+}
+
+// noteCallbackLoss reports whether addr's callback endpoint has dropped
+// invalidations since the last checkout negotiation consumed the count. A
+// true answer travels exactly once per loss increment: the workstation bumps
+// its cache epoch, retiring metadata the lost callbacks should have refreshed
+// (the stale-invalidation window of DESIGN.md §4).
+func (s *ServerTM) noteCallbackLoss(addr string) bool {
+	if addr == "" {
+		return false
+	}
+	n := s.notifier.Load()
+	if n == nil {
+		return false
+	}
+	d := n.DroppedAt(addr)
+	if d == 0 {
+		return false
+	}
+	s.bumpMu.Lock()
+	defer s.bumpMu.Unlock()
+	if d <= s.bumpAcked[addr] {
+		return false
+	}
+	s.bumpAcked[addr] = d
+	return true
 }
 
 func (s *ServerTM) releaseDerivation(dop string, dov version.ID) {

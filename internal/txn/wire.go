@@ -116,6 +116,10 @@ type checkoutResp struct {
 	BaseID version.ID
 	// Delta is the binenc edit script base→target (coDelta only).
 	Delta []byte
+	// BumpEpoch (wire rev 4) orders the workstation to retire its cache
+	// incarnation: the server's notifier dropped invalidations destined for
+	// this workstation's callback endpoint, so cached metadata may be stale.
+	BumpEpoch bool
 }
 
 // dovMeta is a version record without its payload.
@@ -293,6 +297,7 @@ func (m checkoutResp) encode() []byte {
 		w.Str(string(m.BaseID))
 		w.Blob(m.Delta)
 	}
+	w.Bool(m.BumpEpoch)
 	return w.Bytes()
 }
 
@@ -315,7 +320,9 @@ func decodeCheckoutResp(data []byte) (checkoutResp, error) {
 		if r.Err() == nil {
 			return m, fmt.Errorf("txn: decode checkout response: unknown mode 0x%02x", m.Mode)
 		}
+		return m, wireErr(r)
 	}
+	m.BumpEpoch = r.Bool()
 	return m, wireErr(r)
 }
 

@@ -1,0 +1,227 @@
+package wal
+
+// Replication primitives (DESIGN.md §5.4). A primary's log ships every
+// durable batch through the Shipper hook in its exact on-disk framing; the
+// standby's log ingests those bytes with AppendRaw, and a trailing standby
+// catches up from the primary's disk via ReadRaw. ForEachFrame/ValidFrames
+// expose the record framing over plain byte slices so the replication layer
+// (and its fuzzer) validate shipped batches with the same valid-prefix
+// semantics the on-disk scanners use.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync/atomic"
+)
+
+// ErrCompacted is returned by ReadRaw when the requested LSN lies below the
+// oldest retained segment: a checkpoint has reclaimed those bytes, so a
+// follower that far behind needs a full state transfer, not log catch-up.
+var ErrCompacted = errors.New("wal: requested LSN below segment floor")
+
+// ForEachFrame scans buf as a sequence of framed records whose first byte
+// sits at global LSN base, invoking fn (when non-nil) for each valid record.
+// It stops at the first invalid frame — truncated header or body, length out
+// of range, checksum mismatch, owner overrun — and returns the byte length
+// of the valid prefix plus the number of records in it, mirroring the
+// on-disk scanners' torn-tail tolerance. A non-nil fn error ends the scan
+// and is returned; the Record's Owner and Payload alias buf.
+func ForEachFrame(base LSN, buf []byte, fn func(Record) error) (int, int, error) {
+	var off, records int
+	for off+recHeaderSize <= len(buf) {
+		hdr := buf[off : off+recHeaderSize]
+		total := int(binary.LittleEndian.Uint32(hdr[0:4]))
+		if total < recHeaderSize || total > maxRecordSize || off+total > len(buf) {
+			return off, records, nil
+		}
+		body := buf[off+recHeaderSize : off+total]
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return off, records, nil
+		}
+		ownerLen := int(binary.LittleEndian.Uint16(hdr[10:12]))
+		if ownerLen > len(body) {
+			return off, records, nil
+		}
+		if fn != nil {
+			rec := Record{
+				LSN:     LSN(int64(base) + int64(off)),
+				Type:    RecordType(binary.LittleEndian.Uint16(hdr[8:10])),
+				Owner:   string(body[:ownerLen]),
+				Payload: body[ownerLen:],
+			}
+			if err := fn(rec); err != nil {
+				return off, records, err
+			}
+		}
+		off += total
+		records++
+	}
+	return off, records, nil
+}
+
+// ValidFrames reports the byte length of buf's valid framed-record prefix
+// and how many records it holds.
+func ValidFrames(buf []byte) (int, int) {
+	n, records, _ := ForEachFrame(0, buf, nil)
+	return n, records
+}
+
+// AppendRaw appends already-framed records at exactly LSN start — the
+// follower half of WAL shipping. The frames must parse completely
+// (ValidFrames over all of them) and start must equal the log's current
+// tail; a gap or overlap is refused, letting the replication layer detect a
+// missed batch and fall back to catch-up. The bytes are written and (with
+// SyncOnAppend) forced as one batch.
+func (l *Log) AppendRaw(start LSN, frames []byte) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	valid, records := ValidFrames(frames)
+	if valid != len(frames) {
+		return fmt.Errorf("wal: raw append: malformed frames (%d/%d bytes valid)", valid, len(frames))
+	}
+	l.writeSem <- struct{}{}
+	defer func() { <-l.writeSem }()
+	// Resolve any reservations first so the gap check sees the true tail
+	// (a follower log has no appenders, but keep the invariant anyway).
+	l.commitBatch()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+	if int64(start) != l.written {
+		return fmt.Errorf("wal: raw append gap: have tail %d, batch starts at %d", l.written, start)
+	}
+	atomic.AddUint64(&l.appends, uint64(records))
+	atomic.AddUint64(&l.batches, 1)
+	if err := l.faults.At(FaultAppendSync); err != nil {
+		werr := fmt.Errorf("wal: write: %w", err)
+		l.fail(werr)
+		return werr
+	}
+	if _, err := l.f.Write(frames); err != nil {
+		werr := fmt.Errorf("wal: write: %w", err)
+		l.fail(werr)
+		return werr
+	}
+	l.written += int64(len(frames))
+	if l.syncOnAppend {
+		atomic.AddUint64(&l.syncs, 1)
+		if err := l.f.Sync(); err != nil {
+			werr := fmt.Errorf("wal: sync: %w", err)
+			l.fail(werr)
+			return werr
+		}
+	}
+	l.mu.Lock()
+	l.size = l.written
+	l.mu.Unlock()
+	l.maybeRotate()
+	return nil
+}
+
+// ReadRaw returns up to maxBytes of durable, whole-frame log content
+// starting at LSN from, plus the record count — the catch-up half of WAL
+// shipping. Bytes below the durable tail are immutable, so the read runs
+// without blocking appenders (the write slot is taken only to snapshot the
+// tail). It returns ErrCompacted when from has been reclaimed by a
+// checkpoint, and (nil, 0, nil) at the tail. maxBytes <= 0 means one
+// segment's worth; the window grows internally if a single frame exceeds it.
+func (l *Log) ReadRaw(from LSN, maxBytes int) ([]byte, int, error) {
+	if maxBytes <= 0 {
+		maxBytes = int(DefaultSegmentBytes)
+	}
+	for {
+		buf, durable, err := l.readRawWindow(from, maxBytes)
+		if err != nil {
+			return nil, 0, err
+		}
+		valid, records := ValidFrames(buf)
+		if valid > 0 || len(buf) == 0 {
+			return buf[:valid], records, nil
+		}
+		if int64(from)+int64(len(buf)) >= durable {
+			// A partial frame at the durable tail cannot happen (batches land
+			// whole); treat it as "nothing new" rather than spin.
+			return nil, 0, nil
+		}
+		// The first frame is larger than the window: widen and retry.
+		maxBytes *= 2
+		if maxBytes > maxRecordSize+recHeaderSize {
+			return nil, 0, fmt.Errorf("wal: raw read: frame at %d exceeds %d bytes", from, maxRecordSize)
+		}
+	}
+}
+
+// readRawWindow reads the raw byte range [from, min(from+maxBytes, tail))
+// across segments, returning it with the durable tail it was bounded by.
+func (l *Log) readRawWindow(from LSN, maxBytes int) ([]byte, int64, error) {
+	l.writeSem <- struct{}{}
+	l.mu.Lock()
+	closed := l.closed
+	starts := append([]int64(nil), l.starts...)
+	l.mu.Unlock()
+	durable := l.written
+	<-l.writeSem
+	if closed {
+		return nil, 0, ErrClosed
+	}
+	f := int64(from)
+	if len(starts) == 0 || f < starts[0] {
+		return nil, 0, ErrCompacted
+	}
+	if f >= durable {
+		return nil, durable, nil
+	}
+	end := durable
+	if e := f + int64(maxBytes); e < end {
+		end = e
+	}
+	out := make([]byte, 0, end-f)
+	for i, st := range starts {
+		segEnd := durable
+		if i+1 < len(starts) {
+			segEnd = starts[i+1]
+		}
+		if segEnd <= f || st >= end {
+			continue
+		}
+		lo := f
+		if st > lo {
+			lo = st
+		}
+		hi := end
+		if segEnd < hi {
+			hi = segEnd
+		}
+		if hi <= lo {
+			continue
+		}
+		sf, err := os.Open(l.segPath(st))
+		if err != nil {
+			if os.IsNotExist(err) {
+				// A concurrent checkpoint reclaimed it mid-read.
+				return nil, 0, ErrCompacted
+			}
+			return nil, 0, fmt.Errorf("wal: raw read: %w", err)
+		}
+		chunk := make([]byte, hi-lo)
+		_, rerr := sf.ReadAt(chunk, lo-st)
+		sf.Close()
+		if rerr != nil {
+			return nil, 0, fmt.Errorf("wal: raw read: %w", rerr)
+		}
+		out = append(out, chunk...)
+	}
+	return out, durable, nil
+}

@@ -154,11 +154,30 @@ type Log struct {
 	// points (nil-safe; inert unless a test arms a point).
 	faults *fault.Registry
 
+	// shipper, when non-nil, receives every durable batch right after its
+	// fsync and before the group-commit waiters are released (read under mu;
+	// invoked while holding the write slot — see Shipper).
+	shipper Shipper
+
 	// Batching statistics (atomic; Stats).
 	appends     uint64
 	batches     uint64
 	syncs       uint64
 	checkpoints uint64
+}
+
+// Shipper receives every durable append batch, synchronously, while the
+// batch leader still holds the write slot and before any waiter is released
+// — the hook synchronous WAL replication hangs off (internal/repl). start is
+// the LSN of the batch's first byte, frames holds the records in their exact
+// on-disk framing, and records is how many there are. A non-nil error is
+// latched as the log's sticky write error: the batch's waiters and every
+// later append fail with it, exactly like a local write failure. Ship must
+// therefore return nil for transient delivery problems it wants the commit
+// to survive (degrading to asynchronous catch-up), reserving errors for
+// fencing decisions that must stop this log for good.
+type Shipper interface {
+	Ship(start LSN, frames []byte, records int) error
 }
 
 const (
@@ -619,6 +638,7 @@ func (l *Log) appendSerial(buf []byte) (LSN, error) {
 	}
 	lsn := LSN(l.size)
 	l.size += int64(len(buf))
+	shipper := l.shipper
 	l.mu.Unlock()
 	atomic.AddUint64(&l.batches, 1)
 	if err := l.faults.At(FaultAppendSync); err != nil {
@@ -626,6 +646,7 @@ func (l *Log) appendSerial(buf []byte) (LSN, error) {
 		l.fail(werr)
 		return 0, werr
 	}
+	startOff := l.written
 	if _, err := l.f.Write(buf); err != nil {
 		l.fail(err)
 		return 0, fmt.Errorf("wal: write: %w", err)
@@ -638,8 +659,23 @@ func (l *Log) appendSerial(buf []byte) (LSN, error) {
 			return 0, fmt.Errorf("wal: sync: %w", err)
 		}
 	}
+	if shipper != nil {
+		if err := shipper.Ship(LSN(startOff), buf, 1); err != nil {
+			werr := fmt.Errorf("wal: ship: %w", err)
+			l.fail(werr)
+			return 0, werr
+		}
+	}
 	l.maybeRotate()
 	return lsn, nil
+}
+
+// SetShipper installs (or, with nil, removes) the synchronous batch shipper.
+// Safe to call on a live log: the next batch leader observes the new value.
+func (l *Log) SetShipper(s Shipper) {
+	l.mu.Lock()
+	l.shipper = s
+	l.mu.Unlock()
 }
 
 // fail records a sticky write error: the offset bookkeeping no longer
@@ -667,6 +703,7 @@ func (l *Log) commitBatch() {
 	batch := l.pending
 	l.pending = nil
 	werr := l.err
+	shipper := l.shipper
 	l.mu.Unlock()
 	if len(batch) == 0 {
 		return
@@ -696,6 +733,7 @@ func (l *Log) commitBatch() {
 			buf = b
 		}
 		atomic.AddUint64(&l.batches, 1)
+		startOff := l.written
 		if err := l.faults.At(FaultAppendSync); err != nil {
 			werr = fmt.Errorf("wal: write: %w", err)
 			l.fail(werr)
@@ -710,6 +748,15 @@ func (l *Log) commitBatch() {
 					werr = fmt.Errorf("wal: sync: %w", err)
 					l.fail(werr)
 				}
+			}
+		}
+		if werr == nil && shipper != nil {
+			// Synchronous replication: the batch is durable locally; ship it
+			// before any waiter is released. A shipper error fences the log
+			// (sticky failure) exactly like a local write error would.
+			if err := shipper.Ship(LSN(startOff), buf, len(batch)); err != nil {
+				werr = fmt.Errorf("wal: ship: %w", err)
+				l.fail(werr)
 			}
 		}
 		putFrameBuf(cb)
